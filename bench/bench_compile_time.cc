@@ -1,0 +1,77 @@
+// E14 (§4.2 remark): the cost of deciding factorability.
+//
+// "An algorithm that is exponential in the size of the recursion and query
+// (small) may be worth running during query planning in order to save time
+// proportional to the size of the database (large) during query
+// evaluation." — testing the sufficient conditions is NP-complete in the
+// rule size (conjunctive-query containment), but rules are tiny. This bench
+// measures the full pipeline's compile time (adorn + magic + classify +
+// containments + factoring + §5 cleanups incl. uniform-equivalence chases)
+// against one evaluation of the Magic program it replaces.
+
+#include "bench/bench_util.h"
+#include "workload/graph_gen.h"
+
+namespace {
+
+using namespace factlog;
+
+const char* kPrograms[] = {
+    // three-form TC
+    "t(X, Y) :- t(X, W), t(W, Y). t(X, Y) :- e(X, W), t(W, Y). "
+    "t(X, Y) :- t(X, W), e(W, Y). t(X, Y) :- e(X, Y). ?- t(1, Y).",
+    // selection-pushing positive variant (heavier containment tests)
+    "p(X, Y) :- l(X), p(X, U), c1(U, V), p(V, Y), r1(Y). "
+    "p(X, Y) :- l(X), p(X, U), c2(U, V), p(V, Y), r2(Y). "
+    "p(X, Y) :- l(X), f(X, V), p(V, Y), r3(Y). "
+    "p(X, Y) :- e(X, Y), r1(Y), r2(Y), r3(Y). ?- p(1, Y).",
+    // answer-propagating variant (pairwise containments across 4 rules)
+    "p(X, Y) :- l1(X), p(X, U), p(X, V), c(U, V, W), p(W, Y), r1(Y). "
+    "p(X, Y) :- l2(X), p(X, U), p(X, V), c(U, V, W), p(W, Y), r2(Y). "
+    "p(X, Y) :- l1(X), l2(X), f(X, V), p(V, Y), r3(Y). "
+    "p(X, Y) :- e(X, Y), r1(Y), r2(Y), r3(Y). ?- p(1, Y).",
+};
+
+void BM_PipelineCompileTime(benchmark::State& state) {
+  ast::Program program =
+      bench::ParseOrDie(kPrograms[state.range(0)]);
+  size_t final_rules = 0;
+  for (auto _ : state) {
+    auto result = core::OptimizeQuery(program, *program.query());
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    final_rules = result->final_program().rules().size();
+    benchmark::DoNotOptimize(result->factoring_applied);
+  }
+  state.counters["final_rules"] = static_cast<double>(final_rules);
+}
+
+BENCHMARK(BM_PipelineCompileTime)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+// The evaluation-time savings one compile pays for: Magic-minus-factored
+// time on a single moderate database (three-form TC, chain n=256).
+void BM_EvaluationSavedPerQuery(benchmark::State& state, bool factored) {
+  ast::Program program = bench::ParseOrDie(kPrograms[0]);
+  core::PipelineResult pipe = bench::Pipeline(program);
+  const ast::Program* prog = factored ? &*pipe.optimized : &pipe.magic.program;
+  const ast::Atom* query = factored ? &pipe.final_query() : &pipe.magic.query;
+  for (auto _ : state) {
+    state.PauseTiming();
+    eval::Database db;
+    workload::MakeChain(256, "e", &db);
+    state.ResumeTiming();
+    bench::RunAndCount(*prog, *query, &db, state);
+  }
+}
+
+BENCHMARK_CAPTURE(BM_EvaluationSavedPerQuery, magic, false)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_EvaluationSavedPerQuery, factored, true)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

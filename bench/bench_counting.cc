@@ -1,0 +1,116 @@
+// E8 (§6.4, Theorem 6.4): Counting vs Magic vs factoring on right-linear
+// recursion.
+//
+// Paper claims:
+//  * Counting also reduces the arity, but pays for index maintenance:
+//    answers are replayed at every goal depth (Theta(n^2) indexed answer
+//    facts on a chain), whereas the factored program is Theta(n).
+//  * After deleting index fields, the Counting program IS the factored
+//    program (checked structurally in tests/counting_test.cc); the bench
+//    shows the index overhead the deletion removes.
+//  * On left-linear rules Counting does not terminate: reproduced via the
+//    fact budget (reported as the `diverged` counter).
+
+#include "analysis/adornment.h"
+#include "bench/bench_util.h"
+#include "transform/counting.h"
+#include "workload/graph_gen.h"
+
+namespace {
+
+using namespace factlog;
+
+const char kRightTc[] = R"(
+  t(X, Y) :- e(X, W), t(W, Y).
+  t(X, Y) :- e(X, Y).
+  ?- t(1, Y).
+)";
+
+transform::CountingProgram MakeCounting(const ast::Program& program) {
+  auto adorned =
+      bench::OrDie(analysis::Adorn(program, *program.query()), "adorn");
+  auto classification =
+      bench::OrDie(core::ClassifyProgram(adorned), "classify");
+  return bench::OrDie(transform::CountingTransform(adorned, classification),
+                      "counting");
+}
+
+void BM_RightLinear(benchmark::State& state, int mode) {
+  int64_t n = state.range(0);
+  ast::Program program = bench::ParseOrDie(kRightTc);
+  core::PipelineResult pipe = bench::Pipeline(program);
+  transform::CountingProgram counting = MakeCounting(program);
+
+  const ast::Program* prog = nullptr;
+  const ast::Atom* query = nullptr;
+  switch (mode) {
+    case 0:  // magic
+      prog = &pipe.magic.program;
+      query = &pipe.magic.query;
+      break;
+    case 1:  // factored
+      prog = &*pipe.optimized;
+      query = &pipe.final_query();
+      break;
+    case 2:  // counting (with index fields)
+      prog = &counting.program;
+      query = &counting.query;
+      break;
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    eval::Database db;
+    workload::MakeChain(n, "e", &db);
+    state.ResumeTiming();
+    bench::RunAndCount(*prog, *query, &db, state);
+  }
+  state.SetComplexityN(n);
+}
+
+BENCHMARK_CAPTURE(BM_RightLinear, magic, 0)
+    ->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+BENCHMARK_CAPTURE(BM_RightLinear, factored, 1)
+    ->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+BENCHMARK_CAPTURE(BM_RightLinear, counting, 2)
+    ->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+
+// Left-linear rules: Counting generates cnt(X, I+1) :- cnt(X, I) and the
+// evaluation hits its budget. The counter reports how many facts were
+// derived before the budget stopped it (factoring handles the same program
+// in Theta(n)).
+void BM_LeftLinearCountingDiverges(benchmark::State& state) {
+  int64_t n = state.range(0);
+  ast::Program program = bench::ParseOrDie(R"(
+    t(X, Y) :- t(X, W), e(W, Y).
+    t(X, Y) :- e(X, Y).
+    ?- t(1, Y).
+  )");
+  transform::CountingProgram counting = MakeCounting(program);
+  eval::EvalOptions opts;
+  opts.max_facts = 50'000;
+  int64_t diverged = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    eval::Database db;
+    workload::MakeChain(n, "e", &db);
+    state.ResumeTiming();
+    auto answers =
+        eval::EvaluateQuery(counting.program, counting.query, &db, opts);
+    if (!answers.ok() &&
+        answers.status().code() == StatusCode::kResourceExhausted) {
+      ++diverged;
+    }
+  }
+  state.counters["diverged"] = static_cast<double>(diverged);
+  state.counters["budget"] = static_cast<double>(opts.max_facts);
+}
+
+BENCHMARK(BM_LeftLinearCountingDiverges)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

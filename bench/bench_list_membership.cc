@@ -1,0 +1,96 @@
+// E2 (Examples 1.2 / 4.6): list membership with function symbols.
+//
+// Paper claim: with every member satisfying p, Prolog computes the O(n^2)
+// facts pmem(x_i, [x_j..x_n]); the factored program computes the answer in
+// linear time given structure-shared lists. We measure SLD inferences,
+// Magic bottom-up facts (Theta(n^2)), and factored bottom-up facts
+// (Theta(n)).
+
+#include "bench/bench_util.h"
+#include "eval/topdown.h"
+#include "workload/list_gen.h"
+
+namespace {
+
+using namespace factlog;
+
+void BM_PmemSld(benchmark::State& state) {
+  int64_t n = state.range(0);
+  ast::Program program = workload::MakePmemProgram(n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    eval::Database db;
+    workload::MakeMembershipPredicate(n, 1, 0, "p", &db);
+    state.ResumeTiming();
+    eval::SldStats stats;
+    auto answers = eval::SolveTopDown(program, *program.query(), &db,
+                                      eval::SldOptions(), &stats);
+    if (!answers.ok()) {
+      state.SkipWithError(answers.status().ToString().c_str());
+      return;
+    }
+    state.counters["inferences"] = static_cast<double>(stats.inferences);
+    state.counters["answers"] = static_cast<double>(answers->rows.size());
+  }
+  state.SetComplexityN(n);
+}
+
+BENCHMARK(BM_PmemSld)->Arg(16)->Arg(32)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+
+void BM_PmemMagic(benchmark::State& state) {
+  int64_t n = state.range(0);
+  ast::Program program = workload::MakePmemProgram(n);
+  core::PipelineResult pipe = bench::Pipeline(program);
+  for (auto _ : state) {
+    state.PauseTiming();
+    eval::Database db;
+    workload::MakeMembershipPredicate(n, 1, 0, "p", &db);
+    state.ResumeTiming();
+    bench::RunAndCount(pipe.magic.program, pipe.magic.query, &db, state);
+  }
+  state.SetComplexityN(n);
+}
+
+BENCHMARK(BM_PmemMagic)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+
+void BM_PmemFactored(benchmark::State& state) {
+  int64_t n = state.range(0);
+  ast::Program program = workload::MakePmemProgram(n);
+  core::PipelineResult pipe = bench::Pipeline(program);
+  for (auto _ : state) {
+    state.PauseTiming();
+    eval::Database db;
+    workload::MakeMembershipPredicate(n, 1, 0, "p", &db);
+    state.ResumeTiming();
+    bench::RunAndCount(*pipe.optimized, pipe.final_query(), &db, state);
+  }
+  state.SetComplexityN(n);
+}
+
+BENCHMARK(BM_PmemFactored)
+    ->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+
+// Sparse membership: only every k-th element satisfies p. The factored
+// program's work stays linear in n (the goal chain dominates).
+void BM_PmemFactoredSparse(benchmark::State& state) {
+  int64_t n = state.range(0);
+  ast::Program program = workload::MakePmemProgram(n);
+  core::PipelineResult pipe = bench::Pipeline(program);
+  for (auto _ : state) {
+    state.PauseTiming();
+    eval::Database db;
+    workload::MakeMembershipPredicate(n, 16, 0, "p", &db);
+    state.ResumeTiming();
+    bench::RunAndCount(*pipe.optimized, pipe.final_query(), &db, state);
+  }
+}
+
+BENCHMARK(BM_PmemFactoredSparse)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// E7 (§5 Examples 5.1/5.2, §6.1 Theorem 6.2): static argument reduction and
+// one-sided recursions.
+//
+// Paper claim: programs outside the §4 templates (static bound arguments,
+// pseudo-left-linear rules) become factorable after the Lemma 5.1/5.2
+// reduction; the reduced+factored program drops both the static argument
+// and the bound/free pairing.
+
+#include "bench/bench_util.h"
+#include "workload/graph_gen.h"
+
+namespace {
+
+using namespace factlog;
+
+// Example 5.1's shape: the first argument is static.
+const char kStatic[] = R"(
+  p(X, Y, Z) :- a(X), p(X, Y, W), d(W, U), p(X, U, Z).
+  p(X, Y, Z) :- e0(X, Y, Z).
+  ?- p(1, 2, U).
+)";
+
+// Example 5.2's pseudo-left-linear rule.
+const char kPseudo[] = R"(
+  p(X, Y, Z) :- p(X, Y, W), d(W, X, Z).
+  p(X, Y, Z) :- e0(X, Y, Z).
+  ?- p(1, 2, U).
+)";
+
+void MakeWorkload(int64_t n, eval::Database* db, bool ternary_d) {
+  db->AddUnit("a", 1);
+  for (int64_t i = 1; i < n; ++i) {
+    if (ternary_d) {
+      db->AddFact(ast::Atom(
+          "d", {ast::Term::Int(i), ast::Term::Int(1), ast::Term::Int(i + 1)}));
+    } else {
+      db->AddPair("d", i, i + 1);
+    }
+  }
+  for (int64_t i = 1; i <= n; ++i) {
+    db->AddFact(ast::Atom(
+        "e0", {ast::Term::Int(1), ast::Term::Int(2), ast::Term::Int(i)}));
+  }
+}
+
+void BM_StaticReduction(benchmark::State& state, const char* text,
+                        bool ternary_d, bool factored) {
+  int64_t n = state.range(0);
+  ast::Program program = bench::ParseOrDie(text);
+  core::PipelineResult pipe = bench::Pipeline(program);
+  if (factored &&
+      (!pipe.static_reduction_applied || !pipe.factoring_applied)) {
+    state.SkipWithError("expected static reduction + factoring");
+    return;
+  }
+  const ast::Program* prog = factored ? &*pipe.optimized : &pipe.magic.program;
+  const ast::Atom* query = factored ? &pipe.final_query() : &pipe.magic.query;
+  for (auto _ : state) {
+    state.PauseTiming();
+    eval::Database db;
+    MakeWorkload(n, &db, ternary_d);
+    state.ResumeTiming();
+    bench::RunAndCount(*prog, *query, &db, state);
+  }
+  state.SetComplexityN(n);
+}
+
+BENCHMARK_CAPTURE(BM_StaticReduction, example51_magic, kStatic, false, false)
+    ->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond)->Complexity();
+BENCHMARK_CAPTURE(BM_StaticReduction, example51_reduced_factored, kStatic,
+                  false, true)
+    ->Arg(16)->Arg(32)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+BENCHMARK_CAPTURE(BM_StaticReduction, example52_magic, kPseudo, true, false)
+    ->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond)->Complexity();
+BENCHMARK_CAPTURE(BM_StaticReduction, example52_reduced_factored, kPseudo,
+                  true, true)
+    ->Arg(16)->Arg(32)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+
+// Theorem 6.2: a simple one-sided recursion (two EDB steps per application)
+// under both full-selection query forms.
+void BM_OneSidedFullSelection(benchmark::State& state, const char* query_text) {
+  int64_t n = state.range(0);
+  ast::Program program = bench::ParseOrDie(
+      "t(X, Y) :- e(X, W), e(W, W2), t(W2, Y). t(X, Y) :- e0(X, Y).");
+  program.set_query(bench::OrDie(ast::ParseAtom(query_text), "query"));
+  core::PipelineResult pipe = bench::Pipeline(program);
+  if (!pipe.factoring_applied) {
+    state.SkipWithError("expected Theorem 6.2 to factor this program");
+    return;
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    eval::Database db;
+    workload::MakeChain(n, "e", &db);
+    for (int64_t i = 1; i <= n; ++i) db.AddPair("e0", i, i);
+    state.ResumeTiming();
+    bench::RunAndCount(*pipe.optimized, pipe.final_query(), &db, state);
+  }
+}
+
+BENCHMARK_CAPTURE(BM_OneSidedFullSelection, bind_moving_side, "t(1, Y)")
+    ->Arg(128)->Arg(512)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_OneSidedFullSelection, bind_fixed_side, "t(X, 9)")
+    ->Arg(128)->Arg(512)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// E12 (§7.1): re-factoring the factored program.
+//
+// §7.1 claims the optimized factored program of
+//   t(X,Y,Z) :- t(X,U,W), b(U,Y), d(Z).   t(X,Y,Z) :- e(X,Y,Z).
+// factors again on the binary ft into ft1(Y) x ft2(Z). Our falsifier shows
+// the claim does not hold unconditionally (tests/factoring_test.cc): on
+// exit-dominated EDBs ft holds correlated pairs. It IS exact when the exit
+// tuples already form a cross product, which this bench uses — measuring
+// the arity-reduction payoff the paper was after. The query binds the
+// second argument ("If the second argument is bound ... the factored Magic
+// program can again be factored ... to yield a unary program"): the binary
+// program materializes all Theta(n*k) ft pairs before selecting, the
+// re-factored one derives Theta(n + k) unary facts.
+
+#include "bench/bench_util.h"
+#include "core/factoring.h"
+#include "workload/graph_gen.h"
+
+namespace {
+
+using namespace factlog;
+
+const char kFactoredOnce[] = R"(
+  m(1).
+  ft(Y, Z) :- ft(U, W), b(U, Y), d(Z).
+  ft(Y, Z) :- m(X), e(X, Y, Z).
+  ?- ft(Y, 3).
+)";
+
+// Exit tuples form a cross product {1} x {1..k}; b advances a chain; d is a
+// k-element set: ft is a full cross product of size Theta(n * k).
+void MakeWorkload(int64_t n, int64_t k, eval::Database* db) {
+  for (int64_t z = 1; z <= k; ++z) {
+    db->AddFact(ast::Atom(
+        "e", {ast::Term::Int(1), ast::Term::Int(1), ast::Term::Int(z)}));
+    db->AddUnit("d", z);
+  }
+  workload::MakeChain(n, "b", db);
+}
+
+void BM_Refactoring(benchmark::State& state, bool refactored) {
+  int64_t n = state.range(0);
+  int64_t k = 16;
+  ast::Program once = bench::ParseOrDie(kFactoredOnce);
+  ast::Program program = once;
+  ast::Atom query = *once.query();  // ft(Y, 3)
+  if (refactored) {
+    core::FactorSplit split;
+    split.predicate = "ft";
+    split.part1 = {0};
+    split.part2 = {1};
+    split.name1 = "ft1";
+    split.name2 = "ft2";
+    auto f = bench::OrDie(core::FactorTransform(once, query, split),
+                          "factoring");
+    program = f.program;
+    query = f.query;
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    eval::Database db;
+    MakeWorkload(n, k, &db);
+    state.ResumeTiming();
+    bench::RunAndCount(program, query, &db, state);
+  }
+  state.counters["k"] = static_cast<double>(k);
+}
+
+BENCHMARK_CAPTURE(BM_Refactoring, binary_ft, false)
+    ->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Refactoring, unary_ft1_ft2, true)
+    ->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

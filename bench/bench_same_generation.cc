@@ -1,0 +1,69 @@
+// E11 (§6.4 closing remark): same-generation, "the canonical example of a
+// program that cannot be factored".
+//
+// The pipeline correctly refuses to factor; the bench shows what the
+// fallback costs: Magic Sets still beats whole-program evaluation by
+// restricting to the relevant cone, but the recursive predicate stays
+// binary (the index fields of Counting would be *necessary* here).
+
+#include "bench/bench_util.h"
+#include "workload/graph_gen.h"
+
+namespace {
+
+using namespace factlog;
+
+const char kSameGeneration[] = R"(
+  sg(X, Y) :- flat(X, Y).
+  sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+  ?- sg(2, Y).
+)";
+
+// `w` parallel ladders of height `d`; adjacent ladder tops are flat-linked.
+// The query starts at the bottom of ladder 0 (node 2) and must climb all
+// `d` levels. Only ladder 0's cone is relevant; whole-program evaluation
+// derives same-generation pairs across all ladders.
+void MakeLadders(int64_t w, int64_t d, eval::Database* db) {
+  auto id = [d](int64_t ladder, int64_t level) {
+    return ladder * (d + 1) + level + 2;
+  };
+  for (int64_t l = 0; l < w; ++l) {
+    for (int64_t i = 0; i < d; ++i) {
+      db->AddPair("up", id(l, i), id(l, i + 1));
+      db->AddPair("down", id(l, i + 1), id(l, i));
+    }
+  }
+  for (int64_t l = 0; l + 1 < w; ++l) {
+    db->AddPair("flat", id(l, d), id(l + 1, d));
+  }
+}
+
+void BM_SameGeneration(benchmark::State& state, int mode) {
+  int64_t d = state.range(0);
+  int64_t w = 16;
+  ast::Program program = bench::ParseOrDie(kSameGeneration);
+  core::PipelineResult pipe = bench::Pipeline(program);
+  if (pipe.factoring_applied) {
+    state.SkipWithError("same-generation must not factor");
+    return;
+  }
+  const ast::Program* prog = mode == 0 ? &program : &pipe.magic.program;
+  const ast::Atom* query = mode == 0 ? &*program.query() : &pipe.magic.query;
+  for (auto _ : state) {
+    state.PauseTiming();
+    eval::Database db;
+    MakeLadders(w, d, &db);
+    state.ResumeTiming();
+    bench::RunAndCount(*prog, *query, &db, state);
+  }
+  state.counters["depth"] = static_cast<double>(d);
+}
+
+BENCHMARK_CAPTURE(BM_SameGeneration, original_seminaive, 0)
+    ->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SameGeneration, magic, 1)
+    ->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

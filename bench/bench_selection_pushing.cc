@@ -1,0 +1,70 @@
+// E3 (Example 4.3, Theorem 4.1): a selection-pushing program with combined,
+// right-linear, and exit rules (the Example 4.3 shape with the containment
+// conditions made syntactically valid).
+//
+// Paper claim: factoring the Magic program replaces the binary p_bf by the
+// unary bp/fp pair; the evaluation then never materializes (goal, answer)
+// pairs.
+
+#include "bench/bench_util.h"
+#include "workload/graph_gen.h"
+
+namespace {
+
+using namespace factlog;
+
+const char kSelectionPushing[] = R"(
+  p(X, Y) :- l(X), p(X, U), c1(U, V), p(V, Y), r1(Y).
+  p(X, Y) :- l(X), p(X, U), c2(U, V), p(V, Y), r2(Y).
+  p(X, Y) :- l(X), f(X, V), p(V, Y), r3(Y).
+  p(X, Y) :- e(X, Y), r1(Y), r2(Y), r3(Y).
+  ?- p(1, Y).
+)";
+
+// A layered workload: base chain e, unit filters satisfied everywhere,
+// c1/c2 advancing by one, f by two.
+void MakeWorkload(int64_t n, eval::Database* db) {
+  workload::MakeChain(n, "e", db);
+  for (int64_t i = 1; i <= n; ++i) {
+    db->AddUnit("l", i);
+    db->AddUnit("r1", i);
+    db->AddUnit("r2", i);
+    db->AddUnit("r3", i);
+    if (i + 1 <= n) {
+      db->AddPair("c1", i, i + 1);
+      db->AddPair("c2", i + 1, i);
+    }
+    if (i + 2 <= n) db->AddPair("f", i, i + 2);
+  }
+}
+
+void BM_SelectionPushing(benchmark::State& state, bool factored) {
+  int64_t n = state.range(0);
+  ast::Program program = bench::ParseOrDie(kSelectionPushing);
+  core::PipelineResult pipe = bench::Pipeline(program);
+  if (!pipe.factoring_applied) {
+    state.SkipWithError("expected the program to factor");
+    return;
+  }
+  const ast::Program* prog = factored ? &*pipe.optimized : &pipe.magic.program;
+  const ast::Atom* query = factored ? &pipe.final_query() : &pipe.magic.query;
+  for (auto _ : state) {
+    state.PauseTiming();
+    eval::Database db;
+    MakeWorkload(n, &db);
+    state.ResumeTiming();
+    bench::RunAndCount(*prog, *query, &db, state);
+  }
+  state.SetComplexityN(n);
+}
+
+BENCHMARK_CAPTURE(BM_SelectionPushing, magic, false)
+    ->Arg(16)->Arg(32)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+BENCHMARK_CAPTURE(BM_SelectionPushing, factored, true)
+    ->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

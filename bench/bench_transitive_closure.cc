@@ -1,0 +1,105 @@
+// E1 (Examples 1.1 / 4.2 / 5.3): single-source transitive closure with all
+// three recursive rule forms.
+//
+// Paper claim: the Magic program materializes the binary t_bf relation —
+// Theta(n^2) facts on a chain — while Magic + factoring + §5 yields a unary
+// program with Theta(n) facts; "an order of magnitude increase in
+// efficiency" from the arity reduction.
+//
+// Series: evaluation strategy x program stage x chain length. The `facts`
+// counter is the paper's cost measure.
+
+#include "bench/bench_util.h"
+#include "workload/graph_gen.h"
+
+namespace {
+
+using namespace factlog;
+
+const char kThreeFormTc[] = R"(
+  t(X, Y) :- t(X, W), t(W, Y).
+  t(X, Y) :- e(X, W), t(W, Y).
+  t(X, Y) :- t(X, W), e(W, Y).
+  t(X, Y) :- e(X, Y).
+  ?- t(1, Y).
+)";
+
+enum class Stage { kOriginalNaive, kOriginalSemiNaive, kMagic, kFactored };
+
+void BM_TransitiveClosure(benchmark::State& state, Stage stage) {
+  int64_t n = state.range(0);
+  ast::Program program = bench::ParseOrDie(kThreeFormTc);
+  core::PipelineResult pipe = bench::Pipeline(program);
+
+  const ast::Program* prog = &program;
+  const ast::Atom* query = &*program.query();
+  eval::EvalOptions opts;
+  switch (stage) {
+    case Stage::kOriginalNaive:
+      opts.strategy = eval::Strategy::kNaive;
+      break;
+    case Stage::kOriginalSemiNaive:
+      break;
+    case Stage::kMagic:
+      prog = &pipe.magic.program;
+      query = &pipe.magic.query;
+      break;
+    case Stage::kFactored:
+      prog = &*pipe.optimized;
+      query = &pipe.final_query();
+      break;
+  }
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    eval::Database db;
+    workload::MakeChain(n, "e", &db);
+    state.ResumeTiming();
+    bench::RunAndCount(*prog, *query, &db, state, opts);
+  }
+  state.SetComplexityN(n);
+}
+
+BENCHMARK_CAPTURE(BM_TransitiveClosure, original_naive, Stage::kOriginalNaive)
+    ->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+BENCHMARK_CAPTURE(BM_TransitiveClosure, original_seminaive,
+                  Stage::kOriginalSemiNaive)
+    ->Arg(16)->Arg(32)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+BENCHMARK_CAPTURE(BM_TransitiveClosure, magic, Stage::kMagic)
+    ->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+BENCHMARK_CAPTURE(BM_TransitiveClosure, factored, Stage::kFactored)
+    ->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+
+// Random graphs: the crossover behaviour is the same; factoring never loses.
+void BM_TcRandomGraph(benchmark::State& state, Stage stage) {
+  int64_t n = state.range(0);
+  ast::Program program = bench::ParseOrDie(kThreeFormTc);
+  core::PipelineResult pipe = bench::Pipeline(program);
+  const ast::Program* prog =
+      stage == Stage::kMagic ? &pipe.magic.program : &*pipe.optimized;
+  const ast::Atom* query =
+      stage == Stage::kMagic ? &pipe.magic.query : &pipe.final_query();
+  for (auto _ : state) {
+    state.PauseTiming();
+    eval::Database db;
+    // A chain backbone guarantees the query cone is nonempty; random edges
+    // add shortcuts and joins.
+    workload::MakeChain(n, "e", &db);
+    workload::MakeRandomGraph(n, n, /*seed=*/99, "e", &db);
+    state.ResumeTiming();
+    bench::RunAndCount(*prog, *query, &db, state);
+  }
+}
+
+BENCHMARK_CAPTURE(BM_TcRandomGraph, magic, Stage::kMagic)
+    ->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_TcRandomGraph, factored, Stage::kFactored)
+    ->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

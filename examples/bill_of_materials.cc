@@ -1,0 +1,87 @@
+// Bill-of-materials explosion: a classic deductive-database workload (the
+// kind §1 of the paper motivates). Which base parts does an assembly
+// transitively require?
+//
+//   contains(Asm, Part)   - direct containment (EDB)
+//   requires(Asm, Part)   - transitive containment (IDB, right-linear)
+//   ?- requires(root, P).
+//
+//   $ ./bill_of_materials [depth] [branching]
+//
+// The single-assembly selection makes the recursion factorable: the
+// optimizer reduces `requires` to a unary reachable-parts predicate, so the
+// evaluation touches only the sub-assembly of interest.
+
+#include <chrono>
+#include <algorithm>
+#include <iostream>
+
+#include "ast/parser.h"
+#include "core/pipeline.h"
+#include "eval/seminaive.h"
+#include "workload/graph_gen.h"
+
+int main(int argc, char** argv) {
+  using namespace factlog;
+  using Clock = std::chrono::steady_clock;
+
+  int depth = argc > 1 ? std::atoi(argv[1]) : 7;
+  int branching = argc > 2 ? std::atoi(argv[2]) : 3;
+
+  auto program = ast::ParseProgram(R"(
+    requires(A, P) :- contains(A, P).
+    requires(A, P) :- contains(A, S), requires(S, P).
+    ?- requires(1, P).
+  )");
+  if (!program.ok()) {
+    std::cerr << program.status().ToString() << "\n";
+    return 1;
+  }
+
+  auto result = core::OptimizeQuery(*program, *program->query());
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "optimizer: "
+            << core::FactorClassToString(result->factorability.cls) << "\n";
+  std::cout << "final program:\n" << result->final_program().ToString() << "\n";
+
+  // A parts catalog: a `branching`-ary assembly tree rooted at part 1, plus
+  // a second, unrelated product line (root 1000000) that a naive evaluation
+  // would also explore.
+  eval::Database db;
+  int64_t tree_nodes = workload::MakeTree(branching, depth, "contains", &db);
+  // The unrelated product line is capped: whole-program evaluation computes
+  // its full transitive closure (quadratic), which is exactly the waste the
+  // factored program avoids — but the demo should finish promptly.
+  int64_t other_line = std::min<int64_t>(tree_nodes, 1500);
+  for (int64_t i = 0; i < other_line; ++i) {
+    db.AddPair("contains", 1'000'000 + i, 1'000'000 + i + 1);
+  }
+  std::cout << "catalog: " << db.Find("contains")->size()
+            << " containment facts, " << tree_nodes
+            << " parts in the queried product\n";
+
+  for (auto [name, prog, query] :
+       {std::tuple<const char*, const ast::Program*, const ast::Atom*>{
+            "original (semi-naive)", &*program, &*program->query()},
+        {"factored", &result->final_program(), &result->final_query()}}) {
+    eval::EvalStats stats;
+    auto start = Clock::now();
+    auto answers =
+        eval::EvaluateQuery(*prog, *query, &db, eval::EvalOptions(), &stats);
+    auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  Clock::now() - start).count();
+    if (!answers.ok()) {
+      std::cerr << answers.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << name << ": " << answers->rows.size() << " required parts, "
+              << stats.total_facts << " facts derived, " << ms << " ms\n";
+  }
+  std::cout << "\nThe original program computes requires/2 for every part in "
+               "the catalog;\nthe factored program derives one unary "
+               "reachable-set for assembly 1 only.\n";
+  return 0;
+}

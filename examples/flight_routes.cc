@@ -1,0 +1,96 @@
+// Flight-route reachability: which cities can be reached from a hub, with a
+// same-alliance constraint on every leg — a combined-linear recursion in
+// the wild.
+//
+//   reach(C, D) :- leg(C, D), alliance_ok(D).
+//   reach(C, D) :- reach(C, M), leg(M, D), alliance_ok(D).
+//   ?- reach(hub, D).
+//
+//   $ ./flight_routes [n_cities] [n_legs]
+//
+// This example shows the optimizer trace on a program whose exit rule
+// carries the `alliance_ok` filter, making the left-linear recursion
+// selection-pushing, and demonstrates the non-factorable fallback on a
+// "same fare class" variant (a same-generation-style recursion).
+
+#include <chrono>
+#include <iostream>
+#include <random>
+
+#include "ast/parser.h"
+#include "core/pipeline.h"
+#include "eval/seminaive.h"
+
+int main(int argc, char** argv) {
+  using namespace factlog;
+  using Clock = std::chrono::steady_clock;
+
+  int64_t n_cities = argc > 1 ? std::atoll(argv[1]) : 2000;
+  int64_t n_legs = argc > 2 ? std::atoll(argv[2]) : 6000;
+
+  auto program = ast::ParseProgram(R"(
+    reach(C, D) :- leg(C, D), alliance_ok(D).
+    reach(C, D) :- reach(C, M), leg(M, D), alliance_ok(D).
+    ?- reach(1, D).
+  )");
+  if (!program.ok()) {
+    std::cerr << program.status().ToString() << "\n";
+    return 1;
+  }
+  auto result = core::OptimizeQuery(*program, *program->query());
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "--- optimizer trace ---\n";
+  for (const std::string& line : result->trace) std::cout << "  " << line << "\n";
+  std::cout << "\n--- final program ---\n"
+            << result->final_program().ToString() << "\n";
+
+  // Random route network; ~3/4 of cities are alliance members.
+  eval::Database db;
+  std::mt19937_64 rng(2026);
+  std::uniform_int_distribution<int64_t> city(1, n_cities);
+  for (int64_t i = 0; i < n_legs; ++i) db.AddPair("leg", city(rng), city(rng));
+  for (int64_t c = 1; c <= n_cities; ++c) {
+    if (c % 4 != 0) db.AddUnit("alliance_ok", c);
+  }
+
+  for (auto [name, prog, query] :
+       {std::tuple<const char*, const ast::Program*, const ast::Atom*>{
+            "original program ", &*program, &*program->query()},
+        {"magic program    ", &result->magic.program, &result->magic.query},
+        {"factored program ", &result->final_program(),
+         &result->final_query()}}) {
+    eval::EvalStats stats;
+    auto start = Clock::now();
+    auto answers =
+        eval::EvaluateQuery(*prog, *query, &db, eval::EvalOptions(), &stats);
+    auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  Clock::now() - start).count();
+    if (!answers.ok()) {
+      std::cerr << answers.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << name << ": " << answers->rows.size()
+              << " reachable cities, " << stats.total_facts
+              << " facts derived, " << ms << " ms\n";
+  }
+
+  // A variant the optimizer must refuse: "same number of connections from
+  // two hubs" is same-generation-shaped, not factorable.
+  auto sg = ast::ParseProgram(R"(
+    parallel(A, B) :- codeshare(A, B).
+    parallel(A, B) :- leg(U, A), parallel(U, V), leg(V, B).
+    ?- parallel(1, B).
+  )");
+  auto sg_result = core::OptimizeQuery(*sg, *sg->query());
+  if (sg_result.ok()) {
+    std::cout << "\nsame-fare-class variant: factoring "
+              << (sg_result->factoring_applied ? "applied" : "refused")
+              << " (" << sg_result->classification.diagnostic << ")\n"
+              << "the pipeline falls back to the Magic program ("
+              << sg_result->final_program().rules().size() << " rules).\n";
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Quickstart: parse a recursive Datalog program, optimize the query with
+// Magic Sets + factoring, and evaluate it.
+//
+//   $ ./quickstart
+//
+// This walks the pipeline of the paper on single-source transitive closure
+// and prints every stage.
+
+#include <iostream>
+
+#include "ast/parser.h"
+#include "core/pipeline.h"
+#include "eval/seminaive.h"
+#include "workload/graph_gen.h"
+
+int main() {
+  using namespace factlog;
+
+  // 1. A program in the factlog Datalog dialect. Uppercase identifiers are
+  //    variables; `?-` introduces the query.
+  const std::string text = R"(
+    % Transitive closure, right-linear form.
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- e(X, W), t(W, Y).
+    ?- t(1, Y).
+  )";
+  auto program = ast::ParseProgram(text);
+  if (!program.ok()) {
+    std::cerr << "parse error: " << program.status().ToString() << "\n";
+    return 1;
+  }
+
+  // 2. Optimize: adorn, apply Magic Sets, test factorability (§4 of the
+  //    paper), factor, and clean up with the §5 optimizations.
+  auto result = core::OptimizeQuery(*program, *program->query());
+  if (!result.ok()) {
+    std::cerr << "pipeline error: " << result.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "--- optimizer decisions ---\n";
+  for (const std::string& line : result->trace) std::cout << "  " << line << "\n";
+
+  std::cout << "\n--- Magic program (P^mg) ---\n"
+            << result->magic.program.ToString();
+  if (result->optimized.has_value()) {
+    std::cout << "\n--- factored + optimized program ---\n"
+              << result->optimized->ToString();
+  }
+
+  // 3. Evaluate against an EDB. The workload generators build graphs; facts
+  //    can also be added one by one with Database::AddFact.
+  eval::Database db;
+  workload::MakeChain(10, "e", &db);
+  db.AddPair("e", 3, 7);  // a shortcut edge
+
+  eval::EvalStats stats;
+  auto answers = eval::EvaluateQuery(result->final_program(),
+                                     result->final_query(), &db,
+                                     eval::EvalOptions(), &stats);
+  if (!answers.ok()) {
+    std::cerr << "evaluation error: " << answers.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "\n--- answers to t(1, Y) ---\n"
+            << answers->ToString(db.store());
+  std::cout << "facts derived: " << stats.total_facts
+            << ", rule instantiations: " << stats.instantiations << "\n";
+  return 0;
+}

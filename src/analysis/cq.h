@@ -1,0 +1,66 @@
+// Conjunctive queries and containment (Chandra–Merlin homomorphisms).
+//
+// The factorability conditions of §4.2 ("free-exit must be contained in
+// free", "all left conjunctions must be equivalent", ...) are containment
+// and equivalence tests between conjunctions of EDB atoms. Containment of
+// conjunctive queries is NP-complete in the query size [Chandra & Merlin
+// 1977], which the paper notes is acceptable because queries are small; the
+// backtracking homomorphism search below is exactly that test.
+//
+// `equal` atoms are chased into substitutions before testing; structural
+// predicates ($cons, ...) are treated as uninterpreted EDB relations, which
+// keeps the test sound for the paper's sufficient conditions.
+
+#ifndef FACTLOG_ANALYSIS_CQ_H_
+#define FACTLOG_ANALYSIS_CQ_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/program.h"
+#include "common/status.h"
+
+namespace factlog::analysis {
+
+/// A conjunctive query: distinguished head terms over a body of positive
+/// atoms. An empty body denotes the always-true conjunction (e.g. an empty
+/// "right" conjunction in Definition 4.5 accepts every tuple).
+class ConjunctiveQuery {
+ public:
+  ConjunctiveQuery() = default;
+  ConjunctiveQuery(std::vector<ast::Term> head, std::vector<ast::Atom> body)
+      : head_(std::move(head)), body_(std::move(body)) {}
+
+  /// Builds a CQ whose head is a vector of variables by name.
+  static ConjunctiveQuery WithHeadVars(const std::vector<std::string>& vars,
+                                       std::vector<ast::Atom> body);
+
+  const std::vector<ast::Term>& head() const { return head_; }
+  const std::vector<ast::Atom>& body() const { return body_; }
+  bool unsatisfiable() const { return unsat_; }
+
+  /// Chases `equal` atoms: unions variables, substitutes representatives,
+  /// drops the equal atoms. Marks the query unsatisfiable when two distinct
+  /// constants are equated. Idempotent.
+  Status Normalize();
+
+  /// True when, over every database, the answers of *this* are a subset of
+  /// the answers of `other` (this ⊆ other). Both queries should be
+  /// normalized; Normalize() is applied to copies internally.
+  bool ContainedIn(const ConjunctiveQuery& other) const;
+
+  bool EquivalentTo(const ConjunctiveQuery& other) const {
+    return ContainedIn(other) && other.ContainedIn(*this);
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ast::Term> head_;
+  std::vector<ast::Atom> body_;
+  bool unsat_ = false;
+};
+
+}  // namespace factlog::analysis
+
+#endif  // FACTLOG_ANALYSIS_CQ_H_

@@ -1,0 +1,53 @@
+#include "analysis/dependency_graph.h"
+
+#include <vector>
+
+namespace factlog::analysis {
+
+DependencyGraph DependencyGraph::Build(const ast::Program& program) {
+  DependencyGraph g;
+  for (const ast::Rule& r : program.rules()) {
+    auto& out = g.edges_[r.head().predicate()];
+    for (const ast::Atom& b : r.body()) out.insert(b.predicate());
+  }
+  return g;
+}
+
+std::set<std::string> DependencyGraph::ReachableFrom(
+    const std::string& pred) const {
+  std::set<std::string> seen;
+  std::vector<std::string> stack;
+  auto push_targets = [&](const std::string& p) {
+    auto it = edges_.find(p);
+    if (it == edges_.end()) return;
+    for (const std::string& q : it->second) {
+      if (seen.insert(q).second) stack.push_back(q);
+    }
+  };
+  push_targets(pred);
+  while (!stack.empty()) {
+    std::string p = stack.back();
+    stack.pop_back();
+    push_targets(p);
+  }
+  return seen;
+}
+
+bool DependencyGraph::IsRecursive(const std::string& pred) const {
+  return ReachableFrom(pred).count(pred) > 0;
+}
+
+bool DependencyGraph::IsDirectlyRecursiveOnly(const std::string& pred) const {
+  if (!IsRecursive(pred)) return false;
+  // Every cycle through pred must be the self-loop: no other predicate on a
+  // path pred -> q -> ... -> pred.
+  for (const auto& [p, targets] : edges_) {
+    if (p == pred) continue;
+    if (targets.count(pred) > 0 && ReachableFrom(pred).count(p) > 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace factlog::analysis

@@ -1,0 +1,41 @@
+// Predicate dependency graph: reachability and recursion structure.
+
+#ifndef FACTLOG_ANALYSIS_DEPENDENCY_GRAPH_H_
+#define FACTLOG_ANALYSIS_DEPENDENCY_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "ast/program.h"
+
+namespace factlog::analysis {
+
+/// Directed graph with an edge p -> q whenever q occurs in the body of a
+/// rule whose head is p.
+class DependencyGraph {
+ public:
+  static DependencyGraph Build(const ast::Program& program);
+
+  /// Predicates reachable from `pred` following body references (excluding
+  /// `pred` itself unless it is reachable through a cycle).
+  std::set<std::string> ReachableFrom(const std::string& pred) const;
+
+  /// True when `pred` can (transitively) invoke itself.
+  bool IsRecursive(const std::string& pred) const;
+
+  /// True when some rule for `pred` has >= 1 body occurrence of `pred` and
+  /// all recursion through `pred` is direct (no mutual recursion).
+  bool IsDirectlyRecursiveOnly(const std::string& pred) const;
+
+  const std::map<std::string, std::set<std::string>>& edges() const {
+    return edges_;
+  }
+
+ private:
+  std::map<std::string, std::set<std::string>> edges_;
+};
+
+}  // namespace factlog::analysis
+
+#endif  // FACTLOG_ANALYSIS_DEPENDENCY_GRAPH_H_

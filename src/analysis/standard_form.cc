@@ -1,0 +1,123 @@
+#include "analysis/standard_form.h"
+
+#include "ast/special_predicates.h"
+
+namespace factlog::analysis {
+
+namespace {
+
+using ast::Atom;
+using ast::Rule;
+using ast::Term;
+
+// Emits constraints forcing `var = term`, flattening compounds through
+// structural predicates. `constraints` receives the new atoms.
+void EmitConstraint(const std::string& var, const Term& term,
+                    ast::FreshVarGen* gen, std::vector<Atom>* constraints) {
+  switch (term.kind()) {
+    case Term::Kind::kVariable:
+    case Term::Kind::kInt:
+    case Term::Kind::kSymbol:
+      constraints->push_back(
+          Atom(ast::kEqualPredicate, {Term::Var(var), term}));
+      return;
+    case Term::Kind::kCompound: {
+      // $f(C1, ..., Ck, var) with recursive flattening of non-variable
+      // children.
+      std::vector<Term> args;
+      args.reserve(term.args().size() + 1);
+      for (const Term& child : term.args()) {
+        if (child.IsVariable()) {
+          args.push_back(child);
+        } else {
+          std::string fresh = gen->Fresh();
+          args.push_back(Term::Var(fresh));
+          EmitConstraint(fresh, child, gen, constraints);
+        }
+      }
+      args.push_back(Term::Var(var));
+      constraints->push_back(
+          Atom(std::string(1, ast::kStructuralPrefix) + term.symbol(),
+               std::move(args)));
+      return;
+    }
+  }
+}
+
+// Rewrites one p-literal so all args are distinct variables.
+Atom StandardizeLiteral(const Atom& lit, ast::FreshVarGen* gen,
+                        std::vector<Atom>* constraints) {
+  std::vector<Term> new_args;
+  new_args.reserve(lit.arity());
+  std::set<std::string> seen;
+  for (const Term& arg : lit.args()) {
+    if (arg.IsVariable() && seen.insert(arg.var_name()).second) {
+      new_args.push_back(arg);
+      continue;
+    }
+    std::string fresh = gen->Fresh();
+    seen.insert(fresh);
+    new_args.push_back(Term::Var(fresh));
+    EmitConstraint(fresh, arg, gen, constraints);
+  }
+  return Atom(lit.predicate(), std::move(new_args));
+}
+
+}  // namespace
+
+bool IsInStandardForm(const ast::Rule& rule,
+                      const std::set<std::string>& preds) {
+  auto check = [&preds](const Atom& a) {
+    if (preds.count(a.predicate()) == 0) return true;
+    std::set<std::string> seen;
+    for (const Term& t : a.args()) {
+      if (!t.IsVariable()) return false;
+      if (!seen.insert(t.var_name()).second) return false;
+    }
+    return true;
+  };
+  if (!check(rule.head())) return false;
+  for (const Atom& b : rule.body()) {
+    if (!check(b)) return false;
+  }
+  return true;
+}
+
+Result<ast::Rule> ToStandardForm(const ast::Rule& rule,
+                                 const std::set<std::string>& preds,
+                                 ast::FreshVarGen* gen) {
+  std::vector<Atom> constraints;
+  Atom head = rule.head();
+  if (preds.count(head.predicate()) > 0) {
+    head = StandardizeLiteral(head, gen, &constraints);
+  }
+  std::vector<Atom> body;
+  for (const Atom& lit : rule.body()) {
+    if (preds.count(lit.predicate()) > 0) {
+      body.push_back(StandardizeLiteral(lit, gen, &constraints));
+    } else {
+      body.push_back(lit);
+    }
+  }
+  body.insert(body.end(), constraints.begin(), constraints.end());
+  return Rule(std::move(head), std::move(body));
+}
+
+Result<ast::Program> ToStandardForm(const ast::Program& program,
+                                    const std::set<std::string>& preds) {
+  ast::Program out;
+  for (const ast::Rule& rule : program.rules()) {
+    ast::FreshVarGen gen("_S");
+    gen.ReserveFrom(rule);
+    FACTLOG_ASSIGN_OR_RETURN(ast::Rule converted,
+                             ToStandardForm(rule, preds, &gen));
+    out.AddRule(std::move(converted));
+  }
+  if (program.query().has_value()) out.set_query(*program.query());
+  for (const auto& [name, arity] : program.edb_decls()) {
+    out.DeclareEdb(name, arity);
+  }
+  return out;
+}
+
+}  // namespace factlog::analysis

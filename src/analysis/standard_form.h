@@ -1,0 +1,43 @@
+// Standard-form conversion (§4.1 of the paper).
+//
+// A rule is in standard form with respect to predicate p when every argument
+// of every p-literal is a variable and no variable appears twice in the same
+// p-literal. Constants become `equal(V, c)` constraints, repeated variables
+// become `equal(V, X)`, and compound arguments are flattened through
+// structural predicates `$f(A1, ..., Ak, R)` (the paper's `list`), which are
+// conceptually infinite EDB relations.
+//
+// As the paper emphasizes, this translation is purely syntactic and happens
+// only at analysis time; the program that is evaluated keeps its original
+// form.
+
+#ifndef FACTLOG_ANALYSIS_STANDARD_FORM_H_
+#define FACTLOG_ANALYSIS_STANDARD_FORM_H_
+
+#include <set>
+#include <string>
+
+#include "ast/program.h"
+#include "ast/substitution.h"
+#include "common/status.h"
+
+namespace factlog::analysis {
+
+/// Converts one rule to standard form with respect to the predicates in
+/// `preds`. Constraint atoms are appended to the body.
+Result<ast::Rule> ToStandardForm(const ast::Rule& rule,
+                                 const std::set<std::string>& preds,
+                                 ast::FreshVarGen* gen);
+
+/// Converts every rule of `program` to standard form with respect to the
+/// predicates in `preds`. The query is left untouched.
+Result<ast::Program> ToStandardForm(const ast::Program& program,
+                                    const std::set<std::string>& preds);
+
+/// True when `rule` already satisfies the standard-form conditions for all
+/// predicates in `preds`.
+bool IsInStandardForm(const ast::Rule& rule, const std::set<std::string>& preds);
+
+}  // namespace factlog::analysis
+
+#endif  // FACTLOG_ANALYSIS_STANDARD_FORM_H_

@@ -1,0 +1,51 @@
+#include "ast/atom.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace factlog::ast {
+
+bool Atom::IsGround() const {
+  return std::all_of(args_.begin(), args_.end(),
+                     [](const Term& t) { return t.IsGround(); });
+}
+
+void Atom::CollectVars(std::vector<std::string>* out) const {
+  for (const Term& t : args_) t.CollectVars(out);
+}
+
+std::vector<std::string> Atom::DistinctVars() const {
+  std::vector<std::string> all;
+  CollectVars(&all);
+  std::vector<std::string> out;
+  for (auto& v : all) {
+    if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+  }
+  return out;
+}
+
+bool Atom::ContainsVar(const std::string& name) const {
+  return std::any_of(args_.begin(), args_.end(),
+                     [&](const Term& t) { return t.ContainsVar(name); });
+}
+
+size_t Atom::Hash() const {
+  size_t h = std::hash<std::string>()(predicate_);
+  for (const Term& t : args_) {
+    h ^= t.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+std::string Atom::ToString() const {
+  if (args_.empty()) return predicate_;
+  std::string out = predicate_ + "(";
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace factlog::ast

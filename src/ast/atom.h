@@ -1,0 +1,60 @@
+// Atoms (predicate applications) of the logic-program AST.
+
+#ifndef FACTLOG_AST_ATOM_H_
+#define FACTLOG_AST_ATOM_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/term.h"
+
+namespace factlog::ast {
+
+/// An atom `p(t1, ..., tk)`. The paper's programs are pure positive Horn
+/// clauses, so an atom doubles as a (positive) body literal.
+class Atom {
+ public:
+  Atom() = default;
+  Atom(std::string predicate, std::vector<Term> args)
+      : predicate_(std::move(predicate)), args_(std::move(args)) {}
+
+  const std::string& predicate() const { return predicate_; }
+  const std::vector<Term>& args() const { return args_; }
+  std::vector<Term>* mutable_args() { return &args_; }
+  size_t arity() const { return args_.size(); }
+
+  void set_predicate(std::string p) { predicate_ = std::move(p); }
+
+  bool IsGround() const;
+  /// Appends variable names in occurrence order (with duplicates).
+  void CollectVars(std::vector<std::string>* out) const;
+  /// Distinct variable names in first-occurrence order.
+  std::vector<std::string> DistinctVars() const;
+  bool ContainsVar(const std::string& name) const;
+
+  bool operator==(const Atom& other) const {
+    return predicate_ == other.predicate_ && args_ == other.args_;
+  }
+  bool operator!=(const Atom& other) const { return !(*this == other); }
+  bool operator<(const Atom& other) const {
+    if (predicate_ != other.predicate_) return predicate_ < other.predicate_;
+    return args_ < other.args_;
+  }
+
+  size_t Hash() const;
+
+  /// `p(t1, ..., tk)`; a zero-ary atom prints as `p`.
+  std::string ToString() const;
+
+ private:
+  std::string predicate_;
+  std::vector<Term> args_;
+};
+
+struct AtomHash {
+  size_t operator()(const Atom& a) const { return a.Hash(); }
+};
+
+}  // namespace factlog::ast
+
+#endif  // FACTLOG_AST_ATOM_H_

@@ -1,0 +1,434 @@
+#include "ast/parser.h"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+namespace factlog::ast {
+
+namespace {
+
+enum class TokKind {
+  kIdent,     // lowercase identifier
+  kVar,       // uppercase/_ identifier
+  kInt,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kPipe,
+  kPeriod,
+  kImplies,   // :-
+  kQuery,     // ?-
+  kSlash,
+  kDirective, // .name
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int64_t int_value = 0;
+  int line = 1;
+  int col = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      FACTLOG_RETURN_IF_ERROR(SkipWhitespaceAndComments());
+      if (pos_ >= text_.size()) {
+        out.push_back(Make(TokKind::kEnd, ""));
+        return out;
+      }
+      FACTLOG_ASSIGN_OR_RETURN(Token tok, Next());
+      out.push_back(std::move(tok));
+    }
+  }
+
+ private:
+  Token Make(TokKind kind, std::string text) const {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line_;
+    t.col = col_;
+    return t;
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::Invalid("parse error at line " + std::to_string(line_) +
+                           ", col " + std::to_string(col_) + ": " + msg);
+  }
+
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+
+  void Advance() {
+    if (pos_ < text_.size()) {
+      if (text_[pos_] == '\n') {
+        ++line_;
+        col_ = 1;
+      } else {
+        ++col_;
+      }
+      ++pos_;
+    }
+  }
+
+  Status SkipWhitespaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '%' || (c == '/' && Peek(1) == '/')) {
+        while (pos_ < text_.size() && Peek() != '\n') Advance();
+      } else if (c == '/' && Peek(1) == '*') {
+        Advance();
+        Advance();
+        while (pos_ < text_.size() && !(Peek() == '*' && Peek(1) == '/')) {
+          Advance();
+        }
+        if (pos_ >= text_.size()) return Error("unterminated block comment");
+        Advance();
+        Advance();
+      } else {
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  Result<Token> Next() {
+    char c = Peek();
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+      return LexInt();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$') {
+      return LexIdent();
+    }
+    switch (c) {
+      case '(':
+        Advance();
+        return Make(TokKind::kLParen, "(");
+      case ')':
+        Advance();
+        return Make(TokKind::kRParen, ")");
+      case '[':
+        Advance();
+        return Make(TokKind::kLBracket, "[");
+      case ']':
+        Advance();
+        return Make(TokKind::kRBracket, "]");
+      case ',':
+        Advance();
+        return Make(TokKind::kComma, ",");
+      case '|':
+        Advance();
+        return Make(TokKind::kPipe, "|");
+      case '/':
+        Advance();
+        return Make(TokKind::kSlash, "/");
+      case ':':
+        if (Peek(1) == '-') {
+          Advance();
+          Advance();
+          return Make(TokKind::kImplies, ":-");
+        }
+        return Error("expected ':-'");
+      case '?':
+        if (Peek(1) == '-') {
+          Advance();
+          Advance();
+          return Make(TokKind::kQuery, "?-");
+        }
+        return Error("expected '?-'");
+      case '.': {
+        if (std::isalpha(static_cast<unsigned char>(Peek(1)))) {
+          Advance();  // '.'
+          std::string name;
+          while (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                 Peek() == '_') {
+            name += Peek();
+            Advance();
+          }
+          return Make(TokKind::kDirective, name);
+        }
+        Advance();
+        return Make(TokKind::kPeriod, ".");
+      }
+      default:
+        return Error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Result<Token> LexInt() {
+    std::string text;
+    if (Peek() == '-') {
+      text += '-';
+      Advance();
+    }
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+      text += Peek();
+      Advance();
+    }
+    Token t = Make(TokKind::kInt, text);
+    t.int_value = std::stoll(text);
+    return t;
+  }
+
+  Result<Token> LexIdent() {
+    std::string text;
+    while (std::isalnum(static_cast<unsigned char>(Peek())) || Peek() == '_' ||
+           Peek() == '$' || Peek() == '\'') {
+      text += Peek();
+      Advance();
+    }
+    char first = text[0];
+    bool is_var = std::isupper(static_cast<unsigned char>(first)) || first == '_';
+    return Make(is_var ? TokKind::kVar : TokKind::kIdent, text);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> ParseProgramAll() {
+    Program program;
+    while (!AtEnd()) {
+      if (Check(TokKind::kDirective)) {
+        FACTLOG_RETURN_IF_ERROR(ParseDirective(&program));
+      } else if (Check(TokKind::kQuery)) {
+        Advance();
+        FACTLOG_ASSIGN_OR_RETURN(Atom q, ParseAtomInner());
+        FACTLOG_RETURN_IF_ERROR(Expect(TokKind::kPeriod, "'.'"));
+        program.set_query(std::move(q));
+      } else {
+        FACTLOG_ASSIGN_OR_RETURN(Rule r, ParseRuleInner());
+        program.AddRule(std::move(r));
+      }
+    }
+    return program;
+  }
+
+  Result<Rule> ParseSingleRule() {
+    FACTLOG_ASSIGN_OR_RETURN(Rule r, ParseRuleInner());
+    if (!AtEnd()) return ErrorHere("trailing input after rule");
+    return r;
+  }
+
+  Result<Atom> ParseSingleAtom() {
+    FACTLOG_ASSIGN_OR_RETURN(Atom a, ParseAtomInner());
+    if (!AtEnd()) return ErrorHere("trailing input after atom");
+    return a;
+  }
+
+  Result<Term> ParseSingleTerm() {
+    FACTLOG_ASSIGN_OR_RETURN(Term t, ParseTermInner());
+    if (!AtEnd()) return ErrorHere("trailing input after term");
+    return t;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  bool AtEnd() const { return Cur().kind == TokKind::kEnd; }
+  bool Check(TokKind k) const { return Cur().kind == k; }
+  void Advance() {
+    if (!AtEnd()) ++pos_;
+  }
+
+  Status ErrorHere(const std::string& msg) const {
+    return Status::Invalid("parse error at line " + std::to_string(Cur().line) +
+                           ", col " + std::to_string(Cur().col) + ": " + msg);
+  }
+
+  Status Expect(TokKind k, const std::string& what) {
+    if (!Check(k)) {
+      return ErrorHere("expected " + what + ", got '" + Cur().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ParseDirective(Program* program) {
+    std::string name = Cur().text;
+    Advance();
+    if (name != "edb") return ErrorHere("unknown directive '." + name + "'");
+    if (!Check(TokKind::kIdent)) return ErrorHere("expected predicate name");
+    std::string pred = Cur().text;
+    Advance();
+    FACTLOG_RETURN_IF_ERROR(Expect(TokKind::kSlash, "'/'"));
+    if (!Check(TokKind::kInt)) return ErrorHere("expected arity");
+    int64_t arity = Cur().int_value;
+    Advance();
+    FACTLOG_RETURN_IF_ERROR(Expect(TokKind::kPeriod, "'.'"));
+    if (arity < 0) return ErrorHere("negative arity");
+    program->DeclareEdb(pred, static_cast<size_t>(arity));
+    return Status::OK();
+  }
+
+  Result<Rule> ParseRuleInner() {
+    FACTLOG_ASSIGN_OR_RETURN(Atom head, ParseAtomInner());
+    std::vector<Atom> body;
+    if (Check(TokKind::kImplies)) {
+      Advance();
+      while (true) {
+        FACTLOG_ASSIGN_OR_RETURN(Atom b, ParseAtomInner());
+        body.push_back(std::move(b));
+        if (Check(TokKind::kComma)) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    FACTLOG_RETURN_IF_ERROR(Expect(TokKind::kPeriod, "'.'"));
+    return Rule(std::move(head), std::move(body));
+  }
+
+  Result<Atom> ParseAtomInner() {
+    if (!Check(TokKind::kIdent)) {
+      return ErrorHere("expected predicate name, got '" + Cur().text + "'");
+    }
+    std::string pred = Cur().text;
+    Advance();
+    std::vector<Term> args;
+    if (Check(TokKind::kLParen)) {
+      Advance();
+      while (true) {
+        FACTLOG_ASSIGN_OR_RETURN(Term t, ParseTermInner());
+        args.push_back(std::move(t));
+        if (Check(TokKind::kComma)) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      FACTLOG_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')'"));
+    }
+    return Atom(std::move(pred), std::move(args));
+  }
+
+  Result<Term> ParseTermInner() {
+    if (Check(TokKind::kInt)) {
+      int64_t v = Cur().int_value;
+      Advance();
+      return Term::Int(v);
+    }
+    if (Check(TokKind::kVar)) {
+      std::string name = Cur().text;
+      Advance();
+      if (name == "_") {
+        // Each bare underscore is a distinct anonymous variable.
+        name = "_G" + std::to_string(anon_counter_++);
+      }
+      return Term::Var(std::move(name));
+    }
+    if (Check(TokKind::kIdent)) {
+      std::string name = Cur().text;
+      Advance();
+      if (Check(TokKind::kLParen)) {
+        Advance();
+        std::vector<Term> args;
+        while (true) {
+          FACTLOG_ASSIGN_OR_RETURN(Term t, ParseTermInner());
+          args.push_back(std::move(t));
+          if (Check(TokKind::kComma)) {
+            Advance();
+            continue;
+          }
+          break;
+        }
+        FACTLOG_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')'"));
+        return Term::App(std::move(name), std::move(args));
+      }
+      return Term::Sym(std::move(name));
+    }
+    if (Check(TokKind::kLBracket)) {
+      return ParseListInner();
+    }
+    return ErrorHere("expected term, got '" + Cur().text + "'");
+  }
+
+  Result<Term> ParseListInner() {
+    FACTLOG_RETURN_IF_ERROR(Expect(TokKind::kLBracket, "'['"));
+    if (Check(TokKind::kRBracket)) {
+      Advance();
+      return Term::Nil();
+    }
+    std::vector<Term> elements;
+    while (true) {
+      FACTLOG_ASSIGN_OR_RETURN(Term t, ParseTermInner());
+      elements.push_back(std::move(t));
+      if (Check(TokKind::kComma)) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    Term tail = Term::Nil();
+    if (Check(TokKind::kPipe)) {
+      Advance();
+      FACTLOG_ASSIGN_OR_RETURN(tail, ParseTermInner());
+    }
+    FACTLOG_RETURN_IF_ERROR(Expect(TokKind::kRBracket, "']'"));
+    Term out = std::move(tail);
+    for (auto it = elements.rbegin(); it != elements.rend(); ++it) {
+      out = Term::Cons(std::move(*it), std::move(out));
+    }
+    return out;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  int anon_counter_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(const std::string& text) {
+  Lexer lexer(text);
+  FACTLOG_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  FACTLOG_ASSIGN_OR_RETURN(Program p, parser.ParseProgramAll());
+  // Arities must be consistent; range restriction is checked by the
+  // bottom-up engine only (top-down handles Prolog-style rules).
+  FACTLOG_RETURN_IF_ERROR(p.ValidateArities());
+  return p;
+}
+
+Result<Rule> ParseRule(const std::string& text) {
+  Lexer lexer(text);
+  FACTLOG_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseSingleRule();
+}
+
+Result<Atom> ParseAtom(const std::string& text) {
+  Lexer lexer(text);
+  FACTLOG_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseSingleAtom();
+}
+
+Result<Term> ParseTerm(const std::string& text) {
+  Lexer lexer(text);
+  FACTLOG_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseSingleTerm();
+}
+
+}  // namespace factlog::ast

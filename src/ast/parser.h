@@ -1,0 +1,44 @@
+// Parser for the factlog Datalog dialect.
+//
+// Grammar (comments: `% ...`, `// ...`, `/* ... */`):
+//
+//   program   := (directive | clause)*
+//   directive := ".edb" IDENT "/" INT "."
+//   clause    := query | rule
+//   query     := "?-" atom "."
+//   rule      := atom [":-" atom ("," atom)*] "."
+//   atom      := IDENT ["(" term ("," term)* ")"]
+//   term      := VAR | INT | IDENT ["(" term ("," term)* ")"] | list
+//   list      := "[" "]" | "[" term ("," term)* ["|" term] "]"
+//
+// Identifiers starting with a lowercase letter are predicates / symbols;
+// identifiers starting with an uppercase letter or '_' are variables. A bare
+// "_" is an anonymous variable; each occurrence becomes a distinct fresh
+// variable (named "_G<n>").
+
+#ifndef FACTLOG_AST_PARSER_H_
+#define FACTLOG_AST_PARSER_H_
+
+#include <string>
+
+#include "ast/program.h"
+#include "common/status.h"
+
+namespace factlog::ast {
+
+/// Parses a whole program. Returns kInvalidArgument with a line/column
+/// message on syntax errors.
+Result<Program> ParseProgram(const std::string& text);
+
+/// Parses a single rule or fact, e.g. "t(X, Y) :- e(X, Y).".
+Result<Rule> ParseRule(const std::string& text);
+
+/// Parses a single atom, e.g. "t(5, Y)".
+Result<Atom> ParseAtom(const std::string& text);
+
+/// Parses a single term, e.g. "[a, b | T]".
+Result<Term> ParseTerm(const std::string& text);
+
+}  // namespace factlog::ast
+
+#endif  // FACTLOG_AST_PARSER_H_

@@ -1,0 +1,110 @@
+#include "ast/program.h"
+
+#include "ast/special_predicates.h"
+
+namespace factlog::ast {
+
+std::set<std::string> Program::IdbPredicates() const {
+  std::set<std::string> out;
+  for (const Rule& r : rules_) out.insert(r.head().predicate());
+  return out;
+}
+
+std::map<std::string, size_t> Program::PredicateArities() const {
+  std::map<std::string, size_t> out;
+  auto note = [&out](const Atom& a) {
+    out.emplace(a.predicate(), a.arity());
+  };
+  for (const Rule& r : rules_) {
+    note(r.head());
+    for (const Atom& b : r.body()) note(b);
+  }
+  if (query_.has_value()) note(*query_);
+  for (const auto& [name, arity] : edb_decls_) out.emplace(name, arity);
+  return out;
+}
+
+std::map<std::string, size_t> Program::EdbPredicates() const {
+  std::set<std::string> idb = IdbPredicates();
+  std::map<std::string, size_t> out;
+  for (const auto& [name, arity] : PredicateArities()) {
+    if (idb.count(name) > 0) continue;
+    if (IsBuiltinPredicate(name)) continue;
+    out.emplace(name, arity);
+  }
+  return out;
+}
+
+std::vector<const Rule*> Program::RulesFor(const std::string& name) const {
+  std::vector<const Rule*> out;
+  for (const Rule& r : rules_) {
+    if (r.head().predicate() == name) out.push_back(&r);
+  }
+  return out;
+}
+
+Status Program::ValidateArities() const {
+  std::map<std::string, size_t> arities;
+  auto check = [&arities](const Atom& a) -> Status {
+    auto [it, inserted] = arities.emplace(a.predicate(), a.arity());
+    if (!inserted && it->second != a.arity()) {
+      return Status::Invalid("predicate '" + a.predicate() +
+                             "' used with arities " +
+                             std::to_string(it->second) + " and " +
+                             std::to_string(a.arity()));
+    }
+    return Status::OK();
+  };
+  for (const auto& [name, arity] : edb_decls_) {
+    arities.emplace(name, arity);
+  }
+  for (const Rule& r : rules_) {
+    FACTLOG_RETURN_IF_ERROR(check(r.head()));
+    for (const Atom& b : r.body()) FACTLOG_RETURN_IF_ERROR(check(b));
+  }
+  if (query_.has_value()) FACTLOG_RETURN_IF_ERROR(check(*query_));
+  return Status::OK();
+}
+
+Status Program::Validate() const {
+  FACTLOG_RETURN_IF_ERROR(ValidateArities());
+  for (const Rule& r : rules_) {
+    if (!r.IsRangeRestricted()) {
+      // A head variable appearing in a builtin body literal (e.g. an affine
+      // output) is bound by the engine, so only variables absent from the
+      // entire body are rejected.
+      std::vector<std::string> head_vars;
+      r.head().CollectVars(&head_vars);
+      for (const std::string& v : head_vars) {
+        bool in_body = false;
+        for (const Atom& b : r.body()) {
+          if (b.ContainsVar(v)) {
+            in_body = true;
+            break;
+          }
+        }
+        if (!in_body) {
+          return Status::Invalid("rule not range-restricted: " + r.ToString());
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const auto& [name, arity] : edb_decls_) {
+    out += ".edb " + name + "/" + std::to_string(arity) + ".\n";
+  }
+  for (const Rule& r : rules_) {
+    out += r.ToString();
+    out += "\n";
+  }
+  if (query_.has_value()) {
+    out += "?- " + query_->ToString() + ".\n";
+  }
+  return out;
+}
+
+}  // namespace factlog::ast

@@ -1,0 +1,78 @@
+// Programs (rule collections) of the logic-program AST.
+
+#ifndef FACTLOG_AST_PROGRAM_H_
+#define FACTLOG_AST_PROGRAM_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/rule.h"
+#include "common/status.h"
+
+namespace factlog::ast {
+
+/// A logic program: the IDB rule set, optional EDB arity declarations, and an
+/// optional query literal (`?- p(5, Y).` in the surface syntax).
+///
+/// Following the deductive-database convention the paper adopts (§2), the
+/// program holds only rules; ground EDB facts live in an eval::Database.
+/// Program facts (rules with empty bodies, e.g. the magic seed `m_t_bf(5).`)
+/// are permitted and common in transformed programs.
+class Program {
+ public:
+  Program() = default;
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  std::vector<Rule>* mutable_rules() { return &rules_; }
+  void AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
+
+  /// Declares `name/arity` as an EDB predicate (surface syntax `.edb e/2.`).
+  void DeclareEdb(const std::string& name, size_t arity) {
+    edb_decls_[name] = arity;
+  }
+  const std::map<std::string, size_t>& edb_decls() const { return edb_decls_; }
+
+  const std::optional<Atom>& query() const { return query_; }
+  void set_query(Atom q) { query_ = std::move(q); }
+  void clear_query() { query_.reset(); }
+
+  /// Predicates appearing in some rule head.
+  std::set<std::string> IdbPredicates() const;
+
+  /// All referenced predicates with their arities (first-seen arity).
+  std::map<std::string, size_t> PredicateArities() const;
+
+  /// Predicates referenced in bodies (or declared) but never defined by a
+  /// rule head and not builtin: the extensional database schema.
+  std::map<std::string, size_t> EdbPredicates() const;
+
+  /// Rules whose head predicate is `name`, in program order.
+  std::vector<const Rule*> RulesFor(const std::string& name) const;
+
+  /// Checks that every predicate is used with a single arity.
+  Status ValidateArities() const;
+
+  /// ValidateArities plus range restriction of every rule (required for
+  /// bottom-up evaluation; top-down resolution also handles Prolog-style
+  /// rules with unrestricted head variables, like `pmem(X, [X|T]) :- p(X)`).
+  Status Validate() const;
+
+  bool operator==(const Program& other) const {
+    return rules_ == other.rules_ && query_ == other.query_;
+  }
+
+  /// Parser-compatible listing: declarations, rules, then the query.
+  std::string ToString() const;
+
+ private:
+  std::vector<Rule> rules_;
+  std::map<std::string, size_t> edb_decls_;
+  std::optional<Atom> query_;
+};
+
+}  // namespace factlog::ast
+
+#endif  // FACTLOG_AST_PROGRAM_H_

@@ -1,0 +1,42 @@
+#include "ast/rule.h"
+
+#include <algorithm>
+
+namespace factlog::ast {
+
+std::vector<std::string> Rule::DistinctVars() const {
+  std::vector<std::string> all;
+  head_.CollectVars(&all);
+  for (const Atom& a : body_) a.CollectVars(&all);
+  std::vector<std::string> out;
+  for (auto& v : all) {
+    if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+  }
+  return out;
+}
+
+bool Rule::IsRangeRestricted() const {
+  std::vector<std::string> head_vars;
+  head_.CollectVars(&head_vars);
+  for (const std::string& v : head_vars) {
+    bool found = std::any_of(body_.begin(), body_.end(),
+                             [&](const Atom& a) { return a.ContainsVar(v); });
+    if (!found) return false;
+  }
+  return true;
+}
+
+std::string Rule::ToString() const {
+  std::string out = head_.ToString();
+  if (!body_.empty()) {
+    out += " :- ";
+    for (size_t i = 0; i < body_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += body_[i].ToString();
+    }
+  }
+  out += ".";
+  return out;
+}
+
+}  // namespace factlog::ast

@@ -1,0 +1,55 @@
+// Rules (Horn clauses) of the logic-program AST.
+
+#ifndef FACTLOG_AST_RULE_H_
+#define FACTLOG_AST_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/atom.h"
+
+namespace factlog::ast {
+
+/// A Horn clause `head :- body1, ..., bodyn.`. A fact is a rule with an empty
+/// body and a ground head.
+class Rule {
+ public:
+  Rule() = default;
+  Rule(Atom head, std::vector<Atom> body)
+      : head_(std::move(head)), body_(std::move(body)) {}
+
+  const Atom& head() const { return head_; }
+  Atom* mutable_head() { return &head_; }
+  const std::vector<Atom>& body() const { return body_; }
+  std::vector<Atom>* mutable_body() { return &body_; }
+
+  bool IsFact() const { return body_.empty() && head_.IsGround(); }
+
+  /// Distinct variable names across head and body, in first-occurrence order
+  /// (head first).
+  std::vector<std::string> DistinctVars() const;
+
+  /// True when every head variable also occurs in the body (or the head is
+  /// ground). Positive Datalog safety; builtins are handled by the engine.
+  bool IsRangeRestricted() const;
+
+  bool operator==(const Rule& other) const {
+    return head_ == other.head_ && body_ == other.body_;
+  }
+  bool operator!=(const Rule& other) const { return !(*this == other); }
+  bool operator<(const Rule& other) const {
+    if (!(head_ == other.head_)) return head_ < other.head_;
+    return body_ < other.body_;
+  }
+
+  /// `h :- b1, b2.` or `h.` for facts.
+  std::string ToString() const;
+
+ private:
+  Atom head_;
+  std::vector<Atom> body_;
+};
+
+}  // namespace factlog::ast
+
+#endif  // FACTLOG_AST_RULE_H_

@@ -1,0 +1,133 @@
+#include "ast/substitution.h"
+
+namespace factlog::ast {
+
+void Substitution::Bind(const std::string& var, Term term) {
+  map_.insert_or_assign(var, std::move(term));
+}
+
+bool Substitution::Contains(const std::string& var) const {
+  return map_.count(var) > 0;
+}
+
+const Term* Substitution::Lookup(const std::string& var) const {
+  auto it = map_.find(var);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+Term Substitution::Walk(const Term& t) const {
+  Term cur = t;
+  while (cur.IsVariable()) {
+    const Term* next = Lookup(cur.var_name());
+    if (next == nullptr) return cur;
+    cur = *next;
+  }
+  return cur;
+}
+
+Term Substitution::Apply(const Term& t) const {
+  switch (t.kind()) {
+    case Term::Kind::kVariable: {
+      const Term* bound = Lookup(t.var_name());
+      return bound != nullptr ? *bound : t;
+    }
+    case Term::Kind::kInt:
+    case Term::Kind::kSymbol:
+      return t;
+    case Term::Kind::kCompound: {
+      std::vector<Term> args;
+      args.reserve(t.args().size());
+      for (const Term& a : t.args()) args.push_back(Apply(a));
+      return Term::App(t.symbol(), std::move(args));
+    }
+  }
+  return t;
+}
+
+Atom Substitution::Apply(const Atom& a) const {
+  std::vector<Term> args;
+  args.reserve(a.args().size());
+  for (const Term& t : a.args()) args.push_back(Apply(t));
+  return Atom(a.predicate(), std::move(args));
+}
+
+Rule Substitution::Apply(const Rule& r) const {
+  std::vector<Atom> body;
+  body.reserve(r.body().size());
+  for (const Atom& a : r.body()) body.push_back(Apply(a));
+  return Rule(Apply(r.head()), std::move(body));
+}
+
+std::vector<Atom> Substitution::Apply(const std::vector<Atom>& atoms) const {
+  std::vector<Atom> out;
+  out.reserve(atoms.size());
+  for (const Atom& a : atoms) out.push_back(Apply(a));
+  return out;
+}
+
+Term Substitution::DeepApply(const Term& t) const {
+  switch (t.kind()) {
+    case Term::Kind::kVariable: {
+      const Term* bound = Lookup(t.var_name());
+      if (bound == nullptr) return t;
+      return DeepApply(*bound);
+    }
+    case Term::Kind::kInt:
+    case Term::Kind::kSymbol:
+      return t;
+    case Term::Kind::kCompound: {
+      std::vector<Term> args;
+      args.reserve(t.args().size());
+      for (const Term& a : t.args()) args.push_back(DeepApply(a));
+      return Term::App(t.symbol(), std::move(args));
+    }
+  }
+  return t;
+}
+
+Atom Substitution::DeepApply(const Atom& a) const {
+  std::vector<Term> args;
+  args.reserve(a.args().size());
+  for (const Term& t : a.args()) args.push_back(DeepApply(t));
+  return Atom(a.predicate(), std::move(args));
+}
+
+std::string Substitution::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [var, term] : map_) {
+    if (!first) out += ", ";
+    first = false;
+    out += var + " -> " + term.ToString();
+  }
+  out += "}";
+  return out;
+}
+
+void FreshVarGen::ReserveFrom(const Rule& r) {
+  for (const std::string& v : r.DistinctVars()) reserved_.insert(v);
+}
+
+void FreshVarGen::ReserveFrom(const Program& p) {
+  for (const Rule& r : p.rules()) ReserveFrom(r);
+  if (p.query().has_value()) {
+    for (const std::string& v : p.query()->DistinctVars()) reserved_.insert(v);
+  }
+}
+
+std::string FreshVarGen::Fresh() {
+  while (true) {
+    std::string candidate = prefix_ + std::to_string(counter_++);
+    if (reserved_.insert(candidate).second) return candidate;
+  }
+}
+
+Rule RenameApart(const Rule& rule, FreshVarGen* gen) {
+  Substitution s;
+  for (const std::string& v : rule.DistinctVars()) {
+    s.Bind(v, Term::Var(gen->Fresh()));
+  }
+  return s.Apply(rule);
+}
+
+}  // namespace factlog::ast

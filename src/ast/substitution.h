@@ -1,0 +1,74 @@
+// Variable substitutions over AST terms.
+
+#ifndef FACTLOG_AST_SUBSTITUTION_H_
+#define FACTLOG_AST_SUBSTITUTION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ast/program.h"
+
+namespace factlog::ast {
+
+/// A mapping from variable names to terms, applied simultaneously
+/// (not iterated): `{X -> Y, Y -> 3}` maps `p(X, Y)` to `p(Y, 3)`.
+class Substitution {
+ public:
+  Substitution() = default;
+
+  /// Binds `var` to `term`, overwriting any previous binding.
+  void Bind(const std::string& var, Term term);
+  bool Contains(const std::string& var) const;
+  /// Looks up a binding; returns nullptr when unbound.
+  const Term* Lookup(const std::string& var) const;
+  bool empty() const { return map_.empty(); }
+  size_t size() const { return map_.size(); }
+  const std::map<std::string, Term>& map() const { return map_; }
+
+  /// Follows variable-to-variable bindings until a non-variable term or an
+  /// unbound variable is reached. Used by unification.
+  Term Walk(const Term& t) const;
+
+  Term Apply(const Term& t) const;
+  Atom Apply(const Atom& a) const;
+  Rule Apply(const Rule& r) const;
+  std::vector<Atom> Apply(const std::vector<Atom>& atoms) const;
+
+  /// Applies bindings transitively (resolves chains like X->Y, Y->3 fully).
+  /// Requires the substitution to be acyclic; unification produces such.
+  Term DeepApply(const Term& t) const;
+  Atom DeepApply(const Atom& a) const;
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, Term> map_;
+};
+
+/// Generates fresh variable names that avoid a reserved set.
+class FreshVarGen {
+ public:
+  explicit FreshVarGen(std::string prefix = "_V") : prefix_(std::move(prefix)) {}
+
+  /// Marks every variable of `r` as reserved.
+  void ReserveFrom(const Rule& r);
+  void ReserveFrom(const Program& p);
+  void Reserve(const std::string& name) { reserved_.insert(name); }
+
+  /// Returns a fresh variable name, never returned before and not reserved.
+  std::string Fresh();
+
+ private:
+  std::string prefix_;
+  int counter_ = 0;
+  std::set<std::string> reserved_;
+};
+
+/// Returns `rule` with every variable renamed via `gen` (consistently within
+/// the rule). Used to rename rules apart during resolution and expansion.
+Rule RenameApart(const Rule& rule, FreshVarGen* gen);
+
+}  // namespace factlog::ast
+
+#endif  // FACTLOG_AST_SUBSTITUTION_H_

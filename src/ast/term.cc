@@ -1,0 +1,201 @@
+#include "ast/term.h"
+
+#include <functional>
+
+namespace factlog::ast {
+
+namespace {
+
+// 64-bit FNV-style combiner; good enough for container hashing.
+size_t CombineHash(size_t seed, size_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace
+
+Term Term::Var(std::string name) {
+  Term t;
+  t.kind_ = Kind::kVariable;
+  t.name_ = std::move(name);
+  return t;
+}
+
+Term Term::Int(int64_t value) {
+  Term t;
+  t.kind_ = Kind::kInt;
+  t.int_value_ = value;
+  return t;
+}
+
+Term Term::Sym(std::string name) {
+  Term t;
+  t.kind_ = Kind::kSymbol;
+  t.name_ = std::move(name);
+  return t;
+}
+
+Term Term::App(std::string functor, std::vector<Term> args) {
+  Term t;
+  t.kind_ = Kind::kCompound;
+  t.name_ = std::move(functor);
+  t.args_ = std::move(args);
+  return t;
+}
+
+Term Term::Nil() { return Sym("nil"); }
+
+Term Term::Cons(Term head, Term tail) {
+  return App("cons", {std::move(head), std::move(tail)});
+}
+
+Term Term::List(std::vector<Term> elements) {
+  Term out = Nil();
+  for (auto it = elements.rbegin(); it != elements.rend(); ++it) {
+    out = Cons(std::move(*it), std::move(out));
+  }
+  return out;
+}
+
+bool Term::IsGround() const {
+  switch (kind_) {
+    case Kind::kVariable:
+      return false;
+    case Kind::kInt:
+    case Kind::kSymbol:
+      return true;
+    case Kind::kCompound:
+      for (const Term& a : args_) {
+        if (!a.IsGround()) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+bool Term::ContainsVar(const std::string& name) const {
+  switch (kind_) {
+    case Kind::kVariable:
+      return name_ == name;
+    case Kind::kInt:
+    case Kind::kSymbol:
+      return false;
+    case Kind::kCompound:
+      for (const Term& a : args_) {
+        if (a.ContainsVar(name)) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+void Term::CollectVars(std::vector<std::string>* out) const {
+  switch (kind_) {
+    case Kind::kVariable:
+      out->push_back(name_);
+      return;
+    case Kind::kInt:
+    case Kind::kSymbol:
+      return;
+    case Kind::kCompound:
+      for (const Term& a : args_) a.CollectVars(out);
+      return;
+  }
+}
+
+bool Term::operator==(const Term& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kVariable:
+    case Kind::kSymbol:
+      return name_ == other.name_;
+    case Kind::kInt:
+      return int_value_ == other.int_value_;
+    case Kind::kCompound:
+      return name_ == other.name_ && args_ == other.args_;
+  }
+  return false;
+}
+
+bool Term::operator<(const Term& other) const {
+  if (kind_ != other.kind_) return kind_ < other.kind_;
+  switch (kind_) {
+    case Kind::kVariable:
+    case Kind::kSymbol:
+      return name_ < other.name_;
+    case Kind::kInt:
+      return int_value_ < other.int_value_;
+    case Kind::kCompound: {
+      if (name_ != other.name_) return name_ < other.name_;
+      return args_ < other.args_;
+    }
+  }
+  return false;
+}
+
+size_t Term::Hash() const {
+  size_t h = static_cast<size_t>(kind_);
+  switch (kind_) {
+    case Kind::kVariable:
+    case Kind::kSymbol:
+      h = CombineHash(h, std::hash<std::string>()(name_));
+      break;
+    case Kind::kInt:
+      h = CombineHash(h, std::hash<int64_t>()(int_value_));
+      break;
+    case Kind::kCompound:
+      h = CombineHash(h, std::hash<std::string>()(name_));
+      for (const Term& a : args_) h = CombineHash(h, a.Hash());
+      break;
+  }
+  return h;
+}
+
+namespace {
+
+// True when `t` is a proper or partial list cell we can print with sugar.
+bool IsConsCell(const Term& t) {
+  return t.IsCompound() && t.symbol() == "cons" && t.args().size() == 2;
+}
+
+bool IsNil(const Term& t) {
+  return t.kind() == Term::Kind::kSymbol && t.symbol() == "nil";
+}
+
+}  // namespace
+
+std::string Term::ToString() const {
+  switch (kind_) {
+    case Kind::kVariable:
+      return name_;
+    case Kind::kInt:
+      return std::to_string(int_value_);
+    case Kind::kSymbol:
+      if (name_ == "nil") return "[]";
+      return name_;
+    case Kind::kCompound: {
+      if (IsConsCell(*this)) {
+        std::string out = "[" + args_[0].ToString();
+        const Term* tail = &args_[1];
+        while (IsConsCell(*tail)) {
+          out += ", " + tail->args()[0].ToString();
+          tail = &tail->args()[1];
+        }
+        if (!IsNil(*tail)) {
+          out += " | " + tail->ToString();
+        }
+        out += "]";
+        return out;
+      }
+      std::string out = name_ + "(";
+      for (size_t i = 0; i < args_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += args_[i].ToString();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace factlog::ast

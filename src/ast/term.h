@@ -1,0 +1,100 @@
+// Terms of the logic-program AST.
+//
+// The paper works with Horn-clause programs whose terms are variables,
+// constants, and (for Example 1.2 / 4.6) compound terms built from function
+// symbols such as list cons cells. This AST layer is deliberately
+// string-based: program transformations (Magic Sets, factoring, the §5
+// optimizations) invent new predicate and variable names, and strings keep
+// them readable. The evaluation layer (src/eval) interns everything into
+// dense ids for performance.
+
+#ifndef FACTLOG_AST_TERM_H_
+#define FACTLOG_AST_TERM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace factlog::ast {
+
+/// A first-order term: a variable, an integer constant, a symbolic constant,
+/// or a compound term `f(t1, ..., tk)`.
+///
+/// Value semantics: terms are small trees copied freely. Variables are
+/// identified by name within a rule scope; by convention names starting with
+/// an uppercase letter or '_' are variables (as in Prolog/Datalog syntax).
+class Term {
+ public:
+  enum class Kind {
+    kVariable,
+    kInt,
+    kSymbol,
+    kCompound,
+  };
+
+  /// Builds a variable term. `name` should start with an uppercase letter or
+  /// underscore so that printing round-trips through the parser.
+  static Term Var(std::string name);
+  /// Builds an integer constant.
+  static Term Int(int64_t value);
+  /// Builds a symbolic constant (lowercase identifier).
+  static Term Sym(std::string name);
+  /// Builds a compound term `functor(args...)`.
+  static Term App(std::string functor, std::vector<Term> args);
+  /// Builds the empty-list constant `[]` (the symbol "nil").
+  static Term Nil();
+  /// Builds a cons cell `[head | tail]` (compound "cons"/2).
+  static Term Cons(Term head, Term tail);
+  /// Builds a proper list `[e1, ..., en]` terminated by Nil().
+  static Term List(std::vector<Term> elements);
+
+  Kind kind() const { return kind_; }
+  bool IsVariable() const { return kind_ == Kind::kVariable; }
+  bool IsConstant() const { return kind_ == Kind::kInt || kind_ == Kind::kSymbol; }
+  bool IsCompound() const { return kind_ == Kind::kCompound; }
+
+  /// Variable name; requires kind() == kVariable.
+  const std::string& var_name() const { return name_; }
+  /// Integer value; requires kind() == kInt.
+  int64_t int_value() const { return int_value_; }
+  /// Symbol text (kSymbol) or functor name (kCompound).
+  const std::string& symbol() const { return name_; }
+  /// Compound arguments; requires kind() == kCompound.
+  const std::vector<Term>& args() const { return args_; }
+
+  /// True when the term contains no variables.
+  bool IsGround() const;
+  /// True when the variable `name` occurs anywhere in this term.
+  bool ContainsVar(const std::string& name) const;
+  /// Appends all variable names in this term, in occurrence order, with
+  /// duplicates.
+  void CollectVars(std::vector<std::string>* out) const;
+
+  bool operator==(const Term& other) const;
+  bool operator!=(const Term& other) const { return !(*this == other); }
+  /// Total ordering usable for canonicalization.
+  bool operator<(const Term& other) const;
+
+  /// Structural hash.
+  size_t Hash() const;
+
+  /// Parser-compatible rendering; lists print with [..] sugar.
+  std::string ToString() const;
+
+ private:
+  Term() = default;
+
+  Kind kind_ = Kind::kSymbol;
+  std::string name_;        // variable name, symbol, or functor
+  int64_t int_value_ = 0;   // kInt only
+  std::vector<Term> args_;  // kCompound only
+};
+
+/// Hash functor so Term can key unordered containers.
+struct TermHash {
+  size_t operator()(const Term& t) const { return t.Hash(); }
+};
+
+}  // namespace factlog::ast
+
+#endif  // FACTLOG_AST_TERM_H_

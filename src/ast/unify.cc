@@ -1,0 +1,106 @@
+#include "ast/unify.h"
+
+namespace factlog::ast {
+
+namespace {
+
+// True when variable `name` occurs in `t` after walking bindings.
+bool OccursIn(const std::string& name, const Term& t, const Substitution& s) {
+  Term w = s.Walk(t);
+  switch (w.kind()) {
+    case Term::Kind::kVariable:
+      return w.var_name() == name;
+    case Term::Kind::kInt:
+    case Term::Kind::kSymbol:
+      return false;
+    case Term::Kind::kCompound:
+      for (const Term& a : w.args()) {
+        if (OccursIn(name, a, s)) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Unify(const Term& a, const Term& b, Substitution* subst) {
+  Term wa = subst->Walk(a);
+  Term wb = subst->Walk(b);
+  if (wa.IsVariable()) {
+    if (wb.IsVariable() && wb.var_name() == wa.var_name()) return true;
+    if (OccursIn(wa.var_name(), wb, *subst)) return false;
+    subst->Bind(wa.var_name(), wb);
+    return true;
+  }
+  if (wb.IsVariable()) {
+    if (OccursIn(wb.var_name(), wa, *subst)) return false;
+    subst->Bind(wb.var_name(), wa);
+    return true;
+  }
+  if (wa.kind() != wb.kind()) return false;
+  switch (wa.kind()) {
+    case Term::Kind::kInt:
+      return wa.int_value() == wb.int_value();
+    case Term::Kind::kSymbol:
+      return wa.symbol() == wb.symbol();
+    case Term::Kind::kCompound: {
+      if (wa.symbol() != wb.symbol()) return false;
+      if (wa.args().size() != wb.args().size()) return false;
+      for (size_t i = 0; i < wa.args().size(); ++i) {
+        if (!Unify(wa.args()[i], wb.args()[i], subst)) return false;
+      }
+      return true;
+    }
+    case Term::Kind::kVariable:
+      break;  // unreachable
+  }
+  return false;
+}
+
+bool UnifyAtoms(const Atom& a, const Atom& b, Substitution* subst) {
+  if (a.predicate() != b.predicate()) return false;
+  if (a.arity() != b.arity()) return false;
+  for (size_t i = 0; i < a.arity(); ++i) {
+    if (!Unify(a.args()[i], b.args()[i], subst)) return false;
+  }
+  return true;
+}
+
+bool MatchTerm(const Term& pattern, const Term& ground, Substitution* subst) {
+  switch (pattern.kind()) {
+    case Term::Kind::kVariable: {
+      const Term* bound = subst->Lookup(pattern.var_name());
+      if (bound != nullptr) return *bound == ground;
+      subst->Bind(pattern.var_name(), ground);
+      return true;
+    }
+    case Term::Kind::kInt:
+      return ground.kind() == Term::Kind::kInt &&
+             ground.int_value() == pattern.int_value();
+    case Term::Kind::kSymbol:
+      return ground.kind() == Term::Kind::kSymbol &&
+             ground.symbol() == pattern.symbol();
+    case Term::Kind::kCompound: {
+      if (ground.kind() != Term::Kind::kCompound) return false;
+      if (ground.symbol() != pattern.symbol()) return false;
+      if (ground.args().size() != pattern.args().size()) return false;
+      for (size_t i = 0; i < pattern.args().size(); ++i) {
+        if (!MatchTerm(pattern.args()[i], ground.args()[i], subst)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MatchAtom(const Atom& pattern, const Atom& ground, Substitution* subst) {
+  if (pattern.predicate() != ground.predicate()) return false;
+  if (pattern.arity() != ground.arity()) return false;
+  for (size_t i = 0; i < pattern.arity(); ++i) {
+    if (!MatchTerm(pattern.args()[i], ground.args()[i], subst)) return false;
+  }
+  return true;
+}
+
+}  // namespace factlog::ast

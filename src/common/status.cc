@@ -1,0 +1,35 @@
+#include "common/status.h"
+
+namespace factlog {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kFailedPrecondition:
+      return "Failed precondition";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
+    case StatusCode::kInternal:
+      return "Internal error";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace factlog

@@ -1,0 +1,146 @@
+// Status / Result error-handling primitives for factlog.
+//
+// The library follows the RocksDB / Apache Arrow convention: fallible public
+// APIs return a `Status` (or a `Result<T>`, a Status-or-value sum type)
+// instead of throwing exceptions.
+
+#ifndef FACTLOG_COMMON_STATUS_H_
+#define FACTLOG_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace factlog {
+
+/// Machine-readable category of a Status.
+enum class StatusCode {
+  kOk = 0,
+  /// Caller passed a malformed argument (parse error, bad arity, ...).
+  kInvalidArgument,
+  /// A named entity (predicate, relation, rule) does not exist.
+  kNotFound,
+  /// The operation's precondition does not hold (e.g. program not a unit
+  /// program, rule not in standard form).
+  kFailedPrecondition,
+  /// An evaluation budget (facts, iterations, inferences) was exhausted.
+  /// Signals possible nontermination, cf. the Counting discussion in §6.4.
+  kResourceExhausted,
+  /// Internal invariant violation; always a bug in factlog itself.
+  kInternal,
+  /// Feature intentionally not implemented.
+  kUnimplemented,
+};
+
+/// Returns a short human-readable name for a StatusCode ("OK", "Invalid
+/// argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Success-or-error outcome of an operation, carrying a message on error.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type T or an error Status. Mirrors arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK Status. Constructing from an OK status is a
+  /// programming error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the contained value. Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+}  // namespace factlog
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define FACTLOG_RETURN_IF_ERROR(expr)             \
+  do {                                            \
+    ::factlog::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+#define FACTLOG_CONCAT_IMPL(a, b) a##b
+#define FACTLOG_CONCAT(a, b) FACTLOG_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a Result<T>), propagating errors; otherwise assigns the
+/// value to `lhs`. `lhs` may include a declaration, e.g.
+///   FACTLOG_ASSIGN_OR_RETURN(auto program, ParseProgram(text));
+#define FACTLOG_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  auto FACTLOG_CONCAT(_result_, __LINE__) = (rexpr);                  \
+  if (!FACTLOG_CONCAT(_result_, __LINE__).ok())                       \
+    return FACTLOG_CONCAT(_result_, __LINE__).status();               \
+  lhs = std::move(FACTLOG_CONCAT(_result_, __LINE__)).value()
+
+#endif  // FACTLOG_COMMON_STATUS_H_

@@ -1,0 +1,128 @@
+#include "core/canonical.h"
+
+#include <algorithm>
+#include <set>
+
+#include "ast/substitution.h"
+
+namespace factlog::core {
+
+namespace {
+
+using ast::Atom;
+using ast::Rule;
+using ast::Term;
+
+// Rendering with every variable replaced by "_": invariant under renaming.
+std::string ShapeKey(const Term& t) {
+  switch (t.kind()) {
+    case Term::Kind::kVariable:
+      return "_";
+    case Term::Kind::kInt:
+    case Term::Kind::kSymbol:
+      return t.ToString();
+    case Term::Kind::kCompound: {
+      std::string out = t.symbol() + "(";
+      for (size_t i = 0; i < t.args().size(); ++i) {
+        if (i > 0) out += ",";
+        out += ShapeKey(t.args()[i]);
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+std::string ShapeKey(const Atom& a) {
+  std::string out = a.predicate() + "(";
+  for (size_t i = 0; i < a.arity(); ++i) {
+    if (i > 0) out += ",";
+    out += ShapeKey(a.args()[i]);
+  }
+  return out + ")";
+}
+
+Rule RenameVarsInOrder(const Rule& rule) {
+  ast::Substitution subst;
+  int counter = 0;
+  for (const std::string& v : rule.DistinctVars()) {
+    subst.Bind(v, Term::Var("V" + std::to_string(counter++)));
+  }
+  return subst.Apply(rule);
+}
+
+}  // namespace
+
+ast::Rule CanonicalizeRule(const ast::Rule& rule) {
+  Rule cur = rule;
+  // Initial order: rename-invariant shape keys.
+  std::stable_sort(cur.mutable_body()->begin(), cur.mutable_body()->end(),
+                   [](const Atom& a, const Atom& b) {
+                     return ShapeKey(a) < ShapeKey(b);
+                   });
+  // Iterate rename + full-string sort to a fixpoint (bounded).
+  for (int round = 0; round < 4; ++round) {
+    Rule renamed = RenameVarsInOrder(cur);
+    std::stable_sort(renamed.mutable_body()->begin(),
+                     renamed.mutable_body()->end(),
+                     [](const Atom& a, const Atom& b) {
+                       return a.ToString() < b.ToString();
+                     });
+    if (renamed == cur) break;
+    cur = std::move(renamed);
+  }
+  return RenameVarsInOrder(cur);
+}
+
+ast::Program CanonicalizeProgram(const ast::Program& program) {
+  std::vector<Rule> rules;
+  rules.reserve(program.rules().size());
+  for (const Rule& r : program.rules()) rules.push_back(CanonicalizeRule(r));
+  std::sort(rules.begin(), rules.end(), [](const Rule& a, const Rule& b) {
+    return a.ToString() < b.ToString();
+  });
+  rules.erase(std::unique(rules.begin(), rules.end()), rules.end());
+
+  ast::Program out;
+  for (Rule& r : rules) out.AddRule(std::move(r));
+  if (program.query().has_value()) {
+    ast::Substitution subst;
+    int counter = 0;
+    for (const std::string& v : program.query()->DistinctVars()) {
+      subst.Bind(v, Term::Var("Q" + std::to_string(counter++)));
+    }
+    out.set_query(subst.Apply(*program.query()));
+  }
+  return out;
+}
+
+std::string CanonicalString(const ast::Program& program) {
+  return CanonicalizeProgram(program).ToString();
+}
+
+ast::Program RenamePredicates(
+    const ast::Program& program,
+    const std::map<std::string, std::string>& renames) {
+  auto rename_atom = [&renames](const Atom& a) {
+    auto it = renames.find(a.predicate());
+    return it == renames.end() ? a : Atom(it->second, a.args());
+  };
+  ast::Program out;
+  for (const Rule& r : program.rules()) {
+    std::vector<Atom> body;
+    body.reserve(r.body().size());
+    for (const Atom& b : r.body()) body.push_back(rename_atom(b));
+    out.AddRule(Rule(rename_atom(r.head()), std::move(body)));
+  }
+  if (program.query().has_value()) {
+    out.set_query(rename_atom(*program.query()));
+  }
+  return out;
+}
+
+bool StructurallyEqual(const ast::Program& a, const ast::Program& b,
+                       const std::map<std::string, std::string>& renames) {
+  return CanonicalString(RenamePredicates(a, renames)) == CanonicalString(b);
+}
+
+}  // namespace factlog::core

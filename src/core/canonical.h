@@ -1,0 +1,41 @@
+// Canonical program forms for structural comparison.
+//
+// §6.3 and Theorem 6.4 make *syntactic* claims: the direct linear rewriting
+// of [9] and the Counting program with index fields deleted are the same
+// program as the optimized factored Magic program, up to predicate renaming,
+// variable renaming, and rule/literal order. Canonicalization makes such
+// equalities testable with a string compare.
+
+#ifndef FACTLOG_CORE_CANONICAL_H_
+#define FACTLOG_CORE_CANONICAL_H_
+
+#include <map>
+#include <string>
+
+#include "ast/program.h"
+
+namespace factlog::core {
+
+/// Canonicalizes one rule: sorts body literals (stably, by a rename-invariant
+/// key), renames variables V0, V1, ... in first-use order, then re-sorts.
+ast::Rule CanonicalizeRule(const ast::Rule& rule);
+
+/// Canonicalizes a program: canonicalizes each rule, drops exact duplicates,
+/// and sorts the rules. The query is canonicalized too (variables renamed).
+ast::Program CanonicalizeProgram(const ast::Program& program);
+
+/// Canonical text rendering (used for equality assertions in tests).
+std::string CanonicalString(const ast::Program& program);
+
+/// Structural equality after applying `renames` (old predicate name -> new)
+/// to `a` and canonicalizing both sides.
+bool StructurallyEqual(const ast::Program& a, const ast::Program& b,
+                       const std::map<std::string, std::string>& renames = {});
+
+/// Renames predicates throughout a program (heads, bodies, query).
+ast::Program RenamePredicates(const ast::Program& program,
+                              const std::map<std::string, std::string>& renames);
+
+}  // namespace factlog::core
+
+#endif  // FACTLOG_CORE_CANONICAL_H_

@@ -1,0 +1,216 @@
+#include "core/factorability.h"
+
+namespace factlog::core {
+
+namespace {
+
+using analysis::ConjunctiveQuery;
+
+// Appends a failure message and returns false (for condition chaining).
+bool Fail(std::vector<std::string>* failures, const std::string& msg) {
+  failures->push_back(msg);
+  return false;
+}
+
+std::string RuleRef(const RuleShape& s) {
+  return "rule " + std::to_string(s.rule_index) + " (" +
+         std::string(RuleShapeKindToString(s.kind)) + ")";
+}
+
+// Definition 4.6: selection-pushing.
+bool CheckSelectionPushing(const ProgramClassification& c,
+                           std::vector<std::string>* failures) {
+  const RuleShape* exit = c.ExitShape();
+  bool ok = true;
+  // Condition 1: free_exit ⊆ free for every combined or right-linear rule.
+  for (const RuleShape& s : c.shapes) {
+    if (s.kind != RuleShape::Kind::kCombined &&
+        s.kind != RuleShape::Kind::kRightLinear) {
+      continue;
+    }
+    if (!exit->free_exit->ContainedIn(*s.free_q)) {
+      ok = Fail(failures, "selection-pushing: free_exit " +
+                              exit->free_exit->ToString() +
+                              " not contained in free of " + RuleRef(s));
+    }
+  }
+  // Condition 2: all "left" conjunctions pairwise equivalent; every
+  // bound_first contained in every "left".
+  const ConjunctiveQuery* left = nullptr;
+  const RuleShape* left_rule = nullptr;
+  for (const RuleShape& s : c.shapes) {
+    if (!s.bound_q.has_value()) continue;
+    if (left == nullptr) {
+      left = &*s.bound_q;
+      left_rule = &s;
+      continue;
+    }
+    if (!left->EquivalentTo(*s.bound_q)) {
+      ok = Fail(failures, "selection-pushing: left conjunction of " +
+                              RuleRef(s) + " not equivalent to left of " +
+                              RuleRef(*left_rule));
+    }
+  }
+  if (left != nullptr) {
+    for (const RuleShape& s : c.shapes) {
+      if (!s.bound_first.has_value()) continue;
+      if (!s.bound_first->ContainedIn(*left)) {
+        ok = Fail(failures, "selection-pushing: bound_first of " + RuleRef(s) +
+                                " not contained in the left conjunction");
+      }
+    }
+  }
+  return ok;
+}
+
+// Definition 4.7: symmetric.
+bool CheckSymmetric(const ProgramClassification& c,
+                    std::vector<std::string>* failures) {
+  const RuleShape* exit = c.ExitShape();
+  bool ok = true;
+  const ConjunctiveQuery* middle = nullptr;
+  const RuleShape* middle_rule = nullptr;
+  for (const RuleShape& s : c.shapes) {
+    if (s.kind == RuleShape::Kind::kExit) continue;
+    if (s.kind != RuleShape::Kind::kCombined) {
+      return Fail(failures, "symmetric: " + RuleRef(s) +
+                                " is recursive but not combined");
+    }
+    if (!exit->free_exit->ContainedIn(*s.free_q)) {
+      ok = Fail(failures, "symmetric: free_exit not contained in free of " +
+                              RuleRef(s));
+    }
+    if (middle == nullptr) {
+      middle = &*s.middle;
+      middle_rule = &s;
+    } else if (!middle->EquivalentTo(*s.middle)) {
+      ok = Fail(failures, "symmetric: middle of " + RuleRef(s) +
+                              " not equivalent to middle of " +
+                              RuleRef(*middle_rule));
+    }
+  }
+  return ok;
+}
+
+// Definition 4.8: answer-propagating.
+bool CheckAnswerPropagating(const ProgramClassification& c,
+                            std::vector<std::string>* failures) {
+  const RuleShape* exit = c.ExitShape();
+  bool ok = true;
+  // Per-rule conditions.
+  for (const RuleShape& s : c.shapes) {
+    switch (s.kind) {
+      case RuleShape::Kind::kLeftLinear:
+        if (!exit->bound_exit->ContainedIn(*s.bound_q)) {
+          ok = Fail(failures,
+                    "answer-propagating: bound_exit not contained in bound "
+                    "of " + RuleRef(s));
+        }
+        break;
+      case RuleShape::Kind::kRightLinear:
+      case RuleShape::Kind::kCombined:
+        if (!exit->free_exit->ContainedIn(*s.free_q)) {
+          ok = Fail(failures,
+                    "answer-propagating: free_exit not contained in free "
+                    "of " + RuleRef(s));
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  // Pairwise conditions.
+  for (const RuleShape& a : c.shapes) {
+    for (const RuleShape& b : c.shapes) {
+      if (a.rule_index == b.rule_index) continue;
+      // Combined pairs: middles equivalent (each unordered pair is visited
+      // twice; equivalence is symmetric so the duplicate test is harmless).
+      if (a.kind == RuleShape::Kind::kCombined &&
+          b.kind == RuleShape::Kind::kCombined && a.rule_index < b.rule_index) {
+        if (!a.middle->EquivalentTo(*b.middle)) {
+          ok = Fail(failures, "answer-propagating: middles of " + RuleRef(a) +
+                                  " and " + RuleRef(b) + " not equivalent");
+        }
+      }
+      // (left-linear l, combined c): bound_l ⊆ bound_c, free_last_l ⊆ free_c.
+      if (a.kind == RuleShape::Kind::kLeftLinear &&
+          b.kind == RuleShape::Kind::kCombined) {
+        if (!a.bound_q->ContainedIn(*b.bound_q)) {
+          ok = Fail(failures, "answer-propagating: bound of " + RuleRef(a) +
+                                  " not contained in bound of " + RuleRef(b));
+        }
+        if (!a.free_last->ContainedIn(*b.free_q)) {
+          ok = Fail(failures, "answer-propagating: free_last of " +
+                                  RuleRef(a) + " not contained in free of " +
+                                  RuleRef(b));
+        }
+      }
+      // (right-linear r, combined c): bound_first_r ⊆ bound_c.
+      if (a.kind == RuleShape::Kind::kRightLinear &&
+          b.kind == RuleShape::Kind::kCombined) {
+        if (!a.bound_first->ContainedIn(*b.bound_q)) {
+          ok = Fail(failures, "answer-propagating: bound_first of " +
+                                  RuleRef(a) + " not contained in bound of " +
+                                  RuleRef(b));
+        }
+      }
+      // (right-linear r, left-linear l): bound_first_r ⊆ bound_l and
+      // free_last_l ⊆ free_r.
+      if (a.kind == RuleShape::Kind::kRightLinear &&
+          b.kind == RuleShape::Kind::kLeftLinear) {
+        if (!a.bound_first->ContainedIn(*b.bound_q)) {
+          ok = Fail(failures, "answer-propagating: bound_first of " +
+                                  RuleRef(a) + " not contained in bound of " +
+                                  RuleRef(b));
+        }
+        if (!b.free_last->ContainedIn(*a.free_q)) {
+          ok = Fail(failures, "answer-propagating: free_last of " +
+                                  RuleRef(b) + " not contained in free of " +
+                                  RuleRef(a));
+        }
+      }
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+const char* FactorClassToString(FactorClass cls) {
+  switch (cls) {
+    case FactorClass::kNotFactorable:
+      return "not factorable (no sufficient condition holds)";
+    case FactorClass::kSelectionPushing:
+      return "selection-pushing";
+    case FactorClass::kSymmetric:
+      return "symmetric";
+    case FactorClass::kAnswerPropagating:
+      return "answer-propagating";
+  }
+  return "?";
+}
+
+Result<FactorabilityReport> CheckFactorability(
+    const ProgramClassification& classification) {
+  if (!classification.rlc_stable) {
+    return Status::FailedPrecondition(
+        "factorability tests require an RLC-stable program: " +
+        classification.diagnostic);
+  }
+  FactorabilityReport report;
+  report.selection_pushing =
+      CheckSelectionPushing(classification, &report.failures);
+  report.symmetric = CheckSymmetric(classification, &report.failures);
+  report.answer_propagating =
+      CheckAnswerPropagating(classification, &report.failures);
+  if (report.selection_pushing) {
+    report.cls = FactorClass::kSelectionPushing;
+  } else if (report.symmetric) {
+    report.cls = FactorClass::kSymmetric;
+  } else if (report.answer_propagating) {
+    report.cls = FactorClass::kAnswerPropagating;
+  }
+  return report;
+}
+
+}  // namespace factlog::core

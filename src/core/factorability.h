@@ -1,0 +1,60 @@
+// Factorability tests: the sufficient conditions of §4.2.
+//
+// Given a classified RLC-stable program, decides membership in the three
+// classes for which Theorems 4.1-4.3 guarantee that the Magic program
+// factors into bp(X) and fp(Y):
+//
+//   * selection-pushing (Definition 4.6, Theorem 4.1),
+//   * symmetric        (Definition 4.7, Theorem 4.2),
+//   * answer-propagating (Definition 4.8, Theorem 4.3).
+//
+// Each condition is a containment or equivalence test between Definition 4.5
+// conjunctions, performed by the Chandra-Merlin test in analysis/cq.h. As
+// the paper notes, these tests are NP-complete in the (small) rule size and
+// polynomial when the conjunctions are empty.
+//
+// Definition 4.8's prose header restricts to combined rules, but its
+// condition list (and the proof of Theorem 4.3) covers left- and
+// right-linear rules; we implement the condition list.
+
+#ifndef FACTLOG_CORE_FACTORABILITY_H_
+#define FACTLOG_CORE_FACTORABILITY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/rule_classes.h"
+
+namespace factlog::core {
+
+enum class FactorClass {
+  kNotFactorable,  // none of the sufficient conditions hold
+  kSelectionPushing,
+  kSymmetric,
+  kAnswerPropagating,
+};
+
+const char* FactorClassToString(FactorClass cls);
+
+/// Outcome of the factorability tests.
+struct FactorabilityReport {
+  /// First class (in the order SP, symmetric, AP) whose conditions hold.
+  FactorClass cls = FactorClass::kNotFactorable;
+  /// Whether each individual class's conditions hold.
+  bool selection_pushing = false;
+  bool symmetric = false;
+  bool answer_propagating = false;
+  /// Explanations of failed conditions, one per failure.
+  std::vector<std::string> failures;
+
+  bool factorable() const { return cls != FactorClass::kNotFactorable; }
+};
+
+/// Runs all three tests on a classified program. Fails with
+/// kFailedPrecondition when the classification is not RLC-stable.
+Result<FactorabilityReport> CheckFactorability(
+    const ProgramClassification& classification);
+
+}  // namespace factlog::core
+
+#endif  // FACTLOG_CORE_FACTORABILITY_H_

@@ -1,0 +1,117 @@
+#include "core/factoring.h"
+
+#include <algorithm>
+#include <set>
+
+namespace factlog::core {
+
+namespace {
+
+using ast::Atom;
+using ast::Rule;
+using ast::Term;
+
+std::vector<Term> Project(const Atom& atom, const std::vector<int>& positions) {
+  std::vector<Term> out;
+  out.reserve(positions.size());
+  for (int p : positions) out.push_back(atom.args()[p]);
+  return out;
+}
+
+std::string MakeUnique(std::string name, const std::set<std::string>& taken) {
+  while (taken.count(name) > 0) name += "_";
+  return name;
+}
+
+}  // namespace
+
+Result<FactoredProgram> FactorTransform(const ast::Program& program,
+                                        const ast::Atom& query,
+                                        const FactorSplit& split) {
+  // Validate the split: disjoint, covering, nontrivial, in range.
+  auto arities = program.PredicateArities();
+  auto arity_it = arities.find(split.predicate);
+  if (arity_it == arities.end()) {
+    return Status::NotFound("predicate '" + split.predicate +
+                            "' does not occur in the program");
+  }
+  size_t arity = arity_it->second;
+  std::set<int> seen;
+  for (const std::vector<int>* part : {&split.part1, &split.part2}) {
+    for (int p : *part) {
+      if (p < 0 || static_cast<size_t>(p) >= arity) {
+        return Status::Invalid("split position " + std::to_string(p) +
+                               " out of range for arity " +
+                               std::to_string(arity));
+      }
+      if (!seen.insert(p).second) {
+        return Status::Invalid("split parts are not disjoint at position " +
+                               std::to_string(p));
+      }
+    }
+  }
+  if (seen.size() != arity) {
+    return Status::Invalid("split does not cover every argument position");
+  }
+  if (split.part1.empty() || split.part2.empty()) {
+    return Status::Invalid(
+        "trivial factoring: one part holds all argument positions");
+  }
+
+  // Uniquify the new predicate names.
+  std::set<std::string> taken;
+  for (const auto& [name, a] : arities) taken.insert(name);
+  FactorSplit actual = split;
+  actual.name1 = MakeUnique(split.name1, taken);
+  taken.insert(actual.name1);
+  actual.name2 = MakeUnique(split.name2, taken);
+  taken.insert(actual.name2);
+
+  FactoredProgram out;
+  out.split = actual;
+
+  auto rewrite_body = [&](const std::vector<Atom>& body) {
+    std::vector<Atom> new_body;
+    new_body.reserve(body.size());
+    for (const Atom& lit : body) {
+      if (lit.predicate() == actual.predicate) {
+        new_body.emplace_back(actual.name1, Project(lit, actual.part1));
+        new_body.emplace_back(actual.name2, Project(lit, actual.part2));
+      } else {
+        new_body.push_back(lit);
+      }
+    }
+    return new_body;
+  };
+
+  for (const Rule& rule : program.rules()) {
+    std::vector<Atom> body = rewrite_body(rule.body());
+    if (rule.head().predicate() == actual.predicate) {
+      out.program.AddRule(
+          Rule(Atom(actual.name1, Project(rule.head(), actual.part1)), body));
+      out.program.AddRule(
+          Rule(Atom(actual.name2, Project(rule.head(), actual.part2)),
+               std::move(body)));
+    } else {
+      out.program.AddRule(Rule(rule.head(), std::move(body)));
+    }
+  }
+
+  if (query.predicate() == actual.predicate) {
+    // query(vars) :- p1(...), p2(...).
+    std::string qname = MakeUnique("query", taken);
+    std::vector<Term> qargs;
+    for (const std::string& v : query.DistinctVars()) {
+      qargs.push_back(Term::Var(v));
+    }
+    Atom qhead(qname, qargs);
+    out.program.AddRule(Rule(qhead, rewrite_body({query})));
+    out.query = qhead;
+  } else {
+    out.query = query;
+  }
+  out.program.set_query(out.query);
+  return out;
+}
+
+}  // namespace factlog::core

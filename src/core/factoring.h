@@ -1,0 +1,54 @@
+// The factoring transformation (§3, Proposition 3.1).
+//
+// Factoring p(X1, ..., Xn) into p1(X_i1, ..., X_ik) and p2(X_j1, ..., X_jl)
+// replaces every body literal p(t) by the pair p1(t|part1), p2(t|part2) and
+// every rule with head p(t) by two rules with heads p1(t|part1) and
+// p2(t|part2). The result contains no p; both new predicates have strictly
+// lower arity — the arity reduction that motivates the paper.
+//
+// Whether the transformation preserves the query answers is exactly the
+// factoring property, which is undecidable in general (Theorem 3.1); callers
+// establish it via core/factorability.h or falsify it via
+// eval/equivalence.h.
+
+#ifndef FACTLOG_CORE_FACTORING_H_
+#define FACTLOG_CORE_FACTORING_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/program.h"
+#include "common/status.h"
+
+namespace factlog::core {
+
+/// A (nontrivial) split of a predicate's argument positions.
+struct FactorSplit {
+  std::string predicate;
+  std::vector<int> part1;  // strictly increasing positions
+  std::vector<int> part2;
+  std::string name1;       // predicate name for part1 (e.g. "bt")
+  std::string name2;       // predicate name for part2 (e.g. "ft")
+};
+
+/// Result of the factoring transformation.
+struct FactoredProgram {
+  ast::Program program;
+  /// The rewritten query atom. When the original query was on the factored
+  /// predicate, a fresh rule `query(vars) :- p1(...), p2(...)` is added and
+  /// the query becomes `query(vars)`.
+  ast::Atom query;
+  FactorSplit split;
+};
+
+/// Applies the factoring transformation. `split.part1`/`part2` must be a
+/// disjoint, covering, nontrivial partition of the predicate's positions.
+/// `name1`/`name2` (and the query rule's predicate) are uniquified against
+/// names already used in the program.
+Result<FactoredProgram> FactorTransform(const ast::Program& program,
+                                        const ast::Atom& query,
+                                        const FactorSplit& split);
+
+}  // namespace factlog::core
+
+#endif  // FACTLOG_CORE_FACTORING_H_

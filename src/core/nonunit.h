@@ -1,0 +1,77 @@
+// Non-unit factoring (§7.3): factoring a recursive predicate that is not
+// the query predicate.
+//
+// §7.3 leaves open when p^a can be factored inside a larger program and
+// gives Example 7.2 as evidence: with the right-linear definition P1, the
+// predicate p^bf factors in P ∪ P1 for the query q(1)? (P = q(Y) :-
+// a(X, Z), p(Z, Y)) but not when P is q(X, Y) :- a(X, Z), p(Z, Y) with the
+// open query; and with the combined-rule definition P2 it never factors.
+// The paper conjectures the right-linear definitions have the property.
+//
+// This module implements a conservative sufficient condition capturing
+// exactly that discussion. FactorInnerPredicate(P, Q, p) factors p^a into
+// bp/fp inside the Magic program of (P, Q) when:
+//
+//  (C1) p has a single reachable adornment p^a with >= 1 bound and >= 1
+//       free position;
+//  (C2) the rules defining p^a reference only p^a and EDB predicates, are
+//       right-linear or exit rules, and are selection-pushing. Right-
+//       linearity matters because the inner magic set holds *multiple*
+//       seeds (one per outer call binding): left-linear and combined rules
+//       mix answers across seeds exactly as in Example 4.3's violations —
+//       this is why P2 of Example 7.2 is rejected;
+//  (C3) p^a has exactly one call site outside its own definition, and in
+//       that rule the connected component (over the remaining body atoms)
+//       feeding the call's bound arguments touches neither the rule's head
+//       variables nor the call's free (answer) variables. Under (C3) the
+//       inner magic set equals the component's bindings, so "an answer to
+//       some goal" and "an answer to this rule's goal" coincide — this is
+//       what separates q(Y) :- a(X,Z), p(Z,Y) (component {a} touches
+//       nothing visible) from q(X,Y) :- a(X,Z), p(Z,Y) (component touches
+//       the head variable X).
+
+#ifndef FACTLOG_CORE_NONUNIT_H_
+#define FACTLOG_CORE_NONUNIT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/adornment.h"
+#include "core/factoring.h"
+#include "core/rule_classes.h"
+#include "transform/magic.h"
+
+namespace factlog::core {
+
+/// Outcome of the §7.3 conditions.
+struct NonUnitReport {
+  bool factorable = false;
+  /// The adorned name of the inner predicate (e.g. "p_bf").
+  std::string predicate;
+  analysis::Adornment adornment;
+  /// Sub-program classification (C2).
+  ProgramClassification classification;
+  std::vector<std::string> reasons;
+};
+
+/// Result of non-unit factoring.
+struct NonUnitResult {
+  analysis::AdornedProgram adorned;
+  transform::MagicProgram magic;
+  NonUnitReport report;
+  /// Set when report.factorable: the Magic program with p^a factored.
+  std::optional<FactoredProgram> factored;
+};
+
+/// Checks (C1)-(C3) for `pred` in (program, query) and, when they hold,
+/// factors the adorned `pred` inside the Magic program. The query predicate
+/// itself is left binary/untouched — use core::OptimizeQuery for the unit
+/// case.
+Result<NonUnitResult> FactorInnerPredicate(const ast::Program& program,
+                                           const ast::Atom& query,
+                                           const std::string& pred);
+
+}  // namespace factlog::core
+
+#endif  // FACTLOG_CORE_NONUNIT_H_

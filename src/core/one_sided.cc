@@ -1,0 +1,245 @@
+#include "core/one_sided.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "ast/unify.h"
+
+namespace factlog::core {
+
+namespace {
+
+using ast::Atom;
+using ast::Rule;
+
+// Index of the single body occurrence of `pred`, or an error.
+Result<int> SingleOccurrence(const Rule& rule, const std::string& pred) {
+  int found = -1;
+  for (size_t i = 0; i < rule.body().size(); ++i) {
+    if (rule.body()[i].predicate() == pred) {
+      if (found >= 0) {
+        return Status::FailedPrecondition("rule is not linear: " +
+                                          rule.ToString());
+      }
+      found = static_cast<int>(i);
+    }
+  }
+  if (found < 0) {
+    return Status::FailedPrecondition("rule is not recursive: " +
+                                      rule.ToString());
+  }
+  return found;
+}
+
+}  // namespace
+
+Result<ast::Rule> ExpandRule(const ast::Rule& rule, const std::string& pred,
+                             ast::FreshVarGen* gen) {
+  FACTLOG_ASSIGN_OR_RETURN(int occ_index, SingleOccurrence(rule, pred));
+  Rule renamed = ast::RenameApart(rule, gen);
+  ast::Substitution subst;
+  if (!ast::UnifyAtoms(rule.body()[occ_index], renamed.head(), &subst)) {
+    return Status::Internal("self-unification failed for rule: " +
+                            rule.ToString());
+  }
+  std::vector<Atom> body;
+  for (int i = 0; i < occ_index; ++i) {
+    body.push_back(subst.DeepApply(rule.body()[i]));
+  }
+  for (const Atom& b : renamed.body()) body.push_back(subst.DeepApply(b));
+  for (size_t i = occ_index + 1; i < rule.body().size(); ++i) {
+    body.push_back(subst.DeepApply(rule.body()[i]));
+  }
+  return Rule(subst.DeepApply(rule.head()), std::move(body));
+}
+
+bool AvGraphReport::IsOneSided() const {
+  int moving = 0;
+  bool weight_one = false;
+  for (const Component& c : components) {
+    if (c.has_nonzero_cycle) {
+      ++moving;
+      weight_one = (c.cycle_gcd == 1);
+    }
+  }
+  return moving == 1 && weight_one;
+}
+
+bool AvGraphReport::IsSimpleOneSided() const {
+  int moving = 0;
+  bool simple = false;
+  for (const Component& c : components) {
+    if (c.has_nonzero_cycle) {
+      ++moving;
+      simple = (c.cycle_gcd == 1 && c.nonzero_cycles == 1);
+    }
+  }
+  return moving == 1 && simple;
+}
+
+Result<AvGraphReport> AnalyzeAvGraph(const ast::Rule& rule,
+                                     const std::string& pred) {
+  FACTLOG_ASSIGN_OR_RETURN(int occ_index, SingleOccurrence(rule, pred));
+  const Atom& head = rule.head();
+  const Atom& occ = rule.body()[occ_index];
+  if (head.arity() != occ.arity()) {
+    return Status::Invalid("arity mismatch between head and occurrence");
+  }
+
+  // Node table: variables.
+  std::map<std::string, int> ids;
+  auto id_of = [&ids](const std::string& v) {
+    auto [it, inserted] = ids.emplace(v, static_cast<int>(ids.size()));
+    return it->second;
+  };
+  struct Edge {
+    int from, to;
+    int64_t weight;  // pot(to) = pot(from) + weight
+  };
+  std::vector<Edge> edges;
+
+  // Weight-0 edges: variables co-occurring in a nonrecursive atom.
+  for (size_t i = 0; i < rule.body().size(); ++i) {
+    if (static_cast<int>(i) == occ_index) continue;
+    std::vector<std::string> vars = rule.body()[i].DistinctVars();
+    for (size_t k = 1; k < vars.size(); ++k) {
+      edges.push_back({id_of(vars[0]), id_of(vars[k]), 0});
+    }
+    for (const std::string& v : vars) id_of(v);
+  }
+  // Weight-1 edges: head position k flows to occurrence position k. A fixed
+  // variable (same name on both sides) imposes no movement, so its flow edge
+  // is omitted — its positions form zero-weight components.
+  for (size_t k = 0; k < head.arity(); ++k) {
+    if (!head.args()[k].IsVariable() || !occ.args()[k].IsVariable()) continue;
+    const std::string& hv = head.args()[k].var_name();
+    const std::string& ov = occ.args()[k].var_name();
+    id_of(hv);
+    id_of(ov);
+    if (hv == ov) continue;
+    edges.push_back({id_of(hv), id_of(ov), 1});
+  }
+
+  int n = static_cast<int>(ids.size());
+  std::vector<std::vector<std::pair<int, int64_t>>> adj(n);
+  for (const Edge& e : edges) {
+    adj[e.from].push_back({e.to, e.weight});
+    adj[e.to].push_back({e.from, -e.weight});
+  }
+
+  // Potential assignment per component; inconsistencies are cycle weights.
+  std::vector<int> comp(n, -1);
+  std::vector<int64_t> pot(n, 0);
+  std::vector<AvGraphReport::Component> components;
+  for (int start = 0; start < n; ++start) {
+    if (comp[start] >= 0) continue;
+    int c = static_cast<int>(components.size());
+    components.emplace_back();
+    std::vector<int> stack = {start};
+    comp[start] = c;
+    pot[start] = 0;
+    int64_t gcd = 0;
+    int nonzero = 0;
+    while (!stack.empty()) {
+      int u = stack.back();
+      stack.pop_back();
+      for (auto [v, w] : adj[u]) {
+        if (comp[v] < 0) {
+          comp[v] = c;
+          pot[v] = pot[u] + w;
+          stack.push_back(v);
+        } else {
+          int64_t diff = pot[u] + w - pot[v];
+          if (diff != 0) {
+            gcd = std::gcd(gcd, std::abs(diff));
+            ++nonzero;
+          }
+        }
+      }
+    }
+    components[c].has_nonzero_cycle = (gcd != 0);
+    components[c].cycle_gcd = gcd;
+    // Each nonzero inconsistency is seen once per edge direction.
+    components[c].nonzero_cycles = nonzero / 2;
+  }
+
+  // Attach argument positions via the head variables.
+  for (size_t k = 0; k < head.arity(); ++k) {
+    if (!head.args()[k].IsVariable()) continue;
+    auto it = ids.find(head.args()[k].var_name());
+    if (it != ids.end()) {
+      components[comp[it->second]].positions.insert(static_cast<int>(k));
+    }
+  }
+
+  AvGraphReport report;
+  report.components = std::move(components);
+  return report;
+}
+
+Result<std::optional<OneSidedForm>> FindOneSidedForm(const ast::Rule& rule,
+                                                     const std::string& pred,
+                                                     int max_expansions) {
+  ast::FreshVarGen gen("_X");
+  gen.ReserveFrom(rule);
+  Rule cur = rule;
+  for (int e = 0; e <= max_expansions; ++e) {
+    FACTLOG_ASSIGN_OR_RETURN(int occ_index, SingleOccurrence(cur, pred));
+    const Atom& head = cur.head();
+    const Atom& occ = cur.body()[occ_index];
+
+    std::set<int> persistent;
+    std::set<std::string> a_vars, b_vars, c_vars;
+    bool well_formed = true;
+    for (size_t k = 0; k < head.arity() && well_formed; ++k) {
+      if (!head.args()[k].IsVariable() || !occ.args()[k].IsVariable()) {
+        well_formed = false;
+        break;
+      }
+      const std::string& hv = head.args()[k].var_name();
+      const std::string& ov = occ.args()[k].var_name();
+      if (hv == ov) {
+        persistent.insert(static_cast<int>(k));
+        a_vars.insert(hv);
+      } else {
+        b_vars.insert(hv);
+        c_vars.insert(ov);
+      }
+    }
+    if (well_formed && !persistent.empty() &&
+        persistent.size() < head.arity()) {
+      // Vectors must be disjoint and no nonrecursive atom may touch A.
+      auto intersects = [](const std::set<std::string>& x,
+                           const std::set<std::string>& y) {
+        return std::any_of(x.begin(), x.end(), [&y](const std::string& v) {
+          return y.count(v) > 0;
+        });
+      };
+      bool ok = !intersects(a_vars, b_vars) && !intersects(a_vars, c_vars) &&
+                !intersects(b_vars, c_vars);
+      for (size_t i = 0; ok && i < cur.body().size(); ++i) {
+        if (static_cast<int>(i) == occ_index) continue;
+        for (const std::string& v : a_vars) {
+          if (cur.body()[i].ContainsVar(v)) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (ok) {
+        OneSidedForm form;
+        form.expansions = e;
+        form.rule = cur;
+        form.persistent_positions = persistent;
+        return std::optional<OneSidedForm>(std::move(form));
+      }
+    }
+    if (e < max_expansions) {
+      FACTLOG_ASSIGN_OR_RETURN(cur, ExpandRule(cur, pred, &gen));
+    }
+  }
+  return std::optional<OneSidedForm>();
+}
+
+}  // namespace factlog::core

@@ -1,0 +1,92 @@
+// One-sided recursions (§6.1, after [6], Theorems 6.1 and 6.2).
+//
+// A linear recursion is one-sided when only one "side" of the recursive
+// predicate's arguments changes across recursive applications. The paper
+// characterizes this via the full A/V (argument/variable) graph of [6]: only
+// one connected component may contain a cycle of nonzero weight, and that
+// component must have a cycle of weight 1 (Theorem 6.1).
+//
+// [6]'s full construction is not reproduced in the paper, so this module
+// provides a documented reconstruction:
+//   * nodes are the rule's variables;
+//   * an undirected weight-0 edge joins variables co-occurring in a
+//     nonrecursive body atom;
+//   * a directed weight-1 edge joins the head variable at position k to the
+//     body-occurrence variable at position k (one recursive application
+//     moves the value);
+//   * a component has a nonzero-weight cycle iff potential assignment along
+//     the edges is inconsistent; the gcd of all inconsistencies is the
+//     minimum cycle weight. "Has a cycle of weight 1" becomes gcd == 1.
+//
+// Independently, the *expansion* characterization the paper itself uses for
+// Theorem 6.2 is implemented: a simple one-sided recursion can be expanded
+// (substituting the rule into itself) until it takes form (1)
+//     p(A, B) :- p(A, C), c(C, D, B)
+// with disjoint variable vectors, i.e. one side persists verbatim.
+
+#ifndef FACTLOG_CORE_ONE_SIDED_H_
+#define FACTLOG_CORE_ONE_SIDED_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/program.h"
+#include "ast/substitution.h"
+#include "common/status.h"
+
+namespace factlog::core {
+
+/// Expands a linear recursive rule once: the body occurrence of `pred` is
+/// resolved against a renamed copy of the rule itself.
+Result<ast::Rule> ExpandRule(const ast::Rule& rule, const std::string& pred,
+                             ast::FreshVarGen* gen);
+
+/// A/V-graph analysis of one linear recursive rule.
+struct AvGraphReport {
+  struct Component {
+    /// Argument positions whose head variable lies in this component.
+    std::set<int> positions;
+    /// Some cycle has nonzero weight (the component "moves").
+    bool has_nonzero_cycle = false;
+    /// gcd of all cycle weights (0 when no nonzero cycle).
+    int64_t cycle_gcd = 0;
+    /// Number of independent nonzero-weight cycles found.
+    int nonzero_cycles = 0;
+  };
+  std::vector<Component> components;
+
+  /// Theorem 6.1: exactly one component with a nonzero-weight cycle, and
+  /// that component has a cycle of weight 1.
+  bool IsOneSided() const;
+  /// The stricter subclass used by Theorem 6.2: the moving component has
+  /// exactly one nonzero cycle, of weight 1.
+  bool IsSimpleOneSided() const;
+};
+
+/// Builds the A/V-graph report for a single linear recursive rule of `pred`.
+Result<AvGraphReport> AnalyzeAvGraph(const ast::Rule& rule,
+                                     const std::string& pred);
+
+/// Result of the expansion characterization.
+struct OneSidedForm {
+  /// Number of self-expansions applied (0 = already in form (1)).
+  int expansions = 0;
+  /// The expanded rule in form (1).
+  ast::Rule rule;
+  /// Positions whose variable persists (the vector A).
+  std::set<int> persistent_positions;
+};
+
+/// Tries to expand `rule` (up to `max_expansions` times) into form (1):
+/// a single recursive occurrence whose variables at the persistent positions
+/// equal the head's, with no nonrecursive atom touching those variables.
+/// Returns nullopt when no expansion matches.
+Result<std::optional<OneSidedForm>> FindOneSidedForm(const ast::Rule& rule,
+                                                     const std::string& pred,
+                                                     int max_expansions = 8);
+
+}  // namespace factlog::core
+
+#endif  // FACTLOG_CORE_ONE_SIDED_H_

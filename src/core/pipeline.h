@@ -1,0 +1,84 @@
+// The paper's two-step optimization pipeline: Magic Sets, then factoring,
+// then the §5 cleanups.
+//
+//   source (P, Q)
+//     -> [static argument reduction, Lemma 5.1/5.2, when it unlocks a class]
+//     -> adorned program P^ad               (analysis/adornment.h)
+//     -> Magic program P^mg                 (transform/magic.h)
+//     -> classification + factorability     (core/rule_classes.h, §4)
+//     -> factored program P^fact            (core/factoring.h, §3)
+//     -> optimized final program            (core/optimizations.h, §5)
+//
+// Every intermediate stage is retained in the PipelineResult so tests and
+// benchmarks can compare them (Fig. 1 is `magic.program`, Fig. 2 is
+// `factored->program`, the final unary program of Example 5.3 is
+// `optimized`).
+
+#ifndef FACTLOG_CORE_PIPELINE_H_
+#define FACTLOG_CORE_PIPELINE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/adornment.h"
+#include "core/factorability.h"
+#include "core/factoring.h"
+#include "core/optimizations.h"
+#include "core/rule_classes.h"
+#include "transform/magic.h"
+
+namespace factlog::core {
+
+struct PipelineOptions {
+  /// Retry classification after static-argument reduction (Lemma 5.1/5.2)
+  /// when the first attempt is not RLC-stable or not factorable.
+  bool try_static_reduction = true;
+  /// Run the §5 cleanup passes on the factored program.
+  bool apply_optimizations = true;
+  OptimizeOptions optimize;
+};
+
+struct PipelineResult {
+  /// The program/query the pipeline actually compiled (after any static
+  /// argument reduction).
+  ast::Program source;
+  ast::Atom source_query;
+  bool static_reduction_applied = false;
+  std::vector<int> reduced_positions;
+
+  analysis::AdornedProgram adorned;
+  transform::MagicProgram magic;
+  ProgramClassification classification;
+  FactorabilityReport factorability;
+
+  bool factoring_applied = false;
+  std::optional<FactoredProgram> factored;
+  /// §5-optimized factored program (when optimizations ran).
+  std::optional<ast::Program> optimized;
+
+  /// Human-readable decision log.
+  std::vector<std::string> trace;
+
+  /// The most optimized program available: optimized, else factored, else
+  /// the Magic program.
+  const ast::Program& final_program() const {
+    if (optimized.has_value()) return *optimized;
+    if (factored.has_value()) return factored->program;
+    return magic.program;
+  }
+  const ast::Atom& final_query() const {
+    return factored.has_value() ? factored->query : magic.query;
+  }
+};
+
+/// Runs the full pipeline. Always produces the Magic program; factoring and
+/// the §5 cleanups apply only when one of the Theorems 4.1-4.3 conditions
+/// holds (reported in `factorability`).
+Result<PipelineResult> OptimizeQuery(const ast::Program& program,
+                                     const ast::Atom& query,
+                                     const PipelineOptions& opts = {});
+
+}  // namespace factlog::core
+
+#endif  // FACTLOG_CORE_PIPELINE_H_

@@ -1,0 +1,113 @@
+// Rule classification for RLC-stable programs (Definitions 4.1-4.5).
+//
+// Works on the adorned unit program P^ad. Each rule is brought into standard
+// form with respect to the recursive predicate and classified as an exit,
+// left-linear, right-linear, or combined rule. Classification is positional
+// against the adornment: a body occurrence of p^a is
+//   * left-linear  when its bound-position variables equal the head's
+//     bound-position variables pointwise, and
+//   * right-linear when its free-position variables equal the head's
+//     free-position variables pointwise.
+// This criterion is invariant under the global argument permutations the
+// paper allows (Example 4.1 permutes t^{bfb} into an explicitly left-linear
+// form; both classify identically here).
+//
+// The EDB atoms of a classified rule are split into the Definition 4.5
+// conjunctions (left/first/last/center/right) by connected components of
+// shared variables; a component touching both the bound side and the free
+// side violates the template (for left-linear rules this is exactly the
+// pseudo-left-linear case of Definition 5.3, reported as such so the static
+// argument reduction of Lemma 5.2 can be tried).
+
+#ifndef FACTLOG_CORE_RULE_CLASSES_H_
+#define FACTLOG_CORE_RULE_CLASSES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/adornment.h"
+#include "analysis/cq.h"
+#include "common/status.h"
+
+namespace factlog::core {
+
+/// One occurrence of the recursive predicate in a rule body.
+struct OccurrenceInfo {
+  int body_index = -1;
+  bool left = false;
+  bool right = false;
+  std::vector<std::string> bound_vars;
+  std::vector<std::string> free_vars;
+};
+
+/// Classification of one rule plus its Definition 4.5 conjunctions.
+struct RuleShape {
+  enum class Kind {
+    kExit,
+    kLeftLinear,
+    kRightLinear,
+    kCombined,
+    kPseudoLeftLinear,  // Def 5.3: left and last share variables
+    kUnclassified,
+  };
+
+  Kind kind = Kind::kUnclassified;
+  int rule_index = -1;
+  /// The adorned rule in standard form w.r.t. the recursive predicate.
+  ast::Rule standard_rule;
+  std::vector<OccurrenceInfo> occurrences;
+
+  // Definition 4.5 conjunctions; only those applicable to `kind` are set.
+  std::optional<analysis::ConjunctiveQuery> bound_exit;   // exit rule
+  std::optional<analysis::ConjunctiveQuery> free_exit;    // exit rule
+  std::optional<analysis::ConjunctiveQuery> bound_q;      // "bound" (left conj)
+  std::optional<analysis::ConjunctiveQuery> free_q;       // "free" (right conj)
+  std::optional<analysis::ConjunctiveQuery> bound_first;  // right-linear
+  std::optional<analysis::ConjunctiveQuery> free_last;    // left-linear
+  std::optional<analysis::ConjunctiveQuery> middle;       // combined
+
+  std::string diagnostic;
+
+  bool IsRecursive() const { return !occurrences.empty(); }
+};
+
+/// Classification of a whole adorned program (Definition 4.4).
+struct ProgramClassification {
+  /// Single IDB predicate with a single reachable adornment.
+  bool unit_program = false;
+  /// All rules classified, exactly one exit rule.
+  bool rlc_stable = false;
+  /// Name of the (single) adorned recursive predicate.
+  std::string predicate;
+  analysis::Adornment adornment;
+  int exit_rule_index = -1;
+  int exit_rule_count = 0;
+  std::vector<RuleShape> shapes;
+  std::string diagnostic;
+
+  const RuleShape* ExitShape() const {
+    return exit_rule_index >= 0 ? &shapes[exit_rule_index] : nullptr;
+  }
+};
+
+/// Classifies every rule of the adorned program. Fails with
+/// kFailedPrecondition when the program is not a unit program or the query
+/// adornment has no bound or no free positions (factoring would be trivial).
+Result<ProgramClassification> ClassifyProgram(
+    const analysis::AdornedProgram& adorned);
+
+/// Classifies an explicit rule set as the definition of the adorned
+/// predicate `pred` (used by §7.3 non-unit factoring, where `pred` is not
+/// the query predicate). The rules must all have head `pred`; bodies may
+/// reference `pred` and EDB predicates only.
+Result<ProgramClassification> ClassifyRules(
+    const std::vector<ast::Rule>& adorned_rules, const std::string& pred,
+    const analysis::Adornment& adornment);
+
+/// Human-readable name of a shape kind ("left-linear", ...).
+const char* RuleShapeKindToString(RuleShape::Kind kind);
+
+}  // namespace factlog::core
+
+#endif  // FACTLOG_CORE_RULE_CLASSES_H_

@@ -1,0 +1,197 @@
+#include "core/separable.h"
+
+#include <algorithm>
+#include <map>
+
+namespace factlog::core {
+
+namespace {
+
+using ast::Atom;
+using ast::Rule;
+
+// Positions of `lit` whose variable occurs in some atom of `atoms`.
+std::set<int> SharedPositions(const Atom& lit,
+                              const std::vector<const Atom*>& atoms) {
+  std::set<int> out;
+  for (size_t i = 0; i < lit.arity(); ++i) {
+    if (!lit.args()[i].IsVariable()) continue;
+    const std::string& v = lit.args()[i].var_name();
+    for (const Atom* a : atoms) {
+      if (a->ContainsVar(v)) {
+        out.insert(static_cast<int>(i));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+// Variable name -> positions where it occurs in `lit` (variables only).
+std::map<std::string, std::vector<int>> VarPositions(const Atom& lit) {
+  std::map<std::string, std::vector<int>> out;
+  for (size_t i = 0; i < lit.arity(); ++i) {
+    if (lit.args()[i].IsVariable()) {
+      out[lit.args()[i].var_name()].push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+bool Disjoint(const std::set<int>& a, const std::set<int>& b) {
+  return std::none_of(a.begin(), a.end(),
+                      [&b](int x) { return b.count(x) > 0; });
+}
+
+// True when the atoms form at most one connected component under shared
+// variables.
+bool SingleComponent(const std::vector<const Atom*>& atoms) {
+  if (atoms.size() <= 1) return true;
+  std::vector<int> comp(atoms.size());
+  for (size_t i = 0; i < atoms.size(); ++i) comp[i] = static_cast<int>(i);
+  bool changed = true;
+  auto shares = [](const Atom& a, const Atom& b) {
+    std::vector<std::string> vars;
+    a.CollectVars(&vars);
+    return std::any_of(vars.begin(), vars.end(), [&b](const std::string& v) {
+      return b.ContainsVar(v);
+    });
+  };
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      for (size_t j = i + 1; j < atoms.size(); ++j) {
+        if (comp[i] != comp[j] && shares(*atoms[i], *atoms[j])) {
+          int from = std::max(comp[i], comp[j]);
+          int to = std::min(comp[i], comp[j]);
+          for (int& c : comp) {
+            if (c == from) c = to;
+          }
+          changed = true;
+        }
+      }
+    }
+  }
+  return std::all_of(comp.begin(), comp.end(),
+                     [&comp](int c) { return c == comp[0]; });
+}
+
+}  // namespace
+
+Result<SeparabilityReport> CheckSeparable(const ast::Program& program,
+                                          const std::string& pred) {
+  SeparabilityReport report;
+  report.linear = true;
+
+  for (const Rule& rule : program.rules()) {
+    if (rule.head().predicate() != pred) continue;
+    std::vector<const Atom*> occurrences;
+    std::vector<const Atom*> nonrecursive;
+    for (const Atom& b : rule.body()) {
+      if (b.predicate() == pred) {
+        occurrences.push_back(&b);
+      } else {
+        nonrecursive.push_back(&b);
+      }
+    }
+    if (occurrences.empty()) continue;  // exit rule
+    if (occurrences.size() > 1) {
+      report.linear = false;
+      report.diagnostic = "rule is not linear: " + rule.ToString();
+      return report;
+    }
+    const Atom& occ = *occurrences[0];
+
+    // Definition 6.1: shifting variables.
+    std::map<std::string, std::vector<int>> head_pos =
+        VarPositions(rule.head());
+    std::map<std::string, std::vector<int>> body_pos = VarPositions(occ);
+    std::set<int> fixed;
+    for (const auto& [var, hps] : head_pos) {
+      auto it = body_pos.find(var);
+      if (it == body_pos.end()) continue;
+      for (int hp : hps) {
+        for (int bp : it->second) {
+          if (hp != bp) {
+            report.diagnostic = "shifting variable " + var + " in rule: " +
+                                rule.ToString();
+            return report;
+          }
+          fixed.insert(hp);
+        }
+      }
+    }
+
+    report.head_shared.push_back(SharedPositions(rule.head(), nonrecursive));
+    report.body_shared.push_back(SharedPositions(occ, nonrecursive));
+    report.fixed_positions.push_back(std::move(fixed));
+
+    // Definition 6.4 (4): the body must be one maximal connected set. The
+    // connectivity includes the recursive occurrence (the canonical form
+    // t(X,Y) :- A(X), t(X,W), B(W,Y) is connected only through t), so the
+    // check is on the whole body.
+    std::vector<const Atom*> whole_body = nonrecursive;
+    whole_body.push_back(&occ);
+    if (!SingleComponent(whole_body)) {
+      report.diagnostic =
+          "body atoms split into multiple connected sets in rule: " +
+          rule.ToString();
+      return report;
+    }
+  }
+
+  // Definition 6.4 (2): t_i^h == t_i^b.
+  for (size_t i = 0; i < report.head_shared.size(); ++i) {
+    if (report.head_shared[i] != report.body_shared[i]) {
+      report.diagnostic = "t^h != t^b for recursive rule " + std::to_string(i);
+      return report;
+    }
+  }
+  // Definition 6.4 (3): pairwise equal or disjoint.
+  for (size_t i = 0; i < report.head_shared.size(); ++i) {
+    for (size_t j = i + 1; j < report.head_shared.size(); ++j) {
+      if (report.head_shared[i] != report.head_shared[j] &&
+          !Disjoint(report.head_shared[i], report.head_shared[j])) {
+        report.diagnostic = "t^h of rules " + std::to_string(i) + " and " +
+                            std::to_string(j) + " overlap without being equal";
+        return report;
+      }
+    }
+  }
+  report.separable = true;
+
+  // Definition 6.6: reducible iff no fixed variable position lies in t_i^h.
+  report.reducible = true;
+  for (size_t i = 0; i < report.head_shared.size(); ++i) {
+    if (!Disjoint(report.fixed_positions[i], report.head_shared[i])) {
+      report.reducible = false;
+      break;
+    }
+  }
+  return report;
+}
+
+bool IsFullSelection(const SeparabilityReport& report, const ast::Atom& query) {
+  if (!report.separable) return false;
+  std::set<int> bound;
+  for (size_t i = 0; i < query.arity(); ++i) {
+    if (query.args()[i].IsGround()) bound.insert(static_cast<int>(i));
+  }
+  if (bound.empty() || bound.size() == query.arity()) return false;
+  // The bound set must not cut any t_i^h group: each group is contained in
+  // the bound set or disjoint from it.
+  for (const std::set<int>& group : report.head_shared) {
+    bool inside = std::all_of(group.begin(), group.end(),
+                              [&bound](int p) { return bound.count(p) > 0; });
+    if (!inside && !Disjoint(group, bound)) return false;
+  }
+  // Likewise it must not cut the fixed-position groups.
+  for (const std::set<int>& group : report.fixed_positions) {
+    bool inside = std::all_of(group.begin(), group.end(),
+                              [&bound](int p) { return bound.count(p) > 0; });
+    if (!inside && !Disjoint(group, bound)) return false;
+  }
+  return true;
+}
+
+}  // namespace factlog::core

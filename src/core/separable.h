@@ -1,0 +1,60 @@
+// Separable recursions (§6.2, Definitions 6.1-6.6, Theorem 6.3).
+//
+// Separable recursions [7] are linear recursions whose argument positions
+// split into independent groups, admitting arity-reducing evaluation for
+// full-selection queries. Theorem 6.3 shows the *reducible* separable
+// recursions are subsumed by Magic Sets + factoring: the adorned program of
+// a full selection consists of left-linear rules with no left conjunction
+// and right-linear rules with no right conjunction, hence is
+// selection-pushing. The tests cross-validate this implementation against
+// core/factorability.h.
+
+#ifndef FACTLOG_CORE_SEPARABLE_H_
+#define FACTLOG_CORE_SEPARABLE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/program.h"
+#include "common/status.h"
+
+namespace factlog::core {
+
+struct SeparabilityReport {
+  /// Every recursive rule has exactly one body occurrence of the predicate.
+  bool linear = false;
+  /// Definition 6.4 holds.
+  bool separable = false;
+  /// Definition 6.6: no fixed variable appears in any t_i^h.
+  bool reducible = false;
+
+  /// Per recursive rule: head argument positions sharing a variable with a
+  /// nonrecursive body atom (t_i^h).
+  std::vector<std::set<int>> head_shared;
+  /// Per recursive rule: ditto for the body occurrence (t_i^b).
+  std::vector<std::set<int>> body_shared;
+  /// Per recursive rule: argument positions holding the same variable in
+  /// head and body occurrence (fixed variables, Definition 6.5).
+  std::vector<std::set<int>> fixed_positions;
+
+  std::string diagnostic;
+};
+
+/// Checks Definitions 6.1-6.6 for predicate `pred` in `program`:
+///   (1) no rule has shifting variables (a variable at different positions
+///       of the head and body occurrences),
+///   (2) t_i^h == t_i^b for every rule,
+///   (3) t_i^h and t_j^h are equal or disjoint for every pair,
+///   (4) removing the recursive occurrence leaves one maximal connected set.
+Result<SeparabilityReport> CheckSeparable(const ast::Program& program,
+                                          const std::string& pred);
+
+/// A full selection binds a union of the report's t_i^h groups covering
+/// every group it intersects — either the entire "EDB-interacting" side or
+/// its complement (the two query forms of Theorem 6.2).
+bool IsFullSelection(const SeparabilityReport& report, const ast::Atom& query);
+
+}  // namespace factlog::core
+
+#endif  // FACTLOG_CORE_SEPARABLE_H_

@@ -1,0 +1,53 @@
+#include "eval/database.h"
+
+namespace factlog::eval {
+
+Relation& Database::GetOrCreate(const std::string& name, size_t arity) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    it = relations_.emplace(name, std::make_unique<Relation>(arity)).first;
+  }
+  return *it->second;
+}
+
+Relation* Database::Find(const std::string& name) {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : it->second.get();
+}
+
+const Relation* Database::Find(const std::string& name) const {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : it->second.get();
+}
+
+Status Database::AddFact(const ast::Atom& fact) {
+  if (!fact.IsGround()) {
+    return Status::Invalid("EDB fact must be ground: " + fact.ToString());
+  }
+  std::vector<ValueId> row;
+  row.reserve(fact.arity());
+  for (const ast::Term& t : fact.args()) {
+    FACTLOG_ASSIGN_OR_RETURN(ValueId v, store_->FromTerm(t));
+    row.push_back(v);
+  }
+  GetOrCreate(fact.predicate(), fact.arity()).Insert(row);
+  return Status::OK();
+}
+
+void Database::AddPair(const std::string& name, int64_t a, int64_t b) {
+  std::vector<ValueId> row = {store_->InternInt(a), store_->InternInt(b)};
+  GetOrCreate(name, 2).Insert(row);
+}
+
+void Database::AddUnit(const std::string& name, int64_t a) {
+  std::vector<ValueId> row = {store_->InternInt(a)};
+  GetOrCreate(name, 1).Insert(row);
+}
+
+size_t Database::TotalFacts() const {
+  size_t n = 0;
+  for (const auto& [name, rel] : relations_) n += rel->size();
+  return n;
+}
+
+}  // namespace factlog::eval

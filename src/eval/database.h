@@ -1,0 +1,54 @@
+// Extensional database: named relations plus the value store.
+
+#ifndef FACTLOG_EVAL_DATABASE_H_
+#define FACTLOG_EVAL_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "ast/atom.h"
+#include "eval/relation.h"
+#include "eval/value.h"
+
+namespace factlog::eval {
+
+/// The EDB: a set of named base relations sharing one ValueStore. Evaluation
+/// engines read base relations from here and intern freshly constructed
+/// values into the same store (the store grows during evaluation; base
+/// relations do not).
+class Database {
+ public:
+  Database() : store_(std::make_unique<ValueStore>()) {}
+
+  ValueStore& store() { return *store_; }
+  const ValueStore& store() const { return *store_; }
+
+  /// Returns the named relation, creating an empty one on first use.
+  Relation& GetOrCreate(const std::string& name, size_t arity);
+  /// Returns the named relation or nullptr.
+  Relation* Find(const std::string& name);
+  const Relation* Find(const std::string& name) const;
+
+  /// Interns and inserts a ground fact `p(c1, ..., ck)`.
+  Status AddFact(const ast::Atom& fact);
+  /// Convenience: adds `name(a, b)` for integer pairs (graph edges).
+  void AddPair(const std::string& name, int64_t a, int64_t b);
+  /// Convenience: adds `name(a)` for an integer.
+  void AddUnit(const std::string& name, int64_t a);
+
+  const std::map<std::string, std::unique_ptr<Relation>>& relations() const {
+    return relations_;
+  }
+
+  /// Total number of tuples across all relations.
+  size_t TotalFacts() const;
+
+ private:
+  std::unique_ptr<ValueStore> store_;
+  std::map<std::string, std::unique_ptr<Relation>> relations_;
+};
+
+}  // namespace factlog::eval
+
+#endif  // FACTLOG_EVAL_DATABASE_H_

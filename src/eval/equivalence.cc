@@ -1,0 +1,134 @@
+#include "eval/equivalence.h"
+
+#include <random>
+#include <set>
+
+namespace factlog::eval {
+
+namespace {
+
+// Collects the integer and symbolic constants of a term.
+void CollectConstants(const ast::Term& t, std::set<int64_t>* ints,
+                      std::set<std::string>* syms) {
+  switch (t.kind()) {
+    case ast::Term::Kind::kVariable:
+      return;
+    case ast::Term::Kind::kInt:
+      ints->insert(t.int_value());
+      return;
+    case ast::Term::Kind::kSymbol:
+      syms->insert(t.symbol());
+      return;
+    case ast::Term::Kind::kCompound:
+      for (const ast::Term& a : t.args()) CollectConstants(a, ints, syms);
+      return;
+  }
+}
+
+void CollectConstants(const ast::Program& p, const ast::Atom& q,
+                      std::set<int64_t>* ints, std::set<std::string>* syms) {
+  auto from_atom = [&](const ast::Atom& a) {
+    for (const ast::Term& t : a.args()) CollectConstants(t, ints, syms);
+  };
+  for (const ast::Rule& r : p.rules()) {
+    from_atom(r.head());
+    for (const ast::Atom& b : r.body()) from_atom(b);
+  }
+  from_atom(q);
+}
+
+std::vector<std::string> RenderAnswers(const AnswerSet& answers,
+                                       const ValueStore& values) {
+  std::vector<std::string> out;
+  out.reserve(answers.rows.size());
+  for (const auto& row : answers.rows) {
+    std::string s = "(";
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += values.ToString(row[i]);
+    }
+    s += ")";
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Counterexample::ToString() const {
+  std::string out = "counterexample at trial " + std::to_string(trial) + "\nEDB:\n";
+  for (const std::string& f : edb_facts) out += "  " + f + "\n";
+  out += "program 1 answers:\n";
+  for (const std::string& a : answers1) out += "  " + a + "\n";
+  out += "program 2 answers:\n";
+  for (const std::string& a : answers2) out += "  " + a + "\n";
+  return out;
+}
+
+Result<std::optional<Counterexample>> FindCounterexample(
+    const ast::Program& p1, const ast::Atom& q1, const ast::Program& p2,
+    const ast::Atom& q2, const DiffTestOptions& opts) {
+  // Schema: union of the EDB predicates of both programs.
+  std::map<std::string, size_t> schema = p1.EdbPredicates();
+  for (const auto& [name, arity] : p2.EdbPredicates()) {
+    schema.emplace(name, arity);
+  }
+
+  // Constant pool for tuple values.
+  std::set<int64_t> ints;
+  std::set<std::string> syms;
+  CollectConstants(p1, q1, &ints, &syms);
+  CollectConstants(p2, q2, &ints, &syms);
+  for (int i = 1; i <= opts.domain_size; ++i) ints.insert(i);
+
+  std::vector<ast::Term> pool;
+  for (int64_t i : ints) pool.push_back(ast::Term::Int(i));
+  for (const std::string& s : syms) pool.push_back(ast::Term::Sym(s));
+
+  std::mt19937_64 rng(opts.seed);
+  std::uniform_int_distribution<size_t> pick_value(0, pool.size() - 1);
+  std::uniform_int_distribution<int> pick_count(0, opts.max_tuples);
+
+  for (int trial = 0; trial < opts.trials; ++trial) {
+    Database db;
+    std::vector<std::string> edb_facts;
+    for (const auto& [name, arity] : schema) {
+      int count = pick_count(rng);
+      for (int t = 0; t < count; ++t) {
+        std::vector<ast::Term> args;
+        args.reserve(arity);
+        for (size_t i = 0; i < arity; ++i) args.push_back(pool[pick_value(rng)]);
+        ast::Atom fact(name, std::move(args));
+        FACTLOG_RETURN_IF_ERROR(db.AddFact(fact));
+        edb_facts.push_back(fact.ToString() + ".");
+      }
+    }
+
+    FACTLOG_ASSIGN_OR_RETURN(AnswerSet a1,
+                             EvaluateQuery(p1, q1, &db, opts.eval));
+    FACTLOG_ASSIGN_OR_RETURN(AnswerSet a2,
+                             EvaluateQuery(p2, q2, &db, opts.eval));
+    if (a1.rows != a2.rows) {
+      Counterexample ce;
+      ce.trial = trial;
+      ce.edb_facts = std::move(edb_facts);
+      ce.answers1 = RenderAnswers(a1, db.store());
+      ce.answers2 = RenderAnswers(a2, db.store());
+      return std::optional<Counterexample>(std::move(ce));
+    }
+  }
+  return std::optional<Counterexample>();
+}
+
+Status CheckEquivalent(const ast::Program& p1, const ast::Atom& q1,
+                       const ast::Program& p2, const ast::Atom& q2,
+                       const DiffTestOptions& opts) {
+  FACTLOG_ASSIGN_OR_RETURN(std::optional<Counterexample> ce,
+                           FindCounterexample(p1, q1, p2, q2, opts));
+  if (ce.has_value()) {
+    return Status::FailedPrecondition("programs differ: " + ce->ToString());
+  }
+  return Status::OK();
+}
+
+}  // namespace factlog::eval

@@ -1,0 +1,61 @@
+// Randomized differential testing of program equivalence.
+//
+// Factorability is undecidable in general (Theorem 3.1), so beyond the
+// paper's sufficient conditions this module provides the complementary
+// falsifier: evaluate two (program, query) pairs over many random EDBs and
+// report the first EDB on which their answers differ. The paper's own
+// counterexamples (Theorem 3.1's EDB, the two violation EDBs of Example 4.3)
+// are instances this search rediscovers.
+
+#ifndef FACTLOG_EVAL_EQUIVALENCE_H_
+#define FACTLOG_EVAL_EQUIVALENCE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/program.h"
+#include "common/status.h"
+#include "eval/seminaive.h"
+
+namespace factlog::eval {
+
+struct DiffTestOptions {
+  int trials = 200;
+  /// Values are drawn from {1, ..., domain_size} plus all constants
+  /// mentioned in either program or query.
+  int domain_size = 4;
+  /// Per-relation tuple count is drawn uniformly from [0, max_tuples].
+  int max_tuples = 7;
+  uint64_t seed = 0xfac70914;
+  EvalOptions eval;
+};
+
+/// A witness that two programs disagree.
+struct Counterexample {
+  int trial = -1;
+  /// The EDB, rendered as ground facts.
+  std::vector<std::string> edb_facts;
+  /// Rendered answer tuples of each program.
+  std::vector<std::string> answers1;
+  std::vector<std::string> answers2;
+
+  std::string ToString() const;
+};
+
+/// Searches for an EDB on which the two (program, query) pairs disagree.
+/// Returns nullopt when all trials agree. Trials where either evaluation
+/// exhausts its budget are counted as failures (kResourceExhausted).
+Result<std::optional<Counterexample>> FindCounterexample(
+    const ast::Program& p1, const ast::Atom& q1, const ast::Program& p2,
+    const ast::Atom& q2, const DiffTestOptions& opts = DiffTestOptions());
+
+/// Convenience wrapper: OK when no counterexample is found;
+/// kFailedPrecondition carrying the rendered counterexample otherwise.
+Status CheckEquivalent(const ast::Program& p1, const ast::Atom& q1,
+                       const ast::Program& p2, const ast::Atom& q2,
+                       const DiffTestOptions& opts = DiffTestOptions());
+
+}  // namespace factlog::eval
+
+#endif  // FACTLOG_EVAL_EQUIVALENCE_H_

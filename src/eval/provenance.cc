@@ -1,0 +1,73 @@
+#include "eval/provenance.h"
+
+#include <algorithm>
+
+namespace factlog::eval {
+
+void ProvenanceStore::Record(const FactKey& fact, int rule_index,
+                             const std::vector<FactKey>& premises) {
+  map_.emplace(fact, Justification{rule_index, premises});
+}
+
+const Justification* ProvenanceStore::Find(const FactKey& fact) const {
+  auto it = map_.find(fact);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+size_t DerivationTree::Height() const {
+  size_t h = 0;
+  for (const DerivationTree& c : children) h = std::max(h, c.Height());
+  return h + 1;
+}
+
+size_t DerivationTree::NodeCount() const {
+  size_t n = 1;
+  for (const DerivationTree& c : children) n += c.NodeCount();
+  return n;
+}
+
+DerivationTree BuildDerivationTree(const ProvenanceStore& store,
+                                   const FactKey& fact) {
+  DerivationTree tree;
+  tree.fact = fact;
+  const Justification* just = store.Find(fact);
+  if (just == nullptr) return tree;  // EDB leaf
+  tree.rule_index = just->rule_index;
+  tree.children.reserve(just->premises.size());
+  for (const FactKey& p : just->premises) {
+    tree.children.push_back(BuildDerivationTree(store, p));
+  }
+  return tree;
+}
+
+namespace {
+
+void Render(const DerivationTree& t, const ValueStore& values, size_t depth,
+            std::string* out) {
+  out->append(depth * 2, ' ');
+  out->append(t.fact.predicate);
+  out->push_back('(');
+  for (size_t i = 0; i < t.fact.row.size(); ++i) {
+    if (i > 0) out->append(", ");
+    out->append(values.ToString(t.fact.row[i]));
+  }
+  out->push_back(')');
+  if (t.rule_index >= 0) {
+    out->append("   [rule " + std::to_string(t.rule_index) + "]");
+  }
+  out->push_back('\n');
+  for (const DerivationTree& c : t.children) {
+    Render(c, values, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string DerivationTreeToString(const DerivationTree& tree,
+                                   const ValueStore& values) {
+  std::string out;
+  Render(tree, values, 0, &out);
+  return out;
+}
+
+}  // namespace factlog::eval

@@ -1,0 +1,65 @@
+// Derivation trees (Definition 2.1 of the paper) via provenance recording.
+//
+// When enabled, the bottom-up engines record, for each IDB fact, the rule and
+// the body facts of the first instantiation that derived it. From this a
+// derivation tree can be reconstructed: EDB facts are leaves (clause (1) of
+// Def. 2.1), rule instantiations are internal nodes (clause (2)).
+
+#ifndef FACTLOG_EVAL_PROVENANCE_H_
+#define FACTLOG_EVAL_PROVENANCE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "eval/rule_eval.h"
+
+namespace factlog::eval {
+
+/// Why a fact holds: the index of the deriving rule and its body facts.
+struct Justification {
+  int rule_index = -1;
+  std::vector<FactKey> premises;
+};
+
+/// First-derivation provenance for IDB facts.
+class ProvenanceStore {
+ public:
+  /// Records a justification if the fact has none yet.
+  void Record(const FactKey& fact, int rule_index,
+              const std::vector<FactKey>& premises);
+
+  /// Returns the justification, or nullptr for EDB facts / unknown facts.
+  const Justification* Find(const FactKey& fact) const;
+
+  size_t size() const { return map_.size(); }
+
+ private:
+  std::unordered_map<FactKey, Justification, FactKeyHash> map_;
+};
+
+/// A derivation tree per Definition 2.1. `rule_index` is -1 for leaves
+/// (EDB facts or program facts with empty bodies).
+struct DerivationTree {
+  FactKey fact;
+  int rule_index = -1;
+  std::vector<DerivationTree> children;
+
+  /// Height with single-node trees having height 1 (as in the paper's
+  /// induction).
+  size_t Height() const;
+  size_t NodeCount() const;
+};
+
+/// Reconstructs the derivation tree rooted at `fact`. Facts without a
+/// recorded justification become leaves.
+DerivationTree BuildDerivationTree(const ProvenanceStore& store,
+                                   const FactKey& fact);
+
+/// Renders a tree, one node per line, indented; facts printed via `store`.
+std::string DerivationTreeToString(const DerivationTree& tree,
+                                   const ValueStore& values);
+
+}  // namespace factlog::eval
+
+#endif  // FACTLOG_EVAL_PROVENANCE_H_

@@ -1,0 +1,88 @@
+#include "eval/relation.h"
+
+#include <cstring>
+
+namespace factlog::eval {
+
+const std::vector<uint32_t> Relation::kEmptyRows;
+
+size_t Relation::RowHash(const ValueId* row) const {
+  size_t h = arity_;
+  for (size_t i = 0; i < arity_; ++i) {
+    h ^= std::hash<int32_t>()(row[i]) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+  }
+  return h;
+}
+
+bool Relation::Insert(const std::vector<ValueId>& row) {
+  return Insert(row.data());
+}
+
+bool Relation::Insert(const ValueId* row) {
+  size_t h = RowHash(row);
+  auto& bucket = dedup_[h];
+  for (uint32_t r : bucket) {
+    if (std::memcmp(this->row(r), row, arity_ * sizeof(ValueId)) == 0) {
+      return false;
+    }
+  }
+  uint32_t new_row = static_cast<uint32_t>(num_rows_);
+  bucket.push_back(new_row);
+  cells_.insert(cells_.end(), row, row + arity_);
+  ++num_rows_;
+  for (auto& [cols, index] : indices_) {
+    AddRowToIndex(cols, &index, new_row);
+  }
+  return true;
+}
+
+bool Relation::Contains(const ValueId* row) const {
+  size_t h = RowHash(row);
+  auto it = dedup_.find(h);
+  if (it == dedup_.end()) return false;
+  for (uint32_t r : it->second) {
+    if (std::memcmp(this->row(r), row, arity_ * sizeof(ValueId)) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Relation::AddRowToIndex(const std::vector<int>& cols, Index* index,
+                             uint32_t r) {
+  std::vector<ValueId> key;
+  key.reserve(cols.size());
+  const ValueId* cells = row(r);
+  for (int c : cols) key.push_back(cells[c]);
+  index->buckets[std::move(key)].push_back(r);
+}
+
+const std::vector<uint32_t>& Relation::Lookup(const std::vector<int>& cols,
+                                              const std::vector<ValueId>& key) {
+  auto [it, inserted] = indices_.try_emplace(cols);
+  Index& index = it->second;
+  if (inserted) {
+    for (uint32_t r = 0; r < num_rows_; ++r) {
+      AddRowToIndex(cols, &index, r);
+    }
+  }
+  auto bucket = index.buckets.find(key);
+  if (bucket == index.buckets.end()) return kEmptyRows;
+  return bucket->second;
+}
+
+void Relation::Clear() {
+  num_rows_ = 0;
+  cells_.clear();
+  dedup_.clear();
+  indices_.clear();
+}
+
+void Relation::Absorb(const Relation& other) {
+  for (size_t r = 0; r < other.size(); ++r) {
+    Insert(other.row(r));
+  }
+}
+
+}  // namespace factlog::eval

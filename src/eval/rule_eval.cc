@@ -1,0 +1,393 @@
+#include "eval/rule_eval.h"
+
+#include <map>
+
+#include "ast/special_predicates.h"
+
+namespace factlog::eval {
+
+namespace {
+
+Result<Pat> CompileTerm(const ast::Term& t, std::map<std::string, int>* vars,
+                        std::vector<std::string>* var_names,
+                        ValueStore* store) {
+  Pat p;
+  switch (t.kind()) {
+    case ast::Term::Kind::kVariable: {
+      p.kind = Pat::Kind::kVar;
+      auto [it, inserted] =
+          vars->emplace(t.var_name(), static_cast<int>(var_names->size()));
+      if (inserted) var_names->push_back(t.var_name());
+      p.var = it->second;
+      return p;
+    }
+    case ast::Term::Kind::kInt:
+      p.kind = Pat::Kind::kConst;
+      p.const_id = store->InternInt(t.int_value());
+      return p;
+    case ast::Term::Kind::kSymbol:
+      p.kind = Pat::Kind::kConst;
+      p.const_id = store->InternSym(t.symbol());
+      return p;
+    case ast::Term::Kind::kCompound: {
+      // A ground compound compiles to a constant; otherwise to an kApp
+      // pattern that destructures at match time.
+      if (t.IsGround()) {
+        FACTLOG_ASSIGN_OR_RETURN(ValueId v, store->FromTerm(t));
+        p.kind = Pat::Kind::kConst;
+        p.const_id = v;
+        return p;
+      }
+      p.kind = Pat::Kind::kApp;
+      p.functor = t.symbol();
+      p.children.reserve(t.args().size());
+      for (const ast::Term& a : t.args()) {
+        FACTLOG_ASSIGN_OR_RETURN(Pat c, CompileTerm(a, vars, var_names, store));
+        p.children.push_back(std::move(c));
+      }
+      return p;
+    }
+  }
+  return Status::Internal("unknown term kind");
+}
+
+Result<CompiledAtom> CompileAtom(const ast::Atom& a,
+                                 std::map<std::string, int>* vars,
+                                 std::vector<std::string>* var_names,
+                                 ValueStore* store) {
+  CompiledAtom out;
+  out.predicate = a.predicate();
+  if (a.predicate() == ast::kEqualPredicate) {
+    if (a.arity() != 2) {
+      return Status::Invalid("equal/2 used with arity " +
+                             std::to_string(a.arity()));
+    }
+    out.kind = LitKind::kEqual;
+  } else if (a.predicate() == ast::kAffinePredicate) {
+    if (a.arity() != 4) {
+      return Status::Invalid("affine/4 used with arity " +
+                             std::to_string(a.arity()));
+    }
+    out.kind = LitKind::kAffine;
+  } else if (a.predicate() == ast::kGeqPredicate) {
+    if (a.arity() != 2) {
+      return Status::Invalid("geq/2 used with arity " +
+                             std::to_string(a.arity()));
+    }
+    out.kind = LitKind::kGeq;
+  } else {
+    out.kind = LitKind::kRelation;
+  }
+  out.args.reserve(a.arity());
+  for (const ast::Term& t : a.args()) {
+    FACTLOG_ASSIGN_OR_RETURN(Pat p, CompileTerm(t, vars, var_names, store));
+    out.args.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<CompiledRule> CompiledRule::Compile(const ast::Rule& rule,
+                                           ValueStore* store) {
+  CompiledRule out;
+  out.source_ = rule;
+  std::map<std::string, int> vars;
+  // Compile the body first so variable indices follow binding order; the
+  // head only reuses body variables in range-restricted rules.
+  for (const ast::Atom& b : rule.body()) {
+    FACTLOG_ASSIGN_OR_RETURN(
+        CompiledAtom ca, CompileAtom(b, &vars, &out.var_names_, store));
+    out.body_.push_back(std::move(ca));
+  }
+  FACTLOG_ASSIGN_OR_RETURN(
+      out.head_, CompileAtom(rule.head(), &vars, &out.var_names_, store));
+  return out;
+}
+
+namespace {
+
+// Mutable join state shared by the recursive enumeration.
+struct JoinContext {
+  const CompiledRule* rule;
+  ValueStore* store;
+  const std::vector<RelationView>* views;
+  bool track_premises;
+  JoinStats* stats;
+  const HeadSink* sink;
+
+  std::vector<ValueId> env;       // var index -> value or kInvalidValue
+  std::vector<int> trail;         // bound var indices, for unwinding
+  std::vector<FactKey> premises;  // relation-literal facts, body order
+  Status status = Status::OK();
+  bool keep_going = true;
+};
+
+// Attempts to fully evaluate `p` under the current environment.
+std::optional<ValueId> TryBuild(const Pat& p, JoinContext* ctx) {
+  switch (p.kind) {
+    case Pat::Kind::kConst:
+      return p.const_id;
+    case Pat::Kind::kVar: {
+      ValueId v = ctx->env[p.var];
+      if (v == kInvalidValue) return std::nullopt;
+      return v;
+    }
+    case Pat::Kind::kApp: {
+      std::vector<ValueId> children;
+      children.reserve(p.children.size());
+      for (const Pat& c : p.children) {
+        std::optional<ValueId> v = TryBuild(c, ctx);
+        if (!v.has_value()) return std::nullopt;
+        children.push_back(*v);
+      }
+      return ctx->store->InternApp(p.functor, std::move(children));
+    }
+  }
+  return std::nullopt;
+}
+
+// Matches value `v` against pattern `p`, binding variables (recorded on the
+// trail). Returns false on mismatch; the caller unwinds the trail.
+bool MatchPat(const Pat& p, ValueId v, JoinContext* ctx) {
+  switch (p.kind) {
+    case Pat::Kind::kConst:
+      return p.const_id == v;
+    case Pat::Kind::kVar: {
+      ValueId cur = ctx->env[p.var];
+      if (cur != kInvalidValue) return cur == v;
+      ctx->env[p.var] = v;
+      ctx->trail.push_back(p.var);
+      return true;
+    }
+    case Pat::Kind::kApp: {
+      const ValueStore& s = *ctx->store;
+      if (!s.IsCompound(v)) return false;
+      if (s.symbol(v) != p.functor) return false;
+      if (s.NumChildren(v) != p.children.size()) return false;
+      for (size_t i = 0; i < p.children.size(); ++i) {
+        if (!MatchPat(p.children[i], s.Child(v, i), ctx)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void UnwindTrail(JoinContext* ctx, size_t mark) {
+  while (ctx->trail.size() > mark) {
+    ctx->env[ctx->trail.back()] = kInvalidValue;
+    ctx->trail.pop_back();
+  }
+}
+
+void EnumerateFrom(size_t lit_index, JoinContext* ctx);
+
+void EmitHead(JoinContext* ctx) {
+  const CompiledAtom& head = ctx->rule->head();
+  std::vector<ValueId> row;
+  row.reserve(head.args.size());
+  for (const Pat& p : head.args) {
+    std::optional<ValueId> v = TryBuild(p, ctx);
+    if (!v.has_value()) {
+      ctx->status = Status::Internal(
+          "unbound variable while constructing head of rule: " +
+          ctx->rule->source().ToString());
+      ctx->keep_going = false;
+      return;
+    }
+    row.push_back(*v);
+  }
+  ++ctx->stats->instantiations;
+  bool cont = (*ctx->sink)(row, ctx->track_premises ? &ctx->premises : nullptr);
+  if (!cont) ctx->keep_going = false;
+}
+
+void EnumerateBuiltinEqual(size_t lit_index, const CompiledAtom& lit,
+                           JoinContext* ctx) {
+  std::optional<ValueId> lhs = TryBuild(lit.args[0], ctx);
+  std::optional<ValueId> rhs = TryBuild(lit.args[1], ctx);
+  size_t mark = ctx->trail.size();
+  bool ok;
+  if (lhs.has_value() && rhs.has_value()) {
+    ok = (*lhs == *rhs);
+  } else if (lhs.has_value()) {
+    ok = MatchPat(lit.args[1], *lhs, ctx);
+  } else if (rhs.has_value()) {
+    ok = MatchPat(lit.args[0], *rhs, ctx);
+  } else {
+    ctx->status = Status::Invalid(
+        "equal/2 with both sides unbound in rule: " +
+        ctx->rule->source().ToString());
+    ctx->keep_going = false;
+    return;
+  }
+  if (ok) EnumerateFrom(lit_index + 1, ctx);
+  UnwindTrail(ctx, mark);
+}
+
+void EnumerateBuiltinAffine(size_t lit_index, const CompiledAtom& lit,
+                            JoinContext* ctx) {
+  // affine(X, A, B, Z): Z = A*X + B.
+  std::optional<ValueId> a_id = TryBuild(lit.args[1], ctx);
+  std::optional<ValueId> b_id = TryBuild(lit.args[2], ctx);
+  const ValueStore& s = *ctx->store;
+  if (!a_id.has_value() || !b_id.has_value() || !s.IsInt(*a_id) ||
+      !s.IsInt(*b_id)) {
+    ctx->status = Status::Invalid(
+        "affine/4 requires ground integer coefficients in rule: " +
+        ctx->rule->source().ToString());
+    ctx->keep_going = false;
+    return;
+  }
+  int64_t a = s.int_value(*a_id);
+  int64_t b = s.int_value(*b_id);
+  std::optional<ValueId> x_id = TryBuild(lit.args[0], ctx);
+  size_t mark = ctx->trail.size();
+  if (x_id.has_value()) {
+    if (!s.IsInt(*x_id)) return;
+    int64_t z = a * s.int_value(*x_id) + b;
+    if (MatchPat(lit.args[3], ctx->store->InternInt(z), ctx)) {
+      EnumerateFrom(lit_index + 1, ctx);
+    }
+    UnwindTrail(ctx, mark);
+    return;
+  }
+  std::optional<ValueId> z_id = TryBuild(lit.args[3], ctx);
+  if (z_id.has_value()) {
+    if (!s.IsInt(*z_id) || a == 0) return;
+    int64_t diff = s.int_value(*z_id) - b;
+    if (diff % a != 0) return;
+    if (MatchPat(lit.args[0], ctx->store->InternInt(diff / a), ctx)) {
+      EnumerateFrom(lit_index + 1, ctx);
+    }
+    UnwindTrail(ctx, mark);
+    return;
+  }
+  ctx->status = Status::Invalid(
+      "affine/4 with both X and Z unbound in rule: " +
+      ctx->rule->source().ToString());
+  ctx->keep_going = false;
+}
+
+void EnumerateBuiltinGeq(size_t lit_index, const CompiledAtom& lit,
+                         JoinContext* ctx) {
+  std::optional<ValueId> lhs = TryBuild(lit.args[0], ctx);
+  std::optional<ValueId> rhs = TryBuild(lit.args[1], ctx);
+  const ValueStore& s = *ctx->store;
+  if (!lhs.has_value() || !rhs.has_value()) {
+    ctx->status = Status::Invalid("geq/2 requires both arguments bound in "
+                                  "rule: " + ctx->rule->source().ToString());
+    ctx->keep_going = false;
+    return;
+  }
+  if (!s.IsInt(*lhs) || !s.IsInt(*rhs)) return;  // non-integers: no match
+  if (s.int_value(*lhs) >= s.int_value(*rhs)) {
+    EnumerateFrom(lit_index + 1, ctx);
+  }
+}
+
+void EnumerateRelation(size_t lit_index, const CompiledAtom& lit,
+                       JoinContext* ctx) {
+  const RelationView& view = (*ctx->views)[lit_index];
+
+  // Determine which argument positions are ground under the current
+  // environment; they form the index key.
+  std::vector<int> cols;
+  std::vector<ValueId> key;
+  for (size_t i = 0; i < lit.args.size(); ++i) {
+    std::optional<ValueId> v = TryBuild(lit.args[i], ctx);
+    if (v.has_value()) {
+      cols.push_back(static_cast<int>(i));
+      key.push_back(*v);
+    }
+  }
+
+  Relation* rels[2] = {view.first, view.second};
+  for (Relation* rel : rels) {
+    if (rel == nullptr || rel->empty()) continue;
+    if (!ctx->keep_going) return;
+
+    auto try_row = [&](const ValueId* row) {
+      size_t mark = ctx->trail.size();
+      bool ok = true;
+      for (size_t i = 0; i < lit.args.size(); ++i) {
+        if (!MatchPat(lit.args[i], row[i], ctx)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        ++ctx->stats->rows_matched;
+        if (ctx->track_premises) {
+          FactKey fk;
+          fk.predicate = lit.predicate;
+          fk.row.assign(row, row + lit.args.size());
+          ctx->premises.push_back(std::move(fk));
+        }
+        EnumerateFrom(lit_index + 1, ctx);
+        if (ctx->track_premises) ctx->premises.pop_back();
+      }
+      UnwindTrail(ctx, mark);
+    };
+
+    if (cols.empty()) {
+      for (size_t r = 0; r < rel->size() && ctx->keep_going; ++r) {
+        try_row(rel->row(r));
+      }
+    } else {
+      const std::vector<uint32_t>& rows = rel->Lookup(cols, key);
+      for (uint32_t r : rows) {
+        if (!ctx->keep_going) break;
+        try_row(rel->row(r));
+      }
+    }
+  }
+}
+
+void EnumerateFrom(size_t lit_index, JoinContext* ctx) {
+  if (!ctx->keep_going) return;
+  const auto& body = ctx->rule->body();
+  if (lit_index == body.size()) {
+    EmitHead(ctx);
+    return;
+  }
+  const CompiledAtom& lit = body[lit_index];
+  switch (lit.kind) {
+    case LitKind::kEqual:
+      EnumerateBuiltinEqual(lit_index, lit, ctx);
+      return;
+    case LitKind::kAffine:
+      EnumerateBuiltinAffine(lit_index, lit, ctx);
+      return;
+    case LitKind::kGeq:
+      EnumerateBuiltinGeq(lit_index, lit, ctx);
+      return;
+    case LitKind::kRelation:
+      EnumerateRelation(lit_index, lit, ctx);
+      return;
+  }
+}
+
+}  // namespace
+
+Status EnumerateRule(const CompiledRule& rule, ValueStore* store,
+                     const std::vector<RelationView>& views,
+                     bool track_premises, JoinStats* stats,
+                     const HeadSink& sink) {
+  if (views.size() != rule.body().size()) {
+    return Status::Invalid("views size does not match body size");
+  }
+  JoinContext ctx;
+  ctx.rule = &rule;
+  ctx.store = store;
+  ctx.views = &views;
+  ctx.track_premises = track_premises;
+  ctx.stats = stats;
+  ctx.sink = &sink;
+  ctx.env.assign(rule.num_vars(), kInvalidValue);
+  EnumerateFrom(0, &ctx);
+  return ctx.status;
+}
+
+}  // namespace factlog::eval

@@ -1,0 +1,129 @@
+// Compiled rules and the join loop shared by the bottom-up engines.
+//
+// A rule is compiled once: variables become dense indices, argument terms
+// become patterns. Evaluation enumerates body matches left-to-right (the same
+// sideways-information-passing order the paper's adornments assume), using
+// per-relation hash indices on the argument positions that are ground under
+// the current partial binding.
+
+#ifndef FACTLOG_EVAL_RULE_EVAL_H_
+#define FACTLOG_EVAL_RULE_EVAL_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/rule.h"
+#include "common/status.h"
+#include "eval/database.h"
+
+namespace factlog::eval {
+
+/// Compiled argument pattern: a term with variables as dense indices.
+struct Pat {
+  enum class Kind { kConst, kVar, kApp };
+  Kind kind = Kind::kConst;
+  ValueId const_id = kInvalidValue;  // kConst
+  int var = -1;                      // kVar
+  std::string functor;               // kApp
+  std::vector<Pat> children;         // kApp
+};
+
+/// Kind of a compiled body literal.
+enum class LitKind {
+  kRelation,     // stored predicate (EDB or IDB)
+  kEqual,        // builtin equal/2
+  kAffine,       // builtin affine/4: affine(X, A, B, Z) <=> Z = A*X + B
+  kGeq,          // builtin geq/2: X >= C over integers
+};
+
+/// A compiled atom: predicate plus argument patterns.
+struct CompiledAtom {
+  std::string predicate;
+  LitKind kind = LitKind::kRelation;
+  std::vector<Pat> args;
+};
+
+/// A rule compiled against a ValueStore (constants are pre-interned).
+class CompiledRule {
+ public:
+  /// Compiles `rule`, interning its constants into `store`.
+  static Result<CompiledRule> Compile(const ast::Rule& rule, ValueStore* store);
+
+  int num_vars() const { return static_cast<int>(var_names_.size()); }
+  const std::vector<std::string>& var_names() const { return var_names_; }
+  const CompiledAtom& head() const { return head_; }
+  const std::vector<CompiledAtom>& body() const { return body_; }
+  const ast::Rule& source() const { return source_; }
+
+ private:
+  ast::Rule source_;
+  CompiledAtom head_;
+  std::vector<CompiledAtom> body_;
+  std::vector<std::string> var_names_;
+};
+
+/// The extent of one predicate during a join: the union of up to two
+/// relations (semi-naive evaluation unions "full" and "delta"). Either may be
+/// null. The two relations must be disjoint (the engines guarantee this).
+struct RelationView {
+  Relation* first = nullptr;
+  Relation* second = nullptr;
+
+  bool IsEmpty() const {
+    return (first == nullptr || first->empty()) &&
+           (second == nullptr || second->empty());
+  }
+};
+
+/// A ground fact reference used for provenance premises.
+struct FactKey {
+  std::string predicate;
+  std::vector<ValueId> row;
+
+  bool operator==(const FactKey& o) const {
+    return predicate == o.predicate && row == o.row;
+  }
+  bool operator<(const FactKey& o) const {
+    if (predicate != o.predicate) return predicate < o.predicate;
+    return row < o.row;
+  }
+};
+
+struct FactKeyHash {
+  size_t operator()(const FactKey& k) const {
+    size_t h = std::hash<std::string>()(k.predicate);
+    for (ValueId v : k.row) {
+      h ^= std::hash<int32_t>()(v) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+           (h >> 2);
+    }
+    return h;
+  }
+};
+
+/// Receives each ground head row produced by a rule instantiation. `premises`
+/// is non-null only when premise tracking is enabled; it lists the body facts
+/// (relation literals only) of this instantiation in body order. Return false
+/// to stop enumeration.
+using HeadSink = std::function<bool(const std::vector<ValueId>& head_row,
+                                    const std::vector<FactKey>* premises)>;
+
+/// Join statistics, accumulated across Enumerate calls.
+struct JoinStats {
+  uint64_t rows_matched = 0;
+  uint64_t instantiations = 0;
+};
+
+/// Enumerates all instantiations of `rule` where body literal i ranges over
+/// `views[i]` (ignored for builtin literals), calling `sink` with each ground
+/// head. Returns kInvalidArgument when a builtin cannot run (e.g. `equal`
+/// with both sides unbound).
+Status EnumerateRule(const CompiledRule& rule, ValueStore* store,
+                     const std::vector<RelationView>& views,
+                     bool track_premises, JoinStats* stats,
+                     const HeadSink& sink);
+
+}  // namespace factlog::eval
+
+#endif  // FACTLOG_EVAL_RULE_EVAL_H_

@@ -1,0 +1,326 @@
+#include "eval/seminaive.h"
+
+#include <algorithm>
+#include <set>
+
+#include "ast/special_predicates.h"
+
+namespace factlog::eval {
+
+namespace {
+
+// Shared state for one bottom-up evaluation.
+class Engine {
+ public:
+  Engine(const ast::Program& program, Database* db, const EvalOptions& opts)
+      : program_(program), db_(db), opts_(opts) {}
+
+  Result<EvalResult> Run() {
+    FACTLOG_RETURN_IF_ERROR(Prepare());
+    Status st = (opts_.strategy == Strategy::kSemiNaive) ? RunSemiNaive()
+                                                         : RunNaive();
+    FACTLOG_RETURN_IF_ERROR(st);
+    return Finish();
+  }
+
+ private:
+  struct PredState {
+    std::unique_ptr<Relation> full;
+    std::unique_ptr<Relation> delta;
+    std::unique_ptr<Relation> next;
+  };
+
+  Status Prepare() {
+    FACTLOG_RETURN_IF_ERROR(program_.Validate());
+    idb_preds_ = program_.IdbPredicates();
+    auto arities = program_.PredicateArities();
+    for (const std::string& p : idb_preds_) {
+      size_t arity = arities.at(p);
+      PredState st;
+      st.full = std::make_unique<Relation>(arity);
+      st.delta = std::make_unique<Relation>(arity);
+      st.next = std::make_unique<Relation>(arity);
+      preds_.emplace(p, std::move(st));
+    }
+    rules_.reserve(program_.rules().size());
+    for (const ast::Rule& r : program_.rules()) {
+      FACTLOG_ASSIGN_OR_RETURN(CompiledRule cr,
+                               CompiledRule::Compile(r, &db_->store()));
+      rules_.push_back(std::move(cr));
+    }
+    return Status::OK();
+  }
+
+  bool IsIdb(const std::string& pred) const {
+    return idb_preds_.count(pred) > 0;
+  }
+
+  // The extent of a body literal outside semi-naive delta handling.
+  RelationView FullView(const CompiledAtom& lit) {
+    if (lit.kind != LitKind::kRelation) return RelationView{};
+    if (IsIdb(lit.predicate)) {
+      return RelationView{preds_.at(lit.predicate).full.get(), nullptr};
+    }
+    return RelationView{db_->Find(lit.predicate), nullptr};
+  }
+
+  uint64_t TotalIdbFacts() const {
+    uint64_t n = 0;
+    for (const auto& [name, st] : preds_) {
+      n += st.full->size() + st.delta->size() + st.next->size();
+    }
+    return n;
+  }
+
+  // Sink that inserts new facts into `target` unless already known in the
+  // pred's full/delta extent. Returns the abort flag through `status_`.
+  HeadSink MakeSink(size_t rule_index, const std::string& head_pred,
+                    Relation* target, bool check_known) {
+    return [this, rule_index, head_pred, target, check_known](
+               const std::vector<ValueId>& row,
+               const std::vector<FactKey>* premises) -> bool {
+      if (check_known) {
+        const PredState& st = preds_.at(head_pred);
+        if (st.full->Contains(row.data()) || st.delta->Contains(row.data())) {
+          return true;
+        }
+      }
+      bool inserted = target->Insert(row);
+      if (inserted) {
+        if (opts_.track_provenance) {
+          FactKey fact{head_pred, row};
+          std::vector<FactKey> prem;
+          if (premises != nullptr) prem = *premises;
+          result_.mutable_provenance()->Record(
+              fact, static_cast<int>(rule_index), prem);
+        }
+        if (TotalIdbFacts() > opts_.max_facts) {
+          status_ = Status::ResourceExhausted(
+              "fact budget exceeded (" + std::to_string(opts_.max_facts) +
+              "); program may not terminate");
+          return false;
+        }
+      }
+      return true;
+    };
+  }
+
+  Status RunSemiNaive() {
+    // Iteration 0: rules without IDB body literals seed the deltas.
+    for (size_t i = 0; i < rules_.size(); ++i) {
+      const CompiledRule& rule = rules_[i];
+      bool has_idb = false;
+      for (const CompiledAtom& lit : rule.body()) {
+        if (lit.kind == LitKind::kRelation && IsIdb(lit.predicate)) {
+          has_idb = true;
+          break;
+        }
+      }
+      if (has_idb) continue;
+      std::vector<RelationView> views;
+      views.reserve(rule.body().size());
+      for (const CompiledAtom& lit : rule.body()) views.push_back(FullView(lit));
+      const std::string& head_pred = rule.head().predicate;
+      Relation* delta = preds_.at(head_pred).delta.get();
+      FACTLOG_RETURN_IF_ERROR(EnumerateRule(
+          rule, &db_->store(), views, opts_.track_provenance, &join_stats_,
+          MakeSink(i, head_pred, delta, /*check_known=*/false)));
+      FACTLOG_RETURN_IF_ERROR(status_);
+    }
+
+    while (true) {
+      ++result_.mutable_stats()->iterations;
+      if (result_.stats().iterations > opts_.max_iterations) {
+        return Status::ResourceExhausted("iteration budget exceeded");
+      }
+      bool any_delta = false;
+      for (const auto& [name, st] : preds_) {
+        if (!st.delta->empty()) {
+          any_delta = true;
+          break;
+        }
+      }
+      if (!any_delta) break;
+
+      for (size_t i = 0; i < rules_.size(); ++i) {
+        const CompiledRule& rule = rules_[i];
+        // One pass per IDB occurrence j: literal j ranges over delta,
+        // literals before j over full ∪ delta (this round's view of F_i),
+        // literals after j over full (F_{i-1}).
+        for (size_t j = 0; j < rule.body().size(); ++j) {
+          const CompiledAtom& lit_j = rule.body()[j];
+          if (lit_j.kind != LitKind::kRelation || !IsIdb(lit_j.predicate)) {
+            continue;
+          }
+          PredState& st_j = preds_.at(lit_j.predicate);
+          if (st_j.delta->empty()) continue;
+
+          std::vector<RelationView> views;
+          views.reserve(rule.body().size());
+          for (size_t k = 0; k < rule.body().size(); ++k) {
+            const CompiledAtom& lit = rule.body()[k];
+            if (lit.kind != LitKind::kRelation || !IsIdb(lit.predicate)) {
+              views.push_back(FullView(lit));
+              continue;
+            }
+            PredState& st = preds_.at(lit.predicate);
+            if (k == j) {
+              views.push_back(RelationView{st.delta.get(), nullptr});
+            } else if (k < j) {
+              views.push_back(RelationView{st.full.get(), st.delta.get()});
+            } else {
+              views.push_back(RelationView{st.full.get(), nullptr});
+            }
+          }
+          const std::string& head_pred = rule.head().predicate;
+          Relation* next = preds_.at(head_pred).next.get();
+          FACTLOG_RETURN_IF_ERROR(EnumerateRule(
+              rule, &db_->store(), views, opts_.track_provenance, &join_stats_,
+              MakeSink(i, head_pred, next, /*check_known=*/true)));
+          FACTLOG_RETURN_IF_ERROR(status_);
+        }
+      }
+
+      // Merge: full += delta; delta = next; next = fresh.
+      for (auto& [name, st] : preds_) {
+        st.full->Absorb(*st.delta);
+        st.delta = std::move(st.next);
+        st.next = std::make_unique<Relation>(st.full->arity());
+      }
+    }
+    return Status::OK();
+  }
+
+  Status RunNaive() {
+    while (true) {
+      ++result_.mutable_stats()->iterations;
+      if (result_.stats().iterations > opts_.max_iterations) {
+        return Status::ResourceExhausted("iteration budget exceeded");
+      }
+      bool changed = false;
+      for (size_t i = 0; i < rules_.size(); ++i) {
+        const CompiledRule& rule = rules_[i];
+        std::vector<RelationView> views;
+        views.reserve(rule.body().size());
+        for (const CompiledAtom& lit : rule.body()) {
+          views.push_back(FullView(lit));
+        }
+        // Collect first: inserting into a relation being scanned would
+        // invalidate the index buckets mid-enumeration.
+        std::vector<std::vector<ValueId>> pending;
+        std::vector<std::vector<FactKey>> pending_premises;
+        FACTLOG_RETURN_IF_ERROR(EnumerateRule(
+            rule, &db_->store(), views, opts_.track_provenance, &join_stats_,
+            [&](const std::vector<ValueId>& row,
+                const std::vector<FactKey>* premises) {
+              pending.push_back(row);
+              if (premises != nullptr) pending_premises.push_back(*premises);
+              return true;
+            }));
+        const std::string& head_pred = rule.head().predicate;
+        Relation* full = preds_.at(head_pred).full.get();
+        for (size_t p = 0; p < pending.size(); ++p) {
+          if (full->Insert(pending[p])) {
+            changed = true;
+            if (opts_.track_provenance) {
+              result_.mutable_provenance()->Record(
+                  FactKey{head_pred, pending[p]}, static_cast<int>(i),
+                  pending_premises.empty() ? std::vector<FactKey>{}
+                                           : pending_premises[p]);
+            }
+          }
+        }
+        if (TotalIdbFacts() > opts_.max_facts) {
+          return Status::ResourceExhausted("fact budget exceeded");
+        }
+      }
+      if (!changed) break;
+    }
+    return Status::OK();
+  }
+
+  Result<EvalResult> Finish() {
+    uint64_t total = 0;
+    for (auto& [name, st] : preds_) {
+      total += st.full->size();
+      result_.mutable_idb()->emplace(name, std::move(st.full));
+    }
+    EvalStats* stats = result_.mutable_stats();
+    stats->total_facts = total;
+    stats->instantiations = join_stats_.instantiations;
+    stats->rows_matched = join_stats_.rows_matched;
+    return std::move(result_);
+  }
+
+  const ast::Program& program_;
+  Database* db_;
+  EvalOptions opts_;
+  std::set<std::string> idb_preds_;
+  std::map<std::string, PredState> preds_;
+  std::vector<CompiledRule> rules_;
+  JoinStats join_stats_;
+  EvalResult result_;
+  Status status_ = Status::OK();
+};
+
+}  // namespace
+
+Result<EvalResult> Evaluate(const ast::Program& program, Database* db,
+                            const EvalOptions& opts) {
+  Engine engine(program, db, opts);
+  return engine.Run();
+}
+
+std::string AnswerSet::ToString(const ValueStore& values) const {
+  std::string out;
+  for (const auto& row : rows) {
+    out += "{";
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ", ";
+      if (i < vars.size()) out += vars[i] + " = ";
+      out += values.ToString(row[i]);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+Result<AnswerSet> ExtractAnswers(const ast::Atom& query, EvalResult* result,
+                                 Database* db) {
+  AnswerSet answers;
+  answers.vars = query.DistinctVars();
+
+  std::vector<ast::Term> head_args;
+  head_args.reserve(answers.vars.size());
+  for (const std::string& v : answers.vars) {
+    head_args.push_back(ast::Term::Var(v));
+  }
+  ast::Rule probe(ast::Atom("__ans", std::move(head_args)), {query});
+  FACTLOG_ASSIGN_OR_RETURN(CompiledRule rule,
+                           CompiledRule::Compile(probe, &db->store()));
+
+  Relation* rel = result->Find(query.predicate());
+  if (rel == nullptr) rel = db->Find(query.predicate());
+  if (rel == nullptr) return answers;  // unknown predicate: no facts
+
+  std::set<std::vector<ValueId>> rows;
+  JoinStats stats;
+  FACTLOG_RETURN_IF_ERROR(EnumerateRule(
+      rule, &db->store(), {RelationView{rel, nullptr}}, false, &stats,
+      [&rows](const std::vector<ValueId>& row, const std::vector<FactKey>*) {
+        rows.insert(row);
+        return true;
+      }));
+  answers.rows.assign(rows.begin(), rows.end());
+  return answers;
+}
+
+Result<AnswerSet> EvaluateQuery(const ast::Program& program,
+                                const ast::Atom& query, Database* db,
+                                const EvalOptions& opts, EvalStats* stats_out) {
+  FACTLOG_ASSIGN_OR_RETURN(EvalResult result, Evaluate(program, db, opts));
+  if (stats_out != nullptr) *stats_out = result.stats();
+  return ExtractAnswers(query, &result, db);
+}
+
+}  // namespace factlog::eval

@@ -1,0 +1,121 @@
+// Naive and semi-naive bottom-up fixpoint evaluation.
+//
+// Computes the least fixpoint of the T_P operator (van Emden & Kowalski, as
+// used in §2 of the paper) seeded with the EDB. The semi-naive strategy is
+// the one the paper assumes throughout ("the semi-naive bottom-up evaluation
+// of the new program constructs the answer to the query", §1).
+
+#ifndef FACTLOG_EVAL_SEMINAIVE_H_
+#define FACTLOG_EVAL_SEMINAIVE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ast/program.h"
+#include "common/status.h"
+#include "eval/database.h"
+#include "eval/provenance.h"
+#include "eval/rule_eval.h"
+
+namespace factlog::eval {
+
+/// Evaluation strategy selector.
+enum class Strategy {
+  kNaive,      // recompute every rule against the full extent each round
+  kSemiNaive,  // delta-driven (default)
+};
+
+struct EvalOptions {
+  Strategy strategy = Strategy::kSemiNaive;
+  /// Abort with kResourceExhausted when total IDB facts exceed this. Guards
+  /// against genuinely diverging programs (function symbols, Counting index
+  /// fields; see §6.4).
+  uint64_t max_facts = 10'000'000;
+  /// Abort with kResourceExhausted after this many fixpoint iterations.
+  uint64_t max_iterations = 1'000'000;
+  /// Record first-derivation provenance (enables derivation trees).
+  bool track_provenance = false;
+};
+
+struct EvalStats {
+  uint64_t iterations = 0;
+  /// Distinct IDB facts at fixpoint.
+  uint64_t total_facts = 0;
+  /// Successful rule-head instantiations, including duplicates. This is the
+  /// "number of inferences" cost measure.
+  uint64_t instantiations = 0;
+  /// Rows matched during joins (index probe successes).
+  uint64_t rows_matched = 0;
+};
+
+/// Result of a bottom-up evaluation: the IDB relations plus statistics.
+class EvalResult {
+ public:
+  const Relation* Find(const std::string& pred) const {
+    auto it = idb_.find(pred);
+    return it == idb_.end() ? nullptr : it->second.get();
+  }
+  Relation* Find(const std::string& pred) {
+    auto it = idb_.find(pred);
+    return it == idb_.end() ? nullptr : it->second.get();
+  }
+  const std::map<std::string, std::unique_ptr<Relation>>& idb() const {
+    return idb_;
+  }
+  std::map<std::string, std::unique_ptr<Relation>>* mutable_idb() {
+    return &idb_;
+  }
+
+  /// Number of facts for `pred` (0 when absent).
+  size_t SizeOf(const std::string& pred) const {
+    const Relation* r = Find(pred);
+    return r == nullptr ? 0 : r->size();
+  }
+
+  const EvalStats& stats() const { return stats_; }
+  EvalStats* mutable_stats() { return &stats_; }
+  const ProvenanceStore& provenance() const { return provenance_; }
+  ProvenanceStore* mutable_provenance() { return &provenance_; }
+
+ private:
+  std::map<std::string, std::unique_ptr<Relation>> idb_;
+  EvalStats stats_;
+  ProvenanceStore provenance_;
+};
+
+/// Evaluates `program` bottom-up against `db`. EDB relations in `db` are
+/// read-only; the value store grows as new compound values are built.
+Result<EvalResult> Evaluate(const ast::Program& program, Database* db,
+                            const EvalOptions& opts = EvalOptions());
+
+/// A set of answers to a query: one row per binding of the query's distinct
+/// variables (in first-occurrence order). Rows are kept sorted and unique.
+struct AnswerSet {
+  std::vector<std::string> vars;
+  std::vector<std::vector<ValueId>> rows;
+
+  bool operator==(const AnswerSet& o) const { return rows == o.rows; }
+  bool operator!=(const AnswerSet& o) const { return !(*this == o); }
+  size_t size() const { return rows.size(); }
+
+  std::string ToString(const ValueStore& values) const;
+};
+
+/// Extracts the answers to `query` from an evaluation result. The query may
+/// contain constants and compound patterns; rows are the bindings of its
+/// distinct variables.
+Result<AnswerSet> ExtractAnswers(const ast::Atom& query, EvalResult* result,
+                                 Database* db);
+
+/// Convenience: Evaluate + ExtractAnswers. When `stats_out` is non-null the
+/// evaluation statistics are copied there.
+Result<AnswerSet> EvaluateQuery(const ast::Program& program,
+                                const ast::Atom& query, Database* db,
+                                const EvalOptions& opts = EvalOptions(),
+                                EvalStats* stats_out = nullptr);
+
+}  // namespace factlog::eval
+
+#endif  // FACTLOG_EVAL_SEMINAIVE_H_

@@ -1,0 +1,49 @@
+// Top-down SLD resolution: the "Prolog" baseline of Examples 1.2 / 4.6.
+//
+// Depth-first, left-to-right resolution against the IDB rules with EDB facts
+// looked up through relation indices. The engine counts resolution steps so
+// the paper's O(n^2)-inferences claim for the pmem program can be measured
+// directly. Left-recursive programs diverge under SLD exactly as they do in
+// Prolog; budgets turn divergence into kResourceExhausted.
+
+#ifndef FACTLOG_EVAL_TOPDOWN_H_
+#define FACTLOG_EVAL_TOPDOWN_H_
+
+#include "ast/program.h"
+#include "common/status.h"
+#include "eval/database.h"
+#include "eval/seminaive.h"
+
+namespace factlog::eval {
+
+struct SldOptions {
+  /// Abort with kResourceExhausted after this many resolution steps.
+  uint64_t max_inferences = 50'000'000;
+  /// Abort with kResourceExhausted beyond this goal-stack depth. The solver
+  /// recurses on the C++ stack, so keep this moderate.
+  size_t max_depth = 8192;
+  /// When true, memoize answers to ground-call patterns (variant tabling of
+  /// fully bound subgoals). Off by default: plain Prolog behaviour.
+  bool tabling = false;
+};
+
+struct SldStats {
+  /// Resolution steps: successful unifications of a goal with a rule head or
+  /// an EDB fact.
+  uint64_t inferences = 0;
+  /// Number of times a goal was attempted.
+  uint64_t goals_invoked = 0;
+  /// Table hits (tabling mode only).
+  uint64_t table_hits = 0;
+};
+
+/// Solves `query` top-down. Answers are the bindings of the query's distinct
+/// variables; every answer must be ground (true for the paper's workloads).
+Result<AnswerSet> SolveTopDown(const ast::Program& program,
+                               const ast::Atom& query, Database* db,
+                               const SldOptions& opts = SldOptions(),
+                               SldStats* stats_out = nullptr);
+
+}  // namespace factlog::eval
+
+#endif  // FACTLOG_EVAL_TOPDOWN_H_

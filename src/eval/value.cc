@@ -1,0 +1,97 @@
+#include "eval/value.h"
+
+namespace factlog::eval {
+
+int32_t ValueStore::InternSymbolName(const std::string& name) {
+  auto it = symbol_ids_.find(name);
+  if (it != symbol_ids_.end()) return it->second;
+  int32_t id = static_cast<int32_t>(symbols_.size());
+  symbols_.push_back(name);
+  symbol_ids_.emplace(name, id);
+  return id;
+}
+
+ValueId ValueStore::InternInt(int64_t value) {
+  auto it = int_ids_.find(value);
+  if (it != int_ids_.end()) return it->second;
+  ValueId id = static_cast<ValueId>(nodes_.size());
+  Node n;
+  n.kind = Kind::kInt;
+  n.int_value = value;
+  nodes_.push_back(n);
+  int_ids_.emplace(value, id);
+  return id;
+}
+
+ValueId ValueStore::InternSym(const std::string& name) {
+  int32_t sym = InternSymbolName(name);
+  auto it = sym_value_ids_.find(sym);
+  if (it != sym_value_ids_.end()) return it->second;
+  ValueId id = static_cast<ValueId>(nodes_.size());
+  Node n;
+  n.kind = Kind::kSymbol;
+  n.symbol = sym;
+  nodes_.push_back(n);
+  sym_value_ids_.emplace(sym, id);
+  return id;
+}
+
+ValueId ValueStore::InternApp(const std::string& functor,
+                              std::vector<ValueId> children) {
+  AppKey key{InternSymbolName(functor), std::move(children)};
+  auto it = app_ids_.find(key);
+  if (it != app_ids_.end()) return it->second;
+  ValueId id = static_cast<ValueId>(nodes_.size());
+  Node n;
+  n.kind = Kind::kCompound;
+  n.symbol = key.symbol;
+  n.child_begin = static_cast<uint32_t>(children_.size());
+  n.child_count = static_cast<uint32_t>(key.children.size());
+  children_.insert(children_.end(), key.children.begin(), key.children.end());
+  nodes_.push_back(n);
+  app_ids_.emplace(std::move(key), id);
+  return id;
+}
+
+Result<ValueId> ValueStore::FromTerm(const ast::Term& term) {
+  switch (term.kind()) {
+    case ast::Term::Kind::kVariable:
+      return Status::Invalid("cannot intern non-ground term (variable '" +
+                             term.var_name() + "')");
+    case ast::Term::Kind::kInt:
+      return InternInt(term.int_value());
+    case ast::Term::Kind::kSymbol:
+      return InternSym(term.symbol());
+    case ast::Term::Kind::kCompound: {
+      std::vector<ValueId> children;
+      children.reserve(term.args().size());
+      for (const ast::Term& a : term.args()) {
+        FACTLOG_ASSIGN_OR_RETURN(ValueId c, FromTerm(a));
+        children.push_back(c);
+      }
+      return InternApp(term.symbol(), std::move(children));
+    }
+  }
+  return Status::Internal("unknown term kind");
+}
+
+ast::Term ValueStore::ToTerm(ValueId id) const {
+  const Node& n = nodes_[id];
+  switch (n.kind) {
+    case Kind::kInt:
+      return ast::Term::Int(n.int_value);
+    case Kind::kSymbol:
+      return ast::Term::Sym(symbols_[n.symbol]);
+    case Kind::kCompound: {
+      std::vector<ast::Term> args;
+      args.reserve(n.child_count);
+      for (uint32_t i = 0; i < n.child_count; ++i) {
+        args.push_back(ToTerm(children_[n.child_begin + i]));
+      }
+      return ast::Term::App(symbols_[n.symbol], std::move(args));
+    }
+  }
+  return ast::Term::Sym("?");
+}
+
+}  // namespace factlog::eval

@@ -1,0 +1,105 @@
+// Interned ground values for the evaluation layer.
+//
+// Every ground term is hash-consed into a dense `ValueId`. Equality of
+// arbitrarily deep terms is then O(1), and compound values share structure:
+// the n suffixes of an n-element list occupy O(n) total space. This is the
+// "structure-sharing implementation of lists" that Example 4.6 of the paper
+// assumes for its linear-time bound.
+
+#ifndef FACTLOG_EVAL_VALUE_H_
+#define FACTLOG_EVAL_VALUE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/term.h"
+#include "common/status.h"
+
+namespace factlog::eval {
+
+/// Dense id of an interned ground value. Ids are only meaningful relative to
+/// the ValueStore that produced them.
+using ValueId = int32_t;
+inline constexpr ValueId kInvalidValue = -1;
+
+/// Hash-consing arena for ground values (integers, symbols, compound terms).
+class ValueStore {
+ public:
+  enum class Kind { kInt, kSymbol, kCompound };
+
+  ValueStore() = default;
+  ValueStore(const ValueStore&) = delete;
+  ValueStore& operator=(const ValueStore&) = delete;
+
+  ValueId InternInt(int64_t value);
+  ValueId InternSym(const std::string& name);
+  /// Interns `functor(children...)`. Children must already be interned.
+  ValueId InternApp(const std::string& functor, std::vector<ValueId> children);
+
+  /// Interns a ground AST term. Fails with kInvalidArgument on variables.
+  Result<ValueId> FromTerm(const ast::Term& term);
+  /// Reconstructs the AST term for a value.
+  ast::Term ToTerm(ValueId id) const;
+
+  Kind kind(ValueId id) const { return nodes_[id].kind; }
+  bool IsInt(ValueId id) const { return kind(id) == Kind::kInt; }
+  bool IsCompound(ValueId id) const { return kind(id) == Kind::kCompound; }
+  int64_t int_value(ValueId id) const { return nodes_[id].int_value; }
+  /// Symbol text (kSymbol) or functor name (kCompound).
+  const std::string& symbol(ValueId id) const {
+    return symbols_[nodes_[id].symbol];
+  }
+  /// Number of children of a compound value (0 otherwise).
+  size_t NumChildren(ValueId id) const { return nodes_[id].child_count; }
+  ValueId Child(ValueId id, size_t i) const {
+    return children_[nodes_[id].child_begin + i];
+  }
+
+  size_t size() const { return nodes_.size(); }
+
+  std::string ToString(ValueId id) const { return ToTerm(id).ToString(); }
+
+ private:
+  struct Node {
+    Kind kind;
+    int64_t int_value = 0;
+    int32_t symbol = -1;       // index into symbols_
+    uint32_t child_begin = 0;  // index into children_
+    uint32_t child_count = 0;
+  };
+
+  struct AppKey {
+    int32_t symbol;
+    std::vector<ValueId> children;
+    bool operator==(const AppKey& o) const {
+      return symbol == o.symbol && children == o.children;
+    }
+  };
+  struct AppKeyHash {
+    size_t operator()(const AppKey& k) const {
+      size_t h = std::hash<int32_t>()(k.symbol);
+      for (ValueId c : k.children) {
+        h ^= std::hash<int32_t>()(c) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+             (h >> 2);
+      }
+      return h;
+    }
+  };
+
+  int32_t InternSymbolName(const std::string& name);
+
+  std::vector<Node> nodes_;
+  std::vector<ValueId> children_;
+  std::vector<std::string> symbols_;
+  std::map<std::string, int32_t> symbol_ids_;
+  std::map<int64_t, ValueId> int_ids_;
+  std::map<int32_t, ValueId> sym_value_ids_;
+  std::unordered_map<AppKey, ValueId, AppKeyHash> app_ids_;
+};
+
+}  // namespace factlog::eval
+
+#endif  // FACTLOG_EVAL_VALUE_H_

@@ -1,0 +1,60 @@
+// The Counting transformation (§6.4).
+//
+// Counting is the variant of Magic Sets that augments every derived
+// predicate with index fields encoding the derivation: the goal depth I and
+// a rule-path code J (rule i of k maps J to k*J + i). Answers are matched to
+// goals by *decrementing* the indices, so the bound arguments themselves can
+// be dropped — like factoring, Counting reduces the arity of the recursive
+// predicate, but it pays for the index bookkeeping.
+//
+// This module implements Counting for linear unit programs (each recursive
+// rule right- or left-linear), which covers both sides of the paper's
+// comparison:
+//   * on right-linear programs, deleting the index fields from the Counting
+//     program yields exactly the factored Magic program (Theorem 6.4);
+//   * on left-linear rules the transformation produces
+//     cnt_p(X, I+1) :- cnt_p(X, I), which never terminates — the paper's
+//     nontermination observation, reproduced by the evaluation budget.
+// Index arithmetic uses the affine/4 builtin, which solves in both
+// directions (I from I+1 on the answer-propagation rules).
+
+#ifndef FACTLOG_TRANSFORM_COUNTING_H_
+#define FACTLOG_TRANSFORM_COUNTING_H_
+
+#include <string>
+
+#include "analysis/adornment.h"
+#include "ast/program.h"
+#include "common/status.h"
+#include "core/rule_classes.h"
+
+namespace factlog::transform {
+
+struct CountingProgram {
+  ast::Program program;
+  ast::Atom query;
+  /// Goal predicate with index fields (cnt_p): bound args + I + J.
+  std::string cnt_name;
+  /// Answer predicate with index fields (p_cnt): free args + I + J.
+  std::string ans_name;
+  /// The query rule's head predicate.
+  std::string query_name;
+};
+
+/// Applies Counting to a classified linear unit program. Fails with
+/// kFailedPrecondition when some recursive rule is combined/nonlinear (the
+/// §6.4 presentation, like the original Counting method, is for linear
+/// rules).
+Result<CountingProgram> CountingTransform(
+    const analysis::AdornedProgram& adorned,
+    const core::ProgramClassification& classification);
+
+/// Deletes the index fields: drops the two trailing arguments of cnt_p and
+/// p_cnt everywhere and removes the affine/4 index-arithmetic literals.
+/// Together with the deletion of trivially redundant rules this is the
+/// program Theorem 6.4 compares against the factored Magic program.
+ast::Program DeleteIndexFields(const CountingProgram& counting);
+
+}  // namespace factlog::transform
+
+#endif  // FACTLOG_TRANSFORM_COUNTING_H_

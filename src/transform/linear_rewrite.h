@@ -1,0 +1,61 @@
+// Direct rewriting of right- and left-linear recursions (§6.3, after [9]).
+//
+// [9] ("Efficient evaluation of right-, left-, and multi-linear rules",
+// SIGMOD 1989) gives special-purpose rewritings that produce unary programs
+// for single-selection queries on linear recursions. §6.3 of the factoring
+// paper shows these are subsumed: Magic Sets + factoring + the §5 cleanups
+// derive the same final programs automatically. This module implements the
+// direct rewritings as an independent baseline so that claim can be checked
+// *structurally* (core/canonical.h) rather than only semantically.
+
+#ifndef FACTLOG_TRANSFORM_LINEAR_REWRITE_H_
+#define FACTLOG_TRANSFORM_LINEAR_REWRITE_H_
+
+#include "analysis/adornment.h"
+#include "ast/program.h"
+#include "common/status.h"
+#include "core/rule_classes.h"
+
+namespace factlog::transform {
+
+struct LinearRewriteResult {
+  ast::Program program;
+  ast::Atom query;
+  /// Goal-chain predicate (right-linear case), e.g. "m_t_bf".
+  std::string goal_name;
+  /// Answer predicate, e.g. "ft".
+  std::string answer_name;
+};
+
+/// Rewrites a right-linear-only RLC-stable program (all recursive rules
+/// right-linear, one exit rule) into the [9] form:
+///
+///   m(seed).
+///   m(V) :- m(X), first_i(X, V).        (one per recursive rule)
+///   ans(Y) :- m(X), exit(X, Y).
+///   query(vars) :- ans(Y).
+///
+/// This is sound when the program is selection-pushing (free_exit ⊆ right_i
+/// makes the right_i conjunctions redundant on answers). Fails with
+/// kFailedPrecondition on other shapes.
+Result<LinearRewriteResult> RewriteRightLinear(
+    const analysis::AdornedProgram& adorned,
+    const core::ProgramClassification& classification);
+
+/// Rewrites a left-linear-only RLC-stable program into the [9] form:
+///
+///   m(seed).
+///   ans(Y) :- m(X), exit(X, Y).
+///   ans(Y) :- [m(X), left(X),] ans(U1), ..., ans(Um), last(U, Y).
+///   query(vars) :- ans(Y).
+///
+/// The bracketed goal guard is omitted when the left conjunction is empty
+/// and the bound variables do not occur in `last` — matching the output of
+/// the §5 cleanups on the factored Magic program.
+Result<LinearRewriteResult> RewriteLeftLinear(
+    const analysis::AdornedProgram& adorned,
+    const core::ProgramClassification& classification);
+
+}  // namespace factlog::transform
+
+#endif  // FACTLOG_TRANSFORM_LINEAR_REWRITE_H_

@@ -1,0 +1,39 @@
+// The Magic Sets transformation (§2.1; generalized magic sets with full
+// left-to-right sideways information passing, matching Fig. 1 of the paper).
+
+#ifndef FACTLOG_TRANSFORM_MAGIC_H_
+#define FACTLOG_TRANSFORM_MAGIC_H_
+
+#include <map>
+#include <string>
+
+#include "analysis/adornment.h"
+#include "ast/program.h"
+#include "common/status.h"
+
+namespace factlog::transform {
+
+/// The result of the Magic Sets transformation P^mg.
+struct MagicProgram {
+  /// Magic rules, modified original rules, and the seed fact.
+  ast::Program program;
+  /// The query, unchanged from the adorned program.
+  ast::Atom query;
+  /// adorned predicate name -> its magic predicate name (m_p_a).
+  std::map<std::string, std::string> magic_names;
+  /// The seed fact, e.g. m_t_bf(5).
+  ast::Atom seed;
+  /// The adorned program this was built from (metadata for later passes).
+  analysis::AdornedProgram adorned;
+};
+
+/// Applies Magic Sets to an adorned program:
+///  * for each adorned rule `h :- b1, ..., bn` and IDB literal b_i, a magic
+///    rule `m(b_i bound args) :- m(h bound args), b_1, ..., b_{i-1}`;
+///  * each original rule is guarded with `m(h bound args)`;
+///  * the query's bound constants seed the magic predicate.
+Result<MagicProgram> MagicSets(const analysis::AdornedProgram& adorned);
+
+}  // namespace factlog::transform
+
+#endif  // FACTLOG_TRANSFORM_MAGIC_H_

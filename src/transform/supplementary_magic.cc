@@ -1,0 +1,107 @@
+#include "transform/supplementary_magic.h"
+
+#include <algorithm>
+#include <set>
+
+namespace factlog::transform {
+
+namespace {
+
+using analysis::AdornedPredicate;
+using ast::Atom;
+using ast::Rule;
+using ast::Term;
+
+std::vector<Term> BoundArgs(const Atom& atom, const AdornedPredicate& ap) {
+  std::vector<Term> out;
+  for (int pos : ap.adornment.BoundPositions()) out.push_back(atom.args()[pos]);
+  return out;
+}
+
+std::set<std::string> AtomVars(const Atom& a) {
+  std::vector<std::string> v;
+  a.CollectVars(&v);
+  return std::set<std::string>(v.begin(), v.end());
+}
+
+}  // namespace
+
+Result<SupplementaryMagicProgram> SupplementaryMagicSets(
+    const analysis::AdornedProgram& adorned) {
+  SupplementaryMagicProgram out;
+  out.query = adorned.query();
+
+  for (const auto& [name, ap] : adorned.predicates()) {
+    out.magic_names.emplace(name, "m_" + name);
+  }
+  const AdornedPredicate& qp = adorned.query_predicate();
+  out.seed = Atom(out.magic_names.at(adorned.query().predicate()),
+                  BoundArgs(adorned.query(), qp));
+  out.program.AddRule(Rule(out.seed, {}));
+
+  const auto& rules = adorned.program().rules();
+  for (size_t r = 0; r < rules.size(); ++r) {
+    const Rule& rule = rules[r];
+    const analysis::AdornedRuleInfo& info = adorned.rule_info()[r];
+    const size_t n = rule.body().size();
+
+    Atom head_magic(out.magic_names.at(rule.head().predicate()),
+                    BoundArgs(rule.head(), info.head));
+
+    if (n == 0) {
+      out.program.AddRule(Rule(rule.head(), {head_magic}));
+      continue;
+    }
+
+    // Variables needed at stage i: used by literals i+1..n or by the head.
+    std::set<std::string> head_vars = AtomVars(rule.head());
+    std::vector<std::set<std::string>> needed_after(n + 1);
+    needed_after[n] = head_vars;
+    for (size_t i = n; i >= 1; --i) {
+      needed_after[i - 1] = needed_after[i];
+      for (const std::string& v : AtomVars(rule.body()[i - 1])) {
+        needed_after[i - 1].insert(v);
+      }
+    }
+
+    // Bound-so-far: head bound args, then every processed literal's vars.
+    std::set<std::string> bound = AtomVars(head_magic);
+
+    // The "previous stage" literal: m_h for i == 1, sup_{r,i-1} afterwards.
+    Atom prev = head_magic;
+    for (size_t i = 1; i <= n; ++i) {
+      const Atom& lit = rule.body()[i - 1];
+
+      // Magic rule for an IDB literal: from the previous stage only.
+      if (info.body[i - 1].has_value()) {
+        Atom magic_head(out.magic_names.at(lit.predicate()),
+                        BoundArgs(lit, *info.body[i - 1]));
+        if (!(magic_head == prev)) {
+          out.program.AddRule(Rule(magic_head, {prev}));
+        }
+      }
+
+      if (i == n) {
+        // Final stage inlines into the modified rule.
+        out.program.AddRule(Rule(rule.head(), {prev, lit}));
+        break;
+      }
+
+      // sup_{r,i}(V_i) :- prev, b_i.
+      for (const std::string& v : AtomVars(lit)) bound.insert(v);
+      std::vector<Term> sup_args;
+      for (const std::string& v : bound) {
+        if (needed_after[i].count(v) > 0) sup_args.push_back(Term::Var(v));
+      }
+      Atom sup("sup_" + std::to_string(r) + "_" + std::to_string(i),
+               std::move(sup_args));
+      out.program.AddRule(Rule(sup, {prev, lit}));
+      prev = sup;
+    }
+  }
+
+  out.program.set_query(out.query);
+  return out;
+}
+
+}  // namespace factlog::transform

@@ -1,0 +1,45 @@
+// Supplementary Magic Sets (Beeri & Ramakrishnan's refinement of the
+// transformation in §2.1).
+//
+// Plain Magic Sets re-evaluates shared body prefixes: the magic rule for
+// body literal b_i joins m_h with b_1..b_{i-1}, and the modified rule joins
+// the same prefix again. The supplementary variant materializes each prefix
+// once:
+//
+//   sup_{r,1}(V_1)   :- m_h(X̄), b_1.
+//   sup_{r,i}(V_i)   :- sup_{r,i-1}(V_{i-1}), b_i.        (1 < i < n)
+//   m_{b_i}(bound)   :- sup_{r,i-1}(V_{i-1}).              (b_i an IDB literal)
+//   h                :- sup_{r,n-1}(V_{n-1}), b_n.
+//
+// where V_i keeps exactly the variables needed by the remaining literals
+// and the head. Answers are identical to plain Magic Sets; the join work is
+// not. The factoring pipeline is orthogonal — this module exists as the
+// stronger Magic baseline for the benchmark harness.
+
+#ifndef FACTLOG_TRANSFORM_SUPPLEMENTARY_MAGIC_H_
+#define FACTLOG_TRANSFORM_SUPPLEMENTARY_MAGIC_H_
+
+#include <map>
+#include <string>
+
+#include "analysis/adornment.h"
+#include "ast/program.h"
+#include "common/status.h"
+
+namespace factlog::transform {
+
+struct SupplementaryMagicProgram {
+  ast::Program program;
+  ast::Atom query;
+  std::map<std::string, std::string> magic_names;
+  ast::Atom seed;
+};
+
+/// Applies the supplementary Magic Sets transformation to an adorned
+/// program.
+Result<SupplementaryMagicProgram> SupplementaryMagicSets(
+    const analysis::AdornedProgram& adorned);
+
+}  // namespace factlog::transform
+
+#endif  // FACTLOG_TRANSFORM_SUPPLEMENTARY_MAGIC_H_

@@ -1,0 +1,80 @@
+#include "workload/graph_gen.h"
+
+#include <random>
+#include <vector>
+
+namespace factlog::workload {
+
+void MakeChain(int64_t n, const std::string& rel, eval::Database* db) {
+  for (int64_t i = 1; i < n; ++i) db->AddPair(rel, i, i + 1);
+}
+
+void MakeCycle(int64_t n, const std::string& rel, eval::Database* db) {
+  MakeChain(n, rel, db);
+  if (n > 0) db->AddPair(rel, n, 1);
+}
+
+int64_t MakeTree(int branching, int depth, const std::string& rel,
+                 eval::Database* db) {
+  int64_t next = 2;
+  std::vector<int64_t> frontier = {1};
+  for (int d = 0; d < depth; ++d) {
+    std::vector<int64_t> next_frontier;
+    for (int64_t parent : frontier) {
+      for (int b = 0; b < branching; ++b) {
+        db->AddPair(rel, parent, next);
+        next_frontier.push_back(next);
+        ++next;
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+  return next - 1;
+}
+
+void MakeRandomGraph(int64_t n, int64_t num_edges, uint64_t seed,
+                     const std::string& rel, eval::Database* db) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int64_t> node(1, n);
+  for (int64_t i = 0; i < num_edges; ++i) {
+    db->AddPair(rel, node(rng), node(rng));
+  }
+}
+
+void MakeGrid(int64_t w, int64_t h, const std::string& rel,
+              eval::Database* db) {
+  auto id = [w](int64_t x, int64_t y) { return x + y * w + 1; };
+  for (int64_t y = 0; y < h; ++y) {
+    for (int64_t x = 0; x < w; ++x) {
+      if (x + 1 < w) db->AddPair(rel, id(x, y), id(x + 1, y));
+      if (y + 1 < h) db->AddPair(rel, id(x, y), id(x, y + 1));
+    }
+  }
+}
+
+void MakeSameGeneration(int branching, int depth, eval::Database* db) {
+  // Build the tree once, recording parent->children, then emit up/down/flat.
+  int64_t next = 2;
+  std::vector<int64_t> frontier = {1};
+  for (int d = 0; d < depth; ++d) {
+    std::vector<int64_t> next_frontier;
+    for (int64_t parent : frontier) {
+      for (int b = 0; b < branching; ++b) {
+        db->AddPair("up", next, parent);
+        db->AddPair("down", parent, next);
+        next_frontier.push_back(next);
+        ++next;
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+  for (size_t i = 0; i + 1 < frontier.size(); ++i) {
+    db->AddPair("flat", frontier[i], frontier[i + 1]);
+  }
+}
+
+void MakeUnaryAll(int64_t n, const std::string& rel, eval::Database* db) {
+  for (int64_t i = 1; i <= n; ++i) db->AddUnit(rel, i);
+}
+
+}  // namespace factlog::workload

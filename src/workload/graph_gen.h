@@ -1,0 +1,47 @@
+// Synthetic graph workloads for the benchmark harness.
+//
+// The paper's complexity claims (O(n^2) facts for Magic alone vs O(n) after
+// factoring on single-source transitive closure, etc.) are exercised on these
+// generators: chains, cycles, trees, random digraphs, and grids.
+
+#ifndef FACTLOG_WORKLOAD_GRAPH_GEN_H_
+#define FACTLOG_WORKLOAD_GRAPH_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "eval/database.h"
+
+namespace factlog::workload {
+
+/// Adds edges 1->2->...->n to relation `rel`.
+void MakeChain(int64_t n, const std::string& rel, eval::Database* db);
+
+/// Adds a directed cycle 1->2->...->n->1.
+void MakeCycle(int64_t n, const std::string& rel, eval::Database* db);
+
+/// Adds a complete `branching`-ary tree with `depth` levels below the root
+/// (node 1). Edges point from parent to child. Returns the node count.
+int64_t MakeTree(int branching, int depth, const std::string& rel,
+                 eval::Database* db);
+
+/// Adds `num_edges` uniformly random directed edges over nodes 1..n
+/// (duplicates collapse, self-loops allowed).
+void MakeRandomGraph(int64_t n, int64_t num_edges, uint64_t seed,
+                     const std::string& rel, eval::Database* db);
+
+/// Adds a w x h grid: node id = x + y*w + 1, edges rightwards and downwards.
+void MakeGrid(int64_t w, int64_t h, const std::string& rel,
+              eval::Database* db);
+
+/// Adds the balanced up/flat/down same-generation workload: a `branching`-ary
+/// tree of `depth` levels with `up` edges child->parent, `down` edges
+/// parent->child, and `flat` edges between adjacent leaves.
+void MakeSameGeneration(int branching, int depth, eval::Database* db);
+
+/// Populates a unary relation `rel` with 1..n.
+void MakeUnaryAll(int64_t n, const std::string& rel, eval::Database* db);
+
+}  // namespace factlog::workload
+
+#endif  // FACTLOG_WORKLOAD_GRAPH_GEN_H_

@@ -1,0 +1,37 @@
+#include "workload/list_gen.h"
+
+namespace factlog::workload {
+
+ast::Term MakeIntList(int64_t n) {
+  ast::Term out = ast::Term::Nil();
+  for (int64_t i = n; i >= 1; --i) {
+    out = ast::Term::Cons(ast::Term::Int(i), std::move(out));
+  }
+  return out;
+}
+
+void MakeMembershipPredicate(int64_t n, int64_t modulo, int64_t rem,
+                             const std::string& pred, eval::Database* db) {
+  for (int64_t i = 1; i <= n; ++i) {
+    if (i % modulo == rem % modulo) db->AddUnit(pred, i);
+  }
+}
+
+ast::Program MakePmemProgram(int64_t n) {
+  using ast::Atom;
+  using ast::Rule;
+  using ast::Term;
+  ast::Program program;
+  // pmem(X, [X | T]) :- p(X).
+  program.AddRule(Rule(
+      Atom("pmem", {Term::Var("X"), Term::Cons(Term::Var("X"), Term::Var("T"))}),
+      {Atom("p", {Term::Var("X")})}));
+  // pmem(X, [H | T]) :- pmem(X, T).
+  program.AddRule(Rule(
+      Atom("pmem", {Term::Var("X"), Term::Cons(Term::Var("H"), Term::Var("T"))}),
+      {Atom("pmem", {Term::Var("X"), Term::Var("T")})}));
+  program.set_query(Atom("pmem", {Term::Var("X"), MakeIntList(n)}));
+  return program;
+}
+
+}  // namespace factlog::workload

@@ -1,0 +1,31 @@
+// List workloads for the function-symbol experiments (Examples 1.2 / 4.6).
+
+#ifndef FACTLOG_WORKLOAD_LIST_GEN_H_
+#define FACTLOG_WORKLOAD_LIST_GEN_H_
+
+#include <cstdint>
+
+#include "ast/program.h"
+#include "eval/database.h"
+
+namespace factlog::workload {
+
+/// Returns the ground list term [1, 2, ..., n].
+ast::Term MakeIntList(int64_t n);
+
+/// Populates the unary predicate `pred` with every integer in 1..n whose
+/// value satisfies `i % modulo == rem` (modulo == 1 accepts everything —
+/// the "all members satisfy p" worst case of Example 1.2).
+void MakeMembershipPredicate(int64_t n, int64_t modulo, int64_t rem,
+                             const std::string& pred, eval::Database* db);
+
+/// Builds the pmem program of Example 1.2 with the query list [1..n]:
+///
+///   pmem(X, [X | T]) :- p(X).
+///   pmem(X, [H | T]) :- pmem(X, T).
+///   ?- pmem(X, [1, ..., n]).
+ast::Program MakePmemProgram(int64_t n);
+
+}  // namespace factlog::workload
+
+#endif  // FACTLOG_WORKLOAD_LIST_GEN_H_

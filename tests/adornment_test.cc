@@ -1,0 +1,121 @@
+#include "analysis/adornment.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "workload/list_gen.h"
+
+namespace factlog::analysis {
+namespace {
+
+using test::A;
+using test::P;
+
+TEST(AdornmentTest, ForQueryMarksGroundPositionsBound) {
+  EXPECT_EQ(Adornment::ForQuery(A("t(5, Y)")).pattern(), "bf");
+  EXPECT_EQ(Adornment::ForQuery(A("t(X, 5)")).pattern(), "fb");
+  EXPECT_EQ(Adornment::ForQuery(A("t(X, Y)")).pattern(), "ff");
+  EXPECT_EQ(Adornment::ForQuery(A("t(5, 6)")).pattern(), "bb");
+  // Compound ground terms are bound; compound terms with variables free.
+  EXPECT_EQ(Adornment::ForQuery(A("p(X, [1, 2])")).pattern(), "fb");
+  EXPECT_EQ(Adornment::ForQuery(A("p(X, [1 | T])")).pattern(), "ff");
+}
+
+TEST(AdornmentTest, PositionsAndCounts) {
+  Adornment a("bfb");
+  EXPECT_EQ(a.NumBound(), 2u);
+  EXPECT_EQ(a.BoundPositions(), (std::vector<int>{0, 2}));
+  EXPECT_EQ(a.FreePositions(), (std::vector<int>{1}));
+  EXPECT_TRUE(a.IsBound(0));
+  EXPECT_FALSE(a.IsBound(1));
+}
+
+TEST(AdornmentTest, AdornedPredicateName) {
+  AdornedPredicate ap{"t", Adornment("bf")};
+  EXPECT_EQ(ap.Name(), "t_bf");
+}
+
+TEST(AdornTest, RightLinearTc) {
+  ast::Program p = P(R"(
+    t(X, Y) :- e(X, W), t(W, Y).
+    t(X, Y) :- e(X, Y).
+  )");
+  auto adorned = Adorn(p, A("t(5, Y)"));
+  ASSERT_TRUE(adorned.ok()) << adorned.status().ToString();
+  EXPECT_EQ(adorned->query().ToString(), "t_bf(5, Y)");
+  ASSERT_EQ(adorned->predicates().size(), 1u);
+  EXPECT_EQ(adorned->predicates().begin()->first, "t_bf");
+  // Both rules adorned; the recursive occurrence is t_bf (W bound via e).
+  ASSERT_EQ(adorned->program().rules().size(), 2u);
+  EXPECT_EQ(adorned->program().rules()[0].ToString(),
+            "t_bf(X, Y) :- e(X, W), t_bf(W, Y).");
+}
+
+TEST(AdornTest, SipBindsThroughEdbLiterals) {
+  // W is bound only after e(X, W); the occurrence is t_bf, not t_ff.
+  ast::Program p = P(R"(
+    t(X, Y) :- t(W, Y), e(X, W).
+    t(X, Y) :- e(X, Y).
+  )");
+  auto adorned = Adorn(p, A("t(5, Y)"));
+  ASSERT_TRUE(adorned.ok());
+  // Body order is t(W,Y) first: W is NOT yet bound there.
+  EXPECT_EQ(adorned->predicates().count("t_ff"), 1u);
+}
+
+TEST(AdornTest, AnswersBindFreeArguments) {
+  // After t(X, W), W is bound, so the second occurrence is t_bf.
+  ast::Program p = P(R"(
+    t(X, Y) :- t(X, W), t(W, Y).
+    t(X, Y) :- e(X, Y).
+  )");
+  auto adorned = Adorn(p, A("t(5, Y)"));
+  ASSERT_TRUE(adorned.ok());
+  EXPECT_EQ(adorned->predicates().size(), 1u);  // only t_bf reachable
+  EXPECT_EQ(adorned->rule_info()[0].body[0]->Name(), "t_bf");
+  EXPECT_EQ(adorned->rule_info()[0].body[1]->Name(), "t_bf");
+}
+
+TEST(AdornTest, MultipleAdornmentsReachable) {
+  // The second rule flips the argument roles, producing t_fb from t_bf.
+  ast::Program p = P(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- t(Y, X).
+  )");
+  auto adorned = Adorn(p, A("t(5, Y)"));
+  ASSERT_TRUE(adorned.ok());
+  EXPECT_EQ(adorned->predicates().size(), 2u);
+  EXPECT_EQ(adorned->predicates().count("t_bf"), 1u);
+  EXPECT_EQ(adorned->predicates().count("t_fb"), 1u);
+}
+
+TEST(AdornTest, PmemQueryAdornsFb) {
+  ast::Program p = workload::MakePmemProgram(3);
+  auto adorned = Adorn(p, *p.query());
+  ASSERT_TRUE(adorned.ok());
+  EXPECT_EQ(adorned->query_predicate().Name(), "pmem_fb");
+  EXPECT_EQ(adorned->predicates().size(), 1u);
+}
+
+TEST(AdornTest, NonIdbQueryRejected) {
+  ast::Program p = P("t(X) :- e(X).");
+  auto adorned = Adorn(p, A("e(5)"));
+  ASSERT_FALSE(adorned.ok());
+  EXPECT_EQ(adorned.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AdornTest, QueryRuleStaysNonRecursivePredicate) {
+  // Query on a non-recursive wrapper predicate adorns both predicates.
+  ast::Program p = P(R"(
+    q(Y) :- t(5, Y).
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- e(X, W), t(W, Y).
+  )");
+  auto adorned = Adorn(p, A("q(Y)"));
+  ASSERT_TRUE(adorned.ok());
+  EXPECT_EQ(adorned->predicates().count("q_f"), 1u);
+  EXPECT_EQ(adorned->predicates().count("t_bf"), 1u);
+}
+
+}  // namespace
+}  // namespace factlog::analysis

@@ -1,0 +1,85 @@
+#include "core/canonical.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace factlog::core {
+namespace {
+
+using test::P;
+using test::R;
+
+TEST(CanonicalTest, VariableRenamingInvariance) {
+  ast::Rule a = R("t(X, Y) :- e(X, W), t(W, Y).");
+  ast::Rule b = R("t(A, B) :- e(A, C), t(C, B).");
+  EXPECT_EQ(CanonicalizeRule(a), CanonicalizeRule(b));
+}
+
+TEST(CanonicalTest, BodyOrderInvariance) {
+  ast::Rule a = R("t(X, Y) :- e(X, W), d(W, Y).");
+  ast::Rule b = R("t(X, Y) :- d(W, Y), e(X, W).");
+  EXPECT_EQ(CanonicalizeRule(a), CanonicalizeRule(b));
+}
+
+TEST(CanonicalTest, CombinedInvariance) {
+  ast::Rule a = R("t(X, Y) :- e(X, W), d(W, Y).");
+  ast::Rule b = R("t(P, Q) :- d(R, Q), e(P, R).");
+  EXPECT_EQ(CanonicalizeRule(a), CanonicalizeRule(b));
+}
+
+TEST(CanonicalTest, DistinctRulesStayDistinct) {
+  ast::Rule a = R("t(X, Y) :- e(X, W), t(W, Y).");
+  ast::Rule b = R("t(X, Y) :- t(X, W), e(W, Y).");
+  EXPECT_NE(CanonicalizeRule(a), CanonicalizeRule(b));
+}
+
+TEST(CanonicalTest, ConstantsPreserved) {
+  ast::Rule a = R("t(X) :- e(5, X).");
+  ast::Rule b = R("t(X) :- e(6, X).");
+  EXPECT_NE(CanonicalizeRule(a), CanonicalizeRule(b));
+}
+
+TEST(CanonicalTest, ProgramRuleOrderInvariance) {
+  ast::Program a = P("t(X, Y) :- e(X, Y).\n t(X, Y) :- e(X, W), t(W, Y).");
+  ast::Program b = P("t(A, B) :- e(A, C), t(C, B).\n t(A, B) :- e(A, B).");
+  EXPECT_EQ(CanonicalString(a), CanonicalString(b));
+  EXPECT_TRUE(StructurallyEqual(a, b));
+}
+
+TEST(CanonicalTest, DuplicatesCollapse) {
+  ast::Program a = P("t(X) :- e(X).\n t(Y) :- e(Y).");
+  EXPECT_EQ(CanonicalizeProgram(a).rules().size(), 1u);
+}
+
+TEST(CanonicalTest, RenamePredicates) {
+  ast::Program a = P("cnt(X) :- e(X).\n q(Y) :- cnt(Y).\n ?- q(Z).");
+  ast::Program renamed = RenamePredicates(a, {{"cnt", "m"}});
+  EXPECT_EQ(renamed.rules()[0].head().predicate(), "m");
+  EXPECT_EQ(renamed.rules()[1].body()[0].predicate(), "m");
+  // Other predicates untouched.
+  EXPECT_EQ(renamed.rules()[1].head().predicate(), "q");
+}
+
+TEST(CanonicalTest, StructuralEqualityModuloRenaming) {
+  ast::Program a = P("cnt(X) :- e(X).\n ans(Y) :- cnt(Y).");
+  ast::Program b = P("m(U) :- e(U).\n f(V) :- m(V).");
+  EXPECT_FALSE(StructurallyEqual(a, b));
+  EXPECT_TRUE(StructurallyEqual(a, b, {{"cnt", "m"}, {"ans", "f"}}));
+}
+
+TEST(CanonicalTest, ListsCanonicalizeStructurally) {
+  ast::Rule a = R("m(T) :- m([H | T]).");
+  ast::Rule b = R("m(B) :- m([A | B]).");
+  EXPECT_EQ(CanonicalizeRule(a), CanonicalizeRule(b));
+}
+
+TEST(CanonicalTest, SymmetricBodiesWithSharedVars) {
+  // Canonicalization must stabilize even when shape keys tie.
+  ast::Rule a = R("p(X) :- e(X, Y), e(Y, X).");
+  ast::Rule b = R("p(U) :- e(V, U), e(U, V).");
+  EXPECT_EQ(CanonicalizeRule(a), CanonicalizeRule(b));
+}
+
+}  // namespace
+}  // namespace factlog::core

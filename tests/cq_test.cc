@@ -1,0 +1,157 @@
+#include "analysis/cq.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace factlog::analysis {
+namespace {
+
+using test::A;
+
+ConjunctiveQuery CQ(const std::vector<std::string>& head,
+                    const std::vector<std::string>& body) {
+  std::vector<ast::Atom> atoms;
+  for (const std::string& b : body) atoms.push_back(A(b));
+  return ConjunctiveQuery::WithHeadVars(head, std::move(atoms));
+}
+
+TEST(CqTest, IdenticalQueriesContainEachOther) {
+  ConjunctiveQuery q = CQ({"X"}, {"e(X, Y)"});
+  EXPECT_TRUE(q.ContainedIn(q));
+  EXPECT_TRUE(q.EquivalentTo(q));
+}
+
+TEST(CqTest, RenamedQueriesAreEquivalent) {
+  ConjunctiveQuery a = CQ({"X"}, {"e(X, Y)"});
+  ConjunctiveQuery b = CQ({"U"}, {"e(U, V)"});
+  EXPECT_TRUE(a.EquivalentTo(b));
+}
+
+TEST(CqTest, MoreConstrainedIsContained) {
+  // (X) :- e(X,Y), f(Y)  ⊆  (X) :- e(X,Y); not conversely.
+  ConjunctiveQuery small = CQ({"X"}, {"e(X, Y)", "f(Y)"});
+  ConjunctiveQuery big = CQ({"X"}, {"e(X, Y)"});
+  EXPECT_TRUE(small.ContainedIn(big));
+  EXPECT_FALSE(big.ContainedIn(small));
+}
+
+TEST(CqTest, EmptyBodyIsTop) {
+  ConjunctiveQuery top = CQ({"X"}, {});
+  ConjunctiveQuery some = CQ({"X"}, {"r(X)"});
+  EXPECT_TRUE(some.ContainedIn(top));
+  EXPECT_FALSE(top.ContainedIn(some));
+  EXPECT_TRUE(top.ContainedIn(top));
+}
+
+TEST(CqTest, JoinVariableFolding) {
+  // The classic: (X) :- e(X,Y), e(Y,Z)  ⊆  (X) :- e(X,Y) via hom Y,Z -> Y.
+  ConjunctiveQuery path2 = CQ({"X"}, {"e(X, Y)", "e(Y, Z)"});
+  ConjunctiveQuery path1 = CQ({"X"}, {"e(X, Y)"});
+  EXPECT_TRUE(path2.ContainedIn(path1));
+  EXPECT_FALSE(path1.ContainedIn(path2));
+}
+
+TEST(CqTest, SelfJoinFoldsIntoLoop) {
+  // (X) :- e(X,X)  ⊆  (X) :- e(X,Y), e(Y,X): hom maps Y -> X.
+  ConjunctiveQuery loop = CQ({"X"}, {"e(X, X)"});
+  ConjunctiveQuery cycle2 = CQ({"X"}, {"e(X, Y)", "e(Y, X)"});
+  EXPECT_TRUE(loop.ContainedIn(cycle2));
+  EXPECT_FALSE(cycle2.ContainedIn(loop));
+}
+
+TEST(CqTest, HeadConstantsMatter) {
+  ConjunctiveQuery at5({ast::Term::Int(5)}, {A("e(5)")});
+  ConjunctiveQuery any = CQ({"X"}, {"e(X)"});
+  EXPECT_TRUE(at5.ContainedIn(any));
+  EXPECT_FALSE(any.ContainedIn(at5));
+}
+
+TEST(CqTest, DifferentPredicatesNotContained) {
+  ConjunctiveQuery a = CQ({"X"}, {"r1(X)"});
+  ConjunctiveQuery b = CQ({"X"}, {"r2(X)"});
+  EXPECT_FALSE(a.ContainedIn(b));
+  EXPECT_FALSE(b.ContainedIn(a));
+}
+
+TEST(CqTest, ArityMismatchNotContained) {
+  ConjunctiveQuery a = CQ({"X"}, {"e(X)"});
+  ConjunctiveQuery b = CQ({"X", "Y"}, {"e(X)", "e(Y)"});
+  EXPECT_FALSE(a.ContainedIn(b));
+}
+
+TEST(CqTest, SharedVariableNamesDoNotConfuse) {
+  // Both queries use X and Y with different roles; renaming-apart must
+  // prevent cyclic bindings.
+  ConjunctiveQuery a = CQ({"X"}, {"e(X, Y)", "f(Y, X)"});
+  ConjunctiveQuery b = CQ({"Y"}, {"e(Y, X)", "f(X, Y)"});
+  EXPECT_TRUE(a.EquivalentTo(b));
+}
+
+TEST(CqNormalizeTest, EqualChasesIntoSubstitution) {
+  ConjunctiveQuery q = CQ({"X"}, {"e(X, Y)", "equal(Y, 5)"});
+  ASSERT_TRUE(q.Normalize().ok());
+  EXPECT_FALSE(q.unsatisfiable());
+  ASSERT_EQ(q.body().size(), 1u);
+  EXPECT_EQ(q.body()[0].ToString(), "e(X, 5)");
+}
+
+TEST(CqNormalizeTest, EqualOnHeadVariable) {
+  ConjunctiveQuery q = CQ({"X"}, {"equal(X, 7)"});
+  ASSERT_TRUE(q.Normalize().ok());
+  ASSERT_EQ(q.head().size(), 1u);
+  EXPECT_EQ(q.head()[0], ast::Term::Int(7));
+  EXPECT_TRUE(q.body().empty());
+}
+
+TEST(CqNormalizeTest, ConflictingConstantsAreUnsat) {
+  ConjunctiveQuery q = CQ({"X"}, {"equal(X, 5)", "equal(X, 6)"});
+  ASSERT_TRUE(q.Normalize().ok());
+  EXPECT_TRUE(q.unsatisfiable());
+}
+
+TEST(CqNormalizeTest, UnsatIsContainedEverywhere) {
+  ConjunctiveQuery bad = CQ({"X"}, {"equal(X, 5)", "equal(X, 6)"});
+  ConjunctiveQuery any = CQ({"X"}, {"r(X)"});
+  EXPECT_TRUE(bad.ContainedIn(any));
+  EXPECT_FALSE(any.ContainedIn(bad));
+}
+
+TEST(CqNormalizeTest, VariableChains) {
+  ConjunctiveQuery q = CQ({"X"}, {"equal(X, Y)", "equal(Y, Z)", "e(Z)"});
+  ASSERT_TRUE(q.Normalize().ok());
+  ASSERT_EQ(q.body().size(), 1u);
+  // X, Y, Z collapse; the remaining atom mentions the representative of X.
+  EXPECT_TRUE(q.body()[0].ContainsVar(q.head()[0].var_name()));
+}
+
+TEST(CqNormalizeTest, CompoundEqualDecomposes) {
+  ConjunctiveQuery q = CQ({"H"}, {"equal(L, [1, 2])", "equal(L, [H | T])"});
+  ASSERT_TRUE(q.Normalize().ok());
+  EXPECT_FALSE(q.unsatisfiable());
+  EXPECT_EQ(q.head()[0], ast::Term::Int(1));
+}
+
+TEST(CqNormalizeTest, IncompatibleCompoundsUnsat) {
+  ConjunctiveQuery q = CQ({"X"}, {"equal(X, [1])", "equal(X, [2])"});
+  ASSERT_TRUE(q.Normalize().ok());
+  EXPECT_TRUE(q.unsatisfiable());
+}
+
+TEST(CqTest, StructuralAtomsAreUninterpreted) {
+  // $cons atoms behave like EDB atoms for containment.
+  ConjunctiveQuery a = CQ({"X"}, {"$cons(X, T, L)", "p(X)"});
+  ConjunctiveQuery b = CQ({"X"}, {"$cons(X, T, L)"});
+  EXPECT_TRUE(a.ContainedIn(b));
+  EXPECT_FALSE(b.ContainedIn(a));
+}
+
+TEST(CqTest, ToStringRendersBodyAndHead) {
+  ConjunctiveQuery q = CQ({"X"}, {"e(X, Y)"});
+  EXPECT_EQ(q.ToString(), "(X) :- e(X, Y)");
+  ConjunctiveQuery top = CQ({"Y"}, {});
+  EXPECT_EQ(top.ToString(), "(Y) :- true");
+}
+
+}  // namespace
+}  // namespace factlog::analysis

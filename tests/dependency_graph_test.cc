@@ -1,0 +1,53 @@
+#include "analysis/dependency_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace factlog::analysis {
+namespace {
+
+using test::P;
+
+TEST(DependencyGraphTest, ReachabilityFollowsBodyReferences) {
+  ast::Program p = P(R"(
+    a(X) :- b(X), c(X).
+    b(X) :- d(X).
+    c(X) :- e(X).
+  )");
+  DependencyGraph g = DependencyGraph::Build(p);
+  std::set<std::string> from_a = g.ReachableFrom("a");
+  EXPECT_EQ(from_a, (std::set<std::string>{"b", "c", "d", "e"}));
+  EXPECT_EQ(g.ReachableFrom("b"), (std::set<std::string>{"d"}));
+  EXPECT_TRUE(g.ReachableFrom("zzz").empty());
+}
+
+TEST(DependencyGraphTest, DirectRecursion) {
+  ast::Program p = P("t(X, Y) :- e(X, Y).\n t(X, Y) :- e(X, W), t(W, Y).");
+  DependencyGraph g = DependencyGraph::Build(p);
+  EXPECT_TRUE(g.IsRecursive("t"));
+  EXPECT_FALSE(g.IsRecursive("e"));
+  EXPECT_TRUE(g.IsDirectlyRecursiveOnly("t"));
+}
+
+TEST(DependencyGraphTest, MutualRecursion) {
+  ast::Program p = P(R"(
+    even(X) :- zero(X).
+    even(Y) :- odd(X), succ(X, Y).
+    odd(Y) :- even(X), succ(X, Y).
+  )");
+  DependencyGraph g = DependencyGraph::Build(p);
+  EXPECT_TRUE(g.IsRecursive("even"));
+  EXPECT_TRUE(g.IsRecursive("odd"));
+  EXPECT_FALSE(g.IsDirectlyRecursiveOnly("even"));
+}
+
+TEST(DependencyGraphTest, NonRecursiveProgram) {
+  ast::Program p = P("q(X) :- e(X).");
+  DependencyGraph g = DependencyGraph::Build(p);
+  EXPECT_FALSE(g.IsRecursive("q"));
+  EXPECT_FALSE(g.IsDirectlyRecursiveOnly("q"));
+}
+
+}  // namespace
+}  // namespace factlog::analysis

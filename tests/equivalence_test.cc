@@ -1,0 +1,119 @@
+#include "eval/equivalence.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace factlog::eval {
+namespace {
+
+using test::A;
+using test::P;
+
+TEST(EquivalenceTest, IdenticalProgramsAgree) {
+  ast::Program p = P(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- e(X, W), t(W, Y).
+  )");
+  auto ce = FindCounterexample(p, A("t(1, Y)"), p, A("t(1, Y)"));
+  ASSERT_TRUE(ce.ok());
+  EXPECT_FALSE(ce->has_value());
+}
+
+TEST(EquivalenceTest, LeftAndRightLinearTcAgree) {
+  ast::Program left = P(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- t(X, W), e(W, Y).
+  )");
+  ast::Program right = P(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- e(X, W), t(W, Y).
+  )");
+  auto ce = FindCounterexample(left, A("t(1, Y)"), right, A("t(1, Y)"));
+  ASSERT_TRUE(ce.ok());
+  EXPECT_FALSE(ce->has_value()) << (*ce)->ToString();
+}
+
+TEST(EquivalenceTest, DetectsDifferentPrograms) {
+  ast::Program tc = P(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- e(X, W), t(W, Y).
+  )");
+  ast::Program one_step = P("t(X, Y) :- e(X, Y).");
+  auto ce = FindCounterexample(tc, A("t(1, Y)"), one_step, A("t(1, Y)"));
+  ASSERT_TRUE(ce.ok());
+  ASSERT_TRUE(ce->has_value());
+  EXPECT_FALSE((*ce)->edb_facts.empty());
+}
+
+TEST(EquivalenceTest, Theorem31ProgramCannotBeFactored) {
+  // The undecidability construction of Theorem 3.1: factoring t into
+  // t1(X) x t2(Y, Z) is invalid when a1 and a2 differ and q1 != q2.
+  // Here q1, q2 are EDB for simplicity; the cross-product program derives
+  // spurious tuples.
+  ast::Program original = P(R"(
+    t(X, Y, Z) :- a1(X), q1(Y, Z).
+    t(X, Y, Z) :- a2(X), q2(Y, Z).
+  )");
+  ast::Program factored = P(R"(
+    t1(X) :- a1(X).
+    t1(X) :- a2(X).
+    t2(Y, Z) :- a1(X), q1(Y, Z).
+    t2(Y, Z) :- a2(X), q2(Y, Z).
+    t(X, Y, Z) :- t1(X), t2(Y, Z).
+  )");
+  auto ce = FindCounterexample(original, A("t(X, Y, Z)"), factored,
+                               A("t(X, Y, Z)"));
+  ASSERT_TRUE(ce.ok());
+  ASSERT_TRUE(ce->has_value());
+}
+
+TEST(EquivalenceTest, PaperCounterexampleEdbFromTheorem31) {
+  // The exact EDB from the proof of Theorem 3.1: a1 = {1}, a2 = {},
+  // q1 = {(2,3), (4,5)}, q2 = {}. Factoring t into t'1(X,Y) x t'2(Z)
+  // computes the spurious tuples t(1,2,5) and t(1,4,3).
+  ast::Program original = P(R"(
+    t(X, Y, Z) :- a1(X), q1(Y, Z).
+    t(X, Y, Z) :- a2(X), q2(Y, Z).
+  )");
+  ast::Program factored = P(R"(
+    tp1(X, Y) :- a1(X), q1(Y, Z).
+    tp1(X, Y) :- a2(X), q2(Y, Z).
+    tp2(Z) :- a1(X), q1(Y, Z).
+    tp2(Z) :- a2(X), q2(Y, Z).
+    t(X, Y, Z) :- tp1(X, Y), tp2(Z).
+  )");
+  Database db;
+  test::AddFacts(&db, "a1(1). q1(2, 3). q1(4, 5).");
+  auto orig = EvaluateQuery(original, A("t(X, Y, Z)"), &db);
+  auto fact = EvaluateQuery(factored, A("t(X, Y, Z)"), &db);
+  ASSERT_TRUE(orig.ok());
+  ASSERT_TRUE(fact.ok());
+  EXPECT_EQ(orig->rows.size(), 2u);   // t(1,2,3), t(1,4,5)
+  EXPECT_EQ(fact->rows.size(), 4u);   // plus t(1,2,5), t(1,4,3)
+  EXPECT_NE(orig->rows, fact->rows);
+}
+
+TEST(EquivalenceTest, CheckEquivalentWrapsCounterexample) {
+  ast::Program tc = P(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- e(X, W), t(W, Y).
+  )");
+  ast::Program one_step = P("t(X, Y) :- e(X, Y).");
+  Status st = CheckEquivalent(tc, A("t(1, Y)"), one_step, A("t(1, Y)"));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(st.message().find("counterexample"), std::string::npos);
+}
+
+TEST(EquivalenceTest, RespectsTrialBudget) {
+  ast::Program p = P("t(X) :- e(X).");
+  DiffTestOptions opts;
+  opts.trials = 1;
+  auto ce = FindCounterexample(p, A("t(X)"), p, A("t(X)"), opts);
+  ASSERT_TRUE(ce.ok());
+  EXPECT_FALSE(ce->has_value());
+}
+
+}  // namespace
+}  // namespace factlog::eval

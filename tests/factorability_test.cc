@@ -1,0 +1,220 @@
+#include "core/factorability.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "eval/equivalence.h"
+#include "eval/seminaive.h"
+#include "tests/test_util.h"
+
+namespace factlog::core {
+namespace {
+
+using test::A;
+using test::AddFacts;
+using test::P;
+
+Result<FactorabilityReport> Check(const std::string& program_text,
+                                  const std::string& query_text) {
+  ast::Program p = test::P(program_text);
+  auto adorned = analysis::Adorn(p, test::A(query_text));
+  if (!adorned.ok()) return adorned.status();
+  auto c = ClassifyProgram(*adorned);
+  if (!c.ok()) return c.status();
+  return CheckFactorability(*c);
+}
+
+// Positive variants of the paper's Examples 4.3-4.5: the same rule shapes
+// with the Definition 4.6-4.8 containments made syntactically true (the
+// exit rule carries the right conjunctions; left conjunctions are shared).
+const char kPositiveSelectionPushing[] = R"(
+  p(X, Y) :- l(X), p(X, U), c1(U, V), p(V, Y), r1(Y).
+  p(X, Y) :- l(X), p(X, U), c2(U, V), p(V, Y), r2(Y).
+  p(X, Y) :- l(X), f(X, V), p(V, Y), r3(Y).
+  p(X, Y) :- e(X, Y), r1(Y), r2(Y), r3(Y).
+)";
+
+const char kPositiveSymmetric[] = R"(
+  p(X, Y) :- l1(X), p(X, U), p(X, V), c(U, V, W), p(W, Y), r1(Y).
+  p(X, Y) :- l2(X), p(X, U), p(X, V), c(U, V, W), p(W, Y), r2(Y).
+  p(X, Y) :- e(X, Y), r1(Y), r2(Y).
+)";
+
+const char kPositiveAnswerPropagating[] = R"(
+  p(X, Y) :- l1(X), p(X, U), p(X, V), c(U, V, W), p(W, Y), r1(Y).
+  p(X, Y) :- l2(X), p(X, U), p(X, V), c(U, V, W), p(W, Y), r2(Y).
+  p(X, Y) :- l1(X), l2(X), f(X, V), p(V, Y), r3(Y).
+  p(X, Y) :- e(X, Y), r1(Y), r2(Y), r3(Y).
+)";
+
+TEST(FactorabilityTest, ThreeFormTcIsSelectionPushing) {
+  auto r = Check(R"(
+    t(X, Y) :- t(X, W), t(W, Y).
+    t(X, Y) :- e(X, W), t(W, Y).
+    t(X, Y) :- t(X, W), e(W, Y).
+    t(X, Y) :- e(X, Y).
+  )", "t(5, Y)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->cls, FactorClass::kSelectionPushing);
+  EXPECT_TRUE(r->selection_pushing);
+}
+
+TEST(FactorabilityTest, PositiveSelectionPushing) {
+  auto r = Check(kPositiveSelectionPushing, "p(5, Y)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->selection_pushing)
+      << (r->failures.empty() ? "" : r->failures[0]);
+  EXPECT_EQ(r->cls, FactorClass::kSelectionPushing);
+}
+
+TEST(FactorabilityTest, PositiveSymmetricIsSymmetricNotSp) {
+  auto r = Check(kPositiveSymmetric, "p(5, Y)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->selection_pushing);  // l1 and l2 are not equivalent
+  EXPECT_TRUE(r->symmetric);
+  // Theorem 4.3 strictly generalizes Theorem 4.2.
+  EXPECT_TRUE(r->answer_propagating);
+  EXPECT_EQ(r->cls, FactorClass::kSymmetric);
+}
+
+TEST(FactorabilityTest, PositiveAnswerPropagatingOnly) {
+  auto r = Check(kPositiveAnswerPropagating, "p(5, Y)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->selection_pushing);
+  EXPECT_FALSE(r->symmetric);  // has a right-linear rule
+  EXPECT_TRUE(r->answer_propagating);
+  EXPECT_EQ(r->cls, FactorClass::kAnswerPropagating);
+}
+
+TEST(FactorabilityTest, PaperExample43IsIllustrativeNotFactorable) {
+  // Example 4.3's literal program: the containments do not hold as tableau
+  // containment (the example exists to show violations break factoring).
+  auto r = Check(R"(
+    p(X, Y) :- l1(X), p(X, U), c1(U, V), p(V, Y), r1(Y).
+    p(X, Y) :- l2(X), p(X, U), c2(U, V), p(V, Y), r2(Y).
+    p(X, Y) :- f(X, V), p(V, Y), r3(Y).
+    p(X, Y) :- e(X, Y).
+  )", "p(5, Y)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->factorable());
+  EXPECT_FALSE(r->failures.empty());
+}
+
+TEST(FactorabilityTest, Example43FirstViolationEdb) {
+  // The paper's first EDB: bound_first ⊄ l1 lets the blindly factored
+  // program derive the spurious answer 8.
+  ast::Program original = P(R"(
+    p(X, Y) :- l1(X), p(X, U), c1(U, V), p(V, Y), r1(Y).
+    p(X, Y) :- f(X, V), p(V, Y).
+    p(X, Y) :- e(X, Y).
+    ?- p(5, Y).
+  )");
+  // The factored program of Example 4.3 (specialized to the rules above),
+  // i.e. what blind factoring + the §5 cleanups would produce if the
+  // selection-pushing conditions were (wrongly) assumed.
+  ast::Program factored = P(R"(
+    m(V) :- bp(X), l1(X), fp(U), c1(U, V).
+    m(V) :- m(X), f(X, V).
+    m(5).
+    bp(X) :- m(X), f(X, V), bp(V), fp(Y).
+    bp(X) :- m(X), e(X, Y).
+    fp(Y) :- m(X), e(X, Y).
+    ?- fp(Y).
+  )");
+  eval::Database db;
+  AddFacts(&db, "f(5, 1). e(5, 6). e(1, 7). e(2, 8). l1(1). c1(6, 2). "
+                "r1(7). r1(8).");
+  auto orig = eval::EvaluateQuery(original, *original.query(), &db);
+  auto fact = eval::EvaluateQuery(factored, *factored.query(), &db);
+  ASSERT_TRUE(orig.ok()) << orig.status().ToString();
+  ASSERT_TRUE(fact.ok()) << fact.status().ToString();
+  // 8 is derivable only in the factored program (spurious subgoal m(2)).
+  eval::ValueId eight = db.store().InternInt(8);
+  auto contains = [&](const eval::AnswerSet& a) {
+    for (const auto& row : a.rows) {
+      if (row.size() == 1 && row[0] == eight) return true;
+    }
+    return false;
+  };
+  EXPECT_FALSE(contains(*orig));
+  EXPECT_TRUE(contains(*fact));
+}
+
+TEST(FactorabilityTest, SameGenerationNotFactorable) {
+  ast::Program p = P(R"(
+    sg(X, Y) :- flat(X, Y).
+    sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+  )");
+  auto adorned = analysis::Adorn(p, A("sg(1, Y)"));
+  ASSERT_TRUE(adorned.ok());
+  auto c = ClassifyProgram(*adorned);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(c->rlc_stable);
+  auto r = CheckFactorability(*c);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// When a program is declared factorable, factoring must preserve answers:
+// differential test over random EDBs through the full pipeline.
+struct FactorCase {
+  const char* name;
+  const char* program;
+  const char* query;
+};
+
+class FactoredEquivalenceTest : public ::testing::TestWithParam<FactorCase> {};
+
+TEST_P(FactoredEquivalenceTest, FactoredProgramPreservesAnswers) {
+  ast::Program p = P(GetParam().program);
+  ast::Atom q = A(GetParam().query);
+  auto result = OptimizeQuery(p, q);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->factoring_applied)
+      << FactorClassToString(result->factorability.cls);
+  eval::DiffTestOptions opts;
+  opts.trials = 50;
+  // Raw factored program vs the original.
+  auto ce1 = eval::FindCounterexample(p, q, result->factored->program,
+                                      result->factored->query, opts);
+  ASSERT_TRUE(ce1.ok());
+  EXPECT_FALSE(ce1->has_value()) << (*ce1)->ToString();
+  // §5-optimized program vs the original.
+  auto ce2 = eval::FindCounterexample(p, q, *result->optimized,
+                                      result->final_query(), opts);
+  ASSERT_TRUE(ce2.ok());
+  EXPECT_FALSE(ce2->has_value()) << (*ce2)->ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Classes, FactoredEquivalenceTest,
+    ::testing::Values(
+        FactorCase{"three_form_tc",
+                   "t(X, Y) :- t(X, W), t(W, Y). "
+                   "t(X, Y) :- e(X, W), t(W, Y). "
+                   "t(X, Y) :- t(X, W), e(W, Y). "
+                   "t(X, Y) :- e(X, Y).",
+                   "t(1, Y)"},
+        FactorCase{"positive_sp", kPositiveSelectionPushing, "p(1, Y)"},
+        FactorCase{"positive_sym", kPositiveSymmetric, "p(1, Y)"},
+        FactorCase{"positive_ap", kPositiveAnswerPropagating, "p(1, Y)"},
+        FactorCase{"left_tc",
+                   "t(X, Y) :- t(X, W), e(W, Y). t(X, Y) :- e(X, Y).",
+                   "t(1, Y)"},
+        FactorCase{"right_tc",
+                   "t(X, Y) :- e(X, W), t(W, Y). t(X, Y) :- e(X, Y).",
+                   "t(1, Y)"},
+        FactorCase{"static_reduction",
+                   "p(X, Y, Z) :- a(X), p(X, Y, W), d(W, U), p(X, U, Z). "
+                   "p(X, Y, Z) :- e0(X, Y, Z).",
+                   "p(1, 2, U)"},
+        FactorCase{"pseudo_left_linear",
+                   "p(X, Y, Z) :- p(X, Y, W), d(W, X, Z). "
+                   "p(X, Y, Z) :- e0(X, Y, Z).",
+                   "p(1, 2, U)"}),
+    [](const ::testing::TestParamInfo<FactorCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace factlog::core

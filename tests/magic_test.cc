@@ -1,0 +1,140 @@
+#include "transform/magic.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "eval/equivalence.h"
+#include "tests/test_util.h"
+#include "workload/list_gen.h"
+
+namespace factlog::transform {
+namespace {
+
+using test::A;
+using test::P;
+
+Result<MagicProgram> Magic(const ast::Program& p, const ast::Atom& q) {
+  auto adorned = analysis::Adorn(p, q);
+  if (!adorned.ok()) return adorned.status();
+  return MagicSets(*adorned);
+}
+
+TEST(MagicTest, Figure1ThreeFormTransitiveClosure) {
+  // Fig. 1 of the paper, rule for rule (modulo predicate spelling m_t_bf).
+  ast::Program p = P(R"(
+    t(X, Y) :- t(X, W), t(W, Y).
+    t(X, Y) :- e(X, W), t(W, Y).
+    t(X, Y) :- t(X, W), e(W, Y).
+    t(X, Y) :- e(X, Y).
+  )");
+  auto magic = Magic(p, A("t(5, Y)"));
+  ASSERT_TRUE(magic.ok()) << magic.status().ToString();
+  const std::vector<std::string> expected = {
+      "m_t_bf(5).",
+      "m_t_bf(W) :- m_t_bf(X), t_bf(X, W).",
+      "t_bf(X, Y) :- m_t_bf(X), t_bf(X, W), t_bf(W, Y).",
+      "m_t_bf(W) :- m_t_bf(X), e(X, W).",
+      "t_bf(X, Y) :- m_t_bf(X), e(X, W), t_bf(W, Y).",
+      "t_bf(X, Y) :- m_t_bf(X), t_bf(X, W), e(W, Y).",
+      "t_bf(X, Y) :- m_t_bf(X), e(X, Y).",
+  };
+  ASSERT_EQ(magic->program.rules().size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(magic->program.rules()[i].ToString(), expected[i]);
+  }
+  EXPECT_EQ(magic->seed.ToString(), "m_t_bf(5)");
+  EXPECT_EQ(magic->query.ToString(), "t_bf(5, Y)");
+}
+
+TEST(MagicTest, TriviallyCircularMagicRulesDropped) {
+  // Left-linear occurrences would generate m(X) :- m(X); Fig. 1 omits them.
+  ast::Program p = P(R"(
+    t(X, Y) :- t(X, W), e(W, Y).
+    t(X, Y) :- e(X, Y).
+  )");
+  auto magic = Magic(p, A("t(5, Y)"));
+  ASSERT_TRUE(magic.ok());
+  for (const ast::Rule& r : magic->program.rules()) {
+    ASSERT_FALSE(r.body().size() == 1 && r.body()[0] == r.head())
+        << r.ToString();
+  }
+}
+
+TEST(MagicTest, PmemMagicMatchesExample46) {
+  ast::Program p = workload::MakePmemProgram(3);
+  auto magic = Magic(p, *p.query());
+  ASSERT_TRUE(magic.ok()) << magic.status().ToString();
+  // The paper's listing: seed, destructuring magic rule, two guarded rules.
+  std::set<std::string> rules;
+  for (const ast::Rule& r : magic->program.rules()) rules.insert(r.ToString());
+  EXPECT_EQ(rules.count("m_pmem_fb([1, 2, 3])."), 1u);
+  EXPECT_EQ(rules.count("m_pmem_fb(T) :- m_pmem_fb([H | T])."), 1u);
+  EXPECT_EQ(
+      rules.count("pmem_fb(X, [X | T]) :- m_pmem_fb([X | T]), p(X)."), 1u);
+  EXPECT_EQ(
+      rules.count("pmem_fb(X, [H | T]) :- m_pmem_fb([H | T]), pmem_fb(X, T)."),
+      1u);
+}
+
+TEST(MagicTest, SeedUsesBoundArgumentsOnly) {
+  ast::Program p = P(R"(
+    t(X, Y, Z) :- e(X, Y, Z).
+    t(X, Y, Z) :- e(X, Y, W), t(X, W, Z).
+  )");
+  auto magic = Magic(p, A("t(1, 2, Z)"));
+  ASSERT_TRUE(magic.ok());
+  EXPECT_EQ(magic->seed.ToString(), "m_t_bbf(1, 2)");
+}
+
+// Magic Sets preserves query answers: differential test over random EDBs.
+struct MagicEquivCase {
+  const char* name;
+  const char* program;
+  const char* query;
+};
+
+class MagicEquivalenceTest : public ::testing::TestWithParam<MagicEquivCase> {};
+
+TEST_P(MagicEquivalenceTest, MagicPreservesAnswers) {
+  const MagicEquivCase& c = GetParam();
+  ast::Program p = P(c.program);
+  ast::Atom q = A(c.query);
+  auto magic = Magic(p, q);
+  ASSERT_TRUE(magic.ok()) << magic.status().ToString();
+  eval::DiffTestOptions opts;
+  opts.trials = 60;
+  auto ce = eval::FindCounterexample(p, q, magic->program, magic->query, opts);
+  ASSERT_TRUE(ce.ok()) << ce.status().ToString();
+  EXPECT_FALSE(ce->has_value()) << (*ce)->ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, MagicEquivalenceTest,
+    ::testing::Values(
+        MagicEquivCase{"right_tc",
+                       "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, W), t(W, Y).",
+                       "t(1, Y)"},
+        MagicEquivCase{"left_tc",
+                       "t(X, Y) :- e(X, Y). t(X, Y) :- t(X, W), e(W, Y).",
+                       "t(1, Y)"},
+        MagicEquivCase{"nonlinear_tc",
+                       "t(X, Y) :- e(X, Y). t(X, Y) :- t(X, W), t(W, Y).",
+                       "t(1, Y)"},
+        MagicEquivCase{"same_generation",
+                       "sg(X, Y) :- flat(X, Y). "
+                       "sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).",
+                       "sg(1, Y)"},
+        MagicEquivCase{"two_idb",
+                       "q(Y) :- t(1, Y). "
+                       "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, W), t(W, Y).",
+                       "q(Y)"},
+        MagicEquivCase{"second_arg_bound",
+                       "t(X, Y) :- e(X, Y). t(X, Y) :- t(X, W), e(W, Y).",
+                       "t(X, 2)"}),
+    [](const ::testing::TestParamInfo<MagicEquivCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace factlog::transform

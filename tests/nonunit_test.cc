@@ -1,0 +1,169 @@
+// §7.3 / Example 7.2: factoring an inner (non-query) recursive predicate.
+
+#include "core/nonunit.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/equivalence.h"
+#include "tests/test_util.h"
+
+namespace factlog::core {
+namespace {
+
+using test::A;
+using test::P;
+
+// Example 7.2's P1: the right-linear definition of p.
+const char kP1[] = R"(
+  p(X, Y) :- b(X, U), p(U, Y).
+  p(X, Y) :- e(X, Y).
+)";
+
+// Example 7.2's P2: a combined-rule definition of p.
+const char kP2[] = R"(
+  p(X, Y) :- l(X), p(X, U), c(U, V), p(V, Y).
+  p(X, Y) :- e(X, Y).
+)";
+
+TEST(NonUnitTest, GroundQueryMakesInnerCallTrivial) {
+  // With a fully ground query the inner call adorns p^bb: every argument is
+  // bound and the bound/free factoring is trivial — correctly rejected.
+  ast::Program program = P(std::string("q(Y) :- a(X, Z), p(Z, Y).\n") + kP1);
+  auto result = FactorInnerPredicate(program, A("q(1)"), "p");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->report.factorable);
+  EXPECT_EQ(result->report.predicate, "p_bb");
+}
+
+TEST(NonUnitTest, Example72OpenHeadQueryFactorsToo) {
+  // q(Y) with Y free: the call's answer variable may reach the head; the
+  // *bound*-side component must not. Still factorable.
+  ast::Program program = P(std::string("q(Y) :- a(X, Z), p(Z, Y).\n") + kP1);
+  auto result = FactorInnerPredicate(program, A("q(Y)"), "p");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->report.factorable)
+      << (result->report.reasons.empty() ? "" : result->report.reasons[0]);
+  auto ce = eval::FindCounterexample(program, A("q(Y)"),
+                                     result->factored->program,
+                                     result->factored->query);
+  ASSERT_TRUE(ce.ok());
+  EXPECT_FALSE(ce->has_value()) << (*ce)->ToString();
+}
+
+TEST(NonUnitTest, Example72CorrelatedHeadRejected) {
+  // P = q(X, Y) :- a(X, Z), p(Z, Y) with the open query: the goal-feeding
+  // component {a(X, Z)} reaches the head variable X, so different goals
+  // produce different X-bindings and factoring is invalid (the paper's
+  // "this is not the case" example).
+  ast::Program program =
+      P(std::string("q(X, Y) :- a(X, Z), p(Z, Y).\n") + kP1);
+  auto result = FactorInnerPredicate(program, A("q(X, Y)"), "p");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->report.factorable);
+  bool c3_failed = false;
+  for (const std::string& r : result->report.reasons) {
+    if (r.find("C3") != std::string::npos &&
+        r.find("head variable") != std::string::npos) {
+      c3_failed = true;
+    }
+  }
+  EXPECT_TRUE(c3_failed);
+
+  // And the checker is right: blind factoring is falsified.
+  FactorSplit split;
+  split.predicate = "p_bf";
+  split.part1 = {0};
+  split.part2 = {1};
+  split.name1 = "bp";
+  split.name2 = "fp";
+  auto blind = FactorTransform(result->magic.program, result->magic.query,
+                               split);
+  ASSERT_TRUE(blind.ok());
+  auto ce = eval::FindCounterexample(program, A("q(X, Y)"), blind->program,
+                                     blind->query);
+  ASSERT_TRUE(ce.ok());
+  EXPECT_TRUE(ce->has_value())
+      << "expected blind non-unit factoring to be falsified";
+}
+
+TEST(NonUnitTest, Example72P2Rejected) {
+  // P ∪ P2: combined rules are unsafe under multiple seeds "regardless of
+  // which rule is chosen for P".
+  for (const char* outer : {"q(Y) :- a(X, Z), p(Z, Y).",
+                            "q(X, Y) :- a(X, Z), p(Z, Y)."}) {
+    ast::Program program = P(std::string(outer) + "\n" + kP2);
+    ast::Atom query = std::string(outer).find("q(X") == std::string::npos
+                          ? A("q(Y)")
+                          : A("q(X, Y)");
+    auto result = FactorInnerPredicate(program, query, "p");
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_FALSE(result->report.factorable) << outer;
+    bool c2_failed = false;
+    for (const std::string& r : result->report.reasons) {
+      if (r.find("C2") != std::string::npos) c2_failed = true;
+    }
+    EXPECT_TRUE(c2_failed) << outer;
+  }
+}
+
+TEST(NonUnitTest, AnswerCorrelationRejected) {
+  // The call's bound side correlates with its own answer side through g:
+  // q(Y) :- a(Z), g(Z, W), p(Z, W) — answers must be matched to goals.
+  ast::Program program = P(std::string(
+      "q(W) :- a(Z), g(Z, W), p(Z, W).\n") + kP1);
+  auto result = FactorInnerPredicate(program, A("q(W)"), "p");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->report.factorable);
+}
+
+TEST(NonUnitTest, TwoCallSitesRejected) {
+  ast::Program program = P(std::string(R"(
+    q(Y) :- a(Z), p(Z, Y).
+    q(Y) :- a2(Z), p(Z, Y).
+  )") + kP1);
+  auto result = FactorInnerPredicate(program, A("q(Y)"), "p");
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->report.factorable);
+  bool saw_count = false;
+  for (const std::string& r : result->report.reasons) {
+    if (r.find("exactly one call site") != std::string::npos) saw_count = true;
+  }
+  EXPECT_TRUE(saw_count);
+}
+
+TEST(NonUnitTest, MultipleAdornmentsRejected) {
+  // p is called once with the first argument bound and once with the
+  // second: two adornments.
+  ast::Program program = P(std::string(R"(
+    q(Y) :- a(Z), p(Z, Y), p(Y, Z).
+  )") + kP1);
+  auto result = FactorInnerPredicate(program, A("q(Y)"), "p");
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->report.factorable);
+}
+
+TEST(NonUnitTest, UnknownPredicateIsNotFound) {
+  ast::Program program = P(std::string("q(Y) :- a(Z), p(Z, Y).\n") + kP1);
+  auto result = FactorInnerPredicate(program, A("q(Y)"), "zz");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(NonUnitTest, FactoredProgramReducesInnerArity) {
+  ast::Program program = P(std::string("q(Y) :- a(X, Z), p(Z, Y).\n") + kP1);
+  auto result = FactorInnerPredicate(program, A("q(Y)"), "p");
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->factored.has_value());
+  for (const ast::Rule& r : result->factored->program.rules()) {
+    EXPECT_NE(r.head().predicate(), "p_bf");
+    for (const ast::Atom& b : r.body()) {
+      EXPECT_NE(b.predicate(), "p_bf");
+      if (b.predicate() == "bp" || b.predicate() == "fp") {
+        EXPECT_EQ(b.arity(), 1u);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace factlog::core

@@ -1,0 +1,192 @@
+#include "core/one_sided.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "tests/test_util.h"
+
+namespace factlog::core {
+namespace {
+
+using test::A;
+using test::P;
+using test::R;
+
+TEST(ExpandRuleTest, TcExpandsToTwoSteps) {
+  ast::Rule rule = R("t(X, Y) :- e(X, W), t(W, Y).");
+  ast::FreshVarGen gen("_X");
+  gen.ReserveFrom(rule);
+  auto expanded = ExpandRule(rule, "t", &gen);
+  ASSERT_TRUE(expanded.ok()) << expanded.status().ToString();
+  // t(X, Y) :- e(X, W), e(W, W'), t(W', Y).
+  EXPECT_EQ(expanded->body().size(), 3u);
+  int e_count = 0, t_count = 0;
+  for (const ast::Atom& b : expanded->body()) {
+    if (b.predicate() == "e") ++e_count;
+    if (b.predicate() == "t") ++t_count;
+  }
+  EXPECT_EQ(e_count, 2);
+  EXPECT_EQ(t_count, 1);
+  EXPECT_EQ(expanded->head().args()[0], ast::Term::Var("X"));
+}
+
+TEST(ExpandRuleTest, NonlinearRejected) {
+  ast::Rule rule = R("t(X, Y) :- t(X, W), t(W, Y).");
+  ast::FreshVarGen gen;
+  EXPECT_FALSE(ExpandRule(rule, "t", &gen).ok());
+}
+
+TEST(ExpandRuleTest, NonrecursiveRejected) {
+  ast::Rule rule = R("t(X, Y) :- e(X, Y).");
+  ast::FreshVarGen gen;
+  EXPECT_FALSE(ExpandRule(rule, "t", &gen).ok());
+}
+
+TEST(AvGraphTest, RightLinearTcIsSimpleOneSided) {
+  auto report = AnalyzeAvGraph(R("t(X, Y) :- e(X, W), t(W, Y)."), "t");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->IsOneSided());
+  EXPECT_TRUE(report->IsSimpleOneSided());
+  // Position 0 moves (weight-1 cycle); position 1 is fixed.
+  int moving = 0;
+  for (const auto& c : report->components) {
+    if (c.has_nonzero_cycle) {
+      ++moving;
+      EXPECT_EQ(c.positions, (std::set<int>{0}));
+      EXPECT_EQ(c.cycle_gcd, 1);
+    }
+  }
+  EXPECT_EQ(moving, 1);
+}
+
+TEST(AvGraphTest, LeftLinearTcIsOneSidedToo) {
+  auto report = AnalyzeAvGraph(R("t(X, Y) :- t(X, W), e(W, Y)."), "t");
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->IsOneSided());
+}
+
+TEST(AvGraphTest, SameGenerationIsTwoSided) {
+  auto report =
+      AnalyzeAvGraph(R("sg(X, Y) :- up(X, U), sg(U, V), down(V, Y)."), "sg");
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->IsOneSided());
+  int moving = 0;
+  for (const auto& c : report->components) {
+    if (c.has_nonzero_cycle) ++moving;
+  }
+  EXPECT_EQ(moving, 2);
+}
+
+TEST(AvGraphTest, TwoEdbStepsStillWeightOne) {
+  // The weight metric counts recursive applications, not EDB atoms: a rule
+  // consuming two edges per application still has a weight-1 cycle.
+  auto report =
+      AnalyzeAvGraph(R("t(X, Y) :- e(X, W), e(W, W2), t(W2, Y)."), "t");
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->IsOneSided());
+  EXPECT_TRUE(report->IsSimpleOneSided());
+}
+
+TEST(AvGraphTest, BothSidesMovingIsTwoSided) {
+  auto report = AnalyzeAvGraph(
+      R("t(X, Y) :- e1(X, W), e2(Y, V), t(W, V)."), "t");
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->IsOneSided());
+}
+
+TEST(OneSidedFormTest, TcAlreadyInForm1) {
+  auto form = FindOneSidedForm(R("t(X, Y) :- e(X, W), t(W, Y)."), "t");
+  ASSERT_TRUE(form.ok());
+  ASSERT_TRUE(form->has_value());
+  EXPECT_EQ((*form)->expansions, 0);
+  EXPECT_EQ((*form)->persistent_positions, (std::set<int>{1}));
+}
+
+TEST(OneSidedFormTest, SwappingArgumentsNeedsOneExpansion) {
+  // Positions 2 and 3 swap each application; after one self-expansion they
+  // persist verbatim — the "expanded to form (1)" device of §6.1.
+  auto form =
+      FindOneSidedForm(R("p(X, Y, Z) :- e(X, W), p(W, Z, Y)."), "p");
+  ASSERT_TRUE(form.ok());
+  ASSERT_TRUE(form->has_value());
+  EXPECT_EQ((*form)->expansions, 1);
+  EXPECT_EQ((*form)->persistent_positions, (std::set<int>{1, 2}));
+}
+
+TEST(OneSidedFormTest, SameGenerationHasNoForm1) {
+  auto form = FindOneSidedForm(
+      R("sg(X, Y) :- up(X, U), sg(U, V), down(V, Y)."), "sg", 6);
+  ASSERT_TRUE(form.ok());
+  EXPECT_FALSE(form->has_value());
+}
+
+TEST(OneSidedFormTest, EdbTouchingPersistentSideRejected) {
+  // a(Y) touches the would-be persistent variable Y: not form (1).
+  auto form =
+      FindOneSidedForm(R("t(X, Y) :- e(X, W), a(Y), t(W, Y)."), "t", 3);
+  ASSERT_TRUE(form.ok());
+  EXPECT_FALSE(form->has_value());
+}
+
+// Theorem 6.2: a simple one-sided recursion with a full-selection query
+// factors after Magic Sets.
+struct OneSidedCase {
+  const char* name;
+  const char* program;
+  const char* query;
+  int expected_expansions;
+};
+
+class Theorem62Test : public ::testing::TestWithParam<OneSidedCase> {};
+
+TEST_P(Theorem62Test, SimpleOneSidedFullSelectionFactors) {
+  ast::Program p = P(GetParam().program);
+  ast::Atom q = A(GetParam().query);
+  // Locate the single recursive rule.
+  const ast::Rule* recursive = nullptr;
+  for (const ast::Rule& r : p.rules()) {
+    for (const ast::Atom& b : r.body()) {
+      if (b.predicate() == r.head().predicate()) recursive = &r;
+    }
+  }
+  ASSERT_NE(recursive, nullptr);
+  auto form = FindOneSidedForm(*recursive, q.predicate());
+  ASSERT_TRUE(form.ok());
+  ASSERT_TRUE(form->has_value());
+  EXPECT_EQ((*form)->expansions, GetParam().expected_expansions);
+
+  // Build the expanded program (expanded recursive rule + exit rule) and
+  // run it through the pipeline: both query forms must factor.
+  ast::Program expanded;
+  expanded.AddRule((*form)->rule);
+  for (const ast::Rule& r : p.rules()) {
+    if (&r != recursive) expanded.AddRule(r);
+  }
+  auto pipe = OptimizeQuery(expanded, q);
+  ASSERT_TRUE(pipe.ok()) << pipe.status().ToString();
+  EXPECT_TRUE(pipe->factoring_applied) << pipe->classification.diagnostic;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, Theorem62Test,
+    ::testing::Values(
+        OneSidedCase{"tc_bind_moving",
+                     "t(X, Y) :- e(X, W), t(W, Y). t(X, Y) :- e(X, Y).",
+                     "t(1, Y)", 0},
+        OneSidedCase{"tc_bind_fixed",
+                     "t(X, Y) :- e(X, W), t(W, Y). t(X, Y) :- e(X, Y).",
+                     "t(X, 9)", 0},
+        OneSidedCase{"two_step",
+                     "t(X, Y) :- e(X, W), e(W, W2), t(W2, Y). "
+                     "t(X, Y) :- e0(X, Y).",
+                     "t(1, Y)", 0},
+        OneSidedCase{"swap",
+                     "p(X, Y, Z) :- e(X, W), p(W, Z, Y). "
+                     "p(X, Y, Z) :- e0(X, Y, Z).",
+                     "p(1, Y, Z)", 1}),
+    [](const ::testing::TestParamInfo<OneSidedCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace factlog::core

@@ -1,0 +1,278 @@
+#include "core/optimizations.h"
+
+#include <gtest/gtest.h>
+
+#include "core/canonical.h"
+#include "tests/test_util.h"
+
+namespace factlog::core {
+namespace {
+
+using test::A;
+using test::P;
+
+OptimizationContext TcContext() {
+  OptimizationContext ctx;
+  ctx.bp = "bt";
+  ctx.fp = "ft";
+  ctx.magic_pred = "m";
+  ctx.seed_args = {ast::Term::Int(5)};
+  ctx.query_pred = "query";
+  return ctx;
+}
+
+TEST(OptimizationPassTest, DeleteHeadInBodyRules) {
+  ast::Program p = P(R"(
+    bt(X) :- m(X), bt(X), ft(W).
+    bt(X) :- m(X), e(X, Y).
+  )");
+  EXPECT_TRUE(DeleteHeadInBodyRules(&p));
+  ASSERT_EQ(p.rules().size(), 1u);
+  EXPECT_EQ(p.rules()[0].ToString(), "bt(X) :- m(X), e(X, Y).");
+  EXPECT_FALSE(DeleteHeadInBodyRules(&p));
+}
+
+TEST(OptimizationPassTest, Prop51DeletesSubsumedMagicLiteral) {
+  ast::Program p = P("ft(Y) :- m(X), bt(X), e(X, Y).");
+  EXPECT_TRUE(DeleteSubsumedMagicLiterals(&p, TcContext()));
+  EXPECT_EQ(p.rules()[0].ToString(), "ft(Y) :- bt(X), e(X, Y).");
+}
+
+TEST(OptimizationPassTest, Prop51RequiresIdenticalArguments) {
+  ast::Program p = P("ft(Y) :- m(X), bt(W), e(X, Y), e(W, Y).");
+  EXPECT_FALSE(DeleteSubsumedMagicLiterals(&p, TcContext()));
+}
+
+TEST(OptimizationPassTest, Prop52DeletesAnonymousBp) {
+  // bt's argument occurs nowhere else and an ft literal is present.
+  ast::Program p = P("ft(Y) :- bt(W), ft(U), e(U, Y).");
+  EXPECT_TRUE(DeleteAnonymousFactorLiterals(&p, TcContext()));
+  EXPECT_EQ(p.rules()[0].ToString(), "ft(Y) :- ft(U), e(U, Y).");
+}
+
+TEST(OptimizationPassTest, Prop52Symmetric) {
+  // An all-singleton ft literal deletes when a bt literal is present.
+  ast::Program p = P("m(W) :- bt(X), ft(Q), e(X, W).");
+  EXPECT_TRUE(DeleteAnonymousFactorLiterals(&p, TcContext()));
+  EXPECT_EQ(p.rules()[0].ToString(), "m(W) :- bt(X), e(X, W).");
+}
+
+TEST(OptimizationPassTest, Prop52KeepsBoundLiterals) {
+  // bt(X)'s variable is used by e(X, Y): not anonymous, stays.
+  ast::Program p = P("ft(Y) :- bt(X), ft(W), e(X, Y), d(W).");
+  EXPECT_FALSE(DeleteAnonymousFactorLiterals(&p, TcContext()));
+}
+
+TEST(OptimizationPassTest, Prop53DeletesSeedBp) {
+  ast::Program p = P("query(Y) :- bt(5), ft(Y).");
+  EXPECT_TRUE(DeleteSeedFactorLiterals(&p, TcContext()));
+  EXPECT_EQ(p.rules()[0].ToString(), "query(Y) :- ft(Y).");
+}
+
+TEST(OptimizationPassTest, Prop53RequiresSeedConstants) {
+  ast::Program p = P("query(Y) :- bt(6), ft(Y).");
+  EXPECT_FALSE(DeleteSeedFactorLiterals(&p, TcContext()));
+}
+
+TEST(OptimizationPassTest, UnreachableRulesDeleted) {
+  ast::Program p = P(R"(
+    query(Y) :- ft(Y).
+    ft(Y) :- m(X), e(X, Y).
+    bt(X) :- m(X), e(X, Y).
+    m(5).
+  )");
+  EXPECT_TRUE(DeleteUnreachableRules(&p, "query"));
+  for (const ast::Rule& r : p.rules()) {
+    EXPECT_NE(r.head().predicate(), "bt");
+  }
+  ASSERT_EQ(p.rules().size(), 3u);
+}
+
+TEST(OptimizationPassTest, AnonymizeSingletons) {
+  ast::Program p = P("ft(Y) :- bt(X), e(W, Y).");
+  EXPECT_TRUE(AnonymizeSingletonVariables(&p));
+  const ast::Rule& r = p.rules()[0];
+  // X and W occur once: renamed to _-prefixed names; Y untouched.
+  EXPECT_TRUE(r.body()[0].args()[0].var_name().rfind("_", 0) == 0);
+  EXPECT_TRUE(r.body()[1].args()[0].var_name().rfind("_", 0) == 0);
+  EXPECT_EQ(r.head().args()[0].var_name(), "Y");
+}
+
+TEST(OptimizationPassTest, DuplicateRulesDeleted) {
+  ast::Program p = P(R"(
+    ft(Y) :- m(X), e(X, Y).
+    ft(B) :- m(A), e(A, B).
+  )");
+  EXPECT_TRUE(DeleteDuplicateRules(&p));
+  EXPECT_EQ(p.rules().size(), 1u);
+}
+
+TEST(OptimizationPassTest, UniformEquivalenceDeletion) {
+  // Example 5.3's final step: both derived rules are redundant given
+  // m(W) :- ft(W) and ft(Y) :- m(X), e(X, Y).
+  ast::Program p = P(R"(
+    m(W) :- ft(W).
+    m(W) :- m(X), e(X, W).
+    m(5).
+    ft(Y) :- ft(W), e(W, Y).
+    ft(Y) :- m(X), e(X, Y).
+    query(Y) :- ft(Y).
+  )");
+  OptimizeOptions opts;
+  auto changed = DeleteUniformlyRedundantRules(&p, opts);
+  ASSERT_TRUE(changed.ok()) << changed.status().ToString();
+  EXPECT_TRUE(*changed);
+  ast::Program expected = P(R"(
+    m(W) :- ft(W).
+    m(5).
+    ft(Y) :- m(X), e(X, Y).
+    query(Y) :- ft(Y).
+  )");
+  EXPECT_TRUE(StructurallyEqual(p, expected)) << p.ToString();
+}
+
+TEST(OptimizationPassTest, UniformEquivalenceKeepsNeededRules) {
+  ast::Program p = P(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- e(X, W), t(W, Y).
+  )");
+  OptimizeOptions opts;
+  auto changed = DeleteUniformlyRedundantRules(&p, opts);
+  ASSERT_TRUE(changed.ok());
+  EXPECT_FALSE(*changed);
+  EXPECT_EQ(p.rules().size(), 2u);
+}
+
+TEST(OptimizationPassTest, UniformEquivalenceSkipsBuiltins) {
+  ast::Program p = P(R"(
+    t(Z) :- e(X), affine(X, 1, 1, Z).
+    t(Z) :- e(X), affine(X, 1, 1, Z).
+  )");
+  OptimizeOptions opts;
+  auto changed = DeleteUniformlyRedundantRules(&p, opts);
+  ASSERT_TRUE(changed.ok());
+  EXPECT_FALSE(*changed);  // conservative: builtins are not frozen
+}
+
+TEST(OptimizationPassTest, UeOrderCanMatter) {
+  // Two mutually derivable rules: forward deletes the first, backward the
+  // second — §7.4's order-dependence question.
+  ast::Program forward = P(R"(
+    a(X) :- b(X).
+    a(X) :- c(X).
+    b(X) :- c(X).
+    c(X) :- b(X).
+  )");
+  ast::Program backward = forward;
+  OptimizeOptions opts;
+  opts.ue_order = UeOrder::kForward;
+  ASSERT_TRUE(DeleteUniformlyRedundantRules(&forward, opts).ok());
+  opts.ue_order = UeOrder::kBackward;
+  ASSERT_TRUE(DeleteUniformlyRedundantRules(&backward, opts).ok());
+  // Both shrink to three rules but not necessarily the same three.
+  EXPECT_EQ(forward.rules().size(), 3u);
+  EXPECT_EQ(backward.rules().size(), 3u);
+  EXPECT_FALSE(StructurallyEqual(forward, backward));
+}
+
+TEST(StaticArgumentsTest, FindStatic) {
+  // Example 5.1: position 0 is static; position 1 is not (U breaks it).
+  ast::Program p = P(R"(
+    p(X, Y, Z) :- a(X), p(X, Y, W), d(W, U), p(X, U, Z).
+    p(X, Y, Z) :- exit0(X, Y, Z).
+  )");
+  EXPECT_EQ(FindStaticArguments(p, "p", A("p(5, 6, U)")),
+            (std::vector<int>{0}));
+  // Free positions never qualify.
+  EXPECT_EQ(FindStaticArguments(p, "p", A("p(X, 6, U)")),
+            (std::vector<int>{}));
+}
+
+TEST(StaticArgumentsTest, FindViolating) {
+  // Example 5.2: both bound positions are static, but only position 0's
+  // variable mixes into the d atom.
+  ast::Program p = P(R"(
+    p(X, Y, Z) :- p(X, Y, W), d(W, X, Z).
+    p(X, Y, Z) :- exit0(X, Y, Z).
+  )");
+  std::vector<int> statics = FindStaticArguments(p, "p", A("p(5, 6, U)"));
+  EXPECT_EQ(statics, (std::vector<int>{0, 1}));
+  EXPECT_EQ(FindViolatingStaticArguments(p, "p", A("p(5, 6, U)"), statics),
+            (std::vector<int>{0}));
+}
+
+TEST(StaticArgumentsTest, ReduceSubstitutesAndDrops) {
+  // Example 5.1's reduction.
+  ast::Program p = P(R"(
+    p(X, Y, Z) :- a(X), p(X, Y, W), d(W, U), p(X, U, Z).
+    p(X, Y, Z) :- exit0(X, Y, Z).
+  )");
+  auto reduced = ReduceStaticArguments(p, "p", A("p(5, 6, U)"), {0});
+  ASSERT_TRUE(reduced.ok()) << reduced.status().ToString();
+  EXPECT_EQ(reduced->program.rules()[0].ToString(),
+            reduced->predicate + "(Y, Z) :- a(5), " + reduced->predicate +
+                "(Y, W), d(W, U), " + reduced->predicate + "(U, Z).");
+  EXPECT_EQ(reduced->program.rules()[1].ToString(),
+            reduced->predicate + "(Y, Z) :- exit0(5, Y, Z).");
+  EXPECT_EQ(reduced->query.ToString(), reduced->predicate + "(6, U)");
+}
+
+TEST(StaticArgumentsTest, ReduceRejectsConstantHeads) {
+  ast::Program p = P("p(5, Y) :- e(Y).");
+  auto reduced = ReduceStaticArguments(p, "p", A("p(5, U)"), {0});
+  ASSERT_FALSE(reduced.ok());
+  EXPECT_EQ(reduced.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(OptimizeProgramTest, Example53FullSequence) {
+  // The complete Fig. 2 -> final-program sequence of Example 5.3.
+  ast::Program fig2 = P(R"(
+    m(5).
+    m(W) :- m(X), bt(X), ft(W).
+    bt(X) :- m(X), bt(X), ft(W), bt(W), ft(Y).
+    ft(Y) :- m(X), bt(X), ft(W), bt(W), ft(Y).
+    m(W) :- m(X), e(X, W).
+    bt(X) :- m(X), e(X, W), bt(W), ft(Y).
+    ft(Y) :- m(X), e(X, W), bt(W), ft(Y).
+    bt(X) :- m(X), bt(X), ft(W), e(W, Y).
+    ft(Y) :- m(X), bt(X), ft(W), e(W, Y).
+    bt(X) :- m(X), e(X, Y).
+    ft(Y) :- m(X), e(X, Y).
+    query(Y) :- bt(5), ft(Y).
+  )");
+  auto optimized = OptimizeProgram(fig2, TcContext());
+  ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+  ast::Program expected = P(R"(
+    m(W) :- ft(W).
+    m(5).
+    ft(Y) :- m(X), e(X, Y).
+    query(Y) :- ft(Y).
+  )");
+  EXPECT_TRUE(StructurallyEqual(*optimized, expected))
+      << optimized->ToString();
+}
+
+TEST(OptimizeProgramTest, PassesCanBeDisabled) {
+  ast::Program fig2 = P(R"(
+    m(5).
+    bt(X) :- m(X), bt(X), ft(W).
+    query(Y) :- bt(5), ft(Y).
+    ft(Y) :- m(X), e(X, Y).
+  )");
+  OptimizeOptions opts;
+  opts.apply_head_in_body = false;
+  opts.apply_uniform_equivalence = false;
+  opts.apply_prop_5_3 = false;
+  opts.apply_unreachable = false;
+  auto optimized = OptimizeProgram(fig2, TcContext(), opts);
+  ASSERT_TRUE(optimized.ok());
+  // The head-in-body rule survives.
+  bool found = false;
+  for (const ast::Rule& r : optimized->rules()) {
+    if (r.head().predicate() == "bt" && !r.body().empty()) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace factlog::core

@@ -1,0 +1,155 @@
+#include "ast/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace factlog::ast {
+namespace {
+
+using test::A;
+using test::P;
+using test::R;
+using test::T;
+
+TEST(ParserTest, SimpleFact) {
+  Rule r = R("e(1, 2).");
+  EXPECT_TRUE(r.IsFact());
+  EXPECT_EQ(r.head().predicate(), "e");
+  EXPECT_EQ(r.head().args()[0], Term::Int(1));
+}
+
+TEST(ParserTest, SimpleRule) {
+  Rule r = R("t(X, Y) :- t(X, W), e(W, Y).");
+  EXPECT_EQ(r.body().size(), 2u);
+  EXPECT_EQ(r.ToString(), "t(X, Y) :- t(X, W), e(W, Y).");
+}
+
+TEST(ParserTest, ProgramWithQuery) {
+  Program p = P(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- e(X, W), t(W, Y).
+    ?- t(5, Y).
+  )");
+  EXPECT_EQ(p.rules().size(), 2u);
+  ASSERT_TRUE(p.query().has_value());
+  EXPECT_EQ(p.query()->ToString(), "t(5, Y)");
+}
+
+TEST(ParserTest, EdbDirective) {
+  Program p = P(".edb e/2.\n t(X, Y) :- e(X, Y).");
+  ASSERT_EQ(p.edb_decls().count("e"), 1u);
+  EXPECT_EQ(p.edb_decls().at("e"), 2u);
+}
+
+TEST(ParserTest, Comments) {
+  Program p = P(R"(
+    % line comment
+    // another line comment
+    /* block
+       comment */
+    t(X) :- e(X).  % trailing
+  )");
+  EXPECT_EQ(p.rules().size(), 1u);
+}
+
+TEST(ParserTest, Lists) {
+  EXPECT_EQ(T("[]"), Term::Nil());
+  EXPECT_EQ(T("[1, 2]"), Term::List({Term::Int(1), Term::Int(2)}));
+  EXPECT_EQ(T("[H | T]"), Term::Cons(Term::Var("H"), Term::Var("T")));
+  EXPECT_EQ(T("[1, 2 | T]"),
+            Term::Cons(Term::Int(1), Term::Cons(Term::Int(2), Term::Var("T"))));
+}
+
+TEST(ParserTest, CompoundTerms) {
+  Term t = T("f(X, g(1), sym)");
+  ASSERT_TRUE(t.IsCompound());
+  EXPECT_EQ(t.args().size(), 3u);
+  EXPECT_EQ(t.args()[1], Term::App("g", {Term::Int(1)}));
+  EXPECT_EQ(t.args()[2], Term::Sym("sym"));
+}
+
+TEST(ParserTest, NegativeIntegers) {
+  EXPECT_EQ(T("-7"), Term::Int(-7));
+}
+
+TEST(ParserTest, AnonymousVariablesAreDistinct) {
+  Rule r = R("p(X) :- q(X, _), r(_, X).");
+  std::vector<std::string> vars = r.DistinctVars();
+  // X plus two distinct anonymous variables.
+  EXPECT_EQ(vars.size(), 3u);
+  EXPECT_NE(vars[1], vars[2]);
+}
+
+TEST(ParserTest, VariablesVsSymbols) {
+  Atom a = A("p(X, x, _Y)");
+  EXPECT_TRUE(a.args()[0].IsVariable());
+  EXPECT_EQ(a.args()[1], Term::Sym("x"));
+  EXPECT_TRUE(a.args()[2].IsVariable());
+  EXPECT_EQ(a.args()[2].var_name(), "_Y");
+}
+
+TEST(ParserTest, StructuralPredicateNames) {
+  // '$' identifiers are used by standard-form conversion.
+  Rule r = R("p(X, L) :- $cons(X, T, L).");
+  EXPECT_EQ(r.body()[0].predicate(), "$cons");
+}
+
+TEST(ParserTest, RoundTrip) {
+  const std::string text =
+      "t(X, Y) :- t(X, W), t(W, Y).\n"
+      "t(X, Y) :- e(X, Y).\n"
+      "?- t(5, Y).\n";
+  Program p = P(text);
+  Program p2 = P(p.ToString());
+  EXPECT_EQ(p.rules(), p2.rules());
+  EXPECT_EQ(p.query(), p2.query());
+}
+
+TEST(ParserTest, RoundTripWithLists) {
+  Rule r = R("pmem(X, [X | T]) :- p(X).");
+  Rule r2 = R(r.ToString());
+  EXPECT_EQ(r, r2);
+}
+
+TEST(ParserErrorTest, MissingPeriod) {
+  auto r = ParseProgram("t(X) :- e(X)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParserErrorTest, UnbalancedParen) {
+  EXPECT_FALSE(ParseProgram("t(X :- e(X).").ok());
+}
+
+TEST(ParserErrorTest, BadDirective) {
+  EXPECT_FALSE(ParseProgram(".foo bar/2.").ok());
+}
+
+TEST(ParserErrorTest, InconsistentArity) {
+  auto r = ParseProgram("t(X) :- e(X).\n t(X, Y) :- e(X), e(Y).");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("arities"), std::string::npos);
+}
+
+TEST(ParserErrorTest, RangeRestrictionIsNotAParseError) {
+  // Prolog-style rules with unrestricted head variables parse fine; only
+  // the bottom-up engine rejects them (they are valid top-down).
+  auto r = ParseProgram("t(X, Y) :- e(X).");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->Validate().ok());
+  EXPECT_TRUE(r->ValidateArities().ok());
+}
+
+TEST(ParserErrorTest, UnterminatedBlockComment) {
+  EXPECT_FALSE(ParseProgram("/* oops").ok());
+}
+
+TEST(ParserErrorTest, ErrorMentionsLocation) {
+  auto r = ParseProgram("t(X) :- e(X).\n@");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace factlog::ast

@@ -1,0 +1,147 @@
+#include "eval/relation.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/database.h"
+#include "tests/test_util.h"
+
+namespace factlog::eval {
+namespace {
+
+TEST(ValueStoreTest, InterningIsIdempotent) {
+  ValueStore s;
+  EXPECT_EQ(s.InternInt(5), s.InternInt(5));
+  EXPECT_NE(s.InternInt(5), s.InternInt(6));
+  EXPECT_EQ(s.InternSym("a"), s.InternSym("a"));
+  EXPECT_NE(s.InternSym("a"), s.InternSym("b"));
+  EXPECT_NE(s.InternInt(1), s.InternSym("1"));
+}
+
+TEST(ValueStoreTest, CompoundHashConsing) {
+  ValueStore s;
+  ValueId one = s.InternInt(1);
+  ValueId a = s.InternApp("f", {one});
+  ValueId b = s.InternApp("f", {one});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, s.InternApp("g", {one}));
+  EXPECT_NE(a, s.InternApp("f", {one, one}));
+}
+
+TEST(ValueStoreTest, StructureSharingOfLists) {
+  // The n suffixes of an n-element list must reuse nodes: interning
+  // [1,2,...,n] then [2,...,n] adds no new node for the latter.
+  ValueStore s;
+  ast::Term full = ast::Term::List(
+      {ast::Term::Int(1), ast::Term::Int(2), ast::Term::Int(3)});
+  auto full_id = s.FromTerm(full);
+  ASSERT_TRUE(full_id.ok());
+  size_t size_after_full = s.size();
+  ast::Term suffix = ast::Term::List({ast::Term::Int(2), ast::Term::Int(3)});
+  auto suffix_id = s.FromTerm(suffix);
+  ASSERT_TRUE(suffix_id.ok());
+  EXPECT_EQ(s.size(), size_after_full);  // no new nodes
+  // The suffix is literally the tail child of the full list.
+  EXPECT_EQ(s.Child(*full_id, 1), *suffix_id);
+}
+
+TEST(ValueStoreTest, RoundTripThroughTerms) {
+  ValueStore s;
+  ast::Term t = test::T("f(1, [a, b], g(2))");
+  auto id = s.FromTerm(t);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(s.ToTerm(*id), t);
+}
+
+TEST(ValueStoreTest, NonGroundTermRejected) {
+  ValueStore s;
+  auto id = s.FromTerm(ast::Term::Var("X"));
+  EXPECT_FALSE(id.ok());
+  EXPECT_EQ(id.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RelationTest, InsertAndDedup) {
+  Relation r(2);
+  EXPECT_TRUE(r.Insert({1, 2}));
+  EXPECT_FALSE(r.Insert({1, 2}));
+  EXPECT_TRUE(r.Insert({2, 1}));
+  EXPECT_EQ(r.size(), 2u);
+  ValueId row[2] = {1, 2};
+  EXPECT_TRUE(r.Contains(row));
+  ValueId missing[2] = {9, 9};
+  EXPECT_FALSE(r.Contains(missing));
+}
+
+TEST(RelationTest, LookupByColumn) {
+  Relation r(2);
+  r.Insert({1, 10});
+  r.Insert({1, 11});
+  r.Insert({2, 12});
+  const auto& rows = r.Lookup({0}, {1});
+  EXPECT_EQ(rows.size(), 2u);
+  const auto& none = r.Lookup({0}, {3});
+  EXPECT_TRUE(none.empty());
+  const auto& both = r.Lookup({0, 1}, {2, 12});
+  EXPECT_EQ(both.size(), 1u);
+}
+
+TEST(RelationTest, IndexStaysFreshAfterInsert) {
+  Relation r(2);
+  r.Insert({1, 10});
+  EXPECT_EQ(r.Lookup({0}, {1}).size(), 1u);  // builds the index
+  r.Insert({1, 11});                         // must update it
+  EXPECT_EQ(r.Lookup({0}, {1}).size(), 2u);
+}
+
+TEST(RelationTest, Absorb) {
+  Relation a(1), b(1);
+  a.Insert({1});
+  b.Insert({1});
+  b.Insert({2});
+  a.Absorb(b);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(RelationTest, Clear) {
+  Relation r(1);
+  r.Insert({1});
+  r.Lookup({0}, {1});
+  r.Clear();
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_TRUE(r.Lookup({0}, {1}).empty());
+  EXPECT_TRUE(r.Insert({1}));
+}
+
+TEST(DatabaseTest, AddFactsAndFind) {
+  Database db;
+  ASSERT_TRUE(db.AddFact(test::A("e(1, 2)")).ok());
+  ASSERT_TRUE(db.AddFact(test::A("e(2, 3)")).ok());
+  ASSERT_TRUE(db.AddFact(test::A("p(a)")).ok());
+  ASSERT_NE(db.Find("e"), nullptr);
+  EXPECT_EQ(db.Find("e")->size(), 2u);
+  EXPECT_EQ(db.Find("p")->size(), 1u);
+  EXPECT_EQ(db.Find("missing"), nullptr);
+  EXPECT_EQ(db.TotalFacts(), 3u);
+}
+
+TEST(DatabaseTest, NonGroundFactRejected) {
+  Database db;
+  EXPECT_FALSE(db.AddFact(test::A("e(X, 2)")).ok());
+}
+
+TEST(DatabaseTest, CompoundFacts) {
+  Database db;
+  ASSERT_TRUE(db.AddFact(test::A("owns(alice, book(dune))")).ok());
+  EXPECT_EQ(db.Find("owns")->size(), 1u);
+}
+
+TEST(DatabaseTest, PairAndUnitHelpers) {
+  Database db;
+  db.AddPair("e", 1, 2);
+  db.AddPair("e", 1, 2);
+  db.AddUnit("v", 7);
+  EXPECT_EQ(db.Find("e")->size(), 1u);
+  EXPECT_EQ(db.Find("v")->size(), 1u);
+}
+
+}  // namespace
+}  // namespace factlog::eval

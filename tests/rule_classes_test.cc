@@ -1,0 +1,230 @@
+#include "core/rule_classes.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "workload/list_gen.h"
+
+namespace factlog::core {
+namespace {
+
+using test::A;
+using test::P;
+
+Result<ProgramClassification> Classify(const std::string& program_text,
+                                       const std::string& query_text) {
+  ast::Program p = test::P(program_text);
+  auto adorned = analysis::Adorn(p, test::A(query_text));
+  if (!adorned.ok()) return adorned.status();
+  return ClassifyProgram(*adorned);
+}
+
+RuleShape::Kind KindOf(const ProgramClassification& c, int rule) {
+  return c.shapes[rule].kind;
+}
+
+TEST(RuleClassesTest, ThreeFormTransitiveClosure) {
+  auto c = Classify(R"(
+    t(X, Y) :- t(X, W), t(W, Y).
+    t(X, Y) :- e(X, W), t(W, Y).
+    t(X, Y) :- t(X, W), e(W, Y).
+    t(X, Y) :- e(X, Y).
+  )", "t(5, Y)");
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_TRUE(c->unit_program);
+  EXPECT_TRUE(c->rlc_stable);
+  EXPECT_EQ(KindOf(*c, 0), RuleShape::Kind::kCombined);
+  EXPECT_EQ(KindOf(*c, 1), RuleShape::Kind::kRightLinear);
+  EXPECT_EQ(KindOf(*c, 2), RuleShape::Kind::kLeftLinear);
+  EXPECT_EQ(KindOf(*c, 3), RuleShape::Kind::kExit);
+  EXPECT_EQ(c->exit_rule_count, 1);
+  EXPECT_EQ(c->exit_rule_index, 3);
+  EXPECT_EQ(c->predicate, "t_bf");
+}
+
+TEST(RuleClassesTest, Example41PermutedAdornment) {
+  // Example 4.1: t^{bfb}(X, Y, Z) :- t^{bfb}(X, W, Z), e(W, Y). The paper
+  // "rearranges and permutes" this into an explicitly left-linear form
+  // t'^{bbf}(X, Z, Y) :- t'(X, Z, W), e'(W, Y); our classifier handles the
+  // argument permutation automatically (the bound positions need not
+  // precede the free ones): the occurrence's bound-position variables
+  // (X, Z) match the head's pointwise, so the rule is left-linear as-is.
+  // (Body-literal order is the left-to-right SIP order, as in P^ad.)
+  auto c = Classify(R"(
+    t(X, Y, Z) :- t(X, W, Z), e(W, Y).
+    t(X, Y, Z) :- e0(X, Y, Z).
+  )", "t(1, Y, 3)");
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  ASSERT_TRUE(c->rlc_stable) << c->diagnostic;
+  EXPECT_EQ(c->adornment.pattern(), "bfb");
+  EXPECT_EQ(KindOf(*c, 0), RuleShape::Kind::kLeftLinear);
+  // last(W, Y) is the e atom, rewritten as the occurrence's answer flowing
+  // into the head's free variable.
+  ASSERT_TRUE(c->shapes[0].free_last.has_value());
+  EXPECT_EQ(c->shapes[0].free_last->body().size(), 1u);
+  EXPECT_EQ(c->shapes[0].free_last->body()[0].predicate(), "e");
+}
+
+TEST(RuleClassesTest, SameGenerationUnclassified) {
+  auto c = Classify(R"(
+    sg(X, Y) :- flat(X, Y).
+    sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+  )", "sg(1, Y)");
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->unit_program);
+  EXPECT_FALSE(c->rlc_stable);
+  EXPECT_EQ(KindOf(*c, 1), RuleShape::Kind::kUnclassified);
+}
+
+TEST(RuleClassesTest, PseudoLeftLinearDetected) {
+  // Example 5.2: d(W, X, Z) connects the bound head variable X with the
+  // free side — Definition 5.3.
+  auto c = Classify(R"(
+    p(X, Y, Z) :- p(X, Y, W), d(W, X, Z).
+    p(X, Y, Z) :- exit(X, Y, Z).
+  )", "p(5, 6, U)");
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(c->rlc_stable);
+  EXPECT_EQ(KindOf(*c, 0), RuleShape::Kind::kPseudoLeftLinear);
+}
+
+TEST(RuleClassesTest, NonUnitProgramRejected) {
+  auto c = Classify(R"(
+    q(Y) :- t(5, Y).
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- e(X, W), t(W, Y).
+  )", "q(Y)");
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(c->unit_program);
+}
+
+TEST(RuleClassesTest, AllBoundAdornmentIsTrivial) {
+  auto c = Classify(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- e(X, W), t(W, Y).
+  )", "t(1, 2)");
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->unit_program);
+  EXPECT_FALSE(c->rlc_stable);
+  EXPECT_NE(c->diagnostic.find("trivial"), std::string::npos);
+}
+
+TEST(RuleClassesTest, TwoExitRulesNotRlcStable) {
+  auto c = Classify(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- e0(X, Y).
+    t(X, Y) :- e(X, W), t(W, Y).
+  )", "t(1, Y)");
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(c->rlc_stable);
+  EXPECT_EQ(c->exit_rule_count, 2);
+}
+
+TEST(RuleClassesTest, TwoAnswerOccurrencesBreakUnitProperty) {
+  // Under the left-to-right SIP the first occurrence binds Y, so the second
+  // occurrence adorns as t_bb: two adornments, not a unit program. (This is
+  // also why a rule can never carry two right-linear occurrences in an
+  // adorned unit program.)
+  auto c = Classify(R"(
+    t(X, Y) :- e(X, V), e(X, W), t(V, Y), t(W, Y).
+    t(X, Y) :- e(X, Y).
+  )", "t(1, Y)");
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(c->unit_program);
+  EXPECT_NE(c->diagnostic.find("unit program"), std::string::npos);
+}
+
+TEST(RuleClassesTest, HeadInBodyIsDegenerate) {
+  auto c = Classify(R"(
+    t(X, Y) :- t(X, Y), e(X, Y).
+    t(X, Y) :- e(X, Y).
+  )", "t(1, Y)");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(KindOf(*c, 0), RuleShape::Kind::kUnclassified);
+  EXPECT_NE(c->shapes[0].diagnostic.find("degenerate"), std::string::npos);
+}
+
+TEST(RuleClassesTest, CombinedRuleConjunctions) {
+  auto c = Classify(R"(
+    p(X, Y) :- l(X), p(X, U), c(U, V), p(V, Y), r(Y).
+    p(X, Y) :- e(X, Y).
+  )", "p(5, Y)");
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(c->rlc_stable) << c->diagnostic;
+  const RuleShape& s = c->shapes[0];
+  ASSERT_EQ(s.kind, RuleShape::Kind::kCombined);
+  ASSERT_TRUE(s.bound_q.has_value());
+  EXPECT_EQ(s.bound_q->body().size(), 1u);
+  EXPECT_EQ(s.bound_q->body()[0].predicate(), "l");
+  ASSERT_TRUE(s.middle.has_value());
+  EXPECT_EQ(s.middle->body().size(), 1u);
+  EXPECT_EQ(s.middle->body()[0].predicate(), "c");
+  EXPECT_EQ(s.middle->head().size(), 2u);  // (U, V)
+  ASSERT_TRUE(s.free_q.has_value());
+  EXPECT_EQ(s.free_q->body().size(), 1u);
+  EXPECT_EQ(s.free_q->body()[0].predicate(), "r");
+}
+
+TEST(RuleClassesTest, RightLinearConjunctions) {
+  auto c = Classify(R"(
+    p(X, Y) :- f(X, V), p(V, Y), r(Y).
+    p(X, Y) :- e(X, Y).
+  )", "p(5, Y)");
+  ASSERT_TRUE(c.ok());
+  const RuleShape& s = c->shapes[0];
+  ASSERT_EQ(s.kind, RuleShape::Kind::kRightLinear);
+  ASSERT_TRUE(s.bound_first.has_value());
+  EXPECT_EQ(s.bound_first->body().size(), 1u);
+  EXPECT_EQ(s.bound_first->body()[0].predicate(), "f");
+  ASSERT_TRUE(s.free_q.has_value());
+  EXPECT_EQ(s.free_q->body()[0].predicate(), "r");
+}
+
+TEST(RuleClassesTest, ExitConjunctions) {
+  auto c = Classify(R"(
+    p(X, Y) :- f(X, V), p(V, Y).
+    p(X, Y) :- e(X, Y), r(Y).
+  )", "p(5, Y)");
+  ASSERT_TRUE(c.ok());
+  const RuleShape* exit = c->ExitShape();
+  ASSERT_NE(exit, nullptr);
+  ASSERT_TRUE(exit->bound_exit.has_value());
+  ASSERT_TRUE(exit->free_exit.has_value());
+  EXPECT_EQ(exit->bound_exit->body().size(), 2u);
+  EXPECT_EQ(exit->free_exit->body().size(), 2u);
+  EXPECT_EQ(exit->bound_exit->head().size(), 1u);
+  EXPECT_EQ(exit->free_exit->head().size(), 1u);
+}
+
+TEST(RuleClassesTest, PmemClassifiesRightLinear) {
+  ast::Program p = workload::MakePmemProgram(3);
+  auto adorned = analysis::Adorn(p, *p.query());
+  ASSERT_TRUE(adorned.ok());
+  auto c = ClassifyProgram(*adorned);
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(c->rlc_stable) << c->diagnostic;
+  EXPECT_EQ(KindOf(*c, 0), RuleShape::Kind::kExit);
+  EXPECT_EQ(KindOf(*c, 1), RuleShape::Kind::kRightLinear);
+}
+
+TEST(RuleClassesTest, ExistentialVariablesStayInLast) {
+  // The d(W, Z2), b(Z2, Y) chain has an existential variable Z2 internal to
+  // the last conjunction.
+  auto c = Classify(R"(
+    t(X, Y) :- t(X, W), d(W, Z2), b(Z2, Y).
+    t(X, Y) :- e(X, Y).
+  )", "t(1, Y)");
+  ASSERT_TRUE(c.ok());
+  ASSERT_EQ(KindOf(*c, 0), RuleShape::Kind::kLeftLinear);
+  EXPECT_EQ(c->shapes[0].free_last->body().size(), 2u);
+}
+
+TEST(RuleClassesTest, KindNames) {
+  EXPECT_STREQ(RuleShapeKindToString(RuleShape::Kind::kExit), "exit");
+  EXPECT_STREQ(RuleShapeKindToString(RuleShape::Kind::kCombined), "combined");
+  EXPECT_STREQ(RuleShapeKindToString(RuleShape::Kind::kPseudoLeftLinear),
+               "pseudo-left-linear");
+}
+
+}  // namespace
+}  // namespace factlog::core

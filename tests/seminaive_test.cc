@@ -1,0 +1,271 @@
+#include "eval/seminaive.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/provenance.h"
+#include "tests/test_util.h"
+#include "workload/graph_gen.h"
+
+namespace factlog::eval {
+namespace {
+
+using test::A;
+using test::AddFacts;
+using test::Answers;
+using test::P;
+
+const char kTc[] = R"(
+  t(X, Y) :- e(X, Y).
+  t(X, Y) :- e(X, W), t(W, Y).
+  ?- t(1, Y).
+)";
+
+TEST(SemiNaiveTest, TransitiveClosureChain) {
+  EXPECT_EQ(Answers(kTc, "e(1, 2). e(2, 3). e(3, 4)."),
+            (std::vector<std::string>{"(2)", "(3)", "(4)"}));
+}
+
+TEST(SemiNaiveTest, TransitiveClosureCycle) {
+  EXPECT_EQ(Answers(kTc, "e(1, 2). e(2, 1)."),
+            (std::vector<std::string>{"(1)", "(2)"}));
+}
+
+TEST(SemiNaiveTest, EmptyEdb) {
+  ast::Program p = P(kTc);
+  Database db;
+  auto answers = EvaluateQuery(p, *p.query(), &db);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_TRUE(answers->rows.empty());
+}
+
+TEST(SemiNaiveTest, NonlinearTransitiveClosure) {
+  const char prog[] = R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- t(X, W), t(W, Y).
+    ?- t(1, Y).
+  )";
+  EXPECT_EQ(Answers(prog, "e(1, 2). e(2, 3). e(3, 4)."),
+            (std::vector<std::string>{"(2)", "(3)", "(4)"}));
+}
+
+TEST(SemiNaiveTest, ProgramFactsActAsSeeds) {
+  const char prog[] = R"(
+    m(5).
+    m(W) :- m(X), e(X, W).
+    ?- m(W).
+  )";
+  EXPECT_EQ(Answers(prog, "e(5, 6). e(6, 7). e(1, 2)."),
+            (std::vector<std::string>{"(5)", "(6)", "(7)"}));
+}
+
+TEST(SemiNaiveTest, MutualRecursion) {
+  const char prog[] = R"(
+    even(X) :- zero(X).
+    even(Y) :- odd(X), succ(X, Y).
+    odd(Y) :- even(X), succ(X, Y).
+    ?- even(X).
+  )";
+  EXPECT_EQ(Answers(prog, "zero(0). succ(0,1). succ(1,2). succ(2,3). succ(3,4)."),
+            (std::vector<std::string>{"(0)", "(2)", "(4)"}));
+}
+
+TEST(SemiNaiveTest, SameGeneration) {
+  const char prog[] = R"(
+    sg(X, Y) :- flat(X, Y).
+    sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+    ?- sg(1, Y).
+  )";
+  // 1 up to a, 2 up to b; a flat b; a down 3, b down 4.
+  EXPECT_EQ(Answers(prog, "up(1, 10). up(2, 20). flat(10, 20). down(20, 4)."),
+            (std::vector<std::string>{"(4)"}));
+}
+
+TEST(SemiNaiveTest, NaiveAgreesWithSemiNaive) {
+  ast::Program p = P(kTc);
+  eval::Database db1, db2;
+  workload::MakeRandomGraph(40, 80, /*seed=*/7, "e", &db1);
+  workload::MakeRandomGraph(40, 80, /*seed=*/7, "e", &db2);
+  EvalOptions naive;
+  naive.strategy = Strategy::kNaive;
+  auto a1 = EvaluateQuery(p, *p.query(), &db1, naive);
+  auto a2 = EvaluateQuery(p, *p.query(), &db2);
+  ASSERT_TRUE(a1.ok());
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(a1->rows, a2->rows);
+}
+
+TEST(SemiNaiveTest, StatsCountFactsAndIterations) {
+  ast::Program p = P(kTc);
+  Database db;
+  AddFacts(&db, "e(1, 2). e(2, 3). e(3, 4).");
+  auto result = Evaluate(p, &db);
+  ASSERT_TRUE(result.ok());
+  // t = all 6 reachable pairs.
+  EXPECT_EQ(result->SizeOf("t"), 6u);
+  EXPECT_EQ(result->stats().total_facts, 6u);
+  EXPECT_GE(result->stats().iterations, 3u);
+  EXPECT_GT(result->stats().instantiations, 0u);
+}
+
+TEST(SemiNaiveTest, FactBudgetExhaustion) {
+  ast::Program p = P(kTc);
+  Database db;
+  workload::MakeChain(100, "e", &db);
+  EvalOptions opts;
+  opts.max_facts = 10;
+  auto result = Evaluate(p, &db, opts);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(SemiNaiveTest, DivergingFunctionSymbolProgramHitsBudget) {
+  // grow builds ever-larger lists: a genuinely nonterminating program.
+  const char prog[] = R"(
+    grow([s]).
+    grow([s | L]) :- grow(L).
+    ?- grow(L).
+  )";
+  ast::Program p = P(prog);
+  Database db;
+  EvalOptions opts;
+  opts.max_facts = 1000;
+  auto result = Evaluate(p, &db, opts);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(SemiNaiveTest, ListDestructuring) {
+  // The magic-pmem recursion from Example 4.6: m(T) :- m([H | T]).
+  const char prog[] = R"(
+    m([1, 2, 3]).
+    m(T) :- m([H | T]).
+    ?- m(L).
+  )";
+  // Rows sort by interning order: nil is interned before the cons cells.
+  EXPECT_EQ(Answers(prog, ""),
+            (std::vector<std::string>{"([])", "([3])", "([2, 3])",
+                                      "([1, 2, 3])"}));
+}
+
+TEST(SemiNaiveTest, HeadConstruction) {
+  const char prog[] = R"(
+    wrap(f(X)) :- e(X).
+    ?- wrap(Y).
+  )";
+  EXPECT_EQ(Answers(prog, "e(1). e(2)."),
+            (std::vector<std::string>{"(f(1))", "(f(2))"}));
+}
+
+TEST(SemiNaiveTest, EqualBuiltinFiltersAndBinds) {
+  const char prog[] = R"(
+    p(X, Y) :- e(X), equal(X, Y).
+    ?- p(X, Y).
+  )";
+  EXPECT_EQ(Answers(prog, "e(1). e(2)."),
+            (std::vector<std::string>{"(1, 1)", "(2, 2)"}));
+}
+
+TEST(SemiNaiveTest, EqualBuiltinAgainstConstant) {
+  const char prog[] = R"(
+    p(X) :- e(X), equal(X, 2).
+    ?- p(X).
+  )";
+  EXPECT_EQ(Answers(prog, "e(1). e(2)."), (std::vector<std::string>{"(2)"}));
+}
+
+TEST(SemiNaiveTest, AffineBuiltinForward) {
+  const char prog[] = R"(
+    shifted(Z) :- e(X), affine(X, 2, 1, Z).
+    ?- shifted(Z).
+  )";
+  EXPECT_EQ(Answers(prog, "e(1). e(2)."),
+            (std::vector<std::string>{"(3)", "(5)"}));
+}
+
+TEST(SemiNaiveTest, AffineBuiltinBackward) {
+  // Solve X from Z: Z = X + 1, i.e. X = Z - 1.
+  const char prog[] = R"(
+    prev(X) :- e(Z), affine(X, 1, 1, Z).
+    ?- prev(X).
+  )";
+  EXPECT_EQ(Answers(prog, "e(5). e(9)."),
+            (std::vector<std::string>{"(4)", "(8)"}));
+}
+
+TEST(SemiNaiveTest, AffineBackwardRespectsDivisibility) {
+  // Z = 2X: odd Z has no preimage.
+  const char prog[] = R"(
+    half(X) :- e(Z), affine(X, 2, 0, Z).
+    ?- half(X).
+  )";
+  EXPECT_EQ(Answers(prog, "e(4). e(5)."), (std::vector<std::string>{"(2)"}));
+}
+
+TEST(SemiNaiveTest, QueryWithCompoundPattern) {
+  const char prog[] = R"(
+    m([1, 2]).
+    m(T) :- m([H | T]).
+    ?- m([X | T]).
+  )";
+  // Rows bind (X, T) for list-shaped answers only.
+  EXPECT_EQ(Answers(prog, ""),
+            (std::vector<std::string>{"(1, [2])", "(2, [])"}));
+}
+
+TEST(ProvenanceTest, DerivationTreeForChain) {
+  ast::Program p = P(kTc);
+  Database db;
+  AddFacts(&db, "e(1, 2). e(2, 3).");
+  EvalOptions opts;
+  opts.track_provenance = true;
+  auto result = Evaluate(p, &db, opts);
+  ASSERT_TRUE(result.ok());
+
+  FactKey t13{"t", {db.store().InternInt(1), db.store().InternInt(3)}};
+  const Justification* just = result->provenance().Find(t13);
+  ASSERT_NE(just, nullptr);
+  DerivationTree tree = BuildDerivationTree(result->provenance(), t13);
+  // t(1,3) via rule 1 from e(1,2) and t(2,3); t(2,3) via rule 0 from e(2,3).
+  EXPECT_EQ(tree.rule_index, 1);
+  EXPECT_EQ(tree.Height(), 3u);
+  ASSERT_EQ(tree.children.size(), 2u);
+  EXPECT_EQ(tree.children[0].fact.predicate, "e");
+  EXPECT_EQ(tree.children[0].rule_index, -1);  // EDB leaf
+  EXPECT_EQ(tree.children[1].fact.predicate, "t");
+  EXPECT_EQ(tree.children[1].rule_index, 0);
+  std::string rendered = DerivationTreeToString(tree, db.store());
+  EXPECT_NE(rendered.find("t(1, 3)"), std::string::npos);
+  EXPECT_NE(rendered.find("e(2, 3)"), std::string::npos);
+}
+
+TEST(ProvenanceTest, HeightMatchesDefinition21) {
+  // A single-node tree (EDB fact) has height 1, per Definition 2.1.
+  ProvenanceStore store;
+  DerivationTree leaf = BuildDerivationTree(store, FactKey{"e", {0, 1}});
+  EXPECT_EQ(leaf.Height(), 1u);
+  EXPECT_EQ(leaf.NodeCount(), 1u);
+}
+
+TEST(ExtractAnswersTest, EdbQueryWorks) {
+  ast::Program p = P("t(X) :- e(X, X). ?- e(1, Y).");
+  Database db;
+  AddFacts(&db, "e(1, 2). e(1, 3). e(2, 2).");
+  auto result = Evaluate(p, &db);
+  ASSERT_TRUE(result.ok());
+  auto answers = ExtractAnswers(A("e(1, Y)"), &result.value(), &db);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->rows.size(), 2u);
+}
+
+TEST(ExtractAnswersTest, UnknownPredicateGivesEmpty) {
+  ast::Program p = P("t(X) :- e(X). ?- t(X).");
+  Database db;
+  auto result = Evaluate(p, &db);
+  ASSERT_TRUE(result.ok());
+  auto answers = ExtractAnswers(A("nosuch(Y)"), &result.value(), &db);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_TRUE(answers->rows.empty());
+}
+
+}  // namespace
+}  // namespace factlog::eval

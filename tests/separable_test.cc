@@ -1,0 +1,189 @@
+#include "core/separable.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "tests/test_util.h"
+
+namespace factlog::core {
+namespace {
+
+using test::A;
+using test::P;
+
+TEST(SeparableTest, RightLinearTcIsReducibleSeparable) {
+  ast::Program p = P(R"(
+    t(X, Y) :- e(X, W), t(W, Y).
+    t(X, Y) :- e(X, Y).
+  )");
+  auto r = CheckSeparable(p, "t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->linear);
+  EXPECT_TRUE(r->separable) << r->diagnostic;
+  EXPECT_TRUE(r->reducible);
+  // t^h = {0}: X shares with e; Y is fixed and shares with nothing.
+  ASSERT_EQ(r->head_shared.size(), 1u);
+  EXPECT_EQ(r->head_shared[0], (std::set<int>{0}));
+  EXPECT_EQ(r->fixed_positions[0], (std::set<int>{1}));
+}
+
+TEST(SeparableTest, ShiftingVariablesRejected) {
+  // Definition 6.1: Y moves from position 2 to position 1.
+  ast::Program p = P(R"(
+    t(X, Y) :- e(X, W), t(Y, W).
+    t(X, Y) :- e(X, Y).
+  )");
+  auto r = CheckSeparable(p, "t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->separable);
+  EXPECT_NE(r->diagnostic.find("shifting"), std::string::npos);
+}
+
+TEST(SeparableTest, NonlinearRejected) {
+  ast::Program p = P(R"(
+    t(X, Y) :- t(X, W), t(W, Y).
+    t(X, Y) :- e(X, Y).
+  )");
+  auto r = CheckSeparable(p, "t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->linear);
+  EXPECT_FALSE(r->separable);
+}
+
+TEST(SeparableTest, HeadBodyMismatchRejected) {
+  // t^h = {0} (a touches X) but t^b = {} for the occurrence (W unshared...
+  // actually W shares with a; make them differ): here head shares position
+  // 0 via a(X) while the body occurrence's position-0 variable V is not in
+  // any EDB atom.
+  ast::Program p = P(R"(
+    t(X, Y) :- a(X), t(V, Y), b(V).
+    t(X, Y) :- e(X, Y).
+  )");
+  // Here t^h = {0} and t^b = {0} as well (V shares with b) — adjust: drop b.
+  ast::Program p2 = P(R"(
+    t(X, Y) :- a(X, V), t(V, Y).
+    t(X, Y) :- e(X, Y).
+  )");
+  // p2: t^h = {0}, t^b = {0}: equal. A genuine mismatch needs the head
+  // position to interact while the body's does not:
+  ast::Program p3 = P(R"(
+    t(X, Y) :- a(X), c(W), t(W, Y).
+    t(X, Y) :- e(X, Y).
+  )");
+  // p3: head pos0 shares via a; body pos0 (W) shares via c: t^h == t^b =
+  // {0} again, but condition (4) fails: a and c are disconnected.
+  auto r3 = CheckSeparable(p3, "t");
+  ASSERT_TRUE(r3.ok());
+  EXPECT_FALSE(r3->separable);
+  EXPECT_NE(r3->diagnostic.find("connected"), std::string::npos);
+  (void)p;
+  (void)p2;
+}
+
+TEST(SeparableTest, SeparableButNotReducible) {
+  // The paper's A-nonempty form: t(X, Y) :- a(X), t(X, W), b(W, Y).
+  // X is fixed AND shares with a: not reducible (full selections bind
+  // everything and the arity cannot drop).
+  ast::Program p = P(R"(
+    t(X, Y) :- a(X), t(X, W), b(W, Y).
+    t(X, Y) :- e(X, Y).
+  )");
+  auto r = CheckSeparable(p, "t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->separable) << r->diagnostic;
+  EXPECT_FALSE(r->reducible);
+}
+
+TEST(SeparableTest, TwoRuleGroupsEqualOrDisjoint) {
+  // Rules moving disjoint argument groups: pairwise disjoint t_i^h.
+  ast::Program p = P(R"(
+    t(X, Y) :- e1(X, W), t(W, Y).
+    t(X, Y) :- e2(Y, W), t(X, W).
+    t(X, Y) :- e(X, Y).
+  )");
+  auto r = CheckSeparable(p, "t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->separable) << r->diagnostic;
+  EXPECT_TRUE(r->reducible);
+  EXPECT_EQ(r->head_shared[0], (std::set<int>{0}));
+  EXPECT_EQ(r->head_shared[1], (std::set<int>{1}));
+}
+
+TEST(SeparableTest, FullSelectionRespectsGroups) {
+  ast::Program p = P(R"(
+    t(X, Y) :- e(X, W), t(W, Y).
+    t(X, Y) :- e(X, Y).
+  )");
+  auto r = CheckSeparable(p, "t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(IsFullSelection(*r, A("t(1, Y)")));   // binds the moving group
+  EXPECT_TRUE(IsFullSelection(*r, A("t(X, 2)")));   // binds the fixed group
+  EXPECT_FALSE(IsFullSelection(*r, A("t(X, Y)")));  // binds nothing
+  EXPECT_FALSE(IsFullSelection(*r, A("t(1, 2)")));  // binds everything
+}
+
+TEST(SeparableTest, FullSelectionMustNotCutGroups) {
+  // Groups {0,1} moving together: binding only one of them is not full.
+  ast::Program p = P(R"(
+    t(X, Y, Z) :- e(X, Y, V, W), t(V, W, Z).
+    t(X, Y, Z) :- e0(X, Y, Z).
+  )");
+  auto r = CheckSeparable(p, "t");
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->separable) << r->diagnostic;
+  EXPECT_EQ(r->head_shared[0], (std::set<int>{0, 1}));
+  EXPECT_TRUE(IsFullSelection(*r, A("t(1, 2, Z)")));
+  EXPECT_FALSE(IsFullSelection(*r, A("t(1, Y, Z)")));  // cuts the group
+  EXPECT_TRUE(IsFullSelection(*r, A("t(X, Y, 3)")));
+}
+
+// Theorem 6.3: reducible separable + full selection ⇒ the Magic program is
+// factorable (cross-validated against the selection-pushing checker through
+// the full pipeline).
+struct SeparableCase {
+  const char* name;
+  const char* program;
+  const char* query;
+};
+
+class Theorem63Test : public ::testing::TestWithParam<SeparableCase> {};
+
+TEST_P(Theorem63Test, ReducibleSeparableFullSelectionFactors) {
+  ast::Program p = P(GetParam().program);
+  ast::Atom q = A(GetParam().query);
+  auto r = CheckSeparable(p, q.predicate());
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->separable) << r->diagnostic;
+  ASSERT_TRUE(r->reducible);
+  ASSERT_TRUE(IsFullSelection(*r, q));
+
+  auto pipe = OptimizeQuery(p, q);
+  ASSERT_TRUE(pipe.ok()) << pipe.status().ToString();
+  EXPECT_TRUE(pipe->factoring_applied) << pipe->classification.diagnostic;
+  EXPECT_TRUE(pipe->factorability.selection_pushing);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, Theorem63Test,
+    ::testing::Values(
+        SeparableCase{"right_tc_forward",
+                      "t(X, Y) :- e(X, W), t(W, Y). t(X, Y) :- e(X, Y).",
+                      "t(1, Y)"},
+        SeparableCase{"right_tc_backward",
+                      "t(X, Y) :- e(X, W), t(W, Y). t(X, Y) :- e(X, Y).",
+                      "t(X, 9)"},
+        SeparableCase{"disjoint_groups_first",
+                      "t(X, Y) :- e1(X, W), t(W, Y). "
+                      "t(X, Y) :- e2(Y, W), t(X, W). "
+                      "t(X, Y) :- e(X, Y).",
+                      "t(1, Y)"},
+        SeparableCase{"wide_group",
+                      "t(X, Y, Z) :- e(X, Y, V, W), t(V, W, Z). "
+                      "t(X, Y, Z) :- e0(X, Y, Z).",
+                      "t(1, 2, Z)"}),
+    [](const ::testing::TestParamInfo<SeparableCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace factlog::core

@@ -1,0 +1,109 @@
+#include "analysis/standard_form.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/special_predicates.h"
+#include "tests/test_util.h"
+
+namespace factlog::analysis {
+namespace {
+
+using test::P;
+using test::R;
+
+ast::Rule Convert(const std::string& rule_text, const std::string& pred) {
+  ast::Rule rule = R(rule_text);
+  ast::FreshVarGen gen("_S");
+  gen.ReserveFrom(rule);
+  auto converted = ToStandardForm(rule, {pred}, &gen);
+  EXPECT_TRUE(converted.ok()) << converted.status().ToString();
+  return converted.ok() ? std::move(converted).value() : ast::Rule();
+}
+
+TEST(StandardFormTest, AlreadyStandardIsUntouched) {
+  ast::Rule r = Convert("t(X, Y) :- t(X, W), e(W, Y).", "t");
+  EXPECT_EQ(r.ToString(), "t(X, Y) :- t(X, W), e(W, Y).");
+  EXPECT_TRUE(IsInStandardForm(r, {"t"}));
+}
+
+TEST(StandardFormTest, ConstantsBecomeEqualAtoms) {
+  ast::Rule r = Convert("t(X, 5) :- e(X).", "t");
+  EXPECT_TRUE(IsInStandardForm(r, {"t"}));
+  // Head t(X, F) with equal(F, 5) in the body.
+  ASSERT_EQ(r.head().arity(), 2u);
+  EXPECT_TRUE(r.head().args()[1].IsVariable());
+  bool found = false;
+  for (const ast::Atom& b : r.body()) {
+    if (b.predicate() == ast::kEqualPredicate &&
+        b.args()[1] == ast::Term::Int(5)) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << r.ToString();
+}
+
+TEST(StandardFormTest, RepeatedVariablesSplit) {
+  // p(X, X) must become p(X, F), equal(F, X) — the paper's example.
+  ast::Rule r = Convert("p(X, X) :- e(X).", "p");
+  EXPECT_TRUE(IsInStandardForm(r, {"p"}));
+  EXPECT_NE(r.head().args()[0], r.head().args()[1]);
+}
+
+TEST(StandardFormTest, CompoundsBecomeStructuralAtoms) {
+  // pmem(X, [X | T]) -> pmem(X, L), $cons(X, T, L).
+  ast::Rule r = Convert("pmem(X, [X | T]) :- p(X).", "pmem");
+  EXPECT_TRUE(IsInStandardForm(r, {"pmem"}));
+  bool found = false;
+  for (const ast::Atom& b : r.body()) {
+    if (b.predicate() == "$cons") {
+      found = true;
+      EXPECT_EQ(b.arity(), 3u);
+      EXPECT_EQ(b.args()[0], ast::Term::Var("X"));
+      EXPECT_EQ(b.args()[1], ast::Term::Var("T"));
+    }
+  }
+  EXPECT_TRUE(found) << r.ToString();
+}
+
+TEST(StandardFormTest, NestedCompoundsFlattenRecursively) {
+  ast::Rule r = Convert("p(f(g(X))) :- e(X).", "p");
+  EXPECT_TRUE(IsInStandardForm(r, {"p"}));
+  int structural = 0;
+  for (const ast::Atom& b : r.body()) {
+    if (ast::IsStructuralPredicate(b.predicate())) ++structural;
+  }
+  EXPECT_EQ(structural, 2) << r.ToString();  // $g and $f
+}
+
+TEST(StandardFormTest, BodyLiteralsConvertedToo) {
+  ast::Rule r = Convert("p(X, Y) :- p(X, 3), e(X, Y).", "p");
+  EXPECT_TRUE(IsInStandardForm(r, {"p"}));
+}
+
+TEST(StandardFormTest, OnlyTargetPredicatesTouched) {
+  // EDB literals keep constants.
+  ast::Rule r = Convert("p(X, Y) :- e(X, 5), e(5, Y).", "p");
+  EXPECT_EQ(r.ToString(), "p(X, Y) :- e(X, 5), e(5, Y).");
+}
+
+TEST(StandardFormTest, ProgramConversion) {
+  ast::Program p = P(R"(
+    t(X, 7) :- t(X, X).
+    t(X, Y) :- e(X, Y).
+  )");
+  auto converted = ToStandardForm(p, {"t"});
+  ASSERT_TRUE(converted.ok());
+  for (const ast::Rule& r : converted->rules()) {
+    EXPECT_TRUE(IsInStandardForm(r, {"t"})) << r.ToString();
+  }
+}
+
+TEST(StandardFormTest, IsInStandardFormDetectsViolations) {
+  EXPECT_FALSE(IsInStandardForm(R("t(X, 5) :- e(X)."), {"t"}));
+  EXPECT_FALSE(IsInStandardForm(R("t(X, X) :- e(X)."), {"t"}));
+  EXPECT_FALSE(IsInStandardForm(R("t(X, f(Y)) :- e(X, Y)."), {"t"}));
+  EXPECT_TRUE(IsInStandardForm(R("t(X, 5) :- e(X)."), {"other"}));
+}
+
+}  // namespace
+}  // namespace factlog::analysis

@@ -1,0 +1,75 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace factlog {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status s = Status::Invalid("bad arity");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad arity");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad arity");
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+Status Propagates(bool fail) {
+  FACTLOG_RETURN_IF_ERROR(fail ? Status::Invalid("inner") : Status::OK());
+  return Status::OK();
+}
+
+Result<int> Assigns(bool fail) {
+  FACTLOG_ASSIGN_OR_RETURN(
+      int v, fail ? Result<int>(Status::Invalid("nope")) : Result<int>(3));
+  return v + 1;
+}
+
+TEST(MacroTest, ReturnIfError) {
+  EXPECT_TRUE(Propagates(false).ok());
+  EXPECT_FALSE(Propagates(true).ok());
+  EXPECT_EQ(Propagates(true).message(), "inner");
+}
+
+TEST(MacroTest, AssignOrReturn) {
+  auto ok = Assigns(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 4);
+  EXPECT_FALSE(Assigns(true).ok());
+}
+
+}  // namespace
+}  // namespace factlog

@@ -1,0 +1,144 @@
+#include "ast/term.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/atom.h"
+#include "ast/rule.h"
+
+namespace factlog::ast {
+namespace {
+
+TEST(TermTest, VariableBasics) {
+  Term v = Term::Var("X");
+  EXPECT_EQ(v.kind(), Term::Kind::kVariable);
+  EXPECT_TRUE(v.IsVariable());
+  EXPECT_FALSE(v.IsConstant());
+  EXPECT_FALSE(v.IsGround());
+  EXPECT_EQ(v.var_name(), "X");
+  EXPECT_EQ(v.ToString(), "X");
+}
+
+TEST(TermTest, IntBasics) {
+  Term i = Term::Int(-42);
+  EXPECT_EQ(i.kind(), Term::Kind::kInt);
+  EXPECT_TRUE(i.IsConstant());
+  EXPECT_TRUE(i.IsGround());
+  EXPECT_EQ(i.int_value(), -42);
+  EXPECT_EQ(i.ToString(), "-42");
+}
+
+TEST(TermTest, SymbolBasics) {
+  Term s = Term::Sym("alice");
+  EXPECT_TRUE(s.IsConstant());
+  EXPECT_EQ(s.symbol(), "alice");
+  EXPECT_EQ(s.ToString(), "alice");
+}
+
+TEST(TermTest, CompoundBasics) {
+  Term c = Term::App("f", {Term::Var("X"), Term::Int(3)});
+  EXPECT_TRUE(c.IsCompound());
+  EXPECT_EQ(c.symbol(), "f");
+  EXPECT_EQ(c.args().size(), 2u);
+  EXPECT_FALSE(c.IsGround());
+  EXPECT_EQ(c.ToString(), "f(X, 3)");
+  Term ground = Term::App("f", {Term::Int(1), Term::Int(2)});
+  EXPECT_TRUE(ground.IsGround());
+}
+
+TEST(TermTest, ListSugarPrinting) {
+  EXPECT_EQ(Term::Nil().ToString(), "[]");
+  Term l = Term::List({Term::Int(1), Term::Int(2), Term::Int(3)});
+  EXPECT_EQ(l.ToString(), "[1, 2, 3]");
+  Term open = Term::Cons(Term::Var("H"), Term::Var("T"));
+  EXPECT_EQ(open.ToString(), "[H | T]");
+  Term partial = Term::Cons(Term::Int(1), Term::Cons(Term::Int(2), Term::Var("T")));
+  EXPECT_EQ(partial.ToString(), "[1, 2 | T]");
+}
+
+TEST(TermTest, ListStructure) {
+  Term l = Term::List({Term::Int(1)});
+  ASSERT_TRUE(l.IsCompound());
+  EXPECT_EQ(l.symbol(), "cons");
+  EXPECT_EQ(l.args()[0], Term::Int(1));
+  EXPECT_EQ(l.args()[1], Term::Nil());
+}
+
+TEST(TermTest, EqualityAndOrdering) {
+  EXPECT_EQ(Term::Var("X"), Term::Var("X"));
+  EXPECT_NE(Term::Var("X"), Term::Var("Y"));
+  EXPECT_NE(Term::Var("X"), Term::Sym("x"));
+  EXPECT_EQ(Term::App("f", {Term::Int(1)}), Term::App("f", {Term::Int(1)}));
+  EXPECT_NE(Term::App("f", {Term::Int(1)}), Term::App("f", {Term::Int(2)}));
+  EXPECT_NE(Term::App("f", {Term::Int(1)}), Term::App("g", {Term::Int(1)}));
+  // Ordering is total and consistent with equality.
+  Term a = Term::Int(1), b = Term::Int(2);
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_FALSE(a < a);
+}
+
+TEST(TermTest, HashConsistency) {
+  Term a = Term::App("f", {Term::Var("X"), Term::List({Term::Int(1)})});
+  Term b = Term::App("f", {Term::Var("X"), Term::List({Term::Int(1)})});
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(TermTest, ContainsVar) {
+  Term t = Term::App("f", {Term::Var("X"), Term::App("g", {Term::Var("Y")})});
+  EXPECT_TRUE(t.ContainsVar("X"));
+  EXPECT_TRUE(t.ContainsVar("Y"));
+  EXPECT_FALSE(t.ContainsVar("Z"));
+}
+
+TEST(TermTest, CollectVarsInOrder) {
+  Term t = Term::App("f", {Term::Var("B"), Term::Var("A"), Term::Var("B")});
+  std::vector<std::string> vars;
+  t.CollectVars(&vars);
+  EXPECT_EQ(vars, (std::vector<std::string>{"B", "A", "B"}));
+}
+
+TEST(AtomTest, BasicsAndPrinting) {
+  Atom a("edge", {Term::Int(1), Term::Var("X")});
+  EXPECT_EQ(a.predicate(), "edge");
+  EXPECT_EQ(a.arity(), 2u);
+  EXPECT_FALSE(a.IsGround());
+  EXPECT_EQ(a.ToString(), "edge(1, X)");
+  Atom zero("flag", {});
+  EXPECT_EQ(zero.ToString(), "flag");
+  EXPECT_TRUE(zero.IsGround());
+}
+
+TEST(AtomTest, DistinctVars) {
+  Atom a("p", {Term::Var("X"), Term::Var("Y"), Term::Var("X")});
+  EXPECT_EQ(a.DistinctVars(), (std::vector<std::string>{"X", "Y"}));
+}
+
+TEST(RuleTest, PrintingAndFacts) {
+  Rule fact(Atom("e", {Term::Int(1), Term::Int(2)}), {});
+  EXPECT_TRUE(fact.IsFact());
+  EXPECT_EQ(fact.ToString(), "e(1, 2).");
+
+  Rule r(Atom("t", {Term::Var("X"), Term::Var("Y")}),
+         {Atom("t", {Term::Var("X"), Term::Var("W")}),
+          Atom("e", {Term::Var("W"), Term::Var("Y")})});
+  EXPECT_FALSE(r.IsFact());
+  EXPECT_EQ(r.ToString(), "t(X, Y) :- t(X, W), e(W, Y).");
+}
+
+TEST(RuleTest, RangeRestriction) {
+  Rule good(Atom("t", {Term::Var("X")}), {Atom("e", {Term::Var("X")})});
+  EXPECT_TRUE(good.IsRangeRestricted());
+  Rule bad(Atom("t", {Term::Var("X"), Term::Var("Y")}),
+           {Atom("e", {Term::Var("X")})});
+  EXPECT_FALSE(bad.IsRangeRestricted());
+  Rule ground_fact(Atom("t", {Term::Int(5)}), {});
+  EXPECT_TRUE(ground_fact.IsRangeRestricted());
+}
+
+TEST(RuleTest, DistinctVarsHeadFirst) {
+  Rule r(Atom("t", {Term::Var("X"), Term::Var("Y")}),
+         {Atom("e", {Term::Var("W"), Term::Var("X")})});
+  EXPECT_EQ(r.DistinctVars(), (std::vector<std::string>{"X", "Y", "W"}));
+}
+
+}  // namespace
+}  // namespace factlog::ast

@@ -1,0 +1,85 @@
+// Shared helpers for factlog tests.
+
+#ifndef FACTLOG_TESTS_TEST_UTIL_H_
+#define FACTLOG_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/parser.h"
+#include "eval/database.h"
+#include "eval/seminaive.h"
+
+namespace factlog::test {
+
+/// Parses a program, failing the test on error.
+inline ast::Program P(const std::string& text) {
+  auto r = ast::ParseProgram(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << "\nwhile parsing:\n" << text;
+  return r.ok() ? std::move(r).value() : ast::Program();
+}
+
+/// Parses an atom, failing the test on error.
+inline ast::Atom A(const std::string& text) {
+  auto r = ast::ParseAtom(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? std::move(r).value() : ast::Atom();
+}
+
+/// Parses a rule, failing the test on error.
+inline ast::Rule R(const std::string& text) {
+  auto r = ast::ParseRule(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? std::move(r).value() : ast::Rule();
+}
+
+/// Parses a term, failing the test on error.
+inline ast::Term T(const std::string& text) {
+  auto r = ast::ParseTerm(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? std::move(r).value() : ast::Term::Sym("parse_error");
+}
+
+/// Adds ground facts (one per line or semicolon-free program text) to a
+/// database. Facts must be ground atoms followed by '.'.
+inline void AddFacts(eval::Database* db, const std::string& text) {
+  auto program = ast::ParseProgram(text);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  for (const ast::Rule& r : program->rules()) {
+    ASSERT_TRUE(r.IsFact()) << r.ToString();
+    auto st = db->AddFact(r.head());
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+}
+
+/// Evaluates `program_text`'s query against facts, returning the sorted
+/// answer tuples rendered as strings like "(2, 3)".
+inline std::vector<std::string> Answers(const std::string& program_text,
+                                        const std::string& facts_text,
+                                        eval::EvalOptions opts = {}) {
+  ast::Program program = P(program_text);
+  EXPECT_TRUE(program.query().has_value()) << "program has no ?- query";
+  eval::Database db;
+  AddFacts(&db, facts_text);
+  auto answers = eval::EvaluateQuery(program, *program.query(), &db, opts);
+  EXPECT_TRUE(answers.ok()) << answers.status().ToString();
+  std::vector<std::string> out;
+  if (!answers.ok()) return out;
+  for (const auto& row : answers->rows) {
+    std::string s = "(";
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += db.store().ToString(row[i]);
+    }
+    s += ")";
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace factlog::test
+
+#endif  // FACTLOG_TESTS_TEST_UTIL_H_

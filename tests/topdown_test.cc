@@ -1,0 +1,164 @@
+#include "eval/topdown.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "workload/list_gen.h"
+
+namespace factlog::eval {
+namespace {
+
+using test::A;
+using test::AddFacts;
+using test::P;
+
+std::vector<std::string> Render(const AnswerSet& answers, const Database& db) {
+  std::vector<std::string> out;
+  for (const auto& row : answers.rows) {
+    std::string s = "(";
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += db.store().ToString(row[i]);
+    }
+    s += ")";
+    out.push_back(s);
+  }
+  return out;
+}
+
+TEST(TopDownTest, RightLinearTransitiveClosure) {
+  ast::Program p = P(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- e(X, W), t(W, Y).
+  )");
+  Database db;
+  AddFacts(&db, "e(1, 2). e(2, 3). e(3, 4).");
+  auto answers = SolveTopDown(p, A("t(1, Y)"), &db);
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  EXPECT_EQ(Render(*answers, db),
+            (std::vector<std::string>{"(2)", "(3)", "(4)"}));
+}
+
+TEST(TopDownTest, GroundQuerySucceedsOrFails) {
+  ast::Program p = P(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- e(X, W), t(W, Y).
+  )");
+  Database db;
+  AddFacts(&db, "e(1, 2). e(2, 3).");
+  auto yes = SolveTopDown(p, A("t(1, 3)"), &db);
+  ASSERT_TRUE(yes.ok());
+  EXPECT_EQ(yes->rows.size(), 1u);  // the empty binding row
+  auto no = SolveTopDown(p, A("t(3, 1)"), &db);
+  ASSERT_TRUE(no.ok());
+  EXPECT_TRUE(no->rows.empty());
+}
+
+TEST(TopDownTest, PmemComputesAllMembers) {
+  ast::Program p = workload::MakePmemProgram(5);
+  Database db;
+  workload::MakeMembershipPredicate(5, 1, 0, "p", &db);
+  auto answers = SolveTopDown(p, *p.query(), &db);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(Render(*answers, db),
+            (std::vector<std::string>{"(1)", "(2)", "(3)", "(4)", "(5)"}));
+}
+
+TEST(TopDownTest, PmemInferencesGrowQuadratically) {
+  // The O(n^2) claim of Example 1.2: with all members satisfying p, SLD
+  // makes Theta(n^2) inferences.
+  uint64_t inf_small = 0, inf_large = 0;
+  for (auto [n, target] : {std::pair<int64_t, uint64_t*>{32, &inf_small},
+                           std::pair<int64_t, uint64_t*>{64, &inf_large}}) {
+    ast::Program p = workload::MakePmemProgram(n);
+    Database db;
+    workload::MakeMembershipPredicate(n, 1, 0, "p", &db);
+    SldStats stats;
+    auto answers = SolveTopDown(p, *p.query(), &db, SldOptions(), &stats);
+    ASSERT_TRUE(answers.ok());
+    EXPECT_EQ(answers->rows.size(), static_cast<size_t>(n));
+    *target = stats.inferences;
+  }
+  // Doubling n should roughly quadruple inferences (allow 3x-5x).
+  double ratio = static_cast<double>(inf_large) / inf_small;
+  EXPECT_GT(ratio, 3.0) << inf_small << " -> " << inf_large;
+  EXPECT_LT(ratio, 5.0) << inf_small << " -> " << inf_large;
+}
+
+TEST(TopDownTest, LeftRecursionDivergesLikeProlog) {
+  ast::Program p = P(R"(
+    t(X, Y) :- t(X, W), e(W, Y).
+    t(X, Y) :- e(X, Y).
+  )");
+  Database db;
+  AddFacts(&db, "e(1, 2).");
+  SldOptions opts;
+  opts.max_inferences = 10'000;
+  opts.max_depth = 100;
+  auto answers = SolveTopDown(p, A("t(1, Y)"), &db, opts);
+  ASSERT_FALSE(answers.ok());
+  EXPECT_EQ(answers.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(TopDownTest, TablingCutsGroundLoops) {
+  // Ground-goal loop: reach(1,1) via the cycle. Plain SLD on a cyclic graph
+  // diverges; the loop check (tabling mode) terminates.
+  ast::Program p = P(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- e(X, W), t(W, Y).
+  )");
+  Database db;
+  AddFacts(&db, "e(1, 2). e(2, 1).");
+  SldOptions opts;
+  opts.tabling = true;
+  opts.max_inferences = 100'000;
+  auto yes = SolveTopDown(p, A("t(1, 1)"), &db, opts);
+  ASSERT_TRUE(yes.ok()) << yes.status().ToString();
+  EXPECT_EQ(yes->rows.size(), 1u);
+  auto no = SolveTopDown(p, A("t(1, 9)"), &db, opts);
+  ASSERT_TRUE(no.ok());
+  EXPECT_TRUE(no->rows.empty());
+}
+
+TEST(TopDownTest, EqualBuiltin) {
+  ast::Program p = P("q(X, Y) :- e(X), equal(X, Y).");
+  Database db;
+  AddFacts(&db, "e(1).");
+  auto answers = SolveTopDown(p, A("q(X, Y)"), &db);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(Render(*answers, db), (std::vector<std::string>{"(1, 1)"}));
+}
+
+TEST(TopDownTest, CompoundGoalsUnify) {
+  ast::Program p = P("head(X, L) :- equal([X | T], L).");
+  Database db;
+  auto answers = SolveTopDown(p, A("head(H, [1, 2, 3])"), &db);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(Render(*answers, db), (std::vector<std::string>{"(1)"}));
+}
+
+TEST(TopDownTest, NonGroundFactsResolve) {
+  // Prolog-style fact with variables: head(X, [X | T]).
+  ast::Program p = P("head(X, [X | T]).");
+  Database db;
+  auto answers = SolveTopDown(p, A("head(H, [7, 8])"), &db);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(Render(*answers, db), (std::vector<std::string>{"(7)"}));
+}
+
+TEST(TopDownTest, AgreesWithBottomUpOnAcyclicGraphs) {
+  ast::Program p = P(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- e(X, W), t(W, Y).
+  )");
+  Database db;
+  AddFacts(&db, "e(1, 2). e(1, 3). e(2, 4). e(3, 4). e(4, 5).");
+  auto top = SolveTopDown(p, A("t(1, Y)"), &db);
+  auto bottom = EvaluateQuery(p, A("t(1, Y)"), &db);
+  ASSERT_TRUE(top.ok());
+  ASSERT_TRUE(bottom.ok());
+  EXPECT_EQ(top->rows, bottom->rows);
+}
+
+}  // namespace
+}  // namespace factlog::eval

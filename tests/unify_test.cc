@@ -1,0 +1,135 @@
+#include "ast/unify.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace factlog::ast {
+namespace {
+
+using test::T;
+
+TEST(SubstitutionTest, ApplyShallow) {
+  Substitution s;
+  s.Bind("X", Term::Int(3));
+  EXPECT_EQ(s.Apply(T("f(X, Y)")), T("f(3, Y)"));
+}
+
+TEST(SubstitutionTest, ApplyIsSimultaneous) {
+  Substitution s;
+  s.Bind("X", Term::Var("Y"));
+  s.Bind("Y", Term::Int(3));
+  // Shallow Apply performs one step only.
+  EXPECT_EQ(s.Apply(Term::Var("X")), Term::Var("Y"));
+  // DeepApply resolves chains.
+  EXPECT_EQ(s.DeepApply(Term::Var("X")), Term::Int(3));
+}
+
+TEST(SubstitutionTest, WalkFollowsChains) {
+  Substitution s;
+  s.Bind("X", Term::Var("Y"));
+  s.Bind("Y", Term::Var("Z"));
+  EXPECT_EQ(s.Walk(Term::Var("X")), Term::Var("Z"));
+}
+
+TEST(UnifyTest, VarWithConstant) {
+  Substitution s;
+  EXPECT_TRUE(Unify(Term::Var("X"), Term::Int(5), &s));
+  EXPECT_EQ(s.DeepApply(Term::Var("X")), Term::Int(5));
+}
+
+TEST(UnifyTest, ConstantClash) {
+  Substitution s;
+  EXPECT_FALSE(Unify(Term::Int(5), Term::Int(6), &s));
+  EXPECT_FALSE(Unify(Term::Sym("a"), Term::Sym("b"), &s));
+  EXPECT_FALSE(Unify(Term::Int(5), Term::Sym("a"), &s));
+}
+
+TEST(UnifyTest, CompoundDecomposition) {
+  Substitution s;
+  EXPECT_TRUE(Unify(T("f(X, g(Y))"), T("f(1, g(2))"), &s));
+  EXPECT_EQ(s.DeepApply(Term::Var("X")), Term::Int(1));
+  EXPECT_EQ(s.DeepApply(Term::Var("Y")), Term::Int(2));
+}
+
+TEST(UnifyTest, FunctorMismatch) {
+  Substitution s;
+  EXPECT_FALSE(Unify(T("f(X)"), T("g(X)"), &s));
+}
+
+TEST(UnifyTest, SharedVariable) {
+  Substitution s;
+  EXPECT_TRUE(Unify(T("f(X, X)"), T("f(Y, 3)"), &s));
+  EXPECT_EQ(s.DeepApply(Term::Var("Y")), Term::Int(3));
+}
+
+TEST(UnifyTest, OccursCheck) {
+  Substitution s;
+  EXPECT_FALSE(Unify(Term::Var("X"), T("f(X)"), &s));
+}
+
+TEST(UnifyTest, ListDestructuring) {
+  Substitution s;
+  EXPECT_TRUE(Unify(T("[H | T]"), T("[1, 2, 3]"), &s));
+  EXPECT_EQ(s.DeepApply(Term::Var("H")), Term::Int(1));
+  EXPECT_EQ(s.DeepApply(Term::Var("T")), T("[2, 3]"));
+}
+
+TEST(UnifyTest, AtomsWithDifferentPredicatesFail) {
+  Substitution s;
+  EXPECT_FALSE(UnifyAtoms(test::A("p(X)"), test::A("q(X)"), &s));
+}
+
+TEST(UnifyTest, AtomUnification) {
+  Substitution s;
+  EXPECT_TRUE(UnifyAtoms(test::A("p(X, f(X))"), test::A("p(1, Y)"), &s));
+  EXPECT_EQ(s.DeepApply(Term::Var("Y")), T("f(1)"));
+}
+
+TEST(MatchTest, OneWayOnly) {
+  Substitution s;
+  EXPECT_TRUE(MatchTerm(T("f(X, 2)"), T("f(1, 2)"), &s));
+  EXPECT_EQ(*s.Lookup("X"), Term::Int(1));
+}
+
+TEST(MatchTest, BoundVariableMustAgree) {
+  Substitution s;
+  EXPECT_FALSE(MatchTerm(T("f(X, X)"), T("f(1, 2)"), &s));
+  Substitution s2;
+  EXPECT_TRUE(MatchTerm(T("f(X, X)"), T("f(1, 1)"), &s2));
+}
+
+TEST(MatchTest, GroundMismatch) {
+  Substitution s;
+  EXPECT_FALSE(MatchTerm(T("f(1)"), T("f(2)"), &s));
+  EXPECT_FALSE(MatchTerm(T("[1 | T]"), T("[2, 3]"), &s));
+  EXPECT_TRUE(MatchTerm(T("[1 | T]"), T("[1, 3]"), &s));
+}
+
+TEST(FreshVarGenTest, AvoidsReserved) {
+  FreshVarGen gen("_V");
+  gen.Reserve("_V0");
+  std::string v1 = gen.Fresh();
+  EXPECT_NE(v1, "_V0");
+  std::string v2 = gen.Fresh();
+  EXPECT_NE(v1, v2);
+}
+
+TEST(FreshVarGenTest, RenameApartIsConsistent) {
+  Rule r = test::R("t(X, Y) :- t(X, W), e(W, Y).");
+  FreshVarGen gen;
+  gen.ReserveFrom(r);
+  Rule renamed = RenameApart(r, &gen);
+  // Same shape, disjoint variables.
+  EXPECT_EQ(renamed.head().predicate(), "t");
+  EXPECT_EQ(renamed.body().size(), 2u);
+  for (const std::string& v : renamed.DistinctVars()) {
+    EXPECT_TRUE(v.rfind("_V", 0) == 0) << v;
+  }
+  // X occurs in head and first body literal; renaming must preserve that.
+  EXPECT_EQ(renamed.head().args()[0], renamed.body()[0].args()[0]);
+  EXPECT_EQ(renamed.head().args()[1], renamed.body()[1].args()[1]);
+}
+
+}  // namespace
+}  // namespace factlog::ast

@@ -1,0 +1,86 @@
+#include "workload/graph_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/list_gen.h"
+
+namespace factlog::workload {
+namespace {
+
+TEST(GraphGenTest, Chain) {
+  eval::Database db;
+  MakeChain(5, "e", &db);
+  EXPECT_EQ(db.Find("e")->size(), 4u);
+  eval::Database empty;
+  MakeChain(1, "e", &empty);
+  EXPECT_EQ(empty.Find("e"), nullptr);
+}
+
+TEST(GraphGenTest, Cycle) {
+  eval::Database db;
+  MakeCycle(5, "e", &db);
+  EXPECT_EQ(db.Find("e")->size(), 5u);
+}
+
+TEST(GraphGenTest, Tree) {
+  eval::Database db;
+  int64_t nodes = MakeTree(2, 3, "e", &db);
+  EXPECT_EQ(nodes, 15);                    // 1 + 2 + 4 + 8
+  EXPECT_EQ(db.Find("e")->size(), 14u);    // every node but the root
+}
+
+TEST(GraphGenTest, RandomGraphIsDeterministicPerSeed) {
+  eval::Database a, b, c;
+  MakeRandomGraph(20, 40, 7, "e", &a);
+  MakeRandomGraph(20, 40, 7, "e", &b);
+  MakeRandomGraph(20, 40, 8, "e", &c);
+  EXPECT_EQ(a.Find("e")->size(), b.Find("e")->size());
+  EXPECT_LE(a.Find("e")->size(), 40u);  // duplicates collapse
+}
+
+TEST(GraphGenTest, Grid) {
+  eval::Database db;
+  MakeGrid(3, 3, "e", &db);
+  // 2 edges per inner node direction: 3*2 right + 3*2 down.
+  EXPECT_EQ(db.Find("e")->size(), 12u);
+}
+
+TEST(GraphGenTest, SameGeneration) {
+  eval::Database db;
+  MakeSameGeneration(2, 2, &db);
+  // 6 tree edges each direction; 3 flat edges between the 4 leaves.
+  EXPECT_EQ(db.Find("up")->size(), 6u);
+  EXPECT_EQ(db.Find("down")->size(), 6u);
+  EXPECT_EQ(db.Find("flat")->size(), 3u);
+}
+
+TEST(GraphGenTest, UnaryAll) {
+  eval::Database db;
+  MakeUnaryAll(7, "v", &db);
+  EXPECT_EQ(db.Find("v")->size(), 7u);
+}
+
+TEST(ListGenTest, IntList) {
+  ast::Term l = MakeIntList(3);
+  EXPECT_EQ(l.ToString(), "[1, 2, 3]");
+  EXPECT_EQ(MakeIntList(0), ast::Term::Nil());
+}
+
+TEST(ListGenTest, MembershipPredicate) {
+  eval::Database db;
+  MakeMembershipPredicate(10, 2, 0, "p", &db);
+  EXPECT_EQ(db.Find("p")->size(), 5u);  // evens
+  eval::Database all;
+  MakeMembershipPredicate(10, 1, 0, "p", &all);
+  EXPECT_EQ(all.Find("p")->size(), 10u);
+}
+
+TEST(ListGenTest, PmemProgramShape) {
+  ast::Program p = MakePmemProgram(4);
+  EXPECT_EQ(p.rules().size(), 2u);
+  ASSERT_TRUE(p.query().has_value());
+  EXPECT_EQ(p.query()->ToString(), "pmem(X, [1, 2, 3, 4])");
+}
+
+}  // namespace
+}  // namespace factlog::workload
