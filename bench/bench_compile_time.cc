@@ -1,14 +1,16 @@
-// E14 (§4.2 remark): the cost of deciding factorability.
+// E14 (§4.2 remark): the cost of deciding factorability — and of caching it.
 //
 // "An algorithm that is exponential in the size of the recursion and query
 // (small) may be worth running during query planning in order to save time
 // proportional to the size of the database (large) during query
 // evaluation." — testing the sufficient conditions is NP-complete in the
 // rule size (conjunctive-query containment), but rules are tiny. This bench
-// measures the full pipeline's compile time (adorn + magic + classify +
-// containments + factoring + §5 cleanups incl. uniform-equivalence chases)
-// against one evaluation of the Magic program it replaces.
+// measures the full strategy compile (adorn + classify + containments +
+// factoring + §5 cleanups incl. uniform-equivalence chases) against one
+// evaluation of the Magic program it replaces, and the api::Engine plan
+// cache that amortizes the compile across repeated queries.
 
+#include "api/engine.h"
 #include "bench/bench_util.h"
 #include "workload/graph_gen.h"
 
@@ -32,44 +34,65 @@ const char* kPrograms[] = {
     "p(X, Y) :- e(X, Y), r1(Y), r2(Y), r3(Y). ?- p(1, Y).",
 };
 
-void BM_PipelineCompileTime(benchmark::State& state) {
-  ast::Program program =
-      bench::ParseOrDie(kPrograms[state.range(0)]);
+void BM_StrategyCompileTime(benchmark::State& state) {
+  ast::Program program = bench::ParseOrDie(kPrograms[state.range(0)]);
   size_t final_rules = 0;
   for (auto _ : state) {
-    auto result = core::OptimizeQuery(program, *program.query());
-    if (!result.ok()) {
-      state.SkipWithError(result.status().ToString().c_str());
+    auto compiled =
+        core::CompileQuery(program, *program.query(), core::Strategy::kAuto);
+    if (!compiled.ok()) {
+      state.SkipWithError(compiled.status().ToString().c_str());
       return;
     }
-    final_rules = result->final_program().rules().size();
-    benchmark::DoNotOptimize(result->factoring_applied);
+    final_rules = compiled->program.rules().size();
+    benchmark::DoNotOptimize(compiled->factoring_applied);
   }
   state.counters["final_rules"] = static_cast<double>(final_rules);
 }
 
-BENCHMARK(BM_PipelineCompileTime)->Arg(0)->Arg(1)->Arg(2)
+BENCHMARK(BM_StrategyCompileTime)->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond);
+
+// What the engine's plan cache saves: the same query served from the cache
+// instead of recompiled. The counter reports hits per iteration batch.
+void BM_PlanCacheHit(benchmark::State& state) {
+  ast::Program program = bench::ParseOrDie(kPrograms[state.range(0)]);
+  api::Engine engine;
+  auto warm = engine.Compile(program, *program.query());
+  if (!warm.ok()) {
+    state.SkipWithError(warm.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto plan = engine.Compile(program, *program.query());
+    benchmark::DoNotOptimize(plan->get());
+  }
+  state.counters["cache_hits"] =
+      static_cast<double>(engine.stats().cache_hits);
+}
+
+BENCHMARK(BM_PlanCacheHit)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
 
 // The evaluation-time savings one compile pays for: Magic-minus-factored
 // time on a single moderate database (three-form TC, chain n=256).
-void BM_EvaluationSavedPerQuery(benchmark::State& state, bool factored) {
+void BM_EvaluationSavedPerQuery(benchmark::State& state,
+                                core::Strategy strategy) {
   ast::Program program = bench::ParseOrDie(kPrograms[0]);
-  core::PipelineResult pipe = bench::Pipeline(program);
-  const ast::Program* prog = factored ? &*pipe.optimized : &pipe.magic.program;
-  const ast::Atom* query = factored ? &pipe.final_query() : &pipe.magic.query;
+  core::CompiledQuery plan = bench::Compile(program, strategy);
   for (auto _ : state) {
     state.PauseTiming();
     eval::Database db;
     workload::MakeChain(256, "e", &db);
     state.ResumeTiming();
-    bench::RunAndCount(*prog, *query, &db, state);
+    bench::RunAndCount(plan.program, plan.query, &db, state);
   }
 }
 
-BENCHMARK_CAPTURE(BM_EvaluationSavedPerQuery, magic, false)
+BENCHMARK_CAPTURE(BM_EvaluationSavedPerQuery, magic, core::Strategy::kMagic)
     ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_EvaluationSavedPerQuery, factored, true)
+BENCHMARK_CAPTURE(BM_EvaluationSavedPerQuery, factored,
+                  core::Strategy::kFactoring)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -11,7 +11,6 @@
 //  * On left-linear rules Counting does not terminate: reproduced via the
 //    fact budget (reported as the `diverged` counter).
 
-#include "analysis/adornment.h"
 #include "bench/bench_util.h"
 #include "transform/counting.h"
 #include "workload/graph_gen.h"
@@ -26,54 +25,27 @@ const char kRightTc[] = R"(
   ?- t(1, Y).
 )";
 
-transform::CountingProgram MakeCounting(const ast::Program& program) {
-  auto adorned =
-      bench::OrDie(analysis::Adorn(program, *program.query()), "adorn");
-  auto classification =
-      bench::OrDie(core::ClassifyProgram(adorned), "classify");
-  return bench::OrDie(transform::CountingTransform(adorned, classification),
-                      "counting");
-}
-
-void BM_RightLinear(benchmark::State& state, int mode) {
+void BM_RightLinear(benchmark::State& state, core::Strategy strategy) {
   int64_t n = state.range(0);
   ast::Program program = bench::ParseOrDie(kRightTc);
-  core::PipelineResult pipe = bench::Pipeline(program);
-  transform::CountingProgram counting = MakeCounting(program);
-
-  const ast::Program* prog = nullptr;
-  const ast::Atom* query = nullptr;
-  switch (mode) {
-    case 0:  // magic
-      prog = &pipe.magic.program;
-      query = &pipe.magic.query;
-      break;
-    case 1:  // factored
-      prog = &*pipe.optimized;
-      query = &pipe.final_query();
-      break;
-    case 2:  // counting (with index fields)
-      prog = &counting.program;
-      query = &counting.query;
-      break;
-  }
+  core::CompiledQuery plan = bench::Compile(program, strategy);
   for (auto _ : state) {
     state.PauseTiming();
     eval::Database db;
     workload::MakeChain(n, "e", &db);
     state.ResumeTiming();
-    bench::RunAndCount(*prog, *query, &db, state);
+    bench::RunAndCount(plan.program, plan.query, &db, state);
   }
   state.SetComplexityN(n);
 }
 
-BENCHMARK_CAPTURE(BM_RightLinear, magic, 0)
+BENCHMARK_CAPTURE(BM_RightLinear, magic, core::Strategy::kMagic)
     ->Arg(32)->Arg(64)->Arg(128)->Arg(256)
     ->Unit(benchmark::kMillisecond)->Complexity();
-BENCHMARK_CAPTURE(BM_RightLinear, factored, 1)
+BENCHMARK_CAPTURE(BM_RightLinear, factored, core::Strategy::kFactoring)
     ->Arg(32)->Arg(64)->Arg(128)->Arg(256)
     ->Unit(benchmark::kMillisecond)->Complexity();
-BENCHMARK_CAPTURE(BM_RightLinear, counting, 2)
+BENCHMARK_CAPTURE(BM_RightLinear, counting, core::Strategy::kCounting)
     ->Arg(32)->Arg(64)->Arg(128)->Arg(256)
     ->Unit(benchmark::kMillisecond)->Complexity();
 
@@ -88,7 +60,8 @@ void BM_LeftLinearCountingDiverges(benchmark::State& state) {
     t(X, Y) :- e(X, Y).
     ?- t(1, Y).
   )");
-  transform::CountingProgram counting = MakeCounting(program);
+  core::CompiledQuery counting =
+      bench::Compile(program, core::Strategy::kCounting);
   eval::EvalOptions opts;
   opts.max_facts = 50'000;
   int64_t diverged = 0;

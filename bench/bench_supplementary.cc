@@ -3,11 +3,10 @@
 // Supplementary magic is the stronger Magic baseline (shared body prefixes
 // are materialized once). The comparison shows that factoring's advantage
 // is orthogonal: supplementary magic reduces join work by a constant
-// factor, factoring reduces the *arity* and hence the asymptotics.
+// factor, factoring reduces the *arity* and hence the asymptotics. All
+// plans come from the strategy API (core::CompileQuery).
 
-#include "analysis/adornment.h"
 #include "bench/bench_util.h"
-#include "transform/supplementary_magic.h"
 #include "workload/graph_gen.h"
 
 namespace {
@@ -20,78 +19,58 @@ const char kNonlinearTc[] = R"(
   ?- t(1, Y).
 )";
 
-void BM_NonlinearTc(benchmark::State& state, int mode) {
+void BM_NonlinearTc(benchmark::State& state, core::Strategy strategy) {
   int64_t n = state.range(0);
   ast::Program program = bench::ParseOrDie(kNonlinearTc);
-  core::PipelineResult pipe = bench::Pipeline(program);
-  auto adorned =
-      bench::OrDie(analysis::Adorn(program, *program.query()), "adorn");
-  auto supp = bench::OrDie(transform::SupplementaryMagicSets(adorned), "supp");
-
-  const ast::Program* prog = nullptr;
-  const ast::Atom* query = nullptr;
-  switch (mode) {
-    case 0:
-      prog = &pipe.magic.program;
-      query = &pipe.magic.query;
-      break;
-    case 1:
-      prog = &supp.program;
-      query = &supp.query;
-      break;
-    case 2:
-      prog = &*pipe.optimized;
-      query = &pipe.final_query();
-      break;
-  }
+  core::CompiledQuery plan = bench::Compile(program, strategy);
   for (auto _ : state) {
     state.PauseTiming();
     eval::Database db;
     workload::MakeChain(n, "e", &db);
     state.ResumeTiming();
-    bench::RunAndCount(*prog, *query, &db, state);
+    bench::RunAndCount(plan.program, plan.query, &db, state);
   }
   state.SetComplexityN(n);
 }
 
-BENCHMARK_CAPTURE(BM_NonlinearTc, magic, 0)
+BENCHMARK_CAPTURE(BM_NonlinearTc, magic, core::Strategy::kMagic)
     ->Arg(32)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond)->Complexity();
-BENCHMARK_CAPTURE(BM_NonlinearTc, supplementary_magic, 1)
+BENCHMARK_CAPTURE(BM_NonlinearTc, supplementary_magic,
+                  core::Strategy::kSupplementaryMagic)
     ->Arg(32)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond)->Complexity();
-BENCHMARK_CAPTURE(BM_NonlinearTc, factored, 2)
+BENCHMARK_CAPTURE(BM_NonlinearTc, factored, core::Strategy::kFactoring)
     ->Arg(32)->Arg(64)->Arg(128)->Arg(512)
     ->Unit(benchmark::kMillisecond)->Complexity();
 
 // Long shared prefixes: where supplementary magic shines against plain
 // magic (both still quadratic; factoring does not apply to this
-// same-generation-style shape).
+// same-generation-style shape, which is why kAuto resolves to
+// supplementary magic here).
 const char kLongBody[] = R"(
   q(X, Y) :- e(X, Y).
   q(X, Y) :- e(X, A), e(A, B), q(B, C), e(C, D), q(D, Y).
   ?- q(1, Y).
 )";
 
-void BM_LongBody(benchmark::State& state, bool supplementary) {
+void BM_LongBody(benchmark::State& state, core::Strategy strategy) {
   int64_t n = state.range(0);
   ast::Program program = bench::ParseOrDie(kLongBody);
-  auto adorned =
-      bench::OrDie(analysis::Adorn(program, *program.query()), "adorn");
-  auto plain = bench::OrDie(transform::MagicSets(adorned), "magic");
-  auto supp = bench::OrDie(transform::SupplementaryMagicSets(adorned), "supp");
-  const ast::Program* prog = supplementary ? &supp.program : &plain.program;
-  const ast::Atom* query = supplementary ? &supp.query : &plain.query;
+  core::CompiledQuery plan = bench::Compile(program, strategy);
   for (auto _ : state) {
     state.PauseTiming();
     eval::Database db;
     workload::MakeChain(n, "e", &db);
     state.ResumeTiming();
-    bench::RunAndCount(*prog, *query, &db, state);
+    bench::RunAndCount(plan.program, plan.query, &db, state);
   }
 }
 
-BENCHMARK_CAPTURE(BM_LongBody, magic, false)
+BENCHMARK_CAPTURE(BM_LongBody, magic, core::Strategy::kMagic)
     ->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_LongBody, supplementary_magic, true)
+BENCHMARK_CAPTURE(BM_LongBody, supplementary_magic,
+                  core::Strategy::kSupplementaryMagic)
+    ->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_LongBody, auto_selected, core::Strategy::kAuto)
     ->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
 
 }  // namespace

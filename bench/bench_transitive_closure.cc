@@ -29,7 +29,10 @@ enum class Stage { kOriginalNaive, kOriginalSemiNaive, kMagic, kFactored };
 void BM_TransitiveClosure(benchmark::State& state, Stage stage) {
   int64_t n = state.range(0);
   ast::Program program = bench::ParseOrDie(kThreeFormTc);
-  core::PipelineResult pipe = bench::Pipeline(program);
+  core::CompiledQuery magic =
+      bench::Compile(program, core::Strategy::kMagic);
+  core::CompiledQuery factored =
+      bench::Compile(program, core::Strategy::kFactoring);
 
   const ast::Program* prog = &program;
   const ast::Atom* query = &*program.query();
@@ -41,12 +44,12 @@ void BM_TransitiveClosure(benchmark::State& state, Stage stage) {
     case Stage::kOriginalSemiNaive:
       break;
     case Stage::kMagic:
-      prog = &pipe.magic.program;
-      query = &pipe.magic.query;
+      prog = &magic.program;
+      query = &magic.query;
       break;
     case Stage::kFactored:
-      prog = &*pipe.optimized;
-      query = &pipe.final_query();
+      prog = &factored.program;
+      query = &factored.query;
       break;
   }
 
@@ -78,11 +81,11 @@ BENCHMARK_CAPTURE(BM_TransitiveClosure, factored, Stage::kFactored)
 void BM_TcRandomGraph(benchmark::State& state, Stage stage) {
   int64_t n = state.range(0);
   ast::Program program = bench::ParseOrDie(kThreeFormTc);
-  core::PipelineResult pipe = bench::Pipeline(program);
-  const ast::Program* prog =
-      stage == Stage::kMagic ? &pipe.magic.program : &*pipe.optimized;
-  const ast::Atom* query =
-      stage == Stage::kMagic ? &pipe.magic.query : &pipe.final_query();
+  core::CompiledQuery plan = bench::Compile(
+      program, stage == Stage::kMagic ? core::Strategy::kMagic
+                                      : core::Strategy::kFactoring);
+  const ast::Program* prog = &plan.program;
+  const ast::Atom* query = &plan.query;
   for (auto _ : state) {
     state.PauseTiming();
     eval::Database db;

@@ -40,6 +40,13 @@ inline core::PipelineResult Pipeline(const ast::Program& program) {
   return OrDie(core::OptimizeQuery(program, *program.query()), "pipeline");
 }
 
+/// Compiles the program's query under a strategy, aborting on error.
+inline core::CompiledQuery Compile(const ast::Program& program,
+                                   core::Strategy strategy) {
+  return OrDie(core::CompileQuery(program, *program.query(), strategy),
+               core::StrategyToString(strategy));
+}
+
 /// Evaluates and records the standard counters on `state`.
 inline void RunAndCount(const ast::Program& program, const ast::Atom& query,
                         eval::Database* db, benchmark::State& state,

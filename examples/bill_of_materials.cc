@@ -12,12 +12,12 @@
 // optimizer reduces `requires` to a unary reachable-parts predicate, so the
 // evaluation touches only the sub-assembly of interest.
 
-#include <chrono>
 #include <algorithm>
+#include <chrono>
 #include <iostream>
 
+#include "api/engine.h"
 #include "ast/parser.h"
-#include "core/pipeline.h"
 #include "eval/seminaive.h"
 #include "workload/graph_gen.h"
 
@@ -38,47 +38,63 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  auto result = core::OptimizeQuery(*program, *program->query());
-  if (!result.ok()) {
-    std::cerr << result.status().ToString() << "\n";
-    return 1;
-  }
-  std::cout << "optimizer: "
-            << core::FactorClassToString(result->factorability.cls) << "\n";
-  std::cout << "final program:\n" << result->final_program().ToString() << "\n";
-
   // A parts catalog: a `branching`-ary assembly tree rooted at part 1, plus
   // a second, unrelated product line (root 1000000) that a naive evaluation
   // would also explore.
-  eval::Database db;
-  int64_t tree_nodes = workload::MakeTree(branching, depth, "contains", &db);
+  api::Engine engine;
+  int64_t tree_nodes =
+      workload::MakeTree(branching, depth, "contains", &engine.db());
   // The unrelated product line is capped: whole-program evaluation computes
   // its full transitive closure (quadratic), which is exactly the waste the
   // factored program avoids — but the demo should finish promptly.
   int64_t other_line = std::min<int64_t>(tree_nodes, 1500);
   for (int64_t i = 0; i < other_line; ++i) {
-    db.AddPair("contains", 1'000'000 + i, 1'000'000 + i + 1);
+    engine.AddPair("contains", 1'000'000 + i, 1'000'000 + i + 1);
   }
-  std::cout << "catalog: " << db.Find("contains")->size()
+
+  auto plan = engine.Compile(*program, *program->query());
+  if (!plan.ok()) {
+    std::cerr << plan.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "optimizer: strategy "
+            << core::StrategyToString((*plan)->strategy) << ", "
+            << core::FactorClassToString((*plan)->factor_class) << "\n";
+  std::cout << "final program:\n" << (*plan)->program.ToString() << "\n";
+  std::cout << "catalog: " << engine.db().Find("contains")->size()
             << " containment facts, " << tree_nodes
             << " parts in the queried product\n";
 
-  for (auto [name, prog, query] :
-       {std::tuple<const char*, const ast::Program*, const ast::Atom*>{
-            "original (semi-naive)", &*program, &*program->query()},
-        {"factored", &result->final_program(), &result->final_query()}}) {
+  // Whole-program evaluation vs the engine's strategies on the same catalog.
+  {
     eval::EvalStats stats;
     auto start = Clock::now();
-    auto answers =
-        eval::EvaluateQuery(*prog, *query, &db, eval::EvalOptions(), &stats);
+    auto answers = eval::EvaluateQuery(*program, *program->query(),
+                                       &engine.db(), eval::EvalOptions(),
+                                       &stats);
     auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                   Clock::now() - start).count();
     if (!answers.ok()) {
       std::cerr << answers.status().ToString() << "\n";
       return 1;
     }
-    std::cout << name << ": " << answers->rows.size() << " required parts, "
-              << stats.total_facts << " facts derived, " << ms << " ms\n";
+    std::cout << "original (semi-naive): " << answers->rows.size()
+              << " required parts, " << stats.total_facts
+              << " facts derived, " << ms << " ms\n";
+  }
+  for (core::Strategy strategy :
+       {api::Strategy::kMagic, api::Strategy::kSupplementaryMagic,
+        api::Strategy::kFactoring}) {
+    api::QueryStats stats;
+    auto answers = engine.Query(*program, *program->query(), strategy, &stats);
+    if (!answers.ok()) {
+      std::cerr << answers.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << core::StrategyToString(strategy) << ": "
+              << answers->rows.size() << " required parts, "
+              << stats.eval.total_facts << " facts derived, "
+              << stats.execute_us / 1000 << " ms\n";
   }
   std::cout << "\nThe original program computes requires/2 for every part in "
                "the catalog;\nthe factored program derives one unary "

@@ -42,8 +42,8 @@ int main(int argc, char** argv) {
     std::cerr << result.status().ToString() << "\n";
     return 1;
   }
-  std::cout << "--- optimizer trace ---\n";
-  for (const std::string& line : result->trace) std::cout << "  " << line << "\n";
+  std::cout << "--- optimizer trace ---\n"
+            << core::TraceToString(result->trace);
   std::cout << "\n--- final program ---\n"
             << result->final_program().ToString() << "\n";
 

@@ -1,11 +1,21 @@
-// factlog optimizer CLI: run the paper's pipeline on a Datalog file.
+// factlog optimizer CLI: compile a Datalog query with a selectable strategy.
 //
-//   usage: optimizer_cli <program.dl> [--stage trace|magic|factored|final]
-//                        [--facts <facts.dl>]
+//   usage: optimizer_cli <program.dl>
+//            [--strategy auto|magic|supplementary-magic|factoring|counting|
+//                        linear-rewrite]
+//            [--stage trace|magic|factored|final]
+//            [--facts <facts.dl>]
 //
 // The program file must contain a `?- query.` line. With --facts the final
 // program is evaluated against the given ground facts and the answers are
 // printed; otherwise the requested stage is printed (default: everything).
+// `--stage trace` prints the structured pass trace (per-pass timings, rule
+// counts, and decisions).
+//
+// Exit codes: 0 on success, 2 on usage errors, and 10 + StatusCode on
+// pipeline/evaluation errors (11 = invalid argument, 12 = not found,
+// 13 = failed precondition, 14 = resource exhausted); see
+// StatusCodeToExitCode in common/status.h.
 //
 //   $ cat tc.dl
 //   t(X, Y) :- e(X, Y).
@@ -20,9 +30,9 @@
 #include <sstream>
 #include <string>
 
+#include "api/engine.h"
 #include "ast/parser.h"
 #include "core/pipeline.h"
-#include "eval/seminaive.h"
 
 namespace {
 
@@ -38,29 +48,41 @@ factlog::Result<std::string> ReadFile(const std::string& path) {
 
 int Fail(const factlog::Status& status) {
   std::cerr << "error: " << status.ToString() << "\n";
-  return 1;
+  return factlog::StatusCodeToExitCode(status.code());
+}
+
+int Usage() {
+  std::cerr << "usage: optimizer_cli <program.dl> "
+               "[--strategy auto|magic|supplementary-magic|factoring|"
+               "counting|linear-rewrite] "
+               "[--stage trace|magic|factored|final] [--facts <facts.dl>]\n";
+  return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace factlog;
-  if (argc < 2) {
-    std::cerr << "usage: optimizer_cli <program.dl> "
-                 "[--stage trace|magic|factored|final] [--facts <facts.dl>]\n";
-    return 2;
-  }
+  if (argc < 2) return Usage();
   std::string stage = "all";
   std::string facts_path;
+  core::Strategy strategy = core::Strategy::kFactoring;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--stage" && i + 1 < argc) {
       stage = argv[++i];
     } else if (arg == "--facts" && i + 1 < argc) {
       facts_path = argv[++i];
+    } else if (arg == "--strategy" && i + 1 < argc) {
+      auto parsed = core::StrategyFromString(argv[++i]);
+      if (!parsed.has_value()) {
+        std::cerr << "unknown strategy: " << argv[i] << "\n";
+        return Usage();
+      }
+      strategy = *parsed;
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
-      return 2;
+      return Usage();
     }
   }
 
@@ -70,55 +92,75 @@ int main(int argc, char** argv) {
   if (!program.ok()) return Fail(program.status());
   if (!program->query().has_value()) {
     std::cerr << "error: the program has no '?-' query\n";
-    return 1;
+    return StatusCodeToExitCode(StatusCode::kInvalidArgument);
   }
 
-  auto result = core::OptimizeQuery(*program, *program->query());
-  if (!result.ok()) return Fail(result.status());
+  // The paper pipeline (kFactoring) exposes every intermediate stage through
+  // OptimizeQuery — one run yields the trace, the Magic/factored stages, and
+  // the final program. Other strategies compile straight to a CompiledQuery.
+  const bool wants_intermediates =
+      stage == "all" || stage == "magic" || stage == "factored";
+  if (wants_intermediates && stage != "all" &&
+      strategy != core::Strategy::kFactoring) {
+    std::cerr << "error: --stage " << stage
+              << " shows a paper-pipeline intermediate; it requires "
+                 "--strategy factoring\n";
+    return 2;
+  }
+  core::CompiledQuery compiled;
+  std::optional<core::PipelineResult> pipeline;
+  if (strategy == core::Strategy::kFactoring) {
+    auto full = core::OptimizeQuery(*program, *program->query());
+    if (!full.ok()) return Fail(full.status());
+    // Equivalent to CompileQuery(kFactoring) — tests assert they agree —
+    // without compiling the pipeline a second time.
+    compiled.strategy = core::Strategy::kFactoring;
+    compiled.program = full->final_program();
+    compiled.query = full->final_query();
+    compiled.program.set_query(compiled.query);
+    compiled.factoring_applied = full->factoring_applied;
+    compiled.factor_class = full->factorability.cls;
+    compiled.trace = full->trace;
+    pipeline = std::move(full).value();
+  } else {
+    auto result = core::CompileQuery(*program, *program->query(), strategy);
+    if (!result.ok()) return Fail(result.status());
+    compiled = std::move(result).value();
+  }
 
   if (stage == "all" || stage == "trace") {
-    std::cout << "% --- optimizer trace ---\n";
-    for (const std::string& line : result->trace) {
+    std::cout << "% --- pass trace (strategy: "
+              << core::StrategyToString(compiled.strategy) << ") ---\n";
+    std::istringstream lines(core::TraceToString(compiled.trace));
+    for (std::string line; std::getline(lines, line);) {
       std::cout << "%   " << line << "\n";
     }
   }
-  if (stage == "all" || stage == "magic") {
+  if ((stage == "all" || stage == "magic") && pipeline.has_value()) {
     std::cout << "% --- Magic program ---\n"
-              << result->magic.program.ToString();
+              << pipeline->magic.program.ToString();
   }
-  if ((stage == "all" || stage == "factored") &&
-      result->factored.has_value()) {
+  if ((stage == "all" || stage == "factored") && pipeline.has_value() &&
+      pipeline->factored.has_value()) {
     std::cout << "% --- factored program ---\n"
-              << result->factored->program.ToString();
+              << pipeline->factored->program.ToString();
   }
   if (stage == "all" || stage == "final") {
-    std::cout << "% --- final program ---\n"
-              << result->final_program().ToString();
+    std::cout << "% --- final program ---\n" << compiled.program.ToString();
   }
 
   if (!facts_path.empty()) {
     auto facts_text = ReadFile(facts_path);
     if (!facts_text.ok()) return Fail(facts_text.status());
-    auto facts = ast::ParseProgram(*facts_text);
-    if (!facts.ok()) return Fail(facts.status());
-    eval::Database db;
-    for (const ast::Rule& r : facts->rules()) {
-      if (!r.IsFact()) {
-        std::cerr << "error: facts file contains a non-fact: " << r.ToString()
-                  << "\n";
-        return 1;
-      }
-      Status st = db.AddFact(r.head());
-      if (!st.ok()) return Fail(st);
-    }
-    eval::EvalStats stats;
-    auto answers = eval::EvaluateQuery(result->final_program(),
-                                       result->final_query(), &db,
-                                       eval::EvalOptions(), &stats);
+    api::Engine engine;
+    Status load = engine.LoadFacts(*facts_text);
+    if (!load.ok()) return Fail(load);
+    api::QueryStats stats;
+    auto answers = engine.Execute(compiled, &stats);
     if (!answers.ok()) return Fail(answers.status());
     std::cout << "% --- answers (" << answers->rows.size() << " rows, "
-              << stats.total_facts << " facts derived) ---\n"
-              << answers->ToString(db.store());
+              << stats.eval.total_facts << " facts derived) ---\n"
+              << answers->ToString(engine.db().store());
   }
   return 0;
 }

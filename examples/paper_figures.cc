@@ -32,9 +32,8 @@ void Classify(const std::string& title, const std::string& text) {
     std::cerr << result.status().ToString() << "\n";
     return;
   }
-  std::cout << "===== " << title << " =====\n";
-  for (const std::string& line : result->trace) std::cout << line << "\n";
-  std::cout << "\n";
+  std::cout << "===== " << title << " =====\n"
+            << core::TraceToString(result->trace) << "\n";
 }
 
 }  // namespace

@@ -1,17 +1,17 @@
-// Quickstart: parse a recursive Datalog program, optimize the query with
-// Magic Sets + factoring, and evaluate it.
+// Quickstart: ask a recursive Datalog query through the Engine facade.
 //
 //   $ ./quickstart
 //
-// This walks the pipeline of the paper on single-source transitive closure
-// and prints every stage.
+// The engine parses the program, compiles the query through the paper's
+// pipeline (Magic Sets + factoring + the §5 cleanups, picked automatically),
+// caches the plan, and evaluates it bottom-up — one call. The second half
+// shows the compiled plan and the structured pass trace, then demonstrates
+// the plan cache on a repeated query.
 
 #include <iostream>
 
+#include "api/engine.h"
 #include "ast/parser.h"
-#include "core/pipeline.h"
-#include "eval/seminaive.h"
-#include "workload/graph_gen.h"
 
 int main() {
   using namespace factlog;
@@ -24,46 +24,53 @@ int main() {
     t(X, Y) :- e(X, W), t(W, Y).
     ?- t(1, Y).
   )";
-  auto program = ast::ParseProgram(text);
-  if (!program.ok()) {
-    std::cerr << "parse error: " << program.status().ToString() << "\n";
-    return 1;
-  }
 
-  // 2. Optimize: adorn, apply Magic Sets, test factorability (§4 of the
-  //    paper), factor, and clean up with the §5 optimizations.
-  auto result = core::OptimizeQuery(*program, *program->query());
-  if (!result.ok()) {
-    std::cerr << "pipeline error: " << result.status().ToString() << "\n";
-    return 1;
-  }
-  std::cout << "--- optimizer decisions ---\n";
-  for (const std::string& line : result->trace) std::cout << "  " << line << "\n";
+  // 2. An engine owns the extensional database. The workload generators
+  //    build graphs; facts can also be added with AddFact / LoadFacts.
+  api::Engine engine;
+  for (int i = 1; i < 10; ++i) engine.AddPair("e", i, i + 1);
+  engine.AddPair("e", 3, 7);  // a shortcut edge
 
-  std::cout << "\n--- Magic program (P^mg) ---\n"
-            << result->magic.program.ToString();
-  if (result->optimized.has_value()) {
-    std::cout << "\n--- factored + optimized program ---\n"
-              << result->optimized->ToString();
-  }
-
-  // 3. Evaluate against an EDB. The workload generators build graphs; facts
-  //    can also be added one by one with Database::AddFact.
-  eval::Database db;
-  workload::MakeChain(10, "e", &db);
-  db.AddPair("e", 3, 7);  // a shortcut edge
-
-  eval::EvalStats stats;
-  auto answers = eval::EvaluateQuery(result->final_program(),
-                                     result->final_query(), &db,
-                                     eval::EvalOptions(), &stats);
+  // 3. Compile + execute. Strategy::kAuto factors when one of the paper's
+  //    Theorem 4.1-4.3 conditions holds and falls back to supplementary
+  //    magic otherwise.
+  api::QueryStats stats;
+  auto answers = engine.Query(text, api::Strategy::kAuto, &stats);
   if (!answers.ok()) {
-    std::cerr << "evaluation error: " << answers.status().ToString() << "\n";
+    std::cerr << "query error: " << answers.status().ToString() << "\n";
     return 1;
   }
-  std::cout << "\n--- answers to t(1, Y) ---\n"
-            << answers->ToString(db.store());
-  std::cout << "facts derived: " << stats.total_facts
-            << ", rule instantiations: " << stats.instantiations << "\n";
+  std::cout << "--- answers to t(1, Y) ---\n"
+            << answers->ToString(engine.db().store());
+  std::cout << "facts derived: " << stats.eval.total_facts
+            << ", rule instantiations: " << stats.eval.instantiations << "\n";
+
+  // 4. Inspect the compiled plan: strategy, final program, and the
+  //    structured pass trace with timings and rule counts.
+  auto program = ast::ParseProgram(text);
+  auto plan = engine.Compile(*program, *program->query());
+  if (!plan.ok()) {
+    std::cerr << "compile error: " << plan.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "\n--- compiled with strategy: "
+            << core::StrategyToString((*plan)->strategy) << " ---\n"
+            << (*plan)->program.ToString();
+  std::cout << "\n--- pass trace ---\n" << core::TraceToString((*plan)->trace);
+
+  // 5. The plan cache: re-asking the same query (even with renamed
+  //    variables) reuses the compiled plan.
+  api::QueryStats again;
+  auto cached = engine.Query("t(X, Y) :- e(X, Y). t(X, Y) :- e(X, W), t(W, Y). "
+                             "?- t(1, Z).",
+                             api::Strategy::kAuto, &again);
+  if (!cached.ok()) {
+    std::cerr << "query error: " << cached.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "\nrepeated query: cache "
+            << (again.cache_hit ? "hit" : "miss") << " ("
+            << engine.stats().cache_hits << " hits, "
+            << engine.stats().compiles << " compiles)\n";
   return 0;
 }

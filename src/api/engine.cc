@@ -1,0 +1,127 @@
+#include "api/engine.h"
+
+#include <chrono>
+#include <utility>
+
+#include "ast/parser.h"
+#include "core/canonical.h"
+
+namespace factlog::api {
+
+namespace {
+
+int64_t MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+Status Engine::LoadFacts(const std::string& text) {
+  FACTLOG_ASSIGN_OR_RETURN(ast::Program facts, ast::ParseProgram(text));
+  for (const ast::Rule& rule : facts.rules()) {
+    if (!rule.IsFact()) {
+      return Status::Invalid("LoadFacts input contains a non-fact rule: " +
+                             rule.ToString());
+    }
+    FACTLOG_RETURN_IF_ERROR(db_.AddFact(rule.head()));
+  }
+  return Status::OK();
+}
+
+std::string Engine::PlanCacheKey(const ast::Program& program,
+                                 const ast::Atom& query, Strategy strategy) {
+  // Canonicalization makes the key invariant under rule reordering, body
+  // reordering, and variable renaming; the query's constants (and hence its
+  // adornment) stay, so differently-bound queries get distinct plans.
+  ast::Program keyed = program;
+  keyed.set_query(query);
+  std::string key = StrategyToString(strategy);
+  key += '|';
+  key += analysis::Adornment::ForQuery(query).pattern();
+  key += '|';
+  key += core::CanonicalString(keyed);
+  return key;
+}
+
+Result<std::shared_ptr<const CompiledQuery>> Engine::Compile(
+    const ast::Program& program, const ast::Atom& query, Strategy strategy,
+    QueryStats* stats) {
+  const auto start = std::chrono::steady_clock::now();
+  std::string key;
+  if (options_.enable_plan_cache) {
+    key = PlanCacheKey(program, query, strategy);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++stats_.cache_hits;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      if (stats != nullptr) stats->cache_hit = true;
+      return it->second.plan;
+    }
+  }
+
+  FACTLOG_ASSIGN_OR_RETURN(
+      CompiledQuery compiled,
+      core::CompileQuery(program, query, strategy, options_.pipeline));
+  ++stats_.compiles;
+  auto plan = std::make_shared<const CompiledQuery>(std::move(compiled));
+  if (stats != nullptr) stats->compile_us = MicrosSince(start);
+
+  if (options_.enable_plan_cache && options_.plan_cache_capacity > 0) {
+    while (cache_.size() >= options_.plan_cache_capacity) {
+      cache_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    lru_.push_front(key);
+    cache_[key] = CacheEntry{plan, lru_.begin()};
+  }
+  return plan;
+}
+
+Result<eval::AnswerSet> Engine::Execute(const CompiledQuery& plan,
+                                        QueryStats* stats) {
+  const auto start = std::chrono::steady_clock::now();
+  ++stats_.executions;
+  Result<eval::AnswerSet> answers = Status::Internal("unreachable");
+  switch (options_.execution) {
+    case ExecutionMode::kBottomUp:
+      answers = eval::EvaluateQuery(plan.program, plan.query, &db_,
+                                    options_.eval,
+                                    stats != nullptr ? &stats->eval : nullptr);
+      break;
+    case ExecutionMode::kTopDown:
+      answers = eval::SolveTopDown(plan.program, plan.query, &db_,
+                                   options_.sld,
+                                   stats != nullptr ? &stats->sld : nullptr);
+      break;
+  }
+  if (stats != nullptr) stats->execute_us = MicrosSince(start);
+  return answers;
+}
+
+Result<eval::AnswerSet> Engine::Query(const ast::Program& program,
+                                      const ast::Atom& query,
+                                      Strategy strategy, QueryStats* stats) {
+  FACTLOG_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledQuery> plan,
+                           Compile(program, query, strategy, stats));
+  return Execute(*plan, stats);
+}
+
+Result<eval::AnswerSet> Engine::Query(const std::string& program_text,
+                                      Strategy strategy, QueryStats* stats) {
+  FACTLOG_ASSIGN_OR_RETURN(ast::Program program,
+                           ast::ParseProgram(program_text));
+  if (!program.query().has_value()) {
+    return Status::Invalid("program text has no '?-' query");
+  }
+  ast::Atom query = *program.query();
+  return Query(program, query, strategy, stats);
+}
+
+void Engine::ClearPlanCache() {
+  cache_.clear();
+  lru_.clear();
+}
+
+}  // namespace factlog::api

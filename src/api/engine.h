@@ -1,0 +1,171 @@
+// factlog::api::Engine — the unified compile-and-execute facade.
+//
+// The engine owns an extensional database, compiles queries through the
+// pass-manager pipeline (core/pipeline.h) under a selectable strategy, caches
+// the resulting CompiledQuery plans, and executes them bottom-up (semi-naive)
+// or top-down (SLD) to return AnswerSets:
+//
+//   api::Engine engine;
+//   engine.AddPair("e", 1, 2);
+//   engine.AddPair("e", 2, 3);
+//   auto answers = engine.Query(
+//       "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, W), t(W, Y). ?- t(1, Y).");
+//
+// Plans are cached under (strategy, query adornment, canonicalized program +
+// query), so re-asking a query — or asking it with renamed variables or
+// reordered rules — reuses the compiled plan. Like Johansson's multi-prime
+// argument reduction, the expensive precomputation (classification and the
+// NP-hard factorability containments) is paid once and amortized over every
+// subsequent execution.
+
+#ifndef FACTLOG_API_ENGINE_H_
+#define FACTLOG_API_ENGINE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "ast/program.h"
+#include "common/status.h"
+#include "core/pipeline.h"
+#include "core/transform_pass.h"
+#include "eval/database.h"
+#include "eval/seminaive.h"
+#include "eval/topdown.h"
+
+namespace factlog::api {
+
+using core::CompiledQuery;
+using core::Strategy;
+
+/// How Engine::Execute runs a compiled plan.
+enum class ExecutionMode {
+  /// Semi-naive bottom-up fixpoint (the paper's default).
+  kBottomUp,
+  /// Top-down SLD resolution (the Prolog baseline of Examples 1.2 / 4.6).
+  /// Note the magic-transformed plans are left-recursive on unbound goals,
+  /// so recursive queries diverge under plain SLD exactly as in Prolog; the
+  /// SldOptions budgets turn that into kResourceExhausted.
+  kTopDown,
+};
+
+struct EngineOptions {
+  /// Compilation knobs forwarded to the pass pipeline.
+  core::PipelineOptions pipeline;
+  /// Bottom-up evaluation budgets / strategy.
+  eval::EvalOptions eval;
+  /// Top-down resolution budgets (kTopDown only).
+  eval::SldOptions sld;
+  ExecutionMode execution = ExecutionMode::kBottomUp;
+  /// Plan caching. Disable to recompile on every query.
+  bool enable_plan_cache = true;
+  /// Maximum cached plans; least recently used plans are evicted.
+  size_t plan_cache_capacity = 128;
+};
+
+/// Cumulative engine counters.
+struct EngineStats {
+  uint64_t compiles = 0;    // plans built (cache misses included)
+  uint64_t cache_hits = 0;  // compiles avoided by the plan cache
+  uint64_t executions = 0;  // plans executed
+};
+
+/// Per-query statistics (optional out-param of Query/Execute).
+struct QueryStats {
+  bool cache_hit = false;
+  /// Microseconds spent compiling (0 on a cache hit) and executing.
+  int64_t compile_us = 0;
+  int64_t execute_us = 0;
+  /// Bottom-up evaluation counters (kBottomUp).
+  eval::EvalStats eval;
+  /// Resolution counters (kTopDown).
+  eval::SldStats sld;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {}) : options_(std::move(options)) {}
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// The engine's extensional database. Mutating base relations does NOT
+  /// invalidate cached plans (plans depend only on the program and query).
+  eval::Database& db() { return db_; }
+  const eval::Database& db() const { return db_; }
+
+  // ---- EDB loading conveniences -------------------------------------------
+
+  /// Interns and inserts a ground fact `p(c1, ..., ck)`.
+  Status AddFact(const ast::Atom& fact) { return db_.AddFact(fact); }
+  /// Adds `rel(a, b)` for an integer pair (graph edges).
+  void AddPair(const std::string& rel, int64_t a, int64_t b) {
+    db_.AddPair(rel, a, b);
+  }
+  /// Adds `rel(a)` for an integer.
+  void AddUnit(const std::string& rel, int64_t a) { db_.AddUnit(rel, a); }
+  /// Parses `text` (ground facts only, e.g. "e(1, 2). e(2, 3).") and adds
+  /// every fact to the database.
+  Status LoadFacts(const std::string& text);
+
+  // ---- Compile ------------------------------------------------------------
+
+  /// Compiles (program, query) under `strategy`, consulting the plan cache.
+  /// The returned plan is shared with the cache; it is immutable.
+  Result<std::shared_ptr<const CompiledQuery>> Compile(
+      const ast::Program& program, const ast::Atom& query,
+      Strategy strategy = Strategy::kAuto, QueryStats* stats = nullptr);
+
+  // ---- Query (compile + execute) ------------------------------------------
+
+  /// Compiles and executes. Answers are the bindings of the query's distinct
+  /// variables (on a cache hit, variable *names* come from the plan's query,
+  /// which may differ from `query`'s if the caller renamed them).
+  Result<eval::AnswerSet> Query(const ast::Program& program,
+                                const ast::Atom& query,
+                                Strategy strategy = Strategy::kAuto,
+                                QueryStats* stats = nullptr);
+
+  /// Parses `program_text` (which must contain a `?- query.` line), then
+  /// compiles and executes it.
+  Result<eval::AnswerSet> Query(const std::string& program_text,
+                                Strategy strategy = Strategy::kAuto,
+                                QueryStats* stats = nullptr);
+
+  /// Executes an already-compiled plan against the engine's database.
+  Result<eval::AnswerSet> Execute(const CompiledQuery& plan,
+                                  QueryStats* stats = nullptr);
+
+  // ---- Introspection ------------------------------------------------------
+
+  const EngineOptions& options() const { return options_; }
+  const EngineStats& stats() const { return stats_; }
+  size_t plan_cache_size() const { return cache_.size(); }
+  void ClearPlanCache();
+
+  /// The cache key for (program, query, strategy): the requested strategy,
+  /// the query's adornment pattern, and the canonicalized program + query.
+  /// Exposed for tests.
+  static std::string PlanCacheKey(const ast::Program& program,
+                                  const ast::Atom& query, Strategy strategy);
+
+ private:
+  struct CacheEntry {
+    std::shared_ptr<const CompiledQuery> plan;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  EngineOptions options_;
+  eval::Database db_;
+  EngineStats stats_;
+  /// Most recently used key at the front.
+  std::list<std::string> lru_;
+  std::map<std::string, CacheEntry> cache_;
+};
+
+}  // namespace factlog::api
+
+#endif  // FACTLOG_API_ENGINE_H_

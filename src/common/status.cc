@@ -22,6 +22,11 @@ const char* StatusCodeToString(StatusCode code) {
   return "Unknown";
 }
 
+int StatusCodeToExitCode(StatusCode code) {
+  if (code == StatusCode::kOk) return 0;
+  return 10 + static_cast<int>(code);
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = StatusCodeToString(code_);

@@ -38,6 +38,11 @@ enum class StatusCode {
 /// argument", ...).
 const char* StatusCodeToString(StatusCode code);
 
+/// Maps a StatusCode to a distinct process exit code for CLI tools: kOk -> 0,
+/// the error codes -> 10 + their enum value (so exit 2 stays free for usage
+/// errors, the getopt convention).
+int StatusCodeToExitCode(StatusCode code);
+
 /// Success-or-error outcome of an operation, carrying a message on error.
 class Status {
  public:
@@ -112,9 +117,14 @@ class Result {
   const T* operator->() const { return &value(); }
   T* operator->() { return &value(); }
 
-  /// Returns the value, or `fallback` when this Result holds an error.
-  T ValueOr(T fallback) const {
+  /// Returns the value, or `fallback` when this Result holds an error. The
+  /// rvalue overload moves the stored value out instead of deep-copying it,
+  /// so `MakeProgram().ValueOr(fallback)` does not copy the program.
+  T ValueOr(T fallback) const& {
     return ok() ? *value_ : std::move(fallback);
+  }
+  T ValueOr(T fallback) && {
+    return ok() ? std::move(*value_) : std::move(fallback);
   }
 
  private:

@@ -1,252 +1,172 @@
 #include "core/pipeline.h"
 
-#include <algorithm>
-#include <numeric>
-#include <set>
+#include <utility>
 
 namespace factlog::core {
 
 namespace {
 
-// Adorns and classifies one (program, query) pair.
-struct Attempt {
-  analysis::AdornedProgram adorned;
-  ProgramClassification classification;
-};
-
-Result<Attempt> TryClassify(const ast::Program& program,
-                            const ast::Atom& query) {
-  Attempt a;
-  FACTLOG_ASSIGN_OR_RETURN(a.adorned, analysis::Adorn(program, query));
-  FACTLOG_ASSIGN_OR_RETURN(a.classification, ClassifyProgram(a.adorned));
-  return a;
+PassSequence MakeSequence(std::unique_ptr<Transform> pass) {
+  PassSequence seq;
+  seq.push_back(std::move(pass));
+  return seq;
 }
 
-void BindAtomVars(const ast::Atom& atom, std::set<std::string>* bound) {
-  std::vector<std::string> vars;
-  atom.CollectVars(&vars);
-  bound->insert(vars.begin(), vars.end());
+CompiledQuery FinishCompile(TransformState&& state, Strategy strategy);
+
+// Runs `passes` on `state` with halts treated as errors and packages the
+// result under the given strategy tag.
+Result<CompiledQuery> RunStrict(TransformState state, PassSequence passes,
+                                Strategy strategy) {
+  RunPassesOptions strict;
+  strict.halt_is_error = true;
+  FACTLOG_ASSIGN_OR_RETURN(bool completed, RunPasses(passes, state, strict));
+  (void)completed;
+  return FinishCompile(std::move(state), strategy);
 }
 
-void BindTermVars(const ast::Term& term, std::set<std::string>* bound) {
-  std::vector<std::string> vars;
-  term.CollectVars(&vars);
-  bound->insert(vars.begin(), vars.end());
-}
-
-bool AtomPatternMatches(const ast::Atom& atom,
-                        const analysis::Adornment& target,
-                        const std::set<std::string>& bound) {
-  for (size_t i = 0; i < atom.arity(); ++i) {
-    std::vector<std::string> vars;
-    atom.args()[i].CollectVars(&vars);
-    bool is_bound =
-        atom.args()[i].IsGround() ||
-        std::all_of(vars.begin(), vars.end(), [&](const std::string& v) {
-          return bound.count(v) > 0;
-        });
-    if (is_bound != target.IsBound(i)) return false;
-  }
-  return true;
-}
-
-// Searches for a body order under which every occurrence of `pred` receives
-// exactly the adornment `target` (left-to-right SIP simulation). Returns
-// the reordered body, or nullopt. The paper's classification is explicitly
-// "up to ... reordering of predicate instances in the body" (§4.1); the
-// as-written order can over-bind an occurrence (e.g. t(X,9) on right-linear
-// transitive closure binds W through e(X,W) before reaching t(W,Y)).
-std::optional<std::vector<ast::Atom>> FindUnitBodyOrder(
-    const ast::Rule& rule, const std::string& pred,
-    const analysis::Adornment& target) {
-  const std::vector<ast::Atom>& body = rule.body();
-  if (body.size() > 8) return std::nullopt;  // permutation search bound
-
-  std::set<std::string> initial_bound;
-  for (size_t i = 0; i < rule.head().arity(); ++i) {
-    if (target.IsBound(i)) BindTermVars(rule.head().args()[i], &initial_bound);
-  }
-
-  std::vector<int> perm(body.size());
-  std::iota(perm.begin(), perm.end(), 0);
-  do {
-    std::set<std::string> bound = initial_bound;
-    bool ok = true;
-    for (int idx : perm) {
-      const ast::Atom& lit = body[idx];
-      if (lit.predicate() == pred) {
-        if (lit.arity() != target.arity() ||
-            !AtomPatternMatches(lit, target, bound)) {
-          ok = false;
-          break;
-        }
-      }
-      BindAtomVars(lit, &bound);
-    }
-    if (ok) {
-      std::vector<ast::Atom> out;
-      out.reserve(body.size());
-      for (int idx : perm) out.push_back(body[idx]);
-      return out;
-    }
-  } while (std::next_permutation(perm.begin(), perm.end()));
-  return std::nullopt;
-}
-
-// Reorders rule bodies of the query predicate so each recursive occurrence
-// adorns exactly like the query. Rules with no such order keep their
-// original body.
-ast::Program ReorderForUnitAdornment(const ast::Program& program,
-                                     const ast::Atom& query, bool* changed) {
-  analysis::Adornment target = analysis::Adornment::ForQuery(query);
-  ast::Program out;
-  *changed = false;
-  for (const ast::Rule& rule : program.rules()) {
-    if (rule.head().predicate() != query.predicate()) {
-      out.AddRule(rule);
-      continue;
-    }
-    std::optional<std::vector<ast::Atom>> reordered =
-        FindUnitBodyOrder(rule, query.predicate(), target);
-    if (reordered.has_value() && *reordered != rule.body()) {
-      *changed = true;
-      out.AddRule(ast::Rule(rule.head(), std::move(*reordered)));
-    } else {
-      out.AddRule(rule);
-    }
-  }
-  if (program.query().has_value()) out.set_query(*program.query());
+// Packages the state a completed pass sequence left behind.
+CompiledQuery FinishCompile(TransformState&& state, Strategy strategy) {
+  CompiledQuery out;
+  out.strategy = strategy;
+  out.program = state.final_program();
+  out.query = state.final_query();
+  out.program.set_query(out.query);
+  out.factoring_applied = state.factoring_applied;
+  out.static_reduction_applied = state.static_reduction_applied;
+  out.factor_class = state.factorability.has_value()
+                         ? state.factorability->cls
+                         : FactorClass::kNotFactorable;
+  out.source = std::move(state.source);
+  out.source_query = std::move(state.source_query);
+  out.trace = std::move(state.trace);
   return out;
 }
 
 }  // namespace
 
+PassSequence PassesForStrategy(Strategy strategy, const PipelineOptions& opts) {
+  PassSequence seq;
+  switch (strategy) {
+    case Strategy::kAuto:
+    case Strategy::kFactoring:
+      seq.push_back(MakeAdornPass());
+      seq.push_back(MakeClassifyPass());
+      seq.push_back(MakeNormalizePass(opts.try_static_reduction));
+      seq.push_back(MakeMagicPass());
+      seq.push_back(MakeFactorabilityGatePass());
+      seq.push_back(MakeFactoringPass());
+      if (opts.apply_optimizations) {
+        seq.push_back(MakeSectionFiveFixpointPass(opts.optimize));
+      }
+      break;
+    case Strategy::kMagic:
+      seq.push_back(MakeAdornPass());
+      seq.push_back(MakeMagicPass());
+      break;
+    case Strategy::kSupplementaryMagic:
+      seq.push_back(MakeAdornPass());
+      seq.push_back(MakeSupplementaryMagicPass());
+      break;
+    case Strategy::kCounting:
+      seq.push_back(MakeAdornPass());
+      seq.push_back(MakeClassifyPass());
+      seq.push_back(MakeCountingPass());
+      break;
+    case Strategy::kLinearRewrite:
+      seq.push_back(MakeAdornPass());
+      seq.push_back(MakeClassifyPass());
+      seq.push_back(MakeLinearRewritePass());
+      break;
+  }
+  return seq;
+}
+
+Result<CompiledQuery> CompileQuery(const ast::Program& program,
+                                   const ast::Atom& query, Strategy strategy,
+                                   const PipelineOptions& opts) {
+  if (strategy == Strategy::kAuto) {
+    // Try the paper pipeline first; when factoring does not apply (or the
+    // program falls outside the §4 templates entirely), fall back to
+    // supplementary magic.
+    TransformState state;
+    state.source = program;
+    state.source_query = query;
+    Result<bool> ran =
+        RunPasses(PassesForStrategy(Strategy::kFactoring, opts), state);
+    if (ran.ok() && state.factoring_applied) {
+      return FinishCompile(std::move(state), Strategy::kFactoring);
+    }
+    if (ran.ok()) {
+      // Keep the factoring attempt's trace (it records why factoring was
+      // rejected) and continue on the same state: the adorned program is
+      // already available.
+      return RunStrict(std::move(state),
+                       MakeSequence(MakeSupplementaryMagicPass()),
+                       Strategy::kSupplementaryMagic);
+    }
+    // The factoring pipeline failed outright (e.g. not a unit program, so
+    // classification errored); record why and compile supplementary magic
+    // from scratch.
+    TransformState fallback;
+    fallback.source = program;
+    fallback.source_query = query;
+    PassTraceEntry note;
+    note.pass = "auto-fallback";
+    note.notes.push_back("factoring pipeline failed: " +
+                         ran.status().ToString());
+    fallback.trace.push_back(std::move(note));
+    return RunStrict(std::move(fallback),
+                     PassesForStrategy(Strategy::kSupplementaryMagic, opts),
+                     Strategy::kSupplementaryMagic);
+  }
+
+  TransformState state;
+  state.source = program;
+  state.source_query = query;
+  RunPassesOptions run_opts;
+  // kFactoring keeps the paper's graceful Magic fallback; every other
+  // concrete strategy either applies or fails.
+  run_opts.halt_is_error = (strategy != Strategy::kFactoring);
+  FACTLOG_ASSIGN_OR_RETURN(
+      bool completed,
+      RunPasses(PassesForStrategy(strategy, opts), state, run_opts));
+  (void)completed;
+  return FinishCompile(std::move(state), strategy);
+}
+
 Result<PipelineResult> OptimizeQuery(const ast::Program& program,
                                      const ast::Atom& query,
                                      const PipelineOptions& opts) {
-  PipelineResult out;
-  out.source = program;
-  out.source_query = query;
-
-  FACTLOG_ASSIGN_OR_RETURN(Attempt attempt, TryClassify(program, query));
-  out.trace.push_back("adorned query predicate: " +
-                      attempt.adorned.query_predicate().Name());
-
-  // When the as-written program is not RLC-stable, retry with body
-  // reordering (the §4.1 "reordering of predicate instances") and with
-  // static argument reduction (Lemmas 5.1/5.2), in that order.
-  if (!attempt.classification.rlc_stable) {
-    bool reordered_changed = false;
-    ast::Program reordered =
-        ReorderForUnitAdornment(program, query, &reordered_changed);
-    if (reordered_changed) {
-      auto retry = TryClassify(reordered, query);
-      if (retry.ok() && retry->classification.rlc_stable) {
-        out.trace.push_back("body literals reordered for a unit adornment");
-        out.source = reordered;
-        attempt = std::move(retry).value();
-      }
-    }
-  }
-
-  if (!attempt.classification.rlc_stable && opts.try_static_reduction) {
-    std::vector<int> static_args =
-        FindStaticArguments(program, query.predicate(), query);
-    // Candidate position sets, per Lemma 5.2: first the static positions
-    // that violate the §4 templates, then all static positions, then each
-    // singleton.
-    std::vector<std::vector<int>> candidates;
-    std::vector<int> violating = FindViolatingStaticArguments(
-        program, query.predicate(), query, static_args);
-    if (!violating.empty()) candidates.push_back(violating);
-    if (!static_args.empty()) candidates.push_back(static_args);
-    for (int p : static_args) candidates.push_back({p});
-    for (const std::vector<int>& positions : candidates) {
-      auto reduced = ReduceStaticArguments(program, query.predicate(), query,
-                                           positions);
-      if (!reduced.ok()) continue;
-      // The reduced program may itself need reordering.
-      bool ignored = false;
-      ast::Program reduced_reordered =
-          ReorderForUnitAdornment(reduced->program, reduced->query, &ignored);
-      auto retry = TryClassify(reduced_reordered, reduced->query);
-      if (retry.ok() && retry->classification.rlc_stable) {
-        out.trace.push_back(
-            "static argument reduction applied (Lemma 5.1/5.2) on " +
-            std::to_string(positions.size()) + " position(s)");
-        out.source = reduced_reordered;
-        out.source_query = reduced->query;
-        out.static_reduction_applied = true;
-        out.reduced_positions = positions;
-        attempt = std::move(retry).value();
-        break;
-      }
-    }
-  }
-
-  out.adorned = std::move(attempt.adorned);
-  out.classification = std::move(attempt.classification);
-  for (const RuleShape& s : out.classification.shapes) {
-    out.trace.push_back("rule " + std::to_string(s.rule_index) + ": " +
-                        RuleShapeKindToString(s.kind) +
-                        (s.diagnostic.empty() ? "" : " (" + s.diagnostic + ")"));
-  }
-
-  FACTLOG_ASSIGN_OR_RETURN(out.magic, transform::MagicSets(out.adorned));
-  out.trace.push_back("magic program has " +
-                      std::to_string(out.magic.program.rules().size()) +
-                      " rules");
-
-  if (!out.classification.rlc_stable) {
-    out.trace.push_back("not RLC-stable: " + out.classification.diagnostic);
-    return out;
-  }
-
-  FACTLOG_ASSIGN_OR_RETURN(out.factorability,
-                           CheckFactorability(out.classification));
-  out.trace.push_back(std::string("factorability: ") +
-                      FactorClassToString(out.factorability.cls));
-  if (!out.factorability.factorable()) {
-    for (const std::string& f : out.factorability.failures) {
-      out.trace.push_back("  " + f);
-    }
-    return out;
-  }
-
-  // Factor p^a into bp(bound args) and fp(free args) in the Magic program
-  // (Theorems 4.1-4.3).
-  const analysis::AdornedPredicate& ap =
-      out.adorned.predicates().begin()->second;
-  FactorSplit split;
-  split.predicate = ap.Name();
-  split.part1 = ap.adornment.BoundPositions();
-  split.part2 = ap.adornment.FreePositions();
-  split.name1 = "b" + ap.base;
-  split.name2 = "f" + ap.base;
+  TransformState state;
+  state.source = program;
+  state.source_query = query;
   FACTLOG_ASSIGN_OR_RETURN(
-      FactoredProgram factored,
-      FactorTransform(out.magic.program, out.magic.query, split));
-  out.factored = std::move(factored);
-  out.factoring_applied = true;
-  out.trace.push_back("factored " + split.predicate + " into " +
-                      out.factored->split.name1 + "(bound) and " +
-                      out.factored->split.name2 + "(free)");
+      bool completed,
+      RunPasses(PassesForStrategy(Strategy::kFactoring, opts), state));
+  (void)completed;
 
-  if (opts.apply_optimizations) {
-    OptimizationContext ctx;
-    ctx.bp = out.factored->split.name1;
-    ctx.fp = out.factored->split.name2;
-    ctx.magic_pred = out.magic.magic_names.at(split.predicate);
-    ctx.seed_args = out.magic.seed.args();
-    ctx.query_pred = out.factored->query.predicate();
-    FACTLOG_ASSIGN_OR_RETURN(
-        ast::Program optimized,
-        OptimizeProgram(out.factored->program, ctx, opts.optimize));
-    optimized.set_query(out.factored->query);
-    out.trace.push_back("after §5 optimizations: " +
-                        std::to_string(optimized.rules().size()) + " rules");
-    out.optimized = std::move(optimized);
+  if (!state.adorned.has_value() || !state.classification.has_value() ||
+      !state.magic.has_value()) {
+    return Status::Internal(
+        "factoring pass sequence ended without adorned/classified/magic "
+        "artifacts");
   }
+  PipelineResult out;
+  out.source = std::move(state.source);
+  out.source_query = std::move(state.source_query);
+  out.static_reduction_applied = state.static_reduction_applied;
+  out.reduced_positions = std::move(state.reduced_positions);
+  out.adorned = std::move(*state.adorned);
+  out.magic = std::move(*state.magic);
+  out.classification = std::move(*state.classification);
+  if (state.factorability.has_value()) {
+    out.factorability = std::move(*state.factorability);
+  }
+  out.factoring_applied = state.factoring_applied;
+  out.factored = std::move(state.factored);
+  out.optimized = std::move(state.optimized);
+  out.trace = std::move(state.trace);
   return out;
 }
 

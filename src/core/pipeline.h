@@ -1,16 +1,23 @@
-// The paper's two-step optimization pipeline: Magic Sets, then factoring,
-// then the §5 cleanups.
+// Query compilation strategies as declarative pass sequences.
 //
-//   source (P, Q)
-//     -> [static argument reduction, Lemma 5.1/5.2, when it unlocks a class]
-//     -> adorned program P^ad               (analysis/adornment.h)
-//     -> Magic program P^mg                 (transform/magic.h)
-//     -> classification + factorability     (core/rule_classes.h, §4)
-//     -> factored program P^fact            (core/factoring.h, §3)
-//     -> optimized final program            (core/optimizations.h, §5)
+// The paper's two-step pipeline (Magic Sets, then factoring, then the §5
+// cleanups) and the baselines it is compared against (plain magic,
+// supplementary magic, Counting, the §6.3 direct linear rewritings) are all
+// sequences of the passes defined in core/transform_pass.h:
 //
-// Every intermediate stage is retained in the PipelineResult so tests and
-// benchmarks can compare them (Fig. 1 is `magic.program`, Fig. 2 is
+//   kFactoring:          adorn -> classify -> normalize -> magic-sets
+//                        -> factorability -> factoring -> §5 fixpoint
+//   kMagic:              adorn -> magic-sets
+//   kSupplementaryMagic: adorn -> supplementary-magic
+//   kCounting:           adorn -> classify -> counting
+//   kLinearRewrite:      adorn -> classify -> linear-rewrite
+//
+// `CompileQuery` runs a sequence and packages the outcome as a
+// `CompiledQuery`; `kFactoring` keeps the paper's graceful fallback (the
+// Magic program when the Theorems 4.1-4.3 conditions fail), `kAuto` upgrades
+// that fallback to supplementary magic. `OptimizeQuery` is the historical
+// entry point, preserved as a thin wrapper that exposes every intermediate
+// stage in a PipelineResult (Fig. 1 is `magic.program`, Fig. 2 is
 // `factored->program`, the final unary program of Example 5.3 is
 // `optimized`).
 
@@ -26,6 +33,7 @@
 #include "core/factoring.h"
 #include "core/optimizations.h"
 #include "core/rule_classes.h"
+#include "core/transform_pass.h"
 #include "transform/magic.h"
 
 namespace factlog::core {
@@ -38,6 +46,25 @@ struct PipelineOptions {
   bool apply_optimizations = true;
   OptimizeOptions optimize;
 };
+
+/// The pass sequence implementing `strategy`. kAuto returns the kFactoring
+/// sequence (the caller handles the supplementary-magic fallback, as
+/// CompileQuery does).
+PassSequence PassesForStrategy(Strategy strategy,
+                               const PipelineOptions& opts = {});
+
+/// Compiles (program, query) with the given strategy into a CompiledQuery.
+///
+///  * kFactoring: the paper pipeline; falls back to the Magic program when
+///    no Theorem 4.1-4.3 condition holds (factoring_applied reports which).
+///  * kAuto: factoring when a Theorem 4.1-4.3 condition holds, otherwise
+///    supplementary magic (the strongest always-applicable baseline).
+///  * kMagic / kSupplementaryMagic / kCounting / kLinearRewrite: strict;
+///    fail with kFailedPrecondition when the strategy does not apply.
+Result<CompiledQuery> CompileQuery(const ast::Program& program,
+                                   const ast::Atom& query,
+                                   Strategy strategy = Strategy::kAuto,
+                                   const PipelineOptions& opts = {});
 
 struct PipelineResult {
   /// The program/query the pipeline actually compiled (after any static
@@ -57,8 +84,8 @@ struct PipelineResult {
   /// §5-optimized factored program (when optimizations ran).
   std::optional<ast::Program> optimized;
 
-  /// Human-readable decision log.
-  std::vector<std::string> trace;
+  /// Structured per-pass decision log (timings, rule counts, notes).
+  std::vector<PassTraceEntry> trace;
 
   /// The most optimized program available: optimized, else factored, else
   /// the Magic program.
@@ -72,9 +99,10 @@ struct PipelineResult {
   }
 };
 
-/// Runs the full pipeline. Always produces the Magic program; factoring and
-/// the §5 cleanups apply only when one of the Theorems 4.1-4.3 conditions
-/// holds (reported in `factorability`).
+/// Runs the full paper pipeline. Always produces the Magic program;
+/// factoring and the §5 cleanups apply only when one of the Theorems 4.1-4.3
+/// conditions holds (reported in `factorability`). Equivalent to running the
+/// kFactoring pass sequence and keeping every intermediate artifact.
 Result<PipelineResult> OptimizeQuery(const ast::Program& program,
                                      const ast::Atom& query,
                                      const PipelineOptions& opts = {});

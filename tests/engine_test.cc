@@ -1,0 +1,347 @@
+// Tests for the api::Engine facade: the strategy-equivalence sweep over the
+// workload generators, the plan cache, and the execution modes.
+
+#include "api/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ast/parser.h"
+#include "tests/test_util.h"
+#include "workload/graph_gen.h"
+#include "workload/list_gen.h"
+
+namespace factlog::api {
+namespace {
+
+using test::A;
+using test::P;
+
+const char kRightTc[] =
+    "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, W), t(W, Y). ?- t(1, Y).";
+
+// ---- Strategy-equivalence sweep --------------------------------------------
+//
+// Every strategy that compiles a (program, workload) combination must return
+// exactly the answers of the original program. kMagic, kSupplementaryMagic,
+// kFactoring, and kAuto must always apply; kCounting and kLinearRewrite may
+// refuse (kFailedPrecondition) or, for left-linear Counting, diverge into
+// the evaluation budget (kResourceExhausted) — the paper's §6.4 observation.
+
+class EngineSweepTest : public ::testing::TestWithParam<int> {};
+
+struct ProgramSpec {
+  const char* name;
+  const char* program;
+  const char* query;
+  void (*load)(eval::Database* db);
+};
+
+void LoadChain(eval::Database* db) { workload::MakeChain(24, "e", db); }
+void LoadCycle(eval::Database* db) { workload::MakeCycle(16, "e", db); }
+void LoadGrid(eval::Database* db) { workload::MakeGrid(5, 5, "e", db); }
+void LoadSg(eval::Database* db) { workload::MakeSameGeneration(2, 4, db); }
+void LoadMembers(eval::Database* db) {
+  workload::MakeMembershipPredicate(12, 2, 0, "p", db);
+}
+
+const ProgramSpec kSweep[] = {
+    {"right_tc_chain",
+     "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, W), t(W, Y). ?- t(1, Y).",
+     "t(1, Y)", LoadChain},
+    {"right_tc_cycle",
+     "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, W), t(W, Y). ?- t(1, Y).",
+     "t(1, Y)", LoadCycle},
+    {"left_tc_chain",
+     "t(X, Y) :- e(X, Y). t(X, Y) :- t(X, W), e(W, Y). ?- t(1, Y).",
+     "t(1, Y)", LoadChain},
+    {"nonlinear_tc_grid",
+     "t(X, Y) :- e(X, Y). t(X, Y) :- t(X, W), t(W, Y). ?- t(1, Y).",
+     "t(1, Y)", LoadGrid},
+    {"three_form_tc_chain",
+     "t(X, Y) :- t(X, W), t(W, Y). t(X, Y) :- e(X, W), t(W, Y). "
+     "t(X, Y) :- t(X, W), e(W, Y). t(X, Y) :- e(X, Y). ?- t(1, Y).",
+     "t(1, Y)", LoadChain},
+    {"same_generation_tree",
+     "sg(X, Y) :- flat(X, Y). sg(X, Y) :- up(X, U), sg(U, V), down(V, Y). "
+     "?- sg(2, Y).",
+     "sg(2, Y)", LoadSg},
+};
+
+TEST_P(EngineSweepTest, AllApplicableStrategiesAgree) {
+  const ProgramSpec& spec = kSweep[GetParam()];
+  Engine engine;
+  spec.load(&engine.db());
+  ast::Program program = P(spec.program);
+  ast::Atom query = A(spec.query);
+
+  // Reference: the original program evaluated bottom-up on the same store.
+  auto reference = eval::EvaluateQuery(program, query, &engine.db());
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  const std::string expected = reference->ToString(engine.db().store());
+
+  std::vector<Strategy> required = {Strategy::kAuto, Strategy::kMagic,
+                                    Strategy::kSupplementaryMagic,
+                                    Strategy::kFactoring};
+  for (Strategy s : required) {
+    QueryStats stats;
+    auto answers = engine.Query(program, query, s, &stats);
+    ASSERT_TRUE(answers.ok())
+        << spec.name << " / " << core::StrategyToString(s) << ": "
+        << answers.status().ToString();
+    EXPECT_EQ(answers->ToString(engine.db().store()), expected)
+        << spec.name << " / " << core::StrategyToString(s);
+  }
+
+  // Counting and the direct linear rewritings are partial strategies: when
+  // they compile and evaluate within budget, they too must agree. A small
+  // fact budget keeps the §6.4 divergence of left-linear/cyclic Counting
+  // from burning time before it is reported.
+  EngineOptions partial_options;
+  partial_options.eval.max_facts = 200'000;
+  Engine partial(partial_options);
+  spec.load(&partial.db());
+  for (Strategy s : {Strategy::kCounting, Strategy::kLinearRewrite}) {
+    auto plan = partial.Compile(program, query, s);
+    if (!plan.ok()) {
+      EXPECT_EQ(plan.status().code(), StatusCode::kFailedPrecondition)
+          << spec.name << " / " << core::StrategyToString(s);
+      continue;
+    }
+    auto answers = partial.Execute(**plan);
+    if (!answers.ok()) {
+      // Left-linear Counting does not terminate (§6.4); the budget stops it.
+      EXPECT_EQ(answers.status().code(), StatusCode::kResourceExhausted)
+          << spec.name << " / " << core::StrategyToString(s) << ": "
+          << answers.status().ToString();
+      continue;
+    }
+    EXPECT_EQ(answers->ToString(partial.db().store()), expected)
+        << spec.name << " / " << core::StrategyToString(s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, EngineSweepTest, ::testing::Range(0, 6),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return std::string(kSweep[info.param].name);
+                         });
+
+TEST(EngineSweepTest, ListMembershipStrategiesAgree) {
+  // pmem (Example 1.2) carries function symbols; the original program is not
+  // range-restricted, so the magic-transformed strategies are compared to
+  // each other and to the known answer count.
+  ast::Program program = workload::MakePmemProgram(12);
+  ast::Atom query = *program.query();
+  Engine engine;
+  LoadMembers(&engine.db());
+
+  std::map<std::string, std::string> results;
+  for (Strategy s : {Strategy::kAuto, Strategy::kMagic,
+                     Strategy::kSupplementaryMagic, Strategy::kFactoring}) {
+    auto answers = engine.Query(program, query, s);
+    ASSERT_TRUE(answers.ok()) << core::StrategyToString(s) << ": "
+                              << answers.status().ToString();
+    EXPECT_EQ(answers->rows.size(), 6u) << core::StrategyToString(s);
+    results[core::StrategyToString(s)] =
+        answers->ToString(engine.db().store());
+  }
+  for (const auto& [name, rendered] : results) {
+    EXPECT_EQ(rendered, results.begin()->second) << name;
+  }
+}
+
+// ---- Auto strategy selection -----------------------------------------------
+
+TEST(EngineAutoTest, FactorsWhenTheoremConditionsHold) {
+  Engine engine;
+  ast::Program p = P(kRightTc);
+  auto plan = engine.Compile(p, *p.query(), Strategy::kAuto);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->strategy, Strategy::kFactoring);
+  EXPECT_TRUE((*plan)->factoring_applied);
+}
+
+TEST(EngineAutoTest, FallsBackToSupplementaryMagic) {
+  Engine engine;
+  ast::Program p = P(
+      "sg(X, Y) :- flat(X, Y). "
+      "sg(X, Y) :- up(X, U), sg(U, V), down(V, Y). ?- sg(1, Y).");
+  auto plan = engine.Compile(p, *p.query(), Strategy::kAuto);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ((*plan)->strategy, Strategy::kSupplementaryMagic);
+  EXPECT_FALSE((*plan)->factoring_applied);
+}
+
+// ---- Plan cache ------------------------------------------------------------
+
+TEST(EnginePlanCacheTest, SecondCompileIsAHit) {
+  Engine engine;
+  for (int i = 1; i < 8; ++i) engine.AddPair("e", i, i + 1);
+  QueryStats first, second;
+  auto a1 = engine.Query(kRightTc, Strategy::kAuto, &first);
+  ASSERT_TRUE(a1.ok());
+  EXPECT_FALSE(first.cache_hit);
+  auto a2 = engine.Query(kRightTc, Strategy::kAuto, &second);
+  ASSERT_TRUE(a2.ok());
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.compile_us, 0);
+  EXPECT_EQ(engine.stats().compiles, 1u);
+  EXPECT_EQ(engine.stats().cache_hits, 1u);
+  EXPECT_EQ(engine.plan_cache_size(), 1u);
+  EXPECT_EQ(a1->rows, a2->rows);
+}
+
+TEST(EnginePlanCacheTest, KeyIsCanonical) {
+  // Renamed variables and reordered rules are the same plan.
+  Engine engine;
+  for (int i = 1; i < 8; ++i) engine.AddPair("e", i, i + 1);
+  QueryStats first, second;
+  ASSERT_TRUE(engine.Query(kRightTc, Strategy::kAuto, &first).ok());
+  ASSERT_TRUE(engine
+                  .Query("t(P, Q) :- e(P, M), t(M, Q). t(P, Q) :- e(P, Q). "
+                         "?- t(1, Out).",
+                         Strategy::kAuto, &second)
+                  .ok());
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(engine.stats().compiles, 1u);
+}
+
+TEST(EnginePlanCacheTest, DifferentConstantsAreDifferentPlans) {
+  // The compiled plan bakes the query constant into the magic seed, so a
+  // differently-bound query must recompile — and must answer correctly.
+  Engine engine;
+  for (int i = 1; i < 8; ++i) engine.AddPair("e", i, i + 1);
+  ast::Program p = P(kRightTc);
+  auto from1 = engine.Query(p, A("t(1, Y)"), Strategy::kAuto);
+  auto from5 = engine.Query(p, A("t(5, Y)"), Strategy::kAuto);
+  ASSERT_TRUE(from1.ok());
+  ASSERT_TRUE(from5.ok());
+  EXPECT_EQ(engine.stats().compiles, 2u);
+  EXPECT_EQ(from1->rows.size(), 7u);
+  EXPECT_EQ(from5->rows.size(), 3u);
+}
+
+TEST(EnginePlanCacheTest, StrategiesAreCachedSeparately) {
+  Engine engine;
+  for (int i = 1; i < 8; ++i) engine.AddPair("e", i, i + 1);
+  ast::Program p = P(kRightTc);
+  ASSERT_TRUE(engine.Query(p, *p.query(), Strategy::kMagic).ok());
+  ASSERT_TRUE(engine.Query(p, *p.query(), Strategy::kFactoring).ok());
+  EXPECT_EQ(engine.stats().compiles, 2u);
+  EXPECT_EQ(engine.stats().cache_hits, 0u);
+  EXPECT_EQ(engine.plan_cache_size(), 2u);
+}
+
+TEST(EnginePlanCacheTest, LruEviction) {
+  EngineOptions options;
+  options.plan_cache_capacity = 2;
+  Engine engine(options);
+  for (int i = 1; i < 8; ++i) engine.AddPair("e", i, i + 1);
+  ast::Program p = P(kRightTc);
+  ASSERT_TRUE(engine.Query(p, A("t(1, Y)")).ok());
+  ASSERT_TRUE(engine.Query(p, A("t(2, Y)")).ok());
+  // Touch t(1, Y): it becomes the most recently used entry.
+  ASSERT_TRUE(engine.Query(p, A("t(1, Y)")).ok());
+  // A third plan evicts t(2, Y), not t(1, Y).
+  ASSERT_TRUE(engine.Query(p, A("t(3, Y)")).ok());
+  EXPECT_EQ(engine.plan_cache_size(), 2u);
+  QueryStats stats;
+  ASSERT_TRUE(engine.Query(p, A("t(1, Y)"), Strategy::kAuto, &stats).ok());
+  EXPECT_TRUE(stats.cache_hit);
+  QueryStats stats2;
+  ASSERT_TRUE(engine.Query(p, A("t(2, Y)"), Strategy::kAuto, &stats2).ok());
+  EXPECT_FALSE(stats2.cache_hit);  // was evicted
+}
+
+TEST(EnginePlanCacheTest, CanBeDisabled) {
+  EngineOptions options;
+  options.enable_plan_cache = false;
+  Engine engine(options);
+  for (int i = 1; i < 8; ++i) engine.AddPair("e", i, i + 1);
+  ASSERT_TRUE(engine.Query(kRightTc).ok());
+  ASSERT_TRUE(engine.Query(kRightTc).ok());
+  EXPECT_EQ(engine.stats().compiles, 2u);
+  EXPECT_EQ(engine.stats().cache_hits, 0u);
+  EXPECT_EQ(engine.plan_cache_size(), 0u);
+}
+
+TEST(EnginePlanCacheTest, ClearPlanCache) {
+  Engine engine;
+  for (int i = 1; i < 8; ++i) engine.AddPair("e", i, i + 1);
+  ASSERT_TRUE(engine.Query(kRightTc).ok());
+  EXPECT_EQ(engine.plan_cache_size(), 1u);
+  engine.ClearPlanCache();
+  EXPECT_EQ(engine.plan_cache_size(), 0u);
+  QueryStats stats;
+  ASSERT_TRUE(engine.Query(kRightTc, Strategy::kAuto, &stats).ok());
+  EXPECT_FALSE(stats.cache_hit);
+}
+
+// ---- EDB loading and execution modes ---------------------------------------
+
+TEST(EngineTest, LoadFactsParsesGroundFacts) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadFacts("e(1, 2). e(2, 3). e(3, 4).").ok());
+  auto answers = engine.Query(kRightTc);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->rows.size(), 3u);
+}
+
+TEST(EngineTest, LoadFactsRejectsRules) {
+  Engine engine;
+  Status st = engine.LoadFacts("e(1, 2). t(X, Y) :- e(X, Y).");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, QueryTextWithoutQueryFails) {
+  Engine engine;
+  auto answers = engine.Query("t(X, Y) :- e(X, Y).");
+  ASSERT_FALSE(answers.ok());
+  EXPECT_EQ(answers.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, TopDownExecutionMode) {
+  // SLD on a nonrecursive magic plan: the top-down path is wired through
+  // the same facade. (Recursive magic plans are left-recursive and diverge
+  // under plain SLD, as in Prolog.)
+  EngineOptions options;
+  options.execution = ExecutionMode::kTopDown;
+  Engine topdown(options);
+  Engine bottomup;
+  const char* text =
+      "hop2(X, Y) :- e(X, W), e(W, Y). ?- hop2(1, Y).";
+  for (Engine* e : {&topdown, &bottomup}) {
+    ASSERT_TRUE(e->LoadFacts("e(1, 2). e(2, 3). e(2, 4).").ok());
+  }
+  QueryStats td_stats;
+  auto td = topdown.Query(text, Strategy::kMagic, &td_stats);
+  auto bu = bottomup.Query(text, Strategy::kMagic);
+  ASSERT_TRUE(td.ok()) << td.status().ToString();
+  ASSERT_TRUE(bu.ok());
+  EXPECT_EQ(td->rows.size(), 2u);
+  EXPECT_EQ(td->ToString(topdown.db().store()),
+            bu->ToString(bottomup.db().store()));
+  EXPECT_GT(td_stats.sld.inferences, 0u);
+}
+
+TEST(EngineTest, MutatingEdbBetweenQueriesUsesCachedPlan) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadFacts("e(1, 2).").ok());
+  auto before = engine.Query(kRightTc);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->rows.size(), 1u);
+  engine.AddPair("e", 2, 3);
+  QueryStats stats;
+  auto after = engine.Query(kRightTc, Strategy::kAuto, &stats);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(stats.cache_hit);  // plans depend on the program, not the EDB
+  EXPECT_EQ(after->rows.size(), 2u);
+}
+
+}  // namespace
+}  // namespace factlog::api

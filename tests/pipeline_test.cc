@@ -240,11 +240,23 @@ TEST(PipelineTest, TraceRecordsDecisions) {
   )");
   auto result = OptimizeQuery(p, *p.query());
   ASSERT_TRUE(result.ok());
-  std::string all;
-  for (const std::string& line : result->trace) all += line + "\n";
+  std::string all = TraceToString(result->trace);
   EXPECT_NE(all.find("t_bf"), std::string::npos);
   EXPECT_NE(all.find("selection-pushing"), std::string::npos);
   EXPECT_NE(all.find("factored"), std::string::npos);
+  // The trace is structured: every executed pass contributes an entry with
+  // its name and rule counts.
+  ASSERT_FALSE(result->trace.empty());
+  EXPECT_EQ(result->trace.front().pass, "adorn");
+  bool saw_factoring_pass = false;
+  for (const PassTraceEntry& entry : result->trace) {
+    if (entry.pass == "factoring") {
+      saw_factoring_pass = true;
+      EXPECT_TRUE(entry.applied);
+      EXPECT_GT(entry.rules_after, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_factoring_pass);
 }
 
 TEST(PipelineTest, SecondArgumentBoundFactorsSymmetrically) {

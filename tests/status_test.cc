@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <set>
+#include <string>
+
 namespace factlog {
 namespace {
 
@@ -45,6 +49,41 @@ TEST(ResultTest, MoveOutValue) {
   Result<std::string> r = std::string("hello");
   std::string v = std::move(r).value();
   EXPECT_EQ(v, "hello");
+}
+
+TEST(ResultTest, ValueOrMovesFromRvalueResult) {
+  // The && overload moves the stored value out instead of copying it.
+  auto make = [] { return Result<std::unique_ptr<int>>(
+      std::make_unique<int>(42)); };
+  std::unique_ptr<int> v = make().ValueOr(nullptr);  // move-only: must move
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 42);
+  std::unique_ptr<int> fallback =
+      Result<std::unique_ptr<int>>(Status::NotFound("gone"))
+          .ValueOr(std::make_unique<int>(7));
+  ASSERT_NE(fallback, nullptr);
+  EXPECT_EQ(*fallback, 7);
+}
+
+TEST(ResultTest, ValueOrOnLvalueLeavesValueIntact) {
+  Result<std::string> r = std::string("keep");
+  std::string copy = r.ValueOr("fallback");
+  EXPECT_EQ(copy, "keep");
+  EXPECT_EQ(*r, "keep");  // the const& overload copies, it does not move
+}
+
+TEST(StatusTest, ExitCodesAreDistinct) {
+  EXPECT_EQ(StatusCodeToExitCode(StatusCode::kOk), 0);
+  std::set<int> seen;
+  for (StatusCode code :
+       {StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kFailedPrecondition, StatusCode::kResourceExhausted,
+        StatusCode::kInternal, StatusCode::kUnimplemented}) {
+    int exit_code = StatusCodeToExitCode(code);
+    EXPECT_GT(exit_code, 0);
+    EXPECT_LT(exit_code, 128);  // leave the signal range alone
+    EXPECT_TRUE(seen.insert(exit_code).second) << StatusCodeToString(code);
+  }
 }
 
 Status Propagates(bool fail) {
