@@ -1,0 +1,165 @@
+// Parallel-scaling bench: sequential vs partitioned semi-naive fixpoint on
+// the transitive-closure workload, emitting per-thread-count timings as JSON
+// to stdout so the perf trajectory can be tracked across PRs.
+//
+// The workload is left-linear TC over a chain-plus-random digraph evaluated
+// unbound — the recursive occurrence leads its rule, so each iteration's
+// delta partitions drive the outer loop and the join is embarrassingly
+// data-parallel. Answers are verified against the sequential oracle; a
+// mismatch exits nonzero.
+//
+//   usage: bench_parallel_scaling [--nodes N] [--edges M] [--reps R]
+//                                 [--threads 1,2,4,8]
+//
+//   $ ./bench_parallel_scaling --nodes 200 | python3 -m json.tool
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ast/parser.h"
+#include "eval/seminaive.h"
+#include "exec/parallel_seminaive.h"
+#include "exec/thread_pool.h"
+#include "workload/graph_gen.h"
+
+namespace {
+
+using namespace factlog;
+
+constexpr char kLeftTc[] =
+    "t(X, Y) :- e(X, Y). t(X, Y) :- t(X, W), e(W, Y).";
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void MakeWorkload(int64_t nodes, int64_t edges, eval::Database* db) {
+  workload::MakeChain(nodes, "e", db);
+  workload::MakeRandomGraph(nodes, edges, /*seed=*/42, "e", db);
+}
+
+std::vector<size_t> ParseThreadList(const char* arg) {
+  std::vector<size_t> out;
+  std::string s(arg);
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    std::string item = s.substr(pos, comma - pos);
+    char* end = nullptr;
+    unsigned long v = std::strtoul(item.c_str(), &end, 10);
+    if (end == item.c_str() || *end != '\0' || v > 1024) return {};
+    out.push_back(static_cast<size_t>(v));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t nodes = 250;
+  int64_t edges = 500;
+  int reps = 3;
+  std::vector<size_t> thread_counts = {1, 2, 4, 8};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+      nodes = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--edges") == 0 && i + 1 < argc) {
+      edges = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      thread_counts = ParseThreadList(argv[++i]);
+      if (thread_counts.empty()) {
+        std::fprintf(stderr, "invalid --threads list: %s\n", argv[i]);
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_parallel_scaling [--nodes N] [--edges M] "
+                   "[--reps R] [--threads 1,2,4,8]\n");
+      return 2;
+    }
+  }
+
+  auto parsed = ast::ParseProgram(kLeftTc);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse: %s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  const ast::Program& program = *parsed;
+
+  // Sequential oracle: best of `reps`.
+  uint64_t expected_facts = 0;
+  double seq_ms = 0;
+  for (int r = 0; r < reps; ++r) {
+    eval::Database db;
+    MakeWorkload(nodes, edges, &db);
+    auto start = std::chrono::steady_clock::now();
+    auto result = eval::Evaluate(program, &db);
+    double ms = MillisSince(start);
+    if (!result.ok()) {
+      std::fprintf(stderr, "sequential: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    expected_facts = result->stats().total_facts;
+    seq_ms = (r == 0) ? ms : std::min(seq_ms, ms);
+  }
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"parallel_scaling\",\n");
+  std::printf("  \"workload\": \"left_tc_chain_plus_random\",\n");
+  std::printf("  \"nodes\": %lld,\n", static_cast<long long>(nodes));
+  std::printf("  \"edges\": %lld,\n", static_cast<long long>(edges));
+  std::printf("  \"tc_facts\": %llu,\n",
+              static_cast<unsigned long long>(expected_facts));
+  std::printf("  \"reps\": %d,\n", reps);
+  std::printf("  \"sequential_ms\": %.3f,\n", seq_ms);
+  std::printf("  \"runs\": [");
+
+  bool mismatch = false;
+  for (size_t t = 0; t < thread_counts.size(); ++t) {
+    size_t threads = thread_counts[t];
+    exec::ThreadPool pool(threads);
+    double best_ms = 0;
+    uint64_t facts = 0;
+    for (int r = 0; r < reps; ++r) {
+      eval::Database db;
+      MakeWorkload(nodes, edges, &db);
+      auto start = std::chrono::steady_clock::now();
+      auto result = exec::EvaluateParallel(program, &db, &pool);
+      double ms = MillisSince(start);
+      if (!result.ok()) {
+        std::fprintf(stderr, "parallel@%zu: %s\n", threads,
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      facts = result->stats().total_facts;
+      best_ms = (r == 0) ? ms : std::min(best_ms, ms);
+    }
+    if (facts != expected_facts) mismatch = true;
+    std::printf("%s\n    {\"threads\": %zu, \"ms\": %.3f, "
+                "\"speedup\": %.3f, \"facts\": %llu, \"matches\": %s}",
+                t == 0 ? "" : ",", threads, best_ms,
+                best_ms > 0 ? seq_ms / best_ms : 0.0,
+                static_cast<unsigned long long>(facts),
+                facts == expected_facts ? "true" : "false");
+  }
+  std::printf("\n  ]\n}\n");
+
+  if (mismatch) {
+    std::fprintf(stderr, "FAIL: parallel fact count diverged from oracle\n");
+    return 1;
+  }
+  return 0;
+}

@@ -5,12 +5,20 @@
 //                        linear-rewrite]
 //            [--stage trace|magic|factored|final]
 //            [--facts <facts.dl>]
+//            [--threads <n>]
+//            [--batch <queries.txt>]
 //
-// The program file must contain a `?- query.` line. With --facts the final
-// program is evaluated against the given ground facts and the answers are
-// printed; otherwise the requested stage is printed (default: everything).
-// `--stage trace` prints the structured pass trace (per-pass timings, rule
-// counts, and decisions).
+// The program file must contain a `?- query.` line (optional with --batch).
+// With --facts the final program is evaluated against the given ground facts
+// and the answers are printed; otherwise the requested stage is printed
+// (default: everything). `--stage trace` prints the structured pass trace
+// (per-pass timings, rule counts, and decisions).
+//
+// --threads n runs bottom-up evaluation on the parallel execution subsystem
+// (n worker threads). --batch f reads one query atom per line from f (e.g.
+// "t(1, Y)."), executes all of them concurrently against the program and
+// facts via api::Engine::ExecuteBatch, and prints per-query stats plus a
+// wall-clock summary.
 //
 // Exit codes: 0 on success, 2 on usage errors, and 10 + StatusCode on
 // pipeline/evaluation errors (11 = invalid argument, 12 = not found,
@@ -25,6 +33,7 @@
 //   e(1, 2). e(2, 3).
 //   $ ./optimizer_cli tc.dl --facts facts.dl
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -55,8 +64,70 @@ int Usage() {
   std::cerr << "usage: optimizer_cli <program.dl> "
                "[--strategy auto|magic|supplementary-magic|factoring|"
                "counting|linear-rewrite] "
-               "[--stage trace|magic|factored|final] [--facts <facts.dl>]\n";
+               "[--stage trace|magic|factored|final] [--facts <facts.dl>] "
+               "[--threads <n>] [--batch <queries.txt>]\n";
   return 2;
+}
+
+// --batch mode: every nonblank line of the batch file is a query atom posed
+// against the program's rules; all queries execute concurrently.
+int RunBatch(const factlog::ast::Program& program,
+             const std::string& batch_path, const std::string& facts_path,
+             factlog::core::Strategy strategy, size_t threads) {
+  using namespace factlog;
+  auto batch_text = ReadFile(batch_path);
+  if (!batch_text.ok()) return Fail(batch_text.status());
+
+  std::vector<api::Engine::BatchQuery> batch;
+  std::istringstream lines(*batch_text);
+  std::vector<std::string> rendered;
+  for (std::string line; std::getline(lines, line);) {
+    // Trim whitespace and an optional trailing '.'.
+    size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos || line[begin] == '%') continue;
+    size_t end = line.find_last_not_of(" \t\r.");
+    if (end == std::string::npos || end < begin) continue;  // only ". " etc.
+    std::string text = line.substr(begin, end - begin + 1);
+    auto query = ast::ParseAtom(text);
+    if (!query.ok()) return Fail(query.status());
+    api::Engine::BatchQuery q;
+    q.program = program;
+    q.query = std::move(query).value();
+    q.strategy = strategy;
+    rendered.push_back(q.query.ToString());
+    batch.push_back(std::move(q));
+  }
+
+  api::EngineOptions options;
+  options.num_threads = threads;
+  api::Engine engine(options);
+  if (!facts_path.empty()) {
+    auto facts_text = ReadFile(facts_path);
+    if (!facts_text.ok()) return Fail(facts_text.status());
+    Status load = engine.LoadFacts(*facts_text);
+    if (!load.ok()) return Fail(load);
+  }
+
+  auto result = engine.ExecuteBatch(batch);
+  if (!result.ok()) return Fail(result.status());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const exec::ExecStats& s = result->stats[i];
+    std::cout << "% [" << i << "] " << rendered[i] << " : ";
+    if (s.status.ok()) {
+      std::cout << s.num_answers << " answers, " << s.total_facts
+                << " facts, " << (s.cache_hit ? "cache hit" : "compiled")
+                << ", " << s.execute_us << " us\n";
+    } else {
+      std::cout << "error: " << s.status.ToString() << "\n";
+    }
+  }
+  const exec::BatchSummary& sum = result->summary;
+  std::cout << "% batch: " << sum.queries << " queries (" << sum.succeeded
+            << " ok, " << sum.failed << " failed) on " << sum.threads
+            << " threads in " << sum.wall_us << " us wall ("
+            << sum.sum_execute_us << " us summed execute)\n";
+  return sum.failed == 0 ? 0
+                         : StatusCodeToExitCode(StatusCode::kInvalidArgument);
 }
 
 }  // namespace
@@ -66,6 +137,8 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string stage = "all";
   std::string facts_path;
+  std::string batch_path;
+  size_t threads = 0;
   core::Strategy strategy = core::Strategy::kFactoring;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
@@ -73,6 +146,16 @@ int main(int argc, char** argv) {
       stage = argv[++i];
     } else if (arg == "--facts" && i + 1 < argc) {
       facts_path = argv[++i];
+    } else if (arg == "--batch" && i + 1 < argc) {
+      batch_path = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      char* end = nullptr;
+      unsigned long parsed = std::strtoul(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || parsed > 1024) {
+        std::cerr << "invalid --threads value: " << argv[i] << "\n";
+        return Usage();
+      }
+      threads = static_cast<size_t>(parsed);
     } else if (arg == "--strategy" && i + 1 < argc) {
       auto parsed = core::StrategyFromString(argv[++i]);
       if (!parsed.has_value()) {
@@ -90,6 +173,10 @@ int main(int argc, char** argv) {
   if (!text.ok()) return Fail(text.status());
   auto program = ast::ParseProgram(*text);
   if (!program.ok()) return Fail(program.status());
+
+  if (!batch_path.empty()) {
+    return RunBatch(*program, batch_path, facts_path, strategy, threads);
+  }
   if (!program->query().has_value()) {
     std::cerr << "error: the program has no '?-' query\n";
     return StatusCodeToExitCode(StatusCode::kInvalidArgument);
@@ -152,7 +239,9 @@ int main(int argc, char** argv) {
   if (!facts_path.empty()) {
     auto facts_text = ReadFile(facts_path);
     if (!facts_text.ok()) return Fail(facts_text.status());
-    api::Engine engine;
+    api::EngineOptions engine_options;
+    engine_options.num_threads = threads;
+    api::Engine engine(engine_options);
     Status load = engine.LoadFacts(*facts_text);
     if (!load.ok()) return Fail(load);
     api::QueryStats stats;

@@ -5,6 +5,7 @@
 
 #include "ast/parser.h"
 #include "core/canonical.h"
+#include "exec/parallel_seminaive.h"
 
 namespace factlog::api {
 
@@ -52,6 +53,7 @@ Result<std::shared_ptr<const CompiledQuery>> Engine::Compile(
   std::string key;
   if (options_.enable_plan_cache) {
     key = PlanCacheKey(program, query, strategy);
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = cache_.find(key);
     if (it != cache_.end()) {
       ++stats_.cache_hits;
@@ -61,14 +63,24 @@ Result<std::shared_ptr<const CompiledQuery>> Engine::Compile(
     }
   }
 
+  // Compile outside the lock: the pipeline is pure and may be slow (the
+  // factorability containment checks are NP-hard). Concurrent misses on the
+  // same key compile twice; the later insert wins.
   FACTLOG_ASSIGN_OR_RETURN(
       CompiledQuery compiled,
       core::CompileQuery(program, query, strategy, options_.pipeline));
-  ++stats_.compiles;
   auto plan = std::make_shared<const CompiledQuery>(std::move(compiled));
   if (stats != nullptr) stats->compile_us = MicrosSince(start);
 
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.compiles;
   if (options_.enable_plan_cache && options_.plan_cache_capacity > 0) {
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      // Another worker inserted while we compiled; keep the cached plan.
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      return it->second.plan;
+    }
     while (cache_.size() >= options_.plan_cache_capacity) {
       cache_.erase(lru_.back());
       lru_.pop_back();
@@ -79,17 +91,44 @@ Result<std::shared_ptr<const CompiledQuery>> Engine::Compile(
   return plan;
 }
 
+exec::ThreadPool* Engine::EnsurePool() {
+  if (options_.num_threads == 0) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<exec::ThreadPool>(options_.num_threads);
+  }
+  return pool_.get();
+}
+
 Result<eval::AnswerSet> Engine::Execute(const CompiledQuery& plan,
                                         QueryStats* stats) {
   const auto start = std::chrono::steady_clock::now();
-  ++stats_.executions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.executions;
+  }
   Result<eval::AnswerSet> answers = Status::Internal("unreachable");
   switch (options_.execution) {
-    case ExecutionMode::kBottomUp:
-      answers = eval::EvaluateQuery(plan.program, plan.query, &db_,
-                                    options_.eval,
-                                    stats != nullptr ? &stats->eval : nullptr);
+    case ExecutionMode::kBottomUp: {
+      // The parallel fixpoint handles semi-naive without provenance; the
+      // sequential evaluator stays the oracle for everything else.
+      bool parallel = options_.num_threads > 0 &&
+                      !options_.eval.track_provenance &&
+                      options_.eval.strategy == eval::Strategy::kSemiNaive;
+      if (parallel) {
+        exec::ParallelEvalOptions popts;
+        popts.eval = options_.eval;
+        answers = exec::EvaluateQueryParallel(
+            plan.program, plan.query, &db_, EnsurePool(), popts,
+            stats != nullptr ? &stats->eval : nullptr);
+      } else {
+        answers = eval::EvaluateQuery(plan.program, plan.query, &db_,
+                                      options_.eval,
+                                      stats != nullptr ? &stats->eval
+                                                       : nullptr);
+      }
       break;
+    }
     case ExecutionMode::kTopDown:
       answers = eval::SolveTopDown(plan.program, plan.query, &db_,
                                    options_.sld,
@@ -119,7 +158,96 @@ Result<eval::AnswerSet> Engine::Query(const std::string& program_text,
   return Query(program, query, strategy, stats);
 }
 
+Result<exec::BatchResult> Engine::ExecuteBatch(
+    const std::vector<BatchQuery>& batch) {
+  if (options_.execution != ExecutionMode::kBottomUp) {
+    return Status::Invalid(
+        "ExecuteBatch requires bottom-up execution (top-down resolution is "
+        "not thread-safe against a shared database)");
+  }
+  exec::BatchCompileFn compile =
+      [this, &batch](size_t i, exec::ExecStats* stats)
+      -> Result<std::shared_ptr<const CompiledQuery>> {
+    QueryStats qs;
+    auto plan =
+        Compile(batch[i].program, batch[i].query, batch[i].strategy, &qs);
+    stats->cache_hit = qs.cache_hit;
+    stats->compile_us = qs.compile_us;
+    return plan;
+  };
+  FACTLOG_ASSIGN_OR_RETURN(
+      exec::BatchResult result,
+      exec::RunBatch(EnsurePool(), &db_, batch.size(), compile,
+                     options_.eval));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.batches;
+    stats_.executions += result.summary.succeeded + result.summary.failed;
+  }
+  return result;
+}
+
+Result<exec::BatchResult> Engine::ExecuteBatch(
+    const std::vector<std::string>& program_texts, Strategy strategy) {
+  // Parse failures are per-query outcomes, not batch failures: valid texts
+  // still execute, and the invalid ones report their status index-aligned.
+  std::vector<BatchQuery> batch;
+  std::vector<size_t> batch_to_original;
+  std::vector<Status> parse_errors(program_texts.size(), Status::OK());
+  for (size_t i = 0; i < program_texts.size(); ++i) {
+    auto program = ast::ParseProgram(program_texts[i]);
+    if (!program.ok()) {
+      parse_errors[i] = program.status();
+      continue;
+    }
+    if (!program->query().has_value()) {
+      parse_errors[i] =
+          Status::Invalid("batch program text has no '?-' query: " +
+                          program_texts[i]);
+      continue;
+    }
+    BatchQuery q;
+    q.query = *program->query();
+    q.program = std::move(program).value();
+    q.strategy = strategy;
+    batch.push_back(std::move(q));
+    batch_to_original.push_back(i);
+  }
+
+  FACTLOG_ASSIGN_OR_RETURN(exec::BatchResult ran, ExecuteBatch(batch));
+  if (batch.size() == program_texts.size()) return ran;
+
+  // Scatter the executed results back to their original positions.
+  exec::BatchResult result;
+  result.answers.resize(program_texts.size());
+  result.stats.resize(program_texts.size());
+  result.summary = ran.summary;
+  result.summary.queries = program_texts.size();
+  for (size_t b = 0; b < batch.size(); ++b) {
+    result.answers[batch_to_original[b]] = std::move(ran.answers[b]);
+    result.stats[batch_to_original[b]] = std::move(ran.stats[b]);
+  }
+  for (size_t i = 0; i < program_texts.size(); ++i) {
+    if (!parse_errors[i].ok()) {
+      result.stats[i].status = parse_errors[i];
+      ++result.summary.failed;
+    }
+  }
+  return result;
+}
+
+EngineStats Engine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t Engine::plan_cache_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
 void Engine::ClearPlanCache() {
+  std::lock_guard<std::mutex> lock(mu_);
   cache_.clear();
   lru_.clear();
 }

@@ -17,6 +17,15 @@
 // argument reduction, the expensive precomputation (classification and the
 // NP-hard factorability containments) is paid once and amortized over every
 // subsequent execution.
+//
+// Parallelism: with EngineOptions::num_threads > 0 the engine owns a
+// work-stealing exec::ThreadPool. Single bottom-up queries then run the
+// partitioned parallel fixpoint (exec/parallel_seminaive.h), and
+// ExecuteBatch evaluates many queries concurrently against the frozen EDB
+// while sharing the plan cache. The plan cache and counters are
+// mutex-guarded, so Compile may be called from concurrent workers; mutating
+// the database (AddFact/LoadFacts) must still be externally serialized
+// against running queries.
 
 #ifndef FACTLOG_API_ENGINE_H_
 #define FACTLOG_API_ENGINE_H_
@@ -25,8 +34,10 @@
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "ast/program.h"
 #include "common/status.h"
@@ -35,6 +46,8 @@
 #include "eval/database.h"
 #include "eval/seminaive.h"
 #include "eval/topdown.h"
+#include "exec/batch.h"
+#include "exec/thread_pool.h"
 
 namespace factlog::api {
 
@@ -64,13 +77,18 @@ struct EngineOptions {
   bool enable_plan_cache = true;
   /// Maximum cached plans; least recently used plans are evicted.
   size_t plan_cache_capacity = 128;
+  /// Worker threads for the parallel fixpoint and ExecuteBatch. 0 keeps the
+  /// engine fully sequential (no pool is created). The pool is built lazily
+  /// on first use and reused for the engine's lifetime.
+  size_t num_threads = 0;
 };
 
 /// Cumulative engine counters.
 struct EngineStats {
-  uint64_t compiles = 0;    // plans built (cache misses included)
-  uint64_t cache_hits = 0;  // compiles avoided by the plan cache
-  uint64_t executions = 0;  // plans executed
+  uint64_t compiles = 0;       // plans built (cache misses included)
+  uint64_t cache_hits = 0;     // compiles avoided by the plan cache
+  uint64_t executions = 0;     // plans executed (batch queries included)
+  uint64_t batches = 0;        // ExecuteBatch calls
 };
 
 /// Per-query statistics (optional out-param of Query/Execute).
@@ -93,7 +111,8 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   /// The engine's extensional database. Mutating base relations does NOT
-  /// invalidate cached plans (plans depend only on the program and query).
+  /// invalidate cached plans (plans depend only on the program and query),
+  /// but must not race with concurrently executing queries.
   eval::Database& db() { return db_; }
   const eval::Database& db() const { return db_; }
 
@@ -114,7 +133,9 @@ class Engine {
   // ---- Compile ------------------------------------------------------------
 
   /// Compiles (program, query) under `strategy`, consulting the plan cache.
-  /// The returned plan is shared with the cache; it is immutable.
+  /// The returned plan is shared with the cache; it is immutable. Thread-safe
+  /// (the cache is mutex-guarded; concurrent misses on the same key may
+  /// compile twice, last one wins).
   Result<std::shared_ptr<const CompiledQuery>> Compile(
       const ast::Program& program, const ast::Atom& query,
       Strategy strategy = Strategy::kAuto, QueryStats* stats = nullptr);
@@ -135,15 +156,42 @@ class Engine {
                                 Strategy strategy = Strategy::kAuto,
                                 QueryStats* stats = nullptr);
 
-  /// Executes an already-compiled plan against the engine's database.
+  /// Executes an already-compiled plan against the engine's database. With
+  /// num_threads > 0, bottom-up plans run the partitioned parallel fixpoint
+  /// (unless provenance tracking or the naive strategy is requested, which
+  /// stay on the sequential oracle).
   Result<eval::AnswerSet> Execute(const CompiledQuery& plan,
                                   QueryStats* stats = nullptr);
+
+  // ---- Batch --------------------------------------------------------------
+
+  /// One query of a batch: a program, the query atom, and the strategy to
+  /// compile it under.
+  struct BatchQuery {
+    ast::Program program;
+    ast::Atom query;
+    Strategy strategy = Strategy::kAuto;
+  };
+
+  /// Compiles and executes every query concurrently on the engine's pool
+  /// against the current database snapshot, sharing the plan cache. The
+  /// database must not be mutated during the call. Requires kBottomUp
+  /// execution. Per-query failures are reported in the result's stats; the
+  /// call only fails outright on infrastructure errors.
+  Result<exec::BatchResult> ExecuteBatch(const std::vector<BatchQuery>& batch);
+
+  /// Convenience: every element of `program_texts` is a full program with a
+  /// `?- query.` line, compiled under `strategy`.
+  Result<exec::BatchResult> ExecuteBatch(
+      const std::vector<std::string>& program_texts,
+      Strategy strategy = Strategy::kAuto);
 
   // ---- Introspection ------------------------------------------------------
 
   const EngineOptions& options() const { return options_; }
-  const EngineStats& stats() const { return stats_; }
-  size_t plan_cache_size() const { return cache_.size(); }
+  /// Snapshot of the cumulative counters (thread-safe).
+  EngineStats stats() const;
+  size_t plan_cache_size() const;
   void ClearPlanCache();
 
   /// The cache key for (program, query, strategy): the requested strategy,
@@ -158,12 +206,20 @@ class Engine {
     std::list<std::string>::iterator lru_pos;
   };
 
+  /// The engine's thread pool, created on first use (nullptr when
+  /// num_threads == 0).
+  exec::ThreadPool* EnsurePool();
+
   EngineOptions options_;
   eval::Database db_;
+
+  /// Guards stats_, lru_, cache_, and pool_ creation.
+  mutable std::mutex mu_;
   EngineStats stats_;
   /// Most recently used key at the front.
   std::list<std::string> lru_;
   std::map<std::string, CacheEntry> cache_;
+  std::unique_ptr<exec::ThreadPool> pool_;
 };
 
 }  // namespace factlog::api

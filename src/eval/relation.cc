@@ -1,6 +1,7 @@
 #include "eval/relation.h"
 
 #include <cstring>
+#include <utility>
 
 namespace factlog::eval {
 
@@ -15,7 +16,19 @@ size_t Relation::RowHash(const ValueId* row) const {
   return h;
 }
 
+void Relation::Reserve(size_t rows) {
+  cells_.reserve(rows * arity_);
+  dedup_.reserve(rows);
+}
+
 bool Relation::Insert(const std::vector<ValueId>& row) {
+  return Insert(row.data());
+}
+
+bool Relation::Insert(std::vector<ValueId>&& row) {
+  // Rows live in the flat cells_ array, so there is no buffer to steal; the
+  // overload exists so temporaries bind without forcing an lvalue at the
+  // call site.
   return Insert(row.data());
 }
 
@@ -51,25 +64,38 @@ bool Relation::Contains(const ValueId* row) const {
 
 void Relation::AddRowToIndex(const std::vector<int>& cols, Index* index,
                              uint32_t r) {
-  std::vector<ValueId> key;
-  key.reserve(cols.size());
+  key_scratch_.clear();
   const ValueId* cells = row(r);
-  for (int c : cols) key.push_back(cells[c]);
-  index->buckets[std::move(key)].push_back(r);
+  for (int c : cols) key_scratch_.push_back(cells[c]);
+  // try_emplace copies the scratch key only when the bucket is new.
+  auto [it, inserted] = index->buckets.try_emplace(key_scratch_);
+  (void)inserted;
+  it->second.push_back(r);
+}
+
+void Relation::EnsureIndex(const std::vector<int>& cols) {
+  auto [it, inserted] = indices_.try_emplace(cols);
+  if (!inserted) return;
+  Index& index = it->second;
+  for (uint32_t r = 0; r < num_rows_; ++r) {
+    AddRowToIndex(cols, &index, r);
+  }
+}
+
+const std::vector<uint32_t>* Relation::FindIndexed(
+    const std::vector<int>& cols, const std::vector<ValueId>& key) const {
+  auto it = indices_.find(cols);
+  if (it == indices_.end()) return nullptr;
+  auto bucket = it->second.buckets.find(key);
+  if (bucket == it->second.buckets.end()) return &kEmptyRows;
+  return &bucket->second;
 }
 
 const std::vector<uint32_t>& Relation::Lookup(const std::vector<int>& cols,
                                               const std::vector<ValueId>& key) {
-  auto [it, inserted] = indices_.try_emplace(cols);
-  Index& index = it->second;
-  if (inserted) {
-    for (uint32_t r = 0; r < num_rows_; ++r) {
-      AddRowToIndex(cols, &index, r);
-    }
-  }
-  auto bucket = index.buckets.find(key);
-  if (bucket == index.buckets.end()) return kEmptyRows;
-  return bucket->second;
+  EnsureIndex(cols);
+  const std::vector<uint32_t>* rows = FindIndexed(cols, key);
+  return rows == nullptr ? kEmptyRows : *rows;
 }
 
 void Relation::Clear() {
@@ -79,10 +105,13 @@ void Relation::Clear() {
   indices_.clear();
 }
 
-void Relation::Absorb(const Relation& other) {
+size_t Relation::Absorb(const Relation& other) {
+  Reserve(num_rows_ + other.size());
+  size_t inserted = 0;
   for (size_t r = 0; r < other.size(); ++r) {
-    Insert(other.row(r));
+    if (Insert(other.row(r))) ++inserted;
   }
+  return inserted;
 }
 
 }  // namespace factlog::eval

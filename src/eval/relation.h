@@ -4,6 +4,13 @@
 // n^k for arity k, which is exactly what these containers materialize; the
 // benchmark harness reports `size()` to reproduce the O(n^2) vs O(n) fact
 // counts of the worked examples.
+//
+// Thread safety: a Relation is not internally synchronized. The const
+// methods (size, row, Contains, FindIndexed) are safe to call from many
+// threads concurrently as long as no thread mutates; the exec layer freezes
+// full/delta extents during a parallel region and pre-builds the indices the
+// join will probe (EnsureIndex), so workers never fall onto the mutating
+// Lookup path.
 
 #ifndef FACTLOG_EVAL_RELATION_H_
 #define FACTLOG_EVAL_RELATION_H_
@@ -28,8 +35,13 @@ class Relation {
   size_t size() const { return num_rows_; }
   bool empty() const { return num_rows_ == 0; }
 
+  /// Pre-sizes row storage and the dedup table for `rows` total rows, so a
+  /// bulk load (fixpoint merge, partition build) does not reallocate per row.
+  void Reserve(size_t rows);
+
   /// Inserts a row (length == arity). Returns true when the row is new.
   bool Insert(const std::vector<ValueId>& row);
+  bool Insert(std::vector<ValueId>&& row);
   bool Insert(const ValueId* row);
 
   bool Contains(const ValueId* row) const;
@@ -42,10 +54,22 @@ class Relation {
   const std::vector<uint32_t>& Lookup(const std::vector<int>& cols,
                                       const std::vector<ValueId>& key);
 
+  /// Builds the index over `cols` now (no-op when already built). Call before
+  /// sharing the relation read-only across threads.
+  void EnsureIndex(const std::vector<int>& cols);
+
+  /// Const lookup against an already-built index: the rows matching `key`,
+  /// or nullptr when no index over `cols` exists (caller falls back to a
+  /// scan). Never builds, so it is safe for concurrent readers.
+  const std::vector<uint32_t>* FindIndexed(const std::vector<int>& cols,
+                                           const std::vector<ValueId>& key)
+      const;
+
   void Clear();
 
-  /// Moves all rows of `other` into this relation (deduplicating).
-  void Absorb(const Relation& other);
+  /// Copies all rows of `other` into this relation (deduplicating). Returns
+  /// the number of rows that were new.
+  size_t Absorb(const Relation& other);
 
  private:
   struct VecHash {
@@ -74,6 +98,9 @@ class Relation {
   std::unordered_map<size_t, std::vector<uint32_t>> dedup_;
   // column list -> index.
   std::map<std::vector<int>, Index> indices_;
+  // Scratch key for index maintenance; avoids an allocation per (row, index)
+  // on the fixpoint's hot insert path.
+  std::vector<ValueId> key_scratch_;
   static const std::vector<uint32_t> kEmptyRows;
 };
 

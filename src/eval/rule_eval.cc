@@ -121,6 +121,12 @@ struct JoinContext {
   std::vector<FactKey> premises;  // relation-literal facts, body order
   Status status = Status::OK();
   bool keep_going = true;
+
+  // Reused across instantiations so the inner loop does not allocate per
+  // row: the head row under construction, and per-literal probe key buffers.
+  std::vector<ValueId> head_row;
+  std::vector<std::vector<int>> cols_scratch;
+  std::vector<std::vector<ValueId>> key_scratch;
 };
 
 // Attempts to fully evaluate `p` under the current environment.
@@ -185,8 +191,8 @@ void EnumerateFrom(size_t lit_index, JoinContext* ctx);
 
 void EmitHead(JoinContext* ctx) {
   const CompiledAtom& head = ctx->rule->head();
-  std::vector<ValueId> row;
-  row.reserve(head.args.size());
+  std::vector<ValueId>& row = ctx->head_row;
+  row.clear();
   for (const Pat& p : head.args) {
     std::optional<ValueId> v = TryBuild(p, ctx);
     if (!v.has_value()) {
@@ -292,9 +298,12 @@ void EnumerateRelation(size_t lit_index, const CompiledAtom& lit,
   const RelationView& view = (*ctx->views)[lit_index];
 
   // Determine which argument positions are ground under the current
-  // environment; they form the index key.
-  std::vector<int> cols;
-  std::vector<ValueId> key;
+  // environment; they form the index key. The buffers are per-literal
+  // scratch (enumeration visits each depth with the previous contents dead).
+  std::vector<int>& cols = ctx->cols_scratch[lit_index];
+  std::vector<ValueId>& key = ctx->key_scratch[lit_index];
+  cols.clear();
+  key.clear();
   for (size_t i = 0; i < lit.args.size(); ++i) {
     std::optional<ValueId> v = TryBuild(lit.args[i], ctx);
     if (v.has_value()) {
@@ -331,9 +340,25 @@ void EnumerateRelation(size_t lit_index, const CompiledAtom& lit,
       UnwindTrail(ctx, mark);
     };
 
-    if (cols.empty()) {
+    auto scan_all = [&] {
       for (size_t r = 0; r < rel->size() && ctx->keep_going; ++r) {
         try_row(rel->row(r));
+      }
+    };
+
+    if (cols.empty()) {
+      scan_all();
+    } else if (view.shared) {
+      // Read-only view: probe the pre-built index; fall back to a scan
+      // (MatchPat filters) rather than build one under concurrent readers.
+      const std::vector<uint32_t>* rows = rel->FindIndexed(cols, key);
+      if (rows == nullptr) {
+        scan_all();
+      } else {
+        for (uint32_t r : *rows) {
+          if (!ctx->keep_going) break;
+          try_row(rel->row(r));
+        }
       }
     } else {
       const std::vector<uint32_t>& rows = rel->Lookup(cols, key);
@@ -386,8 +411,82 @@ Status EnumerateRule(const CompiledRule& rule, ValueStore* store,
   ctx.stats = stats;
   ctx.sink = &sink;
   ctx.env.assign(rule.num_vars(), kInvalidValue);
+  ctx.head_row.reserve(rule.head().args.size());
+  ctx.cols_scratch.resize(rule.body().size());
+  ctx.key_scratch.resize(rule.body().size());
   EnumerateFrom(0, &ctx);
   return ctx.status;
+}
+
+namespace {
+
+bool PatGroundUnder(const Pat& p, const std::vector<char>& bound) {
+  switch (p.kind) {
+    case Pat::Kind::kConst:
+      return true;
+    case Pat::Kind::kVar:
+      return bound[p.var] != 0;
+    case Pat::Kind::kApp:
+      for (const Pat& c : p.children) {
+        if (!PatGroundUnder(c, bound)) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+void BindPatVars(const Pat& p, std::vector<char>* bound) {
+  switch (p.kind) {
+    case Pat::Kind::kConst:
+      return;
+    case Pat::Kind::kVar:
+      (*bound)[p.var] = 1;
+      return;
+    case Pat::Kind::kApp:
+      for (const Pat& c : p.children) BindPatVars(c, bound);
+      return;
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> StaticIndexCols(const CompiledRule& rule) {
+  std::vector<char> bound(rule.num_vars(), 0);
+  std::vector<std::vector<int>> out(rule.body().size());
+  for (size_t i = 0; i < rule.body().size(); ++i) {
+    const CompiledAtom& lit = rule.body()[i];
+    switch (lit.kind) {
+      case LitKind::kRelation:
+        for (size_t a = 0; a < lit.args.size(); ++a) {
+          if (PatGroundUnder(lit.args[a], bound)) {
+            out[i].push_back(static_cast<int>(a));
+          }
+        }
+        // A successful match grounds every variable of the literal.
+        for (const Pat& p : lit.args) BindPatVars(p, &bound);
+        break;
+      case LitKind::kEqual:
+        // The ground side is built, the other side matched (and bound).
+        if (PatGroundUnder(lit.args[0], bound)) {
+          BindPatVars(lit.args[1], &bound);
+        } else if (PatGroundUnder(lit.args[1], bound)) {
+          BindPatVars(lit.args[0], &bound);
+        }
+        break;
+      case LitKind::kAffine:
+        // affine(X, A, B, Z): a bound X computes Z, a bound Z computes X.
+        if (PatGroundUnder(lit.args[0], bound)) {
+          BindPatVars(lit.args[3], &bound);
+        } else if (PatGroundUnder(lit.args[3], bound)) {
+          BindPatVars(lit.args[0], &bound);
+        }
+        break;
+      case LitKind::kGeq:
+        // Pure test; binds nothing.
+        break;
+    }
+  }
+  return out;
 }
 
 }  // namespace factlog::eval

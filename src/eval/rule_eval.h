@@ -70,6 +70,11 @@ class CompiledRule {
 struct RelationView {
   Relation* first = nullptr;
   Relation* second = nullptr;
+  /// The relations are shared read-only with concurrent threads: the join
+  /// must not build indices lazily (it probes already-built indices via
+  /// Relation::FindIndexed and otherwise scans). Pre-build the probe indices
+  /// with Relation::EnsureIndex / StaticIndexCols before the parallel region.
+  bool shared = false;
 
   bool IsEmpty() const {
     return (first == nullptr || first->empty()) &&
@@ -123,6 +128,15 @@ Status EnumerateRule(const CompiledRule& rule, ValueStore* store,
                      const std::vector<RelationView>& views,
                      bool track_premises, JoinStats* stats,
                      const HeadSink& sink);
+
+/// For each body literal, the argument positions that are ground when the
+/// left-to-right join reaches it — i.e. the index key EnumerateRule will
+/// probe that literal's relation with (empty for builtins and for literals
+/// probed with no bound columns). Groundness is static per rule: a variable
+/// is bound at literal i exactly when an earlier relation literal mentions
+/// it or an earlier builtin computes it. Used to pre-build relation indices
+/// before sharing relations read-only across threads.
+std::vector<std::vector<int>> StaticIndexCols(const CompiledRule& rule);
 
 }  // namespace factlog::eval
 

@@ -61,7 +61,9 @@ class Engine {
     if (IsIdb(lit.predicate)) {
       return RelationView{preds_.at(lit.predicate).full.get(), nullptr};
     }
-    return RelationView{db_->Find(lit.predicate), nullptr};
+    // IDB relations are private to this evaluation; base relations may be
+    // shared read-only with concurrent evaluations.
+    return RelationView{db_->Find(lit.predicate), nullptr, opts_.shared_edb};
   }
 
   uint64_t TotalIdbFacts() const {
@@ -286,7 +288,7 @@ std::string AnswerSet::ToString(const ValueStore& values) const {
 }
 
 Result<AnswerSet> ExtractAnswers(const ast::Atom& query, EvalResult* result,
-                                 Database* db) {
+                                 Database* db, bool shared_edb) {
   AnswerSet answers;
   answers.vars = query.DistinctVars();
 
@@ -300,13 +302,18 @@ Result<AnswerSet> ExtractAnswers(const ast::Atom& query, EvalResult* result,
                            CompiledRule::Compile(probe, &db->store()));
 
   Relation* rel = result->Find(query.predicate());
-  if (rel == nullptr) rel = db->Find(query.predicate());
+  bool from_db = false;
+  if (rel == nullptr) {
+    rel = db->Find(query.predicate());
+    from_db = true;
+  }
   if (rel == nullptr) return answers;  // unknown predicate: no facts
 
   std::set<std::vector<ValueId>> rows;
   JoinStats stats;
   FACTLOG_RETURN_IF_ERROR(EnumerateRule(
-      rule, &db->store(), {RelationView{rel, nullptr}}, false, &stats,
+      rule, &db->store(), {RelationView{rel, nullptr, shared_edb && from_db}},
+      false, &stats,
       [&rows](const std::vector<ValueId>& row, const std::vector<FactKey>*) {
         rows.insert(row);
         return true;
@@ -320,7 +327,7 @@ Result<AnswerSet> EvaluateQuery(const ast::Program& program,
                                 const EvalOptions& opts, EvalStats* stats_out) {
   FACTLOG_ASSIGN_OR_RETURN(EvalResult result, Evaluate(program, db, opts));
   if (stats_out != nullptr) *stats_out = result.stats();
-  return ExtractAnswers(query, &result, db);
+  return ExtractAnswers(query, &result, db, opts.shared_edb);
 }
 
 }  // namespace factlog::eval

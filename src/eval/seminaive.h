@@ -37,6 +37,12 @@ struct EvalOptions {
   uint64_t max_iterations = 1'000'000;
   /// Record first-derivation provenance (enables derivation trees).
   bool track_provenance = false;
+  /// The database's base relations are shared read-only with concurrent
+  /// evaluations (exec::ExecuteBatch): never build indices on them lazily —
+  /// probe pre-built ones (exec::PrewarmIndexes) and otherwise scan. The
+  /// ValueStore itself is always safe to share; this flag only governs the
+  /// relations.
+  bool shared_edb = false;
 };
 
 struct EvalStats {
@@ -105,9 +111,10 @@ struct AnswerSet {
 
 /// Extracts the answers to `query` from an evaluation result. The query may
 /// contain constants and compound patterns; rows are the bindings of its
-/// distinct variables.
+/// distinct variables. `shared_edb` as in EvalOptions (it matters when the
+/// query predicate is a base relation).
 Result<AnswerSet> ExtractAnswers(const ast::Atom& query, EvalResult* result,
-                                 Database* db);
+                                 Database* db, bool shared_edb = false);
 
 /// Convenience: Evaluate + ExtractAnswers. When `stats_out` is non-null the
 /// evaluation statistics are copied there.

@@ -1,0 +1,90 @@
+// An append-only container with stable addresses and lock-free indexed reads.
+//
+// The parallel execution subsystem (src/exec) shares one ValueStore across
+// worker threads: workers read interned values on every join probe while the
+// occasional new value (compound heads, affine/4 results) is interned under a
+// mutex. A std::vector cannot back that pattern — push_back reallocates and
+// invalidates concurrent reads — so the store keeps its elements in
+// geometrically growing chunks that are never moved once allocated.
+//
+// Concurrency contract:
+//  * Appends must be externally serialized (ValueStore's intern mutex).
+//  * operator[] is safe concurrently with appends for any index the reader
+//    obtained through a synchronizing operation (mutex, thread join, atomic)
+//    that happened after the element was appended. Chunk pointers are
+//    published with release stores and read with acquire loads, so the reader
+//    always observes a fully constructed element.
+
+#ifndef FACTLOG_EVAL_STABLE_STORE_H_
+#define FACTLOG_EVAL_STABLE_STORE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+
+namespace factlog::eval {
+
+template <typename T>
+class StableStore {
+ public:
+  StableStore() {
+    for (auto& c : chunks_) c.store(nullptr, std::memory_order_relaxed);
+  }
+  ~StableStore() {
+    for (auto& c : chunks_) delete[] c.load(std::memory_order_relaxed);
+  }
+  StableStore(const StableStore&) = delete;
+  StableStore& operator=(const StableStore&) = delete;
+
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+  bool empty() const { return size() == 0; }
+
+  const T& operator[](size_t i) const {
+    size_t chunk, offset;
+    Locate(i, &chunk, &offset);
+    return chunks_[chunk].load(std::memory_order_acquire)[offset];
+  }
+
+  /// Mutable access. Caller must hold the (external) append lock.
+  T& at(size_t i) {
+    size_t chunk, offset;
+    Locate(i, &chunk, &offset);
+    return chunks_[chunk].load(std::memory_order_relaxed)[offset];
+  }
+
+  /// Appends a value and returns its index. Caller must hold the (external)
+  /// append lock; concurrent readers stay valid.
+  size_t push_back(T value) {
+    size_t i = size_.load(std::memory_order_relaxed);
+    size_t chunk, offset;
+    Locate(i, &chunk, &offset);
+    T* block = chunks_[chunk].load(std::memory_order_relaxed);
+    if (block == nullptr) {
+      block = new T[kBaseChunk << chunk];
+      chunks_[chunk].store(block, std::memory_order_release);
+    }
+    block[offset] = std::move(value);
+    size_.store(i + 1, std::memory_order_release);
+    return i;
+  }
+
+ private:
+  // Chunk c holds kBaseChunk * 2^c elements; the elements before it number
+  // kBaseChunk * (2^c - 1). 26 chunks cover > 2^32 elements.
+  static constexpr size_t kBaseChunk = 64;
+  static constexpr size_t kNumChunks = 26;
+
+  static void Locate(size_t i, size_t* chunk, size_t* offset) {
+    size_t j = i / kBaseChunk + 1;
+    size_t c = 63 - static_cast<size_t>(__builtin_clzll(j));
+    *chunk = c;
+    *offset = i - kBaseChunk * ((size_t{1} << c) - 1);
+  }
+
+  std::atomic<size_t> size_{0};
+  std::atomic<T*> chunks_[kNumChunks];
+};
+
+}  // namespace factlog::eval
+
+#endif  // FACTLOG_EVAL_STABLE_STORE_H_

@@ -2,53 +2,52 @@
 
 namespace factlog::eval {
 
-int32_t ValueStore::InternSymbolName(const std::string& name) {
+int32_t ValueStore::InternSymbolNameLocked(const std::string& name) {
   auto it = symbol_ids_.find(name);
   if (it != symbol_ids_.end()) return it->second;
-  int32_t id = static_cast<int32_t>(symbols_.size());
-  symbols_.push_back(name);
+  int32_t id = static_cast<int32_t>(symbols_.push_back(name));
   symbol_ids_.emplace(name, id);
   return id;
 }
 
 ValueId ValueStore::InternInt(int64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = int_ids_.find(value);
   if (it != int_ids_.end()) return it->second;
-  ValueId id = static_cast<ValueId>(nodes_.size());
   Node n;
   n.kind = Kind::kInt;
   n.int_value = value;
-  nodes_.push_back(n);
+  ValueId id = static_cast<ValueId>(nodes_.push_back(n));
   int_ids_.emplace(value, id);
   return id;
 }
 
 ValueId ValueStore::InternSym(const std::string& name) {
-  int32_t sym = InternSymbolName(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  int32_t sym = InternSymbolNameLocked(name);
   auto it = sym_value_ids_.find(sym);
   if (it != sym_value_ids_.end()) return it->second;
-  ValueId id = static_cast<ValueId>(nodes_.size());
   Node n;
   n.kind = Kind::kSymbol;
   n.symbol = sym;
-  nodes_.push_back(n);
+  ValueId id = static_cast<ValueId>(nodes_.push_back(n));
   sym_value_ids_.emplace(sym, id);
   return id;
 }
 
 ValueId ValueStore::InternApp(const std::string& functor,
                               std::vector<ValueId> children) {
-  AppKey key{InternSymbolName(functor), std::move(children)};
+  std::lock_guard<std::mutex> lock(mu_);
+  AppKey key{InternSymbolNameLocked(functor), std::move(children)};
   auto it = app_ids_.find(key);
   if (it != app_ids_.end()) return it->second;
-  ValueId id = static_cast<ValueId>(nodes_.size());
   Node n;
   n.kind = Kind::kCompound;
   n.symbol = key.symbol;
   n.child_begin = static_cast<uint32_t>(children_.size());
   n.child_count = static_cast<uint32_t>(key.children.size());
-  children_.insert(children_.end(), key.children.begin(), key.children.end());
-  nodes_.push_back(n);
+  for (ValueId c : key.children) children_.push_back(c);
+  ValueId id = static_cast<ValueId>(nodes_.push_back(n));
   app_ids_.emplace(std::move(key), id);
   return id;
 }

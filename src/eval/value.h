@@ -5,18 +5,29 @@
 // the n suffixes of an n-element list occupy O(n) total space. This is the
 // "structure-sharing implementation of lists" that Example 4.6 of the paper
 // assumes for its linear-time bound.
+//
+// Thread safety: the store distinguishes interning (mutating) from resolving
+// (reading). Intern* / FromTerm serialize on an internal mutex and may be
+// called from concurrent evaluation workers; the read accessors (kind,
+// int_value, symbol, Child, ToTerm, ...) are lock-free and safe concurrently
+// with interning for any id the reader obtained through a synchronizing
+// operation — which the exec layer's task hand-offs provide. This is the
+// precomputation-vs-hot-path split the parallel execution subsystem relies
+// on: values are interned once, then resolved from many threads.
 
 #ifndef FACTLOG_EVAL_VALUE_H_
 #define FACTLOG_EVAL_VALUE_H_
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "ast/term.h"
 #include "common/status.h"
+#include "eval/stable_store.h"
 
 namespace factlog::eval {
 
@@ -64,7 +75,7 @@ class ValueStore {
 
  private:
   struct Node {
-    Kind kind;
+    Kind kind = Kind::kInt;
     int64_t int_value = 0;
     int32_t symbol = -1;       // index into symbols_
     uint32_t child_begin = 0;  // index into children_
@@ -89,11 +100,16 @@ class ValueStore {
     }
   };
 
-  int32_t InternSymbolName(const std::string& name);
+  int32_t InternSymbolNameLocked(const std::string& name);
 
-  std::vector<Node> nodes_;
-  std::vector<ValueId> children_;
-  std::vector<std::string> symbols_;
+  // Value payloads: append-only chunked stores so lock-free readers survive
+  // concurrent interning (see stable_store.h for the contract).
+  StableStore<Node> nodes_;
+  StableStore<ValueId> children_;
+  StableStore<std::string> symbols_;
+
+  // Hash-consing lookup tables; touched only while holding mu_.
+  std::mutex mu_;
   std::map<std::string, int32_t> symbol_ids_;
   std::map<int64_t, ValueId> int_ids_;
   std::map<int32_t, ValueId> sym_value_ids_;

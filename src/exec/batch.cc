@@ -1,0 +1,135 @@
+#include "exec/batch.h"
+
+#include <chrono>
+#include <set>
+#include <utility>
+
+#include "eval/rule_eval.h"
+
+namespace factlog::exec {
+
+namespace {
+
+int64_t MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+Status PrewarmIndexes(const ast::Program& program, const ast::Atom* query,
+                      eval::Database* db) {
+  std::set<std::string> idb = program.IdbPredicates();
+  auto warm_rule = [&](const ast::Rule& rule) -> Status {
+    FACTLOG_ASSIGN_OR_RETURN(eval::CompiledRule compiled,
+                             eval::CompiledRule::Compile(rule, &db->store()));
+    std::vector<std::vector<int>> cols = eval::StaticIndexCols(compiled);
+    for (size_t k = 0; k < compiled.body().size(); ++k) {
+      const eval::CompiledAtom& lit = compiled.body()[k];
+      if (lit.kind != eval::LitKind::kRelation || cols[k].empty()) continue;
+      if (idb.count(lit.predicate) > 0) continue;  // private per query
+      eval::Relation* rel = db->Find(lit.predicate);
+      if (rel != nullptr) rel->EnsureIndex(cols[k]);
+    }
+    return Status::OK();
+  };
+  for (const ast::Rule& rule : program.rules()) {
+    FACTLOG_RETURN_IF_ERROR(warm_rule(rule));
+  }
+  if (query != nullptr && idb.count(query->predicate()) == 0) {
+    // Answer extraction probes the query predicate with the query's ground
+    // positions; warm that index too when the predicate is a base relation.
+    std::vector<ast::Term> head_args;
+    for (const std::string& v : query->DistinctVars()) {
+      head_args.push_back(ast::Term::Var(v));
+    }
+    FACTLOG_RETURN_IF_ERROR(warm_rule(
+        ast::Rule(ast::Atom("__ans", std::move(head_args)), {*query})));
+  }
+  return Status::OK();
+}
+
+Result<BatchResult> RunBatch(ThreadPool* pool, eval::Database* db,
+                             size_t num_queries, const BatchCompileFn& compile,
+                             const eval::EvalOptions& eval_options) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  BatchResult result;
+  result.answers.resize(num_queries);
+  result.stats.resize(num_queries);
+  result.summary.queries = num_queries;
+  result.summary.threads = pool == nullptr ? 0 : pool->num_threads();
+
+  // Phase 1: compile every query on the pool. The compile callback is
+  // responsible for its own synchronization (the engine's plan cache mutex);
+  // identical queries racing to a cold cache at worst compile twice.
+  std::vector<std::shared_ptr<const core::CompiledQuery>> plans(num_queries);
+  auto compile_one = [&](size_t i) {
+    auto plan = compile(i, &result.stats[i]);
+    if (plan.ok()) {
+      plans[i] = std::move(plan).value();
+    } else {
+      result.stats[i].status = plan.status();
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(num_queries, compile_one);
+  } else {
+    for (size_t i = 0; i < num_queries; ++i) compile_one(i);
+  }
+
+  // Phase 2 (control thread): pre-build the base-relation indices the
+  // compiled programs will probe, so the execute phase stays on the const
+  // read path. Plans are shared via the cache, so prewarm each one once.
+  std::set<const core::CompiledQuery*> warmed_plans;
+  for (size_t i = 0; i < num_queries; ++i) {
+    if (plans[i] == nullptr) continue;
+    if (!warmed_plans.insert(plans[i].get()).second) continue;
+    Status warmed = PrewarmIndexes(plans[i]->program, &plans[i]->query, db);
+    if (!warmed.ok()) {
+      result.stats[i].status = warmed;
+      plans[i] = nullptr;
+    }
+  }
+
+  // Phase 3: evaluate concurrently. Each query gets private IDB state; the
+  // shared EDB is read-only and the ValueStore interns under its own mutex.
+  eval::EvalOptions exec_opts = eval_options;
+  exec_opts.strategy = eval::Strategy::kSemiNaive;
+  exec_opts.track_provenance = false;
+  exec_opts.shared_edb = true;
+  auto execute_one = [&](size_t i) {
+    if (plans[i] == nullptr) return;
+    const auto start = std::chrono::steady_clock::now();
+    eval::EvalStats eval_stats;
+    auto answers = eval::EvaluateQuery(plans[i]->program, plans[i]->query, db,
+                                       exec_opts, &eval_stats);
+    result.stats[i].execute_us = MicrosSince(start);
+    result.stats[i].iterations = eval_stats.iterations;
+    result.stats[i].total_facts = eval_stats.total_facts;
+    if (answers.ok()) {
+      result.stats[i].num_answers = answers->size();
+      result.answers[i] = std::move(answers).value();
+    } else {
+      result.stats[i].status = answers.status();
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(num_queries, execute_one);
+  } else {
+    for (size_t i = 0; i < num_queries; ++i) execute_one(i);
+  }
+
+  for (const ExecStats& s : result.stats) {
+    result.summary.sum_execute_us += s.execute_us;
+    if (s.status.ok()) {
+      ++result.summary.succeeded;
+    } else {
+      ++result.summary.failed;
+    }
+  }
+  result.summary.wall_us = MicrosSince(wall_start);
+  return result;
+}
+
+}  // namespace factlog::exec

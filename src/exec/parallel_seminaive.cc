@@ -1,0 +1,457 @@
+#include "exec/parallel_seminaive.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "eval/rule_eval.h"
+
+namespace factlog::exec {
+
+namespace {
+
+using eval::CompiledAtom;
+using eval::CompiledRule;
+using eval::Database;
+using eval::EvalResult;
+using eval::JoinStats;
+using eval::LitKind;
+using eval::Relation;
+using eval::RelationView;
+using eval::ValueId;
+
+// FNV-1a over the key columns of a row; only used to spread delta rows
+// across partitions, so any deterministic mix works.
+size_t HashCols(const ValueId* row, const std::vector<int>& cols) {
+  uint64_t h = 1469598103934665603ULL;
+  for (int c : cols) {
+    h = (h ^ static_cast<uint64_t>(static_cast<uint32_t>(row[c]))) *
+        1099511628211ULL;
+  }
+  return static_cast<size_t>(h);
+}
+
+class ParallelEngine {
+ public:
+  ParallelEngine(const ast::Program& program, Database* db, ThreadPool* pool,
+                 const ParallelEvalOptions& opts)
+      : program_(program), db_(db), pool_(pool), opts_(opts) {}
+
+  Result<EvalResult> Run() {
+    if (opts_.eval.track_provenance) {
+      return Status::Invalid(
+          "parallel evaluation does not record provenance; use the "
+          "sequential evaluator (eval::Evaluate) for derivation trees");
+    }
+    FACTLOG_RETURN_IF_ERROR(Prepare());
+    FACTLOG_RETURN_IF_ERROR(SeedBaseRules());
+    FACTLOG_RETURN_IF_ERROR(RunFixpoint());
+    return Finish();
+  }
+
+ private:
+  struct PredState {
+    std::unique_ptr<Relation> full;
+    std::unique_ptr<Relation> delta;
+    std::unique_ptr<Relation> next;
+  };
+
+  // Delta partitions for one (predicate, probe-columns) combination. With a
+  // single partition the delta itself is aliased instead of copied.
+  struct PartitionSet {
+    std::vector<std::unique_ptr<Relation>> owned;
+    std::vector<const Relation*> parts;
+  };
+
+  // One (rule, recursive-occurrence) delta pass of the current iteration.
+  struct Pass {
+    size_t rule = 0;
+    size_t occ = 0;  // body index ranging over the delta partitions
+    const PartitionSet* parts = nullptr;
+    const Relation* head_full = nullptr;
+    const Relation* head_delta = nullptr;
+    Relation* head_next = nullptr;
+    size_t stripe = 0;
+  };
+
+  struct TaskRef {
+    size_t pass = 0;
+    size_t part = 0;
+  };
+
+  struct TaskResult {
+    JoinStats stats;
+    Status status = Status::OK();
+  };
+
+  static constexpr size_t kStripes = 16;
+
+  Status Prepare() {
+    FACTLOG_RETURN_IF_ERROR(program_.Validate());
+    idb_preds_ = program_.IdbPredicates();
+    auto arities = program_.PredicateArities();
+    for (const std::string& p : idb_preds_) {
+      size_t arity = arities.at(p);
+      PredState st;
+      st.full = std::make_unique<Relation>(arity);
+      st.delta = std::make_unique<Relation>(arity);
+      st.next = std::make_unique<Relation>(arity);
+      preds_.emplace(p, std::move(st));
+    }
+    rules_.reserve(program_.rules().size());
+    for (const ast::Rule& r : program_.rules()) {
+      FACTLOG_ASSIGN_OR_RETURN(CompiledRule cr,
+                               CompiledRule::Compile(r, &db_->store()));
+      static_cols_.push_back(eval::StaticIndexCols(cr));
+      rules_.push_back(std::move(cr));
+    }
+    // Saturating 2x slack over the fact budget: cross-task duplicates make
+    // the in-flight counter an overestimate, so the hard mid-iteration trip
+    // wire sits above the exact post-iteration check.
+    uint64_t max = opts_.eval.max_facts;
+    budget_trip_ = max > (UINT64_MAX - 1024) / 2 ? UINT64_MAX : 2 * max + 1024;
+    return Status::OK();
+  }
+
+  bool IsIdb(const std::string& pred) const {
+    return idb_preds_.count(pred) > 0;
+  }
+
+  uint64_t TotalIdbFacts() const {
+    uint64_t n = 0;
+    for (const auto& [name, st] : preds_) {
+      n += st.full->size() + st.delta->size() + st.next->size();
+    }
+    return n;
+  }
+
+  // The frozen extent of body literal k for a task of `pass` (every view is
+  // shared: workers never mutate relations during the parallel region).
+  RelationView ViewFor(const Pass& pass, size_t k, size_t part) {
+    const CompiledAtom& lit = rules_[pass.rule].body()[k];
+    if (lit.kind != LitKind::kRelation) return RelationView{};
+    if (!IsIdb(lit.predicate)) {
+      return RelationView{db_->Find(lit.predicate), nullptr, /*shared=*/true};
+    }
+    PredState& st = preds_.at(lit.predicate);
+    if (k == pass.occ) {
+      // The join never mutates a shared view, so the const_cast only bridges
+      // RelationView's (sequential-engine) mutable pointers.
+      return RelationView{const_cast<Relation*>(pass.parts->parts[part]),
+                          nullptr, /*shared=*/true};
+    }
+    if (k < pass.occ) {
+      // This round's view of F_i: full union delta.
+      return RelationView{st.full.get(), st.delta.get(), /*shared=*/true};
+    }
+    return RelationView{st.full.get(), nullptr, /*shared=*/true};
+  }
+
+  // Iteration 0: rules without IDB body literals seed the deltas. Runs on
+  // the control thread; lazy index builds are still safe here.
+  Status SeedBaseRules() {
+    for (size_t i = 0; i < rules_.size(); ++i) {
+      const CompiledRule& rule = rules_[i];
+      bool has_idb = false;
+      for (const CompiledAtom& lit : rule.body()) {
+        if (lit.kind == LitKind::kRelation && IsIdb(lit.predicate)) {
+          has_idb = true;
+          break;
+        }
+      }
+      if (has_idb) continue;
+      std::vector<RelationView> views;
+      views.reserve(rule.body().size());
+      for (const CompiledAtom& lit : rule.body()) {
+        if (lit.kind != LitKind::kRelation) {
+          views.push_back(RelationView{});
+        } else {
+          views.push_back(RelationView{db_->Find(lit.predicate), nullptr});
+        }
+      }
+      Relation* delta = preds_.at(rule.head().predicate).delta.get();
+      Status overflow = Status::OK();
+      FACTLOG_RETURN_IF_ERROR(EnumerateRule(
+          rule, &db_->store(), views, /*track_premises=*/false, &join_stats_,
+          [&](const std::vector<ValueId>& row,
+              const std::vector<eval::FactKey>*) {
+            delta->Insert(row);
+            if (TotalIdbFacts() > opts_.eval.max_facts) {
+              overflow = Status::ResourceExhausted(
+                  "fact budget exceeded (" +
+                  std::to_string(opts_.eval.max_facts) +
+                  "); program may not terminate");
+              return false;
+            }
+            return true;
+          }));
+      FACTLOG_RETURN_IF_ERROR(overflow);
+    }
+    return Status::OK();
+  }
+
+  size_t ChoosePartitions(size_t delta_rows) const {
+    size_t width = pool_ == nullptr ? 0 : pool_->num_threads();
+    if (width == 0 || delta_rows < opts_.min_rows_to_partition) return 1;
+    size_t target =
+        opts_.num_partitions > 0 ? opts_.num_partitions : 2 * width;
+    return std::max<size_t>(1, std::min(target, delta_rows));
+  }
+
+  // Hash-partitions `delta` on `part_cols` into `nparts` relations, indexed
+  // on `probe_cols` (the key the join will look the partition up with). A
+  // single partition aliases the delta rather than copying it.
+  PartitionSet BuildPartitions(Relation* delta,
+                               const std::vector<int>& part_cols,
+                               const std::vector<int>& probe_cols,
+                               size_t nparts) {
+    PartitionSet set;
+    if (nparts <= 1) {
+      if (!probe_cols.empty()) delta->EnsureIndex(probe_cols);
+      set.parts.push_back(delta);
+      return set;
+    }
+    set.owned.reserve(nparts);
+    for (size_t p = 0; p < nparts; ++p) {
+      set.owned.push_back(std::make_unique<Relation>(delta->arity()));
+      set.owned.back()->Reserve(delta->size() / nparts + 1);
+    }
+    for (size_t r = 0; r < delta->size(); ++r) {
+      const ValueId* row = delta->row(r);
+      set.owned[HashCols(row, part_cols) % nparts]->Insert(row);
+    }
+    for (auto& p : set.owned) {
+      if (!probe_cols.empty()) p->EnsureIndex(probe_cols);
+      set.parts.push_back(p.get());
+    }
+    return set;
+  }
+
+  // One worker task: evaluate rule `pass.rule` with occurrence `pass.occ`
+  // restricted to delta partition `part`, buffer the new head rows
+  // thread-locally, then merge into the global next under the head stripe.
+  void RunTask(const std::vector<Pass>& passes, const TaskRef& ref,
+               TaskResult* result) {
+    if (cancelled_.load(std::memory_order_acquire)) return;
+    const Pass& pass = passes[ref.pass];
+    if (pass.parts->parts[ref.part]->empty()) return;
+    const CompiledRule& rule = rules_[pass.rule];
+
+    std::vector<RelationView> views;
+    views.reserve(rule.body().size());
+    for (size_t k = 0; k < rule.body().size(); ++k) {
+      views.push_back(ViewFor(pass, k, ref.part));
+    }
+
+    Relation buffer(rule.head().args.size());
+    result->status = EnumerateRule(
+        rule, &db_->store(), views, /*track_premises=*/false, &result->stats,
+        [&](const std::vector<ValueId>& row,
+            const std::vector<eval::FactKey>*) {
+          if (cancelled_.load(std::memory_order_relaxed)) return false;
+          if (pass.head_full->Contains(row.data()) ||
+              pass.head_delta->Contains(row.data())) {
+            return true;
+          }
+          if (buffer.Insert(row)) {
+            uint64_t inflight =
+                iteration_base_ +
+                new_rows_.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (inflight > budget_trip_) {
+              budget_tripped_.store(true, std::memory_order_relaxed);
+              cancelled_.store(true, std::memory_order_release);
+              return false;
+            }
+          }
+          return true;
+        });
+    if (!result->status.ok()) {
+      cancelled_.store(true, std::memory_order_release);
+      return;
+    }
+    if (buffer.empty()) return;
+    std::lock_guard<std::mutex> lock(stripes_[pass.stripe]);
+    pass.head_next->Absorb(buffer);
+  }
+
+  Status RunFixpoint() {
+    while (true) {
+      ++result_.mutable_stats()->iterations;
+      if (result_.stats().iterations > opts_.eval.max_iterations) {
+        return Status::ResourceExhausted("iteration budget exceeded");
+      }
+      bool any_delta = false;
+      for (const auto& [name, st] : preds_) {
+        if (!st.delta->empty()) {
+          any_delta = true;
+          break;
+        }
+      }
+      if (!any_delta) break;
+
+      // Plan the passes and build the delta partitions. Partition sets are
+      // cached per (predicate, partition columns): rules probing the same
+      // occurrence the same way share one set.
+      std::map<std::string, PartitionSet> partition_cache;
+      std::vector<Pass> passes;
+      for (size_t i = 0; i < rules_.size(); ++i) {
+        const CompiledRule& rule = rules_[i];
+        for (size_t j = 0; j < rule.body().size(); ++j) {
+          const CompiledAtom& lit = rule.body()[j];
+          if (lit.kind != LitKind::kRelation || !IsIdb(lit.predicate)) {
+            continue;
+          }
+          Relation* delta = preds_.at(lit.predicate).delta.get();
+          if (delta->empty()) continue;
+
+          const std::vector<int>& probe_cols = static_cols_[i][j];
+          std::vector<int> part_cols = probe_cols;
+          if (part_cols.empty()) {
+            // Occurrence probed unbound: spread by whole-row hash.
+            for (size_t c = 0; c < delta->arity(); ++c) {
+              part_cols.push_back(static_cast<int>(c));
+            }
+          }
+          std::string cache_key = lit.predicate;
+          for (int c : probe_cols) {
+            cache_key += ',';
+            cache_key += std::to_string(c);
+          }
+          auto [it, inserted] = partition_cache.try_emplace(cache_key);
+          if (inserted) {
+            it->second = BuildPartitions(delta, part_cols, probe_cols,
+                                         ChoosePartitions(delta->size()));
+          }
+
+          Pass pass;
+          pass.rule = i;
+          pass.occ = j;
+          pass.parts = &it->second;
+          const std::string& head = rule.head().predicate;
+          PredState& head_st = preds_.at(head);
+          pass.head_full = head_st.full.get();
+          pass.head_delta = head_st.delta.get();
+          pass.head_next = head_st.next.get();
+          pass.stripe = std::hash<std::string>()(head) % kStripes;
+          passes.push_back(pass);
+        }
+      }
+
+      // Pre-build every index a worker could probe on the frozen relations;
+      // inside the parallel region only the const read path runs.
+      for (const Pass& pass : passes) {
+        const CompiledRule& rule = rules_[pass.rule];
+        for (size_t k = 0; k < rule.body().size(); ++k) {
+          if (k == pass.occ) continue;  // partitions were indexed on build
+          const std::vector<int>& cols = static_cols_[pass.rule][k];
+          if (cols.empty()) continue;
+          RelationView view = ViewFor(pass, k, 0);
+          if (view.first != nullptr) view.first->EnsureIndex(cols);
+          if (view.second != nullptr) view.second->EnsureIndex(cols);
+        }
+      }
+
+      std::vector<TaskRef> tasks;
+      for (size_t p = 0; p < passes.size(); ++p) {
+        for (size_t part = 0; part < passes[p].parts->parts.size(); ++part) {
+          tasks.push_back(TaskRef{p, part});
+        }
+      }
+      std::vector<TaskResult> results(tasks.size());
+      iteration_base_ = TotalIdbFacts();
+      new_rows_.store(0, std::memory_order_relaxed);
+
+      auto body = [&](size_t t) { RunTask(passes, tasks[t], &results[t]); };
+      if (pool_ != nullptr) {
+        pool_->ParallelFor(tasks.size(), body);
+      } else {
+        for (size_t t = 0; t < tasks.size(); ++t) body(t);
+      }
+
+      for (TaskResult& r : results) {
+        FACTLOG_RETURN_IF_ERROR(r.status);
+        join_stats_.rows_matched += r.stats.rows_matched;
+        join_stats_.instantiations += r.stats.instantiations;
+      }
+      if (budget_tripped_.load(std::memory_order_acquire)) {
+        return Status::ResourceExhausted(
+            "fact budget exceeded (" + std::to_string(opts_.eval.max_facts) +
+            "); program may not terminate");
+      }
+      cancelled_.store(false, std::memory_order_release);
+
+      // Merge: full += delta; delta = next; next = fresh.
+      for (auto& [name, st] : preds_) {
+        st.full->Absorb(*st.delta);
+        st.delta = std::move(st.next);
+        st.next = std::make_unique<Relation>(st.full->arity());
+      }
+      if (TotalIdbFacts() > opts_.eval.max_facts) {
+        return Status::ResourceExhausted(
+            "fact budget exceeded (" + std::to_string(opts_.eval.max_facts) +
+            "); program may not terminate");
+      }
+    }
+    return Status::OK();
+  }
+
+  Result<EvalResult> Finish() {
+    uint64_t total = 0;
+    for (auto& [name, st] : preds_) {
+      total += st.full->size();
+      result_.mutable_idb()->emplace(name, std::move(st.full));
+    }
+    eval::EvalStats* stats = result_.mutable_stats();
+    stats->total_facts = total;
+    stats->instantiations = join_stats_.instantiations;
+    stats->rows_matched = join_stats_.rows_matched;
+    return std::move(result_);
+  }
+
+  const ast::Program& program_;
+  Database* db_;
+  ThreadPool* pool_;
+  ParallelEvalOptions opts_;
+
+  std::set<std::string> idb_preds_;
+  std::map<std::string, PredState> preds_;
+  std::vector<CompiledRule> rules_;
+  std::vector<std::vector<std::vector<int>>> static_cols_;  // rule x literal
+  JoinStats join_stats_;
+  EvalResult result_;
+
+  std::array<std::mutex, kStripes> stripes_;
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> budget_tripped_{false};
+  std::atomic<uint64_t> new_rows_{0};
+  uint64_t iteration_base_ = 0;
+  uint64_t budget_trip_ = 0;
+};
+
+}  // namespace
+
+Result<EvalResult> EvaluateParallel(const ast::Program& program, Database* db,
+                                    ThreadPool* pool,
+                                    const ParallelEvalOptions& opts) {
+  ParallelEngine engine(program, db, pool, opts);
+  return engine.Run();
+}
+
+Result<eval::AnswerSet> EvaluateQueryParallel(const ast::Program& program,
+                                              const ast::Atom& query,
+                                              Database* db, ThreadPool* pool,
+                                              const ParallelEvalOptions& opts,
+                                              eval::EvalStats* stats_out) {
+  FACTLOG_ASSIGN_OR_RETURN(EvalResult result,
+                           EvaluateParallel(program, db, pool, opts));
+  if (stats_out != nullptr) *stats_out = result.stats();
+  return eval::ExtractAnswers(query, &result, db);
+}
+
+}  // namespace factlog::exec

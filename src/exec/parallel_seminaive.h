@@ -1,0 +1,64 @@
+// Partitioned parallel semi-naive fixpoint evaluation.
+//
+// The paper's argument-reduction theorems shrink a recursive relation from
+// O(n^k) to O(n) facts; this module consumes those relations on every core.
+// Each iteration of the semi-naive loop is data-parallel over the delta:
+//
+//   1. For every (rule, recursive-occurrence) pass, the occurrence's delta
+//      rows are hash-partitioned on the join-key columns the left-to-right
+//      join will probe them with (eval::StaticIndexCols) — whole-row hash
+//      when the occurrence is probed unbound.
+//   2. Every probe index a worker could need is pre-built on the frozen
+//      full/delta/base relations (Relation::EnsureIndex), so workers only
+//      touch the const read path (RelationView::shared).
+//   3. Workers evaluate one partition each into a thread-local Relation
+//      buffer, deduplicating against the frozen full/delta extents.
+//   4. Each worker merges its buffer into the global `next` relation under a
+//      lock striped by head predicate (Relation::Absorb), then the control
+//      thread rotates full/delta/next exactly like the sequential engine.
+//
+// The result is fact-for-fact identical to eval::Evaluate's semi-naive
+// strategy at any thread count (set semantics make the fixpoint confluent);
+// the sequential evaluator remains the oracle the tests compare against.
+
+#ifndef FACTLOG_EXEC_PARALLEL_SEMINAIVE_H_
+#define FACTLOG_EXEC_PARALLEL_SEMINAIVE_H_
+
+#include "ast/program.h"
+#include "common/status.h"
+#include "eval/database.h"
+#include "eval/seminaive.h"
+#include "exec/thread_pool.h"
+
+namespace factlog::exec {
+
+struct ParallelEvalOptions {
+  /// Budgets and flags shared with the sequential evaluator. Restrictions:
+  /// `strategy` is ignored (the parallel engine is always semi-naive) and
+  /// `track_provenance` must be false (kInvalidArgument otherwise — use the
+  /// sequential evaluator when derivation trees are needed).
+  eval::EvalOptions eval;
+  /// Partitions per (rule, occurrence) pass. 0 = 2x the pool width, the
+  /// sweet spot between stealing granularity and per-task setup cost.
+  size_t num_partitions = 0;
+  /// Deltas with fewer rows than this run as a single task; partitioning a
+  /// tiny delta costs more than it buys.
+  size_t min_rows_to_partition = 64;
+};
+
+/// Evaluates `program` bottom-up against `db` on `pool` (nullptr = inline).
+/// Returns exactly the fact sets eval::Evaluate produces.
+Result<eval::EvalResult> EvaluateParallel(
+    const ast::Program& program, eval::Database* db, ThreadPool* pool,
+    const ParallelEvalOptions& opts = ParallelEvalOptions());
+
+/// Convenience: EvaluateParallel + ExtractAnswers. When `stats_out` is
+/// non-null the evaluation statistics are copied there.
+Result<eval::AnswerSet> EvaluateQueryParallel(
+    const ast::Program& program, const ast::Atom& query, eval::Database* db,
+    ThreadPool* pool, const ParallelEvalOptions& opts = ParallelEvalOptions(),
+    eval::EvalStats* stats_out = nullptr);
+
+}  // namespace factlog::exec
+
+#endif  // FACTLOG_EXEC_PARALLEL_SEMINAIVE_H_

@@ -1,0 +1,392 @@
+// Tests for the parallel execution subsystem: the partitioned semi-naive
+// fixpoint must be fact-for-fact identical to the sequential oracle at every
+// thread count, and concurrent batch execution must agree with one-at-a-time
+// queries while hammering the shared plan cache.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "core/pipeline.h"
+#include "eval/seminaive.h"
+#include "exec/batch.h"
+#include "exec/parallel_seminaive.h"
+#include "exec/thread_pool.h"
+#include "tests/sweep_corpus.h"
+#include "tests/test_util.h"
+#include "workload/graph_gen.h"
+
+namespace factlog {
+namespace {
+
+using test::A;
+using test::kNumSweepPrograms;
+using test::kNumSweepWorkloads;
+using test::kSweepPrograms;
+using test::kSweepWorkloads;
+using test::P;
+
+// Renders every IDB relation as a sorted set of tuples. Both evaluations run
+// against the same database, so hash-consing makes ValueIds comparable; the
+// rendered form keeps failure messages readable.
+std::map<std::string, std::set<std::string>> FactSets(
+    const eval::EvalResult& result, const eval::ValueStore& store) {
+  std::map<std::string, std::set<std::string>> out;
+  for (const auto& [pred, rel] : result.idb()) {
+    std::set<std::string>& rows = out[pred];
+    for (size_t r = 0; r < rel->size(); ++r) {
+      std::string s = "(";
+      for (size_t c = 0; c < rel->arity(); ++c) {
+        if (c > 0) s += ", ";
+        s += store.ToString(rel->row(r)[c]);
+      }
+      s += ")";
+      rows.insert(s);
+    }
+  }
+  return out;
+}
+
+class ParallelSweepTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+// The acceptance bar of this subsystem: for every corpus program (original
+// and pipeline-compiled) the parallel fixpoint at 1, 2, and 8 threads yields
+// exactly the sequential evaluator's fact sets. Partitioning is forced even
+// on tiny deltas so the hash-partition/merge machinery actually runs.
+TEST_P(ParallelSweepTest, MatchesSequentialFactSetsAt1_2_8Threads) {
+  const test::SweepProgram& ps = kSweepPrograms[std::get<0>(GetParam())];
+  const test::SweepWorkload& ws = kSweepWorkloads[std::get<1>(GetParam())];
+
+  ast::Program original = P(ps.text);
+  ast::Atom query = A(ps.query);
+  auto compiled = core::CompileQuery(original, query, core::Strategy::kAuto);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+
+  struct Variant {
+    const char* name;
+    const ast::Program* program;
+  };
+  const Variant variants[] = {{"original", &original},
+                              {"compiled", &compiled->program}};
+
+  for (const Variant& v : variants) {
+    eval::Database db;
+    ws.make(&db);
+
+    auto sequential = eval::Evaluate(*v.program, &db);
+    ASSERT_TRUE(sequential.ok())
+        << v.name << ": " << sequential.status().ToString();
+    auto expected = FactSets(*sequential, db.store());
+
+    for (size_t threads : {1u, 2u, 8u}) {
+      exec::ThreadPool pool(threads);
+      exec::ParallelEvalOptions opts;
+      opts.min_rows_to_partition = 1;  // partition even one-row deltas
+      opts.num_partitions = 2 * threads + 1;
+      auto parallel = exec::EvaluateParallel(*v.program, &db, &pool, opts);
+      ASSERT_TRUE(parallel.ok())
+          << v.name << " @" << threads << ": " << parallel.status().ToString();
+      EXPECT_EQ(FactSets(*parallel, db.store()), expected)
+          << v.name << " @" << threads << " threads";
+      EXPECT_EQ(parallel->stats().total_facts,
+                sequential->stats().total_facts)
+          << v.name << " @" << threads;
+      EXPECT_EQ(parallel->stats().iterations, sequential->stats().iterations)
+          << v.name << " @" << threads;
+      EXPECT_EQ(parallel->stats().instantiations,
+                sequential->stats().instantiations)
+          << v.name << " @" << threads;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, ParallelSweepTest,
+    ::testing::Combine(::testing::Range(0, kNumSweepPrograms),
+                       ::testing::Range(0, kNumSweepWorkloads)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return std::string(kSweepPrograms[std::get<0>(info.param)].name) +
+             "_x_" + kSweepWorkloads[std::get<1>(info.param)].name;
+    });
+
+TEST(ParallelSemiNaiveTest, QueryAnswersMatchSequential) {
+  eval::Database db;
+  workload::MakeGrid(5, 5, "e", &db);
+  ast::Program program =
+      P("t(X, Y) :- e(X, Y). t(X, Y) :- t(X, W), e(W, Y).");
+  ast::Atom query = A("t(1, Y)");
+
+  auto sequential = eval::EvaluateQuery(program, query, &db);
+  ASSERT_TRUE(sequential.ok());
+
+  exec::ThreadPool pool(4);
+  exec::ParallelEvalOptions opts;
+  opts.min_rows_to_partition = 1;
+  auto parallel =
+      exec::EvaluateQueryParallel(program, query, &db, &pool, opts);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  EXPECT_EQ(parallel->rows, sequential->rows);
+}
+
+TEST(ParallelSemiNaiveTest, NullPoolRunsInline) {
+  eval::Database db;
+  workload::MakeChain(10, "e", &db);
+  ast::Program program =
+      P("t(X, Y) :- e(X, Y). t(X, Y) :- e(X, W), t(W, Y).");
+  auto result = exec::EvaluateParallel(program, &db, /*pool=*/nullptr);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->SizeOf("t"), 45u);  // all suffix pairs of a 10-chain
+}
+
+TEST(ParallelSemiNaiveTest, CompoundValuesInternSafelyAcrossThreads) {
+  // List construction interns new compound values inside worker threads;
+  // the result must still match the sequential oracle exactly.
+  eval::Database db;
+  for (int i = 0; i < 40; ++i) db.AddPair("n", i, i + 1);
+  ast::Program program = P(
+      "l(X, cons(X, nil)) :- n(X, Y). "
+      "l(X, cons(X, L)) :- n(X, Y), l(Y, L).");
+  auto sequential = eval::Evaluate(program, &db);
+  ASSERT_TRUE(sequential.ok());
+  exec::ThreadPool pool(4);
+  exec::ParallelEvalOptions opts;
+  opts.min_rows_to_partition = 1;
+  auto parallel = exec::EvaluateParallel(program, &db, &pool, opts);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  EXPECT_EQ(FactSets(*parallel, db.store()),
+            FactSets(*sequential, db.store()));
+}
+
+TEST(ParallelSemiNaiveTest, FactBudgetAborts) {
+  eval::Database db;
+  workload::MakeChain(60, "e", &db);
+  ast::Program program =
+      P("t(X, Y) :- e(X, Y). t(X, Y) :- e(X, W), t(W, Y).");
+  exec::ThreadPool pool(4);
+  exec::ParallelEvalOptions opts;
+  opts.eval.max_facts = 100;  // the 60-chain closure has 1770 facts
+  opts.min_rows_to_partition = 1;
+  auto result = exec::EvaluateParallel(program, &db, &pool, opts);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ParallelSemiNaiveTest, ProvenanceIsRejected) {
+  eval::Database db;
+  db.AddPair("e", 1, 2);
+  ast::Program program = P("t(X, Y) :- e(X, Y).");
+  exec::ParallelEvalOptions opts;
+  opts.eval.track_provenance = true;
+  auto result = exec::EvaluateParallel(program, &db, nullptr, opts);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PrewarmIndexesTest, SharedEdbEvaluationMatchesPrivate) {
+  eval::Database db;
+  workload::MakeGrid(4, 4, "e", &db);
+  ast::Program program =
+      P("t(X, Y) :- e(X, Y). t(X, Y) :- e(X, W), t(W, Y).");
+  ast::Atom query = A("t(1, Y)");
+
+  auto baseline = eval::EvaluateQuery(program, query, &db);
+  ASSERT_TRUE(baseline.ok());
+
+  ASSERT_TRUE(exec::PrewarmIndexes(program, &query, &db).ok());
+  eval::EvalOptions opts;
+  opts.shared_edb = true;
+  auto shared = eval::EvaluateQuery(program, query, &db, opts);
+  ASSERT_TRUE(shared.ok()) << shared.status().ToString();
+  EXPECT_EQ(shared->rows, baseline->rows);
+}
+
+// ---- Engine integration ----------------------------------------------------
+
+const char* kTcQueries[] = {
+    "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, W), t(W, Y). ?- t(1, Y).",
+    "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, W), t(W, Y). ?- t(2, Y).",
+    "t(X, Y) :- e(X, Y). t(X, Y) :- t(X, W), e(W, Y). ?- t(3, Y).",
+    "t(X, Y) :- e(X, Y). t(X, Y) :- t(X, W), t(W, Y). ?- t(4, Y).",
+    "p(X, Y) :- e(X, Y). p(X, Y) :- e(Y, X). ?- p(5, Y).",
+    "q(X) :- e(X, Y). ?- q(X).",
+    "r(X, Z) :- e(X, Y), e(Y, Z). ?- r(1, Z).",
+    "s(Y) :- e(1, Y). s(Y) :- e(X, Y), s(X). ?- s(Y).",
+};
+
+TEST(EngineParallelTest, ParallelSingleQueryMatchesSequentialEngine) {
+  api::EngineOptions seq_opts;
+  api::Engine sequential(seq_opts);
+  api::EngineOptions par_opts;
+  par_opts.num_threads = 4;
+  api::Engine parallel(par_opts);
+  workload::MakeGrid(5, 5, "e", &sequential.db());
+  workload::MakeGrid(5, 5, "e", &parallel.db());
+
+  for (const char* text : kTcQueries) {
+    auto a = sequential.Query(text);
+    auto b = parallel.Query(text);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_EQ(a->ToString(sequential.db().store()),
+              b->ToString(parallel.db().store()))
+        << text;
+  }
+}
+
+TEST(ExecuteBatchTest, BatchAnswersMatchOneAtATimeQueries) {
+  api::EngineOptions opts;
+  opts.num_threads = 4;
+  api::Engine engine(opts);
+  workload::MakeGrid(5, 5, "e", &engine.db());
+
+  api::Engine oracle;  // sequential, same EDB
+  workload::MakeGrid(5, 5, "e", &oracle.db());
+
+  std::vector<std::string> texts;
+  for (int rep = 0; rep < 8; ++rep) {
+    for (const char* q : kTcQueries) texts.push_back(q);
+  }
+
+  auto batch = engine.ExecuteBatch(texts);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->answers.size(), texts.size());
+  ASSERT_EQ(batch->stats.size(), texts.size());
+  EXPECT_EQ(batch->summary.queries, texts.size());
+  EXPECT_EQ(batch->summary.succeeded, texts.size());
+  EXPECT_EQ(batch->summary.failed, 0u);
+  EXPECT_GT(batch->summary.wall_us, 0);
+
+  for (size_t i = 0; i < texts.size(); ++i) {
+    ASSERT_TRUE(batch->stats[i].status.ok())
+        << i << ": " << batch->stats[i].status.ToString();
+    auto expected = oracle.Query(texts[i]);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(batch->answers[i].ToString(engine.db().store()),
+              expected->ToString(oracle.db().store()))
+        << texts[i];
+    EXPECT_EQ(batch->stats[i].num_answers, expected->size());
+  }
+
+  // Every Compile call either hits the shared cache or compiles; with 8
+  // distinct plans, almost all of the 64 calls must be hits (concurrent
+  // cold-cache misses may compile a plan more than once).
+  auto stats = engine.stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.cache_hits + stats.compiles, texts.size());
+  EXPECT_GE(stats.cache_hits, texts.size() - 4 * 8);
+}
+
+TEST(ExecuteBatchTest, StressPlanCacheWithEvictions) {
+  // A cache smaller than the distinct-plan count forces concurrent misses,
+  // inserts, and evictions — the mutex-guarded LRU must survive and every
+  // answer must stay correct.
+  api::EngineOptions opts;
+  opts.num_threads = 8;
+  opts.plan_cache_capacity = 3;
+  api::Engine engine(opts);
+  workload::MakeGrid(4, 4, "e", &engine.db());
+
+  api::Engine oracle;
+  workload::MakeGrid(4, 4, "e", &oracle.db());
+
+  std::vector<std::string> texts;
+  for (int rep = 0; rep < 12; ++rep) {
+    for (const char* q : kTcQueries) texts.push_back(q);
+  }
+
+  for (int round = 0; round < 3; ++round) {
+    auto batch = engine.ExecuteBatch(texts);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    EXPECT_EQ(batch->summary.failed, 0u);
+    for (size_t i = 0; i < texts.size(); ++i) {
+      auto expected = oracle.Query(texts[i]);
+      ASSERT_TRUE(expected.ok());
+      EXPECT_EQ(batch->answers[i].ToString(engine.db().store()),
+                expected->ToString(oracle.db().store()))
+          << texts[i];
+    }
+    EXPECT_LE(engine.plan_cache_size(), 3u);
+  }
+}
+
+TEST(ExecuteBatchTest, PerQueryFailuresAreIsolated) {
+  api::EngineOptions opts;
+  opts.num_threads = 2;
+  api::Engine engine(opts);
+  workload::MakeChain(6, "e", &engine.db());
+
+  std::vector<api::Engine::BatchQuery> batch;
+  {
+    ast::Program p = P("t(X, Y) :- e(X, Y). t(X, Y) :- e(X, W), t(W, Y).");
+    batch.push_back({p, A("t(1, Y)"), core::Strategy::kAuto});
+    // Strict strategy on a program it does not apply to: this query fails,
+    // the others must not.
+    ast::Program nonlinear =
+        P("t(X, Y) :- e(X, Y). t(X, Y) :- t(X, W), t(W, Y).");
+    batch.push_back({nonlinear, A("t(1, Y)"), core::Strategy::kLinearRewrite});
+    batch.push_back({p, A("t(2, Y)"), core::Strategy::kAuto});
+  }
+
+  auto result = engine.ExecuteBatch(batch);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->summary.succeeded, 2u);
+  EXPECT_EQ(result->summary.failed, 1u);
+  EXPECT_TRUE(result->stats[0].status.ok());
+  EXPECT_FALSE(result->stats[1].status.ok());
+  EXPECT_TRUE(result->stats[2].status.ok());
+  EXPECT_EQ(result->answers[0].size(), 5u);
+  EXPECT_EQ(result->answers[1].size(), 0u);
+  EXPECT_EQ(result->answers[2].size(), 4u);
+}
+
+TEST(ExecuteBatchTest, ParseFailuresAreIsolatedInTextBatches) {
+  api::EngineOptions opts;
+  opts.num_threads = 2;
+  api::Engine engine(opts);
+  workload::MakeChain(5, "e", &engine.db());
+
+  std::vector<std::string> texts = {
+      "t(X, Y) :- e(X, Y). ?- t(1, Y).",
+      "this is not datalog ((",            // parse error
+      "t(X, Y) :- e(X, Y).",               // no ?- query
+      "t(X, Y) :- e(X, Y). ?- t(2, Y).",
+  };
+  auto result = engine.ExecuteBatch(texts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->stats.size(), texts.size());
+  EXPECT_EQ(result->summary.queries, texts.size());
+  EXPECT_EQ(result->summary.succeeded, 2u);
+  EXPECT_EQ(result->summary.failed, 2u);
+  EXPECT_TRUE(result->stats[0].status.ok());
+  EXPECT_FALSE(result->stats[1].status.ok());
+  EXPECT_FALSE(result->stats[2].status.ok());
+  EXPECT_TRUE(result->stats[3].status.ok());
+  EXPECT_EQ(result->answers[0].size(), 1u);  // t(1, Y) on a chain: {2}
+  EXPECT_EQ(result->answers[3].size(), 1u);  // t(2, Y): {3}
+}
+
+TEST(ExecuteBatchTest, EmptyBatchIsANoOp) {
+  api::Engine engine;
+  auto result = engine.ExecuteBatch(std::vector<std::string>{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->summary.queries, 0u);
+  EXPECT_EQ(result->summary.succeeded, 0u);
+}
+
+TEST(ExecuteBatchTest, TopDownIsRejected) {
+  api::EngineOptions opts;
+  opts.execution = api::ExecutionMode::kTopDown;
+  api::Engine engine(opts);
+  auto result = engine.ExecuteBatch(std::vector<std::string>{
+      "t(X, Y) :- e(X, Y). ?- t(1, Y)."});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace factlog

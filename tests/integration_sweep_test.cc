@@ -2,12 +2,14 @@
 // every (program, workload family) combination. This is the end-to-end
 // safety net behind all benchmark comparisons: whatever the pipeline emits
 // (magic only, or factored + §5-optimized) computes exactly the original
-// answers on concrete databases.
+// answers on concrete databases. The corpus lives in sweep_corpus.h, shared
+// with the parallel-determinism sweep in exec_test.cc.
 
 #include <gtest/gtest.h>
 
 #include "core/pipeline.h"
 #include "eval/seminaive.h"
+#include "tests/sweep_corpus.h"
 #include "tests/test_util.h"
 #include "workload/graph_gen.h"
 
@@ -15,72 +17,18 @@ namespace factlog {
 namespace {
 
 using test::A;
+using test::kNumSweepPrograms;
+using test::kNumSweepWorkloads;
+using test::kSweepPrograms;
+using test::kSweepWorkloads;
 using test::P;
-
-struct SweepCase {
-  const char* program_name;
-  const char* program;
-  const char* query;
-  const char* workload_name;
-  void (*make)(eval::Database* db);
-};
-
-void Chain(eval::Database* db) { workload::MakeChain(24, "e", db); }
-void Cycle(eval::Database* db) { workload::MakeCycle(16, "e", db); }
-void Tree(eval::Database* db) { workload::MakeTree(2, 4, "e", db); }
-void Grid(eval::Database* db) { workload::MakeGrid(5, 5, "e", db); }
-void Random(eval::Database* db) {
-  workload::MakeChain(12, "e", db);
-  workload::MakeRandomGraph(12, 24, 1234, "e", db);
-}
-void SelfLoops(eval::Database* db) {
-  workload::MakeChain(8, "e", db);
-  db->AddPair("e", 1, 1);
-  db->AddPair("e", 5, 5);
-}
-void Empty(eval::Database*) {}
-
-struct ProgramSpec {
-  const char* name;
-  const char* text;
-  const char* query;
-};
-
-const ProgramSpec kPrograms[] = {
-    {"right_tc", "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, W), t(W, Y).",
-     "t(1, Y)"},
-    {"left_tc", "t(X, Y) :- e(X, Y). t(X, Y) :- t(X, W), e(W, Y).",
-     "t(1, Y)"},
-    {"nonlinear_tc", "t(X, Y) :- e(X, Y). t(X, Y) :- t(X, W), t(W, Y).",
-     "t(1, Y)"},
-    {"three_form_tc",
-     "t(X, Y) :- t(X, W), t(W, Y). t(X, Y) :- e(X, W), t(W, Y). "
-     "t(X, Y) :- t(X, W), e(W, Y). t(X, Y) :- e(X, Y).",
-     "t(1, Y)"},
-    {"reverse_bound", "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, W), t(W, Y).",
-     "t(X, 8)"},
-    {"two_hop_exit",
-     "t(X, Y) :- e(X, W), e(W, Y). t(X, Y) :- e(X, W), t(W, Y).",
-     "t(1, Y)"},
-};
-
-struct WorkloadSpec {
-  const char* name;
-  void (*make)(eval::Database* db);
-};
-
-const WorkloadSpec kWorkloads[] = {
-    {"chain", Chain},   {"cycle", Cycle},          {"tree", Tree},
-    {"grid", Grid},     {"random_plus_chain", Random},
-    {"self_loops", SelfLoops},                     {"empty", Empty},
-};
 
 class PipelineSweepTest
     : public ::testing::TestWithParam<std::tuple<int, int>> {};
 
 TEST_P(PipelineSweepTest, FinalProgramMatchesOriginalAnswers) {
-  const ProgramSpec& ps = kPrograms[std::get<0>(GetParam())];
-  const WorkloadSpec& ws = kWorkloads[std::get<1>(GetParam())];
+  const test::SweepProgram& ps = kSweepPrograms[std::get<0>(GetParam())];
+  const test::SweepWorkload& ws = kSweepWorkloads[std::get<1>(GetParam())];
 
   ast::Program program = P(ps.text);
   ast::Atom query = A(ps.query);
@@ -105,10 +53,11 @@ TEST_P(PipelineSweepTest, FinalProgramMatchesOriginalAnswers) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllCombinations, PipelineSweepTest,
-    ::testing::Combine(::testing::Range(0, 6), ::testing::Range(0, 7)),
+    ::testing::Combine(::testing::Range(0, kNumSweepPrograms),
+                       ::testing::Range(0, kNumSweepWorkloads)),
     [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
-      return std::string(kPrograms[std::get<0>(info.param)].name) + "_x_" +
-             kWorkloads[std::get<1>(info.param)].name;
+      return std::string(kSweepPrograms[std::get<0>(info.param)].name) +
+             "_x_" + kSweepWorkloads[std::get<1>(info.param)].name;
     });
 
 TEST(PipelineSweepTest, NaiveSemiNaiveMagicFactoredAllAgree) {

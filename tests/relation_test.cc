@@ -111,6 +111,57 @@ TEST(RelationTest, Clear) {
   EXPECT_TRUE(r.Insert({1}));
 }
 
+TEST(RelationTest, ReserveDoesNotChangeContents) {
+  Relation r(2);
+  EXPECT_TRUE(r.Insert({1, 2}));
+  r.Reserve(1000);
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_FALSE(r.Insert({1, 2}));
+  for (ValueId i = 10; i < 110; ++i) {
+    EXPECT_TRUE(r.Insert({i, i + 1}));
+  }
+  EXPECT_EQ(r.size(), 101u);
+}
+
+TEST(RelationTest, MoveInsertAcceptsTemporaries) {
+  Relation r(3);
+  EXPECT_TRUE(r.Insert(std::vector<ValueId>{1, 2, 3}));
+  EXPECT_FALSE(r.Insert(std::vector<ValueId>{1, 2, 3}));
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RelationTest, AbsorbReportsNewRowCount) {
+  Relation a(2), b(2);
+  a.Insert({1, 2});
+  a.Insert({2, 3});
+  b.Insert({2, 3});
+  b.Insert({3, 4});
+  b.Insert({4, 5});
+  EXPECT_EQ(a.Absorb(b), 2u);  // {3,4} and {4,5}; {2,3} was known
+  EXPECT_EQ(a.size(), 4u);
+  EXPECT_EQ(a.Absorb(b), 0u);
+}
+
+TEST(RelationTest, FindIndexedRequiresEnsureIndex) {
+  Relation r(2);
+  r.Insert({1, 2});
+  r.Insert({1, 3});
+  r.Insert({2, 3});
+  // No index built yet: the const path reports "no index".
+  EXPECT_EQ(r.FindIndexed({0}, {1}), nullptr);
+  r.EnsureIndex({0});
+  const auto* rows = r.FindIndexed({0}, {1});
+  ASSERT_NE(rows, nullptr);
+  EXPECT_EQ(rows->size(), 2u);
+  // Missing key: non-null empty bucket.
+  const auto* none = r.FindIndexed({0}, {99});
+  ASSERT_NE(none, nullptr);
+  EXPECT_TRUE(none->empty());
+  // Inserts keep a pre-built index current.
+  r.Insert({1, 9});
+  EXPECT_EQ(r.FindIndexed({0}, {1})->size(), 3u);
+}
+
 TEST(DatabaseTest, AddFactsAndFind) {
   Database db;
   ASSERT_TRUE(db.AddFact(test::A("e(1, 2)")).ok());
