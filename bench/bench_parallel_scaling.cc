@@ -1,15 +1,17 @@
-// Parallel-scaling bench: sequential vs partitioned semi-naive fixpoint on
-// the transitive-closure workload, emitting per-thread-count timings as JSON
-// to stdout so the perf trajectory can be tracked across PRs.
+// Parallel-scaling bench: sequential vs shard-native parallel fixpoint on
+// the transitive-closure workload, emitting per-(threads, shards) timings as
+// JSON to stdout so the perf trajectory can be tracked across PRs. The JSON
+// carries a schema_version (currently 2: shard sweep added) so records stay
+// comparable as the bench evolves.
 //
 // The workload is left-linear TC over a chain-plus-random digraph evaluated
 // unbound — the recursive occurrence leads its rule, so each iteration's
-// delta partitions drive the outer loop and the join is embarrassingly
-// data-parallel. Answers are verified against the sequential oracle; a
+// delta shards drive the outer loop in place and the join is embarrassingly
+// data-parallel. Answers are verified against the flat sequential oracle; a
 // mismatch exits nonzero.
 //
 //   usage: bench_parallel_scaling [--nodes N] [--edges M] [--reps R]
-//                                 [--threads 1,2,4,8]
+//                                 [--threads 1,2,4,8] [--shards 1,2,8]
 //
 //   $ ./bench_parallel_scaling --nodes 200 | python3 -m json.tool
 
@@ -46,7 +48,7 @@ void MakeWorkload(int64_t nodes, int64_t edges, eval::Database* db) {
   workload::MakeRandomGraph(nodes, edges, /*seed=*/42, "e", db);
 }
 
-std::vector<size_t> ParseThreadList(const char* arg) {
+std::vector<size_t> ParseCountList(const char* arg) {
   std::vector<size_t> out;
   std::string s(arg);
   size_t pos = 0;
@@ -70,6 +72,7 @@ int main(int argc, char** argv) {
   int64_t edges = 500;
   int reps = 3;
   std::vector<size_t> thread_counts = {1, 2, 4, 8};
+  std::vector<size_t> shard_counts = {1, 2, 8};
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
       nodes = std::atoll(argv[++i]);
@@ -78,15 +81,27 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
       reps = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      thread_counts = ParseThreadList(argv[++i]);
+      thread_counts = ParseCountList(argv[++i]);
       if (thread_counts.empty()) {
         std::fprintf(stderr, "invalid --threads list: %s\n", argv[i]);
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shard_counts = ParseCountList(argv[++i]);
+      if (shard_counts.empty()) {
+        std::fprintf(stderr, "invalid --shards list: %s\n", argv[i]);
+        return 2;
+      }
+      for (size_t s : shard_counts) {
+        if (s == 0) {
+          std::fprintf(stderr, "--shards values must be >= 1\n");
+          return 2;
+        }
+      }
     } else {
       std::fprintf(stderr,
                    "usage: bench_parallel_scaling [--nodes N] [--edges M] "
-                   "[--reps R] [--threads 1,2,4,8]\n");
+                   "[--reps R] [--threads 1,2,4,8] [--shards 1,2,8]\n");
       return 2;
     }
   }
@@ -118,6 +133,7 @@ int main(int argc, char** argv) {
 
   std::printf("{\n");
   std::printf("  \"bench\": \"parallel_scaling\",\n");
+  std::printf("  \"schema_version\": 2,\n");
   std::printf("  \"workload\": \"left_tc_chain_plus_random\",\n");
   std::printf("  \"nodes\": %lld,\n", static_cast<long long>(nodes));
   std::printf("  \"edges\": %lld,\n", static_cast<long long>(edges));
@@ -128,32 +144,39 @@ int main(int argc, char** argv) {
   std::printf("  \"runs\": [");
 
   bool mismatch = false;
+  bool first_run = true;
   for (size_t t = 0; t < thread_counts.size(); ++t) {
     size_t threads = thread_counts[t];
     exec::ThreadPool pool(threads);
-    double best_ms = 0;
-    uint64_t facts = 0;
-    for (int r = 0; r < reps; ++r) {
-      eval::Database db;
-      MakeWorkload(nodes, edges, &db);
-      auto start = std::chrono::steady_clock::now();
-      auto result = exec::EvaluateParallel(program, &db, &pool);
-      double ms = MillisSince(start);
-      if (!result.ok()) {
-        std::fprintf(stderr, "parallel@%zu: %s\n", threads,
-                     result.status().ToString().c_str());
-        return 1;
+    for (size_t shards : shard_counts) {
+      double best_ms = 0;
+      uint64_t facts = 0;
+      for (int r = 0; r < reps; ++r) {
+        eval::Database db(eval::StorageOptions{shards, {}});
+        MakeWorkload(nodes, edges, &db);
+        exec::ParallelEvalOptions popts;
+        popts.num_shards = shards;
+        auto start = std::chrono::steady_clock::now();
+        auto result = exec::EvaluateParallel(program, &db, &pool, popts);
+        double ms = MillisSince(start);
+        if (!result.ok()) {
+          std::fprintf(stderr, "parallel@%zut/%zush: %s\n", threads, shards,
+                       result.status().ToString().c_str());
+          return 1;
+        }
+        facts = result->stats().total_facts;
+        best_ms = (r == 0) ? ms : std::min(best_ms, ms);
       }
-      facts = result->stats().total_facts;
-      best_ms = (r == 0) ? ms : std::min(best_ms, ms);
+      if (facts != expected_facts) mismatch = true;
+      std::printf("%s\n    {\"threads\": %zu, \"shards\": %zu, "
+                  "\"ms\": %.3f, \"speedup\": %.3f, \"facts\": %llu, "
+                  "\"matches\": %s}",
+                  first_run ? "" : ",", threads, shards, best_ms,
+                  best_ms > 0 ? seq_ms / best_ms : 0.0,
+                  static_cast<unsigned long long>(facts),
+                  facts == expected_facts ? "true" : "false");
+      first_run = false;
     }
-    if (facts != expected_facts) mismatch = true;
-    std::printf("%s\n    {\"threads\": %zu, \"ms\": %.3f, "
-                "\"speedup\": %.3f, \"facts\": %llu, \"matches\": %s}",
-                t == 0 ? "" : ",", threads, best_ms,
-                best_ms > 0 ? seq_ms / best_ms : 0.0,
-                static_cast<unsigned long long>(facts),
-                facts == expected_facts ? "true" : "false");
   }
   std::printf("\n  ]\n}\n");
 

@@ -5,7 +5,7 @@
 //                        linear-rewrite]
 //            [--stage trace|magic|factored|final]
 //            [--facts <facts.dl>]
-//            [--threads <n>]
+//            [--threads <n>] [--shards <n>]
 //            [--batch <queries.txt>]
 //
 // The program file must contain a `?- query.` line (optional with --batch).
@@ -15,7 +15,10 @@
 // (per-pass timings, rule counts, and decisions).
 //
 // --threads n runs bottom-up evaluation on the parallel execution subsystem
-// (n worker threads). --batch f reads one query atom per line from f (e.g.
+// (n worker threads). --shards n hash-partitions every relation into n
+// storage shards (the parallel fixpoint consumes delta shards in place);
+// per-shard row counts appear in the stats output when n > 1.
+// --batch f reads one query atom per line from f (e.g.
 // "t(1, Y)."), executes all of them concurrently against the program and
 // facts via api::Engine::ExecuteBatch, and prints per-query stats plus a
 // wall-clock summary.
@@ -33,11 +36,13 @@
 //   e(1, 2). e(2, 3).
 //   $ ./optimizer_cli tc.dl --facts facts.dl
 
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "api/engine.h"
 #include "ast/parser.h"
@@ -65,15 +70,28 @@ int Usage() {
                "[--strategy auto|magic|supplementary-magic|factoring|"
                "counting|linear-rewrite] "
                "[--stage trace|magic|factored|final] [--facts <facts.dl>] "
-               "[--threads <n>] [--batch <queries.txt>]\n";
+               "[--threads <n>] [--shards <n>] [--batch <queries.txt>]\n";
   return 2;
+}
+
+// Renders per-shard row counts as " [shard rows: a, b, ...]"; empty for flat
+// (single-shard) storage, where the split adds no information.
+std::string ShardRowsSuffix(const std::vector<uint64_t>& shard_facts) {
+  if (shard_facts.size() <= 1) return "";
+  std::string out = " [shard rows:";
+  for (size_t s = 0; s < shard_facts.size(); ++s) {
+    out += (s == 0 ? " " : ", ") + std::to_string(shard_facts[s]);
+  }
+  out += "]";
+  return out;
 }
 
 // --batch mode: every nonblank line of the batch file is a query atom posed
 // against the program's rules; all queries execute concurrently.
 int RunBatch(const factlog::ast::Program& program,
              const std::string& batch_path, const std::string& facts_path,
-             factlog::core::Strategy strategy, size_t threads) {
+             factlog::core::Strategy strategy, size_t threads,
+             size_t shards) {
   using namespace factlog;
   auto batch_text = ReadFile(batch_path);
   if (!batch_text.ok()) return Fail(batch_text.status());
@@ -100,6 +118,7 @@ int RunBatch(const factlog::ast::Program& program,
 
   api::EngineOptions options;
   options.num_threads = threads;
+  options.num_shards = shards;
   api::Engine engine(options);
   if (!facts_path.empty()) {
     auto facts_text = ReadFile(facts_path);
@@ -116,7 +135,8 @@ int RunBatch(const factlog::ast::Program& program,
     if (s.status.ok()) {
       std::cout << s.num_answers << " answers, " << s.total_facts
                 << " facts, " << (s.cache_hit ? "cache hit" : "compiled")
-                << ", " << s.execute_us << " us\n";
+                << ", " << s.execute_us << " us"
+                << ShardRowsSuffix(s.shard_facts) << "\n";
     } else {
       std::cout << "error: " << s.status.ToString() << "\n";
     }
@@ -139,6 +159,7 @@ int main(int argc, char** argv) {
   std::string facts_path;
   std::string batch_path;
   size_t threads = 0;
+  size_t shards = 1;
   core::Strategy strategy = core::Strategy::kFactoring;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
@@ -156,6 +177,14 @@ int main(int argc, char** argv) {
         return Usage();
       }
       threads = static_cast<size_t>(parsed);
+    } else if (arg == "--shards" && i + 1 < argc) {
+      char* end = nullptr;
+      unsigned long parsed = std::strtoul(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || parsed == 0 || parsed > 4096) {
+        std::cerr << "invalid --shards value: " << argv[i] << "\n";
+        return Usage();
+      }
+      shards = static_cast<size_t>(parsed);
     } else if (arg == "--strategy" && i + 1 < argc) {
       auto parsed = core::StrategyFromString(argv[++i]);
       if (!parsed.has_value()) {
@@ -175,7 +204,8 @@ int main(int argc, char** argv) {
   if (!program.ok()) return Fail(program.status());
 
   if (!batch_path.empty()) {
-    return RunBatch(*program, batch_path, facts_path, strategy, threads);
+    return RunBatch(*program, batch_path, facts_path, strategy, threads,
+                    shards);
   }
   if (!program->query().has_value()) {
     std::cerr << "error: the program has no '?-' query\n";
@@ -241,6 +271,7 @@ int main(int argc, char** argv) {
     if (!facts_text.ok()) return Fail(facts_text.status());
     api::EngineOptions engine_options;
     engine_options.num_threads = threads;
+    engine_options.num_shards = shards;
     api::Engine engine(engine_options);
     Status load = engine.LoadFacts(*facts_text);
     if (!load.ok()) return Fail(load);
@@ -248,7 +279,8 @@ int main(int argc, char** argv) {
     auto answers = engine.Execute(compiled, &stats);
     if (!answers.ok()) return Fail(answers.status());
     std::cout << "% --- answers (" << answers->rows.size() << " rows, "
-              << stats.eval.total_facts << " facts derived) ---\n"
+              << stats.eval.total_facts << " facts derived"
+              << ShardRowsSuffix(stats.eval.shard_facts) << ") ---\n"
               << answers->ToString(engine.db().store());
   }
   return 0;

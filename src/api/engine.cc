@@ -118,6 +118,7 @@ Result<eval::AnswerSet> Engine::Execute(const CompiledQuery& plan,
       if (parallel) {
         exec::ParallelEvalOptions popts;
         popts.eval = options_.eval;
+        popts.num_shards = options_.num_shards;
         answers = exec::EvaluateQueryParallel(
             plan.program, plan.query, &db_, EnsurePool(), popts,
             stats != nullptr ? &stats->eval : nullptr);

@@ -81,6 +81,13 @@ struct EngineOptions {
   /// engine fully sequential (no pool is created). The pool is built lazily
   /// on first use and reused for the engine's lifetime.
   size_t num_threads = 0;
+  /// Storage shards per relation (base and derived alike): rows are
+  /// hash-partitioned so the parallel fixpoint consumes delta shards in
+  /// place and merges under per-shard locks. 0 and 1 both keep the flat
+  /// single-shard layout. A few shards per worker thread (e.g. 2x
+  /// num_threads) balances stealing granularity against per-shard overhead;
+  /// answers are identical at any value.
+  size_t num_shards = 1;
 };
 
 /// Cumulative engine counters.
@@ -105,7 +112,9 @@ struct QueryStats {
 
 class Engine {
  public:
-  explicit Engine(EngineOptions options = {}) : options_(std::move(options)) {}
+  explicit Engine(EngineOptions options = {})
+      : options_(std::move(options)),
+        db_(eval::StorageOptions{options_.num_shards, {}}) {}
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;

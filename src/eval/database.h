@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "ast/atom.h"
 #include "eval/relation.h"
@@ -16,10 +17,16 @@ namespace factlog::eval {
 /// The EDB: a set of named base relations sharing one ValueStore. Evaluation
 /// engines read base relations from here and intern freshly constructed
 /// values into the same store (the store grows during evaluation; base
-/// relations do not).
+/// relations do not). StorageOptions (shard count, partition columns) are
+/// applied uniformly to every relation the database creates, and evaluators
+/// consult storage_options() when laying out their IDB relations.
 class Database {
  public:
-  Database() : store_(std::make_unique<ValueStore>()) {}
+  explicit Database(StorageOptions storage = {})
+      : store_(std::make_unique<ValueStore>()), storage_(std::move(storage)) {}
+
+  /// The storage layout applied to relations this database creates.
+  const StorageOptions& storage_options() const { return storage_; }
 
   ValueStore& store() { return *store_; }
   const ValueStore& store() const { return *store_; }
@@ -46,6 +53,7 @@ class Database {
 
  private:
   std::unique_ptr<ValueStore> store_;
+  StorageOptions storage_;
   std::map<std::string, std::unique_ptr<Relation>> relations_;
 };
 

@@ -5,7 +5,32 @@
 
 namespace factlog::eval {
 
+namespace {
+
+inline uint64_t PackLoc(size_t shard, size_t local) {
+  return (static_cast<uint64_t>(shard) << 32) | static_cast<uint32_t>(local);
+}
+
+}  // namespace
+
 const std::vector<uint32_t> Relation::kEmptyRows;
+
+Relation::Relation(size_t arity, const StorageOptions& storage)
+    : arity_(arity) {
+  if (arity_ > 0) {
+    for (int c : storage.partition_cols) {
+      if (c >= 0 && static_cast<size_t>(c) < arity_) part_cols_.push_back(c);
+    }
+    if (part_cols_.empty()) part_cols_.push_back(0);
+  }
+  // Arity-0 relations hold at most one row; sharding them buys nothing.
+  if (storage.num_shards > 1 && arity_ > 0) {
+    shards_.reserve(storage.num_shards);
+    for (size_t s = 0; s < storage.num_shards; ++s) {
+      shards_.push_back(std::make_unique<Relation>(arity_));
+    }
+  }
+}
 
 size_t Relation::RowHash(const ValueId* row) const {
   size_t h = arity_;
@@ -16,9 +41,28 @@ size_t Relation::RowHash(const ValueId* row) const {
   return h;
 }
 
+size_t Relation::ShardOf(const ValueId* row) const {
+  if (shards_.empty()) return 0;
+  // FNV-1a over the partition columns; only used to spread rows across
+  // shards, so any deterministic mix works. Must stay a pure function of the
+  // row values so identically-configured relations route rows alike.
+  uint64_t h = 1469598103934665603ULL;
+  for (int c : part_cols_) {
+    h = (h ^ static_cast<uint64_t>(static_cast<uint32_t>(row[c]))) *
+        1099511628211ULL;
+  }
+  return static_cast<size_t>(h % shards_.size());
+}
+
 void Relation::Reserve(size_t rows) {
-  cells_.reserve(rows * arity_);
-  dedup_.reserve(rows);
+  if (shards_.empty()) {
+    cells_.reserve(rows * arity_);
+    dedup_.reserve(rows);
+    return;
+  }
+  row_locs_.reserve(rows);
+  size_t per_shard = rows / shards_.size() + 1;
+  for (auto& sh : shards_) sh->Reserve(per_shard);
 }
 
 bool Relation::Insert(const std::vector<ValueId>& row) {
@@ -33,16 +77,24 @@ bool Relation::Insert(std::vector<ValueId>&& row) {
 }
 
 bool Relation::Insert(const ValueId* row) {
+  if (shards_.empty()) return InsertFlat(row);
+  return InsertIntoShard(ShardOf(row), row);
+}
+
+bool Relation::InsertFlat(const ValueId* row) {
   size_t h = RowHash(row);
   auto& bucket = dedup_[h];
   for (uint32_t r : bucket) {
-    if (std::memcmp(this->row(r), row, arity_ * sizeof(ValueId)) == 0) {
+    // Arity-0 rows are all equal (and may be null pointers — never handed
+    // to memcmp).
+    if (arity_ == 0 ||
+        std::memcmp(this->row(r), row, arity_ * sizeof(ValueId)) == 0) {
       return false;
     }
   }
   uint32_t new_row = static_cast<uint32_t>(num_rows_);
   bucket.push_back(new_row);
-  cells_.insert(cells_.end(), row, row + arity_);
+  if (arity_ > 0) cells_.insert(cells_.end(), row, row + arity_);
   ++num_rows_;
   for (auto& [cols, index] : indices_) {
     AddRowToIndex(cols, &index, new_row);
@@ -50,12 +102,25 @@ bool Relation::Insert(const ValueId* row) {
   return true;
 }
 
+bool Relation::InsertIntoShard(size_t s, const ValueId* row) {
+  if (!shards_[s]->InsertFlat(row)) return false;
+  uint32_t global = static_cast<uint32_t>(num_rows_);
+  row_locs_.push_back(PackLoc(s, shards_[s]->size() - 1));
+  ++num_rows_;
+  for (auto& [cols, index] : indices_) {
+    AddRowToIndex(cols, &index, global);
+  }
+  return true;
+}
+
 bool Relation::Contains(const ValueId* row) const {
-  size_t h = RowHash(row);
-  auto it = dedup_.find(h);
-  if (it == dedup_.end()) return false;
-  for (uint32_t r : it->second) {
-    if (std::memcmp(this->row(r), row, arity_ * sizeof(ValueId)) == 0) {
+  const Relation* r = shards_.empty() ? this : shards_[ShardOf(row)].get();
+  size_t h = r->RowHash(row);
+  auto it = r->dedup_.find(h);
+  if (it == r->dedup_.end()) return false;
+  for (uint32_t c : it->second) {
+    if (arity_ == 0 ||
+        std::memcmp(r->row(c), row, arity_ * sizeof(ValueId)) == 0) {
       return true;
     }
   }
@@ -82,6 +147,14 @@ void Relation::EnsureIndex(const std::vector<int>& cols) {
   }
 }
 
+void Relation::EnsureShardIndexes(const std::vector<int>& cols) {
+  if (shards_.empty()) {
+    EnsureIndex(cols);
+    return;
+  }
+  for (auto& sh : shards_) sh->EnsureIndex(cols);
+}
+
 const std::vector<uint32_t>* Relation::FindIndexed(
     const std::vector<int>& cols, const std::vector<ValueId>& key) const {
   auto it = indices_.find(cols);
@@ -103,15 +176,60 @@ void Relation::Clear() {
   cells_.clear();
   dedup_.clear();
   indices_.clear();
+  row_locs_.clear();
+  for (auto& sh : shards_) sh->Clear();
 }
 
 size_t Relation::Absorb(const Relation& other) {
+  if (!shards_.empty() && other.shards_.size() == shards_.size() &&
+      other.part_cols_ == part_cols_) {
+    // Same partition function on both sides: every row of other's shard s
+    // belongs in our shard s, so skip the route hash. Reads other's shards
+    // directly, so `other` need not be synced.
+    size_t inserted = 0;
+    row_locs_.reserve(num_rows_ + other.num_rows_);
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      const Relation& src = *other.shards_[s];
+      shards_[s]->Reserve(shards_[s]->size() + src.size());
+      for (size_t r = 0; r < src.size(); ++r) {
+        if (InsertIntoShard(s, src.row(r))) ++inserted;
+      }
+    }
+    return inserted;
+  }
   Reserve(num_rows_ + other.size());
   size_t inserted = 0;
   for (size_t r = 0; r < other.size(); ++r) {
     if (Insert(other.row(r))) ++inserted;
   }
   return inserted;
+}
+
+void Relation::MergeShard(size_t s, const Relation& rows) {
+  if (shards_.empty()) {
+    Absorb(rows);
+    return;
+  }
+  shards_[s]->Absorb(rows);
+}
+
+void Relation::SyncShards() {
+  if (shards_.empty()) return;
+  size_t total = 0;
+  for (const auto& sh : shards_) total += sh->size();
+  if (total == num_rows_) return;  // only MergeShard leaves them unequal
+  // Rows merged shard-directly have no global order yet; rebuild it
+  // shard-major. Combined indices hold the old global ids, so drop them and
+  // let EnsureIndex rebuild on demand.
+  row_locs_.clear();
+  row_locs_.reserve(total);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    for (size_t local = 0; local < shards_[s]->size(); ++local) {
+      row_locs_.push_back(PackLoc(s, local));
+    }
+  }
+  num_rows_ = total;
+  indices_.clear();
 }
 
 }  // namespace factlog::eval

@@ -1,22 +1,38 @@
-// Relations: duplicate-free sets of fixed-arity tuples with lazy hash indices.
+// Relations: duplicate-free sets of fixed-arity tuples with lazy hash
+// indices, optionally hash-partitioned into shards.
 //
 // The paper's cost model (§1) bounds a recursive predicate's relation by
 // n^k for arity k, which is exactly what these containers materialize; the
 // benchmark harness reports `size()` to reproduce the O(n^2) vs O(n) fact
 // counts of the worked examples.
 //
+// Sharding: a Relation built with StorageOptions{num_shards > 1} routes every
+// row by a hash of its partition columns (the join-key columns when the
+// caller knows them, else column 0) to one of S inner shards. Each shard owns
+// its own row store, dedup table, and lazy indices, and is itself a Relation
+// (`shard(s)`), so the parallel fixpoint can consume delta shards in place as
+// work partitions and merge buffers shard-to-shard under per-shard locks
+// (MergeShard). The public API is unchanged: Insert/Contains route by hash,
+// row(i)/size() preserve global insertion order through a location table, and
+// Lookup/EnsureIndex/FindIndexed serve arbitrary column sets from combined
+// outer indices over global row ids. A single-shard Relation (the default)
+// keeps the original flat layout with no indirection.
+//
 // Thread safety: a Relation is not internally synchronized. The const
 // methods (size, row, Contains, FindIndexed) are safe to call from many
 // threads concurrently as long as no thread mutates; the exec layer freezes
 // full/delta extents during a parallel region and pre-builds the indices the
-// join will probe (EnsureIndex), so workers never fall onto the mutating
-// Lookup path.
+// join will probe (EnsureIndex / EnsureShardIndexes), so workers never fall
+// onto the mutating Lookup path. MergeShard calls for *distinct* shards are
+// safe concurrently (each touches only its shard); after any MergeShard the
+// relation is out of sync until the control thread calls SyncShards().
 
 #ifndef FACTLOG_EVAL_RELATION_H_
 #define FACTLOG_EVAL_RELATION_H_
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -24,38 +40,57 @@
 
 namespace factlog::eval {
 
-/// A set of tuples of ValueIds. Rows are stored in insertion order in a flat
-/// array; hash indices over column subsets are built on first use and kept
-/// incrementally up to date.
+/// How a Relation stores its rows. Applied uniformly by Database to base
+/// relations and by the evaluators to the IDB relations they create.
+struct StorageOptions {
+  /// Number of hash shards. 0 and 1 both mean the flat single-shard layout.
+  size_t num_shards = 1;
+  /// Columns the shard hash is computed over. Empty means column 0; columns
+  /// outside the relation's arity are ignored. Partitioning on the columns a
+  /// join will probe keeps same-key rows in one shard.
+  std::vector<int> partition_cols;
+};
+
+/// A set of tuples of ValueIds. Rows are stored in insertion order; hash
+/// indices over column subsets are built on first use and kept incrementally
+/// up to date. With num_shards > 1 rows are hash-partitioned across shards.
 class Relation {
  public:
-  explicit Relation(size_t arity) : arity_(arity) {}
+  explicit Relation(size_t arity) : Relation(arity, StorageOptions{}) {}
+  Relation(size_t arity, const StorageOptions& storage);
 
   size_t arity() const { return arity_; }
   size_t size() const { return num_rows_; }
   bool empty() const { return num_rows_ == 0; }
 
   /// Pre-sizes row storage and the dedup table for `rows` total rows, so a
-  /// bulk load (fixpoint merge, partition build) does not reallocate per row.
+  /// bulk load (fixpoint merge, shard build) does not reallocate per row.
   void Reserve(size_t rows);
 
-  /// Inserts a row (length == arity). Returns true when the row is new.
+  /// Inserts a row (length == arity), routed to its shard. Returns true when
+  /// the row is new.
   bool Insert(const std::vector<ValueId>& row);
   bool Insert(std::vector<ValueId>&& row);
   bool Insert(const ValueId* row);
 
   bool Contains(const ValueId* row) const;
 
-  /// Pointer to the idx-th row (arity() consecutive ValueIds).
-  const ValueId* row(size_t idx) const { return &cells_[idx * arity_]; }
+  /// Pointer to the idx-th row (arity() consecutive ValueIds), in global
+  /// insertion order. Arity-0 relations have no cells; the returned pointer
+  /// is only valid for reading arity() values.
+  const ValueId* row(size_t idx) const {
+    if (shards_.empty()) return cells_.data() + idx * arity_;
+    uint64_t loc = row_locs_[idx];
+    return shards_[loc >> 32]->row(static_cast<uint32_t>(loc));
+  }
 
   /// Returns indices of rows whose `cols` project onto `key`. `cols` must be
   /// strictly increasing. Builds (and caches) the index on first use.
   const std::vector<uint32_t>& Lookup(const std::vector<int>& cols,
                                       const std::vector<ValueId>& key);
 
-  /// Builds the index over `cols` now (no-op when already built). Call before
-  /// sharing the relation read-only across threads.
+  /// Builds the combined index over `cols` now (no-op when already built).
+  /// Call before sharing the relation read-only across threads.
   void EnsureIndex(const std::vector<int>& cols);
 
   /// Const lookup against an already-built index: the rows matching `key`,
@@ -68,8 +103,53 @@ class Relation {
   void Clear();
 
   /// Copies all rows of `other` into this relation (deduplicating). Returns
-  /// the number of rows that were new.
+  /// the number of rows that were new. Shard counts may differ (rows are
+  /// re-routed); when both sides share the same shard layout the copy runs
+  /// shard-to-shard without re-hashing.
   size_t Absorb(const Relation& other);
+
+  // ---- Sharding -----------------------------------------------------------
+
+  /// Number of shards (1 for the flat layout).
+  size_t shard_count() const { return shards_.empty() ? 1 : shards_.size(); }
+
+  /// The s-th shard as a self-contained single-shard Relation: its own rows,
+  /// dedup table, and indices, with shard-local row ids. A flat relation is
+  /// its own only shard.
+  const Relation& shard(size_t s) const {
+    return shards_.empty() ? *this : *shards_[s];
+  }
+
+  /// The normalized partition columns rows are routed by (empty iff arity 0).
+  const std::vector<int>& partition_cols() const { return part_cols_; }
+
+  /// The options that reproduce this relation's layout.
+  StorageOptions storage_options() const {
+    return StorageOptions{shard_count(), part_cols_};
+  }
+
+  /// The shard `row` routes to (always 0 for a flat relation). Deterministic
+  /// across Relation instances with equal partition_cols/shard_count, so
+  /// identically-configured relations agree on every row's home shard.
+  size_t ShardOf(const ValueId* row) const;
+
+  /// Builds the `cols` index inside every shard (shard-local row ids), so
+  /// each shard(s) can serve FindIndexed as a standalone join input. On a
+  /// flat relation this is EnsureIndex.
+  void EnsureShardIndexes(const std::vector<int>& cols);
+
+  /// Absorbs `rows` (whose rows must all route to shard `s`; typically the
+  /// s-th shard of an identically-configured buffer) into shard `s` only.
+  /// Concurrent calls for distinct shards do not contend, which is the merge
+  /// path of the parallel fixpoint. Leaves the outer relation out of sync —
+  /// size()/row()/EnsureIndex are unreliable until SyncShards() runs. On a
+  /// flat relation this is Absorb (and needs no sync).
+  void MergeShard(size_t s, const Relation& rows);
+
+  /// Rebuilds the global row order and drops stale combined indices after
+  /// MergeShard calls. No-op when already in sync (cheap: compares row
+  /// counts). Must be called from a single thread with no concurrent access.
+  void SyncShards();
 
  private:
   struct VecHash {
@@ -90,17 +170,25 @@ class Relation {
 
   size_t RowHash(const ValueId* row) const;
   void AddRowToIndex(const std::vector<int>& cols, Index* index, uint32_t r);
+  bool InsertFlat(const ValueId* row);
+  bool InsertIntoShard(size_t s, const ValueId* row);
 
   size_t arity_;
   size_t num_rows_ = 0;
+  // Flat storage (single-shard mode; also each inner shard).
   std::vector<ValueId> cells_;
   // row-hash -> candidate row indices (deduplication).
   std::unordered_map<size_t, std::vector<uint32_t>> dedup_;
-  // column list -> index.
+  // column list -> combined index (global row ids in sharded mode).
   std::map<std::vector<int>, Index> indices_;
   // Scratch key for index maintenance; avoids an allocation per (row, index)
   // on the fixpoint's hot insert path.
   std::vector<ValueId> key_scratch_;
+  // Sharded storage: inner single-shard relations plus the global insertion
+  // order as packed (shard << 32 | local) locations.
+  std::vector<int> part_cols_;
+  std::vector<std::unique_ptr<Relation>> shards_;
+  std::vector<uint64_t> row_locs_;
   static const std::vector<uint32_t> kEmptyRows;
 };
 

@@ -67,13 +67,17 @@ class CompiledRule {
 /// The extent of one predicate during a join: the union of up to two
 /// relations (semi-naive evaluation unions "full" and "delta"). Either may be
 /// null. The two relations must be disjoint (the engines guarantee this).
+/// A view may also wrap a single storage shard (Relation::shard), which is a
+/// self-contained Relation with shard-local row ids — the parallel fixpoint
+/// uses delta shards as its work partitions.
 struct RelationView {
   Relation* first = nullptr;
   Relation* second = nullptr;
   /// The relations are shared read-only with concurrent threads: the join
   /// must not build indices lazily (it probes already-built indices via
   /// Relation::FindIndexed and otherwise scans). Pre-build the probe indices
-  /// with Relation::EnsureIndex / StaticIndexCols before the parallel region.
+  /// with Relation::EnsureIndex (combined) / Relation::EnsureShardIndexes
+  /// (shard views) on the StaticIndexCols keys before the parallel region.
   bool shared = false;
 
   bool IsEmpty() const {

@@ -34,12 +34,15 @@ class Engine {
     FACTLOG_RETURN_IF_ERROR(program_.Validate());
     idb_preds_ = program_.IdbPredicates();
     auto arities = program_.PredicateArities();
+    // IDB relations adopt the database's storage layout so sharded
+    // deployments keep one uniform partitioning end to end.
+    const StorageOptions& storage = db_->storage_options();
     for (const std::string& p : idb_preds_) {
       size_t arity = arities.at(p);
       PredState st;
-      st.full = std::make_unique<Relation>(arity);
-      st.delta = std::make_unique<Relation>(arity);
-      st.next = std::make_unique<Relation>(arity);
+      st.full = std::make_unique<Relation>(arity, storage);
+      st.delta = std::make_unique<Relation>(arity, storage);
+      st.next = std::make_unique<Relation>(arity, storage);
       preds_.emplace(p, std::move(st));
     }
     rules_.reserve(program_.rules().size());
@@ -187,7 +190,8 @@ class Engine {
       for (auto& [name, st] : preds_) {
         st.full->Absorb(*st.delta);
         st.delta = std::move(st.next);
-        st.next = std::make_unique<Relation>(st.full->arity());
+        st.next = std::make_unique<Relation>(st.full->arity(),
+                                             st.full->storage_options());
       }
     }
     return Status::OK();
@@ -243,11 +247,12 @@ class Engine {
 
   Result<EvalResult> Finish() {
     uint64_t total = 0;
+    EvalStats* stats = result_.mutable_stats();
     for (auto& [name, st] : preds_) {
       total += st.full->size();
+      AccumulateShardFacts(*st.full, &stats->shard_facts);
       result_.mutable_idb()->emplace(name, std::move(st.full));
     }
-    EvalStats* stats = result_.mutable_stats();
     stats->total_facts = total;
     stats->instantiations = join_stats_.instantiations;
     stats->rows_matched = join_stats_.rows_matched;
@@ -271,6 +276,16 @@ Result<EvalResult> Evaluate(const ast::Program& program, Database* db,
                             const EvalOptions& opts) {
   Engine engine(program, db, opts);
   return engine.Run();
+}
+
+void AccumulateShardFacts(const Relation& rel,
+                          std::vector<uint64_t>* shard_facts) {
+  if (shard_facts->size() < rel.shard_count()) {
+    shard_facts->resize(rel.shard_count(), 0);
+  }
+  for (size_t s = 0; s < rel.shard_count(); ++s) {
+    (*shard_facts)[s] += rel.shard(s).size();
+  }
 }
 
 std::string AnswerSet::ToString(const ValueStore& values) const {

@@ -54,7 +54,20 @@ struct EvalStats {
   uint64_t instantiations = 0;
   /// Rows matched during joins (index probe successes).
   uint64_t rows_matched = 0;
+  /// IDB facts per storage shard at fixpoint, summed over predicates (one
+  /// entry for the flat layout). Shows how evenly the hash partitioning
+  /// spread the derived rows. Entries always sum to total_facts; relations
+  /// with fewer shards than the widest one (e.g. arity-0 predicates, which
+  /// are never sharded) count toward their own low shard indices, so entry
+  /// 0 can include rows of unsharded relations.
+  std::vector<uint64_t> shard_facts;
 };
+
+/// Sums each shard's row count of `rel` into `shard_facts` (index-aligned by
+/// shard, growing the vector as needed). Shared by the evaluators' stats
+/// reporting.
+void AccumulateShardFacts(const Relation& rel,
+                          std::vector<uint64_t>* shard_facts);
 
 /// Result of a bottom-up evaluation: the IDB relations plus statistics.
 class EvalResult {

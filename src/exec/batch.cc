@@ -107,6 +107,7 @@ Result<BatchResult> RunBatch(ThreadPool* pool, eval::Database* db,
     result.stats[i].execute_us = MicrosSince(start);
     result.stats[i].iterations = eval_stats.iterations;
     result.stats[i].total_facts = eval_stats.total_facts;
+    result.stats[i].shard_facts = std::move(eval_stats.shard_facts);
     if (answers.ok()) {
       result.stats[i].num_answers = answers->size();
       result.answers[i] = std::move(answers).value();

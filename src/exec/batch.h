@@ -46,6 +46,9 @@ struct ExecStats {
   uint64_t iterations = 0;
   uint64_t total_facts = 0;
   size_t num_answers = 0;
+  /// Derived facts per storage shard (one entry for flat storage); shows how
+  /// evenly the hash partitioning spread this query's IDB rows.
+  std::vector<uint64_t> shard_facts;
 };
 
 /// Wall-clock summary of one ExecuteBatch call.

@@ -1,10 +1,10 @@
 #include "exec/parallel_seminaive.h"
 
 #include <algorithm>
-#include <array>
 #include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <utility>
@@ -24,18 +24,8 @@ using eval::JoinStats;
 using eval::LitKind;
 using eval::Relation;
 using eval::RelationView;
+using eval::StorageOptions;
 using eval::ValueId;
-
-// FNV-1a over the key columns of a row; only used to spread delta rows
-// across partitions, so any deterministic mix works.
-size_t HashCols(const ValueId* row, const std::vector<int>& cols) {
-  uint64_t h = 1469598103934665603ULL;
-  for (int c : cols) {
-    h = (h ^ static_cast<uint64_t>(static_cast<uint32_t>(row[c]))) *
-        1099511628211ULL;
-  }
-  return static_cast<size_t>(h);
-}
 
 class ParallelEngine {
  public:
@@ -60,29 +50,34 @@ class ParallelEngine {
     std::unique_ptr<Relation> full;
     std::unique_ptr<Relation> delta;
     std::unique_ptr<Relation> next;
-  };
-
-  // Delta partitions for one (predicate, probe-columns) combination. With a
-  // single partition the delta itself is aliased instead of copied.
-  struct PartitionSet {
-    std::vector<std::unique_ptr<Relation>> owned;
-    std::vector<const Relation*> parts;
+    // One lock per storage shard: workers merging different shards of the
+    // same head predicate never contend.
+    std::unique_ptr<std::mutex[]> shard_locks;
+    size_t num_shards = 1;
   };
 
   // One (rule, recursive-occurrence) delta pass of the current iteration.
+  // With by_shard the occurrence ranges over the delta's shards in place
+  // (one task per shard); otherwise one task aliases the whole delta.
   struct Pass {
     size_t rule = 0;
-    size_t occ = 0;  // body index ranging over the delta partitions
-    const PartitionSet* parts = nullptr;
-    const Relation* head_full = nullptr;
-    const Relation* head_delta = nullptr;
-    Relation* head_next = nullptr;
-    size_t stripe = 0;
+    size_t occ = 0;
+    const Relation* delta_rel = nullptr;
+    bool by_shard = false;
+    PredState* head_state = nullptr;
   };
 
   struct TaskRef {
     size_t pass = 0;
-    size_t part = 0;
+    size_t part = 0;  // shard index when the pass fans out by shard
+  };
+
+  // Iteration-0 task: rule `rule` with relation literal `lit` restricted to
+  // shard `shard` of its base relation's extent.
+  struct SeedTask {
+    size_t rule = 0;
+    size_t lit = 0;
+    size_t shard = 0;
   };
 
   struct TaskResult {
@@ -90,26 +85,50 @@ class ParallelEngine {
     Status status = Status::OK();
   };
 
-  static constexpr size_t kStripes = 16;
+  size_t PoolWidth() const {
+    return pool_ == nullptr ? 0 : pool_->num_threads();
+  }
 
   Status Prepare() {
     FACTLOG_RETURN_IF_ERROR(program_.Validate());
     idb_preds_ = program_.IdbPredicates();
-    auto arities = program_.PredicateArities();
-    for (const std::string& p : idb_preds_) {
-      size_t arity = arities.at(p);
-      PredState st;
-      st.full = std::make_unique<Relation>(arity);
-      st.delta = std::make_unique<Relation>(arity);
-      st.next = std::make_unique<Relation>(arity);
-      preds_.emplace(p, std::move(st));
-    }
     rules_.reserve(program_.rules().size());
     for (const ast::Rule& r : program_.rules()) {
       FACTLOG_ASSIGN_OR_RETURN(CompiledRule cr,
                                CompiledRule::Compile(r, &db_->store()));
       static_cols_.push_back(eval::StaticIndexCols(cr));
       rules_.push_back(std::move(cr));
+    }
+
+    size_t shards = opts_.num_shards > 0 ? opts_.num_shards
+                                         : db_->storage_options().num_shards;
+    shards = std::max<size_t>(1, shards);
+    auto arities = program_.PredicateArities();
+    for (const std::string& p : idb_preds_) {
+      // Partition each IDB relation on the probe columns of its first
+      // recursive occurrence, so delta shards line up with the key the join
+      // probes them with; column 0 when every occurrence is probed unbound.
+      StorageOptions storage;
+      storage.num_shards = shards;
+      for (size_t i = 0;
+           i < rules_.size() && storage.partition_cols.empty(); ++i) {
+        for (size_t j = 0; j < rules_[i].body().size(); ++j) {
+          const CompiledAtom& lit = rules_[i].body()[j];
+          if (lit.kind == LitKind::kRelation && lit.predicate == p &&
+              !static_cols_[i][j].empty()) {
+            storage.partition_cols = static_cols_[i][j];
+            break;
+          }
+        }
+      }
+      size_t arity = arities.at(p);
+      PredState st;
+      st.full = std::make_unique<Relation>(arity, storage);
+      st.delta = std::make_unique<Relation>(arity, storage);
+      st.next = std::make_unique<Relation>(arity, storage);
+      st.num_shards = st.next->shard_count();
+      st.shard_locks = std::make_unique<std::mutex[]>(st.num_shards);
+      preds_.emplace(p, std::move(st));
     }
     // Saturating 2x slack over the fact budget: cross-task duplicates make
     // the in-flight counter an overestimate, so the hard mid-iteration trip
@@ -131,9 +150,11 @@ class ParallelEngine {
     return n;
   }
 
-  // The frozen extent of body literal k for a task of `pass` (every view is
+  // The frozen extent of body literal k for one fixpoint task (every view is
   // shared: workers never mutate relations during the parallel region).
-  RelationView ViewFor(const Pass& pass, size_t k, size_t part) {
+  // `occ_rows` is the occurrence's extent: one delta shard or the whole
+  // delta.
+  RelationView ViewFor(const Pass& pass, size_t k, const Relation* occ_rows) {
     const CompiledAtom& lit = rules_[pass.rule].body()[k];
     if (lit.kind != LitKind::kRelation) return RelationView{};
     if (!IsIdb(lit.predicate)) {
@@ -143,8 +164,8 @@ class ParallelEngine {
     if (k == pass.occ) {
       // The join never mutates a shared view, so the const_cast only bridges
       // RelationView's (sequential-engine) mutable pointers.
-      return RelationView{const_cast<Relation*>(pass.parts->parts[part]),
-                          nullptr, /*shared=*/true};
+      return RelationView{const_cast<Relation*>(occ_rows), nullptr,
+                          /*shared=*/true};
     }
     if (k < pass.occ) {
       // This round's view of F_i: full union delta.
@@ -153,122 +174,180 @@ class ParallelEngine {
     return RelationView{st.full.get(), nullptr, /*shared=*/true};
   }
 
-  // Iteration 0: rules without IDB body literals seed the deltas. Runs on
-  // the control thread; lazy index builds are still safe here.
+  // Merges a worker's thread-local buffer (sharded exactly like `target`)
+  // into `target` shard-to-shard, taking only the per-shard locks. Workers
+  // merging different shards proceed concurrently.
+  void MergeBuffer(PredState* st, Relation* target, const Relation& buffer) {
+    for (size_t s = 0; s < buffer.shard_count(); ++s) {
+      const Relation& rows = buffer.shard(s);
+      if (rows.empty()) continue;
+      std::lock_guard<std::mutex> lock(st->shard_locks[s]);
+      target->MergeShard(s, rows);
+    }
+  }
+
+  // True when `row` being buffered pushed the in-flight fact estimate past
+  // the trip wire (sets the cancellation flags).
+  bool BudgetTripped() {
+    uint64_t inflight = iteration_base_ +
+                        new_rows_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (inflight <= budget_trip_) return false;
+    budget_tripped_.store(true, std::memory_order_relaxed);
+    cancelled_.store(true, std::memory_order_release);
+    return true;
+  }
+
+  Status BudgetExceeded() const {
+    return Status::ResourceExhausted(
+        "fact budget exceeded (" + std::to_string(opts_.eval.max_facts) +
+        "); program may not terminate");
+  }
+
+  // Folds the per-task results into the global stats, failing on the first
+  // task error or a tripped budget, and re-arms the cancellation flag.
+  Status DrainTaskResults(std::vector<TaskResult>* results) {
+    for (TaskResult& r : *results) {
+      FACTLOG_RETURN_IF_ERROR(r.status);
+      join_stats_.rows_matched += r.stats.rows_matched;
+      join_stats_.instantiations += r.stats.instantiations;
+    }
+    if (budget_tripped_.load(std::memory_order_acquire)) {
+      return BudgetExceeded();
+    }
+    cancelled_.store(false, std::memory_order_release);
+    return Status::OK();
+  }
+
+  // Iteration 0: rules without IDB body literals seed the deltas. The first
+  // relation literal's extent is partitioned by its storage shards and the
+  // tasks fan out across the pool; rules whose extent is small (or
+  // unsharded, or when there is no pool) run inline on the control thread.
   Status SeedBaseRules() {
+    std::vector<SeedTask> tasks;
+    const size_t width = PoolWidth();
     for (size_t i = 0; i < rules_.size(); ++i) {
       const CompiledRule& rule = rules_[i];
       bool has_idb = false;
-      for (const CompiledAtom& lit : rule.body()) {
-        if (lit.kind == LitKind::kRelation && IsIdb(lit.predicate)) {
+      int first_rel = -1;
+      for (size_t k = 0; k < rule.body().size(); ++k) {
+        const CompiledAtom& lit = rule.body()[k];
+        if (lit.kind != LitKind::kRelation) continue;
+        if (first_rel < 0) first_rel = static_cast<int>(k);
+        if (IsIdb(lit.predicate)) {
           has_idb = true;
           break;
         }
       }
       if (has_idb) continue;
-      std::vector<RelationView> views;
-      views.reserve(rule.body().size());
-      for (const CompiledAtom& lit : rule.body()) {
-        if (lit.kind != LitKind::kRelation) {
-          views.push_back(RelationView{});
-        } else {
-          views.push_back(RelationView{db_->Find(lit.predicate), nullptr});
+
+      const Relation* extent =
+          first_rel >= 0 ? db_->Find(rule.body()[first_rel].predicate)
+                         : nullptr;
+      bool fan_out = width > 0 && extent != nullptr &&
+                     extent->shard_count() > 1 &&
+                     extent->size() >= opts_.min_rows_to_partition;
+      if (!fan_out) {
+        FACTLOG_RETURN_IF_ERROR(SeedRuleInline(i));
+        continue;
+      }
+      // Pre-build every index a seed worker could probe: shard-local on the
+      // partitioned literal, combined on the rest. Skipped when the EDB is
+      // shared read-only (workers then fall back to filtered scans).
+      if (!opts_.eval.shared_edb) {
+        for (size_t k = 0; k < rule.body().size(); ++k) {
+          const CompiledAtom& lit = rule.body()[k];
+          const std::vector<int>& cols = static_cols_[i][k];
+          if (lit.kind != LitKind::kRelation || cols.empty()) continue;
+          Relation* rel = db_->Find(lit.predicate);
+          if (rel == nullptr) continue;
+          if (static_cast<int>(k) == first_rel) {
+            rel->EnsureShardIndexes(cols);
+          } else {
+            rel->EnsureIndex(cols);
+          }
         }
       }
-      Relation* delta = preds_.at(rule.head().predicate).delta.get();
-      Status overflow = Status::OK();
-      FACTLOG_RETURN_IF_ERROR(EnumerateRule(
-          rule, &db_->store(), views, /*track_premises=*/false, &join_stats_,
-          [&](const std::vector<ValueId>& row,
-              const std::vector<eval::FactKey>*) {
-            delta->Insert(row);
-            if (TotalIdbFacts() > opts_.eval.max_facts) {
-              overflow = Status::ResourceExhausted(
-                  "fact budget exceeded (" +
-                  std::to_string(opts_.eval.max_facts) +
-                  "); program may not terminate");
-              return false;
-            }
-            return true;
-          }));
-      FACTLOG_RETURN_IF_ERROR(overflow);
+      for (size_t s = 0; s < extent->shard_count(); ++s) {
+        tasks.push_back(SeedTask{i, static_cast<size_t>(first_rel), s});
+      }
     }
+    if (tasks.empty()) return Status::OK();
+
+    std::vector<TaskResult> results(tasks.size());
+    iteration_base_ = TotalIdbFacts();
+    new_rows_.store(0, std::memory_order_relaxed);
+    pool_->ParallelFor(tasks.size(), [&](size_t t) {
+      RunSeedTask(tasks[t], &results[t]);
+    });
+    FACTLOG_RETURN_IF_ERROR(DrainTaskResults(&results));
+    for (auto& [name, st] : preds_) st.delta->SyncShards();
+    if (TotalIdbFacts() > opts_.eval.max_facts) return BudgetExceeded();
     return Status::OK();
   }
 
-  size_t ChoosePartitions(size_t delta_rows) const {
-    size_t width = pool_ == nullptr ? 0 : pool_->num_threads();
-    if (width == 0 || delta_rows < opts_.min_rows_to_partition) return 1;
-    size_t target =
-        opts_.num_partitions > 0 ? opts_.num_partitions : 2 * width;
-    return std::max<size_t>(1, std::min(target, delta_rows));
+  // The control-thread seed path (exact budget accounting, lazy indices).
+  Status SeedRuleInline(size_t rule_index) {
+    const CompiledRule& rule = rules_[rule_index];
+    std::vector<RelationView> views;
+    views.reserve(rule.body().size());
+    for (const CompiledAtom& lit : rule.body()) {
+      if (lit.kind != LitKind::kRelation) {
+        views.push_back(RelationView{});
+      } else {
+        views.push_back(RelationView{db_->Find(lit.predicate), nullptr,
+                                     opts_.eval.shared_edb});
+      }
+    }
+    Relation* delta = preds_.at(rule.head().predicate).delta.get();
+    Status overflow = Status::OK();
+    FACTLOG_RETURN_IF_ERROR(EnumerateRule(
+        rule, &db_->store(), views, /*track_premises=*/false, &join_stats_,
+        [&](const std::vector<ValueId>& row,
+            const std::vector<eval::FactKey>*) {
+          delta->Insert(row);
+          if (TotalIdbFacts() > opts_.eval.max_facts) {
+            overflow = BudgetExceeded();
+            return false;
+          }
+          return true;
+        }));
+    return overflow;
   }
 
-  // Hash-partitions `delta` on `part_cols` into `nparts` relations, indexed
-  // on `probe_cols` (the key the join will look the partition up with). A
-  // single partition aliases the delta rather than copying it.
-  PartitionSet BuildPartitions(Relation* delta,
-                               const std::vector<int>& part_cols,
-                               const std::vector<int>& probe_cols,
-                               size_t nparts) {
-    PartitionSet set;
-    if (nparts <= 1) {
-      if (!probe_cols.empty()) delta->EnsureIndex(probe_cols);
-      set.parts.push_back(delta);
-      return set;
-    }
-    set.owned.reserve(nparts);
-    for (size_t p = 0; p < nparts; ++p) {
-      set.owned.push_back(std::make_unique<Relation>(delta->arity()));
-      set.owned.back()->Reserve(delta->size() / nparts + 1);
-    }
-    for (size_t r = 0; r < delta->size(); ++r) {
-      const ValueId* row = delta->row(r);
-      set.owned[HashCols(row, part_cols) % nparts]->Insert(row);
-    }
-    for (auto& p : set.owned) {
-      if (!probe_cols.empty()) p->EnsureIndex(probe_cols);
-      set.parts.push_back(p.get());
-    }
-    return set;
-  }
-
-  // One worker task: evaluate rule `pass.rule` with occurrence `pass.occ`
-  // restricted to delta partition `part`, buffer the new head rows
-  // thread-locally, then merge into the global next under the head stripe.
-  void RunTask(const std::vector<Pass>& passes, const TaskRef& ref,
-               TaskResult* result) {
+  // One seed worker task: evaluate rule `task.rule` with literal `task.lit`
+  // restricted to shard `task.shard` of its base relation, buffer the head
+  // rows thread-locally, then merge into the head's delta shard-to-shard.
+  void RunSeedTask(const SeedTask& task, TaskResult* result) {
     if (cancelled_.load(std::memory_order_acquire)) return;
-    const Pass& pass = passes[ref.pass];
-    if (pass.parts->parts[ref.part]->empty()) return;
-    const CompiledRule& rule = rules_[pass.rule];
+    const CompiledRule& rule = rules_[task.rule];
+    const Relation* extent = db_->Find(rule.body()[task.lit].predicate);
+    const Relation& shard_rows = extent->shard(task.shard);
+    if (shard_rows.empty()) return;
 
     std::vector<RelationView> views;
     views.reserve(rule.body().size());
     for (size_t k = 0; k < rule.body().size(); ++k) {
-      views.push_back(ViewFor(pass, k, ref.part));
+      const CompiledAtom& lit = rule.body()[k];
+      if (lit.kind != LitKind::kRelation) {
+        views.push_back(RelationView{});
+      } else if (k == task.lit) {
+        views.push_back(RelationView{const_cast<Relation*>(&shard_rows),
+                                     nullptr, /*shared=*/true});
+      } else {
+        views.push_back(RelationView{db_->Find(lit.predicate), nullptr,
+                                     /*shared=*/true});
+      }
     }
 
-    Relation buffer(rule.head().args.size());
+    PredState& head_st = preds_.at(rule.head().predicate);
+    Relation buffer(rule.head().args.size(),
+                    head_st.delta->storage_options());
     result->status = EnumerateRule(
         rule, &db_->store(), views, /*track_premises=*/false, &result->stats,
         [&](const std::vector<ValueId>& row,
             const std::vector<eval::FactKey>*) {
           if (cancelled_.load(std::memory_order_relaxed)) return false;
-          if (pass.head_full->Contains(row.data()) ||
-              pass.head_delta->Contains(row.data())) {
-            return true;
-          }
-          if (buffer.Insert(row)) {
-            uint64_t inflight =
-                iteration_base_ +
-                new_rows_.fetch_add(1, std::memory_order_relaxed) + 1;
-            if (inflight > budget_trip_) {
-              budget_tripped_.store(true, std::memory_order_relaxed);
-              cancelled_.store(true, std::memory_order_release);
-              return false;
-            }
-          }
+          if (buffer.Insert(row) && BudgetTripped()) return false;
           return true;
         });
     if (!result->status.ok()) {
@@ -276,11 +355,54 @@ class ParallelEngine {
       return;
     }
     if (buffer.empty()) return;
-    std::lock_guard<std::mutex> lock(stripes_[pass.stripe]);
-    pass.head_next->Absorb(buffer);
+    MergeBuffer(&head_st, head_st.delta.get(), buffer);
+  }
+
+  // One fixpoint worker task: evaluate rule `pass.rule` with occurrence
+  // `pass.occ` restricted to its delta extent (one shard, or the whole delta
+  // for single-task passes), buffer the new head rows thread-locally, then
+  // merge into the global next shard-to-shard.
+  void RunTask(const std::vector<Pass>& passes, const TaskRef& ref,
+               TaskResult* result) {
+    if (cancelled_.load(std::memory_order_acquire)) return;
+    const Pass& pass = passes[ref.pass];
+    const Relation& occ_rows = pass.by_shard
+                                   ? pass.delta_rel->shard(ref.part)
+                                   : *pass.delta_rel;
+    if (occ_rows.empty()) return;
+    const CompiledRule& rule = rules_[pass.rule];
+
+    std::vector<RelationView> views;
+    views.reserve(rule.body().size());
+    for (size_t k = 0; k < rule.body().size(); ++k) {
+      views.push_back(ViewFor(pass, k, &occ_rows));
+    }
+
+    PredState& head_st = *pass.head_state;
+    Relation buffer(rule.head().args.size(),
+                    head_st.next->storage_options());
+    result->status = EnumerateRule(
+        rule, &db_->store(), views, /*track_premises=*/false, &result->stats,
+        [&](const std::vector<ValueId>& row,
+            const std::vector<eval::FactKey>*) {
+          if (cancelled_.load(std::memory_order_relaxed)) return false;
+          if (head_st.full->Contains(row.data()) ||
+              head_st.delta->Contains(row.data())) {
+            return true;
+          }
+          if (buffer.Insert(row) && BudgetTripped()) return false;
+          return true;
+        });
+    if (!result->status.ok()) {
+      cancelled_.store(true, std::memory_order_release);
+      return;
+    }
+    if (buffer.empty()) return;
+    MergeBuffer(&head_st, head_st.next.get(), buffer);
   }
 
   Status RunFixpoint() {
+    const size_t width = PoolWidth();
     while (true) {
       ++result_.mutable_stats()->iterations;
       if (result_.stats().iterations > opts_.eval.max_iterations) {
@@ -295,10 +417,9 @@ class ParallelEngine {
       }
       if (!any_delta) break;
 
-      // Plan the passes and build the delta partitions. Partition sets are
-      // cached per (predicate, partition columns): rules probing the same
-      // occurrence the same way share one set.
-      std::map<std::string, PartitionSet> partition_cache;
+      // Plan the passes. The delta shards are the work partitions — no
+      // per-iteration re-partition copy; small deltas collapse to one task
+      // aliasing the whole delta.
       std::vector<Pass> passes;
       for (size_t i = 0; i < rules_.size(); ++i) {
         const CompiledRule& rule = rules_[i];
@@ -310,48 +431,36 @@ class ParallelEngine {
           Relation* delta = preds_.at(lit.predicate).delta.get();
           if (delta->empty()) continue;
 
-          const std::vector<int>& probe_cols = static_cols_[i][j];
-          std::vector<int> part_cols = probe_cols;
-          if (part_cols.empty()) {
-            // Occurrence probed unbound: spread by whole-row hash.
-            for (size_t c = 0; c < delta->arity(); ++c) {
-              part_cols.push_back(static_cast<int>(c));
-            }
-          }
-          std::string cache_key = lit.predicate;
-          for (int c : probe_cols) {
-            cache_key += ',';
-            cache_key += std::to_string(c);
-          }
-          auto [it, inserted] = partition_cache.try_emplace(cache_key);
-          if (inserted) {
-            it->second = BuildPartitions(delta, part_cols, probe_cols,
-                                         ChoosePartitions(delta->size()));
-          }
-
           Pass pass;
           pass.rule = i;
           pass.occ = j;
-          pass.parts = &it->second;
-          const std::string& head = rule.head().predicate;
-          PredState& head_st = preds_.at(head);
-          pass.head_full = head_st.full.get();
-          pass.head_delta = head_st.delta.get();
-          pass.head_next = head_st.next.get();
-          pass.stripe = std::hash<std::string>()(head) % kStripes;
+          pass.delta_rel = delta;
+          pass.by_shard = width > 0 && delta->shard_count() > 1 &&
+                          delta->size() >= opts_.min_rows_to_partition;
+          const std::vector<int>& probe_cols = static_cols_[i][j];
+          if (!probe_cols.empty()) {
+            // Index the occurrence's extent on the key the join probes it
+            // with: inside each shard, or combined for whole-delta passes.
+            if (pass.by_shard) {
+              delta->EnsureShardIndexes(probe_cols);
+            } else {
+              delta->EnsureIndex(probe_cols);
+            }
+          }
+          pass.head_state = &preds_.at(rule.head().predicate);
           passes.push_back(pass);
         }
       }
 
-      // Pre-build every index a worker could probe on the frozen relations;
-      // inside the parallel region only the const read path runs.
+      // Pre-build every combined index a worker could probe on the frozen
+      // relations; inside the parallel region only the const read path runs.
       for (const Pass& pass : passes) {
         const CompiledRule& rule = rules_[pass.rule];
         for (size_t k = 0; k < rule.body().size(); ++k) {
-          if (k == pass.occ) continue;  // partitions were indexed on build
+          if (k == pass.occ) continue;  // the occurrence was indexed above
           const std::vector<int>& cols = static_cols_[pass.rule][k];
           if (cols.empty()) continue;
-          RelationView view = ViewFor(pass, k, 0);
+          RelationView view = ViewFor(pass, k, nullptr);
           if (view.first != nullptr) view.first->EnsureIndex(cols);
           if (view.second != nullptr) view.second->EnsureIndex(cols);
         }
@@ -359,7 +468,9 @@ class ParallelEngine {
 
       std::vector<TaskRef> tasks;
       for (size_t p = 0; p < passes.size(); ++p) {
-        for (size_t part = 0; part < passes[p].parts->parts.size(); ++part) {
+        size_t parts =
+            passes[p].by_shard ? passes[p].delta_rel->shard_count() : 1;
+        for (size_t part = 0; part < parts; ++part) {
           tasks.push_back(TaskRef{p, part});
         }
       }
@@ -373,41 +484,30 @@ class ParallelEngine {
       } else {
         for (size_t t = 0; t < tasks.size(); ++t) body(t);
       }
+      FACTLOG_RETURN_IF_ERROR(DrainTaskResults(&results));
 
-      for (TaskResult& r : results) {
-        FACTLOG_RETURN_IF_ERROR(r.status);
-        join_stats_.rows_matched += r.stats.rows_matched;
-        join_stats_.instantiations += r.stats.instantiations;
-      }
-      if (budget_tripped_.load(std::memory_order_acquire)) {
-        return Status::ResourceExhausted(
-            "fact budget exceeded (" + std::to_string(opts_.eval.max_facts) +
-            "); program may not terminate");
-      }
-      cancelled_.store(false, std::memory_order_release);
-
-      // Merge: full += delta; delta = next; next = fresh.
+      // Merge: sync the shard-merged next relations, then
+      // full += delta; delta = next; next = fresh.
       for (auto& [name, st] : preds_) {
+        st.next->SyncShards();
         st.full->Absorb(*st.delta);
         st.delta = std::move(st.next);
-        st.next = std::make_unique<Relation>(st.full->arity());
+        st.next = std::make_unique<Relation>(st.full->arity(),
+                                             st.full->storage_options());
       }
-      if (TotalIdbFacts() > opts_.eval.max_facts) {
-        return Status::ResourceExhausted(
-            "fact budget exceeded (" + std::to_string(opts_.eval.max_facts) +
-            "); program may not terminate");
-      }
+      if (TotalIdbFacts() > opts_.eval.max_facts) return BudgetExceeded();
     }
     return Status::OK();
   }
 
   Result<EvalResult> Finish() {
     uint64_t total = 0;
+    eval::EvalStats* stats = result_.mutable_stats();
     for (auto& [name, st] : preds_) {
       total += st.full->size();
+      eval::AccumulateShardFacts(*st.full, &stats->shard_facts);
       result_.mutable_idb()->emplace(name, std::move(st.full));
     }
-    eval::EvalStats* stats = result_.mutable_stats();
     stats->total_facts = total;
     stats->instantiations = join_stats_.instantiations;
     stats->rows_matched = join_stats_.rows_matched;
@@ -426,7 +526,6 @@ class ParallelEngine {
   JoinStats join_stats_;
   EvalResult result_;
 
-  std::array<std::mutex, kStripes> stripes_;
   std::atomic<bool> cancelled_{false};
   std::atomic<bool> budget_tripped_{false};
   std::atomic<uint64_t> new_rows_{0};

@@ -1,25 +1,34 @@
-// Partitioned parallel semi-naive fixpoint evaluation.
+// Shard-partitioned parallel semi-naive fixpoint evaluation.
 //
 // The paper's argument-reduction theorems shrink a recursive relation from
 // O(n^k) to O(n) facts; this module consumes those relations on every core.
-// Each iteration of the semi-naive loop is data-parallel over the delta:
+// Storage is shard-native (eval::StorageOptions): every IDB relation is
+// hash-partitioned on the join-key columns of its first recursive occurrence
+// (eval::StaticIndexCols, else column 0), and the delta shards *are* the
+// parallel work partitions — nothing is re-partitioned or copied per
+// iteration:
 //
-//   1. For every (rule, recursive-occurrence) pass, the occurrence's delta
-//      rows are hash-partitioned on the join-key columns the left-to-right
-//      join will probe them with (eval::StaticIndexCols) — whole-row hash
-//      when the occurrence is probed unbound.
-//   2. Every probe index a worker could need is pre-built on the frozen
-//      full/delta/base relations (Relation::EnsureIndex), so workers only
-//      touch the const read path (RelationView::shared).
-//   3. Workers evaluate one partition each into a thread-local Relation
-//      buffer, deduplicating against the frozen full/delta extents.
-//   4. Each worker merges its buffer into the global `next` relation under a
-//      lock striped by head predicate (Relation::Absorb), then the control
-//      thread rotates full/delta/next exactly like the sequential engine.
+//   1. Iteration 0 (EDB-only rules) partitions the first relation literal's
+//      extent by the base relation's shards, so even the seed fans out
+//      across the pool instead of running on the control thread.
+//   2. For every (rule, recursive-occurrence) pass of a later iteration the
+//      occurrence ranges over the delta's shards in place, each shard
+//      indexed on the probe columns (Relation::EnsureShardIndexes). Every
+//      other probe index is pre-built on the frozen full/delta/base
+//      relations (Relation::EnsureIndex), so workers only touch the const
+//      read path (RelationView::shared).
+//   3. Workers evaluate one shard each into a thread-local Relation buffer
+//      sharded exactly like the head relation, deduplicating against the
+//      frozen full/delta extents.
+//   4. Merges are shard-to-shard (Relation::MergeShard) under one lock per
+//      (head predicate, shard) — same-key shards never contend — then the
+//      control thread syncs the next relations (Relation::SyncShards) and
+//      rotates full/delta/next exactly like the sequential engine.
 //
 // The result is fact-for-fact identical to eval::Evaluate's semi-naive
-// strategy at any thread count (set semantics make the fixpoint confluent);
-// the sequential evaluator remains the oracle the tests compare against.
+// strategy at any thread and shard count (set semantics make the fixpoint
+// confluent); the sequential single-shard evaluator remains the oracle the
+// tests compare against.
 
 #ifndef FACTLOG_EXEC_PARALLEL_SEMINAIVE_H_
 #define FACTLOG_EXEC_PARALLEL_SEMINAIVE_H_
@@ -38,11 +47,12 @@ struct ParallelEvalOptions {
   /// `track_provenance` must be false (kInvalidArgument otherwise — use the
   /// sequential evaluator when derivation trees are needed).
   eval::EvalOptions eval;
-  /// Partitions per (rule, occurrence) pass. 0 = 2x the pool width, the
-  /// sweet spot between stealing granularity and per-task setup cost.
-  size_t num_partitions = 0;
-  /// Deltas with fewer rows than this run as a single task; partitioning a
-  /// tiny delta costs more than it buys.
+  /// Shards per IDB relation. 0 inherits the database's storage options, so
+  /// IDB and EDB partitioning stay uniform by default.
+  size_t num_shards = 0;
+  /// Extents (delta, or the seed pass's first-literal base relation) with
+  /// fewer rows than this run as a single task even when sharded; fanning a
+  /// tiny extent across the pool costs more than it buys.
   size_t min_rows_to_partition = 64;
 };
 

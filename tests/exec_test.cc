@@ -55,10 +55,13 @@ class ParallelSweepTest : public ::testing::TestWithParam<std::tuple<int, int>> 
 };
 
 // The acceptance bar of this subsystem: for every corpus program (original
-// and pipeline-compiled) the parallel fixpoint at 1, 2, and 8 threads yields
-// exactly the sequential evaluator's fact sets. Partitioning is forced even
-// on tiny deltas so the hash-partition/merge machinery actually runs.
-TEST_P(ParallelSweepTest, MatchesSequentialFactSetsAt1_2_8Threads) {
+// and pipeline-compiled) the shard-native fixpoint at 1/2/8 storage shards
+// times 1/2/8 threads yields exactly the flat sequential evaluator's fact
+// sets, iteration counts, and instantiation counts. Shard fan-out is forced
+// even on tiny deltas so the shard-view/merge machinery actually runs, and
+// the sequential evaluator itself is checked for storage invariance at each
+// shard count.
+TEST_P(ParallelSweepTest, MatchesSequentialOracleAcrossShardsAndThreads) {
   const test::SweepProgram& ps = kSweepPrograms[std::get<0>(GetParam())];
   const test::SweepWorkload& ws = kSweepWorkloads[std::get<1>(GetParam())];
 
@@ -75,32 +78,53 @@ TEST_P(ParallelSweepTest, MatchesSequentialFactSetsAt1_2_8Threads) {
                               {"compiled", &compiled->program}};
 
   for (const Variant& v : variants) {
-    eval::Database db;
-    ws.make(&db);
-
-    auto sequential = eval::Evaluate(*v.program, &db);
+    // The oracle: flat single-shard storage, sequential evaluation.
+    eval::Database oracle_db;
+    ws.make(&oracle_db);
+    auto sequential = eval::Evaluate(*v.program, &oracle_db);
     ASSERT_TRUE(sequential.ok())
         << v.name << ": " << sequential.status().ToString();
-    auto expected = FactSets(*sequential, db.store());
+    auto expected = FactSets(*sequential, oracle_db.store());
 
-    for (size_t threads : {1u, 2u, 8u}) {
-      exec::ThreadPool pool(threads);
-      exec::ParallelEvalOptions opts;
-      opts.min_rows_to_partition = 1;  // partition even one-row deltas
-      opts.num_partitions = 2 * threads + 1;
-      auto parallel = exec::EvaluateParallel(*v.program, &db, &pool, opts);
-      ASSERT_TRUE(parallel.ok())
-          << v.name << " @" << threads << ": " << parallel.status().ToString();
-      EXPECT_EQ(FactSets(*parallel, db.store()), expected)
-          << v.name << " @" << threads << " threads";
-      EXPECT_EQ(parallel->stats().total_facts,
-                sequential->stats().total_facts)
-          << v.name << " @" << threads;
-      EXPECT_EQ(parallel->stats().iterations, sequential->stats().iterations)
-          << v.name << " @" << threads;
-      EXPECT_EQ(parallel->stats().instantiations,
+    for (size_t shards : {1u, 2u, 8u}) {
+      eval::Database db(eval::StorageOptions{shards, {}});
+      ws.make(&db);
+
+      // Sharding must be invisible to the sequential evaluator too.
+      auto seq_sharded = eval::Evaluate(*v.program, &db);
+      ASSERT_TRUE(seq_sharded.ok())
+          << v.name << " seq@" << shards << "sh: "
+          << seq_sharded.status().ToString();
+      EXPECT_EQ(FactSets(*seq_sharded, db.store()), expected)
+          << v.name << " sequential @" << shards << " shards";
+      EXPECT_EQ(seq_sharded->stats().iterations,
+                sequential->stats().iterations)
+          << v.name << " sequential @" << shards << " shards";
+      EXPECT_EQ(seq_sharded->stats().instantiations,
                 sequential->stats().instantiations)
-          << v.name << " @" << threads;
+          << v.name << " sequential @" << shards << " shards";
+
+      for (size_t threads : {1u, 2u, 8u}) {
+        exec::ThreadPool pool(threads);
+        exec::ParallelEvalOptions opts;
+        opts.min_rows_to_partition = 1;  // fan out even one-row deltas
+        opts.num_shards = shards;
+        auto parallel = exec::EvaluateParallel(*v.program, &db, &pool, opts);
+        ASSERT_TRUE(parallel.ok())
+            << v.name << " @" << threads << "t/" << shards << "sh: "
+            << parallel.status().ToString();
+        EXPECT_EQ(FactSets(*parallel, db.store()), expected)
+            << v.name << " @" << threads << "t/" << shards << "sh";
+        EXPECT_EQ(parallel->stats().total_facts,
+                  sequential->stats().total_facts)
+            << v.name << " @" << threads << "t/" << shards << "sh";
+        EXPECT_EQ(parallel->stats().iterations,
+                  sequential->stats().iterations)
+            << v.name << " @" << threads << "t/" << shards << "sh";
+        EXPECT_EQ(parallel->stats().instantiations,
+                  sequential->stats().instantiations)
+            << v.name << " @" << threads << "t/" << shards << "sh";
+      }
     }
   }
 }
@@ -127,6 +151,7 @@ TEST(ParallelSemiNaiveTest, QueryAnswersMatchSequential) {
   exec::ThreadPool pool(4);
   exec::ParallelEvalOptions opts;
   opts.min_rows_to_partition = 1;
+  opts.num_shards = 4;  // sharded IDB over a flat EDB
   auto parallel =
       exec::EvaluateQueryParallel(program, query, &db, &pool, opts);
   ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
@@ -143,6 +168,61 @@ TEST(ParallelSemiNaiveTest, NullPoolRunsInline) {
   EXPECT_EQ(result->SizeOf("t"), 45u);  // all suffix pairs of a 10-chain
 }
 
+TEST(ParallelSemiNaiveTest, SeedIterationFansOutAcrossShards) {
+  // Regression guard for the parallel seed path: iteration 0 of an EDB-only
+  // rule must enqueue one pool task per shard of the first literal's extent
+  // instead of running on the control thread. The program is non-recursive,
+  // so the only pool tasks the evaluation can submit are seed tasks.
+  eval::Database db(eval::StorageOptions{4, {}});
+  workload::MakeChain(64, "e", &db);  // 63 edges spread over 4 shards
+  ast::Program program = P("q(X, Y) :- e(X, Y).");
+  exec::ThreadPool pool(2);
+  uint64_t before = pool.stats().executed;
+  exec::ParallelEvalOptions opts;
+  opts.min_rows_to_partition = 1;
+  opts.num_shards = 4;
+  auto result = exec::EvaluateParallel(program, &db, &pool, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->SizeOf("q"), 63u);
+  uint64_t seed_tasks = pool.stats().executed - before;
+  EXPECT_EQ(seed_tasks, 4u) << "expected one seed task per EDB shard";
+  EXPECT_GT(seed_tasks, 1u) << "seed iteration ran on the control thread";
+}
+
+TEST(ParallelSemiNaiveTest, SmallSeedExtentStaysInline) {
+  // Below min_rows_to_partition the seed must not fan out (the old
+  // control-thread path, exact budget accounting).
+  eval::Database db(eval::StorageOptions{4, {}});
+  workload::MakeChain(8, "e", &db);
+  ast::Program program = P("q(X, Y) :- e(X, Y).");
+  exec::ThreadPool pool(2);
+  uint64_t before = pool.stats().executed;
+  exec::ParallelEvalOptions opts;
+  opts.min_rows_to_partition = 64;
+  opts.num_shards = 4;
+  auto result = exec::EvaluateParallel(program, &db, &pool, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->SizeOf("q"), 7u);
+  EXPECT_EQ(pool.stats().executed - before, 0u);
+}
+
+TEST(ParallelSemiNaiveTest, ReportsPerShardFactCounts) {
+  eval::Database db(eval::StorageOptions{4, {}});
+  workload::MakeChain(20, "e", &db);
+  ast::Program program =
+      P("t(X, Y) :- e(X, Y). t(X, Y) :- e(X, W), t(W, Y).");
+  exec::ThreadPool pool(2);
+  exec::ParallelEvalOptions opts;
+  opts.min_rows_to_partition = 1;
+  opts.num_shards = 4;
+  auto result = exec::EvaluateParallel(program, &db, &pool, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->stats().shard_facts.size(), 4u);
+  uint64_t sum = 0;
+  for (uint64_t n : result->stats().shard_facts) sum += n;
+  EXPECT_EQ(sum, result->stats().total_facts);
+}
+
 TEST(ParallelSemiNaiveTest, CompoundValuesInternSafelyAcrossThreads) {
   // List construction interns new compound values inside worker threads;
   // the result must still match the sequential oracle exactly.
@@ -156,6 +236,7 @@ TEST(ParallelSemiNaiveTest, CompoundValuesInternSafelyAcrossThreads) {
   exec::ThreadPool pool(4);
   exec::ParallelEvalOptions opts;
   opts.min_rows_to_partition = 1;
+  opts.num_shards = 3;
   auto parallel = exec::EvaluateParallel(program, &db, &pool, opts);
   ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
   EXPECT_EQ(FactSets(*parallel, db.store()),
@@ -171,6 +252,7 @@ TEST(ParallelSemiNaiveTest, FactBudgetAborts) {
   exec::ParallelEvalOptions opts;
   opts.eval.max_facts = 100;  // the 60-chain closure has 1770 facts
   opts.min_rows_to_partition = 1;
+  opts.num_shards = 4;
   auto result = exec::EvaluateParallel(program, &db, &pool, opts);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
@@ -236,6 +318,45 @@ TEST(EngineParallelTest, ParallelSingleQueryMatchesSequentialEngine) {
               b->ToString(parallel.db().store()))
         << text;
   }
+}
+
+TEST(EngineParallelTest, ShardedEngineMatchesFlatSequentialEngine) {
+  api::Engine oracle;  // flat storage, sequential
+  workload::MakeGrid(5, 5, "e", &oracle.db());
+
+  for (size_t shards : {2u, 8u}) {
+    api::EngineOptions opts;
+    opts.num_threads = 4;
+    opts.num_shards = shards;
+    api::Engine engine(opts);
+    workload::MakeGrid(5, 5, "e", &engine.db());
+
+    for (const char* text : kTcQueries) {
+      auto expected = oracle.Query(text);
+      auto got = engine.Query(text);
+      ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(got->ToString(engine.db().store()),
+                expected->ToString(oracle.db().store()))
+          << text << " @" << shards << " shards";
+    }
+  }
+}
+
+TEST(ExecuteBatchTest, ReportsPerShardRowCounts) {
+  api::EngineOptions opts;
+  opts.num_threads = 2;
+  opts.num_shards = 4;
+  api::Engine engine(opts);
+  workload::MakeGrid(4, 4, "e", &engine.db());
+
+  auto batch = engine.ExecuteBatch(std::vector<std::string>{kTcQueries[0]});
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_TRUE(batch->stats[0].status.ok());
+  ASSERT_EQ(batch->stats[0].shard_facts.size(), 4u);
+  uint64_t sum = 0;
+  for (uint64_t n : batch->stats[0].shard_facts) sum += n;
+  EXPECT_EQ(sum, batch->stats[0].total_facts);
 }
 
 TEST(ExecuteBatchTest, BatchAnswersMatchOneAtATimeQueries) {

@@ -2,7 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
 #include "eval/database.h"
+#include "eval/seminaive.h"
+#include "tests/sweep_corpus.h"
 #include "tests/test_util.h"
 
 namespace factlog::eval {
@@ -162,6 +169,230 @@ TEST(RelationTest, FindIndexedRequiresEnsureIndex) {
   EXPECT_EQ(r.FindIndexed({0}, {1})->size(), 3u);
 }
 
+// ---- Sharded storage --------------------------------------------------------
+
+StorageOptions Sharded(size_t n) { return StorageOptions{n, {}}; }
+
+// All rows of a relation rendered as a sorted set of strings.
+std::set<std::string> Rows(const Relation& r) {
+  std::set<std::string> out;
+  for (size_t i = 0; i < r.size(); ++i) {
+    std::string s;
+    for (size_t c = 0; c < r.arity(); ++c) {
+      s += (c > 0 ? "," : "") + std::to_string(r.row(i)[c]);
+    }
+    out.insert(s);
+  }
+  return out;
+}
+
+TEST(ShardedRelationTest, InsertRoutesAndDedupsAcrossShards) {
+  Relation r(2, Sharded(4));
+  EXPECT_EQ(r.shard_count(), 4u);
+  for (ValueId i = 0; i < 50; ++i) {
+    EXPECT_TRUE(r.Insert({i, i + 1}));
+    EXPECT_FALSE(r.Insert({i, i + 1}));  // dedup within the routed shard
+  }
+  EXPECT_EQ(r.size(), 50u);
+  ValueId row[2] = {7, 8};
+  EXPECT_TRUE(r.Contains(row));
+  ValueId missing[2] = {7, 9};
+  EXPECT_FALSE(r.Contains(missing));
+}
+
+TEST(ShardedRelationTest, RowPreservesGlobalInsertionOrder) {
+  Relation flat(2), sharded(2, Sharded(3));
+  for (ValueId i = 0; i < 30; ++i) {
+    flat.Insert({i, i * 2});
+    sharded.Insert({i, i * 2});
+  }
+  ASSERT_EQ(sharded.size(), flat.size());
+  for (size_t i = 0; i < flat.size(); ++i) {
+    EXPECT_EQ(sharded.row(i)[0], flat.row(i)[0]) << "row " << i;
+    EXPECT_EQ(sharded.row(i)[1], flat.row(i)[1]) << "row " << i;
+  }
+}
+
+TEST(ShardedRelationTest, ShardsPartitionTheRowsByHash) {
+  Relation r(2, Sharded(4));
+  for (ValueId i = 0; i < 40; ++i) r.Insert({i, 0});
+  size_t total = 0;
+  for (size_t s = 0; s < r.shard_count(); ++s) {
+    const Relation& sh = r.shard(s);
+    total += sh.size();
+    for (size_t i = 0; i < sh.size(); ++i) {
+      EXPECT_EQ(r.ShardOf(sh.row(i)), s);  // every row is in its home shard
+    }
+  }
+  EXPECT_EQ(total, r.size());
+}
+
+TEST(ShardedRelationTest, LookupAndFindIndexedMatchFlatSemantics) {
+  Relation flat(2), sharded(2, Sharded(4));
+  for (const auto& row : std::vector<std::vector<ValueId>>{
+           {1, 10}, {1, 11}, {2, 12}, {3, 10}, {1, 12}}) {
+    flat.Insert(row);
+    sharded.Insert(row);
+  }
+  EXPECT_EQ(sharded.Lookup({0}, {1}).size(), flat.Lookup({0}, {1}).size());
+  EXPECT_EQ(sharded.Lookup({1}, {10}).size(), flat.Lookup({1}, {10}).size());
+  EXPECT_EQ(sharded.Lookup({0, 1}, {2, 12}).size(), 1u);
+  EXPECT_TRUE(sharded.Lookup({0}, {99}).empty());
+
+  // The combined index returns global row ids consistent with row().
+  for (uint32_t id : sharded.Lookup({0}, {1})) {
+    EXPECT_EQ(sharded.row(id)[0], 1);
+  }
+
+  // FindIndexed: nullptr before EnsureIndex, live afterwards.
+  Relation fresh(2, Sharded(4));
+  fresh.Insert({5, 6});
+  EXPECT_EQ(fresh.FindIndexed({0}, {5}), nullptr);
+  fresh.EnsureIndex({0});
+  ASSERT_NE(fresh.FindIndexed({0}, {5}), nullptr);
+  EXPECT_EQ(fresh.FindIndexed({0}, {5})->size(), 1u);
+  fresh.Insert({5, 7});  // inserts keep the combined index current
+  EXPECT_EQ(fresh.FindIndexed({0}, {5})->size(), 2u);
+}
+
+TEST(ShardedRelationTest, EnsureShardIndexesServesShardLocalLookups) {
+  Relation r(2, Sharded(3));
+  for (ValueId i = 0; i < 30; ++i) r.Insert({i % 5, i});
+  r.EnsureShardIndexes({0});
+  size_t matches = 0;
+  for (size_t s = 0; s < r.shard_count(); ++s) {
+    const Relation& sh = r.shard(s);
+    const auto* rows = sh.FindIndexed({0}, {2});
+    ASSERT_NE(rows, nullptr) << "shard " << s << " missing its local index";
+    for (uint32_t local : *rows) {
+      EXPECT_EQ(sh.row(local)[0], 2);  // local ids resolve within the shard
+      ++matches;
+    }
+  }
+  EXPECT_EQ(matches, 6u);  // i % 5 == 2 for 6 of 30 rows
+}
+
+TEST(ShardedRelationTest, MergeShardThenSyncShards) {
+  Relation target(2, Sharded(4));
+  target.Insert({1, 2});
+  Relation buffer(2, Sharded(4));  // same layout: shards line up
+  for (ValueId i = 0; i < 20; ++i) buffer.Insert({i, i + 1});
+
+  for (size_t s = 0; s < buffer.shard_count(); ++s) {
+    target.MergeShard(s, buffer.shard(s));
+  }
+  target.SyncShards();
+  EXPECT_EQ(target.size(), 20u);  // {1,2} deduplicated inside its shard
+  EXPECT_EQ(Rows(target), Rows(buffer));
+  // Post-sync, lookups and row() agree again.
+  EXPECT_EQ(target.Lookup({0}, {1}).size(), 1u);
+  EXPECT_TRUE(target.Contains(buffer.row(0)));
+  // Sync is idempotent.
+  target.SyncShards();
+  EXPECT_EQ(target.size(), 20u);
+}
+
+TEST(ShardedRelationTest, AbsorbAcrossMismatchedShardCounts) {
+  const size_t layouts[] = {1, 2, 8};
+  Relation source(2, Sharded(3));
+  for (ValueId i = 0; i < 25; ++i) source.Insert({i, i * i % 11});
+  for (size_t from : layouts) {
+    for (size_t to : layouts) {
+      Relation a(2, Sharded(from)), b(2, Sharded(to));
+      for (size_t i = 0; i < 10; ++i) a.Insert(source.row(i));
+      for (size_t i = 5; i < 25; ++i) b.Insert(source.row(i));
+      EXPECT_EQ(a.Absorb(b), 15u) << from << "->" << to;
+      EXPECT_EQ(a.size(), 25u) << from << "->" << to;
+      EXPECT_EQ(Rows(a), Rows(source)) << from << "->" << to;
+      EXPECT_EQ(a.Absorb(b), 0u) << from << "->" << to;
+    }
+  }
+}
+
+TEST(ShardedRelationTest, AbsorbAlignedLayoutsSkipsNothing) {
+  // Identical layouts take the shard-to-shard fast path; contents must be
+  // exactly what the generic path produces.
+  Relation a(2, Sharded(4)), b(2, Sharded(4));
+  for (ValueId i = 0; i < 12; ++i) a.Insert({i, 0});
+  for (ValueId i = 6; i < 30; ++i) b.Insert({i, 0});
+  EXPECT_EQ(a.Absorb(b), 18u);
+  EXPECT_EQ(a.size(), 30u);
+  for (size_t s = 0; s < a.shard_count(); ++s) {
+    for (size_t i = 0; i < a.shard(s).size(); ++i) {
+      EXPECT_EQ(a.ShardOf(a.shard(s).row(i)), s);
+    }
+  }
+}
+
+TEST(ShardedRelationTest, ClearResetsShards) {
+  Relation r(2, Sharded(4));
+  for (ValueId i = 0; i < 10; ++i) r.Insert({i, i});
+  r.Lookup({0}, {1});
+  r.Clear();
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_EQ(r.shard_count(), 4u);  // layout survives
+  for (size_t s = 0; s < r.shard_count(); ++s) {
+    EXPECT_TRUE(r.shard(s).empty());
+  }
+  EXPECT_TRUE(r.Insert({1, 1}));
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(ShardedRelationTest, PartitionColsAreNormalized) {
+  Relation r(2, StorageOptions{4, {1, 7, -2}});  // out-of-range cols dropped
+  EXPECT_EQ(r.partition_cols(), (std::vector<int>{1}));
+  Relation fallback(2, StorageOptions{4, {9}});  // nothing valid: column 0
+  EXPECT_EQ(fallback.partition_cols(), (std::vector<int>{0}));
+  Relation flat(3);
+  EXPECT_EQ(flat.shard_count(), 1u);
+  EXPECT_EQ(&flat.shard(0), &flat);  // a flat relation is its own only shard
+}
+
+// The sequential evaluator over the shared sweep corpus must produce
+// byte-identical fact sets at 1/2/8 storage shards — sharding is a layout
+// choice, never a semantics choice.
+TEST(ShardedRelationTest, SequentialSweepIsShardInvariant) {
+  for (int pi = 0; pi < test::kNumSweepPrograms; ++pi) {
+    for (int wi = 0; wi < test::kNumSweepWorkloads; ++wi) {
+      ast::Program program = test::P(test::kSweepPrograms[pi].text);
+
+      auto facts = [&](const eval::EvalResult& result,
+                       const ValueStore& store) {
+        std::map<std::string, std::set<std::string>> out;
+        for (const auto& [pred, rel] : result.idb()) {
+          for (size_t r = 0; r < rel->size(); ++r) {
+            std::string s;
+            for (size_t c = 0; c < rel->arity(); ++c) {
+              s += store.ToString(rel->row(r)[c]) + ";";
+            }
+            out[pred].insert(s);
+          }
+        }
+        return out;
+      };
+
+      Database oracle_db;
+      test::kSweepWorkloads[wi].make(&oracle_db);
+      auto oracle = Evaluate(program, &oracle_db);
+      ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+      auto expected = facts(*oracle, oracle_db.store());
+
+      for (size_t shards : {2u, 8u}) {
+        Database db(Sharded(shards));
+        test::kSweepWorkloads[wi].make(&db);
+        auto result = Evaluate(program, &db);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        EXPECT_EQ(facts(*result, db.store()), expected)
+            << test::kSweepPrograms[pi].name << " x "
+            << test::kSweepWorkloads[wi].name << " @" << shards << " shards";
+        EXPECT_EQ(result->stats().instantiations,
+                  oracle->stats().instantiations)
+            << test::kSweepPrograms[pi].name << " @" << shards;
+      }
+    }
+  }
+}
+
 TEST(DatabaseTest, AddFactsAndFind) {
   Database db;
   ASSERT_TRUE(db.AddFact(test::A("e(1, 2)")).ok());
@@ -183,6 +414,20 @@ TEST(DatabaseTest, CompoundFacts) {
   Database db;
   ASSERT_TRUE(db.AddFact(test::A("owns(alice, book(dune))")).ok());
   EXPECT_EQ(db.Find("owns")->size(), 1u);
+}
+
+TEST(DatabaseTest, StorageOptionsApplyToEveryRelation) {
+  Database db(StorageOptions{4, {}});
+  EXPECT_EQ(db.storage_options().num_shards, 4u);
+  for (int i = 0; i < 20; ++i) {
+    db.AddPair("e", i, i + 1);
+    db.AddUnit("v", i);
+  }
+  ASSERT_NE(db.Find("e"), nullptr);
+  EXPECT_EQ(db.Find("e")->shard_count(), 4u);
+  EXPECT_EQ(db.Find("v")->shard_count(), 4u);
+  EXPECT_EQ(db.Find("e")->size(), 20u);
+  EXPECT_EQ(db.TotalFacts(), 40u);
 }
 
 TEST(DatabaseTest, PairAndUnitHelpers) {
