@@ -6,13 +6,25 @@
 //            [--stage trace|magic|factored|final]
 //            [--facts <facts.dl>]
 //            [--threads <n>] [--shards <n>]
-//            [--batch <queries.txt>]
+//            [--batch <queries.txt>] [--incremental]
 //
 // The program file must contain a `?- query.` line (optional with --batch).
 // With --facts the final program is evaluated against the given ground facts
 // and the answers are printed; otherwise the requested stage is printed
 // (default: everything). `--stage trace` prints the structured pass trace
 // (per-pass timings, rule counts, and decisions).
+//
+// --incremental (requires --facts) materializes the query as a live view and
+// reads update commands from stdin, maintaining the answers with delta-sized
+// work (counting / DRed) instead of re-running the fixpoint:
+//
+//   +e(1, 5).      insert a fact
+//   -e(1, 2).      remove a fact
+//   ?              print the current answers
+//   stats          print maintenance counters
+//
+//   $ printf '+e(2, 4).\n-e(1, 2).\n?\n' |
+//       ./optimizer_cli tc.dl --facts facts.dl --incremental
 //
 // --threads n runs bottom-up evaluation on the parallel execution subsystem
 // (n worker threads). --shards n hash-partitions every relation into n
@@ -36,6 +48,7 @@
 //   e(1, 2). e(2, 3).
 //   $ ./optimizer_cli tc.dl --facts facts.dl
 
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -70,8 +83,74 @@ int Usage() {
                "[--strategy auto|magic|supplementary-magic|factoring|"
                "counting|linear-rewrite] "
                "[--stage trace|magic|factored|final] [--facts <facts.dl>] "
-               "[--threads <n>] [--shards <n>] [--batch <queries.txt>]\n";
+               "[--threads <n>] [--shards <n>] [--batch <queries.txt>] "
+               "[--incremental]\n";
   return 2;
+}
+
+// --incremental mode: materialize the query as a live view, then maintain it
+// under +fact./-fact. commands from stdin.
+int RunIncremental(factlog::api::Engine* engine,
+                   const factlog::ast::Program& program,
+                   const factlog::ast::Atom& query,
+                   factlog::core::Strategy strategy) {
+  using namespace factlog;
+  auto handle = engine->Materialize(program, query, strategy);
+  if (!handle.ok()) return Fail(handle.status());
+
+  auto print_answers = [&]() -> int {
+    api::QueryStats stats;
+    auto answers = engine->Query(program, query, strategy, &stats);
+    if (!answers.ok()) return Fail(answers.status());
+    std::cout << "% answers (" << answers->rows.size() << " rows, "
+              << (stats.view_hit ? "from view" : "recomputed") << ")\n"
+              << answers->ToString(engine->db().store());
+    return 0;
+  };
+  if (int rc = print_answers(); rc != 0) return rc;
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos || line[begin] == '%') continue;
+    size_t end = line.find_last_not_of(" \t\r");
+    std::string cmd = line.substr(begin, end - begin + 1);
+    if (cmd == "?") {
+      if (int rc = print_answers(); rc != 0) return rc;
+      continue;
+    }
+    if (cmd == "stats") {
+      auto stats = engine->ViewStatsFor(*handle);
+      if (!stats.ok()) return Fail(stats.status());
+      std::cout << "% view: +" << stats->inserts_applied << " -"
+                << stats->deletes_applied << " EDB rows; IDB +"
+                << stats->idb_inserted << " -" << stats->idb_deleted
+                << "; support updates " << stats->support_updates
+                << "; overdeleted " << stats->overdeleted << ", rederived "
+                << stats->rederived << "; " << stats->delta_passes
+                << " delta passes\n";
+      continue;
+    }
+    if (cmd.size() < 2 || (cmd[0] != '+' && cmd[0] != '-')) {
+      std::cerr << "error: expected '+fact.', '-fact.', '?', or 'stats', "
+                   "got: " << cmd << "\n";
+      return StatusCodeToExitCode(StatusCode::kInvalidArgument);
+    }
+    bool insert = cmd[0] == '+';
+    std::string text = cmd.substr(1);
+    if (!text.empty() && text.back() == '.') text.pop_back();
+    auto fact = ast::ParseAtom(text);
+    if (!fact.ok()) return Fail(fact.status());
+    auto start = std::chrono::steady_clock::now();
+    Status st = insert ? engine->AddFact(*fact) : engine->RemoveFact(*fact);
+    if (!st.ok()) return Fail(st);
+    auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+    std::cout << "% " << (insert ? "+" : "-") << fact->ToString() << " ("
+              << us << " us)\n";
+  }
+  return 0;
 }
 
 // Renders per-shard row counts as " [shard rows: a, b, ...]"; empty for flat
@@ -160,11 +239,14 @@ int main(int argc, char** argv) {
   std::string batch_path;
   size_t threads = 0;
   size_t shards = 1;
+  bool incremental = false;
   core::Strategy strategy = core::Strategy::kFactoring;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--stage" && i + 1 < argc) {
       stage = argv[++i];
+    } else if (arg == "--incremental") {
+      incremental = true;
     } else if (arg == "--facts" && i + 1 < argc) {
       facts_path = argv[++i];
     } else if (arg == "--batch" && i + 1 < argc) {
@@ -266,6 +348,10 @@ int main(int argc, char** argv) {
     std::cout << "% --- final program ---\n" << compiled.program.ToString();
   }
 
+  if (incremental && facts_path.empty()) {
+    std::cerr << "error: --incremental requires --facts\n";
+    return 2;
+  }
   if (!facts_path.empty()) {
     auto facts_text = ReadFile(facts_path);
     if (!facts_text.ok()) return Fail(facts_text.status());
@@ -275,6 +361,9 @@ int main(int argc, char** argv) {
     api::Engine engine(engine_options);
     Status load = engine.LoadFacts(*facts_text);
     if (!load.ok()) return Fail(load);
+    if (incremental) {
+      return RunIncremental(&engine, *program, *program->query(), strategy);
+    }
     api::QueryStats stats;
     auto answers = engine.Execute(compiled, &stats);
     if (!answers.ok()) return Fail(answers.status());

@@ -1,5 +1,6 @@
 #include "api/engine.h"
 
+#include <cassert>
 #include <chrono>
 #include <utility>
 
@@ -19,6 +20,104 @@ int64_t MicrosSince(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
+// ---- EDB mutation -----------------------------------------------------------
+
+Status Engine::CheckMutable(const char* op) const {
+  if (active_queries_.load(std::memory_order_acquire) != 0) {
+    return Status::FailedPrecondition(
+        std::string(op) +
+        " while a query is executing; engine mutations must be serialized "
+        "against evaluations");
+  }
+  return Status::OK();
+}
+
+Status Engine::AddFact(const ast::Atom& fact) {
+  FACTLOG_RETURN_IF_ERROR(CheckMutable("AddFact"));
+  {
+    std::lock_guard<std::mutex> lock(view_mu_);
+    if (views_.empty()) return db_.AddFact(fact);
+  }
+
+  FACTLOG_ASSIGN_OR_RETURN(std::vector<eval::ValueId> row,
+                           db_.InternRow(fact));
+  eval::Relation& rel = db_.GetOrCreate(fact.predicate(), fact.arity());
+  if (rel.arity() != fact.arity()) {
+    return Status::Invalid("arity mismatch for '" + fact.predicate() +
+                           "': relation has arity " +
+                           std::to_string(rel.arity()));
+  }
+  if (rel.Contains(row.data())) return Status::OK();  // duplicate: no-op
+  // Views propagate against the pre-insertion EDB (new state = stored ∪
+  // delta), so the database row is inserted only after they are done. A
+  // failing view poisons itself; the others still propagate and the row is
+  // still inserted, so every non-poisoned view stays consistent with the
+  // database. The first error is reported.
+  eval::Relation delta(fact.arity(), rel.storage_options());
+  delta.Insert(row);
+  Status result = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(view_mu_);
+    for (auto& [key, view] : views_) {
+      Status st = view->ApplyInsert(fact.predicate(), delta);
+      if (!st.ok() && result.ok()) result = st;
+    }
+  }
+  rel.Insert(row);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.view_updates;
+  }
+  return result;
+}
+
+Status Engine::RemoveFact(const ast::Atom& fact) {
+  FACTLOG_RETURN_IF_ERROR(CheckMutable("RemoveFact"));
+  // The interned row is needed for the view delta; presence and the erase
+  // itself are Database::RemoveFact's job. Deletions erase from the database
+  // first: the views' old state is then stored ∪ delta, matching
+  // ApplyDelete's contract.
+  FACTLOG_ASSIGN_OR_RETURN(std::vector<eval::ValueId> row,
+                           db_.InternRow(fact));
+  FACTLOG_ASSIGN_OR_RETURN(bool removed, db_.RemoveFact(fact));
+  if (!removed) return Status::OK();  // absent: no-op
+  const eval::Relation* rel = db_.Find(fact.predicate());
+  Status result = Status::OK();
+  bool have_views = false;
+  {
+    std::lock_guard<std::mutex> lock(view_mu_);
+    if (!views_.empty()) {
+      have_views = true;
+      eval::Relation delta(fact.arity(), rel->storage_options());
+      delta.Insert(row);
+      // As in AddFact: every view propagates (failures poison themselves),
+      // and the first error is reported.
+      for (auto& [key, view] : views_) {
+        Status st = view->ApplyDelete(fact.predicate(), delta);
+        if (!st.ok() && result.ok()) result = st;
+      }
+    }
+  }
+  if (have_views) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.view_updates;
+  }
+  return result;
+}
+
+void Engine::AddPair(const std::string& rel, int64_t a, int64_t b) {
+  Status st =
+      AddFact(ast::Atom(rel, {ast::Term::Int(a), ast::Term::Int(b)}));
+  assert(st.ok() && "AddPair must not race queries");
+  (void)st;
+}
+
+void Engine::AddUnit(const std::string& rel, int64_t a) {
+  Status st = AddFact(ast::Atom(rel, {ast::Term::Int(a)}));
+  assert(st.ok() && "AddUnit must not race queries");
+  (void)st;
+}
+
 Status Engine::LoadFacts(const std::string& text) {
   FACTLOG_ASSIGN_OR_RETURN(ast::Program facts, ast::ParseProgram(text));
   for (const ast::Rule& rule : facts.rules()) {
@@ -26,10 +125,12 @@ Status Engine::LoadFacts(const std::string& text) {
       return Status::Invalid("LoadFacts input contains a non-fact rule: " +
                              rule.ToString());
     }
-    FACTLOG_RETURN_IF_ERROR(db_.AddFact(rule.head()));
+    FACTLOG_RETURN_IF_ERROR(AddFact(rule.head()));
   }
   return Status::OK();
 }
+
+// ---- Compilation ------------------------------------------------------------
 
 std::string Engine::PlanCacheKey(const ast::Program& program,
                                  const ast::Atom& query, Strategy strategy) {
@@ -49,10 +150,27 @@ std::string Engine::PlanCacheKey(const ast::Program& program,
 Result<std::shared_ptr<const CompiledQuery>> Engine::Compile(
     const ast::Program& program, const ast::Atom& query, Strategy strategy,
     QueryStats* stats) {
+  if (!options_.enable_plan_cache) {
+    const auto start = std::chrono::steady_clock::now();
+    FACTLOG_ASSIGN_OR_RETURN(
+        CompiledQuery compiled,
+        core::CompileQuery(program, query, strategy, options_.pipeline));
+    if (stats != nullptr) stats->compile_us = MicrosSince(start);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.compiles;
+    return std::make_shared<const CompiledQuery>(std::move(compiled));
+  }
+  return CompileWithKey(program, query, strategy, stats,
+                        PlanCacheKey(program, query, strategy));
+}
+
+Result<std::shared_ptr<const CompiledQuery>> Engine::CompileWithKey(
+    const ast::Program& program, const ast::Atom& query, Strategy strategy,
+    QueryStats* stats, const std::string& key) {
   const auto start = std::chrono::steady_clock::now();
-  std::string key;
-  if (options_.enable_plan_cache) {
-    key = PlanCacheKey(program, query, strategy);
+  std::shared_ptr<InFlightCompile> flight;
+  bool owner = false;
+  {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = cache_.find(key);
     if (it != cache_.end()) {
@@ -61,33 +179,58 @@ Result<std::shared_ptr<const CompiledQuery>> Engine::Compile(
       if (stats != nullptr) stats->cache_hit = true;
       return it->second.plan;
     }
+    auto [fit, inserted] = inflight_.try_emplace(key);
+    if (inserted) {
+      fit->second = std::make_shared<InFlightCompile>();
+      owner = true;
+    }
+    flight = fit->second;
   }
 
-  // Compile outside the lock: the pipeline is pure and may be slow (the
-  // factorability containment checks are NP-hard). Concurrent misses on the
-  // same key compile twice; the later insert wins.
-  FACTLOG_ASSIGN_OR_RETURN(
-      CompiledQuery compiled,
-      core::CompileQuery(program, query, strategy, options_.pipeline));
-  auto plan = std::make_shared<const CompiledQuery>(std::move(compiled));
-  if (stats != nullptr) stats->compile_us = MicrosSince(start);
-
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.compiles;
-  if (options_.enable_plan_cache && options_.plan_cache_capacity > 0) {
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      // Another worker inserted while we compiled; keep the cached plan.
-      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-      return it->second.plan;
-    }
-    while (cache_.size() >= options_.plan_cache_capacity) {
-      cache_.erase(lru_.back());
-      lru_.pop_back();
-    }
-    lru_.push_front(key);
-    cache_[key] = CacheEntry{plan, lru_.begin()};
+  if (!owner) {
+    // Another caller is compiling this key; wait for its outcome instead of
+    // repeating the (NP-hard) containment checks. Counts as a cache hit.
+    std::unique_lock<std::mutex> fl(flight->mu);
+    flight->cv.wait(fl, [&] { return flight->done; });
+    if (!flight->status.ok()) return flight->status;
+    if (stats != nullptr) stats->cache_hit = true;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.cache_hits;
+    return flight->plan;
   }
+
+  // Single-flight owner: compile outside every lock — the pipeline is pure
+  // and may be slow.
+  auto compiled = core::CompileQuery(program, query, strategy,
+                                     options_.pipeline);
+  std::shared_ptr<const CompiledQuery> plan;
+  if (compiled.ok()) {
+    plan = std::make_shared<const CompiledQuery>(std::move(compiled).value());
+    if (stats != nullptr) stats->compile_us = MicrosSince(start);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (compiled.ok()) {
+      ++stats_.compiles;
+      if (options_.plan_cache_capacity > 0) {
+        while (cache_.size() >= options_.plan_cache_capacity) {
+          cache_.erase(lru_.back());
+          lru_.pop_back();
+        }
+        lru_.push_front(key);
+        cache_[key] = CacheEntry{plan, lru_.begin()};
+      }
+    }
+    inflight_.erase(key);
+  }
+  {
+    std::lock_guard<std::mutex> fl(flight->mu);
+    flight->done = true;
+    flight->status = compiled.ok() ? Status::OK() : compiled.status();
+    flight->plan = plan;
+  }
+  flight->cv.notify_all();
+  if (!compiled.ok()) return compiled.status();
   return plan;
 }
 
@@ -100,9 +243,12 @@ exec::ThreadPool* Engine::EnsurePool() {
   return pool_.get();
 }
 
+// ---- Execution --------------------------------------------------------------
+
 Result<eval::AnswerSet> Engine::Execute(const CompiledQuery& plan,
                                         QueryStats* stats) {
   const auto start = std::chrono::steady_clock::now();
+  QueryScope scope(this);
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.executions;
@@ -140,12 +286,63 @@ Result<eval::AnswerSet> Engine::Execute(const CompiledQuery& plan,
   return answers;
 }
 
+void Engine::RenameAnswerVars(const ast::Atom& query,
+                              eval::AnswerSet* answers) {
+  // A cache or view hit executes a plan compiled from a possibly-renamed
+  // query. The keys only collide for canonically identical atoms, so the
+  // i-th distinct variable of the plan's query is the i-th distinct variable
+  // of the caller's: rename positionally.
+  std::vector<std::string> vars = query.DistinctVars();
+  if (vars.size() == answers->vars.size()) answers->vars = std::move(vars);
+}
+
 Result<eval::AnswerSet> Engine::Query(const ast::Program& program,
                                       const ast::Atom& query,
                                       Strategy strategy, QueryStats* stats) {
-  FACTLOG_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledQuery> plan,
-                           Compile(program, query, strategy, stats));
-  return Execute(*plan, stats);
+  // A materialized view with this plan key answers without executing. The
+  // key doubles as the compile key below, so it is derived at most once.
+  std::string key;
+  inc::MaterializedView* view = nullptr;
+  if (options_.enable_plan_cache || num_views() > 0) {
+    key = PlanCacheKey(program, query, strategy);
+  }
+  {
+    std::lock_guard<std::mutex> lock(view_mu_);
+    if (!views_.empty()) {
+      auto it = views_.find(key);
+      if (it != views_.end()) view = it->second.get();
+    }
+  }
+  if (view != nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.view_hits;
+    }
+    // The view materializes the *transformed* program; answer with its query
+    // (as Execute would) and rename the columns to the caller's variables.
+    if (!view->program().query().has_value()) {
+      return Status::Internal("materialized view's plan carries no query");
+    }
+    if (stats != nullptr) stats->view_hit = true;
+    QueryScope scope(this);
+    eval::AnswerSet answers;
+    {
+      std::lock_guard<std::mutex> lock(view_mu_);
+      FACTLOG_ASSIGN_OR_RETURN(answers,
+                               view->Answer(*view->program().query()));
+    }
+    RenameAnswerVars(query, &answers);
+    return answers;
+  }
+
+  FACTLOG_ASSIGN_OR_RETURN(
+      std::shared_ptr<const CompiledQuery> plan,
+      options_.enable_plan_cache
+          ? CompileWithKey(program, query, strategy, stats, key)
+          : Compile(program, query, strategy, stats));
+  FACTLOG_ASSIGN_OR_RETURN(eval::AnswerSet answers, Execute(*plan, stats));
+  RenameAnswerVars(query, &answers);
+  return answers;
 }
 
 Result<eval::AnswerSet> Engine::Query(const std::string& program_text,
@@ -159,6 +356,106 @@ Result<eval::AnswerSet> Engine::Query(const std::string& program_text,
   return Query(program, query, strategy, stats);
 }
 
+// ---- Materialized views -----------------------------------------------------
+
+inc::IncrementalOptions Engine::MakeIncOptions() {
+  inc::IncrementalOptions iopts;
+  iopts.eval = options_.eval;
+  iopts.eval.track_provenance = false;  // views do not maintain provenance
+  iopts.pool = EnsurePool();
+  iopts.min_rows_to_partition = options_.inc_min_rows_to_partition;
+  return iopts;
+}
+
+Result<ViewHandle> Engine::Materialize(const ast::Program& program,
+                                       const ast::Atom& query,
+                                       Strategy strategy, QueryStats* stats) {
+  const std::string key = PlanCacheKey(program, query, strategy);
+  FACTLOG_ASSIGN_OR_RETURN(
+      std::shared_ptr<const CompiledQuery> plan,
+      options_.enable_plan_cache
+          ? CompileWithKey(program, query, strategy, stats, key)
+          : Compile(program, query, strategy, stats));
+  {
+    std::lock_guard<std::mutex> lock(view_mu_);
+    if (views_.count(key) > 0) return ViewHandle{key};
+  }
+  std::unique_ptr<inc::MaterializedView> view;
+  {
+    // The initial evaluation is a query for the epoch guard's purposes.
+    QueryScope scope(this);
+    const auto start = std::chrono::steady_clock::now();
+    FACTLOG_ASSIGN_OR_RETURN(
+        view, inc::MaterializedView::Build(plan->program, &db_,
+                                           MakeIncOptions()));
+    if (stats != nullptr) stats->execute_us = MicrosSince(start);
+  }
+  std::lock_guard<std::mutex> lock(view_mu_);
+  views_.emplace(key, std::move(view));
+  return ViewHandle{key};
+}
+
+Result<ViewHandle> Engine::Materialize(const std::string& program_text,
+                                       Strategy strategy) {
+  FACTLOG_ASSIGN_OR_RETURN(ast::Program program,
+                           ast::ParseProgram(program_text));
+  if (!program.query().has_value()) {
+    return Status::Invalid("program text has no '?-' query");
+  }
+  ast::Atom query = *program.query();
+  return Materialize(program, query, strategy);
+}
+
+inc::MaterializedView* Engine::FindView(const std::string& key) {
+  std::lock_guard<std::mutex> lock(view_mu_);
+  auto it = views_.find(key);
+  return it == views_.end() ? nullptr : it->second.get();
+}
+
+Result<eval::AnswerSet> Engine::AnswerFromView(const ViewHandle& handle) {
+  inc::MaterializedView* view = FindView(handle.key);
+  if (view == nullptr) {
+    return Status::NotFound("no materialized view for handle");
+  }
+  if (!view->program().query().has_value()) {
+    return Status::Internal("materialized view's plan carries no query");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.view_hits;
+  }
+  QueryScope scope(this);
+  std::lock_guard<std::mutex> lock(view_mu_);
+  return view->Answer(*view->program().query());
+}
+
+const inc::MaterializedView* Engine::view(const ViewHandle& handle) const {
+  std::lock_guard<std::mutex> lock(view_mu_);
+  auto it = views_.find(handle.key);
+  return it == views_.end() ? nullptr : it->second.get();
+}
+
+Result<inc::ViewStats> Engine::ViewStatsFor(const ViewHandle& handle) const {
+  std::lock_guard<std::mutex> lock(view_mu_);
+  auto it = views_.find(handle.key);
+  if (it == views_.end()) {
+    return Status::NotFound("no materialized view for handle");
+  }
+  return it->second->stats();
+}
+
+void Engine::DropView(const ViewHandle& handle) {
+  std::lock_guard<std::mutex> lock(view_mu_);
+  views_.erase(handle.key);
+}
+
+size_t Engine::num_views() const {
+  std::lock_guard<std::mutex> lock(view_mu_);
+  return views_.size();
+}
+
+// ---- Batch ------------------------------------------------------------------
+
 Result<exec::BatchResult> Engine::ExecuteBatch(
     const std::vector<BatchQuery>& batch) {
   if (options_.execution != ExecutionMode::kBottomUp) {
@@ -166,6 +463,7 @@ Result<exec::BatchResult> Engine::ExecuteBatch(
         "ExecuteBatch requires bottom-up execution (top-down resolution is "
         "not thread-safe against a shared database)");
   }
+  QueryScope scope(this);
   exec::BatchCompileFn compile =
       [this, &batch](size_t i, exec::ExecStats* stats)
       -> Result<std::shared_ptr<const CompiledQuery>> {
@@ -236,6 +534,8 @@ Result<exec::BatchResult> Engine::ExecuteBatch(
   }
   return result;
 }
+
+// ---- Introspection ----------------------------------------------------------
 
 EngineStats Engine::stats() const {
   std::lock_guard<std::mutex> lock(mu_);

@@ -23,13 +23,24 @@
 // partitioned parallel fixpoint (exec/parallel_seminaive.h), and
 // ExecuteBatch evaluates many queries concurrently against the frozen EDB
 // while sharing the plan cache. The plan cache and counters are
-// mutex-guarded, so Compile may be called from concurrent workers; mutating
-// the database (AddFact/LoadFacts) must still be externally serialized
-// against running queries.
+// mutex-guarded, so Compile may be called from concurrent workers; concurrent
+// misses on one key collapse into a single compilation (single-flight).
+//
+// Incremental maintenance: Materialize compiles a (program, query) and keeps
+// its full IDB as a live view (inc::MaterializedView) that AddFact/RemoveFact
+// update with delta-sized work — counting for non-recursive strata, DRed for
+// recursive ones — instead of re-running the fixpoint. Query answers from a
+// matching view directly. Mutations and queries must still be externally
+// serialized; as a safety net an evaluation-epoch guard detects the common
+// misuse, failing a mutation with kFailedPrecondition when a query is
+// already executing (a query that *starts* during a mutation is still a
+// race — the guard is detection, not mutual exclusion).
 
 #ifndef FACTLOG_API_ENGINE_H_
 #define FACTLOG_API_ENGINE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <map>
@@ -48,6 +59,7 @@
 #include "eval/topdown.h"
 #include "exec/batch.h"
 #include "exec/thread_pool.h"
+#include "inc/incremental.h"
 
 namespace factlog::api {
 
@@ -88,6 +100,10 @@ struct EngineOptions {
   /// num_threads) balances stealing granularity against per-shard overhead;
   /// answers are identical at any value.
   size_t num_shards = 1;
+  /// Incremental maintenance: delta passes whose driving extent is sharded
+  /// and at least this many rows fan out across the pool (see
+  /// inc::IncrementalOptions::min_rows_to_partition).
+  size_t inc_min_rows_to_partition = 64;
 };
 
 /// Cumulative engine counters.
@@ -96,11 +112,15 @@ struct EngineStats {
   uint64_t cache_hits = 0;     // compiles avoided by the plan cache
   uint64_t executions = 0;     // plans executed (batch queries included)
   uint64_t batches = 0;        // ExecuteBatch calls
+  uint64_t view_hits = 0;      // queries answered from a materialized view
+  uint64_t view_updates = 0;   // AddFact/RemoveFact deltas propagated to views
 };
 
 /// Per-query statistics (optional out-param of Query/Execute).
 struct QueryStats {
   bool cache_hit = false;
+  /// The answer came from a materialized view (no execution ran).
+  bool view_hit = false;
   /// Microseconds spent compiling (0 on a cache hit) and executing.
   int64_t compile_us = 0;
   int64_t execute_us = 0;
@@ -108,6 +128,13 @@ struct QueryStats {
   eval::EvalStats eval;
   /// Resolution counters (kTopDown).
   eval::SldStats sld;
+};
+
+/// Handle to a materialized view registered with an Engine. Views are keyed
+/// by the plan-cache key of the (program, query, strategy) they materialize,
+/// so a later Query with the same key answers from the view.
+struct ViewHandle {
+  std::string key;
 };
 
 class Engine {
@@ -121,30 +148,41 @@ class Engine {
 
   /// The engine's extensional database. Mutating base relations does NOT
   /// invalidate cached plans (plans depend only on the program and query),
-  /// but must not race with concurrently executing queries.
+  /// but must not race with concurrently executing queries — prefer the
+  /// AddFact/RemoveFact/LoadFacts entry points, which enforce that contract
+  /// (kFailedPrecondition on a racing mutation) and keep materialized views
+  /// maintained. Direct db() writes silently bypass both.
   eval::Database& db() { return db_; }
   const eval::Database& db() const { return db_; }
 
-  // ---- EDB loading conveniences -------------------------------------------
+  // ---- EDB mutation -------------------------------------------------------
 
-  /// Interns and inserts a ground fact `p(c1, ..., ck)`.
-  Status AddFact(const ast::Atom& fact) { return db_.AddFact(fact); }
-  /// Adds `rel(a, b)` for an integer pair (graph edges).
-  void AddPair(const std::string& rel, int64_t a, int64_t b) {
-    db_.AddPair(rel, a, b);
-  }
+  /// Interns and inserts a ground fact `p(c1, ..., ck)`, propagating the
+  /// delta into every live materialized view first. Fails with
+  /// kFailedPrecondition while a query is executing. Duplicate facts are
+  /// accepted no-ops.
+  Status AddFact(const ast::Atom& fact);
+  /// Removes a ground fact, propagating the deletion into every live view
+  /// (DRed over-delete + re-derive for recursive predicates). Absent facts
+  /// are accepted no-ops.
+  Status RemoveFact(const ast::Atom& fact);
+  /// Adds `rel(a, b)` for an integer pair (graph edges). Asserts (debug)
+  /// that the mutation was legal; prefer AddFact where failure matters.
+  void AddPair(const std::string& rel, int64_t a, int64_t b);
   /// Adds `rel(a)` for an integer.
-  void AddUnit(const std::string& rel, int64_t a) { db_.AddUnit(rel, a); }
+  void AddUnit(const std::string& rel, int64_t a);
   /// Parses `text` (ground facts only, e.g. "e(1, 2). e(2, 3).") and adds
-  /// every fact to the database.
+  /// every fact to the database (through AddFact, so views stay maintained).
   Status LoadFacts(const std::string& text);
 
   // ---- Compile ------------------------------------------------------------
 
   /// Compiles (program, query) under `strategy`, consulting the plan cache.
-  /// The returned plan is shared with the cache; it is immutable. Thread-safe
-  /// (the cache is mutex-guarded; concurrent misses on the same key may
-  /// compile twice, last one wins).
+  /// The returned plan is shared with the cache; it is immutable. Thread-safe:
+  /// concurrent misses on the same key collapse into one compilation
+  /// (single-flight) — the first caller compiles, the rest block on the
+  /// result and count as cache hits, so the NP-hard factorability containment
+  /// checks are paid exactly once per key.
   Result<std::shared_ptr<const CompiledQuery>> Compile(
       const ast::Program& program, const ast::Atom& query,
       Strategy strategy = Strategy::kAuto, QueryStats* stats = nullptr);
@@ -152,8 +190,10 @@ class Engine {
   // ---- Query (compile + execute) ------------------------------------------
 
   /// Compiles and executes. Answers are the bindings of the query's distinct
-  /// variables (on a cache hit, variable *names* come from the plan's query,
-  /// which may differ from `query`'s if the caller renamed them).
+  /// variables, named by *this* call's query — on a cache hit against a plan
+  /// compiled from renamed variables, the columns are renamed back to the
+  /// caller's names. When a materialized view matches the plan key, answers
+  /// come from the view without executing anything.
   Result<eval::AnswerSet> Query(const ast::Program& program,
                                 const ast::Atom& query,
                                 Strategy strategy = Strategy::kAuto,
@@ -195,7 +235,39 @@ class Engine {
       const std::vector<std::string>& program_texts,
       Strategy strategy = Strategy::kAuto);
 
+  // ---- Materialized views -------------------------------------------------
+
+  /// Compiles (program, query), evaluates it once, and keeps the full IDB as
+  /// a live view that AddFact/RemoveFact maintain incrementally. Later
+  /// Query calls with the same plan key answer from the view. Idempotent:
+  /// materializing an already-live key returns the existing handle.
+  Result<ViewHandle> Materialize(const ast::Program& program,
+                                 const ast::Atom& query,
+                                 Strategy strategy = Strategy::kAuto,
+                                 QueryStats* stats = nullptr);
+  /// Parses `program_text` (must contain a `?- query.` line) and
+  /// materializes it.
+  Result<ViewHandle> Materialize(const std::string& program_text,
+                                 Strategy strategy = Strategy::kAuto);
+  /// Answers directly from a materialized view.
+  Result<eval::AnswerSet> AnswerFromView(const ViewHandle& handle);
+  /// Maintenance counters of a view.
+  Result<inc::ViewStats> ViewStatsFor(const ViewHandle& handle) const;
+  /// The live view for `handle` (nullptr when dropped). Read-only
+  /// introspection; answering queries should go through Query/AnswerFromView
+  /// so the evaluation-epoch guard applies.
+  const inc::MaterializedView* view(const ViewHandle& handle) const;
+  /// Drops a view (its plan stays cached). Unknown handles are no-ops.
+  void DropView(const ViewHandle& handle);
+  size_t num_views() const;
+
   // ---- Introspection ------------------------------------------------------
+
+  /// Number of queries currently executing (evaluation-epoch guard).
+  /// Mutations fail with kFailedPrecondition while this is nonzero.
+  int64_t running_queries() const {
+    return active_queries_.load(std::memory_order_acquire);
+  }
 
   const EngineOptions& options() const { return options_; }
   /// Snapshot of the cumulative counters (thread-safe).
@@ -215,20 +287,74 @@ class Engine {
     std::list<std::string>::iterator lru_pos;
   };
 
+  /// One in-flight compilation (single-flight): the first cache miss on a
+  /// key owns it, later misses block on `cv` and share the outcome.
+  struct InFlightCompile {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;  // guarded by mu
+    Status status;
+    std::shared_ptr<const CompiledQuery> plan;
+  };
+
+  /// RAII evaluation-epoch guard: while alive, mutations fail with
+  /// kFailedPrecondition instead of racing the evaluation.
+  class QueryScope {
+   public:
+    explicit QueryScope(const Engine* engine) : engine_(engine) {
+      engine_->active_queries_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    ~QueryScope() {
+      engine_->active_queries_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    QueryScope(const QueryScope&) = delete;
+    QueryScope& operator=(const QueryScope&) = delete;
+
+   private:
+    const Engine* engine_;
+  };
+
   /// The engine's thread pool, created on first use (nullptr when
   /// num_threads == 0).
   exec::ThreadPool* EnsurePool();
+  /// Cache-enabled compilation against a precomputed plan key (so callers
+  /// that already derived the key for a view lookup don't canonicalize the
+  /// program a second time).
+  Result<std::shared_ptr<const CompiledQuery>> CompileWithKey(
+      const ast::Program& program, const ast::Atom& query, Strategy strategy,
+      QueryStats* stats, const std::string& key);
+  /// kFailedPrecondition when a query is executing (mutations must not race).
+  Status CheckMutable(const char* op) const;
+  /// The view matching `key`, or nullptr.
+  inc::MaterializedView* FindView(const std::string& key);
+  inc::IncrementalOptions MakeIncOptions();
+  /// Renames answer columns to the caller's query variables (the cached
+  /// plan's query may use different names).
+  static void RenameAnswerVars(const ast::Atom& query,
+                               eval::AnswerSet* answers);
 
   EngineOptions options_;
   eval::Database db_;
 
-  /// Guards stats_, lru_, cache_, and pool_ creation.
+  /// Guards stats_, lru_, cache_, inflight_, and pool_ creation.
   mutable std::mutex mu_;
   EngineStats stats_;
   /// Most recently used key at the front.
   std::list<std::string> lru_;
   std::map<std::string, CacheEntry> cache_;
+  std::map<std::string, std::shared_ptr<InFlightCompile>> inflight_;
+  /// Materialized views by plan-cache key, guarded — map structure and view
+  /// contents alike — by view_mu_. The unique_ptrs are stable, so a view
+  /// located under the lock stays valid after it drops (views are only
+  /// erased by DropView, which requires the usual external serialization
+  /// against in-flight queries).
+  std::map<std::string, std::unique_ptr<inc::MaterializedView>> views_;
+  /// Guards views_ and serializes view access: map registration/lookup,
+  /// delta propagation, and answering (Answer may build indices lazily).
+  /// Never nested with mu_ — every section takes exactly one of the two.
+  mutable std::mutex view_mu_;
   std::unique_ptr<exec::ThreadPool> pool_;
+  mutable std::atomic<int64_t> active_queries_{0};
 };
 
 }  // namespace factlog::api

@@ -21,7 +21,7 @@ const Relation* Database::Find(const std::string& name) const {
   return it == relations_.end() ? nullptr : it->second.get();
 }
 
-Status Database::AddFact(const ast::Atom& fact) {
+Result<std::vector<ValueId>> Database::InternRow(const ast::Atom& fact) {
   if (!fact.IsGround()) {
     return Status::Invalid("EDB fact must be ground: " + fact.ToString());
   }
@@ -31,8 +31,29 @@ Status Database::AddFact(const ast::Atom& fact) {
     FACTLOG_ASSIGN_OR_RETURN(ValueId v, store_->FromTerm(t));
     row.push_back(v);
   }
-  GetOrCreate(fact.predicate(), fact.arity()).Insert(row);
+  return row;
+}
+
+Status Database::AddFact(const ast::Atom& fact) {
+  FACTLOG_ASSIGN_OR_RETURN(std::vector<ValueId> row, InternRow(fact));
+  Relation& rel = GetOrCreate(fact.predicate(), fact.arity());
+  if (rel.arity() != fact.arity()) {
+    return Status::Invalid("arity mismatch for '" + fact.predicate() +
+                           "': relation has arity " +
+                           std::to_string(rel.arity()) + ", fact " +
+                           std::to_string(fact.arity()));
+  }
+  rel.Insert(row);
   return Status::OK();
+}
+
+Result<bool> Database::RemoveFact(const ast::Atom& fact) {
+  FACTLOG_ASSIGN_OR_RETURN(std::vector<ValueId> row, InternRow(fact));
+  Relation* rel = Find(fact.predicate());
+  if (rel == nullptr || rel->arity() != fact.arity()) return false;
+  if (!rel->Erase(row.data())) return false;
+  rel->SyncShards();
+  return true;
 }
 
 void Database::AddPair(const std::string& name, int64_t a, int64_t b) {

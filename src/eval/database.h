@@ -39,6 +39,13 @@ class Database {
 
   /// Interns and inserts a ground fact `p(c1, ..., ck)`.
   Status AddFact(const ast::Atom& fact);
+  /// Removes a ground fact if present. Returns true when a row was removed.
+  /// On sharded storage the relation is resynced before returning, so it is
+  /// immediately readable.
+  Result<bool> RemoveFact(const ast::Atom& fact);
+  /// Interns `fact`'s constant arguments into the store and returns the row,
+  /// without touching any relation.
+  Result<std::vector<ValueId>> InternRow(const ast::Atom& fact);
   /// Convenience: adds `name(a, b)` for integer pairs (graph edges).
   void AddPair(const std::string& name, int64_t a, int64_t b);
   /// Convenience: adds `name(a)` for an integer.

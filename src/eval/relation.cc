@@ -96,21 +96,183 @@ bool Relation::InsertFlat(const ValueId* row) {
   bucket.push_back(new_row);
   if (arity_ > 0) cells_.insert(cells_.end(), row, row + arity_);
   ++num_rows_;
+  if (counts_enabled_) counts_.push_back(1);
   for (auto& [cols, index] : indices_) {
     AddRowToIndex(cols, &index, new_row);
   }
   return true;
 }
 
-bool Relation::InsertIntoShard(size_t s, const ValueId* row) {
-  if (!shards_[s]->InsertFlat(row)) return false;
+void Relation::NoteShardInsert(size_t s) {
   uint32_t global = static_cast<uint32_t>(num_rows_);
-  row_locs_.push_back(PackLoc(s, shards_[s]->size() - 1));
   ++num_rows_;
+  // After an erase the global order is already stale and will be rebuilt
+  // wholesale by SyncShards; appending to it would record bogus locations.
+  if (needs_sync_) return;
+  row_locs_.push_back(PackLoc(s, shards_[s]->size() - 1));
   for (auto& [cols, index] : indices_) {
     AddRowToIndex(cols, &index, global);
   }
+}
+
+void Relation::NoteShardErase() {
+  --num_rows_;
+  needs_sync_ = true;
+  // Combined indices hold global row ids that no longer resolve; drop them
+  // and let SyncShards/EnsureIndex rebuild on demand.
+  indices_.clear();
+}
+
+bool Relation::InsertIntoShard(size_t s, const ValueId* row) {
+  if (!shards_[s]->InsertFlat(row)) return false;
+  NoteShardInsert(s);
   return true;
+}
+
+int64_t Relation::FindRowFlat(const ValueId* row) const {
+  auto it = dedup_.find(RowHash(row));
+  if (it == dedup_.end()) return -1;
+  for (uint32_t r : it->second) {
+    if (arity_ == 0 ||
+        std::memcmp(this->row(r), row, arity_ * sizeof(ValueId)) == 0) {
+      return static_cast<int64_t>(r);
+    }
+  }
+  return -1;
+}
+
+namespace {
+
+// Removes one occurrence of `id` from `ids` (swap-pop; order is irrelevant
+// for dedup buckets and index posting lists).
+void RemoveRowId(std::vector<uint32_t>* ids, uint32_t id) {
+  for (size_t i = 0; i < ids->size(); ++i) {
+    if ((*ids)[i] == id) {
+      (*ids)[i] = ids->back();
+      ids->pop_back();
+      return;
+    }
+  }
+}
+
+void ReplaceRowId(std::vector<uint32_t>* ids, uint32_t from, uint32_t to) {
+  for (uint32_t& id : *ids) {
+    if (id == from) {
+      id = to;
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void Relation::RemoveRowFromIndexes(uint32_t r) {
+  const ValueId* cells = row(r);
+  for (auto& [cols, index] : indices_) {
+    key_scratch_.clear();
+    for (int c : cols) key_scratch_.push_back(cells[c]);
+    auto it = index.buckets.find(key_scratch_);
+    if (it == index.buckets.end()) continue;
+    RemoveRowId(&it->second, r);
+    if (it->second.empty()) index.buckets.erase(it);
+  }
+}
+
+void Relation::RenumberRowInIndexes(uint32_t from, uint32_t to) {
+  const ValueId* cells = row(from);
+  for (auto& [cols, index] : indices_) {
+    key_scratch_.clear();
+    for (int c : cols) key_scratch_.push_back(cells[c]);
+    auto it = index.buckets.find(key_scratch_);
+    if (it != index.buckets.end()) ReplaceRowId(&it->second, from, to);
+  }
+}
+
+bool Relation::EraseFlat(const ValueId* row) {
+  int64_t found = FindRowFlat(row);
+  if (found < 0) return false;
+  uint32_t r = static_cast<uint32_t>(found);
+  uint32_t last = static_cast<uint32_t>(num_rows_ - 1);
+
+  // Unhook row r from the dedup table and every built index while its cells
+  // are still intact.
+  size_t h = RowHash(row);
+  auto ded = dedup_.find(h);
+  RemoveRowId(&ded->second, r);
+  if (ded->second.empty()) dedup_.erase(ded);
+  RemoveRowFromIndexes(r);
+
+  if (r != last) {
+    // The last row moves into slot r: renumber it everywhere, then copy its
+    // cells (the index/dedup keys are value-based, so only the id changes).
+    const ValueId* last_cells = this->row(last);
+    auto lded = dedup_.find(RowHash(last_cells));
+    ReplaceRowId(&lded->second, last, r);
+    RenumberRowInIndexes(last, r);
+    if (arity_ > 0) {
+      std::memmove(&cells_[r * arity_], last_cells, arity_ * sizeof(ValueId));
+    }
+    if (counts_enabled_) counts_[r] = counts_[last];
+  }
+  if (arity_ > 0) cells_.resize((num_rows_ - 1) * arity_);
+  if (counts_enabled_) counts_.pop_back();
+  --num_rows_;
+  return true;
+}
+
+bool Relation::Erase(const ValueId* row) {
+  if (shards_.empty()) return EraseFlat(row);
+  if (!shards_[ShardOf(row)]->EraseFlat(row)) return false;
+  NoteShardErase();
+  return true;
+}
+
+void Relation::EnableSupportCounts() {
+  counts_enabled_ = true;
+  if (shards_.empty()) {
+    counts_.assign(num_rows_, 0);
+    return;
+  }
+  for (auto& sh : shards_) sh->EnableSupportCounts();
+}
+
+int64_t Relation::SupportOf(const ValueId* row) const {
+  if (!shards_.empty()) return shards_[ShardOf(row)]->SupportOf(row);
+  if (!counts_enabled_) return Contains(row) ? 1 : 0;
+  int64_t r = FindRowFlat(row);
+  return r < 0 ? 0 : counts_[static_cast<size_t>(r)];
+}
+
+int64_t Relation::AddSupport(const ValueId* row, int64_t delta) {
+  if (!shards_.empty()) {
+    Relation& sh = *shards_[ShardOf(row)];
+    size_t before = sh.size();
+    int64_t count = sh.AddSupport(row, delta);
+    if (sh.size() > before) {
+      NoteShardInsert(ShardOf(row));
+    } else if (sh.size() < before) {
+      NoteShardErase();
+    }
+    return count;
+  }
+  // Auto-enabling on an empty relation lets delta buffers skip the explicit
+  // call; on a populated one the caller must have enabled (and rebuilt)
+  // counts already, or the zeroed counts would misreport support.
+  if (!counts_enabled_) EnableSupportCounts();
+  int64_t r = FindRowFlat(row);
+  if (r < 0) {
+    if (delta <= 0) return 0;
+    InsertFlat(row);
+    counts_.back() = delta;
+    return delta;
+  }
+  int64_t count = counts_[static_cast<size_t>(r)] + delta;
+  if (count <= 0) {
+    EraseFlat(row);
+    return 0;
+  }
+  counts_[static_cast<size_t>(r)] = count;
+  return count;
 }
 
 bool Relation::Contains(const ValueId* row) const {
@@ -177,6 +339,8 @@ void Relation::Clear() {
   dedup_.clear();
   indices_.clear();
   row_locs_.clear();
+  counts_.clear();
+  needs_sync_ = false;
   for (auto& sh : shards_) sh->Clear();
 }
 
@@ -217,7 +381,9 @@ void Relation::SyncShards() {
   if (shards_.empty()) return;
   size_t total = 0;
   for (const auto& sh : shards_) total += sh->size();
-  if (total == num_rows_) return;  // only MergeShard leaves them unequal
+  // MergeShard leaves the counts unequal; Erase balances them but raises the
+  // flag (local row ids shifted under the stale location table).
+  if (total == num_rows_ && !needs_sync_) return;
   // Rows merged shard-directly have no global order yet; rebuild it
   // shard-major. Combined indices hold the old global ids, so drop them and
   // let EnsureIndex rebuild on demand.
@@ -230,6 +396,7 @@ void Relation::SyncShards() {
   }
   num_rows_ = total;
   indices_.clear();
+  needs_sync_ = false;
 }
 
 }  // namespace factlog::eval

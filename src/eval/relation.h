@@ -26,6 +26,18 @@
 // onto the mutating Lookup path. MergeShard calls for *distinct* shards are
 // safe concurrently (each touches only its shard); after any MergeShard the
 // relation is out of sync until the control thread calls SyncShards().
+//
+// Deletion (incremental maintenance, src/inc): Erase removes one row by
+// swapping the last row into its slot, repairing the dedup table and every
+// built index in place, so a flat relation (and each inner shard) stays fully
+// consistent after any erase — at the cost of perturbing insertion order. On
+// a sharded relation an erase invalidates the outer global row order and
+// combined indices; the relation then behaves like after MergeShard: route-by
+// -hash operations (Insert/Contains/Erase/AddSupport) keep working, but the
+// caller must SyncShards() before global reads (row/Lookup/EnsureIndex).
+// Relations additionally carry optional per-row support counts (the counting
+// algorithm's derivation counters): EnableSupportCounts() zeroes them and
+// AddSupport() adjusts them, erasing a row when its count drops to zero.
 
 #ifndef FACTLOG_EVAL_RELATION_H_
 #define FACTLOG_EVAL_RELATION_H_
@@ -74,6 +86,29 @@ class Relation {
   bool Insert(const ValueId* row);
 
   bool Contains(const ValueId* row) const;
+
+  /// Removes `row` if present (swap-remove; see the deletion notes above).
+  /// Returns true when a row was removed. On a sharded relation the outer
+  /// global order desyncs: call SyncShards() before the next global read.
+  bool Erase(const ValueId* row);
+
+  // ---- Support counts (incremental maintenance) ---------------------------
+
+  /// Enables per-row support counts, (re)setting every existing row's count
+  /// to zero — the caller rebuilds exact counts with AddSupport(+1) per
+  /// derivation. Plain Insert gives new rows a count of 1 once enabled.
+  void EnableSupportCounts();
+  bool support_counts_enabled() const { return counts_enabled_; }
+
+  /// Adds `delta` to the row's support count, inserting the row (at count
+  /// `delta`) when absent and erasing it when the count drops to zero or
+  /// below. Returns the new count (0 when the row was erased or when called
+  /// with delta <= 0 on an absent row). Requires EnableSupportCounts().
+  int64_t AddSupport(const ValueId* row, int64_t delta);
+
+  /// The row's support count (0 when absent). Rows never touched by
+  /// AddSupport report the count Insert gave them (1).
+  int64_t SupportOf(const ValueId* row) const;
 
   /// Pointer to the idx-th row (arity() consecutive ValueIds), in global
   /// insertion order. Arity-0 relations have no cells; the returned pointer
@@ -147,8 +182,9 @@ class Relation {
   void MergeShard(size_t s, const Relation& rows);
 
   /// Rebuilds the global row order and drops stale combined indices after
-  /// MergeShard calls. No-op when already in sync (cheap: compares row
-  /// counts). Must be called from a single thread with no concurrent access.
+  /// MergeShard or Erase calls. No-op when already in sync (cheap: compares
+  /// row counts and checks the erase flag). Must be called from a single
+  /// thread with no concurrent access.
   void SyncShards();
 
  private:
@@ -170,8 +206,16 @@ class Relation {
 
   size_t RowHash(const ValueId* row) const;
   void AddRowToIndex(const std::vector<int>& cols, Index* index, uint32_t r);
+  void RemoveRowFromIndexes(uint32_t r);
+  void RenumberRowInIndexes(uint32_t from, uint32_t to);
   bool InsertFlat(const ValueId* row);
   bool InsertIntoShard(size_t s, const ValueId* row);
+  bool EraseFlat(const ValueId* row);
+  /// Row id of `row` in flat storage, or -1 when absent.
+  int64_t FindRowFlat(const ValueId* row) const;
+  /// Bookkeeping after an inner shard grew or shrank by one row.
+  void NoteShardInsert(size_t s);
+  void NoteShardErase();
 
   size_t arity_;
   size_t num_rows_ = 0;
@@ -184,6 +228,13 @@ class Relation {
   // Scratch key for index maintenance; avoids an allocation per (row, index)
   // on the fixpoint's hot insert path.
   std::vector<ValueId> key_scratch_;
+  // Per-row support counts (flat mode / each inner shard), parallel to the
+  // row store; maintained only once EnableSupportCounts() ran.
+  bool counts_enabled_ = false;
+  std::vector<int64_t> counts_;
+  // Set by Erase on a sharded relation: the global row order is stale even
+  // though the row-count comparison in SyncShards balances out.
+  bool needs_sync_ = false;
   // Sharded storage: inner single-shard relations plus the global insertion
   // order as packed (shard << 32 | local) locations.
   std::vector<int> part_cols_;

@@ -312,7 +312,7 @@ void EnumerateRelation(size_t lit_index, const CompiledAtom& lit,
     }
   }
 
-  Relation* rels[2] = {view.first, view.second};
+  Relation* rels[3] = {view.first, view.second, view.third};
   for (Relation* rel : rels) {
     if (rel == nullptr || rel->empty()) continue;
     if (!ctx->keep_going) return;

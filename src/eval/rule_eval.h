@@ -64,12 +64,15 @@ class CompiledRule {
   std::vector<std::string> var_names_;
 };
 
-/// The extent of one predicate during a join: the union of up to two
-/// relations (semi-naive evaluation unions "full" and "delta"). Either may be
-/// null. The two relations must be disjoint (the engines guarantee this).
-/// A view may also wrap a single storage shard (Relation::shard), which is a
-/// self-contained Relation with shard-local row ids — the parallel fixpoint
-/// uses delta shards as its work partitions.
+/// The extent of one predicate during a join: the union of up to three
+/// relations. Semi-naive evaluation unions "full" and "delta"; incremental
+/// maintenance (src/inc) additionally needs the three-way union of a
+/// maintained relation, the facts accumulated this propagation, and the
+/// current delta. Any member may be null; the relations must be pairwise
+/// disjoint (the engines guarantee this). A view may also wrap a single
+/// storage shard (Relation::shard), which is a self-contained Relation with
+/// shard-local row ids — the parallel fixpoint uses delta shards as its work
+/// partitions.
 struct RelationView {
   Relation* first = nullptr;
   Relation* second = nullptr;
@@ -79,10 +82,14 @@ struct RelationView {
   /// with Relation::EnsureIndex (combined) / Relation::EnsureShardIndexes
   /// (shard views) on the StaticIndexCols keys before the parallel region.
   bool shared = false;
+  /// Third union member. Declared after `shared` so the established
+  /// two-relation aggregate initializations keep compiling unchanged.
+  Relation* third = nullptr;
 
   bool IsEmpty() const {
     return (first == nullptr || first->empty()) &&
-           (second == nullptr || second->empty());
+           (second == nullptr || second->empty()) &&
+           (third == nullptr || third->empty());
   }
 };
 

@@ -174,16 +174,10 @@ class ParallelEngine {
     return RelationView{st.full.get(), nullptr, /*shared=*/true};
   }
 
-  // Merges a worker's thread-local buffer (sharded exactly like `target`)
-  // into `target` shard-to-shard, taking only the per-shard locks. Workers
-  // merging different shards proceed concurrently.
+  // Merges a worker's thread-local buffer into `target` under the head
+  // predicate's per-shard locks (see MergeBufferLocked).
   void MergeBuffer(PredState* st, Relation* target, const Relation& buffer) {
-    for (size_t s = 0; s < buffer.shard_count(); ++s) {
-      const Relation& rows = buffer.shard(s);
-      if (rows.empty()) continue;
-      std::lock_guard<std::mutex> lock(st->shard_locks[s]);
-      target->MergeShard(s, rows);
-    }
+    MergeBufferLocked(target, buffer, st->shard_locks.get());
   }
 
   // True when `row` being buffered pushed the in-flight fact estimate past
@@ -534,6 +528,16 @@ class ParallelEngine {
 };
 
 }  // namespace
+
+void MergeBufferLocked(eval::Relation* target, const eval::Relation& buffer,
+                       std::mutex* locks) {
+  for (size_t s = 0; s < buffer.shard_count(); ++s) {
+    const eval::Relation& rows = buffer.shard(s);
+    if (rows.empty()) continue;
+    std::lock_guard<std::mutex> lock(locks[s]);
+    target->MergeShard(s, rows);
+  }
+}
 
 Result<EvalResult> EvaluateParallel(const ast::Program& program, Database* db,
                                     ThreadPool* pool,

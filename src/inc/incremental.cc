@@ -1,0 +1,986 @@
+#include "inc/incremental.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "ast/special_predicates.h"
+#include "exec/parallel_seminaive.h"
+
+namespace factlog::inc {
+
+namespace {
+
+using eval::CompiledAtom;
+using eval::CompiledRule;
+using eval::JoinStats;
+using eval::LitKind;
+using eval::Relation;
+using eval::RelationView;
+using eval::ValueId;
+
+// Completes a rederivation body: `prefix` (the guard literals) followed by
+// the rule's remaining literals, relation literals greedily ordered to join
+// on already-bound variables — the guard binds the head's variables, and
+// without reordering the original left-to-right order would rescan whole
+// relations per candidate. Builtins run last in original order (they check
+// or compute once their inputs are bound; a relation literal scheduled
+// before a builtin that used to bind one of its variables degrades to a
+// scan-plus-filter, which stays correct).
+std::vector<ast::Atom> OrderRederiveBody(std::vector<ast::Atom> prefix,
+                                         std::vector<ast::Atom> pool,
+                                         const ast::Rule& rule,
+                                         size_t skip_index) {
+  std::set<std::string> bound;
+  std::vector<std::string> scratch;
+  auto note_bound = [&](const ast::Atom& a) {
+    scratch.clear();
+    a.CollectVars(&scratch);
+    bound.insert(scratch.begin(), scratch.end());
+  };
+  for (const ast::Atom& a : prefix) note_bound(a);
+
+  std::vector<ast::Atom> rels = std::move(pool), builtins;
+  for (size_t k = 0; k < rule.body().size(); ++k) {
+    if (k == skip_index) continue;
+    const ast::Atom& a = rule.body()[k];
+    (ast::IsBuiltinPredicate(a.predicate()) ? builtins : rels).push_back(a);
+  }
+  std::vector<ast::Atom> out = std::move(prefix);
+  std::vector<bool> used(rels.size(), false);
+  for (size_t n = 0; n < rels.size(); ++n) {
+    int best = -1;
+    int best_score = -1;
+    for (size_t i = 0; i < rels.size(); ++i) {
+      if (used[i]) continue;
+      int score = 0;
+      for (const std::string& v : rels[i].DistinctVars()) {
+        if (bound.count(v) > 0) ++score;
+      }
+      if (score > best_score) {
+        best = static_cast<int>(i);
+        best_score = score;
+      }
+    }
+    used[best] = true;
+    note_bound(rels[best]);
+    out.push_back(rels[best]);
+  }
+  for (ast::Atom& b : builtins) out.push_back(std::move(b));
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- building --
+
+Result<std::unique_ptr<MaterializedView>> MaterializedView::Build(
+    const ast::Program& program, eval::Database* db,
+    const IncrementalOptions& opts) {
+  if (opts.eval.track_provenance) {
+    return Status::Invalid(
+        "materialized views do not maintain provenance; use the sequential "
+        "evaluator for derivation trees");
+  }
+  std::unique_ptr<MaterializedView> view(
+      new MaterializedView(program, db, opts));
+  FACTLOG_RETURN_IF_ERROR(view->Init());
+  return view;
+}
+
+Status MaterializedView::Init() {
+  FACTLOG_RETURN_IF_ERROR(program_.Validate());
+  idb_preds_ = program_.IdbPredicates();
+  rules_.reserve(program_.rules().size());
+  for (size_t i = 0; i < program_.rules().size(); ++i) {
+    const ast::Rule& r = program_.rules()[i];
+    FACTLOG_ASSIGN_OR_RETURN(CompiledRule cr,
+                             CompiledRule::Compile(r, &db_->store()));
+    static_cols_.push_back(eval::StaticIndexCols(cr));
+    rules_.push_back(std::move(cr));
+    pred_info_[r.head().predicate()].rules.push_back(i);
+  }
+  ComputeSccs();
+
+  // The initial materialization is one ordinary from-scratch evaluation —
+  // on the pool when the caller has one, sequentially otherwise.
+  eval::EvalOptions eopts = opts_.eval;
+  eopts.strategy = eval::Strategy::kSemiNaive;
+  eopts.shared_edb = false;
+  if (opts_.pool != nullptr) {
+    exec::ParallelEvalOptions popts;
+    popts.eval = eopts;
+    popts.min_rows_to_partition = opts_.min_rows_to_partition;
+    FACTLOG_ASSIGN_OR_RETURN(
+        result_, exec::EvaluateParallel(program_, db_, opts_.pool, popts));
+  } else {
+    FACTLOG_ASSIGN_OR_RETURN(result_, eval::Evaluate(program_, db_, eopts));
+  }
+
+  for (auto& [pred, info] : pred_info_) {
+    Relation* rel = result_.Find(pred);
+    if (rel == nullptr) {
+      return Status::Internal("evaluation produced no relation for IDB '" +
+                              pred + "'");
+    }
+    info.shard_locks = std::make_unique<std::mutex[]>(rel->shard_count());
+  }
+
+  // Rederivation rules for DRed: the original body guarded by a candidate
+  // literal over the head's arguments, so re-derivation enumerates only the
+  // over-deleted facts instead of the whole relation.
+  cand_prefix_ = "__inc_cand__";
+  {
+    auto arities = program_.PredicateArities();
+    bool taken = true;
+    while (taken) {
+      taken = false;
+      for (const auto& [name, arity] : arities) {
+        if (name.rfind(cand_prefix_, 0) == 0) {
+          cand_prefix_ += "_";
+          taken = true;
+          break;
+        }
+      }
+    }
+  }
+  const std::string& cand_prefix = cand_prefix_;
+  rederive_rules_.resize(rules_.size());
+  rederive_occ_rules_.resize(rules_.size());
+  for (size_t i = 0; i < program_.rules().size(); ++i) {
+    const ast::Rule& r = program_.rules()[i];
+    const PredInfo& head_info = pred_info_.at(r.head().predicate());
+    if (!head_info.recursive) continue;
+    ast::Atom cand(cand_prefix + r.head().predicate(), r.head().args());
+    // Round-0 variant: the guard leads (scan bounded by the candidates).
+    FACTLOG_ASSIGN_OR_RETURN(
+        CompiledRule rr,
+        CompiledRule::Compile(
+            ast::Rule(r.head(), OrderRederiveBody({cand}, {}, r,
+                                                  /*skip_index=*/SIZE_MAX)),
+            &db_->store()));
+    rederive_rules_[i] = std::make_unique<CompiledRule>(std::move(rr));
+    // Rotated variants for delta-driven rounds: the occurrence leads and the
+    // guard joins greedily like any other literal — typically last, as an
+    // indexed filter on the by-then-bound head columns.
+    for (size_t b = 0; b < r.body().size(); ++b) {
+      const ast::Atom& lit = r.body()[b];
+      auto lit_info = pred_info_.find(lit.predicate());
+      if (lit_info == pred_info_.end() ||
+          lit_info->second.scc != head_info.scc) {
+        continue;
+      }
+      FACTLOG_ASSIGN_OR_RETURN(
+          CompiledRule rot,
+          CompiledRule::Compile(
+              ast::Rule(r.head(), OrderRederiveBody({lit}, {cand}, r, b)),
+              &db_->store()));
+      rederive_occ_rules_[i].emplace(
+          b, std::make_unique<CompiledRule>(std::move(rot)));
+    }
+  }
+
+  return RebuildSupportCounts();
+}
+
+void MaterializedView::ComputeSccs() {
+  // Tarjan over the IDB dependency graph (head -> body). SCCs pop only after
+  // every SCC they reach has popped, so the emission order is exactly the
+  // dependencies-first order propagation wants.
+  std::map<std::string, std::set<std::string>> adj;
+  for (const std::string& p : idb_preds_) adj[p];
+  for (const ast::Rule& r : program_.rules()) {
+    for (const ast::Atom& b : r.body()) {
+      if (IsIdb(b.predicate())) adj[r.head().predicate()].insert(b.predicate());
+    }
+  }
+  std::map<std::string, int> index, low;
+  std::vector<std::string> stack;
+  std::set<std::string> on_stack;
+  int counter = 0;
+  std::function<void(const std::string&)> strongconnect =
+      [&](const std::string& v) {
+        index[v] = low[v] = counter++;
+        stack.push_back(v);
+        on_stack.insert(v);
+        for (const std::string& w : adj[v]) {
+          if (index.find(w) == index.end()) {
+            strongconnect(w);
+            low[v] = std::min(low[v], low[w]);
+          } else if (on_stack.count(w) > 0) {
+            low[v] = std::min(low[v], index[w]);
+          }
+        }
+        if (low[v] != index[v]) return;
+        std::vector<std::string> scc;
+        while (true) {
+          std::string w = stack.back();
+          stack.pop_back();
+          on_stack.erase(w);
+          scc.push_back(w);
+          if (w == v) break;
+        }
+        bool recursive = scc.size() > 1;
+        for (const std::string& w : scc) {
+          if (adj[w].count(w) > 0) recursive = true;
+        }
+        for (const std::string& w : scc) {
+          pred_info_[w].scc = sccs_.size();
+          pred_info_[w].recursive = recursive;
+        }
+        sccs_.push_back(std::move(scc));
+      };
+  for (const std::string& p : idb_preds_) {
+    if (index.find(p) == index.end()) strongconnect(p);
+  }
+}
+
+Status MaterializedView::RebuildSupportCounts() {
+  // Exact derivation counts for every counting-maintained predicate: zero
+  // them, then credit one support per rule instantiation over the final
+  // state. Every derivable row is already in the relation (fixpoint), so
+  // AddSupport only adjusts counters here.
+  for (const auto& [pred, info] : pred_info_) {
+    if (info.recursive) continue;
+    result_.Find(pred)->EnableSupportCounts();
+  }
+  for (const auto& [pred, info] : pred_info_) {
+    if (info.recursive) continue;
+    Relation* rel = result_.Find(pred);
+    for (size_t ri : info.rules) {
+      const CompiledRule& rule = rules_[ri];
+      std::vector<RelationView> views;
+      views.reserve(rule.body().size());
+      for (const CompiledAtom& lit : rule.body()) {
+        views.push_back(lit.kind == LitKind::kRelation
+                            ? RelationView{CurrentRel(lit.predicate), nullptr}
+                            : RelationView{});
+      }
+      JoinStats js;
+      FACTLOG_RETURN_IF_ERROR(EnumerateRule(
+          rule, &db_->store(), views, /*track_premises=*/false, &js,
+          [&](const std::vector<ValueId>& row, const std::vector<eval::FactKey>*) {
+            rel->AddSupport(row.data(), 1);
+            return true;
+          }));
+    }
+  }
+  return Status::OK();
+}
+
+// ----------------------------------------------------------------- queries --
+
+Result<eval::AnswerSet> MaterializedView::Answer(const ast::Atom& query) {
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "materialized view poisoned by an earlier failed propagation; drop "
+        "and re-materialize");
+  }
+  return eval::ExtractAnswers(query, &result_, db_);
+}
+
+uint64_t MaterializedView::total_facts() const {
+  uint64_t n = 0;
+  for (const auto& [pred, rel] : result_.idb()) n += rel->size();
+  return n;
+}
+
+// ----------------------------------------------------------------- helpers --
+
+Relation* MaterializedView::CurrentRel(const std::string& pred) {
+  if (IsIdb(pred)) return result_.Find(pred);
+  return db_->Find(pred);
+}
+
+bool MaterializedView::SccAffected(const std::vector<std::string>& scc,
+                                   const DeltaMap& delta) const {
+  for (const std::string& p : scc) {
+    for (size_t ri : pred_info_.at(p).rules) {
+      for (const CompiledAtom& lit : rules_[ri].body()) {
+        if (lit.kind != LitKind::kRelation) continue;
+        auto it = delta.find(lit.predicate);
+        if (it != delta.end() && !it->second->empty()) return true;
+      }
+    }
+  }
+  return false;
+}
+
+uint64_t MaterializedView::InFlight(
+    const std::vector<std::unique_ptr<Relation>>& owned) const {
+  uint64_t n = 0;
+  for (const auto& d : owned) n += d->size();
+  return n;
+}
+
+// ------------------------------------------------------------- delta passes --
+
+bool MaterializedView::PreparePass(size_t rule_index,
+                                   std::vector<RelationView>* views,
+                                   size_t occ, const Relation* delta) {
+  bool parallel = opts_.pool != nullptr && delta->shard_count() > 1 &&
+                  delta->size() >= opts_.min_rows_to_partition;
+  if (!parallel) return false;
+  // Pre-build every index a worker could probe, then freeze the views:
+  // inside the parallel region only the const read path runs.
+  const std::vector<std::vector<int>>& cols = static_cols_[rule_index];
+  for (size_t k = 0; k < views->size(); ++k) {
+    if (k == occ) continue;
+    RelationView& view = (*views)[k];
+    if (!cols[k].empty()) {
+      for (Relation* r : {view.first, view.second, view.third}) {
+        if (r != nullptr) r->EnsureIndex(cols[k]);
+      }
+    }
+    view.shared = true;
+  }
+  if (!cols[occ].empty()) {
+    const_cast<Relation*>(delta)->EnsureShardIndexes(cols[occ]);
+  }
+  return true;
+}
+
+Status MaterializedView::RunPassCollect(size_t rule_index,
+                                        std::vector<RelationView> views,
+                                        size_t occ, const Relation* delta,
+                                        const RowSink& apply) {
+  if (delta == nullptr || delta->empty()) return Status::OK();
+  ++stats_.delta_passes;
+  const CompiledRule& rule = rules_[rule_index];
+  if (!PreparePass(rule_index, &views, occ, delta)) {
+    views[occ] = RelationView{const_cast<Relation*>(delta), nullptr};
+    JoinStats js;
+    return EnumerateRule(
+        rule, &db_->store(), views, /*track_premises=*/false, &js,
+        [&](const std::vector<ValueId>& row, const std::vector<eval::FactKey>*) {
+          apply(row);
+          return true;
+        });
+  }
+  // One task per delta shard; workers only collect (multiplicity preserved),
+  // the calling thread applies, so sinks stay free of synchronization.
+  const size_t shards = delta->shard_count();
+  std::vector<std::vector<std::vector<ValueId>>> collected(shards);
+  std::vector<Status> statuses(shards, Status::OK());
+  opts_.pool->ParallelFor(shards, [&](size_t s) {
+    const Relation& extent = delta->shard(s);
+    if (extent.empty()) return;
+    std::vector<RelationView> wviews = views;
+    wviews[occ] = RelationView{const_cast<Relation*>(&extent), nullptr,
+                               /*shared=*/true};
+    JoinStats js;
+    statuses[s] = EnumerateRule(
+        rule, &db_->store(), wviews, /*track_premises=*/false, &js,
+        [&](const std::vector<ValueId>& row, const std::vector<eval::FactKey>*) {
+          collected[s].push_back(row);
+          return true;
+        });
+  });
+  for (const Status& st : statuses) FACTLOG_RETURN_IF_ERROR(st);
+  for (const auto& rows : collected) {
+    for (const std::vector<ValueId>& row : rows) apply(row);
+  }
+  return Status::OK();
+}
+
+Status MaterializedView::RunPassInto(
+    size_t rule_index, std::vector<RelationView> views, size_t occ,
+    const Relation* delta, const std::vector<const Relation*>& known,
+    Relation* target, std::mutex* locks) {
+  if (delta == nullptr || delta->empty()) return Status::OK();
+  ++stats_.delta_passes;
+  const CompiledRule& rule = rules_[rule_index];
+  auto is_known = [&known](const ValueId* row) {
+    for (const Relation* k : known) {
+      if (k != nullptr && k->Contains(row)) return true;
+    }
+    return false;
+  };
+  if (!PreparePass(rule_index, &views, occ, delta)) {
+    views[occ] = RelationView{const_cast<Relation*>(delta), nullptr};
+    JoinStats js;
+    return EnumerateRule(
+        rule, &db_->store(), views, /*track_premises=*/false, &js,
+        [&](const std::vector<ValueId>& row, const std::vector<eval::FactKey>*) {
+          if (!is_known(row.data())) target->Insert(row);
+          return true;
+        });
+  }
+  // Workers deduplicate against the frozen `known` extents into thread-local
+  // buffers sharded like the target, then merge shard-to-shard under the
+  // head predicate's per-shard locks — the exec merge seam.
+  const size_t shards = delta->shard_count();
+  std::vector<Status> statuses(shards, Status::OK());
+  opts_.pool->ParallelFor(shards, [&](size_t s) {
+    const Relation& extent = delta->shard(s);
+    if (extent.empty()) return;
+    std::vector<RelationView> wviews = views;
+    wviews[occ] = RelationView{const_cast<Relation*>(&extent), nullptr,
+                               /*shared=*/true};
+    Relation buffer(target->arity(), target->storage_options());
+    JoinStats js;
+    statuses[s] = EnumerateRule(
+        rule, &db_->store(), wviews, /*track_premises=*/false, &js,
+        [&](const std::vector<ValueId>& row, const std::vector<eval::FactKey>*) {
+          if (!is_known(row.data())) buffer.Insert(row);
+          return true;
+        });
+    if (statuses[s].ok() && !buffer.empty()) {
+      exec::MergeBufferLocked(target, buffer, locks);
+    }
+  });
+  for (const Status& st : statuses) FACTLOG_RETURN_IF_ERROR(st);
+  target->SyncShards();
+  return Status::OK();
+}
+
+// ------------------------------------------------------------- insertions --
+
+Status MaterializedView::ApplyInsert(const std::string& pred,
+                                     const Relation& delta) {
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "materialized view poisoned by an earlier failed propagation; drop "
+        "and re-materialize");
+  }
+  // EDB facts named like an IDB predicate are invisible to evaluation (IDB
+  // relations shadow them), so there is nothing to maintain.
+  if (delta.empty() || IsIdb(pred)) return Status::OK();
+  Status st = PropagateInsert(pred, delta);
+  if (!st.ok()) poisoned_ = true;
+  return st;
+}
+
+Status MaterializedView::PropagateInsert(const std::string& pred,
+                                         const Relation& edb_delta) {
+  DeltaMap delta;
+  delta[pred] = &edb_delta;
+  std::vector<std::unique_ptr<Relation>> owned;
+  for (const std::vector<std::string>& scc : sccs_) {
+    if (!SccAffected(scc, delta)) continue;
+    Status st = pred_info_.at(scc.front()).recursive
+                    ? InsertRecursive(scc, &delta, &owned)
+                    : InsertCounting(scc.front(), &delta, &owned);
+    FACTLOG_RETURN_IF_ERROR(st);
+  }
+  // Apply: every maintained relation stayed in its old state (so the union
+  // views above were exact); absorb the accumulated deltas now. The engine
+  // inserts the EDB rows after all views have propagated.
+  for (const auto& [p, d] : delta) {
+    if (!IsIdb(p) || d->empty()) continue;
+    Relation* rel = result_.Find(p);
+    if (pred_info_.at(p).recursive) {
+      stats_.idb_inserted += rel->Absorb(*d);
+    } else {
+      for (size_t r = 0; r < d->size(); ++r) {
+        const ValueId* row = d->row(r);
+        rel->AddSupport(row, d->SupportOf(row));
+      }
+      stats_.idb_inserted += d->size();
+    }
+  }
+  stats_.inserts_applied += edb_delta.size();
+  return Status::OK();
+}
+
+Status MaterializedView::InsertCounting(
+    const std::string& pred, DeltaMap* delta,
+    std::vector<std::unique_ptr<Relation>>* owned) {
+  Relation* rel = result_.Find(pred);
+  auto dp = std::make_unique<Relation>(rel->arity(), rel->storage_options());
+  for (size_t ri : pred_info_.at(pred).rules) {
+    const CompiledRule& rule = rules_[ri];
+    for (size_t j = 0; j < rule.body().size(); ++j) {
+      const CompiledAtom& lit_j = rule.body()[j];
+      if (lit_j.kind != LitKind::kRelation) continue;
+      auto dj = delta->find(lit_j.predicate);
+      if (dj == delta->end() || dj->second->empty()) continue;
+      // Occurrence decomposition: before j at the new state (stored-old
+      // union delta), j at the delta, after j at the old state. Each
+      // instantiation is one new derivation.
+      std::vector<RelationView> views;
+      views.reserve(rule.body().size());
+      for (size_t k = 0; k < rule.body().size(); ++k) {
+        const CompiledAtom& lit = rule.body()[k];
+        if (lit.kind != LitKind::kRelation || k == j) {
+          views.push_back(RelationView{});
+          continue;
+        }
+        Relation* cur = CurrentRel(lit.predicate);
+        auto dk = delta->find(lit.predicate);
+        Relation* d =
+            (k < j && dk != delta->end())
+                ? const_cast<Relation*>(dk->second)
+                : nullptr;
+        views.push_back(RelationView{cur, d});
+      }
+      FACTLOG_RETURN_IF_ERROR(RunPassCollect(
+          ri, std::move(views), j, dj->second,
+          [&](const std::vector<ValueId>& row) {
+            ++stats_.support_updates;
+            if (rel->Contains(row.data())) {
+              rel->AddSupport(row.data(), 1);  // count-only: row set unchanged
+            } else {
+              dp->AddSupport(row.data(), 1);
+            }
+          }));
+    }
+  }
+  if (!dp->empty()) {
+    (*delta)[pred] = dp.get();
+    owned->push_back(std::move(dp));
+  }
+  return Status::OK();
+}
+
+Status MaterializedView::InsertRecursive(
+    const std::vector<std::string>& scc, DeltaMap* delta,
+    std::vector<std::unique_ptr<Relation>>* owned) {
+  std::set<std::string> in_scc(scc.begin(), scc.end());
+  // acc = facts new this propagation (the eventual outward delta), cur = the
+  // current fixpoint delta, nxt = the next one. All sharded like the
+  // maintained relation so worker buffers merge shard-to-shard.
+  std::map<std::string, std::unique_ptr<Relation>> acc, cur, nxt;
+  for (const std::string& p : scc) {
+    Relation* rel = result_.Find(p);
+    acc[p] = std::make_unique<Relation>(rel->arity(), rel->storage_options());
+    cur[p] = std::make_unique<Relation>(rel->arity(), rel->storage_options());
+    nxt[p] = std::make_unique<Relation>(rel->arity(), rel->storage_options());
+  }
+
+  // Seed: apply the lower-stratum deltas one occurrence at a time while the
+  // SCC's own extents sit at their old state; the fixpoint below then covers
+  // every instantiation involving a new SCC fact.
+  for (const std::string& p : scc) {
+    for (size_t ri : pred_info_.at(p).rules) {
+      const CompiledRule& rule = rules_[ri];
+      for (size_t j = 0; j < rule.body().size(); ++j) {
+        const CompiledAtom& lit_j = rule.body()[j];
+        if (lit_j.kind != LitKind::kRelation) continue;
+        if (in_scc.count(lit_j.predicate) > 0) continue;
+        auto dj = delta->find(lit_j.predicate);
+        if (dj == delta->end() || dj->second->empty()) continue;
+        std::vector<RelationView> views;
+        views.reserve(rule.body().size());
+        for (size_t k = 0; k < rule.body().size(); ++k) {
+          const CompiledAtom& lit = rule.body()[k];
+          if (lit.kind != LitKind::kRelation || k == j) {
+            views.push_back(RelationView{});
+            continue;
+          }
+          if (in_scc.count(lit.predicate) > 0) {
+            views.push_back(RelationView{CurrentRel(lit.predicate), nullptr});
+            continue;
+          }
+          Relation* c = CurrentRel(lit.predicate);
+          auto dk = delta->find(lit.predicate);
+          Relation* d = (k < j && dk != delta->end())
+                            ? const_cast<Relation*>(dk->second)
+                            : nullptr;
+          views.push_back(RelationView{c, d});
+        }
+        FACTLOG_RETURN_IF_ERROR(RunPassInto(
+            ri, std::move(views), j, dj->second, {result_.Find(p)},
+            cur[p].get(), pred_info_.at(p).shard_locks.get()));
+      }
+    }
+  }
+
+  // Semi-naive fixpoint within the SCC. Non-SCC literals sit uniformly at
+  // their new state; SCC literals before the occurrence see this round's
+  // view (stored ∪ acc ∪ cur — the three-way union), after it last round's.
+  uint64_t iterations = 0;
+  while (true) {
+    bool any = false;
+    for (const std::string& p : scc) {
+      if (!cur[p]->empty()) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) break;
+    if (++iterations > opts_.eval.max_iterations) {
+      return Status::ResourceExhausted(
+          "iteration budget exceeded during incremental insertion");
+    }
+    for (const std::string& p : scc) {
+      for (size_t ri : pred_info_.at(p).rules) {
+        const CompiledRule& rule = rules_[ri];
+        for (size_t j = 0; j < rule.body().size(); ++j) {
+          const CompiledAtom& lit_j = rule.body()[j];
+          if (lit_j.kind != LitKind::kRelation) continue;
+          if (in_scc.count(lit_j.predicate) == 0) continue;
+          if (cur[lit_j.predicate]->empty()) continue;
+          std::vector<RelationView> views;
+          views.reserve(rule.body().size());
+          for (size_t k = 0; k < rule.body().size(); ++k) {
+            const CompiledAtom& lit = rule.body()[k];
+            if (lit.kind != LitKind::kRelation || k == j) {
+              views.push_back(RelationView{});
+              continue;
+            }
+            if (in_scc.count(lit.predicate) > 0) {
+              Relation* base = result_.Find(lit.predicate);
+              Relation* a = acc[lit.predicate].get();
+              views.push_back(
+                  k < j ? RelationView{base, a, false,
+                                       cur[lit.predicate].get()}
+                        : RelationView{base, a});
+              continue;
+            }
+            Relation* c = CurrentRel(lit.predicate);
+            auto dk = delta->find(lit.predicate);
+            Relation* d = dk != delta->end()
+                              ? const_cast<Relation*>(dk->second)
+                              : nullptr;
+            views.push_back(RelationView{c, d});
+          }
+          FACTLOG_RETURN_IF_ERROR(RunPassInto(
+              ri, std::move(views), j, cur[lit_j.predicate].get(),
+              {result_.Find(p), acc[p].get(), cur[p].get()}, nxt[p].get(),
+              pred_info_.at(p).shard_locks.get()));
+        }
+      }
+    }
+    uint64_t extra = 0;
+    for (const std::string& p : scc) {
+      acc[p]->Absorb(*cur[p]);
+      cur[p] = std::move(nxt[p]);
+      nxt[p] = std::make_unique<Relation>(acc[p]->arity(),
+                                          acc[p]->storage_options());
+      extra += acc[p]->size() + cur[p]->size();
+    }
+    if (total_facts() + InFlight(*owned) + extra > opts_.eval.max_facts) {
+      return Status::ResourceExhausted(
+          "fact budget exceeded during incremental insertion");
+    }
+  }
+
+  for (const std::string& p : scc) {
+    if (acc[p]->empty()) continue;
+    (*delta)[p] = acc[p].get();
+    owned->push_back(std::move(acc[p]));
+  }
+  return Status::OK();
+}
+
+// -------------------------------------------------------------- deletions --
+
+Status MaterializedView::ApplyDelete(const std::string& pred,
+                                     const Relation& delta) {
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "materialized view poisoned by an earlier failed propagation; drop "
+        "and re-materialize");
+  }
+  if (delta.empty() || IsIdb(pred)) return Status::OK();
+  Status st = PropagateDelete(pred, delta);
+  if (!st.ok()) poisoned_ = true;
+  return st;
+}
+
+Status MaterializedView::PropagateDelete(const std::string& pred,
+                                         const Relation& edb_delta) {
+  // Deletion invariant: every already-processed relation (and the EDB, which
+  // the engine erased before calling) holds its NEW state, with the removed
+  // rows kept aside in `delta` — so old state = stored ∪ delta, always
+  // representable as a union view.
+  DeltaMap delta;
+  delta[pred] = &edb_delta;
+  std::vector<std::unique_ptr<Relation>> owned;
+  for (const std::vector<std::string>& scc : sccs_) {
+    if (!SccAffected(scc, delta)) continue;
+    Status st = pred_info_.at(scc.front()).recursive
+                    ? DeleteRecursive(scc, &delta, &owned)
+                    : DeleteCounting(scc.front(), &delta, &owned);
+    FACTLOG_RETURN_IF_ERROR(st);
+  }
+  stats_.deletes_applied += edb_delta.size();
+  return Status::OK();
+}
+
+Status MaterializedView::DeleteCounting(
+    const std::string& pred, DeltaMap* delta,
+    std::vector<std::unique_ptr<Relation>>* owned) {
+  Relation* rel = result_.Find(pred);
+  // Lost derivations with multiplicity: before j new ({stored}), j at the
+  // deleted rows, after j old ({stored, deleted}).
+  std::map<std::vector<ValueId>, int64_t> lost;
+  for (size_t ri : pred_info_.at(pred).rules) {
+    const CompiledRule& rule = rules_[ri];
+    for (size_t j = 0; j < rule.body().size(); ++j) {
+      const CompiledAtom& lit_j = rule.body()[j];
+      if (lit_j.kind != LitKind::kRelation) continue;
+      auto dj = delta->find(lit_j.predicate);
+      if (dj == delta->end() || dj->second->empty()) continue;
+      std::vector<RelationView> views;
+      views.reserve(rule.body().size());
+      for (size_t k = 0; k < rule.body().size(); ++k) {
+        const CompiledAtom& lit = rule.body()[k];
+        if (lit.kind != LitKind::kRelation || k == j) {
+          views.push_back(RelationView{});
+          continue;
+        }
+        Relation* cur = CurrentRel(lit.predicate);
+        auto dk = delta->find(lit.predicate);
+        Relation* d = (k > j && dk != delta->end())
+                          ? const_cast<Relation*>(dk->second)
+                          : nullptr;
+        views.push_back(RelationView{cur, d});
+      }
+      FACTLOG_RETURN_IF_ERROR(RunPassCollect(
+          ri, std::move(views), j, dj->second,
+          [&](const std::vector<ValueId>& row) { ++lost[row]; }));
+    }
+  }
+  if (lost.empty()) return Status::OK();
+  auto dp = std::make_unique<Relation>(rel->arity(), rel->storage_options());
+  for (const auto& [row, count] : lost) {
+    stats_.support_updates += static_cast<uint64_t>(count);
+    if (rel->AddSupport(row.data(), -count) == 0) {
+      dp->Insert(row);
+      ++stats_.idb_deleted;
+    }
+  }
+  rel->SyncShards();
+  if (!dp->empty()) {
+    (*delta)[pred] = dp.get();
+    owned->push_back(std::move(dp));
+  }
+  return Status::OK();
+}
+
+Status MaterializedView::DeleteRecursive(
+    const std::vector<std::string>& scc, DeltaMap* delta,
+    std::vector<std::unique_ptr<Relation>>* owned) {
+  std::set<std::string> in_scc(scc.begin(), scc.end());
+  // 1. Over-delete: everything in the SCC derivable (transitively) from a
+  // deleted fact, evaluated over the OLD state — lower strata as stored ∪
+  // deleted, SCC relations as stored (their rows are not erased yet).
+  std::map<std::string, std::unique_ptr<Relation>> d_all, d_cur, d_nxt;
+  for (const std::string& p : scc) {
+    Relation* rel = result_.Find(p);
+    d_all[p] = std::make_unique<Relation>(rel->arity(), rel->storage_options());
+    d_cur[p] = std::make_unique<Relation>(rel->arity(), rel->storage_options());
+    d_nxt[p] = std::make_unique<Relation>(rel->arity(), rel->storage_options());
+  }
+  auto old_views = [&](const CompiledRule& rule, size_t j) {
+    std::vector<RelationView> views;
+    views.reserve(rule.body().size());
+    for (size_t k = 0; k < rule.body().size(); ++k) {
+      const CompiledAtom& lit = rule.body()[k];
+      if (lit.kind != LitKind::kRelation || k == j) {
+        views.push_back(RelationView{});
+        continue;
+      }
+      if (in_scc.count(lit.predicate) > 0) {
+        views.push_back(RelationView{CurrentRel(lit.predicate), nullptr});
+        continue;
+      }
+      Relation* cur = CurrentRel(lit.predicate);
+      auto dk = delta->find(lit.predicate);
+      Relation* d = dk != delta->end() ? const_cast<Relation*>(dk->second)
+                                       : nullptr;
+      views.push_back(RelationView{cur, d});
+    }
+    return views;
+  };
+
+  // Seed from the lower-stratum deletions.
+  for (const std::string& p : scc) {
+    Relation* rel = result_.Find(p);
+    for (size_t ri : pred_info_.at(p).rules) {
+      const CompiledRule& rule = rules_[ri];
+      for (size_t j = 0; j < rule.body().size(); ++j) {
+        const CompiledAtom& lit_j = rule.body()[j];
+        if (lit_j.kind != LitKind::kRelation) continue;
+        if (in_scc.count(lit_j.predicate) > 0) continue;
+        auto dj = delta->find(lit_j.predicate);
+        if (dj == delta->end() || dj->second->empty()) continue;
+        FACTLOG_RETURN_IF_ERROR(RunPassCollect(
+            ri, old_views(rule, j), j, dj->second,
+            [&](const std::vector<ValueId>& row) {
+              if (rel->Contains(row.data()) && d_all[p]->Insert(row)) {
+                d_cur[p]->Insert(row);
+              }
+            }));
+      }
+    }
+  }
+  // Transitive over-deletion within the SCC.
+  uint64_t iterations = 0;
+  while (true) {
+    bool any = false;
+    for (const std::string& p : scc) {
+      if (!d_cur[p]->empty()) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) break;
+    if (++iterations > opts_.eval.max_iterations) {
+      return Status::ResourceExhausted(
+          "iteration budget exceeded during over-deletion");
+    }
+    for (const std::string& p : scc) {
+      Relation* rel = result_.Find(p);
+      for (size_t ri : pred_info_.at(p).rules) {
+        const CompiledRule& rule = rules_[ri];
+        for (size_t j = 0; j < rule.body().size(); ++j) {
+          const CompiledAtom& lit_j = rule.body()[j];
+          if (lit_j.kind != LitKind::kRelation) continue;
+          if (in_scc.count(lit_j.predicate) == 0) continue;
+          if (d_cur[lit_j.predicate]->empty()) continue;
+          FACTLOG_RETURN_IF_ERROR(RunPassCollect(
+              ri, old_views(rule, j), j, d_cur[lit_j.predicate].get(),
+              [&](const std::vector<ValueId>& row) {
+                if (rel->Contains(row.data()) && d_all[p]->Insert(row)) {
+                  d_nxt[p]->Insert(row);
+                }
+              }));
+        }
+      }
+    }
+    for (const std::string& p : scc) {
+      d_cur[p] = std::move(d_nxt[p]);
+      d_nxt[p] = std::make_unique<Relation>(d_cur[p]->arity(),
+                                            d_cur[p]->storage_options());
+    }
+  }
+
+  uint64_t overdeleted = 0;
+  for (const std::string& p : scc) overdeleted += d_all[p]->size();
+  stats_.overdeleted += overdeleted;
+  if (overdeleted == 0) return Status::OK();
+
+  // 2. Erase the over-deleted facts.
+  for (const std::string& p : scc) {
+    Relation* rel = result_.Find(p);
+    const Relation& d = *d_all[p];
+    for (size_t r = 0; r < d.size(); ++r) rel->Erase(d.row(r));
+    rel->SyncShards();
+  }
+
+  // 3. Re-derive: candidates with a derivation over the remaining state
+  // (including other candidates already re-derived) re-enter the relation.
+  // The candidate guard literal bounds every enumeration by the candidates;
+  // after the first full round, only passes driven by the newly re-derived
+  // facts run, so the fixpoint does delta-sized work per round instead of
+  // rescanning every remaining candidate.
+  // Each internal fixpoint gets the full iteration budget (the header's
+  // contract); over-deletion rounds must not eat into re-derivation's.
+  uint64_t rederive_iterations = 0;
+  std::map<std::string, std::unique_ptr<Relation>> cand, renew;
+  for (const std::string& p : scc) {
+    cand[p] = std::make_unique<Relation>(d_all[p]->arity());
+    cand[p]->Absorb(*d_all[p]);
+    renew[p] = std::make_unique<Relation>(d_all[p]->arity());
+  }
+  std::map<std::string, std::set<std::vector<ValueId>>> pending;
+  auto apply_pending = [&]() {
+    for (auto& [p, rows] : pending) {
+      Relation* rel = result_.Find(p);
+      for (const std::vector<ValueId>& row : rows) {
+        if (!cand[p]->Contains(row.data())) continue;
+        cand[p]->Erase(row.data());
+        rel->Insert(row);
+        renew[p]->Insert(row);
+        ++stats_.rederived;
+      }
+    }
+    pending.clear();
+  };
+  // Guard literals resolve to the head's candidate relation; everything
+  // else to its current (post-over-deletion) extent.
+  auto rederive_view = [&](const CompiledAtom& lit,
+                           const std::string& head) -> RelationView {
+    if (lit.kind != LitKind::kRelation) return RelationView{};
+    if (lit.predicate == cand_prefix_ + head) {
+      return RelationView{cand[head].get(), nullptr};
+    }
+    return RelationView{CurrentRel(lit.predicate), nullptr};
+  };
+
+  // First round: every candidate against the post-over-deletion state (the
+  // guard literal leads, so the scan is bounded by the candidates).
+  for (const std::string& p : scc) {
+    if (cand[p]->empty()) continue;
+    for (size_t ri : pred_info_.at(p).rules) {
+      const CompiledRule& rr = *rederive_rules_[ri];
+      std::vector<RelationView> views;
+      views.reserve(rr.body().size());
+      for (const CompiledAtom& lit : rr.body()) {
+        views.push_back(rederive_view(lit, p));
+      }
+      JoinStats js;
+      ++stats_.delta_passes;
+      FACTLOG_RETURN_IF_ERROR(EnumerateRule(
+          rr, &db_->store(), views, /*track_premises=*/false, &js,
+          [&](const std::vector<ValueId>& row,
+              const std::vector<eval::FactKey>*) {
+            pending[p].insert(row);
+            return true;
+          }));
+    }
+  }
+  apply_pending();
+  // Later rounds: only derivations through a newly re-derived fact.
+  while (true) {
+    bool any = false;
+    for (const std::string& p : scc) {
+      if (!renew[p]->empty()) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) break;
+    if (++rederive_iterations > opts_.eval.max_iterations) {
+      return Status::ResourceExhausted(
+          "iteration budget exceeded during re-derivation");
+    }
+    std::map<std::string, std::unique_ptr<Relation>> driving;
+    driving.swap(renew);
+    for (const std::string& p : scc) {
+      renew[p] = std::make_unique<Relation>(d_all[p]->arity());
+      if (cand[p]->empty()) continue;
+      for (size_t ri : pred_info_.at(p).rules) {
+        for (const auto& [occ, rot] : rederive_occ_rules_[ri]) {
+          const Relation* extent = driving.at(rules_[ri].body()[occ].predicate)
+                                       .get();
+          if (extent->empty()) continue;
+          // Rotated variant: the driving occurrence leads (delta-sized
+          // scan), the candidate guard joins on its bound columns.
+          std::vector<RelationView> views;
+          views.reserve(rot->body().size());
+          views.push_back(
+              RelationView{const_cast<Relation*>(extent), nullptr});
+          for (size_t k = 1; k < rot->body().size(); ++k) {
+            views.push_back(rederive_view(rot->body()[k], p));
+          }
+          JoinStats js;
+          ++stats_.delta_passes;
+          FACTLOG_RETURN_IF_ERROR(EnumerateRule(
+              *rot, &db_->store(), views, /*track_premises=*/false, &js,
+              [&](const std::vector<ValueId>& row,
+                  const std::vector<eval::FactKey>*) {
+                pending[p].insert(row);
+                return true;
+              }));
+        }
+      }
+    }
+    apply_pending();
+  }
+
+  // 4. Outward deltas: candidates that never re-derived are the SCC's net
+  // deletions (already erased from the relations above).
+  for (const std::string& p : scc) {
+    if (cand[p]->empty()) continue;
+    stats_.idb_deleted += cand[p]->size();
+    (*delta)[p] = cand[p].get();
+    owned->push_back(std::move(cand[p]));
+  }
+  return Status::OK();
+}
+
+}  // namespace factlog::inc

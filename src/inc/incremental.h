@@ -1,0 +1,240 @@
+// Incremental view maintenance: counting deltas for non-recursive strata,
+// DRed (delete-and-rederive) for recursive ones.
+//
+// The engine's whole design amortizes one-time work — like the paper's
+// multi-prime argument reduction, where a cheap precomputation pays for
+// itself across every evaluation. A MaterializedView extends that economy to
+// the data: instead of re-running the fixpoint after every EDB change, the
+// view keeps the materialized IDB relations of a compiled program correct
+// under fact insertions *and deletions* with delta-sized work.
+//
+// Algorithm, per strongly connected component of the predicate dependency
+// graph (processed dependencies-first):
+//
+//   * Non-recursive predicates use *counting*: every fact carries its number
+//     of derivations (Relation support counts). An EDB delta is propagated
+//     with the standard occurrence decomposition — for each rule and each
+//     body occurrence j of a changed predicate, literal j ranges over the
+//     delta, literals before j over the new state, literals after j over the
+//     old state — adding (insert) or subtracting (delete) one support per
+//     instantiation. A fact dies exactly when its count reaches zero, so
+//     deletions never require re-evaluation.
+//
+//   * Recursive SCCs use *DRed*, since derivation counts of recursive
+//     predicates are unbounded: deletions first over-delete everything
+//     derivable from a deleted fact, then re-derive the over-deleted facts
+//     that still have an alternative derivation (candidate-driven, via rules
+//     with a candidate guard literal prepended); insertions run a seeded
+//     semi-naive fixpoint restricted to the SCC.
+//
+// Deltas propagate over the shard seam: when a pass's driving extent is
+// sharded and large enough, the enumeration fans out across the engine's
+// exec::ThreadPool — one task per delta shard, probing pre-built frozen
+// indices — and set-semantics passes merge worker buffers shard-to-shard
+// under per-(predicate, shard) locks (exec::MergeBufferLocked), exactly the
+// structure of the parallel fixpoint.
+//
+// A view is single-writer: Apply* and Answer must be externally serialized
+// (api::Engine routes them through its mutation guard). A failed propagation
+// (budget exhaustion, join error) poisons the view: the maintained state may
+// be inconsistent and every later call fails with kFailedPrecondition.
+
+#ifndef FACTLOG_INC_INCREMENTAL_H_
+#define FACTLOG_INC_INCREMENTAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/program.h"
+#include "common/status.h"
+#include "eval/database.h"
+#include "eval/rule_eval.h"
+#include "eval/seminaive.h"
+#include "exec/thread_pool.h"
+
+namespace factlog::inc {
+
+struct IncrementalOptions {
+  /// Budgets shared with the evaluators. `max_facts` bounds the maintained
+  /// IDB plus in-flight deltas, `max_iterations` bounds every internal
+  /// fixpoint (insertion, over-deletion, re-derivation). track_provenance
+  /// must be false: maintenance does not update derivation trees.
+  eval::EvalOptions eval;
+  /// Optional pool for shard-parallel delta passes. nullptr keeps
+  /// propagation fully sequential.
+  exec::ThreadPool* pool = nullptr;
+  /// Driving extents with fewer rows than this run as a single inline task
+  /// even when sharded; fanning out a tiny delta costs more than it buys.
+  size_t min_rows_to_partition = 64;
+};
+
+/// Cumulative maintenance counters of one view.
+struct ViewStats {
+  uint64_t inserts_applied = 0;  // EDB delta rows propagated as insertions
+  uint64_t deletes_applied = 0;  // EDB delta rows propagated as deletions
+  uint64_t idb_inserted = 0;     // IDB facts added across all predicates
+  uint64_t idb_deleted = 0;      // IDB facts removed (post-rederivation)
+  uint64_t support_updates = 0;  // counting: derivation-count adjustments
+  uint64_t overdeleted = 0;      // DRed: facts tentatively deleted
+  uint64_t rederived = 0;        // DRed: tentative deletions rescinded
+  uint64_t delta_passes = 0;     // (rule, occurrence) delta passes run
+};
+
+/// The materialized IDB of one compiled program, kept incrementally correct
+/// under EDB deltas. Holds a pointer to the engine's database (the EDB it
+/// joins deltas against); the database must outlive the view.
+class MaterializedView {
+ public:
+  /// Evaluates `program` against `db` from scratch (on `opts.pool` when
+  /// given) and prepares the maintenance state: SCC strata, rederivation
+  /// rules, and exact support counts for every non-recursive predicate.
+  static Result<std::unique_ptr<MaterializedView>> Build(
+      const ast::Program& program, eval::Database* db,
+      const IncrementalOptions& opts);
+
+  MaterializedView(const MaterializedView&) = delete;
+  MaterializedView& operator=(const MaterializedView&) = delete;
+
+  /// Propagates the insertion of `delta` rows into EDB predicate `pred`.
+  /// Contract: `db` must NOT yet contain the rows (the caller inserts them
+  /// after every view has propagated), and `delta` must be disjoint from the
+  /// stored relation. Deltas into predicates the program defines by rules
+  /// are ignored — the evaluators never read same-named EDB facts either.
+  Status ApplyInsert(const std::string& pred, const eval::Relation& delta);
+
+  /// Propagates the deletion of `delta` rows from EDB predicate `pred`.
+  /// Contract: the rows must already be erased from `db` (old state =
+  /// stored relation ∪ delta).
+  Status ApplyDelete(const std::string& pred, const eval::Relation& delta);
+
+  /// Answers a query from the maintained relations (eval::ExtractAnswers
+  /// semantics). The query's constants must match the ones the program was
+  /// compiled with — api::Engine guarantees this by keying views on the plan
+  /// cache key.
+  Result<eval::AnswerSet> Answer(const ast::Atom& query);
+
+  /// The maintained relation for `pred` (nullptr when not an IDB predicate).
+  const eval::Relation* Find(const std::string& pred) const {
+    return result_.Find(pred);
+  }
+  const std::map<std::string, std::unique_ptr<eval::Relation>>& idb() const {
+    return result_.idb();
+  }
+  /// Total maintained IDB facts.
+  uint64_t total_facts() const;
+
+  const ast::Program& program() const { return program_; }
+  const ViewStats& stats() const { return stats_; }
+  /// True once a failed propagation left the maintained state inconsistent;
+  /// every subsequent Apply*/Answer call fails with kFailedPrecondition.
+  bool poisoned() const { return poisoned_; }
+
+ private:
+  struct PredInfo {
+    size_t scc = 0;
+    /// Member of a recursive SCC (DRed); false selects counting.
+    bool recursive = false;
+    /// Rule indices whose head is this predicate.
+    std::vector<size_t> rules;
+    /// One lock per storage shard of the maintained relation, for the
+    /// parallel merge path.
+    std::unique_ptr<std::mutex[]> shard_locks;
+  };
+
+  using DeltaMap = std::map<std::string, const eval::Relation*>;
+  using RowSink = std::function<void(const std::vector<eval::ValueId>&)>;
+
+  MaterializedView(const ast::Program& program, eval::Database* db,
+                   const IncrementalOptions& opts)
+      : program_(program), db_(db), opts_(opts) {}
+
+  Status Init();
+  void ComputeSccs();
+  Status RebuildSupportCounts();
+
+  /// The current stored extent of `pred`: maintained IDB relation or EDB
+  /// relation from the database (nullptr when the predicate has no facts).
+  eval::Relation* CurrentRel(const std::string& pred);
+  bool IsIdb(const std::string& pred) const {
+    return idb_preds_.count(pred) > 0;
+  }
+  bool SccAffected(const std::vector<std::string>& scc,
+                   const DeltaMap& delta) const;
+  uint64_t InFlight(const std::vector<std::unique_ptr<eval::Relation>>& owned)
+      const;
+
+  Status PropagateInsert(const std::string& pred,
+                         const eval::Relation& delta);
+  Status PropagateDelete(const std::string& pred,
+                         const eval::Relation& delta);
+  Status InsertCounting(const std::string& pred, DeltaMap* delta,
+                        std::vector<std::unique_ptr<eval::Relation>>* owned);
+  Status DeleteCounting(const std::string& pred, DeltaMap* delta,
+                        std::vector<std::unique_ptr<eval::Relation>>* owned);
+  Status InsertRecursive(const std::vector<std::string>& scc, DeltaMap* delta,
+                         std::vector<std::unique_ptr<eval::Relation>>* owned);
+  Status DeleteRecursive(const std::vector<std::string>& scc, DeltaMap* delta,
+                         std::vector<std::unique_ptr<eval::Relation>>* owned);
+
+  /// Runs one delta pass of `rules_[rule_index]` with body occurrence `occ`
+  /// ranging over `delta` — per shard across the pool when the extent is
+  /// sharded and large, inline otherwise. Every emitted head row reaches
+  /// `apply` on the calling thread (multiplicity preserved), so sinks may
+  /// mutate unsynchronized state.
+  Status RunPassCollect(size_t rule_index,
+                        std::vector<eval::RelationView> views, size_t occ,
+                        const eval::Relation* delta, const RowSink& apply);
+
+  /// Set-semantics variant: rows contained in any of `known` are dropped,
+  /// survivors land in `target` (sharded like the head's relation). On the
+  /// parallel path workers deduplicate against the frozen `known` extents
+  /// into thread-local buffers and merge shard-to-shard under `locks`.
+  Status RunPassInto(size_t rule_index, std::vector<eval::RelationView> views,
+                     size_t occ, const eval::Relation* delta,
+                     const std::vector<const eval::Relation*>& known,
+                     eval::Relation* target, std::mutex* locks);
+
+  /// Pre-builds every index the pass probes and marks views shared; returns
+  /// true when the pass should fan out across the pool.
+  bool PreparePass(size_t rule_index, std::vector<eval::RelationView>* views,
+                   size_t occ, const eval::Relation* delta);
+
+  ast::Program program_;
+  eval::Database* db_;
+  IncrementalOptions opts_;
+
+  std::set<std::string> idb_preds_;
+  std::vector<eval::CompiledRule> rules_;
+  std::vector<std::vector<std::vector<int>>> static_cols_;  // rule x literal
+  /// Rederivation variant of each recursive-head rule: the original body
+  /// prefixed with a candidate guard literal over the head's arguments
+  /// (absent for counting-maintained heads).
+  std::vector<std::unique_ptr<eval::CompiledRule>> rederive_rules_;
+  /// Delta-driven rederivation variants, one per same-SCC body occurrence:
+  /// the body rotated so the driving occurrence leads and the candidate
+  /// guard follows (probed by index on the bound head columns), keeping
+  /// later rederivation rounds delta-sized instead of rescanning every
+  /// remaining candidate. Keyed by the occurrence's original body index.
+  std::vector<std::map<size_t, std::unique_ptr<eval::CompiledRule>>>
+      rederive_occ_rules_;
+  std::map<std::string, PredInfo> pred_info_;
+  /// Collision-free prefix of the candidate guard predicates: the guard for
+  /// predicate p is named cand_prefix_ + p.
+  std::string cand_prefix_;
+  /// SCCs of the IDB dependency graph, dependencies first.
+  std::vector<std::vector<std::string>> sccs_;
+
+  eval::EvalResult result_;
+  ViewStats stats_;
+  bool poisoned_ = false;
+};
+
+}  // namespace factlog::inc
+
+#endif  // FACTLOG_INC_INCREMENTAL_H_

@@ -5,9 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ast/parser.h"
@@ -193,6 +195,92 @@ TEST(EnginePlanCacheTest, SecondCompileIsAHit) {
   EXPECT_EQ(engine.stats().cache_hits, 1u);
   EXPECT_EQ(engine.plan_cache_size(), 1u);
   EXPECT_EQ(a1->rows, a2->rows);
+}
+
+TEST(EnginePlanCacheTest, CacheHitRenamesAnswerVarsToCaller) {
+  // Regression: a cache hit used to return columns named by the *cached*
+  // plan's query variables, not the caller's.
+  Engine engine;
+  for (int i = 1; i < 5; ++i) engine.AddPair("e", i, i + 1);
+  ast::Program p = P("t(X, Y) :- e(X, Y). t(X, Y) :- e(X, W), t(W, Y).");
+  QueryStats first, second;
+  auto a1 = engine.Query(p, A("t(X, Y)"), Strategy::kAuto, &first);
+  ASSERT_TRUE(a1.ok()) << a1.status().ToString();
+  EXPECT_EQ(a1->vars, (std::vector<std::string>{"X", "Y"}));
+  auto a2 = engine.Query(p, A("t(A, B)"), Strategy::kAuto, &second);
+  ASSERT_TRUE(a2.ok());
+  EXPECT_TRUE(second.cache_hit);  // canonically the same plan
+  EXPECT_EQ(a2->vars, (std::vector<std::string>{"A", "B"}));
+  EXPECT_EQ(a1->rows, a2->rows);
+}
+
+TEST(EnginePlanCacheTest, BoundCacheHitRenamesAnswerVars) {
+  Engine engine;
+  for (int i = 1; i < 5; ++i) engine.AddPair("e", i, i + 1);
+  ast::Program p = P(kRightTc);
+  QueryStats stats;
+  ASSERT_TRUE(engine.Query(p, A("t(1, Y)")).ok());
+  auto renamed = engine.Query(p, A("t(1, Out)"), Strategy::kAuto, &stats);
+  ASSERT_TRUE(renamed.ok());
+  EXPECT_TRUE(stats.cache_hit);
+  EXPECT_EQ(renamed->vars, (std::vector<std::string>{"Out"}));
+}
+
+TEST(EnginePlanCacheTest, ConcurrentMissesCompileOnce) {
+  // Single-flight: concurrent misses on one key must not double-compile or
+  // double-count EngineStats::compiles.
+  Engine engine;
+  for (int i = 1; i < 8; ++i) engine.AddPair("e", i, i + 1);
+  ast::Program p = P(kRightTc);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&] {
+      auto plan = engine.Compile(p, A("t(1, Y)"), Strategy::kAuto);
+      if (!plan.ok()) ++failures;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(engine.stats().compiles, 1u);
+  EXPECT_EQ(engine.stats().cache_hits, 3u);
+  EXPECT_EQ(engine.plan_cache_size(), 1u);
+}
+
+TEST(EngineTest, MutationDuringQueryFailsPrecondition) {
+  // The documented contract — mutations must not race evaluations — is now
+  // enforced: AddFact during a running query returns kFailedPrecondition.
+  EngineOptions options;
+  options.eval.strategy = eval::Strategy::kNaive;  // deliberately slow
+  Engine engine(options);
+  // A 500-cycle under naive evaluation re-derives every t(1, *) fact on each
+  // of ~500 iterations — plenty of wall-clock for the race window.
+  for (int i = 1; i <= 500; ++i) engine.AddPair("e", i, i % 500 + 1);
+  std::atomic<bool> done{false};
+  std::thread worker([&] {
+    auto answers = engine.Query(kRightTc);
+    EXPECT_TRUE(answers.ok());
+    done.store(true);
+  });
+  // Wait until the evaluation is visibly in flight, then mutate.
+  while (engine.running_queries() == 0 && !done.load()) {
+    std::this_thread::yield();
+  }
+  Status st = engine.AddFact(
+      ast::Atom("e", {ast::Term::Int(500), ast::Term::Int(501)}));
+  if (!st.ok()) {
+    EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  } else {
+    // The query finished in the window between the checks; legal.
+    EXPECT_TRUE(done.load());
+  }
+  worker.join();
+  // After the query drains, mutations succeed again.
+  EXPECT_TRUE(engine
+                  .AddFact(ast::Atom("e", {ast::Term::Int(600),
+                                           ast::Term::Int(601)}))
+                  .ok());
+  EXPECT_EQ(engine.running_queries(), 0);
 }
 
 TEST(EnginePlanCacheTest, KeyIsCanonical) {

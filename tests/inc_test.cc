@@ -1,0 +1,329 @@
+// Tests for incremental view maintenance (src/inc): the interleaved
+// insert/delete oracle sweep over the shared corpus at every shard × thread
+// combination, targeted counting and DRed rederivation cases, and the
+// api::Engine view integration.
+
+#include "inc/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/engine.h"
+#include "ast/parser.h"
+#include "eval/seminaive.h"
+#include "tests/sweep_corpus.h"
+#include "tests/test_util.h"
+
+namespace factlog::inc {
+namespace {
+
+using test::A;
+using test::P;
+
+std::set<std::vector<eval::ValueId>> RowSet(const eval::Relation& rel) {
+  std::set<std::vector<eval::ValueId>> out;
+  for (size_t r = 0; r < rel.size(); ++r) {
+    const eval::ValueId* row = rel.row(r);
+    out.insert(std::vector<eval::ValueId>(row, row + rel.arity()));
+  }
+  return out;
+}
+
+ast::Atom Edge(int64_t a, int64_t b) {
+  return ast::Atom("e", {ast::Term::Int(a), ast::Term::Int(b)});
+}
+
+// Asserts the view's maintained fact sets are identical, predicate by
+// predicate, to a from-scratch evaluation of the plan's program against the
+// engine's current EDB.
+void ExpectMatchesOracle(api::Engine* engine, const ast::Program& plan_program,
+                         const MaterializedView* view,
+                         const std::string& context) {
+  auto oracle = eval::Evaluate(plan_program, &engine->db());
+  ASSERT_TRUE(oracle.ok()) << context << ": " << oracle.status().ToString();
+  ASSERT_NE(view, nullptr) << context;
+  EXPECT_FALSE(view->poisoned()) << context;
+  for (const auto& [pred, rel] : oracle->idb()) {
+    const eval::Relation* maintained = view->Find(pred);
+    ASSERT_NE(maintained, nullptr) << context << " missing " << pred;
+    EXPECT_EQ(RowSet(*maintained), RowSet(*rel))
+        << context << " diverged on " << pred;
+  }
+  EXPECT_EQ(view->idb().size(), oracle->idb().size()) << context;
+}
+
+// ---- Oracle sweep: random interleaved inserts and deletes ------------------
+//
+// For every corpus program × workload and every shard × thread combination,
+// a seeded random sequence of edge insertions and deletions is applied
+// through the engine; after every update the maintained fact sets must match
+// from-scratch re-evaluation exactly.
+
+class IncSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncSweepTest, InterleavedUpdatesMatchOracle) {
+  const test::SweepProgram& prog = test::kSweepPrograms[GetParam()];
+  const size_t combos[][2] = {{1, 1}, {1, 2}, {1, 8}, {2, 1}, {2, 2},
+                              {2, 8}, {8, 1}, {8, 2}, {8, 8}};
+  for (int w = 0; w < test::kNumSweepWorkloads; ++w) {
+    const test::SweepWorkload& workload = test::kSweepWorkloads[w];
+    for (const auto& combo : combos) {
+      const size_t shards = combo[0];
+      const size_t threads = combo[1];
+      api::EngineOptions options;
+      options.num_shards = shards;
+      options.num_threads = threads;
+      // Force even single-fact deltas over the shard-parallel path.
+      options.inc_min_rows_to_partition = 1;
+      api::Engine engine(options);
+      workload.make(&engine.db());
+
+      ast::Program program = P(prog.text);
+      ast::Atom query = A(prog.query);
+      auto plan = engine.Compile(program, query);
+      ASSERT_TRUE(plan.ok()) << prog.name << ": " << plan.status().ToString();
+      auto handle = engine.Materialize(program, query);
+      ASSERT_TRUE(handle.ok())
+          << prog.name << ": " << handle.status().ToString();
+      const MaterializedView* view = engine.view(*handle);
+
+      // The update universe: a fixed pool of edges over the workload's node
+      // range, so inserts sometimes duplicate and deletes sometimes miss.
+      std::minstd_rand rng(1234 + GetParam() * 97 + w * 13 +
+                           static_cast<unsigned>(shards * 8 + threads));
+      auto random_edge = [&rng]() {
+        int64_t a = 1 + static_cast<int64_t>(rng() % 26);
+        int64_t b = 1 + static_cast<int64_t>(rng() % 26);
+        return Edge(a, b);
+      };
+      for (int op = 0; op < 10; ++op) {
+        ast::Atom edge = random_edge();
+        Status st;
+        bool deleted = (rng() % 3) == 0;  // insert-leaning mix
+        if (deleted) {
+          st = engine.RemoveFact(edge);
+        } else {
+          st = engine.AddFact(edge);
+        }
+        ASSERT_TRUE(st.ok()) << st.ToString();
+        std::string context = std::string(prog.name) + "/" + workload.name +
+                              " shards=" + std::to_string(shards) +
+                              " threads=" + std::to_string(threads) +
+                              " op=" + std::to_string(op) +
+                              (deleted ? " -" : " +") + edge.ToString();
+        ExpectMatchesOracle(&engine, (*plan)->program, view, context);
+      }
+
+      // Answers served from the view equal a from-scratch query.
+      api::QueryStats qstats;
+      auto from_view = engine.Query(program, query, core::Strategy::kAuto,
+                                    &qstats);
+      ASSERT_TRUE(from_view.ok());
+      EXPECT_TRUE(qstats.view_hit);
+      auto fresh = eval::EvaluateQuery((*plan)->program, (*plan)->query,
+                                       &engine.db());
+      ASSERT_TRUE(fresh.ok());
+      EXPECT_EQ(from_view->rows, fresh->rows)
+          << prog.name << "/" << workload.name << " shards=" << shards
+          << " threads=" << threads;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, IncSweepTest,
+                         ::testing::Range(0, test::kNumSweepPrograms),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return std::string(
+                               test::kSweepPrograms[info.param].name);
+                         });
+
+// ---- Targeted counting cases ------------------------------------------------
+
+// Drives a MaterializedView directly, mimicking the engine's ordering
+// contract (insert: propagate then apply; delete: apply then propagate).
+struct Harness {
+  eval::Database db;
+  std::unique_ptr<MaterializedView> view;
+
+  explicit Harness(eval::StorageOptions storage = {}) : db(storage) {}
+
+  void Build(const std::string& program_text,
+             const IncrementalOptions& opts = {}) {
+    auto built = MaterializedView::Build(P(program_text), &db, opts);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    view = std::move(built).value();
+  }
+
+  void Insert(const ast::Atom& fact) {
+    auto row = db.InternRow(fact);
+    ASSERT_TRUE(row.ok());
+    eval::Relation& rel = db.GetOrCreate(fact.predicate(), fact.arity());
+    if (rel.Contains(row->data())) return;
+    eval::Relation delta(fact.arity(), rel.storage_options());
+    delta.Insert(*row);
+    Status st = view->ApplyInsert(fact.predicate(), delta);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    rel.Insert(*row);
+  }
+
+  void Remove(const ast::Atom& fact) {
+    auto row = db.InternRow(fact);
+    ASSERT_TRUE(row.ok());
+    eval::Relation* rel = db.Find(fact.predicate());
+    if (rel == nullptr || !rel->Contains(row->data())) return;
+    rel->Erase(row->data());
+    rel->SyncShards();
+    eval::Relation delta(fact.arity(), rel->storage_options());
+    delta.Insert(*row);
+    Status st = view->ApplyDelete(fact.predicate(), delta);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+
+  int64_t Support(const std::string& pred, const ast::Atom& fact) {
+    auto row = db.InternRow(fact);
+    EXPECT_TRUE(row.ok());
+    const eval::Relation* rel = view->Find(pred);
+    EXPECT_NE(rel, nullptr);
+    return rel->SupportOf(row->data());
+  }
+};
+
+TEST(IncCountingTest, SupportCountsSurviveAlternativeDerivations) {
+  Harness h;
+  // Two-hop: h(1, 4) has two derivations (via 2 and via 3).
+  h.db.AddPair("e", 1, 2);
+  h.db.AddPair("e", 2, 4);
+  h.db.AddPair("e", 1, 3);
+  h.db.AddPair("e", 3, 4);
+  h.Build("h(X, Y) :- e(X, W), e(W, Y).");
+  ast::Atom h14("h", {ast::Term::Int(1), ast::Term::Int(4)});
+  EXPECT_EQ(h.Support("h", h14), 2);
+
+  h.Remove(Edge(1, 2));  // one derivation lost, the fact lives on
+  EXPECT_EQ(h.Support("h", h14), 1);
+  EXPECT_EQ(h.view->stats().idb_deleted, 0u);
+  h.Remove(Edge(1, 3));  // last derivation gone
+  EXPECT_EQ(h.Support("h", h14), 0);
+  EXPECT_FALSE(h.view->Find("h")->Contains(
+      h.db.InternRow(h14)->data()));
+
+  h.Insert(Edge(1, 2));  // re-derive through the restored edge
+  EXPECT_EQ(h.Support("h", h14), 1);
+}
+
+// ---- Targeted DRed cases ----------------------------------------------------
+
+TEST(IncDRedTest, DeleteOnOnlyDerivationPathRemovesDownstream) {
+  api::Engine engine;
+  ASSERT_TRUE(engine.LoadFacts("e(1, 2). e(2, 3). e(3, 4).").ok());
+  const char* text =
+      "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, W), t(W, Y). ?- t(1, Y).";
+  auto handle = engine.Materialize(text);
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+
+  ASSERT_TRUE(engine.RemoveFact(Edge(2, 3)).ok());
+  auto answers = engine.Query(text);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->rows.size(), 1u);  // only t(1, 2) survives
+
+  auto stats = engine.ViewStatsFor(*handle);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->overdeleted, 0u);
+}
+
+TEST(IncDRedTest, DeleteOneOfTwoPathsRederives) {
+  api::Engine engine;
+  // Diamond: 1 -> {2, 3} -> 4; t(1, 4) has two derivation paths.
+  ASSERT_TRUE(engine.LoadFacts("e(1, 2). e(2, 4). e(1, 3). e(3, 4).").ok());
+  const char* text =
+      "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, W), t(W, Y). ?- t(1, Y).";
+  auto handle = engine.Materialize(text);
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+
+  ASSERT_TRUE(engine.RemoveFact(Edge(1, 2)).ok());
+  auto answers = engine.Query(text);
+  ASSERT_TRUE(answers.ok());
+  std::set<int64_t> ys;
+  for (const auto& row : answers->rows) {
+    ys.insert(engine.db().store().int_value(row[0]));
+  }
+  EXPECT_EQ(ys, (std::set<int64_t>{3, 4}));  // 4 survives via 3
+
+  auto stats = engine.ViewStatsFor(*handle);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->overdeleted, 0u);
+  EXPECT_GT(stats->rederived, 0u);  // t(1, 4) was over-deleted, then rescued
+}
+
+TEST(IncDRedTest, InsertReconnectsComponent) {
+  api::Engine engine;
+  ASSERT_TRUE(engine.LoadFacts("e(1, 2). e(3, 4). e(4, 5).").ok());
+  const char* text =
+      "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, W), t(W, Y). ?- t(1, Y).";
+  ASSERT_TRUE(engine.Materialize(text).ok());
+
+  ASSERT_TRUE(engine.AddFact(Edge(2, 3)).ok());  // bridges the components
+  auto answers = engine.Query(text);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->rows.size(), 4u);  // 2, 3, 4, 5
+}
+
+// ---- Engine integration -----------------------------------------------------
+
+TEST(EngineViewTest, QueryAnswersFromViewWithoutExecuting) {
+  api::Engine engine;
+  ASSERT_TRUE(engine.LoadFacts("e(1, 2). e(2, 3).").ok());
+  const char* text =
+      "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, W), t(W, Y). ?- t(1, Y).";
+  ASSERT_TRUE(engine.Materialize(text).ok());
+  EXPECT_EQ(engine.num_views(), 1u);
+
+  uint64_t executions_before = engine.stats().executions;
+  api::QueryStats qstats;
+  auto answers = engine.Query(text, core::Strategy::kAuto, &qstats);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_TRUE(qstats.view_hit);
+  EXPECT_EQ(answers->rows.size(), 2u);
+  EXPECT_EQ(engine.stats().executions, executions_before);
+  EXPECT_EQ(engine.stats().view_hits, 1u);
+}
+
+TEST(EngineViewTest, MaterializeIsIdempotentAndDroppable) {
+  api::Engine engine;
+  ASSERT_TRUE(engine.LoadFacts("e(1, 2).").ok());
+  const char* text = "t(X, Y) :- e(X, Y). ?- t(1, Y).";
+  auto h1 = engine.Materialize(text);
+  auto h2 = engine.Materialize(text);
+  ASSERT_TRUE(h1.ok());
+  ASSERT_TRUE(h2.ok());
+  EXPECT_EQ(h1->key, h2->key);
+  EXPECT_EQ(engine.num_views(), 1u);
+  engine.DropView(*h1);
+  EXPECT_EQ(engine.num_views(), 0u);
+  EXPECT_EQ(engine.view(*h1), nullptr);
+}
+
+TEST(EngineViewTest, ViewUpdatesCountAndAnswerFromView) {
+  api::Engine engine;
+  ASSERT_TRUE(engine.LoadFacts("e(1, 2).").ok());
+  const char* text =
+      "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, W), t(W, Y). ?- t(1, Y).";
+  auto handle = engine.Materialize(text);
+  ASSERT_TRUE(handle.ok());
+
+  ASSERT_TRUE(engine.AddFact(Edge(2, 3)).ok());
+  ASSERT_TRUE(engine.RemoveFact(Edge(1, 2)).ok());
+  EXPECT_EQ(engine.stats().view_updates, 2u);
+
+  auto answers = engine.AnswerFromView(*handle);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->rows.size(), 0u);  // 1 is disconnected now
+}
+
+}  // namespace
+}  // namespace factlog::inc

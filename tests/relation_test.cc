@@ -169,6 +169,77 @@ TEST(RelationTest, FindIndexedRequiresEnsureIndex) {
   EXPECT_EQ(r.FindIndexed({0}, {1})->size(), 3u);
 }
 
+// ---- Deletion and support counts -------------------------------------------
+
+TEST(RelationTest, EraseRemovesAndKeepsDedupConsistent) {
+  Relation r(2);
+  for (ValueId i = 0; i < 10; ++i) r.Insert({i, i + 1});
+  ValueId mid[2] = {4, 5};
+  EXPECT_TRUE(r.Erase(mid));
+  EXPECT_FALSE(r.Erase(mid));  // already gone
+  EXPECT_EQ(r.size(), 9u);
+  EXPECT_FALSE(r.Contains(mid));
+  // The swapped-in row is still findable and re-insertion works.
+  ValueId last[2] = {9, 10};
+  EXPECT_TRUE(r.Contains(last));
+  EXPECT_TRUE(r.Insert({4, 5}));
+  EXPECT_EQ(r.size(), 10u);
+}
+
+TEST(RelationTest, EraseRepairsBuiltIndices) {
+  Relation r(2);
+  for (ValueId i = 0; i < 8; ++i) {
+    r.Insert({i % 4, i});  // column 0 takes values 0..3 twice
+  }
+  EXPECT_EQ(r.Lookup({0}, {2}).size(), 2u);
+  ValueId victim[2] = {2, 2};
+  ASSERT_TRUE(r.Erase(victim));
+  // The index was maintained in place: lookups stay exact, including for the
+  // row that was renumbered into the vacated slot.
+  EXPECT_EQ(r.Lookup({0}, {2}).size(), 1u);
+  for (uint32_t row_id : r.Lookup({0}, {3})) {
+    EXPECT_EQ(r.row(row_id)[0], 3);
+  }
+  EXPECT_EQ(r.Lookup({0}, {3}).size(), 2u);
+}
+
+TEST(RelationTest, EraseArityZero) {
+  Relation r(0);
+  std::vector<ValueId> empty;
+  EXPECT_TRUE(r.Insert(empty));
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.Erase(empty.data()));
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_FALSE(r.Contains(empty.data()));
+}
+
+TEST(RelationTest, SupportCountsLifecycle) {
+  Relation r(2);
+  r.EnableSupportCounts();
+  ValueId row[2] = {1, 2};
+  EXPECT_EQ(r.AddSupport(row, 2), 2);  // inserted at count 2
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.SupportOf(row), 2);
+  EXPECT_EQ(r.AddSupport(row, 1), 3);
+  EXPECT_EQ(r.AddSupport(row, -2), 1);
+  EXPECT_EQ(r.AddSupport(row, -1), 0);  // dropped to zero: erased
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_FALSE(r.Contains(row));
+  EXPECT_EQ(r.SupportOf(row), 0);
+  EXPECT_EQ(r.AddSupport(row, -1), 0);  // absent + negative: no-op
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(RelationTest, EnableSupportCountsZeroesForRebuild) {
+  Relation r(1);
+  r.Insert({7});
+  r.EnableSupportCounts();
+  ValueId row[1] = {7};
+  EXPECT_EQ(r.SupportOf(row), 0);  // rebuild protocol: credit via AddSupport
+  EXPECT_EQ(r.AddSupport(row, 1), 1);
+  EXPECT_EQ(r.size(), 1u);  // already present; only the count changed
+}
+
 // ---- Sharded storage --------------------------------------------------------
 
 StorageOptions Sharded(size_t n) { return StorageOptions{n, {}}; }
@@ -428,6 +499,61 @@ TEST(DatabaseTest, StorageOptionsApplyToEveryRelation) {
   EXPECT_EQ(db.Find("v")->shard_count(), 4u);
   EXPECT_EQ(db.Find("e")->size(), 20u);
   EXPECT_EQ(db.TotalFacts(), 40u);
+}
+
+TEST(ShardedRelationTest, EraseDesyncsUntilSyncShards) {
+  Relation r(2, Sharded(4));
+  for (ValueId i = 0; i < 40; ++i) r.Insert({i, i + 1});
+  std::set<std::string> before = Rows(r);
+  ValueId a[2] = {11, 12};
+  ValueId b[2] = {30, 31};
+  EXPECT_TRUE(r.Erase(a));
+  EXPECT_TRUE(r.Erase(b));
+  EXPECT_FALSE(r.Erase(a));
+  // Route-by-hash operations keep working before the sync...
+  EXPECT_FALSE(r.Contains(a));
+  EXPECT_TRUE(r.Insert({100, 101}));
+  EXPECT_EQ(r.size(), 39u);
+  // ...and after SyncShards the global order and indices are whole again.
+  r.SyncShards();
+  before.erase("11,12");
+  before.erase("30,31");
+  before.insert("100,101");
+  EXPECT_EQ(Rows(r), before);
+  EXPECT_EQ(r.Lookup({0}, {100}).size(), 1u);
+  EXPECT_EQ(r.Lookup({0}, {11}).size(), 0u);
+}
+
+TEST(ShardedRelationTest, SupportCountsRouteToShards) {
+  Relation r(2, Sharded(4));
+  r.EnableSupportCounts();
+  for (ValueId i = 0; i < 20; ++i) {
+    ValueId row[2] = {i, i + 1};
+    EXPECT_EQ(r.AddSupport(row, 2), 2);
+  }
+  EXPECT_EQ(r.size(), 20u);
+  ValueId probe[2] = {7, 8};
+  EXPECT_EQ(r.SupportOf(probe), 2);
+  EXPECT_EQ(r.AddSupport(probe, -2), 0);  // erased from its shard
+  EXPECT_EQ(r.size(), 19u);
+  r.SyncShards();
+  EXPECT_FALSE(r.Contains(probe));
+  EXPECT_EQ(Rows(r).size(), 19u);
+}
+
+TEST(DatabaseTest, RemoveFactErasesAndReportsPresence) {
+  Database db(StorageOptions{4, {}});
+  db.AddPair("e", 1, 2);
+  db.AddPair("e", 2, 3);
+  auto removed = db.RemoveFact(test::A("e(1, 2)"));
+  ASSERT_TRUE(removed.ok());
+  EXPECT_TRUE(*removed);
+  auto missing = db.RemoveFact(test::A("e(1, 2)"));
+  ASSERT_TRUE(missing.ok());
+  EXPECT_FALSE(*missing);
+  EXPECT_EQ(db.Find("e")->size(), 1u);
+  // Immediately readable: RemoveFact resyncs sharded storage.
+  EXPECT_EQ(db.Find("e")->Lookup({0}, {db.store().InternInt(2)}).size(), 1u);
 }
 
 TEST(DatabaseTest, PairAndUnitHelpers) {
