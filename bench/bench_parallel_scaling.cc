@@ -1,14 +1,26 @@
 // Parallel-scaling bench: sequential vs shard-native parallel fixpoint on
-// the transitive-closure workload, emitting per-(threads, shards) timings as
+// transitive-closure workloads, emitting per-(threads, shards) timings as
 // JSON to stdout so the perf trajectory can be tracked across PRs. The JSON
-// carries a schema_version (currently 2: shard sweep added) so records stay
-// comparable as the bench evolves.
+// carries a schema_version (currently 3: per-rule instantiation counts and
+// the planned-vs-left-to-right right-linear comparison added; 2 was the
+// shard sweep) so records stay comparable as the bench evolves.
 //
-// The workload is left-linear TC over a chain-plus-random digraph evaluated
-// unbound — the recursive occurrence leads its rule, so each iteration's
-// delta shards drive the outer loop in place and the join is embarrassingly
-// data-parallel. Answers are verified against the flat sequential oracle; a
-// mismatch exits nonzero.
+// Two workloads over the same chain-plus-random digraph, evaluated unbound:
+//
+//   * left-linear TC (the `runs` array) — the recursive occurrence leads its
+//     rule, each iteration's delta shards drive the outer loop in place, and
+//     the join is embarrassingly data-parallel;
+//   * right-linear TC (the `right_linear` object) — the recursive occurrence
+//     trails the source body, the workload the compile-time join plan
+//     rewrites: plan order puts the delta occurrence first, so delta-shard
+//     partitioning replaces the left-to-right baseline's per-shard re-scan
+//     of the e-prefix. Both join orders run at every (threads, shards)
+//     combination; rows_matched + instantiations is the total join work the
+//     plan saves.
+//
+// Every run records head instantiations (per rule too), rows matched, and
+// fact counts, all verified against the flat sequential oracle; a mismatch
+// exits nonzero.
 //
 //   usage: bench_parallel_scaling [--nodes N] [--edges M] [--reps R]
 //                                 [--threads 1,2,4,8] [--shards 1,2,8]
@@ -36,6 +48,8 @@ using namespace factlog;
 
 constexpr char kLeftTc[] =
     "t(X, Y) :- e(X, Y). t(X, Y) :- t(X, W), e(W, Y).";
+constexpr char kRightTc[] =
+    "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, W), t(W, Y).";
 
 double MillisSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
@@ -63,6 +77,69 @@ std::vector<size_t> ParseCountList(const char* arg) {
     pos = comma + 1;
   }
   return out;
+}
+
+void PrintRuleCounts(const std::vector<uint64_t>& counts) {
+  std::printf("[");
+  for (size_t i = 0; i < counts.size(); ++i) {
+    std::printf("%s%llu", i == 0 ? "" : ", ",
+                static_cast<unsigned long long>(counts[i]));
+  }
+  std::printf("]");
+}
+
+// One measured configuration: best-of-reps wall time plus the (rep-invariant)
+// join counters of the last rep.
+struct RunStats {
+  double ms = 0;
+  uint64_t facts = 0;
+  uint64_t instantiations = 0;
+  uint64_t rows_matched = 0;
+  std::vector<uint64_t> rule_instantiations;
+  bool ok = false;
+};
+
+RunStats RunParallel(const ast::Program& program, int64_t nodes,
+                     int64_t edges, int reps, exec::ThreadPool* pool,
+                     size_t shards, eval::JoinOrder order) {
+  RunStats out;
+  for (int r = 0; r < reps; ++r) {
+    eval::Database db(eval::StorageOptions{shards, {}});
+    if (edges > 0) {
+      MakeWorkload(nodes, edges, &db);
+    } else {
+      workload::MakeChain(nodes, "e", &db);
+    }
+    exec::ParallelEvalOptions popts;
+    popts.num_shards = shards;
+    popts.eval.join_order = order;
+    auto start = std::chrono::steady_clock::now();
+    auto result = exec::EvaluateParallel(program, &db, pool, popts);
+    double ms = MillisSince(start);
+    if (!result.ok()) {
+      std::fprintf(stderr, "parallel: %s\n",
+                   result.status().ToString().c_str());
+      return out;
+    }
+    out.facts = result->stats().total_facts;
+    out.instantiations = result->stats().instantiations;
+    out.rows_matched = result->stats().rows_matched;
+    out.rule_instantiations = result->stats().rule_instantiations;
+    out.ms = (r == 0) ? ms : std::min(out.ms, ms);
+  }
+  out.ok = true;
+  return out;
+}
+
+void PrintRunTail(const RunStats& run, uint64_t expected_facts) {
+  std::printf("\"facts\": %llu, \"matches\": %s, \"instantiations\": %llu, "
+              "\"rows_matched\": %llu, \"rule_instantiations\": ",
+              static_cast<unsigned long long>(run.facts),
+              run.facts == expected_facts ? "true" : "false",
+              static_cast<unsigned long long>(run.instantiations),
+              static_cast<unsigned long long>(run.rows_matched));
+  PrintRuleCounts(run.rule_instantiations);
+  std::printf("}");
 }
 
 }  // namespace
@@ -106,21 +183,21 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto parsed = ast::ParseProgram(kLeftTc);
-  if (!parsed.ok()) {
-    std::fprintf(stderr, "parse: %s\n", parsed.status().ToString().c_str());
+  auto left = ast::ParseProgram(kLeftTc);
+  auto right = ast::ParseProgram(kRightTc);
+  if (!left.ok() || !right.ok()) {
+    std::fprintf(stderr, "parse failed\n");
     return 1;
   }
-  const ast::Program& program = *parsed;
 
-  // Sequential oracle: best of `reps`.
+  // Sequential oracle (left-linear): best of `reps`.
   uint64_t expected_facts = 0;
   double seq_ms = 0;
   for (int r = 0; r < reps; ++r) {
     eval::Database db;
     MakeWorkload(nodes, edges, &db);
     auto start = std::chrono::steady_clock::now();
-    auto result = eval::Evaluate(program, &db);
+    auto result = eval::Evaluate(*left, &db);
     double ms = MillisSince(start);
     if (!result.ok()) {
       std::fprintf(stderr, "sequential: %s\n",
@@ -133,7 +210,7 @@ int main(int argc, char** argv) {
 
   std::printf("{\n");
   std::printf("  \"bench\": \"parallel_scaling\",\n");
-  std::printf("  \"schema_version\": 2,\n");
+  std::printf("  \"schema_version\": 3,\n");
   std::printf("  \"workload\": \"left_tc_chain_plus_random\",\n");
   std::printf("  \"nodes\": %lld,\n", static_cast<long long>(nodes));
   std::printf("  \"edges\": %lld,\n", static_cast<long long>(edges));
@@ -145,40 +222,92 @@ int main(int argc, char** argv) {
 
   bool mismatch = false;
   bool first_run = true;
-  for (size_t t = 0; t < thread_counts.size(); ++t) {
-    size_t threads = thread_counts[t];
+  for (size_t threads : thread_counts) {
     exec::ThreadPool pool(threads);
     for (size_t shards : shard_counts) {
-      double best_ms = 0;
-      uint64_t facts = 0;
-      for (int r = 0; r < reps; ++r) {
-        eval::Database db(eval::StorageOptions{shards, {}});
-        MakeWorkload(nodes, edges, &db);
-        exec::ParallelEvalOptions popts;
-        popts.num_shards = shards;
-        auto start = std::chrono::steady_clock::now();
-        auto result = exec::EvaluateParallel(program, &db, &pool, popts);
-        double ms = MillisSince(start);
-        if (!result.ok()) {
-          std::fprintf(stderr, "parallel@%zut/%zush: %s\n", threads, shards,
-                       result.status().ToString().c_str());
-          return 1;
-        }
-        facts = result->stats().total_facts;
-        best_ms = (r == 0) ? ms : std::min(best_ms, ms);
-      }
-      if (facts != expected_facts) mismatch = true;
+      RunStats run = RunParallel(*left, nodes, edges, reps, &pool, shards,
+                                 eval::JoinOrder::kPlanned);
+      if (!run.ok) return 1;
+      if (run.facts != expected_facts) mismatch = true;
       std::printf("%s\n    {\"threads\": %zu, \"shards\": %zu, "
-                  "\"ms\": %.3f, \"speedup\": %.3f, \"facts\": %llu, "
-                  "\"matches\": %s}",
-                  first_run ? "" : ",", threads, shards, best_ms,
-                  best_ms > 0 ? seq_ms / best_ms : 0.0,
-                  static_cast<unsigned long long>(facts),
-                  facts == expected_facts ? "true" : "false");
+                  "\"ms\": %.3f, \"speedup\": %.3f, ",
+                  first_run ? "" : ",", threads, shards, run.ms,
+                  run.ms > 0 ? seq_ms / run.ms : 0.0);
+      PrintRunTail(run, expected_facts);
       first_run = false;
     }
   }
-  std::printf("\n  ]\n}\n");
+  std::printf("\n  ],\n");
+
+  // Right-linear TC: the join-plan workload, on the pure chain — long
+  // derivation chains mean many fixpoint iterations, which is exactly where
+  // right-linear rules pay the per-shard prefix re-enumeration the plan
+  // removes (dense graphs converge in a handful of iterations and hide it).
+  // Planned order drives the rule with the delta occurrence; the
+  // left-to-right baseline re-enumerates the e-prefix once per delta shard.
+  // Identical fact sets and instantiation counts, strictly less total join
+  // work planned.
+  uint64_t right_expected = 0;
+  {
+    eval::Database db;
+    workload::MakeChain(nodes, "e", &db);
+    auto result = eval::Evaluate(*right, &db);
+    if (!result.ok()) {
+      std::fprintf(stderr, "right-linear sequential: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    right_expected = result->stats().total_facts;
+  }
+  std::printf("  \"right_linear\": {\n");
+  std::printf("    \"workload\": \"right_tc_chain\",\n");
+  std::printf("    \"tc_facts\": %llu,\n",
+              static_cast<unsigned long long>(right_expected));
+  std::printf("    \"runs\": [");
+  first_run = true;
+  // The headline aggregate covers the sharded (shards > 1) runs — the
+  // partitioning scenario: the baseline's per-shard prefix re-scan is the
+  // work the plan removes. Flat runs are still emitted individually (there
+  // the two orders trade a delta scan for an e scan and land close).
+  uint64_t planned_work = 0, ltr_work = 0;
+  for (size_t threads : thread_counts) {
+    exec::ThreadPool pool(threads);
+    for (size_t shards : shard_counts) {
+      for (eval::JoinOrder order :
+           {eval::JoinOrder::kPlanned, eval::JoinOrder::kLeftToRight}) {
+        RunStats run = RunParallel(*right, nodes, /*edges=*/0, reps, &pool,
+                                   shards, order);
+        if (!run.ok) return 1;
+        if (run.facts != right_expected) mismatch = true;
+        uint64_t work = run.instantiations + run.rows_matched;
+        if (shards > 1) {
+          if (order == eval::JoinOrder::kPlanned) {
+            planned_work += work;
+          } else {
+            ltr_work += work;
+          }
+        }
+        std::printf("%s\n      {\"join_order\": \"%s\", \"threads\": %zu, "
+                    "\"shards\": %zu, \"ms\": %.3f, ",
+                    first_run ? "" : ",",
+                    order == eval::JoinOrder::kPlanned ? "planned"
+                                                       : "left_to_right",
+                    threads, shards, run.ms);
+        PrintRunTail(run, right_expected);
+        first_run = false;
+      }
+    }
+  }
+  std::printf("\n    ],\n");
+  std::printf("    \"planned_sharded_join_work\": %llu,\n",
+              static_cast<unsigned long long>(planned_work));
+  std::printf("    \"left_to_right_sharded_join_work\": %llu,\n",
+              static_cast<unsigned long long>(ltr_work));
+  std::printf("    \"sharded_work_ratio\": %.3f\n",
+              ltr_work > 0 ? static_cast<double>(planned_work) /
+                                 static_cast<double>(ltr_work)
+                           : 0.0);
+  std::printf("  }\n}\n");
 
   if (mismatch) {
     std::fprintf(stderr, "FAIL: parallel fact count diverged from oracle\n");

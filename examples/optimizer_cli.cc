@@ -4,6 +4,7 @@
 //            [--strategy auto|magic|supplementary-magic|factoring|counting|
 //                        linear-rewrite]
 //            [--stage trace|magic|factored|final]
+//            [--explain]
 //            [--facts <facts.dl>]
 //            [--threads <n>] [--shards <n>]
 //            [--batch <queries.txt>] [--incremental]
@@ -12,7 +13,10 @@
 // With --facts the final program is evaluated against the given ground facts
 // and the answers are printed; otherwise the requested stage is printed
 // (default: everything). `--stage trace` prints the structured pass trace
-// (per-pass timings, rule counts, and decisions).
+// (per-pass timings, rule counts, and decisions). `--explain` prints each
+// rule's stored join plan: the evaluation order, the per-literal index
+// columns the engines pre-build, and the driver literal the parallel
+// fixpoint partitions by.
 //
 // --incremental (requires --facts) materializes the query as a live view and
 // reads update commands from stdin, maintaining the answers with delta-sized
@@ -60,6 +64,7 @@
 #include "api/engine.h"
 #include "ast/parser.h"
 #include "core/pipeline.h"
+#include "plan/join_plan.h"
 
 namespace {
 
@@ -82,7 +87,8 @@ int Usage() {
   std::cerr << "usage: optimizer_cli <program.dl> "
                "[--strategy auto|magic|supplementary-magic|factoring|"
                "counting|linear-rewrite] "
-               "[--stage trace|magic|factored|final] [--facts <facts.dl>] "
+               "[--stage trace|magic|factored|final] [--explain] "
+               "[--facts <facts.dl>] "
                "[--threads <n>] [--shards <n>] [--batch <queries.txt>] "
                "[--incremental]\n";
   return 2;
@@ -240,11 +246,14 @@ int main(int argc, char** argv) {
   size_t threads = 0;
   size_t shards = 1;
   bool incremental = false;
+  bool explain = false;
   core::Strategy strategy = core::Strategy::kFactoring;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--stage" && i + 1 < argc) {
       stage = argv[++i];
+    } else if (arg == "--explain") {
+      explain = true;
     } else if (arg == "--incremental") {
       incremental = true;
     } else if (arg == "--facts" && i + 1 < argc) {
@@ -319,6 +328,7 @@ int main(int argc, char** argv) {
     compiled.program.set_query(compiled.query);
     compiled.factoring_applied = full->factoring_applied;
     compiled.factor_class = full->factorability.cls;
+    compiled.plans = full->plans;
     compiled.trace = full->trace;
     pipeline = std::move(full).value();
   } else {
@@ -346,6 +356,15 @@ int main(int argc, char** argv) {
   }
   if (stage == "all" || stage == "final") {
     std::cout << "% --- final program ---\n" << compiled.program.ToString();
+  }
+  if (explain) {
+    // The stored join plan: per rule, the evaluation order, each literal's
+    // index columns, and the driver literal the parallel fixpoint
+    // partitions by.
+    std::cout << "% --- join plan (" << compiled.plans.reordered_rules()
+              << " of " << compiled.plans.rules.size()
+              << " rules reordered) ---\n"
+              << plan::Explain(compiled.program, compiled.plans);
   }
 
   if (incremental && facts_path.empty()) {

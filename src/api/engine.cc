@@ -147,6 +147,21 @@ std::string Engine::PlanCacheKey(const ast::Program& program,
   return key;
 }
 
+core::PipelineOptions Engine::PipelineOptionsForCompile() const {
+  core::PipelineOptions opts = options_.pipeline;
+  // Seed the join planner with the actual base-relation sizes. Reading the
+  // database makes this snapshot subject to the same contract as evaluation
+  // (mutations must not race it), so it runs under the evaluation-epoch
+  // guard: a concurrent AddFact/RemoveFact fails with kFailedPrecondition
+  // instead of mutating the relations map mid-iteration. Same best-effort
+  // detection level as Execute — see the header's epoch-guard caveat.
+  QueryScope scope(this);
+  for (const auto& [name, rel] : db_.relations()) {
+    opts.planner.extent_hints[name] = rel->size();
+  }
+  return opts;
+}
+
 Result<std::shared_ptr<const CompiledQuery>> Engine::Compile(
     const ast::Program& program, const ast::Atom& query, Strategy strategy,
     QueryStats* stats) {
@@ -154,7 +169,8 @@ Result<std::shared_ptr<const CompiledQuery>> Engine::Compile(
     const auto start = std::chrono::steady_clock::now();
     FACTLOG_ASSIGN_OR_RETURN(
         CompiledQuery compiled,
-        core::CompileQuery(program, query, strategy, options_.pipeline));
+        core::CompileQuery(program, query, strategy,
+                           PipelineOptionsForCompile()));
     if (stats != nullptr) stats->compile_us = MicrosSince(start);
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.compiles;
@@ -202,7 +218,7 @@ Result<std::shared_ptr<const CompiledQuery>> Engine::CompileWithKey(
   // Single-flight owner: compile outside every lock — the pipeline is pure
   // and may be slow.
   auto compiled = core::CompileQuery(program, query, strategy,
-                                     options_.pipeline);
+                                     PipelineOptionsForCompile());
   std::shared_ptr<const CompiledQuery> plan;
   if (compiled.ok()) {
     plan = std::make_shared<const CompiledQuery>(std::move(compiled).value());
@@ -253,24 +269,31 @@ Result<eval::AnswerSet> Engine::Execute(const CompiledQuery& plan,
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.executions;
   }
+  if (stats != nullptr) {
+    stats->plan_rules = plan.plans.rules.size();
+    stats->plan_reordered = plan.plans.reordered_rules();
+  }
   Result<eval::AnswerSet> answers = Status::Internal("unreachable");
   switch (options_.execution) {
     case ExecutionMode::kBottomUp: {
-      // The parallel fixpoint handles semi-naive without provenance; the
-      // sequential evaluator stays the oracle for everything else.
+      // Evaluate under the compile-time join plan (`plan` outlives the
+      // call). The parallel fixpoint handles semi-naive without provenance;
+      // the sequential evaluator stays the oracle for everything else.
       bool parallel = options_.num_threads > 0 &&
                       !options_.eval.track_provenance &&
                       options_.eval.strategy == eval::Strategy::kSemiNaive;
       if (parallel) {
         exec::ParallelEvalOptions popts;
         popts.eval = options_.eval;
+        popts.eval.program_plan = &plan.plans;
         popts.num_shards = options_.num_shards;
         answers = exec::EvaluateQueryParallel(
             plan.program, plan.query, &db_, EnsurePool(), popts,
             stats != nullptr ? &stats->eval : nullptr);
       } else {
-        answers = eval::EvaluateQuery(plan.program, plan.query, &db_,
-                                      options_.eval,
+        eval::EvalOptions eopts = options_.eval;
+        eopts.program_plan = &plan.plans;
+        answers = eval::EvaluateQuery(plan.program, plan.query, &db_, eopts,
                                       stats != nullptr ? &stats->eval
                                                        : nullptr);
       }
@@ -385,9 +408,11 @@ Result<ViewHandle> Engine::Materialize(const ast::Program& program,
     // The initial evaluation is a query for the epoch guard's purposes.
     QueryScope scope(this);
     const auto start = std::chrono::steady_clock::now();
+    inc::IncrementalOptions iopts = MakeIncOptions();
+    // The view copies the plan during Build and drops the pointer after.
+    iopts.eval.program_plan = &plan->plans;
     FACTLOG_ASSIGN_OR_RETURN(
-        view, inc::MaterializedView::Build(plan->program, &db_,
-                                           MakeIncOptions()));
+        view, inc::MaterializedView::Build(plan->program, &db_, iopts));
     if (stats != nullptr) stats->execute_us = MicrosSince(start);
   }
   std::lock_guard<std::mutex> lock(view_mu_);

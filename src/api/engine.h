@@ -16,7 +16,10 @@
 // reordered rules — reuses the compiled plan. Like Johansson's multi-prime
 // argument reduction, the expensive precomputation (classification and the
 // NP-hard factorability containments) is paid once and amortized over every
-// subsequent execution.
+// subsequent execution. Every compilation ends with the join-plan pass
+// (plan/join_plan.h), seeded with the engine's base-relation sizes; the
+// stored plan::ProgramPlan drives body order, index prewarming, and
+// parallel partitioning in all execution paths.
 //
 // Parallelism: with EngineOptions::num_threads > 0 the engine owns a
 // work-stealing exec::ThreadPool. Single bottom-up queries then run the
@@ -121,6 +124,11 @@ struct QueryStats {
   bool cache_hit = false;
   /// The answer came from a materialized view (no execution ran).
   bool view_hit = false;
+  /// Join-plan summary of the executed plan (filled by Execute from
+  /// CompiledQuery::plans): rules carrying a plan, and how many of them the
+  /// cost model ordered differently from their source body.
+  uint64_t plan_rules = 0;
+  uint64_t plan_reordered = 0;
   /// Microseconds spent compiling (0 on a cache hit) and executing.
   int64_t compile_us = 0;
   int64_t execute_us = 0;
@@ -317,6 +325,10 @@ class Engine {
   /// The engine's thread pool, created on first use (nullptr when
   /// num_threads == 0).
   exec::ThreadPool* EnsurePool();
+  /// The configured pipeline options with the join planner's extent hints
+  /// seeded from the current base-relation sizes (compile-time planning sees
+  /// the data the paper's compile-time factoring sees: the EDB at hand).
+  core::PipelineOptions PipelineOptionsForCompile() const;
   /// Cache-enabled compilation against a precomputed plan key (so callers
   /// that already derived the key for a view lookup don't canonicalize the
   /// program a second time).

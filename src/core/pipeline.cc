@@ -12,21 +12,38 @@ PassSequence MakeSequence(std::unique_ptr<Transform> pass) {
   return seq;
 }
 
-CompiledQuery FinishCompile(TransformState&& state, Strategy strategy);
+// Every compilation ends with the join-plan pass on the final program: the
+// per-rule evaluation order, index requirements, and partitioning driver the
+// engines consume. It runs outside the strategy sequences so a gracefully
+// halted sequence (kFactoring's magic fallback) still gets its plan, and so
+// PassesForStrategy keeps returning exactly the strategy's own passes.
+Status AttachJoinPlan(TransformState* state, const PipelineOptions& opts) {
+  FACTLOG_ASSIGN_OR_RETURN(
+      bool completed,
+      RunPasses(MakeSequence(MakeJoinPlanPass(opts.planner)), *state));
+  (void)completed;
+  return Status::OK();
+}
+
+Result<CompiledQuery> FinishCompile(TransformState&& state, Strategy strategy,
+                                    const PipelineOptions& opts);
 
 // Runs `passes` on `state` with halts treated as errors and packages the
 // result under the given strategy tag.
 Result<CompiledQuery> RunStrict(TransformState state, PassSequence passes,
-                                Strategy strategy) {
+                                Strategy strategy,
+                                const PipelineOptions& opts) {
   RunPassesOptions strict;
   strict.halt_is_error = true;
   FACTLOG_ASSIGN_OR_RETURN(bool completed, RunPasses(passes, state, strict));
   (void)completed;
-  return FinishCompile(std::move(state), strategy);
+  return FinishCompile(std::move(state), strategy, opts);
 }
 
 // Packages the state a completed pass sequence left behind.
-CompiledQuery FinishCompile(TransformState&& state, Strategy strategy) {
+Result<CompiledQuery> FinishCompile(TransformState&& state, Strategy strategy,
+                                    const PipelineOptions& opts) {
+  FACTLOG_RETURN_IF_ERROR(AttachJoinPlan(&state, opts));
   CompiledQuery out;
   out.strategy = strategy;
   out.program = state.final_program();
@@ -37,6 +54,7 @@ CompiledQuery FinishCompile(TransformState&& state, Strategy strategy) {
   out.factor_class = state.factorability.has_value()
                          ? state.factorability->cls
                          : FactorClass::kNotFactorable;
+  if (state.plans.has_value()) out.plans = std::move(*state.plans);
   out.source = std::move(state.source);
   out.source_query = std::move(state.source_query);
   out.trace = std::move(state.trace);
@@ -95,7 +113,7 @@ Result<CompiledQuery> CompileQuery(const ast::Program& program,
     Result<bool> ran =
         RunPasses(PassesForStrategy(Strategy::kFactoring, opts), state);
     if (ran.ok() && state.factoring_applied) {
-      return FinishCompile(std::move(state), Strategy::kFactoring);
+      return FinishCompile(std::move(state), Strategy::kFactoring, opts);
     }
     if (ran.ok()) {
       // Keep the factoring attempt's trace (it records why factoring was
@@ -103,7 +121,7 @@ Result<CompiledQuery> CompileQuery(const ast::Program& program,
       // already available.
       return RunStrict(std::move(state),
                        MakeSequence(MakeSupplementaryMagicPass()),
-                       Strategy::kSupplementaryMagic);
+                       Strategy::kSupplementaryMagic, opts);
     }
     // The factoring pipeline failed outright (e.g. not a unit program, so
     // classification errored); record why and compile supplementary magic
@@ -118,7 +136,7 @@ Result<CompiledQuery> CompileQuery(const ast::Program& program,
     fallback.trace.push_back(std::move(note));
     return RunStrict(std::move(fallback),
                      PassesForStrategy(Strategy::kSupplementaryMagic, opts),
-                     Strategy::kSupplementaryMagic);
+                     Strategy::kSupplementaryMagic, opts);
   }
 
   TransformState state;
@@ -132,7 +150,7 @@ Result<CompiledQuery> CompileQuery(const ast::Program& program,
       bool completed,
       RunPasses(PassesForStrategy(strategy, opts), state, run_opts));
   (void)completed;
-  return FinishCompile(std::move(state), strategy);
+  return FinishCompile(std::move(state), strategy, opts);
 }
 
 Result<PipelineResult> OptimizeQuery(const ast::Program& program,
@@ -145,6 +163,7 @@ Result<PipelineResult> OptimizeQuery(const ast::Program& program,
       bool completed,
       RunPasses(PassesForStrategy(Strategy::kFactoring, opts), state));
   (void)completed;
+  FACTLOG_RETURN_IF_ERROR(AttachJoinPlan(&state, opts));
 
   if (!state.adorned.has_value() || !state.classification.has_value() ||
       !state.magic.has_value()) {
@@ -166,6 +185,7 @@ Result<PipelineResult> OptimizeQuery(const ast::Program& program,
   out.factoring_applied = state.factoring_applied;
   out.factored = std::move(state.factored);
   out.optimized = std::move(state.optimized);
+  if (state.plans.has_value()) out.plans = std::move(*state.plans);
   out.trace = std::move(state.trace);
   return out;
 }

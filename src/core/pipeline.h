@@ -45,6 +45,10 @@ struct PipelineOptions {
   /// Run the §5 cleanup passes on the factored program.
   bool apply_optimizations = true;
   OptimizeOptions optimize;
+  /// Options for the final join-plan pass (extent hints etc.). The caller —
+  /// api::Engine — seeds extent_hints with its base-relation sizes; the pass
+  /// fills the delta set from the final program's IDB itself.
+  plan::PlanOptions planner;
 };
 
 /// The pass sequence implementing `strategy`. kAuto returns the kFactoring
@@ -83,6 +87,9 @@ struct PipelineResult {
   std::optional<FactoredProgram> factored;
   /// §5-optimized factored program (when optimizations ran).
   std::optional<ast::Program> optimized;
+
+  /// Per-rule join plans for final_program() (join-plan pass output).
+  plan::ProgramPlan plans;
 
   /// Structured per-pass decision log (timings, rule counts, notes).
   std::vector<PassTraceEntry> trace;

@@ -670,6 +670,34 @@ std::unique_ptr<Transform> MakeUniformEquivalencePass(OptimizeOptions opts) {
       });
 }
 
+namespace {
+
+class JoinPlanPass : public Transform {
+ public:
+  explicit JoinPlanPass(plan::PlanOptions opts) : opts_(std::move(opts)) {}
+  const char* name() const override { return "join-plan"; }
+  Result<PassOutcome> Apply(TransformState& state) override {
+    const ast::Program& program = state.final_program();
+    state.plans = plan::PlanProgram(program, opts_);
+    for (size_t i = 0; i < state.plans->rules.size(); ++i) {
+      const plan::JoinPlan& jp = state.plans->rules[i];
+      if (jp.order.empty()) continue;  // facts need no plan
+      state.Note("rule " + std::to_string(i) + ": " + jp.Summary() +
+                 (jp.reordered ? " (reordered)" : ""));
+    }
+    return PassOutcome::kApplied;
+  }
+
+ private:
+  plan::PlanOptions opts_;
+};
+
+}  // namespace
+
+std::unique_ptr<Transform> MakeJoinPlanPass(plan::PlanOptions opts) {
+  return std::make_unique<JoinPlanPass>(std::move(opts));
+}
+
 std::unique_ptr<Transform> MakeFixpointPass(PassSequence children,
                                             int max_rounds) {
   return std::make_unique<FixpointPass>("fixpoint", std::move(children),

@@ -28,6 +28,7 @@
 #include "core/factoring.h"
 #include "core/optimizations.h"
 #include "core/rule_classes.h"
+#include "plan/join_plan.h"
 #include "transform/counting.h"
 #include "transform/linear_rewrite.h"
 #include "transform/magic.h"
@@ -107,6 +108,10 @@ struct TransformState {
   bool static_reduction_applied = false;
   std::vector<int> reduced_positions;
   bool factoring_applied = false;
+
+  /// Per-rule join plans for the final program, filled by the join-plan pass
+  /// (the last pass of every compilation).
+  std::optional<plan::ProgramPlan> plans;
 
   /// Metadata for the §5 passes, filled by the factoring pass.
   OptimizationContext opt_ctx;
@@ -217,6 +222,13 @@ std::unique_ptr<Transform> MakeUniformEquivalencePass(OptimizeOptions opts);
 std::unique_ptr<Transform> MakeFixpointPass(PassSequence children,
                                             int max_rounds = 100);
 
+/// Computes per-rule join plans (order, index requirements, driver) for the
+/// state's final program — the last pass of every strategy. `opts` carries
+/// extent hints (e.g. base-relation sizes); the pass unions the program's
+/// IDB predicates into the delta set itself. Notes one summary line per
+/// rule in the trace.
+std::unique_ptr<Transform> MakeJoinPlanPass(plan::PlanOptions opts = {});
+
 /// The full §5 cleanup fixpoint in the order OptimizeProgram used.
 std::unique_ptr<Transform> MakeSectionFiveFixpointPass(
     const OptimizeOptions& opts);
@@ -239,6 +251,10 @@ struct CompiledQuery {
   bool static_reduction_applied = false;
   /// Factor class established by the gate pass (kNotFactorable otherwise).
   FactorClass factor_class = FactorClass::kNotFactorable;
+  /// Per-rule join plans for `program` (index-aligned with its rules): the
+  /// evaluation order, per-literal index requirements, and partitioning
+  /// driver every engine consumes. Computed by the join-plan pass.
+  plan::ProgramPlan plans;
   /// Structured per-pass trace with timings and rule counts.
   std::vector<PassTraceEntry> trace;
 };

@@ -1,5 +1,6 @@
 #include "eval/rule_eval.h"
 
+#include <algorithm>
 #include <map>
 
 #include "ast/special_predicates.h"
@@ -89,19 +90,48 @@ Result<CompiledAtom> CompileAtom(const ast::Atom& a,
 }  // namespace
 
 Result<CompiledRule> CompiledRule::Compile(const ast::Rule& rule,
-                                           ValueStore* store) {
+                                           ValueStore* store,
+                                           const plan::JoinPlan* plan) {
   CompiledRule out;
   out.source_ = rule;
+  // The compiled body order: the plan's join order when one is given (and
+  // structurally matches), source order otherwise.
+  out.source_pos_.reserve(rule.body().size());
+  if (plan != nullptr && plan->order.size() == rule.body().size()) {
+    std::vector<bool> seen(rule.body().size(), false);
+    for (const plan::LiteralPlan& lp : plan->order) {
+      if (lp.body_index >= rule.body().size() || seen[lp.body_index]) {
+        out.source_pos_.clear();
+        break;
+      }
+      seen[lp.body_index] = true;
+      out.source_pos_.push_back(lp.body_index);
+    }
+  }
+  if (out.source_pos_.size() != rule.body().size()) {
+    out.source_pos_.clear();
+    for (size_t i = 0; i < rule.body().size(); ++i) out.source_pos_.push_back(i);
+  }
   std::map<std::string, int> vars;
   // Compile the body first so variable indices follow binding order; the
   // head only reuses body variables in range-restricted rules.
-  for (const ast::Atom& b : rule.body()) {
+  for (size_t src : out.source_pos_) {
     FACTLOG_ASSIGN_OR_RETURN(
-        CompiledAtom ca, CompileAtom(b, &vars, &out.var_names_, store));
+        CompiledAtom ca,
+        CompileAtom(rule.body()[src], &vars, &out.var_names_, store));
     out.body_.push_back(std::move(ca));
   }
   FACTLOG_ASSIGN_OR_RETURN(
       out.head_, CompileAtom(rule.head(), &vars, &out.var_names_, store));
+  // Premises are reported in source order: collect the relation literals'
+  // compiled indices and sort them by their source position.
+  for (size_t k = 0; k < out.body_.size(); ++k) {
+    if (out.body_[k].kind == LitKind::kRelation) out.premise_order_.push_back(k);
+  }
+  std::sort(out.premise_order_.begin(), out.premise_order_.end(),
+            [&out](size_t a, size_t b) {
+              return out.source_pos_[a] < out.source_pos_[b];
+            });
   return out;
 }
 
@@ -118,7 +148,11 @@ struct JoinContext {
 
   std::vector<ValueId> env;       // var index -> value or kInvalidValue
   std::vector<int> trail;         // bound var indices, for unwinding
-  std::vector<FactKey> premises;  // relation-literal facts, body order
+  // Premise tracking: the current row of each relation literal, indexed by
+  // compiled body position (valid for the literals on the active join path),
+  // and the source-ordered premise list handed to the sink.
+  std::vector<FactKey> premise_slots;
+  std::vector<FactKey> premises;
   Status status = Status::OK();
   bool keep_going = true;
 
@@ -205,7 +239,17 @@ void EmitHead(JoinContext* ctx) {
     row.push_back(*v);
   }
   ++ctx->stats->instantiations;
-  bool cont = (*ctx->sink)(row, ctx->track_premises ? &ctx->premises : nullptr);
+  const std::vector<FactKey>* premises = nullptr;
+  if (ctx->track_premises) {
+    // Emit premises in source body order (the compiled body may be a
+    // planned permutation).
+    ctx->premises.clear();
+    for (size_t k : ctx->rule->premise_order()) {
+      ctx->premises.push_back(ctx->premise_slots[k]);
+    }
+    premises = &ctx->premises;
+  }
+  bool cont = (*ctx->sink)(row, premises);
   if (!cont) ctx->keep_going = false;
 }
 
@@ -329,13 +373,11 @@ void EnumerateRelation(size_t lit_index, const CompiledAtom& lit,
       if (ok) {
         ++ctx->stats->rows_matched;
         if (ctx->track_premises) {
-          FactKey fk;
+          FactKey& fk = ctx->premise_slots[lit_index];
           fk.predicate = lit.predicate;
           fk.row.assign(row, row + lit.args.size());
-          ctx->premises.push_back(std::move(fk));
         }
         EnumerateFrom(lit_index + 1, ctx);
-        if (ctx->track_premises) ctx->premises.pop_back();
       }
       UnwindTrail(ctx, mark);
     };
@@ -411,6 +453,7 @@ Status EnumerateRule(const CompiledRule& rule, ValueStore* store,
   ctx.stats = stats;
   ctx.sink = &sink;
   ctx.env.assign(rule.num_vars(), kInvalidValue);
+  if (track_premises) ctx.premise_slots.resize(rule.body().size());
   ctx.head_row.reserve(rule.head().args.size());
   ctx.cols_scratch.resize(rule.body().size());
   ctx.key_scratch.resize(rule.body().size());

@@ -1,10 +1,12 @@
 // Compiled rules and the join loop shared by the bottom-up engines.
 //
 // A rule is compiled once: variables become dense indices, argument terms
-// become patterns. Evaluation enumerates body matches left-to-right (the same
-// sideways-information-passing order the paper's adornments assume), using
-// per-relation hash indices on the argument positions that are ground under
-// the current partial binding.
+// become patterns, and — when the caller provides a plan::JoinPlan — the body
+// is laid out in the planned join order, so enumeration simply walks the
+// compiled body front to back. Without a plan the source (left-to-right)
+// order is kept, the same sideways-information-passing order the paper's
+// adornments assume. Joins use per-relation hash indices on the argument
+// positions that are ground under the current partial binding.
 
 #ifndef FACTLOG_EVAL_RULE_EVAL_H_
 #define FACTLOG_EVAL_RULE_EVAL_H_
@@ -17,6 +19,7 @@
 #include "ast/rule.h"
 #include "common/status.h"
 #include "eval/database.h"
+#include "plan/join_plan.h"
 
 namespace factlog::eval {
 
@@ -45,23 +48,37 @@ struct CompiledAtom {
   std::vector<Pat> args;
 };
 
-/// A rule compiled against a ValueStore (constants are pre-interned).
+/// A rule compiled against a ValueStore (constants are pre-interned). When a
+/// JoinPlan is supplied the compiled body is permuted into plan order; the
+/// source rule and the source position of every compiled literal are kept so
+/// provenance premises can be reported in source order regardless of the
+/// plan.
 class CompiledRule {
  public:
-  /// Compiles `rule`, interning its constants into `store`.
-  static Result<CompiledRule> Compile(const ast::Rule& rule, ValueStore* store);
+  /// Compiles `rule`, interning its constants into `store`. With `plan` the
+  /// body is laid out in plan order (ignored when the plan does not
+  /// structurally match the rule).
+  static Result<CompiledRule> Compile(const ast::Rule& rule, ValueStore* store,
+                                      const plan::JoinPlan* plan = nullptr);
 
   int num_vars() const { return static_cast<int>(var_names_.size()); }
   const std::vector<std::string>& var_names() const { return var_names_; }
   const CompiledAtom& head() const { return head_; }
   const std::vector<CompiledAtom>& body() const { return body_; }
   const ast::Rule& source() const { return source_; }
+  /// Source body position of compiled literal k (identity without a plan).
+  const std::vector<size_t>& source_positions() const { return source_pos_; }
+  /// Compiled indices of the relation literals, sorted by source position —
+  /// the order premises are reported in.
+  const std::vector<size_t>& premise_order() const { return premise_order_; }
 
  private:
   ast::Rule source_;
   CompiledAtom head_;
   std::vector<CompiledAtom> body_;
   std::vector<std::string> var_names_;
+  std::vector<size_t> source_pos_;
+  std::vector<size_t> premise_order_;
 };
 
 /// The extent of one predicate during a join: the union of up to three
@@ -120,8 +137,9 @@ struct FactKeyHash {
 
 /// Receives each ground head row produced by a rule instantiation. `premises`
 /// is non-null only when premise tracking is enabled; it lists the body facts
-/// (relation literals only) of this instantiation in body order. Return false
-/// to stop enumeration.
+/// (relation literals only) of this instantiation in source body order, even
+/// when the rule was compiled with a reordering plan. Return false to stop
+/// enumeration.
 using HeadSink = std::function<bool(const std::vector<ValueId>& head_row,
                                     const std::vector<FactKey>* premises)>;
 
@@ -140,13 +158,18 @@ Status EnumerateRule(const CompiledRule& rule, ValueStore* store,
                      bool track_premises, JoinStats* stats,
                      const HeadSink& sink);
 
-/// For each body literal, the argument positions that are ground when the
-/// left-to-right join reaches it — i.e. the index key EnumerateRule will
-/// probe that literal's relation with (empty for builtins and for literals
-/// probed with no bound columns). Groundness is static per rule: a variable
-/// is bound at literal i exactly when an earlier relation literal mentions
-/// it or an earlier builtin computes it. Used to pre-build relation indices
-/// before sharing relations read-only across threads.
+/// For each compiled body literal (in the rule's compiled order), the
+/// argument positions that are ground when the join reaches it — i.e. the
+/// index key EnumerateRule will probe that literal's relation with (empty
+/// for builtins and for literals probed with no bound columns). Groundness
+/// is static per rule: a variable is bound at literal i exactly when an
+/// earlier relation literal mentions it or an earlier builtin computes it.
+///
+/// The engines pre-build indices from the plan's declared index_cols
+/// instead of calling this; it is kept as the independent ground-truth
+/// oracle for what the join loop actually probes — plan::PlanRule's
+/// AST-level groundness analysis must agree with it on every plan-compiled
+/// rule (plan_test asserts the equivalence over the sweep corpus).
 std::vector<std::vector<int>> StaticIndexCols(const CompiledRule& rule);
 
 }  // namespace factlog::eval

@@ -45,12 +45,16 @@ class Engine {
       st.next = std::make_unique<Relation>(arity, storage);
       preds_.emplace(p, std::move(st));
     }
+    plan_ = PlanForEvaluation(program_, *db_, opts_);
     rules_.reserve(program_.rules().size());
-    for (const ast::Rule& r : program_.rules()) {
-      FACTLOG_ASSIGN_OR_RETURN(CompiledRule cr,
-                               CompiledRule::Compile(r, &db_->store()));
+    for (size_t i = 0; i < program_.rules().size(); ++i) {
+      FACTLOG_ASSIGN_OR_RETURN(
+          CompiledRule cr,
+          CompiledRule::Compile(program_.rules()[i], &db_->store(),
+                                &plan_.rules[i]));
       rules_.push_back(std::move(cr));
     }
+    rule_stats_.resize(rules_.size());
     return Status::OK();
   }
 
@@ -128,7 +132,7 @@ class Engine {
       const std::string& head_pred = rule.head().predicate;
       Relation* delta = preds_.at(head_pred).delta.get();
       FACTLOG_RETURN_IF_ERROR(EnumerateRule(
-          rule, &db_->store(), views, opts_.track_provenance, &join_stats_,
+          rule, &db_->store(), views, opts_.track_provenance, &rule_stats_[i],
           MakeSink(i, head_pred, delta, /*check_known=*/false)));
       FACTLOG_RETURN_IF_ERROR(status_);
     }
@@ -180,7 +184,8 @@ class Engine {
           const std::string& head_pred = rule.head().predicate;
           Relation* next = preds_.at(head_pred).next.get();
           FACTLOG_RETURN_IF_ERROR(EnumerateRule(
-              rule, &db_->store(), views, opts_.track_provenance, &join_stats_,
+              rule, &db_->store(), views, opts_.track_provenance,
+              &rule_stats_[i],
               MakeSink(i, head_pred, next, /*check_known=*/true)));
           FACTLOG_RETURN_IF_ERROR(status_);
         }
@@ -216,7 +221,8 @@ class Engine {
         std::vector<std::vector<ValueId>> pending;
         std::vector<std::vector<FactKey>> pending_premises;
         FACTLOG_RETURN_IF_ERROR(EnumerateRule(
-            rule, &db_->store(), views, opts_.track_provenance, &join_stats_,
+            rule, &db_->store(), views, opts_.track_provenance,
+            &rule_stats_[i],
             [&](const std::vector<ValueId>& row,
                 const std::vector<FactKey>* premises) {
               pending.push_back(row);
@@ -254,8 +260,7 @@ class Engine {
       result_.mutable_idb()->emplace(name, std::move(st.full));
     }
     stats->total_facts = total;
-    stats->instantiations = join_stats_.instantiations;
-    stats->rows_matched = join_stats_.rows_matched;
+    FoldRuleStats(rule_stats_, stats);
     return std::move(result_);
   }
 
@@ -264,18 +269,49 @@ class Engine {
   EvalOptions opts_;
   std::set<std::string> idb_preds_;
   std::map<std::string, PredState> preds_;
+  plan::ProgramPlan plan_;
   std::vector<CompiledRule> rules_;
-  JoinStats join_stats_;
+  std::vector<JoinStats> rule_stats_;  // index-aligned with rules_
   EvalResult result_;
   Status status_ = Status::OK();
 };
 
 }  // namespace
 
+plan::ProgramPlan PlanForEvaluation(const ast::Program& program,
+                                    const Database& db,
+                                    const EvalOptions& opts) {
+  if (opts.join_order == JoinOrder::kLeftToRight) {
+    plan::PlanOptions popts;
+    popts.reorder = false;
+    return plan::PlanProgram(program, std::move(popts));
+  }
+  if (opts.program_plan != nullptr && opts.program_plan->Compatible(program)) {
+    return *opts.program_plan;
+  }
+  plan::PlanOptions popts;
+  for (const auto& [name, rel] : db.relations()) {
+    popts.extent_hints[name] = rel->size();
+  }
+  return plan::PlanProgram(program, std::move(popts));
+}
+
 Result<EvalResult> Evaluate(const ast::Program& program, Database* db,
                             const EvalOptions& opts) {
   Engine engine(program, db, opts);
   return engine.Run();
+}
+
+void FoldRuleStats(const std::vector<JoinStats>& rule_stats,
+                   EvalStats* stats) {
+  stats->rule_instantiations.resize(rule_stats.size(), 0);
+  stats->rule_rows_matched.resize(rule_stats.size(), 0);
+  for (size_t i = 0; i < rule_stats.size(); ++i) {
+    stats->rule_instantiations[i] = rule_stats[i].instantiations;
+    stats->rule_rows_matched[i] = rule_stats[i].rows_matched;
+    stats->instantiations += rule_stats[i].instantiations;
+    stats->rows_matched += rule_stats[i].rows_matched;
+  }
 }
 
 void AccumulateShardFacts(const Relation& rel,

@@ -18,6 +18,7 @@
 #include "eval/database.h"
 #include "eval/provenance.h"
 #include "eval/rule_eval.h"
+#include "plan/join_plan.h"
 
 namespace factlog::eval {
 
@@ -25,6 +26,17 @@ namespace factlog::eval {
 enum class Strategy {
   kNaive,      // recompute every rule against the full extent each round
   kSemiNaive,  // delta-driven (default)
+};
+
+/// Which join order the engines evaluate rule bodies in.
+enum class JoinOrder {
+  /// The per-rule plan::JoinPlan order (default): the caller-supplied
+  /// program_plan when compatible, else a plan computed on the fly from the
+  /// database's extent sizes.
+  kPlanned,
+  /// Source body order — the pre-planner baseline the equivalence tests and
+  /// benches compare against.
+  kLeftToRight,
 };
 
 struct EvalOptions {
@@ -43,7 +55,22 @@ struct EvalOptions {
   /// ValueStore itself is always safe to share; this flag only governs the
   /// relations.
   bool shared_edb = false;
+  /// Join-order policy (see JoinOrder). kLeftToRight ignores program_plan.
+  JoinOrder join_order = JoinOrder::kPlanned;
+  /// The compile-time join plan for the program being evaluated (normally
+  /// core::CompiledQuery::plans, non-owning — must outlive the evaluation).
+  /// Ignored when null or structurally incompatible with the program; the
+  /// engines then plan for themselves.
+  const plan::ProgramPlan* program_plan = nullptr;
 };
+
+/// Resolves the plan an evaluation of `program` against `db` should use:
+/// `opts.program_plan` when compatible, an identity (source-order) plan
+/// under kLeftToRight, else a fresh plan seeded with the database's actual
+/// base-relation sizes. Shared by all three engines (eval, exec, inc).
+plan::ProgramPlan PlanForEvaluation(const ast::Program& program,
+                                    const Database& db,
+                                    const EvalOptions& opts);
 
 struct EvalStats {
   uint64_t iterations = 0;
@@ -61,6 +88,11 @@ struct EvalStats {
   /// are never sharded) count toward their own low shard indices, so entry
   /// 0 can include rows of unsharded relations.
   std::vector<uint64_t> shard_facts;
+  /// Per-rule join counters, index-aligned with the program's rules. The
+  /// entries sum to `instantiations` / `rows_matched`; the scaling bench
+  /// reports them per rule to make join-plan effects visible.
+  std::vector<uint64_t> rule_instantiations;
+  std::vector<uint64_t> rule_rows_matched;
 };
 
 /// Sums each shard's row count of `rel` into `shard_facts` (index-aligned by
@@ -68,6 +100,12 @@ struct EvalStats {
 /// reporting.
 void AccumulateShardFacts(const Relation& rel,
                           std::vector<uint64_t>* shard_facts);
+
+/// Folds per-rule join counters into `stats`: fills rule_instantiations /
+/// rule_rows_matched (index-aligned with `rule_stats`) and adds their sums
+/// to the instantiations / rows_matched totals. Shared by the evaluators'
+/// Finish paths.
+void FoldRuleStats(const std::vector<JoinStats>& rule_stats, EvalStats* stats);
 
 /// Result of a bottom-up evaluation: the IDB relations plus statistics.
 class EvalResult {

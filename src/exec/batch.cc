@@ -1,6 +1,8 @@
 #include "exec/batch.h"
 
 #include <chrono>
+#include <map>
+#include <memory>
 #include <set>
 #include <utility>
 
@@ -18,36 +20,57 @@ int64_t MicrosSince(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-Status PrewarmIndexes(const ast::Program& program, const ast::Atom* query,
-                      eval::Database* db) {
+namespace {
+
+// Builds the base-relation indices a program's plan declares, plus the
+// answer-extraction probe index for `query`. The plan's per-literal
+// index_cols ARE the probe keys the plan-ordered join uses, so warmup does
+// exactly the needed work — the old StaticIndexCols re-walk predicted
+// left-to-right probes the planned join never issues.
+Status PrewarmFromPlan(const ast::Program& program,
+                       const plan::ProgramPlan& program_plan,
+                       const ast::Atom* query, eval::Database* db) {
   std::set<std::string> idb = program.IdbPredicates();
-  auto warm_rule = [&](const ast::Rule& rule) -> Status {
-    FACTLOG_ASSIGN_OR_RETURN(eval::CompiledRule compiled,
-                             eval::CompiledRule::Compile(rule, &db->store()));
-    std::vector<std::vector<int>> cols = eval::StaticIndexCols(compiled);
-    for (size_t k = 0; k < compiled.body().size(); ++k) {
-      const eval::CompiledAtom& lit = compiled.body()[k];
-      if (lit.kind != eval::LitKind::kRelation || cols[k].empty()) continue;
-      if (idb.count(lit.predicate) > 0) continue;  // private per query
-      eval::Relation* rel = db->Find(lit.predicate);
-      if (rel != nullptr) rel->EnsureIndex(cols[k]);
+  for (size_t i = 0; i < program.rules().size(); ++i) {
+    const ast::Rule& rule = program.rules()[i];
+    for (const plan::LiteralPlan& lp : program_plan.rules[i].order) {
+      if (!lp.is_relation || lp.index_cols.empty()) continue;
+      const std::string& pred = rule.body()[lp.body_index].predicate();
+      if (idb.count(pred) > 0) continue;  // private per query
+      eval::Relation* rel = db->Find(pred);
+      if (rel != nullptr) rel->EnsureIndex(lp.index_cols);
     }
-    return Status::OK();
-  };
-  for (const ast::Rule& rule : program.rules()) {
-    FACTLOG_RETURN_IF_ERROR(warm_rule(rule));
   }
   if (query != nullptr && idb.count(query->predicate()) == 0) {
-    // Answer extraction probes the query predicate with the query's ground
-    // positions; warm that index too when the predicate is a base relation.
-    std::vector<ast::Term> head_args;
-    for (const std::string& v : query->DistinctVars()) {
-      head_args.push_back(ast::Term::Var(v));
+    // Answer extraction probes the query predicate on the query's ground
+    // argument positions; warm that index too when the predicate is a base
+    // relation.
+    std::vector<int> cols;
+    for (size_t i = 0; i < query->arity(); ++i) {
+      if (query->args()[i].IsGround()) cols.push_back(static_cast<int>(i));
     }
-    FACTLOG_RETURN_IF_ERROR(warm_rule(
-        ast::Rule(ast::Atom("__ans", std::move(head_args)), {*query})));
+    eval::Relation* rel = db->Find(query->predicate());
+    if (rel != nullptr && !cols.empty()) rel->EnsureIndex(cols);
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status PrewarmIndexes(const core::CompiledQuery& plan, eval::Database* db) {
+  if (plan.plans.Compatible(plan.program)) {
+    return PrewarmFromPlan(plan.program, plan.plans, &plan.query, db);
+  }
+  // A plan-less CompiledQuery (hand-built, e.g. in tests): fall back to
+  // planning on the spot.
+  return PrewarmIndexes(plan.program, &plan.query, db);
+}
+
+Status PrewarmIndexes(const ast::Program& program, const ast::Atom* query,
+                      eval::Database* db) {
+  eval::EvalOptions opts;  // defaults: planned order, no precomputed plan
+  plan::ProgramPlan program_plan = eval::PlanForEvaluation(program, *db, opts);
+  return PrewarmFromPlan(program, program_plan, query, db);
 }
 
 Result<BatchResult> RunBatch(ThreadPool* pool, eval::Database* db,
@@ -78,14 +101,29 @@ Result<BatchResult> RunBatch(ThreadPool* pool, eval::Database* db,
     for (size_t i = 0; i < num_queries; ++i) compile_one(i);
   }
 
-  // Phase 2 (control thread): pre-build the base-relation indices the
-  // compiled programs will probe, so the execute phase stays on the const
-  // read path. Plans are shared via the cache, so prewarm each one once.
-  std::set<const core::CompiledQuery*> warmed_plans;
+  // Phase 2 (control thread): resolve the join plan each query will
+  // evaluate with — the compiled query's stored plan under kPlanned, the
+  // identity (source-order) plan under kLeftToRight — and pre-build exactly
+  // the base-relation indices that plan declares, so the execute phase
+  // stays on the const read path. Prewarm and evaluation must use the SAME
+  // plan: a mismatch would silently degrade shared-EDB probes to full
+  // scans. Plans are shared via the cache, so each one resolves once.
+  eval::EvalOptions exec_opts = eval_options;
+  exec_opts.strategy = eval::Strategy::kSemiNaive;
+  exec_opts.track_provenance = false;
+  exec_opts.shared_edb = true;
+  std::map<const core::CompiledQuery*, std::unique_ptr<plan::ProgramPlan>>
+      resolved_plans;
   for (size_t i = 0; i < num_queries; ++i) {
     if (plans[i] == nullptr) continue;
-    if (!warmed_plans.insert(plans[i].get()).second) continue;
-    Status warmed = PrewarmIndexes(plans[i]->program, &plans[i]->query, db);
+    auto [it, inserted] = resolved_plans.try_emplace(plans[i].get());
+    if (!inserted) continue;
+    eval::EvalOptions resolve_opts = exec_opts;
+    resolve_opts.program_plan = &plans[i]->plans;
+    it->second = std::make_unique<plan::ProgramPlan>(
+        eval::PlanForEvaluation(plans[i]->program, *db, resolve_opts));
+    Status warmed = PrewarmFromPlan(plans[i]->program, *it->second,
+                                    &plans[i]->query, db);
     if (!warmed.ok()) {
       result.stats[i].status = warmed;
       plans[i] = nullptr;
@@ -94,16 +132,16 @@ Result<BatchResult> RunBatch(ThreadPool* pool, eval::Database* db,
 
   // Phase 3: evaluate concurrently. Each query gets private IDB state; the
   // shared EDB is read-only and the ValueStore interns under its own mutex.
-  eval::EvalOptions exec_opts = eval_options;
-  exec_opts.strategy = eval::Strategy::kSemiNaive;
-  exec_opts.track_provenance = false;
-  exec_opts.shared_edb = true;
   auto execute_one = [&](size_t i) {
     if (plans[i] == nullptr) return;
     const auto start = std::chrono::steady_clock::now();
     eval::EvalStats eval_stats;
+    // Evaluate with the exact plan the prewarm phase built indices for
+    // (resolved_plans outlives the parallel region).
+    eval::EvalOptions query_opts = exec_opts;
+    query_opts.program_plan = resolved_plans.at(plans[i].get()).get();
     auto answers = eval::EvaluateQuery(plans[i]->program, plans[i]->query, db,
-                                       exec_opts, &eval_stats);
+                                       query_opts, &eval_stats);
     result.stats[i].execute_us = MicrosSince(start);
     result.stats[i].iterations = eval_stats.iterations;
     result.stats[i].total_facts = eval_stats.total_facts;

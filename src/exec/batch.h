@@ -69,10 +69,17 @@ struct BatchResult {
   BatchSummary summary;
 };
 
-/// Pre-builds every hash index that bottom-up evaluation of `program` (and
-/// the answer extraction for `query`, when non-null) will probe on the
-/// database's base relations. Call before sharing `db` read-only across
-/// threads; workers then stay on the const lookup path.
+/// Pre-builds exactly the hash indices the compiled query's join plan
+/// declares on the database's base relations, plus the index answer
+/// extraction probes for the plan's query — no more (a plan-ordered join
+/// never touches indices a left-to-right walk would have predicted), no
+/// less. Call before sharing `db` read-only across threads; workers then
+/// stay on the const lookup path.
+Status PrewarmIndexes(const core::CompiledQuery& plan, eval::Database* db);
+
+/// Convenience overload for callers without a CompiledQuery: plans `program`
+/// on the spot (the same plan evaluation will compute for this database) and
+/// prewarms from it. `query` may be null.
 Status PrewarmIndexes(const ast::Program& program, const ast::Atom* query,
                       eval::Database* db);
 

@@ -57,19 +57,32 @@ class ParallelEngine {
   };
 
   // One (rule, recursive-occurrence) delta pass of the current iteration.
-  // With by_shard the occurrence ranges over the delta's shards in place
-  // (one task per shard); otherwise one task aliases the whole delta.
+  // Partitioning follows the rule's join plan:
+  //   * when the occurrence IS the plan's driver literal, the delta's shards
+  //     are the work partitions (by_shard; one task per shard), or one task
+  //     aliases the whole delta when it is too small to fan out;
+  //   * when the driver is a different literal (the delta occurrence sits
+  //     deeper in the plan), the pass partitions the driver literal's frozen
+  //     extent instead (by_driver; one task per (member relation, shard)) and
+  //     every task probes the whole delta — without this, each delta-shard
+  //     task would re-enumerate the rule prefix, duplicating the outer scan
+  //     once per shard.
   struct Pass {
     size_t rule = 0;
     size_t occ = 0;
     const Relation* delta_rel = nullptr;
     bool by_shard = false;
+    bool by_driver = false;
+    size_t driver_pos = 0;  // compiled body position of the plan's driver
+    // Driver partitions: (member relation of the driver's union view, shard
+    // index within it or -1 for the whole member).
+    std::vector<std::pair<const Relation*, int>> driver_parts;
     PredState* head_state = nullptr;
   };
 
   struct TaskRef {
     size_t pass = 0;
-    size_t part = 0;  // shard index when the pass fans out by shard
+    size_t part = 0;  // shard / driver-part index when the pass fans out
   };
 
   // Iteration-0 task: rule `rule` with relation literal `lit` restricted to
@@ -82,6 +95,7 @@ class ParallelEngine {
 
   struct TaskResult {
     JoinStats stats;
+    size_t rule = 0;  // for per-rule stats folding
     Status status = Status::OK();
   };
 
@@ -92,20 +106,35 @@ class ParallelEngine {
   Status Prepare() {
     FACTLOG_RETURN_IF_ERROR(program_.Validate());
     idb_preds_ = program_.IdbPredicates();
+    plan_ = eval::PlanForEvaluation(program_, *db_, opts_.eval);
     rules_.reserve(program_.rules().size());
-    for (const ast::Rule& r : program_.rules()) {
-      FACTLOG_ASSIGN_OR_RETURN(CompiledRule cr,
-                               CompiledRule::Compile(r, &db_->store()));
-      static_cols_.push_back(eval::StaticIndexCols(cr));
+    for (size_t i = 0; i < program_.rules().size(); ++i) {
+      FACTLOG_ASSIGN_OR_RETURN(
+          CompiledRule cr,
+          CompiledRule::Compile(program_.rules()[i], &db_->store(),
+                                &plan_.rules[i]));
+      // The compiled body is in plan order, so the plan's declared index
+      // requirements line up with the compiled literals: cols_[i][k] is the
+      // key literal k is probed with — no re-walk of StaticIndexCols.
+      std::vector<std::vector<int>> cols;
+      int driver = -1;
+      for (size_t k = 0; k < plan_.rules[i].order.size(); ++k) {
+        const plan::LiteralPlan& lp = plan_.rules[i].order[k];
+        cols.push_back(lp.index_cols);
+        if (driver < 0 && lp.is_relation) driver = static_cast<int>(k);
+      }
+      cols_.push_back(std::move(cols));
+      driver_pos_.push_back(driver);
       rules_.push_back(std::move(cr));
     }
+    rule_stats_.resize(rules_.size());
 
     size_t shards = opts_.num_shards > 0 ? opts_.num_shards
                                          : db_->storage_options().num_shards;
     shards = std::max<size_t>(1, shards);
     auto arities = program_.PredicateArities();
     for (const std::string& p : idb_preds_) {
-      // Partition each IDB relation on the probe columns of its first
+      // Partition each IDB relation on the plan's probe columns of its first
       // recursive occurrence, so delta shards line up with the key the join
       // probes them with; column 0 when every occurrence is probed unbound.
       StorageOptions storage;
@@ -115,8 +144,8 @@ class ParallelEngine {
         for (size_t j = 0; j < rules_[i].body().size(); ++j) {
           const CompiledAtom& lit = rules_[i].body()[j];
           if (lit.kind == LitKind::kRelation && lit.predicate == p &&
-              !static_cols_[i][j].empty()) {
-            storage.partition_cols = static_cols_[i][j];
+              !cols_[i][j].empty()) {
+            storage.partition_cols = cols_[i][j];
             break;
           }
         }
@@ -197,13 +226,13 @@ class ParallelEngine {
         "); program may not terminate");
   }
 
-  // Folds the per-task results into the global stats, failing on the first
+  // Folds the per-task results into the per-rule stats, failing on the first
   // task error or a tripped budget, and re-arms the cancellation flag.
   Status DrainTaskResults(std::vector<TaskResult>* results) {
     for (TaskResult& r : *results) {
       FACTLOG_RETURN_IF_ERROR(r.status);
-      join_stats_.rows_matched += r.stats.rows_matched;
-      join_stats_.instantiations += r.stats.instantiations;
+      rule_stats_[r.rule].rows_matched += r.stats.rows_matched;
+      rule_stats_[r.rule].instantiations += r.stats.instantiations;
     }
     if (budget_tripped_.load(std::memory_order_acquire)) {
       return BudgetExceeded();
@@ -250,7 +279,7 @@ class ParallelEngine {
       if (!opts_.eval.shared_edb) {
         for (size_t k = 0; k < rule.body().size(); ++k) {
           const CompiledAtom& lit = rule.body()[k];
-          const std::vector<int>& cols = static_cols_[i][k];
+          const std::vector<int>& cols = cols_[i][k];
           if (lit.kind != LitKind::kRelation || cols.empty()) continue;
           Relation* rel = db_->Find(lit.predicate);
           if (rel == nullptr) continue;
@@ -295,7 +324,8 @@ class ParallelEngine {
     Relation* delta = preds_.at(rule.head().predicate).delta.get();
     Status overflow = Status::OK();
     FACTLOG_RETURN_IF_ERROR(EnumerateRule(
-        rule, &db_->store(), views, /*track_premises=*/false, &join_stats_,
+        rule, &db_->store(), views, /*track_premises=*/false,
+        &rule_stats_[rule_index],
         [&](const std::vector<ValueId>& row,
             const std::vector<eval::FactKey>*) {
           delta->Insert(row);
@@ -312,6 +342,7 @@ class ParallelEngine {
   // restricted to shard `task.shard` of its base relation, buffer the head
   // rows thread-locally, then merge into the head's delta shard-to-shard.
   void RunSeedTask(const SeedTask& task, TaskResult* result) {
+    result->rule = task.rule;
     if (cancelled_.load(std::memory_order_acquire)) return;
     const CompiledRule& rule = rules_[task.rule];
     const Relation* extent = db_->Find(rule.body()[task.lit].predicate);
@@ -354,12 +385,23 @@ class ParallelEngine {
 
   // One fixpoint worker task: evaluate rule `pass.rule` with occurrence
   // `pass.occ` restricted to its delta extent (one shard, or the whole delta
-  // for single-task passes), buffer the new head rows thread-locally, then
-  // merge into the global next shard-to-shard.
+  // for driver-partitioned and single-task passes), buffer the new head rows
+  // thread-locally, then merge into the global next shard-to-shard. For a
+  // by_driver pass the task's slice is one (member, shard) of the driver
+  // literal's extent instead — the union over tasks covers the driver's
+  // extent exactly once, so nothing is re-enumerated.
   void RunTask(const std::vector<Pass>& passes, const TaskRef& ref,
                TaskResult* result) {
+    result->rule = passes[ref.pass].rule;
     if (cancelled_.load(std::memory_order_acquire)) return;
     const Pass& pass = passes[ref.pass];
+    const Relation* driver_rows = nullptr;
+    if (pass.by_driver) {
+      const auto& [member, shard] = pass.driver_parts[ref.part];
+      driver_rows = shard >= 0 ? &member->shard(static_cast<size_t>(shard))
+                               : member;
+      if (driver_rows->empty()) return;
+    }
     const Relation& occ_rows = pass.by_shard
                                    ? pass.delta_rel->shard(ref.part)
                                    : *pass.delta_rel;
@@ -369,7 +411,12 @@ class ParallelEngine {
     std::vector<RelationView> views;
     views.reserve(rule.body().size());
     for (size_t k = 0; k < rule.body().size(); ++k) {
-      views.push_back(ViewFor(pass, k, &occ_rows));
+      if (driver_rows != nullptr && k == pass.driver_pos) {
+        views.push_back(RelationView{const_cast<Relation*>(driver_rows),
+                                     nullptr, /*shared=*/true});
+      } else {
+        views.push_back(ViewFor(pass, k, &occ_rows));
+      }
     }
 
     PredState& head_st = *pass.head_state;
@@ -411,9 +458,12 @@ class ParallelEngine {
       }
       if (!any_delta) break;
 
-      // Plan the passes. The delta shards are the work partitions — no
-      // per-iteration re-partition copy; small deltas collapse to one task
-      // aliasing the whole delta.
+      // Plan the passes. Partitioning follows each rule's join plan: when
+      // the occurrence is the plan's driver literal the delta shards are the
+      // work partitions (no per-iteration re-partition copy); when the
+      // driver is an earlier literal the pass fans out over the driver's
+      // frozen extent instead, so the rule prefix is scanned exactly once
+      // across the tasks. Small extents collapse to one task.
       std::vector<Pass> passes;
       for (size_t i = 0; i < rules_.size(); ++i) {
         const CompiledRule& rule = rules_[i];
@@ -429,12 +479,46 @@ class ParallelEngine {
           pass.rule = i;
           pass.occ = j;
           pass.delta_rel = delta;
-          pass.by_shard = width > 0 && delta->shard_count() > 1 &&
-                          delta->size() >= opts_.min_rows_to_partition;
-          const std::vector<int>& probe_cols = static_cols_[i][j];
+          const std::vector<int>& probe_cols = cols_[i][j];
+          const int driver = driver_pos_[i];
+          if (width > 0 && driver >= 0 && static_cast<size_t>(driver) != j &&
+              opts_.eval.join_order == eval::JoinOrder::kPlanned) {
+            // The delta occurrence sits behind the driver. Partition the
+            // driver's extent: one task per (member, shard); each task
+            // probes the whole delta.
+            pass.driver_pos = static_cast<size_t>(driver);
+            RelationView dview =
+                ViewFor(pass, pass.driver_pos, /*occ_rows=*/nullptr);
+            Relation* members[2] = {dview.first, dview.second};
+            size_t total = 0;
+            for (Relation* m : members) {
+              if (m != nullptr) total += m->size();
+            }
+            if (total >= opts_.min_rows_to_partition) {
+              const std::vector<int>& dcols = cols_[i][pass.driver_pos];
+              for (Relation* m : members) {
+                if (m == nullptr || m->empty()) continue;
+                if (m->shard_count() > 1) {
+                  if (!dcols.empty()) m->EnsureShardIndexes(dcols);
+                  for (size_t s = 0; s < m->shard_count(); ++s) {
+                    pass.driver_parts.emplace_back(m, static_cast<int>(s));
+                  }
+                } else {
+                  if (!dcols.empty()) m->EnsureIndex(dcols);
+                  pass.driver_parts.emplace_back(m, -1);
+                }
+              }
+              pass.by_driver = pass.driver_parts.size() > 1;
+            }
+          }
+          if (!pass.by_driver) {
+            pass.by_shard = width > 0 && delta->shard_count() > 1 &&
+                            delta->size() >= opts_.min_rows_to_partition;
+          }
           if (!probe_cols.empty()) {
             // Index the occurrence's extent on the key the join probes it
-            // with: inside each shard, or combined for whole-delta passes.
+            // with: inside each shard, or combined when the whole delta is
+            // probed (driver-partitioned and single-task passes).
             if (pass.by_shard) {
               delta->EnsureShardIndexes(probe_cols);
             } else {
@@ -442,7 +526,7 @@ class ParallelEngine {
             }
           }
           pass.head_state = &preds_.at(rule.head().predicate);
-          passes.push_back(pass);
+          passes.push_back(std::move(pass));
         }
       }
 
@@ -452,7 +536,8 @@ class ParallelEngine {
         const CompiledRule& rule = rules_[pass.rule];
         for (size_t k = 0; k < rule.body().size(); ++k) {
           if (k == pass.occ) continue;  // the occurrence was indexed above
-          const std::vector<int>& cols = static_cols_[pass.rule][k];
+          if (pass.by_driver && k == pass.driver_pos) continue;  // per shard
+          const std::vector<int>& cols = cols_[pass.rule][k];
           if (cols.empty()) continue;
           RelationView view = ViewFor(pass, k, nullptr);
           if (view.first != nullptr) view.first->EnsureIndex(cols);
@@ -462,8 +547,10 @@ class ParallelEngine {
 
       std::vector<TaskRef> tasks;
       for (size_t p = 0; p < passes.size(); ++p) {
-        size_t parts =
-            passes[p].by_shard ? passes[p].delta_rel->shard_count() : 1;
+        size_t parts = passes[p].by_driver ? passes[p].driver_parts.size()
+                       : passes[p].by_shard
+                           ? passes[p].delta_rel->shard_count()
+                           : 1;
         for (size_t part = 0; part < parts; ++part) {
           tasks.push_back(TaskRef{p, part});
         }
@@ -503,8 +590,7 @@ class ParallelEngine {
       result_.mutable_idb()->emplace(name, std::move(st.full));
     }
     stats->total_facts = total;
-    stats->instantiations = join_stats_.instantiations;
-    stats->rows_matched = join_stats_.rows_matched;
+    eval::FoldRuleStats(rule_stats_, stats);
     return std::move(result_);
   }
 
@@ -515,9 +601,13 @@ class ParallelEngine {
 
   std::set<std::string> idb_preds_;
   std::map<std::string, PredState> preds_;
+  plan::ProgramPlan plan_;
   std::vector<CompiledRule> rules_;
-  std::vector<std::vector<std::vector<int>>> static_cols_;  // rule x literal
-  JoinStats join_stats_;
+  // Per-rule, per-compiled-literal probe columns and driver position, both
+  // read straight off the join plan (the compiled body is in plan order).
+  std::vector<std::vector<std::vector<int>>> cols_;
+  std::vector<int> driver_pos_;
+  std::vector<JoinStats> rule_stats_;
   EvalResult result_;
 
   std::atomic<bool> cancelled_{false};

@@ -2,22 +2,29 @@
 //
 // The paper's argument-reduction theorems shrink a recursive relation from
 // O(n^k) to O(n) facts; this module consumes those relations on every core.
-// Storage is shard-native (eval::StorageOptions): every IDB relation is
-// hash-partitioned on the join-key columns of its first recursive occurrence
-// (eval::StaticIndexCols, else column 0), and the delta shards *are* the
-// parallel work partitions — nothing is re-partitioned or copied per
+// Rules are compiled against their plan::JoinPlan (the per-rule join order,
+// index requirements, and partitioning driver chosen at compile time — see
+// plan/join_plan.h), and storage is shard-native (eval::StorageOptions):
+// every IDB relation is hash-partitioned on the plan's join-key columns of
+// its first recursive occurrence (else column 0). Work is partitioned along
+// the plan's driver literal — nothing is re-partitioned or copied per
 // iteration:
 //
-//   1. Iteration 0 (EDB-only rules) partitions the first relation literal's
-//      extent by the base relation's shards, so even the seed fans out
-//      across the pool instead of running on the control thread.
-//   2. For every (rule, recursive-occurrence) pass of a later iteration the
-//      occurrence ranges over the delta's shards in place, each shard
-//      indexed on the probe columns (Relation::EnsureShardIndexes). Every
-//      other probe index is pre-built on the frozen full/delta/base
-//      relations (Relation::EnsureIndex), so workers only touch the const
-//      read path (RelationView::shared).
-//   3. Workers evaluate one shard each into a thread-local Relation buffer
+//   1. Iteration 0 (EDB-only rules) partitions the plan's first relation
+//      literal's extent by the base relation's shards, so even the seed fans
+//      out across the pool instead of running on the control thread.
+//   2. For a (rule, recursive-occurrence) pass of a later iteration whose
+//      occurrence IS the plan's driver, the occurrence ranges over the
+//      delta's shards in place, each shard indexed on the probe columns
+//      (Relation::EnsureShardIndexes). When the driver is an earlier
+//      literal, the pass partitions the driver's frozen extent instead (one
+//      task per member relation x shard, every task probing the whole
+//      indexed delta) — so the rule prefix is enumerated exactly once
+//      across the pass instead of once per delta shard, the duplication
+//      right-linear rules used to pay. Every other probe index is pre-built
+//      on the frozen full/delta/base relations (Relation::EnsureIndex), so
+//      workers only touch the const read path (RelationView::shared).
+//   3. Workers evaluate one slice each into a thread-local Relation buffer
 //      sharded exactly like the head relation, deduplicating against the
 //      frozen full/delta extents.
 //   4. Merges are shard-to-shard (Relation::MergeShard) under one lock per
@@ -26,9 +33,12 @@
 //      rotates full/delta/next exactly like the sequential engine.
 //
 // The result is fact-for-fact identical to eval::Evaluate's semi-naive
-// strategy at any thread and shard count (set semantics make the fixpoint
-// confluent); the sequential single-shard evaluator remains the oracle the
-// tests compare against.
+// strategy at any thread and shard count, and head instantiation counts are
+// identical to the sequential engine's at any join order (set semantics make
+// the fixpoint confluent; a complete body match is order-invariant); the
+// sequential single-shard evaluator remains the oracle the tests compare
+// against. EvalOptions::join_order = kLeftToRight selects the pre-planner
+// baseline (source-order joins, delta-shard partitioning only).
 
 #ifndef FACTLOG_EXEC_PARALLEL_SEMINAIVE_H_
 #define FACTLOG_EXEC_PARALLEL_SEMINAIVE_H_

@@ -19,57 +19,6 @@ using eval::Relation;
 using eval::RelationView;
 using eval::ValueId;
 
-// Completes a rederivation body: `prefix` (the guard literals) followed by
-// the rule's remaining literals, relation literals greedily ordered to join
-// on already-bound variables — the guard binds the head's variables, and
-// without reordering the original left-to-right order would rescan whole
-// relations per candidate. Builtins run last in original order (they check
-// or compute once their inputs are bound; a relation literal scheduled
-// before a builtin that used to bind one of its variables degrades to a
-// scan-plus-filter, which stays correct).
-std::vector<ast::Atom> OrderRederiveBody(std::vector<ast::Atom> prefix,
-                                         std::vector<ast::Atom> pool,
-                                         const ast::Rule& rule,
-                                         size_t skip_index) {
-  std::set<std::string> bound;
-  std::vector<std::string> scratch;
-  auto note_bound = [&](const ast::Atom& a) {
-    scratch.clear();
-    a.CollectVars(&scratch);
-    bound.insert(scratch.begin(), scratch.end());
-  };
-  for (const ast::Atom& a : prefix) note_bound(a);
-
-  std::vector<ast::Atom> rels = std::move(pool), builtins;
-  for (size_t k = 0; k < rule.body().size(); ++k) {
-    if (k == skip_index) continue;
-    const ast::Atom& a = rule.body()[k];
-    (ast::IsBuiltinPredicate(a.predicate()) ? builtins : rels).push_back(a);
-  }
-  std::vector<ast::Atom> out = std::move(prefix);
-  std::vector<bool> used(rels.size(), false);
-  for (size_t n = 0; n < rels.size(); ++n) {
-    int best = -1;
-    int best_score = -1;
-    for (size_t i = 0; i < rels.size(); ++i) {
-      if (used[i]) continue;
-      int score = 0;
-      for (const std::string& v : rels[i].DistinctVars()) {
-        if (bound.count(v) > 0) ++score;
-      }
-      if (score > best_score) {
-        best = static_cast<int>(i);
-        best_score = score;
-      }
-    }
-    used[best] = true;
-    note_bound(rels[best]);
-    out.push_back(rels[best]);
-  }
-  for (ast::Atom& b : builtins) out.push_back(std::move(b));
-  return out;
-}
-
 }  // namespace
 
 // ---------------------------------------------------------------- building --
@@ -91,12 +40,22 @@ Result<std::unique_ptr<MaterializedView>> MaterializedView::Build(
 Status MaterializedView::Init() {
   FACTLOG_RETURN_IF_ERROR(program_.Validate());
   idb_preds_ = program_.IdbPredicates();
+  // One join plan for the program's rules, shared with the initial
+  // evaluation below: the engine's compile-time plan when it gave us one,
+  // else planned here from the database's extent sizes.
+  plan_ = eval::PlanForEvaluation(program_, *db_, opts_.eval);
   rules_.reserve(program_.rules().size());
   for (size_t i = 0; i < program_.rules().size(); ++i) {
     const ast::Rule& r = program_.rules()[i];
-    FACTLOG_ASSIGN_OR_RETURN(CompiledRule cr,
-                             CompiledRule::Compile(r, &db_->store()));
-    static_cols_.push_back(eval::StaticIndexCols(cr));
+    FACTLOG_ASSIGN_OR_RETURN(
+        CompiledRule cr,
+        CompiledRule::Compile(r, &db_->store(), &plan_.rules[i]));
+    // The compiled body is in plan order; the plan's declared index
+    // requirements are the probe keys the delta passes pre-build.
+    plan_cols_.emplace_back();
+    for (const plan::LiteralPlan& lp : plan_.rules[i].order) {
+      plan_cols_.back().push_back(lp.index_cols);
+    }
     rules_.push_back(std::move(cr));
     pred_info_[r.head().predicate()].rules.push_back(i);
   }
@@ -107,6 +66,7 @@ Status MaterializedView::Init() {
   eval::EvalOptions eopts = opts_.eval;
   eopts.strategy = eval::Strategy::kSemiNaive;
   eopts.shared_edb = false;
+  eopts.program_plan = &plan_;
   if (opts_.pool != nullptr) {
     exec::ParallelEvalOptions popts;
     popts.eval = eopts;
@@ -116,6 +76,9 @@ Status MaterializedView::Init() {
   } else {
     FACTLOG_ASSIGN_OR_RETURN(result_, eval::Evaluate(program_, db_, eopts));
   }
+  // The engine's plan pointer has served its purpose (plan_ is a copy);
+  // never read it again — its CompiledQuery may be evicted from the cache.
+  opts_.eval.program_plan = nullptr;
 
   for (auto& [pred, info] : pred_info_) {
     Relation* rel = result_.Find(pred);
@@ -145,6 +108,28 @@ Status MaterializedView::Init() {
     }
   }
   const std::string& cand_prefix = cand_prefix_;
+  // Rederivation bodies are planned through the same cost model as every
+  // other rule (the greedy planner replaced the old ad-hoc guard ordering):
+  // the leading literal is pinned — the candidate guard for round 0, the
+  // driving occurrence for the rotated variants — and the rest joins
+  // greedily on already-bound variables. Extent hints are exact here: the
+  // EDB and the freshly materialized IDB are both in hand; candidate guards
+  // are overdeletion-sized, so they rank as delta extents.
+  plan::PlanOptions ropts;
+  ropts.pinned_prefix = 1;
+  for (const auto& [name, rel] : db_->relations()) {
+    ropts.extent_hints[name] = rel->size();
+  }
+  for (const auto& [pred, rel] : result_.idb()) {
+    ropts.extent_hints[pred] = rel->size();
+  }
+  for (const auto& [pred, info] : pred_info_) {
+    if (info.recursive) ropts.delta_preds.insert(cand_prefix + pred);
+  }
+  auto compile_planned = [&](ast::Rule rule) -> Result<CompiledRule> {
+    plan::JoinPlan jp = plan::PlanRule(rule, ropts);
+    return CompiledRule::Compile(rule, &db_->store(), &jp);
+  };
   rederive_rules_.resize(rules_.size());
   rederive_occ_rules_.resize(rules_.size());
   for (size_t i = 0; i < program_.rules().size(); ++i) {
@@ -153,16 +138,14 @@ Status MaterializedView::Init() {
     if (!head_info.recursive) continue;
     ast::Atom cand(cand_prefix + r.head().predicate(), r.head().args());
     // Round-0 variant: the guard leads (scan bounded by the candidates).
+    std::vector<ast::Atom> body0 = {cand};
+    body0.insert(body0.end(), r.body().begin(), r.body().end());
     FACTLOG_ASSIGN_OR_RETURN(
-        CompiledRule rr,
-        CompiledRule::Compile(
-            ast::Rule(r.head(), OrderRederiveBody({cand}, {}, r,
-                                                  /*skip_index=*/SIZE_MAX)),
-            &db_->store()));
+        CompiledRule rr, compile_planned(ast::Rule(r.head(), body0)));
     rederive_rules_[i] = std::make_unique<CompiledRule>(std::move(rr));
     // Rotated variants for delta-driven rounds: the occurrence leads and the
-    // guard joins greedily like any other literal — typically last, as an
-    // indexed filter on the by-then-bound head columns.
+    // guard joins like any other literal — typically as an indexed filter on
+    // the by-then-bound head columns.
     for (size_t b = 0; b < r.body().size(); ++b) {
       const ast::Atom& lit = r.body()[b];
       auto lit_info = pred_info_.find(lit.predicate());
@@ -170,11 +153,13 @@ Status MaterializedView::Init() {
           lit_info->second.scc != head_info.scc) {
         continue;
       }
+      std::vector<ast::Atom> rot_body = {lit, cand};
+      for (size_t k = 0; k < r.body().size(); ++k) {
+        if (k != b) rot_body.push_back(r.body()[k]);
+      }
       FACTLOG_ASSIGN_OR_RETURN(
           CompiledRule rot,
-          CompiledRule::Compile(
-              ast::Rule(r.head(), OrderRederiveBody({lit}, {cand}, r, b)),
-              &db_->store()));
+          compile_planned(ast::Rule(r.head(), std::move(rot_body))));
       rederive_occ_rules_[i].emplace(
           b, std::make_unique<CompiledRule>(std::move(rot)));
     }
@@ -321,9 +306,10 @@ bool MaterializedView::PreparePass(size_t rule_index,
   bool parallel = opts_.pool != nullptr && delta->shard_count() > 1 &&
                   delta->size() >= opts_.min_rows_to_partition;
   if (!parallel) return false;
-  // Pre-build every index a worker could probe, then freeze the views:
-  // inside the parallel region only the const read path runs.
-  const std::vector<std::vector<int>>& cols = static_cols_[rule_index];
+  // Pre-build every index a worker could probe (the plan's declared index
+  // requirements), then freeze the views: inside the parallel region only
+  // the const read path runs.
+  const std::vector<std::vector<int>>& cols = plan_cols_[rule_index];
   for (size_t k = 0; k < views->size(); ++k) {
     if (k == occ) continue;
     RelationView& view = (*views)[k];
@@ -945,8 +931,10 @@ Status MaterializedView::DeleteRecursive(
       if (cand[p]->empty()) continue;
       for (size_t ri : pred_info_.at(p).rules) {
         for (const auto& [occ, rot] : rederive_occ_rules_[ri]) {
-          const Relation* extent = driving.at(rules_[ri].body()[occ].predicate)
-                                       .get();
+          // `occ` indexes the SOURCE rule body (the compiled rules_ body is
+          // in plan order).
+          const Relation* extent =
+              driving.at(program_.rules()[ri].body()[occ].predicate()).get();
           if (extent->empty()) continue;
           // Rotated variant: the driving occurrence leads (delta-sized
           // scan), the candidate guard joins on its bound columns.

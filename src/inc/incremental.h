@@ -57,6 +57,7 @@
 #include "eval/rule_eval.h"
 #include "eval/seminaive.h"
 #include "exec/thread_pool.h"
+#include "plan/join_plan.h"
 
 namespace factlog::inc {
 
@@ -210,17 +211,24 @@ class MaterializedView {
   IncrementalOptions opts_;
 
   std::set<std::string> idb_preds_;
+  /// The program's join plan (engine-supplied or computed at Build); the
+  /// compiled rules_ bodies are laid out in its order.
+  plan::ProgramPlan plan_;
   std::vector<eval::CompiledRule> rules_;
-  std::vector<std::vector<std::vector<int>>> static_cols_;  // rule x literal
-  /// Rederivation variant of each recursive-head rule: the original body
-  /// prefixed with a candidate guard literal over the head's arguments
+  /// Per-rule, per-compiled-literal probe columns, read off the plan's
+  /// declared index requirements.
+  std::vector<std::vector<std::vector<int>>> plan_cols_;
+  /// Rederivation variant of each recursive-head rule: the body prefixed
+  /// with a candidate guard literal over the head's arguments (pinned
+  /// first), the rest planned through plan::PlanRule's greedy cost model
   /// (absent for counting-maintained heads).
   std::vector<std::unique_ptr<eval::CompiledRule>> rederive_rules_;
   /// Delta-driven rederivation variants, one per same-SCC body occurrence:
-  /// the body rotated so the driving occurrence leads and the candidate
-  /// guard follows (probed by index on the bound head columns), keeping
-  /// later rederivation rounds delta-sized instead of rescanning every
-  /// remaining candidate. Keyed by the occurrence's original body index.
+  /// the driving occurrence pinned first, the candidate guard and the rest
+  /// planned greedily (the guard typically lands as an indexed filter on the
+  /// bound head columns), keeping later rederivation rounds delta-sized
+  /// instead of rescanning every remaining candidate. Keyed by the
+  /// occurrence's source body index.
   std::vector<std::map<size_t, std::unique_ptr<eval::CompiledRule>>>
       rederive_occ_rules_;
   std::map<std::string, PredInfo> pred_info_;

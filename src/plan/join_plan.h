@@ -1,0 +1,130 @@
+// Compile-time join planning: one cost-based JoinPlan IR shared by every
+// evaluator.
+//
+// The paper's thesis is that evaluation work should be decided at compile
+// time — factoring rewrites a program once so every later evaluation touches
+// fewer arguments. The runtime side of that economy is the join order: which
+// body literal drives each rule, which index each literal is probed with,
+// and which literal's extent the parallel fixpoint partitions. This module
+// decides all three once per compiled rule:
+//
+//   * `PlanRule` runs a deterministic greedy cost model over the rule body.
+//     At each step it schedules the cheapest remaining relation literal,
+//     where cost is the literal's estimated extent (an exact size hint when
+//     the caller has one, a default otherwise; literals of delta-driven
+//     predicates — the semi-naive IDB — are assumed delta-sized) shrunk by a
+//     fixed selectivity per argument position already ground under the
+//     bindings accumulated so far. Ties break toward source order, so the
+//     plan deviates from left-to-right only when the model clearly prefers
+//     it. Builtins are scheduled eagerly as soon as their inputs are bound.
+//
+//   * The per-literal `index_cols` — the argument positions ground when the
+//     planned join reaches the literal — are the rule's complete index
+//     requirement: engines pre-build exactly these indices before sharing
+//     relations read-only across threads (exec::PrewarmIndexes, the parallel
+//     fixpoint's prewarm step).
+//
+//   * The `driver` is the first relation literal in plan order: the literal
+//     whose extent the parallel fixpoint partitions into per-shard tasks
+//     (delta shards when the driver is the delta occurrence itself, the
+//     driver's frozen extent otherwise — which removes the duplicated
+//     rule-prefix re-enumeration for right-linear rules).
+//
+// A rule whose source order would fail at runtime (a builtin unexecutable at
+// its source position, e.g. `equal/2` with both sides unbound) is left in
+// source order so the error surfaces exactly as written. Planning is pure
+// and deterministic: same rule, same options, same plan.
+//
+// Layering: this module depends only on ast/ and common/. eval/, exec/,
+// inc/, and core/ all sit above it.
+
+#ifndef FACTLOG_PLAN_JOIN_PLAN_H_
+#define FACTLOG_PLAN_JOIN_PLAN_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/program.h"
+#include "ast/rule.h"
+
+namespace factlog::plan {
+
+struct PlanOptions {
+  /// Known extent sizes (rows) by predicate — e.g. a snapshot of the base
+  /// relations. Missing predicates fall back to `default_rows`.
+  std::map<std::string, uint64_t> extent_hints;
+  /// Predicates whose body occurrences range over fixpoint deltas rather
+  /// than full extents (the semi-naive IDB): estimated at `delta_rows`
+  /// regardless of hints, so delta-driven literals plan toward the front.
+  /// PlanProgram additionally unions in the program's own IDB predicates.
+  std::set<std::string> delta_preds;
+  /// Extent estimate for predicates without a hint.
+  uint64_t default_rows = 1024;
+  /// Extent estimate for delta-driven predicates.
+  uint64_t delta_rows = 16;
+  /// Keep the first N body literals exactly in place (and bind their
+  /// variables first). The incremental engine pins its candidate guard /
+  /// driving occurrence this way.
+  size_t pinned_prefix = 0;
+  /// When false the plan keeps the source body order (the left-to-right
+  /// baseline); index_cols and the driver are still computed.
+  bool reorder = true;
+};
+
+/// One body literal's slot in the planned evaluation order.
+struct LiteralPlan {
+  /// The literal's position in the rule's source body.
+  size_t body_index = 0;
+  /// Stored predicate (EDB or IDB) as opposed to a builtin.
+  bool is_relation = false;
+  /// Argument positions ground when the planned join reaches this literal —
+  /// the index key its relation is probed with (empty: full scan / builtin).
+  std::vector<int> index_cols;
+  /// The cost model's extent estimate when the literal was scheduled.
+  uint64_t est_rows = 0;
+};
+
+/// The per-rule plan: evaluation order, index requirements, driver.
+struct JoinPlan {
+  /// Body literals in evaluation order.
+  std::vector<LiteralPlan> order;
+  /// Source body index of the first relation literal in plan order (the
+  /// partitioning driver for delta/seed fan-out), or -1 for all-builtin
+  /// bodies.
+  int driver = -1;
+  /// True when `order` deviates from the source body order.
+  bool reordered = false;
+
+  /// "order [1, 0] driver t index cols [[] [1]]" — one-line summary.
+  std::string Summary() const;
+};
+
+/// Plans one rule. Deterministic; never fails (ill-formed builtin orders
+/// degrade to the identity plan).
+JoinPlan PlanRule(const ast::Rule& rule, const PlanOptions& opts = {});
+
+/// Plans for every rule of a program, index-aligned with program.rules().
+struct ProgramPlan {
+  std::vector<JoinPlan> rules;
+
+  /// True when the plan structurally matches `program` (rule count and body
+  /// sizes), i.e. it was built from this program.
+  bool Compatible(const ast::Program& program) const;
+  /// Number of rules whose planned order deviates from source order.
+  size_t reordered_rules() const;
+};
+
+/// Plans every rule. `opts.delta_preds` is unioned with the program's IDB
+/// predicates (their occurrences range over deltas in semi-naive fixpoints).
+ProgramPlan PlanProgram(const ast::Program& program, PlanOptions opts = {});
+
+/// Multi-line human-readable rendering: one block per rule with the source
+/// rule, join order, per-literal index columns, and driver literal.
+std::string Explain(const ast::Program& program, const ProgramPlan& plan);
+
+}  // namespace factlog::plan
+
+#endif  // FACTLOG_PLAN_JOIN_PLAN_H_
