@@ -7,7 +7,7 @@
 //            [--explain]
 //            [--facts <facts.dl>]
 //            [--threads <n>] [--shards <n>]
-//            [--batch <queries.txt>] [--incremental]
+//            [--batch <queries.txt>] [--incremental] [--serve]
 //
 // The program file must contain a `?- query.` line (optional with --batch).
 // With --facts the final program is evaluated against the given ground facts
@@ -29,6 +29,13 @@
 //
 //   $ printf '+e(2, 4).\n-e(1, 2).\n?\n' |
 //       ./optimizer_cli tc.dl --facts facts.dl --incremental
+//
+// --serve (requires --facts) materializes the query as a live view, starts
+// the async serving subsystem (MVCC snapshot reads, single-writer updates),
+// and reads the same commands as --incremental from stdin — but submits them
+// through the request queue and prints each completion asynchronously with
+// its queue/apply/execute latency and snapshot epoch. Defaults --threads to
+// 2 when unset (serving needs a pool).
 //
 // --threads n runs bottom-up evaluation on the parallel execution subsystem
 // (n worker threads). --shards n hash-partitions every relation into n
@@ -90,7 +97,7 @@ int Usage() {
                "[--stage trace|magic|factored|final] [--explain] "
                "[--facts <facts.dl>] "
                "[--threads <n>] [--shards <n>] [--batch <queries.txt>] "
-               "[--incremental]\n";
+               "[--incremental] [--serve]\n";
   return 2;
 }
 
@@ -157,6 +164,109 @@ int RunIncremental(factlog::api::Engine* engine,
               << us << " us)\n";
   }
   return 0;
+}
+
+// --serve mode: the --incremental command language, asynchronously — every
+// command is submitted through the serving request queue and its completion
+// (with snapshot epoch and latencies) prints whenever it finishes, possibly
+// after later commands were already submitted.
+int RunServe(factlog::api::Engine* engine,
+             const factlog::ast::Program& program,
+             const factlog::ast::Atom& query,
+             factlog::core::Strategy strategy) {
+  using namespace factlog;
+  auto handle = engine->Materialize(program, query, strategy);
+  if (!handle.ok()) return Fail(handle.status());
+  if (Status st = engine->StartServing(); !st.ok()) return Fail(st);
+  uint64_t session = engine->OpenSession();
+
+  // Completions print from pool workers / the writer thread; serialize them.
+  std::mutex out_mu;
+  auto submit_query = [&]() {
+    Status st = engine->SubmitQuery(
+        session, program, query, strategy,
+        [&out_mu, engine](serve::QueryResponse resp) {
+          std::lock_guard<std::mutex> lock(out_mu);
+          if (!resp.status.ok()) {
+            std::cout << "% query error: " << resp.status.ToString() << "\n";
+            return;
+          }
+          std::cout << "% answers @ epoch " << resp.epoch << " ("
+                    << resp.answers.rows.size() << " rows, "
+                    << (resp.view_hit ? "from view" : "evaluated")
+                    << ", queue " << resp.queue_us << " us, execute "
+                    << resp.execute_us << " us)\n"
+                    << resp.answers.ToString(engine->db().store());
+        });
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(out_mu);
+      std::cout << "% query rejected: " << st.ToString() << "\n";
+    }
+  };
+
+  submit_query();
+  std::string line;
+  int rc = 0;
+  while (std::getline(std::cin, line)) {
+    size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos || line[begin] == '%') continue;
+    size_t end = line.find_last_not_of(" \t\r");
+    std::string cmd = line.substr(begin, end - begin + 1);
+    if (cmd == "?") {
+      submit_query();
+      continue;
+    }
+    if (cmd == "stats") {
+      serve::ServerStats s = engine->serving_stats();
+      std::lock_guard<std::mutex> lock(out_mu);
+      std::cout << "% serving: epoch " << engine->serving_epoch()
+                << "; queries " << s.completed_queries << "/"
+                << s.accepted_queries << " done (" << s.rejected_queries
+                << " rejected); updates " << s.completed_updates << "/"
+                << s.accepted_updates << " done (" << s.rejected_updates
+                << " rejected); " << s.epochs_installed
+                << " epochs installed; " << s.inflight << " in flight\n";
+      continue;
+    }
+    if (cmd.size() < 2 || (cmd[0] != '+' && cmd[0] != '-')) {
+      std::cerr << "error: expected '+fact.', '-fact.', '?', or 'stats', "
+                   "got: " << cmd << "\n";
+      rc = StatusCodeToExitCode(StatusCode::kInvalidArgument);
+      break;
+    }
+    bool insert = cmd[0] == '+';
+    std::string text = cmd.substr(1);
+    if (!text.empty() && text.back() == '.') text.pop_back();
+    auto fact = ast::ParseAtom(text);
+    if (!fact.ok()) {
+      rc = Fail(fact.status());
+      break;
+    }
+    Status st = engine->SubmitUpdate(
+        session, insert, *fact,
+        [&out_mu, insert, rendered = fact->ToString()](
+            serve::UpdateResponse resp) {
+          std::lock_guard<std::mutex> lock(out_mu);
+          if (!resp.status.ok()) {
+            std::cout << "% " << (insert ? "+" : "-") << rendered
+                      << " error: " << resp.status.ToString() << "\n";
+            return;
+          }
+          std::cout << "% " << (insert ? "+" : "-") << rendered
+                    << " -> epoch " << resp.epoch << " (queue "
+                    << resp.queue_us << " us, apply " << resp.apply_us
+                    << " us)\n";
+        });
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(out_mu);
+      std::cout << "% update rejected: " << st.ToString() << "\n";
+    }
+  }
+  // Drain every in-flight completion (they reference out_mu) before the
+  // callbacks' captures go out of scope.
+  engine->CloseSession(session);
+  engine->StopServing();
+  return rc;
 }
 
 // Renders per-shard row counts as " [shard rows: a, b, ...]"; empty for flat
@@ -246,6 +356,7 @@ int main(int argc, char** argv) {
   size_t threads = 0;
   size_t shards = 1;
   bool incremental = false;
+  bool serve = false;
   bool explain = false;
   core::Strategy strategy = core::Strategy::kFactoring;
   for (int i = 2; i < argc; ++i) {
@@ -256,6 +367,8 @@ int main(int argc, char** argv) {
       explain = true;
     } else if (arg == "--incremental") {
       incremental = true;
+    } else if (arg == "--serve") {
+      serve = true;
     } else if (arg == "--facts" && i + 1 < argc) {
       facts_path = argv[++i];
     } else if (arg == "--batch" && i + 1 < argc) {
@@ -367,21 +480,30 @@ int main(int argc, char** argv) {
               << plan::Explain(compiled.program, compiled.plans);
   }
 
-  if (incremental && facts_path.empty()) {
-    std::cerr << "error: --incremental requires --facts\n";
+  if ((incremental || serve) && facts_path.empty()) {
+    std::cerr << "error: --" << (incremental ? "incremental" : "serve")
+              << " requires --facts\n";
+    return 2;
+  }
+  if (incremental && serve) {
+    std::cerr << "error: --incremental and --serve are exclusive\n";
     return 2;
   }
   if (!facts_path.empty()) {
     auto facts_text = ReadFile(facts_path);
     if (!facts_text.ok()) return Fail(facts_text.status());
     api::EngineOptions engine_options;
-    engine_options.num_threads = threads;
+    // Serving runs the request queue on the engine's pool.
+    engine_options.num_threads = (serve && threads == 0) ? 2 : threads;
     engine_options.num_shards = shards;
     api::Engine engine(engine_options);
     Status load = engine.LoadFacts(*facts_text);
     if (!load.ok()) return Fail(load);
     if (incremental) {
       return RunIncremental(&engine, *program, *program->query(), strategy);
+    }
+    if (serve) {
+      return RunServe(&engine, *program, *program->query(), strategy);
     }
     api::QueryStats stats;
     auto answers = engine.Execute(compiled, &stats);

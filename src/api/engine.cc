@@ -33,7 +33,17 @@ Status Engine::CheckMutable(const char* op) const {
 }
 
 Status Engine::AddFact(const ast::Atom& fact) {
+  if (serving_active_.load(std::memory_order_acquire)) {
+    // Route through the writer thread: the update is serialized with every
+    // other serving update and published as a snapshot epoch. Never fails
+    // the evaluation-epoch guard — serving readers don't hold it.
+    return SubmitUpdate(engine_session_, /*insert=*/true, fact).get().status;
+  }
   FACTLOG_RETURN_IF_ERROR(CheckMutable("AddFact"));
+  return AddFactImpl(fact);
+}
+
+Status Engine::AddFactImpl(const ast::Atom& fact) {
   {
     std::lock_guard<std::mutex> lock(view_mu_);
     if (views_.empty()) return db_.AddFact(fact);
@@ -72,7 +82,14 @@ Status Engine::AddFact(const ast::Atom& fact) {
 }
 
 Status Engine::RemoveFact(const ast::Atom& fact) {
+  if (serving_active_.load(std::memory_order_acquire)) {
+    return SubmitUpdate(engine_session_, /*insert=*/false, fact).get().status;
+  }
   FACTLOG_RETURN_IF_ERROR(CheckMutable("RemoveFact"));
+  return RemoveFactImpl(fact);
+}
+
+Status Engine::RemoveFactImpl(const ast::Atom& fact) {
   // The interned row is needed for the view delta; presence and the erase
   // itself are Database::RemoveFact's job. Deletions erase from the database
   // first: the views' old state is then stored ∪ delta, matching
@@ -147,8 +164,17 @@ std::string Engine::PlanCacheKey(const ast::Program& program,
   return key;
 }
 
-core::PipelineOptions Engine::PipelineOptionsForCompile() const {
+core::PipelineOptions Engine::PipelineOptionsForCompile(
+    const eval::Database* hint_db) const {
   core::PipelineOptions opts = options_.pipeline;
+  // A serving compile seeds the planner from the pinned snapshot: immutable,
+  // so no guard is needed and no mutation can race the iteration.
+  if (hint_db != nullptr) {
+    for (const auto& [name, rel] : hint_db->relations()) {
+      opts.planner.extent_hints[name] = rel->size();
+    }
+    return opts;
+  }
   // Seed the join planner with the actual base-relation sizes. Reading the
   // database makes this snapshot subject to the same contract as evaluation
   // (mutations must not race it), so it runs under the evaluation-epoch
@@ -182,7 +208,8 @@ Result<std::shared_ptr<const CompiledQuery>> Engine::Compile(
 
 Result<std::shared_ptr<const CompiledQuery>> Engine::CompileWithKey(
     const ast::Program& program, const ast::Atom& query, Strategy strategy,
-    QueryStats* stats, const std::string& key) {
+    QueryStats* stats, const std::string& key,
+    const eval::Database* hint_db) {
   const auto start = std::chrono::steady_clock::now();
   std::shared_ptr<InFlightCompile> flight;
   bool owner = false;
@@ -218,7 +245,7 @@ Result<std::shared_ptr<const CompiledQuery>> Engine::CompileWithKey(
   // Single-flight owner: compile outside every lock — the pipeline is pure
   // and may be slow.
   auto compiled = core::CompileQuery(program, query, strategy,
-                                     PipelineOptionsForCompile());
+                                     PipelineOptionsForCompile(hint_db));
   std::shared_ptr<const CompiledQuery> plan;
   if (compiled.ok()) {
     plan = std::make_shared<const CompiledQuery>(std::move(compiled).value());
@@ -322,6 +349,20 @@ void Engine::RenameAnswerVars(const ast::Atom& query,
 Result<eval::AnswerSet> Engine::Query(const ast::Program& program,
                                       const ast::Atom& query,
                                       Strategy strategy, QueryStats* stats) {
+  if (serving_active_.load(std::memory_order_acquire)) {
+    // Inline snapshot read: same execution as a SubmitQuery, minus the
+    // queue. Runs concurrently with the writer, no epoch guard involved.
+    serve::QueryResponse resp;
+    const auto start = std::chrono::steady_clock::now();
+    ServingRead(program, query, strategy, &resp);
+    if (stats != nullptr) {
+      stats->view_hit = resp.view_hit;
+      stats->cache_hit = resp.cache_hit;
+      stats->execute_us = MicrosSince(start);
+    }
+    if (!resp.status.ok()) return resp.status;
+    return std::move(resp.answers);
+  }
   // A materialized view with this plan key answers without executing. The
   // key doubles as the compile key below, so it is derived at most once.
   std::string key;
@@ -393,6 +434,10 @@ inc::IncrementalOptions Engine::MakeIncOptions() {
 Result<ViewHandle> Engine::Materialize(const ast::Program& program,
                                        const ast::Atom& query,
                                        Strategy strategy, QueryStats* stats) {
+  if (serving_active_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        "Materialize while serving; materialize views before StartServing");
+  }
   const std::string key = PlanCacheKey(program, query, strategy);
   FACTLOG_ASSIGN_OR_RETURN(
       std::shared_ptr<const CompiledQuery> plan,
@@ -470,6 +515,10 @@ Result<inc::ViewStats> Engine::ViewStatsFor(const ViewHandle& handle) const {
 }
 
 void Engine::DropView(const ViewHandle& handle) {
+  // While serving, the writer thread reads views at every install; dropping
+  // one from another thread would race it. Refuse (views are engine-lifetime
+  // fixtures in serving mode).
+  if (serving_active_.load(std::memory_order_acquire)) return;
   std::lock_guard<std::mutex> lock(view_mu_);
   views_.erase(handle.key);
 }
@@ -487,6 +536,11 @@ Result<exec::BatchResult> Engine::ExecuteBatch(
     return Status::Invalid(
         "ExecuteBatch requires bottom-up execution (top-down resolution is "
         "not thread-safe against a shared database)");
+  }
+  if (serving_active_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        "ExecuteBatch while serving; use SubmitQuery (the serving queue "
+        "already multiplexes the pool) or StopServing first");
   }
   QueryScope scope(this);
   exec::BatchCompileFn compile =
@@ -558,6 +612,213 @@ Result<exec::BatchResult> Engine::ExecuteBatch(
     }
   }
   return result;
+}
+
+// ---- Async serving ----------------------------------------------------------
+
+Engine::~Engine() { StopServing(); }
+
+Status Engine::StartServing(const serve::ServeOptions& serve_options) {
+  if (options_.execution != ExecutionMode::kBottomUp) {
+    return Status::FailedPrecondition(
+        "serving requires bottom-up execution");
+  }
+  exec::ThreadPool* pool = EnsurePool();
+  if (pool == nullptr) {
+    return Status::FailedPrecondition(
+        "serving requires num_threads > 0 (the request queue runs on the "
+        "engine's pool)");
+  }
+  if (server_ != nullptr) return Status::OK();  // already serving
+  serving_ = std::make_unique<ServingState>();
+  // Epoch 1: the pre-serving state. Installed before the server exists, so
+  // the first reader always finds a snapshot.
+  InstallServingSnapshot();
+  serve::Server::Hooks hooks;
+  hooks.read = [this](const ast::Program& program, const ast::Atom& query,
+                      Strategy strategy, serve::QueryResponse* resp) {
+    ServingRead(program, query, strategy, resp);
+  };
+  hooks.apply = [this](bool insert, const ast::Atom& fact) {
+    return insert ? AddFactImpl(fact) : RemoveFactImpl(fact);
+  };
+  hooks.install = [this] { return InstallServingSnapshot(); };
+  server_ =
+      std::make_unique<serve::Server>(pool, std::move(hooks), serve_options);
+  engine_session_ = server_->OpenSession();
+  serving_active_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+Status Engine::StopServing() {
+  if (server_ == nullptr) return Status::OK();
+  // Stop before flipping the flag: late synchronous mutations still route to
+  // the (now rejecting) server instead of racing the writer's final batches.
+  server_->Stop();
+  serving_active_.store(false, std::memory_order_release);
+  server_.reset();
+  serving_.reset();
+  engine_session_ = 0;
+  return Status::OK();
+}
+
+uint64_t Engine::OpenSession() {
+  return server_ == nullptr ? 0 : server_->OpenSession();
+}
+
+Status Engine::CloseSession(uint64_t session) {
+  if (server_ == nullptr) {
+    return Status::FailedPrecondition("engine is not serving");
+  }
+  return server_->CloseSession(session);
+}
+
+Status Engine::SubmitQuery(uint64_t session, ast::Program program,
+                           ast::Atom query, Strategy strategy,
+                           serve::QueryCallback done) {
+  if (server_ == nullptr) {
+    return Status::FailedPrecondition("engine is not serving");
+  }
+  return server_->SubmitQuery(session, std::move(program), std::move(query),
+                              strategy, std::move(done));
+}
+
+std::future<serve::QueryResponse> Engine::SubmitQuery(uint64_t session,
+                                                      ast::Program program,
+                                                      ast::Atom query,
+                                                      Strategy strategy) {
+  if (server_ == nullptr) {
+    std::promise<serve::QueryResponse> promise;
+    serve::QueryResponse resp;
+    resp.status = Status::FailedPrecondition("engine is not serving");
+    promise.set_value(std::move(resp));
+    return promise.get_future();
+  }
+  return server_->SubmitQuery(session, std::move(program), std::move(query),
+                              strategy);
+}
+
+Status Engine::SubmitUpdate(uint64_t session, bool insert, ast::Atom fact,
+                            serve::UpdateCallback done) {
+  if (server_ == nullptr) {
+    return Status::FailedPrecondition("engine is not serving");
+  }
+  return server_->SubmitUpdate(session, insert, std::move(fact),
+                               std::move(done));
+}
+
+std::future<serve::UpdateResponse> Engine::SubmitUpdate(uint64_t session,
+                                                        bool insert,
+                                                        ast::Atom fact) {
+  if (server_ == nullptr) {
+    std::promise<serve::UpdateResponse> promise;
+    serve::UpdateResponse resp;
+    resp.status = Status::FailedPrecondition("engine is not serving");
+    promise.set_value(std::move(resp));
+    return promise.get_future();
+  }
+  return server_->SubmitUpdate(session, insert, std::move(fact));
+}
+
+serve::ServerStats Engine::serving_stats() const {
+  return server_ == nullptr ? serve::ServerStats{} : server_->stats();
+}
+
+uint64_t Engine::serving_epoch() const {
+  return serving_ == nullptr ? 0 : serving_->snapshots.current_epoch();
+}
+
+uint64_t Engine::InstallServingSnapshot() {
+  // Adaptive indexing: build the access paths serving plans asked for on the
+  // *live* relations — snapshots are immutable, so readers can't. The frozen
+  // copies taken below inherit them; the requesting query's epoch scanned,
+  // the next one probes.
+  for (const auto& [name, cols_set] : serving_->vocab.Drain()) {
+    eval::Relation* rel = db_.Find(name);
+    if (rel == nullptr) continue;
+    for (const std::vector<int>& cols : cols_set) rel->EnsureIndex(cols);
+  }
+  std::shared_ptr<serve::Snapshot> snap = serving_->builder.Build(&db_);
+  {
+    // Freeze every view's answer relation into the epoch. FrozenAnswer runs
+    // on the installing thread — the single writer — as Apply* does.
+    std::lock_guard<std::mutex> lock(view_mu_);
+    for (auto& [key, view] : views_) {
+      if (!view->program().query().has_value()) continue;
+      std::shared_ptr<eval::Relation> rel = view->FrozenAnswer();
+      if (rel == nullptr) continue;  // poisoned: readers fall back to eval
+      snap->views.emplace(
+          key, serve::ViewSnapshot{*view->program().query(), std::move(rel)});
+    }
+  }
+  uint64_t epoch = snap->epoch;
+  serving_->snapshots.Install(std::move(snap));
+  return epoch;
+}
+
+void Engine::ServingRead(const ast::Program& program, const ast::Atom& query,
+                         Strategy strategy, serve::QueryResponse* resp) {
+  std::shared_ptr<const serve::Snapshot> snap = serving_->snapshots.Pin();
+  if (snap == nullptr || snap->db == nullptr) {
+    resp->status = Status::Internal("no serving snapshot installed");
+    return;
+  }
+  resp->epoch = snap->epoch;
+  const std::string key = PlanCacheKey(program, query, strategy);
+
+  // A frozen materialized view answers without executing, exactly like the
+  // synchronous view-hit path — but from the epoch's frozen copy, so the
+  // writer's concurrent maintenance never shows through.
+  auto vit = snap->views.find(key);
+  if (vit != snap->views.end()) {
+    resp->view_hit = true;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.view_hits;
+    }
+    Result<eval::AnswerSet> answers = eval::ExtractAnswersFrom(
+        vit->second.query, vit->second.rel.get(), &snap->db->store(),
+        /*shared=*/true);
+    if (!answers.ok()) {
+      resp->status = answers.status();
+      return;
+    }
+    resp->answers = std::move(answers).value();
+    RenameAnswerVars(query, &resp->answers);
+    return;
+  }
+
+  // Compile (planner hints from the snapshot — no live-database read, no
+  // epoch guard) and evaluate sequentially against the snapshot. The
+  // parallel fixpoint is wrong here: serving already runs many queries
+  // concurrently, one worker per query.
+  QueryStats qs;
+  Result<std::shared_ptr<const CompiledQuery>> plan =
+      CompileWithKey(program, query, strategy, &qs, key, snap->db.get());
+  if (!plan.ok()) {
+    resp->status = plan.status();
+    return;
+  }
+  resp->cache_hit = qs.cache_hit;
+  // Register the plan's probe columns; the writer builds them at the next
+  // install (adaptive indexing — see serve::IndexVocabulary).
+  serving_->vocab.RegisterFromPlan(**plan);
+  eval::EvalOptions eopts = options_.eval;
+  eopts.program_plan = &(*plan)->plans;
+  eopts.shared_edb = true;          // snapshot relations are shared-immutable
+  eopts.track_provenance = false;   // provenance needs private relations
+  Result<eval::AnswerSet> answers = eval::EvaluateQuery(
+      (*plan)->program, (*plan)->query, snap->db.get(), eopts, nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.executions;
+  }
+  if (!answers.ok()) {
+    resp->status = answers.status();
+    return;
+  }
+  resp->answers = std::move(answers).value();
+  RenameAnswerVars(query, &resp->answers);
 }
 
 // ---- Introspection ----------------------------------------------------------

@@ -38,6 +38,17 @@
 // misuse, failing a mutation with kFailedPrecondition when a query is
 // already executing (a query that *starts* during a mutation is still a
 // race — the guard is detection, not mutual exclusion).
+//
+// Serving (StartServing): the engine switches to MVCC — reads pin an
+// immutable snapshot of copy-on-write shards (serve/snapshot.h) while a
+// single writer thread applies updates through the views and publishes a new
+// epoch per batch (serve/server.h). On this path mutations never fail the
+// evaluation-epoch guard: readers and the writer genuinely run concurrently,
+// and SubmitQuery/SubmitUpdate provide the async request-queue front end
+// (sessions, bounded admission, backpressure by rejection). The synchronous
+// AddFact/RemoveFact/Query entry points transparently route through the
+// serving machinery while it is active; the stop-the-world guard remains the
+// contract only for non-serving engines.
 
 #ifndef FACTLOG_API_ENGINE_H_
 #define FACTLOG_API_ENGINE_H_
@@ -45,6 +56,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <future>
 #include <list>
 #include <map>
 #include <memory>
@@ -63,6 +75,8 @@
 #include "exec/batch.h"
 #include "exec/thread_pool.h"
 #include "inc/incremental.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
 
 namespace factlog::api {
 
@@ -153,6 +167,9 @@ class Engine {
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+
+  /// Stops serving (draining in-flight requests) before tearing down.
+  ~Engine();
 
   /// The engine's extensional database. Mutating base relations does NOT
   /// invalidate cached plans (plans depend only on the program and query),
@@ -269,6 +286,55 @@ class Engine {
   void DropView(const ViewHandle& handle);
   size_t num_views() const;
 
+  // ---- Async serving ------------------------------------------------------
+
+  /// Switches the engine into serving mode: installs the first MVCC snapshot
+  /// epoch and starts the request-queue front end on the engine's pool.
+  /// Requires kBottomUp execution and num_threads > 0. Idempotent while
+  /// already serving. While serving:
+  ///   * SubmitQuery executes against a pinned snapshot on a pool worker —
+  ///     concurrent with updates, never failed by the epoch guard;
+  ///   * SubmitUpdate is serialized through the single writer thread, which
+  ///     applies it via incremental view maintenance and publishes a new
+  ///     epoch per drained batch;
+  ///   * the synchronous entry points reroute: Query evaluates inline against
+  ///     the current snapshot, AddFact/RemoveFact submit-and-wait through the
+  ///     writer; ExecuteBatch and Materialize fail with kFailedPrecondition
+  ///     (materialize views before serving).
+  Status StartServing(const serve::ServeOptions& serve_options = {});
+  /// Drains in-flight requests, stops the writer, and returns the engine to
+  /// stop-the-world mode. Idempotent.
+  Status StopServing();
+  bool serving() const {
+    return serving_active_.load(std::memory_order_acquire);
+  }
+
+  /// Sessions scope per-client in-flight budgets. Requires serving.
+  /// OpenSession returns 0 when the engine is not serving.
+  uint64_t OpenSession();
+  Status CloseSession(uint64_t session);
+
+  /// Async query against the current snapshot epoch; see serve::Server for
+  /// the callback/backpressure contract.
+  Status SubmitQuery(uint64_t session, ast::Program program, ast::Atom query,
+                     Strategy strategy, serve::QueryCallback done);
+  std::future<serve::QueryResponse> SubmitQuery(
+      uint64_t session, ast::Program program, ast::Atom query,
+      Strategy strategy = Strategy::kAuto);
+  /// Async update (insert = true adds `fact`, false removes it), applied in
+  /// submission order by the writer. The response's epoch is the first epoch
+  /// containing the update.
+  Status SubmitUpdate(uint64_t session, bool insert, ast::Atom fact,
+                      serve::UpdateCallback done);
+  std::future<serve::UpdateResponse> SubmitUpdate(uint64_t session,
+                                                  bool insert,
+                                                  ast::Atom fact);
+
+  /// Serving counters (zero-valued when not serving).
+  serve::ServerStats serving_stats() const;
+  /// The currently installed snapshot epoch (0 when not serving).
+  uint64_t serving_epoch() const;
+
   // ---- Introspection ------------------------------------------------------
 
   /// Number of queries currently executing (evaluation-epoch guard).
@@ -322,19 +388,43 @@ class Engine {
     const Engine* engine_;
   };
 
+  /// Per-engine serving state: the snapshot publication side of the server.
+  struct ServingState {
+    serve::SnapshotBuilder builder;
+    serve::SnapshotManager snapshots;
+    serve::IndexVocabulary vocab;
+  };
+
   /// The engine's thread pool, created on first use (nullptr when
   /// num_threads == 0).
   exec::ThreadPool* EnsurePool();
   /// The configured pipeline options with the join planner's extent hints
   /// seeded from the current base-relation sizes (compile-time planning sees
   /// the data the paper's compile-time factoring sees: the EDB at hand).
-  core::PipelineOptions PipelineOptionsForCompile() const;
+  /// With `hint_db` the hints come from that database instead — serving
+  /// compiles pass the pinned snapshot, so planning neither reads the live
+  /// relations map mid-mutation nor takes the epoch guard.
+  core::PipelineOptions PipelineOptionsForCompile(
+      const eval::Database* hint_db = nullptr) const;
   /// Cache-enabled compilation against a precomputed plan key (so callers
   /// that already derived the key for a view lookup don't canonicalize the
-  /// program a second time).
+  /// program a second time). `hint_db` as in PipelineOptionsForCompile.
   Result<std::shared_ptr<const CompiledQuery>> CompileWithKey(
       const ast::Program& program, const ast::Atom& query, Strategy strategy,
-      QueryStats* stats, const std::string& key);
+      QueryStats* stats, const std::string& key,
+      const eval::Database* hint_db = nullptr);
+  /// AddFact/RemoveFact bodies without the epoch guard: the serving writer
+  /// thread is the only mutator, so the guard is unnecessary there.
+  Status AddFactImpl(const ast::Atom& fact);
+  Status RemoveFactImpl(const ast::Atom& fact);
+  /// Writer-side install: builds the adaptive indices readers registered,
+  /// snapshots the database and every view's answer relation, and publishes
+  /// the epoch. Returns the new epoch.
+  uint64_t InstallServingSnapshot();
+  /// Reader-side execution against the pinned snapshot (the serve::Server
+  /// read hook, also the inline Query path while serving).
+  void ServingRead(const ast::Program& program, const ast::Atom& query,
+                   Strategy strategy, serve::QueryResponse* resp);
   /// kFailedPrecondition when a query is executing (mutations must not race).
   Status CheckMutable(const char* op) const;
   /// The view matching `key`, or nullptr.
@@ -367,6 +457,14 @@ class Engine {
   mutable std::mutex view_mu_;
   std::unique_ptr<exec::ThreadPool> pool_;
   mutable std::atomic<int64_t> active_queries_{0};
+  /// Serving members are declared after pool_ so the server (whose in-flight
+  /// tasks run on the pool) is destroyed first. serving_active_ gates the
+  /// synchronous entry points' rerouting.
+  std::atomic<bool> serving_active_{false};
+  std::unique_ptr<ServingState> serving_;
+  std::unique_ptr<serve::Server> server_;
+  /// The server session the synchronous AddFact/RemoveFact reroute uses.
+  uint64_t engine_session_ = 0;
 };
 
 }  // namespace factlog::api

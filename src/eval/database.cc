@@ -5,7 +5,7 @@ namespace factlog::eval {
 Relation& Database::GetOrCreate(const std::string& name, size_t arity) {
   auto it = relations_.find(name);
   if (it == relations_.end()) {
-    it = relations_.emplace(name, std::make_unique<Relation>(arity, storage_))
+    it = relations_.emplace(name, std::make_shared<Relation>(arity, storage_))
              .first;
   }
   return *it->second;

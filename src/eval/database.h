@@ -23,13 +23,23 @@ namespace factlog::eval {
 class Database {
  public:
   explicit Database(StorageOptions storage = {})
-      : store_(std::make_unique<ValueStore>()), storage_(std::move(storage)) {}
+      : store_(std::make_shared<ValueStore>()), storage_(std::move(storage)) {}
+
+  /// Snapshot construction (src/serve): a database sharing an existing value
+  /// store, to be populated with frozen relation copies via PutRelation.
+  /// Sharing the store keeps every ValueId of the live database resolvable
+  /// from the snapshot (interning is thread-safe, so both sides may keep
+  /// interning concurrently).
+  Database(std::shared_ptr<ValueStore> store, StorageOptions storage)
+      : store_(std::move(store)), storage_(std::move(storage)) {}
 
   /// The storage layout applied to relations this database creates.
   const StorageOptions& storage_options() const { return storage_; }
 
   ValueStore& store() { return *store_; }
   const ValueStore& store() const { return *store_; }
+  /// The shared store handle (snapshot databases alias it).
+  const std::shared_ptr<ValueStore>& shared_store() const { return store_; }
 
   /// Returns the named relation, creating an empty one on first use.
   Relation& GetOrCreate(const std::string& name, size_t arity);
@@ -51,17 +61,23 @@ class Database {
   /// Convenience: adds `name(a)` for an integer.
   void AddUnit(const std::string& name, int64_t a);
 
-  const std::map<std::string, std::unique_ptr<Relation>>& relations() const {
+  const std::map<std::string, std::shared_ptr<Relation>>& relations() const {
     return relations_;
+  }
+
+  /// Installs (or replaces) a relation under `name` — the snapshot builder
+  /// hangs frozen copies here. The relation's arity is taken as-is.
+  void PutRelation(const std::string& name, std::shared_ptr<Relation> rel) {
+    relations_[name] = std::move(rel);
   }
 
   /// Total number of tuples across all relations.
   size_t TotalFacts() const;
 
  private:
-  std::unique_ptr<ValueStore> store_;
+  std::shared_ptr<ValueStore> store_;
   StorageOptions storage_;
-  std::map<std::string, std::unique_ptr<Relation>> relations_;
+  std::map<std::string, std::shared_ptr<Relation>> relations_;
 };
 
 }  // namespace factlog::eval

@@ -27,8 +27,21 @@ Relation::Relation(size_t arity, const StorageOptions& storage)
   if (storage.num_shards > 1 && arity_ > 0) {
     shards_.reserve(storage.num_shards);
     for (size_t s = 0; s < storage.num_shards; ++s) {
-      shards_.push_back(std::make_unique<Relation>(arity_));
+      shards_.push_back(std::make_shared<Relation>(arity_));
     }
+  }
+}
+
+std::shared_ptr<Relation> Relation::FrozenCopy() const {
+  // The copy ctor is private (shared_ptr<Relation>(new ...) instead of
+  // make_shared): it shares the shard pointers, so the copy is O(outer
+  // bookkeeping) in sharded mode and a deep copy only for flat relations.
+  return std::shared_ptr<Relation>(new Relation(*this));
+}
+
+void Relation::DetachShard(size_t s) {
+  if (shards_[s].use_count() > 1) {
+    shards_[s] = std::shared_ptr<Relation>(new Relation(*shards_[s]));
   }
 }
 
@@ -62,7 +75,11 @@ void Relation::Reserve(size_t rows) {
   }
   row_locs_.reserve(rows);
   size_t per_shard = rows / shards_.size() + 1;
-  for (auto& sh : shards_) sh->Reserve(per_shard);
+  for (auto& sh : shards_) {
+    // A shard still shared with a frozen copy must not be touched; the hint
+    // is skipped rather than forcing a clone — the first insert detaches.
+    if (sh.use_count() == 1) sh->Reserve(per_shard);
+  }
 }
 
 bool Relation::Insert(const std::vector<ValueId>& row) {
@@ -96,6 +113,7 @@ bool Relation::InsertFlat(const ValueId* row) {
   bucket.push_back(new_row);
   if (arity_ > 0) cells_.insert(cells_.end(), row, row + arity_);
   ++num_rows_;
+  ++version_;
   if (counts_enabled_) counts_.push_back(1);
   for (auto& [cols, index] : indices_) {
     AddRowToIndex(cols, &index, new_row);
@@ -106,6 +124,7 @@ bool Relation::InsertFlat(const ValueId* row) {
 void Relation::NoteShardInsert(size_t s) {
   uint32_t global = static_cast<uint32_t>(num_rows_);
   ++num_rows_;
+  ++version_;
   // After an erase the global order is already stale and will be rebuilt
   // wholesale by SyncShards; appending to it would record bogus locations.
   if (needs_sync_) return;
@@ -117,6 +136,7 @@ void Relation::NoteShardInsert(size_t s) {
 
 void Relation::NoteShardErase() {
   --num_rows_;
+  ++version_;
   needs_sync_ = true;
   // Combined indices hold global row ids that no longer resolve; drop them
   // and let SyncShards/EnsureIndex rebuild on demand.
@@ -124,6 +144,13 @@ void Relation::NoteShardErase() {
 }
 
 bool Relation::InsertIntoShard(size_t s, const ValueId* row) {
+  if (shards_[s].use_count() > 1) {
+    // COW: don't clone a still-snapshotted shard for a duplicate row. The
+    // extra Contains probe only runs on shared shards, keeping the fixpoint
+    // hot path (exclusively owned shards) unchanged.
+    if (shards_[s]->Contains(row)) return false;
+    DetachShard(s);
+  }
   if (!shards_[s]->InsertFlat(row)) return false;
   NoteShardInsert(s);
   return true;
@@ -191,6 +218,7 @@ void Relation::RenumberRowInIndexes(uint32_t from, uint32_t to) {
 bool Relation::EraseFlat(const ValueId* row) {
   int64_t found = FindRowFlat(row);
   if (found < 0) return false;
+  ++version_;
   uint32_t r = static_cast<uint32_t>(found);
   uint32_t last = static_cast<uint32_t>(num_rows_ - 1);
 
@@ -222,18 +250,28 @@ bool Relation::EraseFlat(const ValueId* row) {
 
 bool Relation::Erase(const ValueId* row) {
   if (shards_.empty()) return EraseFlat(row);
-  if (!shards_[ShardOf(row)]->EraseFlat(row)) return false;
+  size_t s = ShardOf(row);
+  if (shards_[s].use_count() > 1) {
+    // COW: don't clone a still-snapshotted shard for an absent row.
+    if (!shards_[s]->Contains(row)) return false;
+    DetachShard(s);
+  }
+  if (!shards_[s]->EraseFlat(row)) return false;
   NoteShardErase();
   return true;
 }
 
 void Relation::EnableSupportCounts() {
   counts_enabled_ = true;
+  ++version_;
   if (shards_.empty()) {
     counts_.assign(num_rows_, 0);
     return;
   }
-  for (auto& sh : shards_) sh->EnableSupportCounts();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    DetachShard(s);
+    shards_[s]->EnableSupportCounts();
+  }
 }
 
 int64_t Relation::SupportOf(const ValueId* row) const {
@@ -245,11 +283,13 @@ int64_t Relation::SupportOf(const ValueId* row) const {
 
 int64_t Relation::AddSupport(const ValueId* row, int64_t delta) {
   if (!shards_.empty()) {
-    Relation& sh = *shards_[ShardOf(row)];
+    size_t s = ShardOf(row);
+    DetachShard(s);
+    Relation& sh = *shards_[s];
     size_t before = sh.size();
     int64_t count = sh.AddSupport(row, delta);
     if (sh.size() > before) {
-      NoteShardInsert(ShardOf(row));
+      NoteShardInsert(s);
     } else if (sh.size() < before) {
       NoteShardErase();
     }
@@ -303,6 +343,7 @@ void Relation::AddRowToIndex(const std::vector<int>& cols, Index* index,
 void Relation::EnsureIndex(const std::vector<int>& cols) {
   auto [it, inserted] = indices_.try_emplace(cols);
   if (!inserted) return;
+  ++version_;  // frozen copies must re-copy to pick up the new index
   Index& index = it->second;
   for (uint32_t r = 0; r < num_rows_; ++r) {
     AddRowToIndex(cols, &index, r);
@@ -314,7 +355,13 @@ void Relation::EnsureShardIndexes(const std::vector<int>& cols) {
     EnsureIndex(cols);
     return;
   }
-  for (auto& sh : shards_) sh->EnsureIndex(cols);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    // Detach only shards that lack the index — building mutates the shard;
+    // shards that already carry it stay shared with any frozen copy.
+    if (shards_[s]->HasIndex(cols)) continue;
+    DetachShard(s);
+    shards_[s]->EnsureIndex(cols);
+  }
 }
 
 const std::vector<uint32_t>* Relation::FindIndexed(
@@ -335,13 +382,21 @@ const std::vector<uint32_t>& Relation::Lookup(const std::vector<int>& cols,
 
 void Relation::Clear() {
   num_rows_ = 0;
+  ++version_;
   cells_.clear();
   dedup_.clear();
   indices_.clear();
   row_locs_.clear();
   counts_.clear();
   needs_sync_ = false;
-  for (auto& sh : shards_) sh->Clear();
+  for (auto& sh : shards_) {
+    if (sh.use_count() > 1) {
+      // Still referenced by a frozen copy: replace instead of clearing.
+      sh = std::make_shared<Relation>(arity_);
+    } else {
+      sh->Clear();
+    }
+  }
 }
 
 size_t Relation::Absorb(const Relation& other) {
@@ -354,6 +409,8 @@ size_t Relation::Absorb(const Relation& other) {
     row_locs_.reserve(num_rows_ + other.num_rows_);
     for (size_t s = 0; s < shards_.size(); ++s) {
       const Relation& src = *other.shards_[s];
+      if (src.size() == 0) continue;
+      DetachShard(s);  // rows are coming; detach once instead of per row
       shards_[s]->Reserve(shards_[s]->size() + src.size());
       for (size_t r = 0; r < src.size(); ++r) {
         if (InsertIntoShard(s, src.row(r))) ++inserted;
@@ -374,6 +431,7 @@ void Relation::MergeShard(size_t s, const Relation& rows) {
     Absorb(rows);
     return;
   }
+  DetachShard(s);
   shards_[s]->Absorb(rows);
 }
 
@@ -395,6 +453,7 @@ void Relation::SyncShards() {
     }
   }
   num_rows_ = total;
+  ++version_;  // MergeShard deltas become visible here, not per merge
   indices_.clear();
   needs_sync_ = false;
 }

@@ -38,6 +38,18 @@
 // Relations additionally carry optional per-row support counts (the counting
 // algorithm's derivation counters): EnableSupportCounts() zeroes them and
 // AddSupport() adjusts them, erasing a row when its count drops to zero.
+//
+// Copy-on-write snapshots (the serving subsystem, src/serve): FrozenCopy()
+// returns an immutable clone that *shares* the inner shards by shared_ptr
+// and copies only the outer bookkeeping (location table, combined indices).
+// Every mutating path detaches a shard before touching it when a frozen copy
+// still references it (use_count > 1), so readers of the copy keep seeing
+// the frozen rows while the live relation moves on — the cost of a
+// single-row write against a snapshotted relation is one shard clone, not a
+// full-relation copy. Snapshot consumers must treat the copy as deeply
+// immutable (probe FindIndexed, never Lookup/EnsureIndex). version() is a
+// monotone change counter so snapshot builders can reuse a frozen copy
+// across epochs while the relation is untouched.
 
 #ifndef FACTLOG_EVAL_RELATION_H_
 #define FACTLOG_EVAL_RELATION_H_
@@ -135,6 +147,25 @@ class Relation {
                                            const std::vector<ValueId>& key)
       const;
 
+  /// Whether the combined index over `cols` is already built (readers of a
+  /// frozen copy will probe it instead of scanning).
+  bool HasIndex(const std::vector<int>& cols) const {
+    return indices_.count(cols) > 0;
+  }
+
+  /// Monotone change counter: bumped by every insert, erase, Clear, index
+  /// build, and completed SyncShards. Shard-local merges (MergeShard) only
+  /// surface here once SyncShards runs — by design, so concurrent merges on
+  /// distinct shards never race the counter.
+  uint64_t version() const { return version_; }
+
+  /// An immutable snapshot of this relation: shares the inner shards
+  /// (shared_ptr) and copies the outer bookkeeping. O(outer state), not
+  /// O(rows), in sharded mode; a flat relation is deep-copied. The relation
+  /// must be in sync (SyncShards). Later mutations of this relation detach
+  /// any still-shared shard first, so the copy stays frozen.
+  std::shared_ptr<Relation> FrozenCopy() const;
+
   void Clear();
 
   /// Copies all rows of `other` into this relation (deduplicating). Returns
@@ -204,6 +235,18 @@ class Relation {
         buckets;
   };
 
+  /// Memberwise copy: shares the shard shared_ptrs, copies everything else.
+  /// Private — only FrozenCopy and DetachShard may clone, and the clones are
+  /// immutable (snapshots) or immediately owned (detached shards).
+  Relation(const Relation&) = default;
+  Relation& operator=(const Relation&) = delete;
+
+  /// Copy-on-write: clones shard `s` when a frozen copy still shares it.
+  /// A reader's reference count can only *decrease* concurrently (snapshots
+  /// are pinned whole, never re-shared per shard), so a stale high count
+  /// merely causes an unnecessary clone — never a missed one.
+  void DetachShard(size_t s);
+
   size_t RowHash(const ValueId* row) const;
   void AddRowToIndex(const std::vector<int>& cols, Index* index, uint32_t r);
   void RemoveRowFromIndexes(uint32_t r);
@@ -235,10 +278,14 @@ class Relation {
   // Set by Erase on a sharded relation: the global row order is stale even
   // though the row-count comparison in SyncShards balances out.
   bool needs_sync_ = false;
+  // Monotone change counter (see version()).
+  uint64_t version_ = 0;
   // Sharded storage: inner single-shard relations plus the global insertion
-  // order as packed (shard << 32 | local) locations.
+  // order as packed (shard << 32 | local) locations. shared_ptr for the
+  // copy-on-write snapshot scheme: frozen copies share shards until a
+  // mutation detaches them.
   std::vector<int> part_cols_;
-  std::vector<std::unique_ptr<Relation>> shards_;
+  std::vector<std::shared_ptr<Relation>> shards_;
   std::vector<uint64_t> row_locs_;
   static const std::vector<uint32_t> kEmptyRows;
 };

@@ -338,10 +338,11 @@ std::string AnswerSet::ToString(const ValueStore& values) const {
   return out;
 }
 
-Result<AnswerSet> ExtractAnswers(const ast::Atom& query, EvalResult* result,
-                                 Database* db, bool shared_edb) {
+Result<AnswerSet> ExtractAnswersFrom(const ast::Atom& query, Relation* rel,
+                                     ValueStore* store, bool shared) {
   AnswerSet answers;
   answers.vars = query.DistinctVars();
+  if (rel == nullptr) return answers;  // unknown predicate: no facts
 
   std::vector<ast::Term> head_args;
   head_args.reserve(answers.vars.size());
@@ -350,27 +351,30 @@ Result<AnswerSet> ExtractAnswers(const ast::Atom& query, EvalResult* result,
   }
   ast::Rule probe(ast::Atom("__ans", std::move(head_args)), {query});
   FACTLOG_ASSIGN_OR_RETURN(CompiledRule rule,
-                           CompiledRule::Compile(probe, &db->store()));
-
-  Relation* rel = result->Find(query.predicate());
-  bool from_db = false;
-  if (rel == nullptr) {
-    rel = db->Find(query.predicate());
-    from_db = true;
-  }
-  if (rel == nullptr) return answers;  // unknown predicate: no facts
+                           CompiledRule::Compile(probe, store));
 
   std::set<std::vector<ValueId>> rows;
   JoinStats stats;
   FACTLOG_RETURN_IF_ERROR(EnumerateRule(
-      rule, &db->store(), {RelationView{rel, nullptr, shared_edb && from_db}},
-      false, &stats,
+      rule, store, {RelationView{rel, nullptr, shared}}, false, &stats,
       [&rows](const std::vector<ValueId>& row, const std::vector<FactKey>*) {
         rows.insert(row);
         return true;
       }));
   answers.rows.assign(rows.begin(), rows.end());
   return answers;
+}
+
+Result<AnswerSet> ExtractAnswers(const ast::Atom& query, EvalResult* result,
+                                 Database* db, bool shared_edb) {
+  Relation* rel = result->Find(query.predicate());
+  bool from_db = false;
+  if (rel == nullptr) {
+    rel = db->Find(query.predicate());
+    from_db = true;
+  }
+  return ExtractAnswersFrom(query, rel, &db->store(),
+                            shared_edb && from_db);
 }
 
 Result<AnswerSet> EvaluateQuery(const ast::Program& program,

@@ -167,6 +167,14 @@ struct AnswerSet {
 Result<AnswerSet> ExtractAnswers(const ast::Atom& query, EvalResult* result,
                                  Database* db, bool shared_edb = false);
 
+/// Core of ExtractAnswers against one explicit relation: enumerates the
+/// bindings of `query`'s distinct variables over `rel` (nullptr = no facts,
+/// empty answers). `shared` marks `rel` read-only-shared across threads
+/// (probe pre-built indices or scan; never build). The serving subsystem
+/// answers snapshot and view-hit queries through this entry point.
+Result<AnswerSet> ExtractAnswersFrom(const ast::Atom& query, Relation* rel,
+                                     ValueStore* store, bool shared);
+
 /// Convenience: Evaluate + ExtractAnswers. When `stats_out` is non-null the
 /// evaluation statistics are copied there.
 Result<AnswerSet> EvaluateQuery(const ast::Program& program,

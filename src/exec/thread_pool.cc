@@ -20,6 +20,10 @@ ThreadPool::~ThreadPool() {
   }
   wake_cv_.notify_all();
   for (std::thread& t : threads_) t.join();
+  // Workers abandon queued tasks on stop; free any discarded detached ones.
+  for (auto& w : workers_) {
+    for (const Task& t : w->deque) delete t.fn;
+  }
 }
 
 bool ThreadPool::TryPopOwn(size_t worker_index, Task* out) {
@@ -52,6 +56,12 @@ bool ThreadPool::TrySteal(size_t thief_index, Task* out) {
 }
 
 void ThreadPool::RunTask(const Task& task) {
+  if (task.fn != nullptr) {
+    (*task.fn)();
+    delete task.fn;
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   (*task.batch->fn)(task.index);
   executed_.fetch_add(1, std::memory_order_relaxed);
   if (task.batch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -78,6 +88,28 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
     });
     if (stop_.load(std::memory_order_acquire)) return;
   }
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  if (workers_.empty()) {
+    fn();
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Task task;
+  task.fn = new std::function<void()>(std::move(fn));
+  // Round-robin placement; any worker can steal it anyway.
+  size_t w = next_victim_.fetch_add(1, std::memory_order_relaxed) %
+             workers_.size();
+  pending_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(workers_[w]->mu);
+    workers_[w]->deque.push_back(task);
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+  }
+  wake_cv_.notify_one();
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {

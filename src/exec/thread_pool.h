@@ -43,6 +43,13 @@ class ThreadPool {
   /// fn must be safe to call concurrently from multiple threads.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Enqueues a detached task: runs once on some worker, nobody waits for it
+  /// here (the serving front end tracks completion itself). Runs inline when
+  /// the pool has no workers. Tasks still queued when the pool is destroyed
+  /// are discarded unrun — callers that need every task to finish must drain
+  /// before destruction (serve::Server::Stop does).
+  void Submit(std::function<void()> fn);
+
   /// Lifetime counters (approximate while tasks are in flight).
   struct Stats {
     uint64_t executed = 0;  // tasks run, by workers and callers alike
@@ -67,6 +74,9 @@ class ThreadPool {
   struct Task {
     Batch* batch = nullptr;
     size_t index = 0;
+    /// Detached task (Submit): owned by the task, deleted after running or
+    /// by the destructor when discarded. Mutually exclusive with `batch`.
+    std::function<void()>* fn = nullptr;
   };
 
   struct Worker {

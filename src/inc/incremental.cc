@@ -264,6 +264,30 @@ Result<eval::AnswerSet> MaterializedView::Answer(const ast::Atom& query) {
   return eval::ExtractAnswers(query, &result_, db_);
 }
 
+std::shared_ptr<eval::Relation> MaterializedView::FrozenAnswer() {
+  if (poisoned_ || !program_.query().has_value()) return nullptr;
+  const ast::Atom& q = *program_.query();
+  Relation* rel = result_.Find(q.predicate());
+  if (rel == nullptr) return nullptr;
+  // Defensive: propagation leaves maintained relations synced, but a frozen
+  // copy of a desynced relation would publish a stale location table.
+  rel->SyncShards();
+  // Prewarm the answer-probe index (the query's ground argument positions)
+  // on the live relation before freezing, so every snapshot reader probes
+  // instead of scanning. Building it bumps the version exactly once.
+  std::vector<int> cols;
+  for (size_t i = 0; i < q.arity(); ++i) {
+    if (q.args()[i].IsGround()) cols.push_back(static_cast<int>(i));
+  }
+  if (!cols.empty()) rel->EnsureIndex(cols);
+  if (frozen_answer_ == nullptr ||
+      frozen_answer_version_ != rel->version()) {
+    frozen_answer_ = rel->FrozenCopy();
+    frozen_answer_version_ = rel->version();
+  }
+  return frozen_answer_;
+}
+
 uint64_t MaterializedView::total_facts() const {
   uint64_t n = 0;
   for (const auto& [pred, rel] : result_.idb()) n += rel->size();

@@ -120,6 +120,17 @@ class MaterializedView {
   /// cache key.
   Result<eval::AnswerSet> Answer(const ast::Atom& query);
 
+  /// A frozen copy of the maintained relation that answers this view's query
+  /// — the program query's predicate — with the answer-probe index (the
+  /// query's ground argument positions) pre-built, for snapshot serving:
+  /// readers extract answers from the copy with ExtractAnswersFrom while the
+  /// writer keeps mutating the live relation (copy-on-write shards keep the
+  /// copy frozen). Cached per relation version, so calls between deltas
+  /// share one copy. Must be called from the single writer, like Apply*.
+  /// Null when the view is poisoned, has no query, or the query predicate is
+  /// not maintained.
+  std::shared_ptr<eval::Relation> FrozenAnswer();
+
   /// The maintained relation for `pred` (nullptr when not an IDB predicate).
   const eval::Relation* Find(const std::string& pred) const {
     return result_.Find(pred);
@@ -241,6 +252,9 @@ class MaterializedView {
   eval::EvalResult result_;
   ViewStats stats_;
   bool poisoned_ = false;
+  /// FrozenAnswer cache: the frozen copy and the relation version it froze.
+  std::shared_ptr<eval::Relation> frozen_answer_;
+  uint64_t frozen_answer_version_ = 0;
 };
 
 }  // namespace factlog::inc

@@ -1,0 +1,245 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace factlog::serve {
+
+namespace {
+
+int64_t MicrosSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+Server::Server(exec::ThreadPool* pool, Hooks hooks, ServeOptions options)
+    : pool_(pool), hooks_(std::move(hooks)), options_(options) {
+  writer_ = std::thread([this] { WriterLoop(); });
+}
+
+Server::~Server() { Stop(); }
+
+uint64_t Server::OpenSession() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t id = next_session_++;
+  sessions_[id];  // default: open, zero in flight
+  ++stats_.sessions_opened;
+  return id;
+}
+
+Status Server::CloseSession(uint64_t session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session);
+  if (it == sessions_.end() || !it->second.open) {
+    return Status::NotFound("no open session " + std::to_string(session));
+  }
+  if (it->second.inflight == 0) {
+    sessions_.erase(it);
+  } else {
+    // Retired by FinishRequest when the last in-flight request drains.
+    it->second.open = false;
+  }
+  return Status::OK();
+}
+
+Status Server::Admit(uint64_t session, size_t queued, size_t limit,
+                     uint64_t* rejected) {
+  // mu_ held by the caller.
+  if (stopping_) {
+    ++*rejected;
+    return Status::FailedPrecondition("server is stopped");
+  }
+  auto it = sessions_.find(session);
+  if (it == sessions_.end() || !it->second.open) {
+    ++*rejected;
+    return Status::FailedPrecondition("no open session " +
+                                      std::to_string(session));
+  }
+  if (queued >= limit) {
+    ++*rejected;
+    return Status::ResourceExhausted("admission queue full (" +
+                                     std::to_string(limit) + " in flight)");
+  }
+  if (it->second.inflight >= options_.max_inflight_per_session) {
+    ++*rejected;
+    return Status::ResourceExhausted(
+        "session " + std::to_string(session) + " in-flight budget (" +
+        std::to_string(options_.max_inflight_per_session) + ") exhausted");
+  }
+  ++it->second.inflight;
+  ++inflight_;
+  return Status::OK();
+}
+
+void Server::FinishRequest(uint64_t session, uint64_t* completed) {
+  // mu_ held by the caller.
+  ++*completed;
+  --inflight_;
+  auto it = sessions_.find(session);
+  if (it != sessions_.end()) {
+    --it->second.inflight;
+    if (!it->second.open && it->second.inflight == 0) sessions_.erase(it);
+  }
+  drain_cv_.notify_all();
+}
+
+Status Server::SubmitQuery(uint64_t session, ast::Program program,
+                           ast::Atom query, core::Strategy strategy,
+                           QueryCallback done) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Status st =
+        Admit(session, queued_queries_, options_.max_queue,
+              &stats_.rejected_queries);
+    if (!st.ok()) return st;
+    ++queued_queries_;
+    ++stats_.accepted_queries;
+  }
+  auto submitted = std::chrono::steady_clock::now();
+  // The pool's deques are the admission queue; the task owns the request.
+  pool_->Submit([this, session, program = std::move(program),
+                 query = std::move(query), strategy, done = std::move(done),
+                 submitted]() mutable {
+    QueryResponse resp;
+    resp.queue_us = MicrosSince(submitted);
+    auto t0 = std::chrono::steady_clock::now();
+    hooks_.read(program, query, strategy, &resp);
+    resp.execute_us = MicrosSince(t0);
+    // Deliver before the completion bookkeeping so Drain()/Stop() returning
+    // means every callback has run.
+    done(std::move(resp));
+    std::lock_guard<std::mutex> lock(mu_);
+    --queued_queries_;
+    FinishRequest(session, &stats_.completed_queries);
+  });
+  return Status::OK();
+}
+
+std::future<QueryResponse> Server::SubmitQuery(uint64_t session,
+                                               ast::Program program,
+                                               ast::Atom query,
+                                               core::Strategy strategy) {
+  auto promise = std::make_shared<std::promise<QueryResponse>>();
+  std::future<QueryResponse> fut = promise->get_future();
+  Status st = SubmitQuery(
+      session, std::move(program), std::move(query), strategy,
+      [promise](QueryResponse resp) { promise->set_value(std::move(resp)); });
+  if (!st.ok()) {
+    QueryResponse resp;
+    resp.status = st;
+    promise->set_value(std::move(resp));
+  }
+  return fut;
+}
+
+Status Server::SubmitUpdate(uint64_t session, bool insert, ast::Atom fact,
+                            UpdateCallback done) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Status st = Admit(session, updates_.size(), options_.max_update_queue,
+                      &stats_.rejected_updates);
+    if (!st.ok()) return st;
+    ++stats_.accepted_updates;
+    Update u;
+    u.session = session;
+    u.insert = insert;
+    u.fact = std::move(fact);
+    u.done = std::move(done);
+    u.submitted = std::chrono::steady_clock::now();
+    updates_.push_back(std::move(u));
+  }
+  writer_cv_.notify_one();
+  return Status::OK();
+}
+
+std::future<UpdateResponse> Server::SubmitUpdate(uint64_t session, bool insert,
+                                                 ast::Atom fact) {
+  auto promise = std::make_shared<std::promise<UpdateResponse>>();
+  std::future<UpdateResponse> fut = promise->get_future();
+  Status st = SubmitUpdate(
+      session, insert, std::move(fact),
+      [promise](UpdateResponse resp) { promise->set_value(std::move(resp)); });
+  if (!st.ok()) {
+    UpdateResponse resp;
+    resp.status = st;
+    promise->set_value(std::move(resp));
+  }
+  return fut;
+}
+
+void Server::WriterLoop() {
+  for (;;) {
+    std::vector<Update> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      writer_cv_.wait(lock,
+                      [this] { return stopping_ || !updates_.empty(); });
+      if (updates_.empty()) return;  // stopping_ and fully drained
+      size_t n = std::min(updates_.size(), options_.max_update_batch);
+      batch.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(updates_.front()));
+        updates_.pop_front();
+      }
+    }
+    std::vector<UpdateResponse> responses(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const Update& u = batch[i];
+      responses[i].queue_us = MicrosSince(u.submitted);
+      auto t0 = std::chrono::steady_clock::now();
+      responses[i].status = hooks_.apply(u.insert, u.fact);
+      responses[i].apply_us = MicrosSince(t0);
+    }
+    // One install per drained batch: every published epoch is the state after
+    // a prefix of the accepted update sequence.
+    uint64_t epoch = hooks_.install();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      responses[i].epoch = epoch;
+      if (batch[i].done) batch[i].done(std::move(responses[i]));
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.epochs_installed;
+      for (const Update& u : batch) {
+        FinishRequest(u.session, &stats_.completed_updates);
+      }
+    }
+  }
+}
+
+void Server::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] { return inflight_ == 0 && updates_.empty(); });
+}
+
+void Server::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && !writer_.joinable()) return;  // already stopped
+    stopping_ = true;
+  }
+  writer_cv_.notify_all();
+  Drain();
+  if (writer_.joinable()) writer_.join();
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServerStats out = stats_;
+  out.inflight = inflight_;
+  return out;
+}
+
+size_t Server::open_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [id, s] : sessions_) {
+    if (s.open) ++n;
+  }
+  return n;
+}
+
+}  // namespace factlog::serve

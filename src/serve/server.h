@@ -1,0 +1,218 @@
+// The request-queue serving front end.
+//
+// A Server multiplexes many client sessions over the engine's work-stealing
+// pool: queries are admitted into a bounded queue and executed as detached
+// pool tasks against a pinned MVCC snapshot (see serve/snapshot.h), while
+// updates are serialized through a dedicated writer thread that applies them
+// via the incremental-maintenance path and publishes a new snapshot epoch
+// per drained batch. Completion is delivered by callback (on the worker that
+// finished the request — keep callbacks light and non-blocking) or by
+// std::future.
+//
+// Backpressure is reject-with-status, never blocking: a submit against a
+// full admission queue, a full update queue, or a session that exhausted its
+// in-flight budget returns kResourceExhausted immediately and the request is
+// dropped before it costs anything. kFailedPrecondition marks structural
+// misuse (unknown/closed session, stopped server).
+//
+// Consistency: the writer applies updates in submission order and installs
+// one epoch per drained batch, so every epoch a reader pins equals the
+// database state after some prefix of the accepted update sequence — the
+// snapshot-consistency contract tests/serve_test.cc checks against a
+// from-scratch oracle. An update's response carries the first epoch that
+// includes it; any query submitted after the response completes against that
+// epoch or a later one (read-your-writes).
+//
+// The Server is engine-agnostic: the read/apply/install hooks are supplied
+// by api::Engine (StartServing), keeping this layer free of api dependencies
+// and testable standalone.
+
+#ifndef FACTLOG_SERVE_SERVER_H_
+#define FACTLOG_SERVE_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ast/atom.h"
+#include "ast/program.h"
+#include "common/status.h"
+#include "core/transform_pass.h"
+#include "eval/seminaive.h"
+#include "exec/thread_pool.h"
+
+namespace factlog::serve {
+
+struct ServeOptions {
+  /// Admission bound on queued + running queries; submits beyond it are
+  /// rejected with kResourceExhausted.
+  size_t max_queue = 1024;
+  /// Admission bound on updates waiting for the writer.
+  size_t max_update_queue = 1024;
+  /// Per-session bound on in-flight requests (queries and updates combined).
+  size_t max_inflight_per_session = 64;
+  /// The writer drains at most this many updates per epoch install — larger
+  /// batches amortize the install, smaller ones bound the staleness readers
+  /// can observe.
+  size_t max_update_batch = 256;
+};
+
+/// Completion of one query.
+struct QueryResponse {
+  Status status = Status::OK();
+  eval::AnswerSet answers;
+  /// The snapshot epoch the query executed against.
+  uint64_t epoch = 0;
+  /// Microseconds from accept to execution start, and executing.
+  int64_t queue_us = 0;
+  int64_t execute_us = 0;
+  bool view_hit = false;
+  bool cache_hit = false;
+};
+
+/// Completion of one update.
+struct UpdateResponse {
+  Status status = Status::OK();
+  /// The first installed epoch that includes this update.
+  uint64_t epoch = 0;
+  /// Microseconds from accept to apply start, and applying (maintenance).
+  int64_t queue_us = 0;
+  int64_t apply_us = 0;
+};
+
+using QueryCallback = std::function<void(QueryResponse)>;
+using UpdateCallback = std::function<void(UpdateResponse)>;
+
+/// Cumulative serving counters.
+struct ServerStats {
+  uint64_t accepted_queries = 0;
+  uint64_t completed_queries = 0;
+  uint64_t rejected_queries = 0;
+  uint64_t accepted_updates = 0;
+  uint64_t completed_updates = 0;
+  uint64_t rejected_updates = 0;
+  uint64_t epochs_installed = 0;
+  uint64_t sessions_opened = 0;
+  /// Currently in flight (queries + updates).
+  size_t inflight = 0;
+};
+
+class Server {
+ public:
+  /// The engine-side hooks the server drives. All three must be safe to call
+  /// for the server's lifetime: `read` concurrently from many pool workers
+  /// (it pins a snapshot internally), `apply` and `install` only from the
+  /// single writer thread.
+  struct Hooks {
+    /// Answers (program, query, strategy) against the current snapshot,
+    /// filling answers/epoch/flags/status.
+    std::function<void(const ast::Program&, const ast::Atom&, core::Strategy,
+                       QueryResponse*)>
+        read;
+    /// Applies one update (insert or delete of a ground fact) to the live
+    /// database through incremental view maintenance.
+    std::function<Status(bool insert, const ast::Atom& fact)> apply;
+    /// Publishes the applied updates as a new snapshot epoch; returns it.
+    std::function<uint64_t()> install;
+  };
+
+  /// `pool` must outlive the server (api::Engine guarantees it by member
+  /// order). The writer thread starts immediately.
+  Server(exec::ThreadPool* pool, Hooks hooks, ServeOptions options);
+  ~Server();  // Stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // ---- Sessions -----------------------------------------------------------
+
+  /// Opens a session and returns its id (never 0).
+  uint64_t OpenSession();
+  /// Closes a session: further submits fail, in-flight requests complete.
+  Status CloseSession(uint64_t session);
+
+  // ---- Submission ---------------------------------------------------------
+
+  /// Admits a query. OK means `done` will be invoked exactly once, from a
+  /// pool worker; any non-OK return means it never will. The callback must
+  /// not block (it holds a worker) and must not submit synchronously-waiting
+  /// work back into this server.
+  Status SubmitQuery(uint64_t session, ast::Program program, ast::Atom query,
+                     core::Strategy strategy, QueryCallback done);
+  /// Future flavor: rejection is delivered through the future's response
+  /// status rather than a return value.
+  std::future<QueryResponse> SubmitQuery(uint64_t session,
+                                         ast::Program program, ast::Atom query,
+                                         core::Strategy strategy);
+
+  /// Admits an update (insert = true adds the fact, false removes it).
+  /// Updates are applied in submission order by the writer thread.
+  Status SubmitUpdate(uint64_t session, bool insert, ast::Atom fact,
+                      UpdateCallback done);
+  std::future<UpdateResponse> SubmitUpdate(uint64_t session, bool insert,
+                                           ast::Atom fact);
+
+  // ---- Lifecycle ----------------------------------------------------------
+
+  /// Blocks until every accepted request has completed.
+  void Drain();
+  /// Rejects further submits, drains, and stops the writer. Idempotent.
+  void Stop();
+
+  ServerStats stats() const;
+  size_t open_sessions() const;
+
+ private:
+  struct Session {
+    size_t inflight = 0;
+    bool open = true;
+  };
+  struct Update {
+    uint64_t session = 0;
+    bool insert = true;
+    ast::Atom fact;
+    UpdateCallback done;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  /// Admission check under mu_: session exists and has budget, the given
+  /// queue count is under `limit`. Bumps the session + global counters on
+  /// success.
+  Status Admit(uint64_t session, size_t queued, size_t limit,
+               uint64_t* rejected);
+  /// Completion bookkeeping: decrements the session + global counters,
+  /// retires closed drained sessions, wakes Drain().
+  void FinishRequest(uint64_t session, uint64_t* completed);
+  void WriterLoop();
+
+  exec::ThreadPool* pool_;
+  Hooks hooks_;
+  ServeOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable writer_cv_;  // updates arrived or stopping
+  std::condition_variable drain_cv_;   // a request completed
+  std::map<uint64_t, Session> sessions_;
+  std::deque<Update> updates_;
+  uint64_t next_session_ = 1;
+  size_t queued_queries_ = 0;  // queries admitted, not yet completed
+  size_t inflight_ = 0;        // admitted, not yet completed (all kinds)
+  bool stopping_ = false;
+  ServerStats stats_;
+
+  std::thread writer_;
+};
+
+}  // namespace factlog::serve
+
+#endif  // FACTLOG_SERVE_SERVER_H_
