@@ -8,6 +8,7 @@
 //            [--facts <facts.dl>]
 //            [--threads <n>] [--shards <n>]
 //            [--batch <queries.txt>] [--incremental] [--serve]
+//            [--db <dir>]
 //
 // The program file must contain a `?- query.` line (optional with --batch).
 // With --facts the final program is evaluated against the given ground facts
@@ -25,7 +26,10 @@
 //   +e(1, 5).      insert a fact
 //   -e(1, 2).      remove a fact
 //   ?              print the current answers
-//   stats          print maintenance counters
+//   stats          print maintenance counters (and storage counters with
+//                  --db: buffer-pool hit rate, dirty pages, WAL bytes)
+//   checkpoint     (--db only) flush pages, persist the catalog, reset the
+//                  WAL
 //
 //   $ printf '+e(2, 4).\n-e(1, 2).\n?\n' |
 //       ./optimizer_cli tc.dl --facts facts.dl --incremental
@@ -36,6 +40,15 @@
 // through the request queue and prints each completion asynchronously with
 // its queue/apply/execute latency and snapshot epoch. Defaults --threads to
 // 2 when unset (serving needs a pool).
+//
+// --db <dir> opens (creating when absent) a disk-backed engine on the given
+// database directory: facts load through the WAL, a previous session's
+// checkpoint + WAL are recovered on open, and the interactive `checkpoint`
+// command makes the current state durable. A reopened database answers
+// without --facts:
+//
+//   $ ./optimizer_cli tc.dl --facts facts.dl --db /tmp/db   # save
+//   $ ./optimizer_cli tc.dl --db /tmp/db                    # recover + query
 //
 // --threads n runs bottom-up evaluation on the parallel execution subsystem
 // (n worker threads). --shards n hash-partitions every relation into n
@@ -61,7 +74,9 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -97,8 +112,23 @@ int Usage() {
                "[--stage trace|magic|factored|final] [--explain] "
                "[--facts <facts.dl>] "
                "[--threads <n>] [--shards <n>] [--batch <queries.txt>] "
-               "[--incremental] [--serve]\n";
+               "[--incremental] [--serve] [--db <dir>]\n";
   return 2;
+}
+
+// Appends the storage counters of a persistent (--db) engine to `out`.
+void PrintStorageStats(factlog::api::Engine* engine, std::ostream& out) {
+  const factlog::api::PersistenceStats ps = engine->persistence_stats();
+  char hit_rate[32];
+  std::snprintf(hit_rate, sizeof(hit_rate), "%.3f", ps.storage.pool.hit_rate());
+  out << "% storage: pool hit rate " << hit_rate << " ("
+      << ps.storage.pool.hits << " hits, " << ps.storage.pool.misses
+      << " misses, " << ps.storage.pool.evictions << " evictions), "
+      << ps.storage.pool.dirty_pages << " dirty pages; WAL "
+      << ps.storage.wal_bytes << " bytes @ epoch "
+      << ps.storage.last_committed_epoch << "; " << ps.storage.num_pages
+      << " pages (" << ps.storage.free_pages << " free), "
+      << ps.storage.checkpoints << " checkpoints\n";
 }
 
 // --incremental mode: materialize the query as a live view, then maintain it
@@ -142,11 +172,28 @@ int RunIncremental(factlog::api::Engine* engine,
                 << "; overdeleted " << stats->overdeleted << ", rederived "
                 << stats->rederived << "; " << stats->delta_passes
                 << " delta passes\n";
+      if (engine->persistent()) PrintStorageStats(engine, std::cout);
+      continue;
+    }
+    if (cmd == "checkpoint") {
+      if (!engine->persistent()) {
+        std::cout << "% no --db directory; nothing to checkpoint\n";
+        continue;
+      }
+      auto start = std::chrono::steady_clock::now();
+      if (Status st = engine->Checkpoint(); !st.ok()) return Fail(st);
+      auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+      auto ps = engine->persistence_stats();
+      std::cout << "% checkpoint #" << ps.storage.checkpoints << " ("
+                << ps.storage.num_pages << " pages, WAL reset, " << us
+                << " us)\n";
       continue;
     }
     if (cmd.size() < 2 || (cmd[0] != '+' && cmd[0] != '-')) {
-      std::cerr << "error: expected '+fact.', '-fact.', '?', or 'stats', "
-                   "got: " << cmd << "\n";
+      std::cerr << "error: expected '+fact.', '-fact.', '?', 'stats', or "
+                   "'checkpoint', got: " << cmd << "\n";
       return StatusCodeToExitCode(StatusCode::kInvalidArgument);
     }
     bool insert = cmd[0] == '+';
@@ -353,6 +400,7 @@ int main(int argc, char** argv) {
   std::string stage = "all";
   std::string facts_path;
   std::string batch_path;
+  std::string db_path;
   size_t threads = 0;
   size_t shards = 1;
   bool incremental = false;
@@ -373,6 +421,8 @@ int main(int argc, char** argv) {
       facts_path = argv[++i];
     } else if (arg == "--batch" && i + 1 < argc) {
       batch_path = argv[++i];
+    } else if (arg == "--db" && i + 1 < argc) {
+      db_path = argv[++i];
     } else if (arg == "--threads" && i + 1 < argc) {
       char* end = nullptr;
       unsigned long parsed = std::strtoul(argv[++i], &end, 10);
@@ -408,6 +458,10 @@ int main(int argc, char** argv) {
   if (!program.ok()) return Fail(program.status());
 
   if (!batch_path.empty()) {
+    if (!db_path.empty()) {
+      std::cerr << "error: --db and --batch are exclusive\n";
+      return 2;
+    }
     return RunBatch(*program, batch_path, facts_path, strategy, threads,
                     shards);
   }
@@ -480,25 +534,44 @@ int main(int argc, char** argv) {
               << plan::Explain(compiled.program, compiled.plans);
   }
 
-  if ((incremental || serve) && facts_path.empty()) {
+  if ((incremental || serve) && facts_path.empty() && db_path.empty()) {
     std::cerr << "error: --" << (incremental ? "incremental" : "serve")
-              << " requires --facts\n";
+              << " requires --facts or --db\n";
     return 2;
   }
   if (incremental && serve) {
     std::cerr << "error: --incremental and --serve are exclusive\n";
     return 2;
   }
-  if (!facts_path.empty()) {
-    auto facts_text = ReadFile(facts_path);
-    if (!facts_text.ok()) return Fail(facts_text.status());
+  if (!facts_path.empty() || !db_path.empty()) {
     api::EngineOptions engine_options;
     // Serving runs the request queue on the engine's pool.
     engine_options.num_threads = (serve && threads == 0) ? 2 : threads;
     engine_options.num_shards = shards;
-    api::Engine engine(engine_options);
-    Status load = engine.LoadFacts(*facts_text);
-    if (!load.ok()) return Fail(load);
+    // --db opens a disk-backed engine, recovering any previous session's
+    // checkpoint + WAL; otherwise the engine is in-memory.
+    std::unique_ptr<api::Engine> engine_owner;
+    if (!db_path.empty()) {
+      auto opened = api::Engine::Open(db_path, engine_options);
+      if (!opened.ok()) return Fail(opened.status());
+      engine_owner = std::move(opened).value();
+      auto ps = engine_owner->persistence_stats();
+      std::cout << "% db: " << db_path << " @ epoch "
+                << ps.storage.last_committed_epoch << " ("
+                << ps.facts_replayed << " WAL facts replayed, "
+                << ps.views_restored << " views restored, "
+                << ps.plans_restored << " plans warm, "
+                << ps.plans_dropped_stale << " stale plans dropped)\n";
+    } else {
+      engine_owner = std::make_unique<api::Engine>(engine_options);
+    }
+    api::Engine& engine = *engine_owner;
+    if (!facts_path.empty()) {
+      auto facts_text = ReadFile(facts_path);
+      if (!facts_text.ok()) return Fail(facts_text.status());
+      Status load = engine.LoadFacts(*facts_text);
+      if (!load.ok()) return Fail(load);
+    }
     if (incremental) {
       return RunIncremental(&engine, *program, *program->query(), strategy);
     }

@@ -2,11 +2,14 @@
 
 #include <cassert>
 #include <chrono>
+#include <cstdio>
 #include <utility>
 
 #include "ast/parser.h"
 #include "core/canonical.h"
 #include "exec/parallel_seminaive.h"
+#include "storage/log_records.h"
+#include "storage/paged_store.h"
 
 namespace factlog::api {
 
@@ -16,6 +19,26 @@ int64_t MicrosSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now() - start)
       .count();
+}
+
+/// Stale-plan threshold: a plan whose costed extents drifted beyond this
+/// factor (either direction) is recompiled rather than trusted. The +1 smooth
+/// keeps empty relations comparable (0 vs 3 rows is not 4x drift worth a
+/// recompile; 0 vs 1000 is).
+constexpr double kStaleDriftFactor = 4.0;
+
+bool ExtentsDrifted(const std::map<std::string, uint64_t>& hints,
+                    const eval::Database& db) {
+  for (const auto& [pred, hinted] : hints) {
+    const eval::Relation* rel = db.Find(pred);
+    const double actual = (rel == nullptr ? 0.0 : rel->size()) + 1.0;
+    const double costed = static_cast<double>(hinted) + 1.0;
+    if (actual > costed * kStaleDriftFactor ||
+        costed > actual * kStaleDriftFactor) {
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace
@@ -40,15 +63,11 @@ Status Engine::AddFact(const ast::Atom& fact) {
     return SubmitUpdate(engine_session_, /*insert=*/true, fact).get().status;
   }
   FACTLOG_RETURN_IF_ERROR(CheckMutable("AddFact"));
-  return AddFactImpl(fact);
+  FACTLOG_RETURN_IF_ERROR(AddFactImpl(fact));
+  return CommitStorage();
 }
 
 Status Engine::AddFactImpl(const ast::Atom& fact) {
-  {
-    std::lock_guard<std::mutex> lock(view_mu_);
-    if (views_.empty()) return db_.AddFact(fact);
-  }
-
   FACTLOG_ASSIGN_OR_RETURN(std::vector<eval::ValueId> row,
                            db_.InternRow(fact));
   eval::Relation& rel = db_.GetOrCreate(fact.predicate(), fact.arity());
@@ -58,23 +77,33 @@ Status Engine::AddFactImpl(const ast::Atom& fact) {
                            std::to_string(rel.arity()));
   }
   if (rel.Contains(row.data())) return Status::OK();  // duplicate: no-op
+  // Log-before-apply, and only after the duplicate check: the WAL carries
+  // exactly the mutations that change state, so replay is idempotent and
+  // bounded by live traffic.
+  if (storage_ != nullptr && !replaying_) {
+    FACTLOG_RETURN_IF_ERROR(storage_->LogFact(/*insert=*/true, fact));
+  }
   // Views propagate against the pre-insertion EDB (new state = stored ∪
   // delta), so the database row is inserted only after they are done. A
   // failing view poisons itself; the others still propagate and the row is
   // still inserted, so every non-poisoned view stays consistent with the
   // database. The first error is reported.
-  eval::Relation delta(fact.arity(), rel.storage_options());
-  delta.Insert(row);
   Status result = Status::OK();
+  bool have_views = false;
   {
     std::lock_guard<std::mutex> lock(view_mu_);
-    for (auto& [key, view] : views_) {
-      Status st = view->ApplyInsert(fact.predicate(), delta);
-      if (!st.ok() && result.ok()) result = st;
+    if (!views_.empty()) {
+      have_views = true;
+      eval::Relation delta(fact.arity(), rel.storage_options());
+      delta.Insert(row);
+      for (auto& [key, view] : views_) {
+        Status st = view->ApplyInsert(fact.predicate(), delta);
+        if (!st.ok() && result.ok()) result = st;
+      }
     }
   }
   rel.Insert(row);
-  {
+  if (have_views) {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.view_updates;
   }
@@ -86,7 +115,8 @@ Status Engine::RemoveFact(const ast::Atom& fact) {
     return SubmitUpdate(engine_session_, /*insert=*/false, fact).get().status;
   }
   FACTLOG_RETURN_IF_ERROR(CheckMutable("RemoveFact"));
-  return RemoveFactImpl(fact);
+  FACTLOG_RETURN_IF_ERROR(RemoveFactImpl(fact));
+  return CommitStorage();
 }
 
 Status Engine::RemoveFactImpl(const ast::Atom& fact) {
@@ -96,6 +126,16 @@ Status Engine::RemoveFactImpl(const ast::Atom& fact) {
   // ApplyDelete's contract.
   FACTLOG_ASSIGN_OR_RETURN(std::vector<eval::ValueId> row,
                            db_.InternRow(fact));
+  // Log-before-apply needs the presence check pulled ahead of the erase;
+  // absent facts are no-ops and never reach the WAL.
+  if (storage_ != nullptr && !replaying_) {
+    const eval::Relation* pre = db_.Find(fact.predicate());
+    if (pre == nullptr || pre->arity() != fact.arity() ||
+        !pre->Contains(row.data())) {
+      return Status::OK();
+    }
+    FACTLOG_RETURN_IF_ERROR(storage_->LogFact(/*insert=*/false, fact));
+  }
   FACTLOG_ASSIGN_OR_RETURN(bool removed, db_.RemoveFact(fact));
   if (!removed) return Status::OK();  // absent: no-op
   const eval::Relation* rel = db_.Find(fact.predicate());
@@ -137,14 +177,27 @@ void Engine::AddUnit(const std::string& rel, int64_t a) {
 
 Status Engine::LoadFacts(const std::string& text) {
   FACTLOG_ASSIGN_OR_RETURN(ast::Program facts, ast::ParseProgram(text));
+  if (serving_active_.load(std::memory_order_acquire)) {
+    for (const ast::Rule& rule : facts.rules()) {
+      if (!rule.IsFact()) {
+        return Status::Invalid("LoadFacts input contains a non-fact rule: " +
+                               rule.ToString());
+      }
+      FACTLOG_RETURN_IF_ERROR(AddFact(rule.head()));
+    }
+    return Status::OK();
+  }
+  FACTLOG_RETURN_IF_ERROR(CheckMutable("LoadFacts"));
   for (const ast::Rule& rule : facts.rules()) {
     if (!rule.IsFact()) {
       return Status::Invalid("LoadFacts input contains a non-fact rule: " +
                              rule.ToString());
     }
-    FACTLOG_RETURN_IF_ERROR(AddFact(rule.head()));
+    FACTLOG_RETURN_IF_ERROR(AddFactImpl(rule.head()));
   }
-  return Status::OK();
+  // One WAL epoch for the whole batch: a single fsync makes the load atomic
+  // and keeps bulk ingest off the per-fact commit path.
+  return CommitStorage();
 }
 
 // ---- Compilation ------------------------------------------------------------
@@ -217,10 +270,22 @@ Result<std::shared_ptr<const CompiledQuery>> Engine::CompileWithKey(
     std::lock_guard<std::mutex> lock(mu_);
     auto it = cache_.find(key);
     if (it != cache_.end()) {
-      ++stats_.cache_hits;
-      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-      if (stats != nullptr) stats->cache_hit = true;
-      return it->second.plan;
+      // Stale-plan guard: the plan was costed against the extents recorded
+      // in planner_hints. If the database has since drifted past the re-cost
+      // threshold, the cached body orders may be badly wrong — evict and
+      // fall through to a fresh compilation against current sizes.
+      const eval::Database* cost_db = hint_db != nullptr ? hint_db : &db_;
+      if (!it->second.plan->planner_hints.empty() &&
+          ExtentsDrifted(it->second.plan->planner_hints, *cost_db)) {
+        ++stats_.plans_invalidated;
+        lru_.erase(it->second.lru_pos);
+        cache_.erase(it);
+      } else {
+        ++stats_.cache_hits;
+        lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+        if (stats != nullptr) stats->cache_hit = true;
+        return it->second.plan;
+      }
     }
     auto [fit, inserted] = inflight_.try_emplace(key);
     if (inserted) {
@@ -642,7 +707,18 @@ Status Engine::StartServing(const serve::ServeOptions& serve_options) {
   hooks.apply = [this](bool insert, const ast::Atom& fact) {
     return insert ? AddFactImpl(fact) : RemoveFactImpl(fact);
   };
-  hooks.install = [this] { return InstallServingSnapshot(); };
+  hooks.install = [this] {
+    uint64_t epoch = InstallServingSnapshot();
+    // One WAL commit per installed epoch: the whole drained update batch
+    // becomes durable together (the shard seam's batching unit).
+    Status st = CommitStorage();
+    if (!st.ok()) {
+      std::fprintf(stderr, "factlog: WAL commit at serving epoch %llu: %s\n",
+                   static_cast<unsigned long long>(epoch),
+                   st.ToString().c_str());
+    }
+    return epoch;
+  };
   server_ =
       std::make_unique<serve::Server>(pool, std::move(hooks), serve_options);
   engine_session_ = server_->OpenSession();
@@ -819,6 +895,331 @@ void Engine::ServingRead(const ast::Program& program, const ast::Atom& query,
   }
   resp->answers = std::move(answers).value();
   RenameAnswerVars(query, &resp->answers);
+}
+
+// ---- Persistence ------------------------------------------------------------
+
+Result<std::unique_ptr<Engine>> Engine::Open(const std::string& path,
+                                             EngineOptions options) {
+  options.db_path = path;
+  auto engine = std::make_unique<Engine>(std::move(options));
+  FACTLOG_RETURN_IF_ERROR(engine->InitStorage());
+  return engine;
+}
+
+Status Engine::InitStorage() {
+  storage::StorageManager::Options sopts;
+  sopts.dir = options_.db_path;
+  sopts.frame_budget = options_.storage_frame_budget;
+  FACTLOG_ASSIGN_OR_RETURN(storage_, storage::StorageManager::Open(sopts));
+  db_.AttachTableSpace(storage_->tablespace());
+  storage_epoch_ = storage_->last_committed_epoch();
+  replaying_ = true;
+  Status st = RestoreFromCheckpoint();
+  if (st.ok()) st = ReplayWal();
+  replaying_ = false;
+  FACTLOG_RETURN_IF_ERROR(st);
+  storage_->DiscardRecoveryState();
+  return Status::OK();
+}
+
+Status Engine::RestoreFromCheckpoint() {
+  if (!storage_->has_checkpoint()) return Status::OK();
+  const storage::CheckpointMeta& meta = storage_->recovered_meta();
+  storage_epoch_ = std::max(storage_epoch_, meta.epoch);
+
+  // Values first: re-interning dump entries in id order reproduces the exact
+  // id assignment (children of a compound always have smaller ids), which
+  // every persisted row and view depends on.
+  eval::ValueStore& store = db_.store();
+  for (const storage::ValueDumpEntry& v : meta.values) {
+    switch (v.kind) {
+      case 0:
+        store.InternInt(v.int_value);
+        break;
+      case 1:
+        store.InternSym(v.symbol);
+        break;
+      default: {
+        std::vector<eval::ValueId> kids(v.children.begin(), v.children.end());
+        store.InternApp(v.symbol, std::move(kids));
+        break;
+      }
+    }
+  }
+  if (store.size() != meta.values.size()) {
+    return Status::Internal(
+        "value store restore drifted: checkpoint holds duplicate entries");
+  }
+
+  // Base relations: paged shards adopt their checkpointed chains (no row
+  // I/O beyond the dedup-rebuild scan); unpageable shards reload inline rows.
+  for (const storage::RelationDump& rd : meta.relations) {
+    eval::StorageOptions so;
+    so.num_shards = rd.num_shards;
+    so.partition_cols.assign(rd.part_cols.begin(), rd.part_cols.end());
+    auto rel = std::make_shared<eval::Relation>(rd.arity, so);
+    if (rd.shards.size() != rel->shard_count()) {
+      return Status::Internal("relation '" + rd.name +
+                              "': checkpoint shard count mismatch");
+    }
+    const bool pageable =
+        rd.arity > 0 && storage::PagedRowStore::RowFits(
+                            rd.arity * sizeof(eval::ValueId));
+    if (pageable) {
+      std::vector<std::vector<storage::PageId>> chains;
+      std::vector<uint64_t> rows;
+      chains.reserve(rd.shards.size());
+      rows.reserve(rd.shards.size());
+      for (const storage::ShardDump& sh : rd.shards) {
+        chains.push_back(sh.chain);
+        rows.push_back(sh.num_rows);
+      }
+      FACTLOG_RETURN_IF_ERROR(
+          rel->AdoptPagedChains(storage_->tablespace(), chains, rows));
+    } else {
+      for (const storage::ShardDump& sh : rd.shards) {
+        if (rd.arity == 0) {
+          if (sh.num_rows > 0) rel->Insert(std::vector<eval::ValueId>{});
+          continue;
+        }
+        for (uint64_t r = 0; r < sh.num_rows; ++r) {
+          rel->Insert(sh.inline_rows.data() + r * rd.arity);
+        }
+      }
+    }
+    db_.PutRelation(rd.name, std::move(rel));
+  }
+
+  // Materialized views: recompile the maintenance machinery, fill the
+  // maintained relations (and exact support counts) from the dump — no
+  // from-scratch evaluation.
+  for (const storage::ViewDumpRec& vd : meta.views) {
+    FACTLOG_ASSIGN_OR_RETURN(ast::Program vprog,
+                             ast::ParseProgram(vd.program_text));
+    if (!vprog.query().has_value() && !vd.query_text.empty()) {
+      FACTLOG_ASSIGN_OR_RETURN(
+          ast::Program qprog, ast::ParseProgram("?- " + vd.query_text + "."));
+      if (qprog.query().has_value()) vprog.set_query(*qprog.query());
+    }
+    std::vector<inc::ViewPredState> preds;
+    preds.reserve(vd.preds.size());
+    for (const storage::ViewPredDump& pd : vd.preds) {
+      inc::ViewPredState ps;
+      ps.pred = pd.pred;
+      ps.arity = pd.arity;
+      ps.counts_enabled = pd.counts_enabled != 0;
+      ps.num_rows = pd.num_rows;
+      ps.rows.assign(pd.rows.begin(), pd.rows.end());
+      ps.row_counts = pd.row_counts;
+      preds.push_back(std::move(ps));
+    }
+    FACTLOG_ASSIGN_OR_RETURN(
+        std::unique_ptr<inc::MaterializedView> view,
+        inc::MaterializedView::Restore(vprog, &db_, MakeIncOptions(), preds));
+    {
+      std::lock_guard<std::mutex> lock(view_mu_);
+      views_.emplace(vd.key, std::move(view));
+    }
+    ++views_restored_;
+  }
+
+  // Cached plans: drop entries whose costed extents drifted past the
+  // threshold (they recompile lazily against fresh sizes on next use);
+  // warm-recompile the rest under their original cache keys.
+  for (const storage::PlanDescriptor& pd : meta.plans) {
+    if (ExtentsDrifted(pd.extent_hints, db_)) {
+      ++plans_dropped_stale_;
+      continue;
+    }
+    std::optional<Strategy> strat = core::StrategyFromString(pd.strategy);
+    Result<ast::Program> prog = ast::ParseProgram(pd.program_text);
+    Result<ast::Program> qprog =
+        ast::ParseProgram("?- " + pd.query_text + ".");
+    if (!strat.has_value() || !prog.ok() || !qprog.ok() ||
+        !qprog->query().has_value()) {
+      ++plans_dropped_stale_;
+      continue;
+    }
+    Result<std::shared_ptr<const CompiledQuery>> plan = CompileWithKey(
+        *prog, *qprog->query(), *strat, nullptr, pd.cache_key);
+    if (plan.ok()) {
+      ++plans_restored_;
+    } else {
+      ++plans_dropped_stale_;
+    }
+  }
+  return Status::OK();
+}
+
+Status Engine::ReplayWal() {
+  for (const storage::WalRecord& rec : storage_->recovered_records()) {
+    switch (rec.type) {
+      case storage::WalRecordType::kAddFact:
+      case storage::WalRecordType::kRemoveFact: {
+        ast::Atom fact;
+        if (!storage::DecodeFactRecord(rec.payload.data(),
+                                       rec.payload.size(), &fact)) {
+          return Status::Internal("WAL replay: malformed fact record");
+        }
+        const bool insert = rec.type == storage::WalRecordType::kAddFact;
+        FACTLOG_RETURN_IF_ERROR(insert ? AddFactImpl(fact)
+                                       : RemoveFactImpl(fact));
+        ++facts_replayed_;
+        break;
+      }
+      case storage::WalRecordType::kCommit: {
+        uint64_t epoch = 0;
+        if (!storage::DecodeCommitRecord(rec.payload.data(),
+                                         rec.payload.size(), &epoch)) {
+          return Status::Internal("WAL replay: malformed commit record");
+        }
+        storage_epoch_ = std::max(storage_epoch_, epoch);
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Engine::CommitStorage() {
+  if (storage_ == nullptr || replaying_) return Status::OK();
+  if (storage_->pending_records() == 0) return Status::OK();
+  return storage_->CommitEpoch(++storage_epoch_);
+}
+
+Status Engine::Checkpoint() {
+  if (storage_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Checkpoint on an in-memory engine; open one with Engine::Open");
+  }
+  if (serving_active_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        "Checkpoint while serving; StopServing first (the writer owns the "
+        "relations)");
+  }
+  FACTLOG_RETURN_IF_ERROR(CheckMutable("Checkpoint"));
+
+  storage::CheckpointMeta meta;
+  meta.epoch = storage_epoch_;
+
+  // Values, in id order.
+  const eval::ValueStore& store = db_.store();
+  meta.values.reserve(store.size());
+  for (size_t i = 0; i < store.size(); ++i) {
+    const auto id = static_cast<eval::ValueId>(i);
+    storage::ValueDumpEntry v;
+    switch (store.kind(id)) {
+      case eval::ValueStore::Kind::kInt:
+        v.kind = 0;
+        v.int_value = store.int_value(id);
+        break;
+      case eval::ValueStore::Kind::kSymbol:
+        v.kind = 1;
+        v.symbol = store.symbol(id);
+        break;
+      case eval::ValueStore::Kind::kCompound:
+        v.kind = 2;
+        v.symbol = store.symbol(id);
+        v.children.reserve(store.NumChildren(id));
+        for (size_t c = 0; c < store.NumChildren(id); ++c) {
+          v.children.push_back(store.Child(id, c));
+        }
+        break;
+    }
+    meta.values.push_back(std::move(v));
+  }
+
+  // Base relations: page everything pageable (idempotent for already-paged
+  // shards), then record each shard's chain — or its rows inline when the
+  // shard cannot live on pages.
+  for (const auto& [name, rel] : db_.relations()) {
+    rel->SyncShards();
+    rel->AttachPagedStore(db_.tablespace());
+    storage::RelationDump rd;
+    rd.name = name;
+    rd.arity = static_cast<uint32_t>(rel->arity());
+    rd.num_shards = static_cast<uint32_t>(rel->shard_count());
+    rd.part_cols.assign(rel->partition_cols().begin(),
+                        rel->partition_cols().end());
+    std::vector<std::vector<storage::PageId>> chains;
+    std::vector<uint64_t> rows;
+    rel->DumpPagedChains(&chains, &rows);
+    rd.shards.reserve(chains.size());
+    for (size_t s = 0; s < chains.size(); ++s) {
+      storage::ShardDump sd;
+      sd.num_rows = rows[s];
+      sd.chain = std::move(chains[s]);
+      if (sd.chain.empty() && rel->arity() > 0 && rows[s] > 0) {
+        const eval::Relation& sh = rel->shard(s);
+        sd.inline_rows.reserve(sh.size() * rel->arity());
+        for (size_t r = 0; r < sh.size(); ++r) {
+          const eval::ValueId* rp = sh.row(r);
+          sd.inline_rows.insert(sd.inline_rows.end(), rp, rp + rel->arity());
+        }
+      }
+      rd.shards.push_back(std::move(sd));
+    }
+    meta.relations.push_back(std::move(rd));
+  }
+
+  // Materialized views, by value (poisoned views are dropped: their state is
+  // not worth persisting).
+  {
+    std::lock_guard<std::mutex> lock(view_mu_);
+    for (auto& [key, view] : views_) {
+      if (view->poisoned()) continue;
+      storage::ViewDumpRec vd;
+      vd.key = key;
+      vd.program_text = view->program().ToString();
+      if (view->program().query().has_value()) {
+        vd.query_text = view->program().query()->ToString();
+      }
+      vd.strategy = key.substr(0, key.find('|'));
+      for (inc::ViewPredState& ps : view->DumpState()) {
+        storage::ViewPredDump pd;
+        pd.pred = std::move(ps.pred);
+        pd.arity = ps.arity;
+        pd.counts_enabled = ps.counts_enabled ? 1 : 0;
+        pd.num_rows = ps.num_rows;
+        pd.rows.assign(ps.rows.begin(), ps.rows.end());
+        pd.row_counts = std::move(ps.row_counts);
+        vd.preds.push_back(std::move(pd));
+      }
+      meta.views.push_back(std::move(vd));
+    }
+  }
+
+  // Cached plans: source texts plus the extents they were costed against
+  // (the stale-plan guard's baseline on the next Open).
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [key, entry] : cache_) {
+      storage::PlanDescriptor pd;
+      pd.cache_key = key;
+      pd.strategy = key.substr(0, key.find('|'));
+      pd.program_text = entry.plan->source.ToString();
+      pd.query_text = entry.plan->source_query.ToString();
+      pd.extent_hints = entry.plan->planner_hints;
+      meta.plans.push_back(std::move(pd));
+    }
+  }
+
+  FACTLOG_RETURN_IF_ERROR(storage_->Checkpoint(std::move(meta)));
+  // The meta file now references these pages: seal them so the next write
+  // relocates copy-on-write instead of dirtying checkpointed state.
+  for (const auto& [name, rel] : db_.relations()) rel->SealPages();
+  return Status::OK();
+}
+
+PersistenceStats Engine::persistence_stats() const {
+  PersistenceStats ps;
+  if (storage_ != nullptr) ps.storage = storage_->stats();
+  ps.facts_replayed = facts_replayed_;
+  ps.views_restored = views_restored_;
+  ps.plans_restored = plans_restored_;
+  ps.plans_dropped_stale = plans_dropped_stale_;
+  return ps;
 }
 
 // ---- Introspection ----------------------------------------------------------

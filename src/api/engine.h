@@ -77,6 +77,7 @@
 #include "inc/incremental.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
+#include "storage/storage_manager.h"
 
 namespace factlog::api {
 
@@ -121,6 +122,14 @@ struct EngineOptions {
   /// and at least this many rows fan out across the pool (see
   /// inc::IncrementalOptions::min_rows_to_partition).
   size_t inc_min_rows_to_partition = 64;
+  /// Database directory for disk-backed persistence. Filled in by
+  /// Engine::Open — constructing an Engine directly leaves the engine fully
+  /// in-memory regardless of this field.
+  std::string db_path;
+  /// Buffer-pool frames (4 KiB pages held in RAM) backing the paged row
+  /// stores of a persistent engine. Datasets larger than the budget evaluate
+  /// correctly through clock eviction; the budget only bounds residency.
+  size_t storage_frame_budget = 1024;
 };
 
 /// Cumulative engine counters.
@@ -131,6 +140,18 @@ struct EngineStats {
   uint64_t batches = 0;        // ExecuteBatch calls
   uint64_t view_hits = 0;      // queries answered from a materialized view
   uint64_t view_updates = 0;   // AddFact/RemoveFact deltas propagated to views
+  uint64_t plans_invalidated = 0;  // stale-plan guard: cached plans re-costed
+                                   // out after >4x extent drift
+};
+
+/// Counters of a persistent engine (Engine::Open); zero-valued otherwise.
+struct PersistenceStats {
+  storage::StorageStats storage;
+  uint64_t facts_replayed = 0;       // WAL records applied on the last Open
+  uint64_t views_restored = 0;       // materialized views rebuilt from meta
+  uint64_t plans_restored = 0;       // cached plans warm-recompiled on Open
+  uint64_t plans_dropped_stale = 0;  // persisted plans dropped: extent drift
+                                     // beyond 4x, or unparseable
 };
 
 /// Per-query statistics (optional out-param of Query/Execute).
@@ -170,6 +191,28 @@ class Engine {
 
   /// Stops serving (draining in-flight requests) before tearing down.
   ~Engine();
+
+  // ---- Persistence --------------------------------------------------------
+
+  /// Opens (creating when absent) a disk-backed engine on database directory
+  /// `path`: restores the last checkpoint — value store, base relations onto
+  /// their checkpointed page chains, materialized views, cached plans — and
+  /// replays the WAL's committed suffix through the normal mutation paths,
+  /// so views stay consistent without re-evaluation. Mutations are logged to
+  /// the WAL before they apply and committed once per epoch (per mutation
+  /// synchronously; per installed snapshot while serving).
+  static Result<std::unique_ptr<Engine>> Open(const std::string& path,
+                                              EngineOptions options = {});
+
+  /// Writes a checkpoint: pages every base relation into the table space,
+  /// flushes dirty pages, persists the full catalog (values, relations,
+  /// views, plans) atomically, and truncates the WAL. Requires a persistent
+  /// engine, not serving, and no executing query.
+  Status Checkpoint();
+
+  /// Whether this engine came from Open (mutations are WAL-logged).
+  bool persistent() const { return storage_ != nullptr; }
+  PersistenceStats persistence_stats() const;
 
   /// The engine's extensional database. Mutating base relations does NOT
   /// invalidate cached plans (plans depend only on the program and query),
@@ -427,6 +470,14 @@ class Engine {
                    Strategy strategy, serve::QueryResponse* resp);
   /// kFailedPrecondition when a query is executing (mutations must not race).
   Status CheckMutable(const char* op) const;
+  /// Open()'s body: attaches the table space, restores the checkpoint, and
+  /// replays the WAL (under replaying_, so replay is not re-logged).
+  Status InitStorage();
+  Status RestoreFromCheckpoint();
+  Status ReplayWal();
+  /// Commits the open WAL epoch (one fsync); no-op when nothing was logged,
+  /// when the engine is in-memory, or during replay.
+  Status CommitStorage();
   /// The view matching `key`, or nullptr.
   inc::MaterializedView* FindView(const std::string& key);
   inc::IncrementalOptions MakeIncOptions();
@@ -436,6 +487,20 @@ class Engine {
                                eval::AnswerSet* answers);
 
   EngineOptions options_;
+  /// Persistence coordinator (null for in-memory engines). Declared before
+  /// db_ so relations can release their paged stores while the manager's
+  /// shared TableSpace is still reachable through them.
+  std::unique_ptr<storage::StorageManager> storage_;
+  /// True while Open replays the WAL: mutations then skip re-logging and
+  /// per-mutation commits.
+  bool replaying_ = false;
+  /// Last epoch handed to CommitEpoch (monotone; seeded from the checkpoint).
+  uint64_t storage_epoch_ = 0;
+  /// Open-time restore counters (written single-threaded during Open).
+  uint64_t facts_replayed_ = 0;
+  uint64_t views_restored_ = 0;
+  uint64_t plans_restored_ = 0;
+  uint64_t plans_dropped_stale_ = 0;
   eval::Database db_;
 
   /// Guards stats_, lru_, cache_, inflight_, and pool_ creation.

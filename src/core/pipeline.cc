@@ -55,6 +55,16 @@ Result<CompiledQuery> FinishCompile(TransformState&& state, Strategy strategy,
                          ? state.factorability->cls
                          : FactorClass::kNotFactorable;
   if (state.plans.has_value()) out.plans = std::move(*state.plans);
+  // Record the extents the plans were costed against, restricted to the
+  // predicates the final program mentions — the stale-plan guard's baseline.
+  for (const ast::Rule& rule : out.program.rules()) {
+    for (const ast::Atom& body : rule.body()) {
+      auto it = opts.planner.extent_hints.find(body.predicate());
+      if (it != opts.planner.extent_hints.end()) {
+        out.planner_hints[it->first] = it->second;
+      }
+    }
+  }
   out.source = std::move(state.source);
   out.source_query = std::move(state.source_query);
   out.trace = std::move(state.trace);

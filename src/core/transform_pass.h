@@ -255,6 +255,12 @@ struct CompiledQuery {
   /// evaluation order, per-literal index requirements, and partitioning
   /// driver every engine consumes. Computed by the join-plan pass.
   plan::ProgramPlan plans;
+  /// Base-relation sizes the join plans were costed against (the extent
+  /// hints in effect at compile time, restricted to predicates the program
+  /// mentions). The engine's stale-plan guard compares these against the
+  /// live extents to decide when a cached or persisted plan must be
+  /// recompiled.
+  std::map<std::string, uint64_t> planner_hints;
   /// Structured per-pass trace with timings and rule counts.
   std::vector<PassTraceEntry> trace;
 };

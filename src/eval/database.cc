@@ -7,6 +7,9 @@ Relation& Database::GetOrCreate(const std::string& name, size_t arity) {
   if (it == relations_.end()) {
     it = relations_.emplace(name, std::make_shared<Relation>(arity, storage_))
              .first;
+    // Persistent databases page base relations from birth (attaching an
+    // empty relation costs nothing; unpageable shapes stay in RAM).
+    if (tablespace_ != nullptr) it->second->AttachPagedStore(tablespace_);
   }
   return *it->second;
 }

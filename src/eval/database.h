@@ -71,6 +71,17 @@ class Database {
     relations_[name] = std::move(rel);
   }
 
+  /// Backs relations created from here on by pages in `space` (the engine's
+  /// persistence path). Existing relations are left as they are — the caller
+  /// pages them explicitly (AttachPagedStore) or restores them from
+  /// checkpointed chains.
+  void AttachTableSpace(std::shared_ptr<storage::TableSpace> space) {
+    tablespace_ = std::move(space);
+  }
+  const std::shared_ptr<storage::TableSpace>& tablespace() const {
+    return tablespace_;
+  }
+
   /// Total number of tuples across all relations.
   size_t TotalFacts() const;
 
@@ -78,6 +89,7 @@ class Database {
   std::shared_ptr<ValueStore> store_;
   StorageOptions storage_;
   std::map<std::string, std::shared_ptr<Relation>> relations_;
+  std::shared_ptr<storage::TableSpace> tablespace_;
 };
 
 }  // namespace factlog::eval

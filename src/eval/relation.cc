@@ -1,7 +1,11 @@
 #include "eval/relation.h"
 
+#include <array>
+#include <cstdio>
 #include <cstring>
 #include <utility>
+
+#include "storage/paged_store.h"
 
 namespace factlog::eval {
 
@@ -28,6 +32,35 @@ Relation::Relation(size_t arity, const StorageOptions& storage)
     shards_.reserve(storage.num_shards);
     for (size_t s = 0; s < storage.num_shards; ++s) {
       shards_.push_back(std::make_shared<Relation>(arity_));
+    }
+  }
+}
+
+Relation::~Relation() = default;
+
+Relation::Relation(const Relation& other)
+    : arity_(other.arity_),
+      num_rows_(other.num_rows_),
+      cells_(other.cells_),
+      dedup_(other.dedup_),
+      indices_(other.indices_),
+      counts_enabled_(other.counts_enabled_),
+      counts_(other.counts_),
+      needs_sync_(other.needs_sync_),
+      version_(other.version_),
+      part_cols_(other.part_cols_),
+      shards_(other.shards_),
+      row_locs_(other.row_locs_) {
+  // A paged source keeps its page store; the clone gets RAM cells. Row order
+  // is preserved, so the copied dedup table and indices stay valid.
+  if (other.paged_ != nullptr) {
+    cells_.resize(num_rows_ * arity_);
+    for (size_t r = 0; r < num_rows_; ++r) {
+      Status st = other.paged_->CopyRow(r, cells_.data() + r * arity_);
+      if (!st.ok()) {
+        std::fprintf(stderr, "factlog: paged row read failed in copy: %s\n",
+                     st.ToString().c_str());
+      }
     }
   }
 }
@@ -69,7 +102,7 @@ size_t Relation::ShardOf(const ValueId* row) const {
 
 void Relation::Reserve(size_t rows) {
   if (shards_.empty()) {
-    cells_.reserve(rows * arity_);
+    if (paged_ == nullptr) cells_.reserve(rows * arity_);
     dedup_.reserve(rows);
     return;
   }
@@ -99,6 +132,13 @@ bool Relation::Insert(const ValueId* row) {
 }
 
 bool Relation::InsertFlat(const ValueId* row) {
+  if (paged_ != nullptr && row != insert_scratch_.data()) {
+    // The dedup probe below calls this->row(r), which on a paged relation
+    // recycles copy-out ring slots — including, eventually, the one `row`
+    // may point into. Park the incoming row in a member buffer first.
+    insert_scratch_.assign(row, row + arity_);
+    row = insert_scratch_.data();
+  }
   size_t h = RowHash(row);
   auto& bucket = dedup_[h];
   for (uint32_t r : bucket) {
@@ -111,7 +151,7 @@ bool Relation::InsertFlat(const ValueId* row) {
   }
   uint32_t new_row = static_cast<uint32_t>(num_rows_);
   bucket.push_back(new_row);
-  if (arity_ > 0) cells_.insert(cells_.end(), row, row + arity_);
+  if (arity_ > 0) AppendRowStorage(row);
   ++num_rows_;
   ++version_;
   if (counts_enabled_) counts_.push_back(1);
@@ -157,6 +197,15 @@ bool Relation::InsertIntoShard(size_t s, const ValueId* row) {
 }
 
 int64_t Relation::FindRowFlat(const ValueId* row) const {
+  if (paged_ != nullptr && arity_ > 0) {
+    // The probe loop's this->row(r) calls recycle ring slots; `row` may be
+    // one. Stabilize into a thread-local (not the ring) before probing.
+    thread_local std::vector<ValueId> stable;
+    if (row != stable.data()) {
+      stable.assign(row, row + arity_);
+      row = stable.data();
+    }
+  }
   auto it = dedup_.find(RowHash(row));
   if (it == dedup_.end()) return -1;
   for (uint32_t r : it->second) {
@@ -216,6 +265,12 @@ void Relation::RenumberRowInIndexes(uint32_t from, uint32_t to) {
 }
 
 bool Relation::EraseFlat(const ValueId* row) {
+  if (paged_ != nullptr && arity_ > 0 && row != erase_scratch_.data()) {
+    // `row` is read again after FindRowFlat's probe loop (RowHash below);
+    // stabilize it out of the copy-out ring for the whole erase.
+    erase_scratch_.assign(row, row + arity_);
+    row = erase_scratch_.data();
+  }
   int64_t found = FindRowFlat(row);
   if (found < 0) return false;
   ++version_;
@@ -234,15 +289,18 @@ bool Relation::EraseFlat(const ValueId* row) {
     // The last row moves into slot r: renumber it everywhere, then copy its
     // cells (the index/dedup keys are value-based, so only the id changes).
     const ValueId* last_cells = this->row(last);
+    if (paged_ != nullptr) {
+      // RenumberRowInIndexes re-reads row(last), recycling ring slots.
+      move_scratch_.assign(last_cells, last_cells + arity_);
+      last_cells = move_scratch_.data();
+    }
     auto lded = dedup_.find(RowHash(last_cells));
     ReplaceRowId(&lded->second, last, r);
     RenumberRowInIndexes(last, r);
-    if (arity_ > 0) {
-      std::memmove(&cells_[r * arity_], last_cells, arity_ * sizeof(ValueId));
-    }
+    if (arity_ > 0) WriteRowStorage(r, last_cells);
     if (counts_enabled_) counts_[r] = counts_[last];
   }
-  if (arity_ > 0) cells_.resize((num_rows_ - 1) * arity_);
+  if (arity_ > 0) PopBackStorage();
   if (counts_enabled_) counts_.pop_back();
   --num_rows_;
   return true;
@@ -265,6 +323,9 @@ void Relation::EnableSupportCounts() {
   counts_enabled_ = true;
   ++version_;
   if (shards_.empty()) {
+    // Counted relations are write-hot delta/view state; keep them in RAM
+    // (AttachPagedStore refuses them for the same reason).
+    if (paged_ != nullptr) MaterializeToRam();
     counts_.assign(num_rows_, 0);
     return;
   }
@@ -317,6 +378,15 @@ int64_t Relation::AddSupport(const ValueId* row, int64_t delta) {
 
 bool Relation::Contains(const ValueId* row) const {
   const Relation* r = shards_.empty() ? this : shards_[ShardOf(row)].get();
+  if (r->paged_ != nullptr && arity_ > 0) {
+    // Same ring hazard as FindRowFlat: the probe loop below recycles
+    // copy-out slots `row` may point into.
+    thread_local std::vector<ValueId> stable;
+    if (row != stable.data()) {
+      stable.assign(row, row + arity_);
+      row = stable.data();
+    }
+  }
   size_t h = r->RowHash(row);
   auto it = r->dedup_.find(h);
   if (it == r->dedup_.end()) return false;
@@ -384,6 +454,13 @@ void Relation::Clear() {
   num_rows_ = 0;
   ++version_;
   cells_.clear();
+  if (paged_ != nullptr) {
+    Status st = paged_->Clear();
+    if (!st.ok()) {
+      std::fprintf(stderr, "factlog: paged clear failed: %s\n",
+                   st.ToString().c_str());
+    }
+  }
   dedup_.clear();
   indices_.clear();
   row_locs_.clear();
@@ -412,16 +489,30 @@ size_t Relation::Absorb(const Relation& other) {
       if (src.size() == 0) continue;
       DetachShard(s);  // rows are coming; detach once instead of per row
       shards_[s]->Reserve(shards_[s]->size() + src.size());
+      const bool src_paged = src.paged_ != nullptr;
       for (size_t r = 0; r < src.size(); ++r) {
-        if (InsertIntoShard(s, src.row(r))) ++inserted;
+        const ValueId* src_row = src.row(r);
+        if (src_paged) {
+          // src.row(r) points into the copy-out ring; the insert's own row()
+          // probes would recycle it. Hold it in a stable buffer instead.
+          move_scratch_.assign(src_row, src_row + arity_);
+          src_row = move_scratch_.data();
+        }
+        if (InsertIntoShard(s, src_row)) ++inserted;
       }
     }
     return inserted;
   }
   Reserve(num_rows_ + other.size());
   size_t inserted = 0;
+  const bool other_paged = other.is_paged();
   for (size_t r = 0; r < other.size(); ++r) {
-    if (Insert(other.row(r))) ++inserted;
+    const ValueId* src_row = other.row(r);
+    if (other_paged) {
+      move_scratch_.assign(src_row, src_row + arity_);
+      src_row = move_scratch_.data();
+    }
+    if (Insert(src_row)) ++inserted;
   }
   return inserted;
 }
@@ -433,6 +524,200 @@ void Relation::MergeShard(size_t s, const Relation& rows) {
   }
   DetachShard(s);
   shards_[s]->Absorb(rows);
+}
+
+// ---- Paged-store plumbing ---------------------------------------------------
+
+const ValueId* Relation::PagedRow(size_t idx) const {
+  // Per-thread copy-out ring: each call fills the next slot, so a thread can
+  // hold up to kRingSlots live row() pointers across *all* paged relations.
+  // The evaluators consume each row before fetching the next (one live
+  // pointer); the probe loops that hold one across many row() calls
+  // stabilize it first. Each slot is its own vector so growing one slot for
+  // a wider relation never invalidates pointers handed out from the others.
+  constexpr size_t kRingSlots = 16;
+  thread_local std::array<std::vector<ValueId>, kRingSlots> ring;
+  thread_local size_t next_slot = 0;
+  std::vector<ValueId>& slot = ring[next_slot];
+  next_slot = (next_slot + 1) % kRingSlots;
+  if (slot.size() < arity_) slot.resize(arity_);
+  Status st = paged_->CopyRow(idx, slot.data());
+  if (!st.ok()) {
+    // No recovery path here (callers hold raw pointers); zero the row and
+    // complain loudly rather than hand out garbage.
+    std::fprintf(stderr, "factlog: paged row read failed: %s\n",
+                 st.ToString().c_str());
+    std::fill(slot.begin(), slot.end(), 0);
+  }
+  return slot.data();
+}
+
+void Relation::AppendRowStorage(const ValueId* row) {
+  if (paged_ != nullptr) {
+    Status st = paged_->Append(row);
+    if (st.ok()) return;
+    std::fprintf(stderr,
+                 "factlog: paged append failed (%s); relation falls back to "
+                 "RAM\n",
+                 st.ToString().c_str());
+    MaterializeToRam();  // copies the num_rows_ existing rows; row is new
+  }
+  cells_.insert(cells_.end(), row, row + arity_);
+}
+
+void Relation::WriteRowStorage(uint32_t r, const ValueId* src) {
+  if (paged_ != nullptr) {
+    Status st = paged_->WriteRow(r, src);
+    if (st.ok()) return;
+    std::fprintf(stderr,
+                 "factlog: paged write failed (%s); relation falls back to "
+                 "RAM\n",
+                 st.ToString().c_str());
+    MaterializeToRam();
+  }
+  // memmove: in RAM mode `src` may alias cells_ (the swapped last row).
+  std::memmove(&cells_[r * arity_], src, arity_ * sizeof(ValueId));
+}
+
+void Relation::PopBackStorage() {
+  if (paged_ != nullptr) {
+    Status st = paged_->PopBack();
+    if (st.ok()) return;
+    std::fprintf(stderr,
+                 "factlog: paged pop failed (%s); relation falls back to "
+                 "RAM\n",
+                 st.ToString().c_str());
+    MaterializeToRam();
+  }
+  cells_.resize((num_rows_ - 1) * arity_);
+}
+
+void Relation::RebuildDedup() {
+  dedup_.clear();
+  dedup_.reserve(num_rows_);
+  for (uint32_t r = 0; r < static_cast<uint32_t>(num_rows_); ++r) {
+    dedup_[RowHash(this->row(r))].push_back(r);
+  }
+}
+
+bool Relation::AttachPagedStore(std::shared_ptr<storage::TableSpace> space) {
+  if (arity_ == 0 || counts_enabled_) return false;
+  if (!shards_.empty()) {
+    bool all = true;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (shards_[s]->paged_ != nullptr) continue;
+      DetachShard(s);  // never page a shard a frozen copy still reads
+      all = shards_[s]->AttachPagedStore(space) && all;
+    }
+    return all;
+  }
+  if (paged_ != nullptr) return true;
+  if (!storage::PagedRowStore::RowFits(arity_ * sizeof(ValueId))) return false;
+  auto store = std::make_unique<storage::PagedRowStore>(
+      std::move(space), arity_ * sizeof(ValueId));
+  for (size_t r = 0; r < num_rows_; ++r) {
+    Status st = store->Append(cells_.data() + r * arity_);
+    if (!st.ok()) {
+      // Stay in RAM; the partially built store frees its pages on destroy.
+      std::fprintf(stderr, "factlog: paging relation failed: %s\n",
+                   st.ToString().c_str());
+      return false;
+    }
+  }
+  cells_.clear();
+  cells_.shrink_to_fit();
+  paged_ = std::move(store);
+  return true;
+}
+
+bool Relation::is_paged() const {
+  if (shards_.empty()) return paged_ != nullptr;
+  for (const auto& sh : shards_) {
+    if (sh->paged_ != nullptr) return true;
+  }
+  return false;
+}
+
+void Relation::MaterializeToRam() {
+  if (shards_.empty()) {
+    if (paged_ == nullptr) return;
+    cells_.resize(num_rows_ * arity_);
+    for (size_t r = 0; r < num_rows_; ++r) {
+      Status st = paged_->CopyRow(r, cells_.data() + r * arity_);
+      if (!st.ok()) {
+        std::fprintf(stderr, "factlog: paged row read failed: %s\n",
+                     st.ToString().c_str());
+      }
+    }
+    paged_.reset();  // frees the chain (pending) via the store's dtor
+    return;
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s]->paged_ == nullptr) continue;
+    DetachShard(s);
+    shards_[s]->MaterializeToRam();
+  }
+}
+
+Status Relation::AdoptPagedChains(
+    std::shared_ptr<storage::TableSpace> space,
+    const std::vector<std::vector<uint32_t>>& chains,
+    const std::vector<uint64_t>& row_counts) {
+  if (num_rows_ != 0) {
+    return Status::Internal("AdoptPagedChains: relation not empty");
+  }
+  if (chains.size() != shard_count() || row_counts.size() != shard_count()) {
+    return Status::Internal("AdoptPagedChains: shard count mismatch");
+  }
+  if (shards_.empty()) {
+    num_rows_ = static_cast<size_t>(row_counts[0]);
+    if (arity_ > 0 && num_rows_ > 0) {
+      auto store = std::make_unique<storage::PagedRowStore>(
+          std::move(space), arity_ * sizeof(ValueId));
+      store->Restore(std::vector<storage::PageId>(chains[0].begin(),
+                                                  chains[0].end()),
+                     num_rows_);
+      paged_ = std::move(store);
+    }
+    RebuildDedup();
+    ++version_;
+    return Status::OK();
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    FACTLOG_RETURN_IF_ERROR(
+        shards_[s]->AdoptPagedChains(space, {chains[s]}, {row_counts[s]}));
+  }
+  needs_sync_ = true;
+  SyncShards();  // rebuild row_locs_ and num_rows_ from the adopted shards
+  return Status::OK();
+}
+
+void Relation::SealPages() {
+  if (paged_ != nullptr) paged_->SealAll();
+  for (auto& sh : shards_) {
+    if (sh->paged_ != nullptr) sh->paged_->SealAll();
+  }
+}
+
+void Relation::DumpPagedChains(std::vector<std::vector<uint32_t>>* chains,
+                               std::vector<uint64_t>* rows) const {
+  chains->clear();
+  rows->clear();
+  if (shards_.empty()) {
+    chains->push_back(paged_ != nullptr
+                          ? std::vector<uint32_t>(paged_->chain().begin(),
+                                                  paged_->chain().end())
+                          : std::vector<uint32_t>{});
+    rows->push_back(num_rows_);
+    return;
+  }
+  for (const auto& sh : shards_) {
+    chains->push_back(sh->paged_ != nullptr
+                          ? std::vector<uint32_t>(sh->paged_->chain().begin(),
+                                                  sh->paged_->chain().end())
+                          : std::vector<uint32_t>{});
+    rows->push_back(sh->size());
+  }
 }
 
 void Relation::SyncShards() {

@@ -60,7 +60,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "eval/value.h"
+
+namespace factlog::storage {
+struct TableSpace;
+class PagedRowStore;
+}  // namespace factlog::storage
 
 namespace factlog::eval {
 
@@ -82,6 +88,7 @@ class Relation {
  public:
   explicit Relation(size_t arity) : Relation(arity, StorageOptions{}) {}
   Relation(size_t arity, const StorageOptions& storage);
+  ~Relation();
 
   size_t arity() const { return arity_; }
   size_t size() const { return num_rows_; }
@@ -124,9 +131,14 @@ class Relation {
 
   /// Pointer to the idx-th row (arity() consecutive ValueIds), in global
   /// insertion order. Arity-0 relations have no cells; the returned pointer
-  /// is only valid for reading arity() values.
+  /// is only valid for reading arity() values. On a page-backed relation the
+  /// pointer aims into a per-thread copy-out ring and stays valid only until
+  /// the same thread's next few row() calls (see PagedRow).
   const ValueId* row(size_t idx) const {
-    if (shards_.empty()) return cells_.data() + idx * arity_;
+    if (shards_.empty()) {
+      if (paged_ != nullptr) return PagedRow(idx);
+      return cells_.data() + idx * arity_;
+    }
     uint64_t loc = row_locs_[idx];
     return shards_[loc >> 32]->row(static_cast<uint32_t>(loc));
   }
@@ -218,6 +230,46 @@ class Relation {
   /// thread with no concurrent access.
   void SyncShards();
 
+  // ---- Disk-backed storage (src/storage) ----------------------------------
+  //
+  // A relation can move its row store onto slotted pages in a shared
+  // TableSpace (page file + buffer pool). Dedup tables, indices, and support
+  // counts stay in RAM; only the cells migrate. Sharded relations page each
+  // inner shard independently — the shard is the unit of paging. Frozen
+  // copies of a paged relation materialize back to RAM (snapshots are
+  // read-hot and short-lived; pages belong to the live relation).
+
+  /// Moves this relation's rows (all shards) onto pages in `space`. Existing
+  /// rows are appended to fresh pages; RAM cells are released. Returns false
+  /// (leaving the relation in RAM) when rows cannot be paged: arity 0, a row
+  /// wider than a page, support counts enabled, or page I/O failure.
+  bool AttachPagedStore(std::shared_ptr<storage::TableSpace> space);
+
+  /// Whether any shard of this relation is page-backed.
+  bool is_paged() const;
+
+  /// Copies every paged shard's rows back into RAM cells and drops the page
+  /// store (freeing its pages as pending). No-op for RAM relations.
+  void MaterializeToRam();
+
+  /// Restores this (empty) relation from checkpointed page chains: one chain
+  /// per shard, all pages sealed, dedup tables rebuilt by page scan. `chains`
+  /// and `row_counts` must have one entry per shard.
+  Status AdoptPagedChains(std::shared_ptr<storage::TableSpace> space,
+                          const std::vector<std::vector<uint32_t>>& chains,
+                          const std::vector<uint64_t>& row_counts);
+
+  /// Marks every page of every paged shard sealed (immutable until the next
+  /// copy-on-write). Called after a successful checkpoint: the pages are now
+  /// referenced by the durable meta file.
+  void SealPages();
+
+  /// Per-shard page chains and row counts for checkpointing. A shard that is
+  /// not page-backed contributes an empty chain (its rows go inline in the
+  /// meta file).
+  void DumpPagedChains(std::vector<std::vector<uint32_t>>* chains,
+                       std::vector<uint64_t>* rows) const;
+
  private:
   struct VecHash {
     size_t operator()(const std::vector<ValueId>& v) const {
@@ -236,9 +288,11 @@ class Relation {
   };
 
   /// Memberwise copy: shares the shard shared_ptrs, copies everything else.
-  /// Private — only FrozenCopy and DetachShard may clone, and the clones are
-  /// immutable (snapshots) or immediately owned (detached shards).
-  Relation(const Relation&) = default;
+  /// A paged source is materialized into the clone's RAM cells (the page
+  /// store stays with the original). Private — only FrozenCopy and
+  /// DetachShard may clone, and the clones are immutable (snapshots) or
+  /// immediately owned (detached shards).
+  Relation(const Relation&);
   Relation& operator=(const Relation&) = delete;
 
   /// Copy-on-write: clones shard `s` when a frozen copy still shares it.
@@ -259,6 +313,26 @@ class Relation {
   /// Bookkeeping after an inner shard grew or shrank by one row.
   void NoteShardInsert(size_t s);
   void NoteShardErase();
+
+  // ---- Paged-store internals ----------------------------------------------
+  /// Copies the idx-th paged row into a slot of a per-thread ring and returns
+  /// it. The ring is deep enough for every concurrent row() pointer the
+  /// evaluators hold (they consume each row before fetching the next); the
+  /// probe loops that hold a caller pointer across many row() calls stabilize
+  /// it first (insert_scratch_/erase_scratch_, thread-local probe buffers).
+  const ValueId* PagedRow(size_t idx) const;
+  /// Appends one row to flat storage (pages when attached, cells_ otherwise).
+  /// A page I/O failure falls back to RAM with a warning — availability over
+  /// paging.
+  void AppendRowStorage(const ValueId* row);
+  /// Overwrites flat row r (the erase swap). `src` must not point into the
+  /// copy-out ring (callers stabilize it first).
+  void WriteRowStorage(uint32_t r, const ValueId* src);
+  /// Drops the last flat row.
+  void PopBackStorage();
+  /// Rebuilds dedup_ from scratch by scanning every row (after adopting
+  /// checkpointed chains).
+  void RebuildDedup();
 
   size_t arity_;
   size_t num_rows_ = 0;
@@ -287,6 +361,15 @@ class Relation {
   std::vector<int> part_cols_;
   std::vector<std::shared_ptr<Relation>> shards_;
   std::vector<uint64_t> row_locs_;
+  // Page-backed row store (flat mode / each inner shard); null = RAM cells_.
+  std::unique_ptr<storage::PagedRowStore> paged_;
+  // Stabilization buffers: a caller's row pointer may aim into the copy-out
+  // ring of a *paged* relation (e.g. Absorb feeding src.row(r) to Insert);
+  // the mutating probe loops copy it here before their own row() calls can
+  // recycle the slot.
+  std::vector<ValueId> insert_scratch_;
+  std::vector<ValueId> erase_scratch_;
+  std::vector<ValueId> move_scratch_;
   static const std::vector<uint32_t> kEmptyRows;
 };
 

@@ -37,7 +37,41 @@ Result<std::unique_ptr<MaterializedView>> MaterializedView::Build(
   return view;
 }
 
-Status MaterializedView::Init() {
+Result<std::unique_ptr<MaterializedView>> MaterializedView::Restore(
+    const ast::Program& program, eval::Database* db,
+    const IncrementalOptions& opts, const std::vector<ViewPredState>& preds) {
+  if (opts.eval.track_provenance) {
+    return Status::Invalid(
+        "materialized views do not maintain provenance; use the sequential "
+        "evaluator for derivation trees");
+  }
+  std::unique_ptr<MaterializedView> view(
+      new MaterializedView(program, db, opts));
+  FACTLOG_RETURN_IF_ERROR(view->Init(&preds));
+  return view;
+}
+
+std::vector<ViewPredState> MaterializedView::DumpState() {
+  std::vector<ViewPredState> out;
+  for (auto& [pred, rel] : *result_.mutable_idb()) {
+    rel->SyncShards();
+    ViewPredState pd;
+    pd.pred = pred;
+    pd.arity = static_cast<uint32_t>(rel->arity());
+    pd.counts_enabled = rel->support_counts_enabled();
+    pd.num_rows = rel->size();
+    pd.rows.reserve(rel->size() * rel->arity());
+    for (size_t r = 0; r < rel->size(); ++r) {
+      const ValueId* row = rel->row(r);
+      pd.rows.insert(pd.rows.end(), row, row + rel->arity());
+      if (pd.counts_enabled) pd.row_counts.push_back(rel->SupportOf(row));
+    }
+    out.push_back(std::move(pd));
+  }
+  return out;
+}
+
+Status MaterializedView::Init(const std::vector<ViewPredState>* restore) {
   FACTLOG_RETURN_IF_ERROR(program_.Validate());
   idb_preds_ = program_.IdbPredicates();
   // One join plan for the program's rules, shared with the initial
@@ -61,20 +95,51 @@ Status MaterializedView::Init() {
   }
   ComputeSccs();
 
-  // The initial materialization is one ordinary from-scratch evaluation —
-  // on the pool when the caller has one, sequentially otherwise.
-  eval::EvalOptions eopts = opts_.eval;
-  eopts.strategy = eval::Strategy::kSemiNaive;
-  eopts.shared_edb = false;
-  eopts.program_plan = &plan_;
-  if (opts_.pool != nullptr) {
-    exec::ParallelEvalOptions popts;
-    popts.eval = eopts;
-    popts.min_rows_to_partition = opts_.min_rows_to_partition;
-    FACTLOG_ASSIGN_OR_RETURN(
-        result_, exec::EvaluateParallel(program_, db_, opts_.pool, popts));
+  if (restore != nullptr) {
+    // Checkpointed state replaces the from-scratch evaluation: fill the
+    // maintained relations (including exact support counts) from the dump.
+    for (const ViewPredState& pd : *restore) {
+      auto rel =
+          std::make_unique<Relation>(pd.arity, db_->storage_options());
+      if (pd.counts_enabled) {
+        rel->EnableSupportCounts();
+        for (uint64_t r = 0; r < pd.num_rows; ++r) {
+          rel->AddSupport(pd.rows.data() + r * pd.arity, pd.row_counts[r]);
+        }
+      } else {
+        for (uint64_t r = 0; r < pd.num_rows; ++r) {
+          rel->Insert(pd.rows.data() + r * pd.arity);
+        }
+      }
+      rel->SyncShards();
+      (*result_.mutable_idb())[pd.pred] = std::move(rel);
+    }
+    // IDB predicates the dump omitted (empty at checkpoint time) still need
+    // their relations.
+    auto arities = program_.PredicateArities();
+    for (const std::string& pred : idb_preds_) {
+      if (result_.Find(pred) == nullptr) {
+        auto it = arities.find(pred);
+        (*result_.mutable_idb())[pred] = std::make_unique<Relation>(
+            it == arities.end() ? 0 : it->second, db_->storage_options());
+      }
+    }
   } else {
-    FACTLOG_ASSIGN_OR_RETURN(result_, eval::Evaluate(program_, db_, eopts));
+    // The initial materialization is one ordinary from-scratch evaluation —
+    // on the pool when the caller has one, sequentially otherwise.
+    eval::EvalOptions eopts = opts_.eval;
+    eopts.strategy = eval::Strategy::kSemiNaive;
+    eopts.shared_edb = false;
+    eopts.program_plan = &plan_;
+    if (opts_.pool != nullptr) {
+      exec::ParallelEvalOptions popts;
+      popts.eval = eopts;
+      popts.min_rows_to_partition = opts_.min_rows_to_partition;
+      FACTLOG_ASSIGN_OR_RETURN(
+          result_, exec::EvaluateParallel(program_, db_, opts_.pool, popts));
+    } else {
+      FACTLOG_ASSIGN_OR_RETURN(result_, eval::Evaluate(program_, db_, eopts));
+    }
   }
   // The engine's plan pointer has served its purpose (plan_ is a copy);
   // never read it again — its CompiledQuery may be evicted from the cache.
@@ -165,6 +230,9 @@ Status MaterializedView::Init() {
     }
   }
 
+  // A restored view carries exact dumped counts; rebuilding would require
+  // re-joining and defeat the point of persisting the view.
+  if (restore != nullptr) return Status::OK();
   return RebuildSupportCounts();
 }
 

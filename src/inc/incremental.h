@@ -87,6 +87,20 @@ struct ViewStats {
   uint64_t delta_passes = 0;     // (rule, occurrence) delta passes run
 };
 
+/// One maintained predicate's relation, dumped by value: the persistence
+/// layer writes these into the checkpoint meta file and feeds them back to
+/// Restore so reopening a database skips the from-scratch evaluation.
+struct ViewPredState {
+  std::string pred;
+  uint32_t arity = 0;
+  bool counts_enabled = false;
+  uint64_t num_rows = 0;
+  /// num_rows * arity ValueIds, valid against the database's value store.
+  std::vector<eval::ValueId> rows;
+  /// Per-row derivation counts; empty unless counts_enabled.
+  std::vector<int64_t> row_counts;
+};
+
 /// The materialized IDB of one compiled program, kept incrementally correct
 /// under EDB deltas. Holds a pointer to the engine's database (the EDB it
 /// joins deltas against); the database must outlive the view.
@@ -98,6 +112,19 @@ class MaterializedView {
   static Result<std::unique_ptr<MaterializedView>> Build(
       const ast::Program& program, eval::Database* db,
       const IncrementalOptions& opts);
+
+  /// Rebuilds a view from checkpointed state: compiles the same maintenance
+  /// machinery as Build but fills the maintained relations (and their
+  /// support counts) from `preds` instead of evaluating. `db` must hold the
+  /// EDB state the dump was taken against, or later deltas will maintain an
+  /// inconsistent view.
+  static Result<std::unique_ptr<MaterializedView>> Restore(
+      const ast::Program& program, eval::Database* db,
+      const IncrementalOptions& opts, const std::vector<ViewPredState>& preds);
+
+  /// Dumps every maintained relation by value (syncing sharded relations
+  /// first), in a form Restore accepts.
+  std::vector<ViewPredState> DumpState();
 
   MaterializedView(const MaterializedView&) = delete;
   MaterializedView& operator=(const MaterializedView&) = delete;
@@ -166,7 +193,10 @@ class MaterializedView {
                    const IncrementalOptions& opts)
       : program_(program), db_(db), opts_(opts) {}
 
-  Status Init();
+  /// Non-null `restore` replaces the from-scratch evaluation with the dumped
+  /// relations (and skips the support-count rebuild — the dump carries exact
+  /// counts).
+  Status Init(const std::vector<ViewPredState>* restore = nullptr);
   void ComputeSccs();
   Status RebuildSupportCounts();
 

@@ -1,0 +1,133 @@
+#include "storage/buffer_pool.h"
+
+namespace factlog::storage {
+
+Result<BufferPool::Frame*> BufferPool::Pin(PageId page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(page);
+  if (it != page_table_.end()) {
+    ++stats_.hits;
+    Frame* f = frames_[it->second].get();
+    ++f->pins;
+    f->referenced = true;
+    return f;
+  }
+  ++stats_.misses;
+  FACTLOG_ASSIGN_OR_RETURN(size_t idx, AcquireFrameLocked());
+  Frame* f = frames_[idx].get();
+  FACTLOG_RETURN_IF_ERROR(file_->ReadPage(page, f->data.get()));
+  f->page = page;
+  f->pins = 1;
+  f->dirty = false;
+  f->referenced = true;
+  page_table_[page] = idx;
+  return f;
+}
+
+Result<BufferPool::Frame*> BufferPool::NewPage() {
+  std::lock_guard<std::mutex> lock(mu_);
+  FACTLOG_ASSIGN_OR_RETURN(size_t idx, AcquireFrameLocked());
+  Frame* f = frames_[idx].get();
+  f->page = file_->Allocate();
+  f->pins = 1;
+  f->dirty = true;
+  f->referenced = true;
+  PageInit(f->data.get());
+  page_table_[f->page] = idx;
+  return f;
+}
+
+void BufferPool::Unpin(Frame* frame, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dirty) frame->dirty = true;
+  if (frame->pins > 0) --frame->pins;
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool wrote = false;
+  for (auto& f : frames_) {
+    if (f->page == kInvalidPage || !f->dirty) continue;
+    FACTLOG_RETURN_IF_ERROR(file_->WritePage(f->page, f->data.get()));
+    f->dirty = false;
+    wrote = true;
+  }
+  if (wrote) FACTLOG_RETURN_IF_ERROR(file_->Sync());
+  return Status::OK();
+}
+
+void BufferPool::Discard(PageId page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(page);
+  if (it == page_table_.end()) return;
+  // Unmap even while pinned: the page id may be reallocated later, and a
+  // stale mapping (or a stale dirty write-back) would clobber the new page.
+  // A pinned reader keeps the frame's bytes alive via the pin count alone.
+  Frame* f = frames_[it->second].get();
+  f->page = kInvalidPage;
+  f->dirty = false;
+  f->referenced = false;
+  page_table_.erase(it);
+}
+
+BufferPoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  BufferPoolStats s = stats_;
+  s.dirty_pages = 0;
+  for (const auto& f : frames_) {
+    if (f->page != kInvalidPage && f->dirty) ++s.dirty_pages;
+  }
+  return s;
+}
+
+size_t BufferPool::frames_in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& f : frames_) {
+    if (f->page != kInvalidPage) ++n;
+  }
+  return n;
+}
+
+Result<size_t> BufferPool::AcquireFrameLocked() {
+  if (frames_.size() < budget_) {
+    auto f = std::make_unique<Frame>();
+    f->data = std::make_unique<uint8_t[]>(kPageSize);
+    frames_.push_back(std::move(f));
+    return frames_.size() - 1;
+  }
+  // Clock sweep: skip pinned frames, clear one reference bit per visit, take
+  // the first unpinned frame whose bit is already clear. Two full sweeps
+  // guarantee a victim if any frame is unpinned.
+  size_t visited = 0;
+  const size_t limit = 2 * frames_.size();
+  while (visited < limit) {
+    size_t idx = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % frames_.size();
+    ++visited;
+    Frame* f = frames_[idx].get();
+    if (f->pins > 0) continue;  // pinned — even if discarded, bytes in use
+    if (f->page == kInvalidPage) return idx;  // discarded frame, free
+    if (f->referenced) {
+      f->referenced = false;
+      continue;
+    }
+    if (f->dirty) {
+      FACTLOG_RETURN_IF_ERROR(file_->WritePage(f->page, f->data.get()));
+      ++stats_.dirty_writebacks;
+      f->dirty = false;
+    }
+    page_table_.erase(f->page);
+    f->page = kInvalidPage;
+    ++stats_.evictions;
+    return idx;
+  }
+  // Every frame is pinned: grow past the budget rather than deadlock.
+  ++stats_.overflow_frames;
+  auto f = std::make_unique<Frame>();
+  f->data = std::make_unique<uint8_t[]>(kPageSize);
+  frames_.push_back(std::move(f));
+  return frames_.size() - 1;
+}
+
+}  // namespace factlog::storage

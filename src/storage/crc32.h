@@ -1,0 +1,42 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for WAL record and page
+// integrity checks. Table-driven, computed once at first use; no external
+// dependency so the storage layer stays self-contained.
+
+#ifndef FACTLOG_STORAGE_CRC32_H_
+#define FACTLOG_STORAGE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace factlog::storage {
+
+inline const uint32_t* Crc32Table() {
+  static const auto* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+/// One-shot CRC over a byte range. `seed` chains partial computations:
+/// Crc32(b, n) == Crc32(b + k, n - k, Crc32(b, k)).
+inline uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0) {
+  const uint32_t* table = Crc32Table();
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace factlog::storage
+
+#endif  // FACTLOG_STORAGE_CRC32_H_

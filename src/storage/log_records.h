@@ -1,0 +1,50 @@
+// Logical WAL record payloads: ground facts and epoch commits.
+//
+// The WAL is fact-level, not page-level. A record says "insert p(1, 2)" —
+// never "write these bytes at page 17" — so replay routes through the same
+// engine entry points as live traffic and the views stay consistent without
+// any physical redo. Replay over an already-applied prefix is safe because
+// the engine's mutation paths are no-ops on duplicates/absences (last-writer
+// -wins per fact).
+//
+// Facts are ground ast::Atoms serialized structurally: nested compound terms
+// (lists, cons cells) round-trip exactly, so the WAL is independent of the
+// ValueStore's id assignment — replay re-interns.
+
+#ifndef FACTLOG_STORAGE_LOG_RECORDS_H_
+#define FACTLOG_STORAGE_LOG_RECORDS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ast/atom.h"
+#include "storage/serde.h"
+
+namespace factlog::storage {
+
+enum class WalRecordType : uint8_t {
+  kAddFact = 1,
+  kRemoveFact = 2,
+  /// Epoch boundary: every preceding record since the last commit becomes
+  /// durable and atomic as a unit. Payload: u64 epoch.
+  kCommit = 3,
+};
+
+/// Serializes a ground fact (predicate + argument terms). Variables cannot
+/// appear (the engine only logs facts it validated as ground).
+std::string EncodeFactRecord(const ast::Atom& fact);
+/// Decodes a fact payload. Returns false on malformed bytes.
+bool DecodeFactRecord(const void* data, size_t len, ast::Atom* fact);
+
+std::string EncodeCommitRecord(uint64_t epoch);
+bool DecodeCommitRecord(const void* data, size_t len, uint64_t* epoch);
+
+/// Term codec, exposed for tests. Tags: 0 = int, 1 = symbol, 2 = compound,
+/// 3 = variable (never produced by the engine; kept so the codec totalizes
+/// over ast::Term).
+void EncodeTerm(const ast::Term& term, BinWriter* w);
+bool DecodeTerm(BinReader* r, ast::Term* term);
+
+}  // namespace factlog::storage
+
+#endif  // FACTLOG_STORAGE_LOG_RECORDS_H_

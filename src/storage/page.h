@@ -1,0 +1,113 @@
+// Slotted page format for the disk-backed row stores.
+//
+// Every page is kPageSize bytes. Records grow forward from the header;
+// the slot directory (one u16 record offset per slot) grows backward from
+// the page end. Rows in this engine are fixed-size (arity * sizeof(ValueId)),
+// but the format does not assume it — the slot directory makes record
+// placement explicit, so variable-length payloads (future string columns,
+// overflow chains) fit without a format change.
+//
+//   offset 0: u16 slot_count      number of live records
+//   offset 2: u16 free_start      offset of the next record write
+//   offset 4: record bytes ...
+//   ...
+//   kPageSize - 2*slot_count: slot directory (slot i's u16 record offset is
+//     at kPageSize - 2*(i+1) — slot 0 sits at the very end of the page)
+//
+// These helpers operate on raw page buffers (the buffer pool's frames); they
+// never allocate or do I/O.
+
+#ifndef FACTLOG_STORAGE_PAGE_H_
+#define FACTLOG_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace factlog::storage {
+
+inline constexpr size_t kPageSize = 4096;
+inline constexpr size_t kPageHeaderSize = 4;
+
+/// Page id inside a PageFile. Page 0 is valid (the file has no superblock;
+/// metadata lives in the separate meta file).
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPage = 0xFFFFFFFFu;
+
+inline uint16_t PageSlotCount(const uint8_t* page) {
+  uint16_t n;
+  std::memcpy(&n, page, sizeof(n));
+  return n;
+}
+
+inline uint16_t PageFreeStart(const uint8_t* page) {
+  uint16_t o;
+  std::memcpy(&o, page + 2, sizeof(o));
+  return o;
+}
+
+inline void PageInit(uint8_t* page) {
+  std::memset(page, 0, kPageSize);
+  uint16_t free_start = kPageHeaderSize;
+  std::memcpy(page + 2, &free_start, sizeof(free_start));
+}
+
+/// Bytes still available for one more record of `len` bytes (record plus its
+/// slot directory entry).
+inline bool PageHasRoom(const uint8_t* page, size_t len) {
+  size_t used_front = PageFreeStart(page);
+  size_t dir_bytes = 2 * (static_cast<size_t>(PageSlotCount(page)) + 1);
+  return used_front + len + dir_bytes <= kPageSize;
+}
+
+/// Appends a record; returns its slot index, or -1 when the page is full.
+inline int PageAppend(uint8_t* page, const void* data, size_t len) {
+  if (!PageHasRoom(page, len)) return -1;
+  uint16_t slot = PageSlotCount(page);
+  uint16_t off = PageFreeStart(page);
+  if (len > 0) std::memcpy(page + off, data, len);
+  uint16_t slot_pos = static_cast<uint16_t>(kPageSize - 2 * (slot + 1));
+  std::memcpy(page + slot_pos, &off, sizeof(off));
+  uint16_t new_count = static_cast<uint16_t>(slot + 1);
+  uint16_t new_free = static_cast<uint16_t>(off + len);
+  std::memcpy(page, &new_count, sizeof(new_count));
+  std::memcpy(page + 2, &new_free, sizeof(new_free));
+  return slot;
+}
+
+/// Pointer to slot `i`'s record bytes (record length is the caller's
+/// contract — fixed per store here).
+inline const uint8_t* PageRecord(const uint8_t* page, uint16_t i) {
+  uint16_t off;
+  std::memcpy(&off, page + kPageSize - 2 * (i + 1), sizeof(off));
+  return page + off;
+}
+
+inline uint8_t* PageRecordMut(uint8_t* page, uint16_t i) {
+  return const_cast<uint8_t*>(PageRecord(page, i));
+}
+
+/// Drops the last `n` slots (swap-remove support: the caller has already
+/// moved any surviving record bytes). Record bytes are reclaimed only when
+/// the dropped slots are the most recently appended ones — which they are
+/// for this engine's append-then-pop row stores.
+inline void PagePopBack(uint8_t* page, uint16_t n = 1) {
+  uint16_t count = PageSlotCount(page);
+  uint16_t new_count = static_cast<uint16_t>(count - n);
+  // The first dropped slot's record offset is where free space begins again
+  // (its entry sits at kPageSize - 2*(new_count+1)).
+  uint16_t new_free;
+  std::memcpy(&new_free, page + kPageSize - 2 * (new_count + 1),
+              sizeof(new_free));
+  std::memcpy(page, &new_count, sizeof(new_count));
+  std::memcpy(page + 2, &new_free, sizeof(new_free));
+}
+
+/// Records of `len` bytes that fit on one page (each costs len + 2 slot
+/// bytes beside the 4-byte header).
+inline constexpr size_t PageCapacity(size_t len) {
+  return (kPageSize - kPageHeaderSize) / (len + 2);
+}
+
+}  // namespace factlog::storage
+
+#endif  // FACTLOG_STORAGE_PAGE_H_

@@ -1,0 +1,135 @@
+#include "storage/paged_store.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace factlog::storage {
+
+PagedRowStore::PagedRowStore(std::shared_ptr<TableSpace> space,
+                             size_t row_bytes)
+    : space_(std::move(space)),
+      row_bytes_(row_bytes),
+      rows_per_page_(PageCapacity(row_bytes)) {
+  assert(RowFits(row_bytes));
+}
+
+PagedRowStore::~PagedRowStore() {
+  for (PageId p : chain_) {
+    space_->pool.Discard(p);
+    space_->file.FreePending(p);
+  }
+}
+
+Status PagedRowStore::Append(const void* row) {
+  if (num_rows_ % rows_per_page_ == 0) {
+    // Last page is full (or the store is empty): start a fresh page.
+    FACTLOG_ASSIGN_OR_RETURN(auto* frame, space_->pool.NewPage());
+    int slot = PageAppend(frame->data.get(), row, row_bytes_);
+    PageId page = frame->page;
+    space_->pool.Unpin(frame, true);
+    if (slot != 0) {
+      return Status::Internal("paged store: fresh page rejected append");
+    }
+    chain_.push_back(page);
+    sealed_.push_back(false);
+  } else {
+    FACTLOG_ASSIGN_OR_RETURN(auto* frame, PinForWrite(chain_.size() - 1));
+    int slot = PageAppend(frame->data.get(), row, row_bytes_);
+    space_->pool.Unpin(frame, true);
+    if (slot < 0) {
+      return Status::Internal("paged store: page full before rows_per_page");
+    }
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Status PagedRowStore::CopyRow(size_t idx, void* out) const {
+  size_t chain_idx = idx / rows_per_page_;
+  uint16_t slot = static_cast<uint16_t>(idx % rows_per_page_);
+  FACTLOG_ASSIGN_OR_RETURN(auto* frame, space_->pool.Pin(chain_[chain_idx]));
+  std::memcpy(out, PageRecord(frame->data.get(), slot), row_bytes_);
+  space_->pool.Unpin(frame, false);
+  return Status::OK();
+}
+
+Status PagedRowStore::WriteRow(size_t idx, const void* row) {
+  size_t chain_idx = idx / rows_per_page_;
+  uint16_t slot = static_cast<uint16_t>(idx % rows_per_page_);
+  FACTLOG_ASSIGN_OR_RETURN(auto* frame, PinForWrite(chain_idx));
+  std::memcpy(PageRecordMut(frame->data.get(), slot), row, row_bytes_);
+  space_->pool.Unpin(frame, true);
+  return Status::OK();
+}
+
+Status PagedRowStore::PopBack() {
+  if (num_rows_ == 0) {
+    return Status::Internal("paged store: PopBack on empty store");
+  }
+  size_t rows_in_last = num_rows_ - (chain_.size() - 1) * rows_per_page_;
+  if (rows_in_last == 1) {
+    // The last page empties: drop it instead of relocating a sealed page
+    // just to pop its only row.
+    PageId p = chain_.back();
+    space_->pool.Discard(p);
+    space_->file.FreePending(p);
+    chain_.pop_back();
+    sealed_.pop_back();
+  } else {
+    FACTLOG_ASSIGN_OR_RETURN(auto* frame, PinForWrite(chain_.size() - 1));
+    PagePopBack(frame->data.get());
+    space_->pool.Unpin(frame, true);
+  }
+  --num_rows_;
+  return Status::OK();
+}
+
+Status PagedRowStore::Clear() {
+  for (PageId p : chain_) {
+    space_->pool.Discard(p);
+    space_->file.FreePending(p);
+  }
+  chain_.clear();
+  sealed_.clear();
+  num_rows_ = 0;
+  return Status::OK();
+}
+
+void PagedRowStore::SealAll() {
+  sealed_.assign(chain_.size(), true);
+}
+
+void PagedRowStore::Restore(std::vector<PageId> chain, size_t num_rows) {
+  chain_ = std::move(chain);
+  sealed_.assign(chain_.size(), true);
+  num_rows_ = num_rows;
+}
+
+Status PagedRowStore::Cow(size_t chain_idx) {
+  PageId old_page = chain_[chain_idx];
+  FACTLOG_ASSIGN_OR_RETURN(auto* old_frame, space_->pool.Pin(old_page));
+  auto new_frame_r = space_->pool.NewPage();
+  if (!new_frame_r.ok()) {
+    space_->pool.Unpin(old_frame, false);
+    return new_frame_r.status();
+  }
+  auto* new_frame = *new_frame_r;
+  std::memcpy(new_frame->data.get(), old_frame->data.get(), kPageSize);
+  PageId new_page = new_frame->page;
+  space_->pool.Unpin(new_frame, true);
+  space_->pool.Unpin(old_frame, false);
+  space_->pool.Discard(old_page);
+  space_->file.FreePending(old_page);
+  chain_[chain_idx] = new_page;
+  sealed_[chain_idx] = false;
+  return Status::OK();
+}
+
+Result<BufferPool::Frame*> PagedRowStore::PinForWrite(size_t chain_idx) {
+  if (sealed_[chain_idx]) {
+    FACTLOG_RETURN_IF_ERROR(Cow(chain_idx));
+  }
+  return space_->pool.Pin(chain_[chain_idx]);
+}
+
+}  // namespace factlog::storage

@@ -1,0 +1,93 @@
+// PagedRowStore: the disk-backed backing array for one Relation shard's
+// fixed-width rows, stored as a chain of slotted pages in a shared
+// TableSpace (one PageFile + BufferPool per database directory).
+//
+// Row addressing is positional: row i lives on chain[i / rows_per_page] at
+// slot i % rows_per_page, so the store supports exactly the operations the
+// Relation needs — append, positional read/overwrite, swap-remove pop — with
+// no per-row header.
+//
+// Crash consistency is shadow paging. After a checkpoint every page in the
+// chain is *sealed*: the checkpoint meta file references it, so it must stay
+// byte-identical on disk until the next checkpoint commits. The first
+// post-checkpoint write to a sealed page relocates it (copy-on-write to a
+// freshly allocated page; the old page joins the PageFile's pending-free
+// list, reusable only after the next checkpoint publishes). An eviction that
+// writes back a dirty page therefore can never overwrite checkpoint state.
+
+#ifndef FACTLOG_STORAGE_PAGED_STORE_H_
+#define FACTLOG_STORAGE_PAGED_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "storage/pager.h"
+
+namespace factlog::storage {
+
+/// One database's page file plus its buffer pool. Shared (via shared_ptr) by
+/// every PagedRowStore so destruction order is a non-issue.
+struct TableSpace {
+  explicit TableSpace(size_t frame_budget) : pool(&file, frame_budget) {}
+  PageFile file;
+  BufferPool pool;
+};
+
+class PagedRowStore {
+ public:
+  /// `row_bytes` must fit one page: row_bytes + 2 <= kPageSize - 4.
+  PagedRowStore(std::shared_ptr<TableSpace> space, size_t row_bytes);
+  /// Frees the chain back to the tablespace (pending — the last checkpoint
+  /// may still reference those pages).
+  ~PagedRowStore();
+  PagedRowStore(const PagedRowStore&) = delete;
+  PagedRowStore& operator=(const PagedRowStore&) = delete;
+
+  size_t num_rows() const { return num_rows_; }
+  size_t row_bytes() const { return row_bytes_; }
+  size_t rows_per_page() const { return rows_per_page_; }
+
+  Status Append(const void* row);
+  Status CopyRow(size_t idx, void* out) const;
+  /// Overwrites row `idx` in place (relocating its page first if sealed).
+  Status WriteRow(size_t idx, const void* row);
+  /// Drops the last row (the Relation's swap-remove has already copied it
+  /// wherever it needs to live).
+  Status PopBack();
+  /// Frees every page (pending) and resets to zero rows.
+  Status Clear();
+
+  /// Marks every page sealed. Called by the checkpoint after the buffer pool
+  /// flushed — from here on, writes relocate instead of mutating.
+  void SealAll();
+  /// Adopts a page chain recovered from a checkpoint (all pages sealed).
+  void Restore(std::vector<PageId> chain, size_t num_rows);
+  const std::vector<PageId>& chain() const { return chain_; }
+  const std::shared_ptr<TableSpace>& space() const { return space_; }
+
+  /// Largest row that fits the page format.
+  static bool RowFits(size_t row_bytes) {
+    return row_bytes > 0 && row_bytes + 2 <= kPageSize - kPageHeaderSize;
+  }
+
+ private:
+  /// Relocates sealed page chain_[chain_idx] to a fresh writable page.
+  Status Cow(size_t chain_idx);
+  /// Pins chain_[chain_idx], relocating first when a write is intended.
+  Result<BufferPool::Frame*> PinForWrite(size_t chain_idx);
+
+  std::shared_ptr<TableSpace> space_;
+  size_t row_bytes_;
+  size_t rows_per_page_;
+  std::vector<PageId> chain_;
+  std::vector<bool> sealed_;  // parallel to chain_
+  size_t num_rows_ = 0;
+};
+
+}  // namespace factlog::storage
+
+#endif  // FACTLOG_STORAGE_PAGED_STORE_H_

@@ -1,0 +1,68 @@
+// PageFile: a single flat file of kPageSize pages with a free list.
+//
+// The file carries no superblock — which pages are live (row-store chains)
+// and which are free is recorded in the checkpoint meta file, so a torn page
+// write can never corrupt bookkeeping that the meta file still describes.
+// Allocation is free-list-first, then file extension. Pages freed during an
+// epoch join a *pending* free list that becomes allocatable only after the
+// next checkpoint commits: until then the old checkpoint may still reference
+// them (shadow paging — see paged_store.h).
+
+#ifndef FACTLOG_STORAGE_PAGER_H_
+#define FACTLOG_STORAGE_PAGER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace factlog::storage {
+
+class PageFile {
+ public:
+  PageFile() = default;
+  ~PageFile();
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  /// Opens (creating when absent) the page file at `path`.
+  Status Open(const std::string& path);
+  void Close();
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Allocates a page id: reuses the free list, else extends the file.
+  PageId Allocate();
+  /// Returns `page` to the pending free list (allocatable after the next
+  /// checkpoint publishes — the current checkpoint may still reference it).
+  void FreePending(PageId page);
+  /// Moves every pending-free page onto the allocatable free list. Called
+  /// after a checkpoint commits (rename of the meta file), when no durable
+  /// state references them anymore.
+  void PublishPendingFrees();
+
+  Status ReadPage(PageId page, uint8_t* buf) const;
+  Status WritePage(PageId page, const uint8_t* buf);
+  Status Sync();
+
+  PageId num_pages() const;
+  std::vector<PageId> free_list() const;
+  /// Restores allocator state from a checkpoint meta file.
+  void RestoreAllocator(PageId num_pages, std::vector<PageId> free_list);
+
+ private:
+  int fd_ = -1;
+  // Guards the allocator (num_pages_, free lists). Row-store destructors may
+  // return pages from reader threads while the epoch writer allocates. Page
+  // I/O itself is pread/pwrite and needs no lock.
+  mutable std::mutex mu_;
+  PageId num_pages_ = 0;
+  std::vector<PageId> free_;
+  std::vector<PageId> pending_free_;
+};
+
+}  // namespace factlog::storage
+
+#endif  // FACTLOG_STORAGE_PAGER_H_

@@ -1,0 +1,101 @@
+// Little-endian binary serialization helpers shared by the WAL record
+// encoding and the checkpoint meta file. Fixed-width fields via memcpy (the
+// supported targets are little-endian; a byte-swapping port would live here
+// and nowhere else).
+//
+// BinReader is forgiving by design: out-of-bounds reads return zero values
+// and latch ok() to false, so decoding a truncated or corrupted buffer walks
+// off cleanly and the caller checks ok() once at the end.
+
+#ifndef FACTLOG_STORAGE_SERDE_H_
+#define FACTLOG_STORAGE_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace factlog::storage {
+
+class BinWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) { Fixed(&v, sizeof(v)); }
+  void U64(uint64_t v) { Fixed(&v, sizeof(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void Bytes(const void* data, size_t len) {
+    buf_.append(static_cast<const char*>(data), len);
+  }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    buf_.append(s);
+  }
+
+  const std::string& str() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  void Fixed(const void* v, size_t n) {
+    buf_.append(static_cast<const char*>(v), n);
+  }
+  std::string buf_;
+};
+
+class BinReader {
+ public:
+  BinReader(const void* data, size_t len)
+      : p_(static_cast<const uint8_t*>(data)), len_(len) {}
+
+  uint8_t U8() {
+    uint8_t v = 0;
+    Fixed(&v, sizeof(v));
+    return v;
+  }
+  uint32_t U32() {
+    uint32_t v = 0;
+    Fixed(&v, sizeof(v));
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    Fixed(&v, sizeof(v));
+    return v;
+  }
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  int32_t I32() { return static_cast<int32_t>(U32()); }
+  std::string Str() {
+    uint32_t n = U32();
+    if (n > len_ - pos_) {  // pos_ <= len_ always holds
+      ok_ = false;
+      return std::string();
+    }
+    std::string s(reinterpret_cast<const char*>(p_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == len_; }
+  size_t pos() const { return pos_; }
+
+ private:
+  void Fixed(void* out, size_t n) {
+    if (n > len_ - pos_) {
+      ok_ = false;
+      return;
+    }
+    std::memcpy(out, p_ + pos_, n);
+    pos_ += n;
+  }
+
+  const uint8_t* p_;
+  size_t len_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace factlog::storage
+
+#endif  // FACTLOG_STORAGE_SERDE_H_

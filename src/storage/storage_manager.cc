@@ -1,0 +1,132 @@
+#include "storage/storage_manager.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "storage/log_records.h"
+
+namespace factlog::storage {
+
+namespace {
+
+/// Framed size on disk of a record with `payload_len` payload bytes.
+uint64_t FrameBytes(size_t payload_len) { return 4 + 1 + payload_len + 4; }
+
+}  // namespace
+
+Result<std::unique_ptr<StorageManager>> StorageManager::Open(
+    const Options& options) {
+  if (options.dir.empty()) {
+    return Status::Invalid("storage directory path is empty");
+  }
+  if (::mkdir(options.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Internal("mkdir '" + options.dir +
+                            "': " + std::strerror(errno));
+  }
+  auto mgr = std::unique_ptr<StorageManager>(new StorageManager());
+  mgr->dir_ = options.dir;
+  mgr->space_ = std::make_shared<TableSpace>(options.frame_budget);
+  FACTLOG_RETURN_IF_ERROR(mgr->space_->file.Open(options.dir + "/pages.db"));
+
+  auto meta = ReadCheckpointMeta(options.dir + "/meta.db");
+  if (meta.ok()) {
+    mgr->meta_ = std::move(meta).value();
+    mgr->has_checkpoint_ = true;
+    mgr->last_committed_epoch_ = mgr->meta_.epoch;
+    mgr->space_->file.RestoreAllocator(mgr->meta_.num_pages,
+                                       mgr->meta_.free_list);
+  } else if (meta.status().code() != StatusCode::kNotFound) {
+    return meta.status();
+  }
+
+  // Keep only the committed prefix of the WAL: records after the last commit
+  // were in flight when the process died and their epoch never became
+  // durable. `committed_bytes` is where the writer resumes appending.
+  std::vector<WalRecord> records;
+  uint64_t valid_bytes = 0;
+  FACTLOG_RETURN_IF_ERROR(
+      ReadWal(options.dir + "/wal.log", &records, &valid_bytes));
+  size_t committed_count = 0;
+  uint64_t committed_bytes = 0;
+  uint64_t offset = 0;
+  for (size_t i = 0; i < records.size(); ++i) {
+    offset += FrameBytes(records[i].payload.size());
+    if (records[i].type == WalRecordType::kCommit) {
+      committed_count = i + 1;
+      committed_bytes = offset;
+      uint64_t epoch = 0;
+      if (DecodeCommitRecord(records[i].payload.data(),
+                             records[i].payload.size(), &epoch)) {
+        mgr->last_committed_epoch_ =
+            std::max(mgr->last_committed_epoch_, epoch);
+      }
+    }
+  }
+  records.resize(committed_count);
+  mgr->recovered_records_ = std::move(records);
+  mgr->records_replayed_ = mgr->recovered_records_.size();
+  FACTLOG_RETURN_IF_ERROR(
+      mgr->wal_.Open(options.dir + "/wal.log", committed_bytes));
+  return mgr;
+}
+
+void StorageManager::DiscardRecoveryState() {
+  recovered_records_.clear();
+  recovered_records_.shrink_to_fit();
+  meta_.values.clear();
+  meta_.views.clear();
+  meta_.plans.clear();
+  meta_.relations.clear();
+}
+
+Status StorageManager::LogFact(bool insert, const ast::Atom& fact) {
+  ++records_logged_;
+  return wal_.Append(
+      insert ? WalRecordType::kAddFact : WalRecordType::kRemoveFact,
+      EncodeFactRecord(fact));
+}
+
+Status StorageManager::CommitEpoch(uint64_t epoch) {
+  if (wal_.pending_records() == 0) return Status::OK();
+  FACTLOG_RETURN_IF_ERROR(wal_.Commit(epoch));
+  last_committed_epoch_ = epoch;
+  return Status::OK();
+}
+
+Status StorageManager::Checkpoint(CheckpointMeta meta) {
+  // 1. Every page the meta will reference must be durable first.
+  FACTLOG_RETURN_IF_ERROR(space_->pool.FlushAll());
+  // 2. Atomically switch the catalog. A crash before the rename leaves the
+  //    old meta + old pages + full WAL: exactly the pre-checkpoint state.
+  meta.num_pages = space_->file.num_pages();
+  meta.free_list = space_->file.free_list();
+  FACTLOG_RETURN_IF_ERROR(WriteCheckpointMeta(dir_ + "/meta.db", meta));
+  // 3. The WAL is now redundant (a crash between rename and reset replays it
+  //    over the new checkpoint — idempotent, fact-level records).
+  FACTLOG_RETURN_IF_ERROR(wal_.Reset());
+  // 4. Pages freed since the previous checkpoint are no longer referenced by
+  //    any durable meta: make them allocatable.
+  space_->file.PublishPendingFrees();
+  last_committed_epoch_ = meta.epoch;
+  ++checkpoints_;
+  return Status::OK();
+}
+
+StorageStats StorageManager::stats() const {
+  StorageStats s;
+  s.pool = space_->pool.stats();
+  s.wal_bytes = wal_.bytes();
+  s.wal_records_logged = records_logged_;
+  s.wal_records_replayed = records_replayed_;
+  s.last_committed_epoch = last_committed_epoch_;
+  s.checkpoints = checkpoints_;
+  s.num_pages = space_->file.num_pages();
+  s.free_pages = space_->file.free_list().size();
+  s.frame_budget = space_->pool.frame_budget();
+  return s;
+}
+
+}  // namespace factlog::storage

@@ -1,0 +1,109 @@
+// StorageManager: one database directory's persistence coordinator.
+//
+// Directory layout:
+//   <dir>/pages.db   slotted pages backing the base relations' row stores
+//   <dir>/meta.db    checkpoint meta (catalog, value store, views, plans)
+//   <dir>/wal.log    logical WAL since the last checkpoint
+//
+// Open() loads the last checkpoint's meta (if any) and the WAL's committed
+// prefix; the engine then restores its state from recovered_meta() and
+// replays recovered_records() through its normal mutation paths. The WAL
+// file is truncated to the committed prefix before new appends, so a torn
+// tail never precedes fresh records.
+//
+// Epochs: the engine batches mutations into epochs (one per serving install,
+// one per synchronous mutation otherwise) and calls CommitEpoch once per
+// batch — one fsync per epoch, the WAL-batching unit the shard seam already
+// defines. Checkpoint() flushes every dirty page, writes the meta file
+// atomically, resets the WAL, and only then publishes pending page frees
+// (shadow paging: until the rename commits, the previous checkpoint's pages
+// stay untouched on disk).
+
+#ifndef FACTLOG_STORAGE_STORAGE_MANAGER_H_
+#define FACTLOG_STORAGE_STORAGE_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ast/atom.h"
+#include "common/status.h"
+#include "storage/meta.h"
+#include "storage/paged_store.h"
+#include "storage/wal.h"
+
+namespace factlog::storage {
+
+struct StorageStats {
+  BufferPoolStats pool;
+  uint64_t wal_bytes = 0;
+  uint64_t wal_records_logged = 0;
+  uint64_t wal_records_replayed = 0;
+  uint64_t last_committed_epoch = 0;
+  uint64_t checkpoints = 0;
+  uint64_t num_pages = 0;
+  uint64_t free_pages = 0;
+  size_t frame_budget = 0;
+};
+
+class StorageManager {
+ public:
+  struct Options {
+    std::string dir;
+    /// Buffer-pool frames (pages held in memory at once).
+    size_t frame_budget = 1024;
+  };
+
+  /// Opens (creating when absent) the database directory: page file, last
+  /// checkpoint meta, and the WAL's committed prefix.
+  static Result<std::unique_ptr<StorageManager>> Open(const Options& options);
+
+  /// Whether Open found a checkpoint to restore from.
+  bool has_checkpoint() const { return has_checkpoint_; }
+  const CheckpointMeta& recovered_meta() const { return meta_; }
+  /// The committed WAL records to replay, in order (kCommit records
+  /// included, for epoch tracking).
+  const std::vector<WalRecord>& recovered_records() const {
+    return recovered_records_;
+  }
+  /// Drops the recovery buffers once the engine has replayed them.
+  void DiscardRecoveryState();
+
+  const std::shared_ptr<TableSpace>& tablespace() const { return space_; }
+
+  /// Appends one fact mutation to the WAL (no fsync; CommitEpoch flushes).
+  Status LogFact(bool insert, const ast::Atom& fact);
+  /// Commits the epoch: appends the commit record and fsyncs. No-op when
+  /// nothing was logged since the last commit (empty epochs cost nothing).
+  Status CommitEpoch(uint64_t epoch);
+  uint64_t last_committed_epoch() const { return last_committed_epoch_; }
+  /// Records logged since the last commit (the open epoch's size).
+  uint64_t pending_records() const { return wal_.pending_records(); }
+
+  /// Writes a checkpoint: flushes dirty pages, persists `meta` atomically
+  /// (its allocator fields are filled in here), resets the WAL, publishes
+  /// pending page frees. On return the WAL is empty and every page the new
+  /// meta references is durable.
+  Status Checkpoint(CheckpointMeta meta);
+
+  StorageStats stats() const;
+
+ private:
+  StorageManager() = default;
+
+  std::string dir_;
+  std::shared_ptr<TableSpace> space_;
+  WalWriter wal_;
+  CheckpointMeta meta_;
+  bool has_checkpoint_ = false;
+  std::vector<WalRecord> recovered_records_;
+  uint64_t last_committed_epoch_ = 0;
+  uint64_t records_logged_ = 0;
+  uint64_t records_replayed_ = 0;
+  uint64_t checkpoints_ = 0;
+};
+
+}  // namespace factlog::storage
+
+#endif  // FACTLOG_STORAGE_STORAGE_MANAGER_H_

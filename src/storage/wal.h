@@ -1,0 +1,70 @@
+// Write-ahead log: an append-only file of CRC-framed records.
+//
+// Framing per record:
+//   [u32 len] [u8 type] [payload: len-1 bytes] [u32 crc32 over type+payload]
+//
+// Durability contract: Append buffers in the OS (no fsync); Commit appends
+// the epoch's commit record and fsyncs once, making the whole epoch durable
+// with a single flush. Recovery (WalReader) accepts the longest prefix of
+// well-formed records and stops at the first truncated, oversized, or
+// CRC-mismatching record — everything after a torn write is garbage by
+// construction, never silently applied.
+
+#ifndef FACTLOG_STORAGE_WAL_H_
+#define FACTLOG_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/log_records.h"
+
+namespace factlog::storage {
+
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens `path` for appending, first truncating it to `valid_bytes` —
+  /// recovery's committed prefix — so a torn tail never precedes new records.
+  Status Open(const std::string& path, uint64_t valid_bytes);
+  void Close();
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Appends one framed record (no fsync).
+  Status Append(WalRecordType type, const std::string& payload);
+  /// Appends a commit record for `epoch` and fsyncs the log.
+  Status Commit(uint64_t epoch);
+  /// Truncates the log to empty (after a checkpoint made it redundant).
+  Status Reset();
+
+  /// Current log size in bytes.
+  uint64_t bytes() const { return bytes_; }
+  /// Records appended since the last Commit/Reset.
+  uint64_t pending_records() const { return pending_; }
+
+ private:
+  int fd_ = -1;
+  uint64_t bytes_ = 0;
+  uint64_t pending_ = 0;
+};
+
+struct WalRecord {
+  WalRecordType type;
+  std::string payload;
+};
+
+/// Reads a WAL file into records. `valid_bytes` is the offset just past the
+/// last well-formed record (the reader stops there); `records` holds every
+/// well-formed record in order, committed or not — the caller applies only
+/// the prefix up to the last kCommit.
+Status ReadWal(const std::string& path, std::vector<WalRecord>* records,
+               uint64_t* valid_bytes);
+
+}  // namespace factlog::storage
+
+#endif  // FACTLOG_STORAGE_WAL_H_
