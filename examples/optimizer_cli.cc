@@ -21,13 +21,19 @@
 //
 // --incremental (requires --facts) materializes the query as a live view and
 // reads update commands from stdin, maintaining the answers with delta-sized
-// work (counting / DRed) instead of re-running the fixpoint:
+// work (counting / derivation-edge slices / DRed fallback) instead of
+// re-running the fixpoint:
 //
 //   +e(1, 5).      insert a fact
 //   -e(1, 2).      remove a fact
+//   why t(1, 5).   print a derivation tree for a maintained fact, read off
+//                  the view's derivation edge store (EDB and
+//                  counting-maintained facts print as annotated leaves)
 //   ?              print the current answers
-//   stats          print maintenance counters (and storage counters with
-//                  --db: buffer-pool hit rate, dirty pages, WAL bytes)
+//   stats          print maintenance counters — cumulative, edge-store
+//                  gauges, and the per-update `last update` snapshot (cone
+//                  sizes of the most recent delta) — plus storage counters
+//                  with --db: buffer-pool hit rate, dirty pages, WAL bytes
 //   checkpoint     (--db only) flush pages, persist the catalog, reset the
 //                  WAL
 //
@@ -76,6 +82,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <fstream>
 #include <iostream>
@@ -86,6 +93,7 @@
 #include "api/engine.h"
 #include "ast/parser.h"
 #include "core/pipeline.h"
+#include "inc/incremental.h"
 #include "plan/join_plan.h"
 
 namespace {
@@ -170,9 +178,78 @@ int RunIncremental(factlog::api::Engine* engine,
                 << stats->idb_inserted << " -" << stats->idb_deleted
                 << "; support updates " << stats->support_updates
                 << "; overdeleted " << stats->overdeleted << ", rederived "
-                << stats->rederived << "; " << stats->delta_passes
-                << " delta passes\n";
+                << stats->rederived << "; cone " << stats->cone_input
+                << " in / " << stats->cone_pruned << " pruned; "
+                << stats->delta_passes << " delta passes\n";
+      std::cout << "% edges: "
+                << (stats->edge_store_active
+                        ? std::to_string(stats->edge_store_edges) +
+                              " derivations over " +
+                              std::to_string(stats->edge_store_facts) +
+                              " facts (+" +
+                              std::to_string(stats->edges_added) + " -" +
+                              std::to_string(stats->edges_removed) + ")"
+                        : std::string(stats->edge_store_dropped
+                                          ? "store dropped over budget "
+                                            "(DRed fallback)"
+                                          : "not tracked"))
+                << "\n";
+      const factlog::inc::ViewUpdateStats& lu = stats->last_update;
+      std::cout << "% last update: IDB +" << lu.idb_inserted << " -"
+                << lu.idb_deleted << "; cone " << lu.cone_input << " in / "
+                << lu.cone_pruned << " pruned / " << lu.overdeleted
+                << " deleted; edges +" << lu.edges_added << " -"
+                << lu.edges_removed << "\n";
       if (engine->persistent()) PrintStorageStats(engine, std::cout);
+      continue;
+    }
+    if (cmd.rfind("why ", 0) == 0) {
+      std::string text = cmd.substr(4);
+      size_t b = text.find_first_not_of(" \t");
+      text = b == std::string::npos ? std::string() : text.substr(b);
+      if (!text.empty() && text.back() == '.') text.pop_back();
+      auto fact = ast::ParseAtom(text);
+      if (!fact.ok()) return Fail(fact.status());
+      // The pipeline usually rewrites the query predicate (magic/factoring);
+      // when the asked fact uses the original query predicate, rebind the
+      // compiled query atom with its constants so `why t(1, 4).` explains
+      // the maintained fact behind that answer.
+      ast::Atom target = *fact;
+      const inc::MaterializedView* v = engine->view(*handle);
+      if (v != nullptr && v->Find(fact->predicate()) == nullptr &&
+          fact->predicate() == query.predicate() &&
+          v->program().query().has_value() &&
+          v->program().query()->predicate() != fact->predicate()) {
+        std::map<std::string, ast::Term> bind;
+        bool ok = fact->arity() == query.arity();
+        for (size_t i = 0; ok && i < query.arity(); ++i) {
+          const ast::Term& qa = query.args()[i];
+          if (qa.IsVariable()) {
+            bind.emplace(qa.var_name(), fact->args()[i]);
+          } else {
+            ok = qa == fact->args()[i];
+          }
+        }
+        const ast::Atom& vq = *v->program().query();
+        std::vector<ast::Term> args;
+        for (size_t i = 0; ok && i < vq.arity(); ++i) {
+          const ast::Term& t = vq.args()[i];
+          if (!t.IsVariable()) {
+            args.push_back(t);
+            continue;
+          }
+          auto it = bind.find(t.var_name());
+          if (it == bind.end()) {
+            ok = false;
+            break;
+          }
+          args.push_back(it->second);
+        }
+        if (ok) target = ast::Atom(vq.predicate(), std::move(args));
+      }
+      auto tree = engine->ExplainFromView(*handle, target);
+      if (!tree.ok()) return Fail(tree.status());
+      std::cout << *tree;
       continue;
     }
     if (cmd == "checkpoint") {
@@ -192,8 +269,8 @@ int RunIncremental(factlog::api::Engine* engine,
       continue;
     }
     if (cmd.size() < 2 || (cmd[0] != '+' && cmd[0] != '-')) {
-      std::cerr << "error: expected '+fact.', '-fact.', '?', 'stats', or "
-                   "'checkpoint', got: " << cmd << "\n";
+      std::cerr << "error: expected '+fact.', '-fact.', 'why <fact>.', '?', "
+                   "'stats', or 'checkpoint', got: " << cmd << "\n";
       return StatusCodeToExitCode(StatusCode::kInvalidArgument);
     }
     bool insert = cmd[0] == '+';

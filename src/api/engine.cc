@@ -493,6 +493,7 @@ inc::IncrementalOptions Engine::MakeIncOptions() {
   iopts.eval.track_provenance = false;  // views do not maintain provenance
   iopts.pool = EnsurePool();
   iopts.min_rows_to_partition = options_.inc_min_rows_to_partition;
+  iopts.max_derivation_edges = options_.inc_max_derivation_edges;
   return iopts;
 }
 
@@ -577,6 +578,18 @@ Result<inc::ViewStats> Engine::ViewStatsFor(const ViewHandle& handle) const {
     return Status::NotFound("no materialized view for handle");
   }
   return it->second->stats();
+}
+
+Result<std::string> Engine::ExplainFromView(const ViewHandle& handle,
+                                            const ast::Atom& fact) {
+  // Explain interns the fact's constants (thread-safe store) and reads the
+  // maintained state; serialize against propagation like every view access.
+  std::lock_guard<std::mutex> lock(view_mu_);
+  auto it = views_.find(handle.key);
+  if (it == views_.end()) {
+    return Status::NotFound("no materialized view for handle");
+  }
+  return it->second->Explain(fact);
 }
 
 void Engine::DropView(const ViewHandle& handle) {

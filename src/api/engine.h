@@ -122,6 +122,11 @@ struct EngineOptions {
   /// and at least this many rows fan out across the pool (see
   /// inc::IncrementalOptions::min_rows_to_partition).
   size_t inc_min_rows_to_partition = 64;
+  /// Incremental maintenance: derivation-edge budget per view for
+  /// slice-guided deletion in recursive SCCs (see
+  /// inc::IncrementalOptions::max_derivation_edges). Views whose hypergraph
+  /// would exceed it fall back to classic DRed; 0 disables edge tracking.
+  uint64_t inc_max_derivation_edges = uint64_t{1} << 22;
   /// Database directory for disk-backed persistence. Filled in by
   /// Engine::Open — constructing an Engine directly leaves the engine fully
   /// in-memory regardless of this field.
@@ -319,8 +324,14 @@ class Engine {
                                  Strategy strategy = Strategy::kAuto);
   /// Answers directly from a materialized view.
   Result<eval::AnswerSet> AnswerFromView(const ViewHandle& handle);
-  /// Maintenance counters of a view.
+  /// Maintenance counters of a view (cumulative plus the `last_update`
+  /// snapshot of the most recent propagation).
   Result<inc::ViewStats> ViewStatsFor(const ViewHandle& handle) const;
+  /// Renders the derivation tree of a ground fact from the view's edge
+  /// store ("why <fact>"): recursive facts expand through a recorded
+  /// derivation, EDB and counting-maintained facts print as leaves.
+  Result<std::string> ExplainFromView(const ViewHandle& handle,
+                                      const ast::Atom& fact);
   /// The live view for `handle` (nullptr when dropped). Read-only
   /// introspection; answering queries should go through Query/AnswerFromView
   /// so the evaluation-epoch guard applies.

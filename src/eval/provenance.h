@@ -4,11 +4,24 @@
 // the body facts of the first instantiation that derived it. From this a
 // derivation tree can be reconstructed: EDB facts are leaves (clause (1) of
 // Def. 2.1), rule instantiations are internal nodes (clause (2)).
+//
+// DerivationEdgeStore is the incremental-maintenance variant: instead of one
+// justification per fact it keeps the *complete* derivation hypergraph of the
+// recursive predicates of a materialized view — every edge (head :- premises)
+// that currently holds, deduplicated, with per-fact adjacency in both
+// directions. Deletion then propagates along actual derivation edges instead
+// of over-deleting everything reachable, and `why` queries can print a tree
+// for any maintained fact. Memory is bounded: fact rows are interned once and
+// ref-counted by the edges touching them (nodes free as their last edge
+// goes), and a hard edge budget lets the owner drop the store and fall back
+// to derivation-free maintenance.
 
 #ifndef FACTLOG_EVAL_PROVENANCE_H_
 #define FACTLOG_EVAL_PROVENANCE_H_
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -38,6 +51,126 @@ class ProvenanceStore {
   std::unordered_map<FactKey, Justification, FactKeyHash> map_;
 };
 
+/// The complete derivation hypergraph of one materialized view's recursive
+/// predicates. Facts (both heads and premises, EDB or IDB) are interned to
+/// dense 32-bit ids; each edge records its rule and premise facts and is
+/// linked into the head's derivation list and every premise's uses list (one
+/// entry per premise occurrence, so repeated premises stay symmetric with
+/// the per-occurrence counters deletion keeps). Not thread-safe: single
+/// writer, like the view that owns it.
+class DerivationEdgeStore {
+ public:
+  using FactId = uint32_t;
+  using EdgeId = uint32_t;
+  static constexpr FactId kNoFact = 0xffffffffu;
+
+  explicit DerivationEdgeStore(uint64_t max_edges) : max_edges_(max_edges) {}
+
+  // -- facts ---------------------------------------------------------------
+
+  /// Interns (predicate, row); returns the existing id when already known.
+  FactId InternFact(std::string_view pred, const ValueId* row, size_t arity);
+  /// Lookup without interning; kNoFact when the store never saw the fact.
+  FactId FindFact(std::string_view pred, const ValueId* row,
+                  size_t arity) const;
+
+  const std::string& pred_of(FactId f) const {
+    return pred_names_[facts_[f].pred];
+  }
+  /// Well-founded derivation rank: 0 for given facts (no derivations in the
+  /// store), and for derived facts an upper bound on the minimal derivation
+  /// height. The owner maintains the invariant that every alive derived fact
+  /// has at least one derivation whose premises all have strictly smaller
+  /// rank — the "supporting" derivations counting-based deletion counts.
+  uint32_t rank_of(FactId f) const { return facts_[f].rank; }
+  void set_rank(FactId f, uint32_t r) { facts_[f].rank = r; }
+  /// Recomputes every live fact's rank as its exact minimal derivation
+  /// height (Knuth's shortest-hyperpath, O(E log V)). Facts with no
+  /// grounded derivation — which a well-founded state never holds — get the
+  /// maximum rank so they count as unsupported.
+  void RecomputeRanks();
+  /// Dense predicate id (index into a per-store name table), for cheap
+  /// membership tests during slice computation. -1 when never interned.
+  int PredId(std::string_view pred) const;
+  uint32_t pred_id_of(FactId f) const { return facts_[f].pred; }
+  const std::vector<ValueId>& row_of(FactId f) const { return facts_[f].row; }
+  /// Edges this fact is the head of. Empty for EDB facts (and freed slots).
+  const std::vector<EdgeId>& derivations_of(FactId f) const {
+    return facts_[f].derivs;
+  }
+  /// Edges this fact is a premise of, one entry per occurrence.
+  const std::vector<EdgeId>& uses_of(FactId f) const {
+    return facts_[f].uses;
+  }
+
+  // -- edges ---------------------------------------------------------------
+
+  /// Adds the derivation (head :- premises) via `rule_index`, deduplicated
+  /// against the head's existing derivations. Returns true when new.
+  bool AddEdge(FactId head, int rule_index,
+               const std::vector<FactId>& premises);
+  /// Unlinks the edge from its head and premises and frees any fact node
+  /// left with neither derivations nor uses. No-op on already-removed ids.
+  void RemoveEdge(EdgeId e);
+
+  FactId head_of(EdgeId e) const { return edges_[e].head; }
+  int rule_of(EdgeId e) const { return edges_[e].rule; }
+  const std::vector<FactId>& premises_of(EdgeId e) const {
+    return edges_[e].premises;
+  }
+
+  // -- sizing --------------------------------------------------------------
+
+  /// True once the live edge count ever exceeded the construction budget;
+  /// the owner is expected to drop the store (it may be missing edges that
+  /// were rejected).
+  bool over_budget() const { return over_budget_; }
+  /// Upper bound (exclusive) on live fact ids — side arrays indexed by
+  /// FactId can be sized with this.
+  size_t fact_capacity() const { return facts_.size(); }
+  uint64_t num_facts() const { return num_facts_; }
+  uint64_t num_edges() const { return num_edges_; }
+  uint64_t edges_added() const { return edges_added_; }
+  uint64_t edges_removed() const { return edges_removed_; }
+
+ private:
+  struct FactNode {
+    uint32_t pred = 0;
+    uint32_t rank = 0;
+    std::vector<ValueId> row;
+    std::vector<EdgeId> derivs;
+    std::vector<EdgeId> uses;
+    bool live = false;
+  };
+  struct EdgeNode {
+    FactId head = kNoFact;
+    int rule = -1;
+    uint64_t sig = 0;  // hash of (rule, premises) for cheap dedup compares
+    std::vector<FactId> premises;
+    bool live = false;
+  };
+
+  size_t FactHash(uint32_t pred, const ValueId* row, size_t arity) const;
+  void FreeFactIfOrphaned(FactId f);
+
+  uint64_t max_edges_;
+  bool over_budget_ = false;
+  uint64_t num_facts_ = 0;
+  uint64_t num_edges_ = 0;
+  uint64_t edges_added_ = 0;
+  uint64_t edges_removed_ = 0;
+
+  std::vector<std::string> pred_names_;
+  std::unordered_map<std::string, uint32_t> pred_ids_;
+  std::vector<FactNode> facts_;
+  std::vector<FactId> free_facts_;
+  std::vector<EdgeNode> edges_;
+  std::vector<EdgeId> free_edges_;
+  /// hash(pred, row) -> candidate fact ids, the same bucketed layout the
+  /// Relation dedup table uses.
+  std::unordered_map<size_t, std::vector<FactId>> fact_index_;
+};
+
 /// A derivation tree per Definition 2.1. `rule_index` is -1 for leaves
 /// (EDB facts or program facts with empty bodies).
 struct DerivationTree {
@@ -54,6 +187,13 @@ struct DerivationTree {
 /// Reconstructs the derivation tree rooted at `fact`. Facts without a
 /// recorded justification become leaves.
 DerivationTree BuildDerivationTree(const ProvenanceStore& store,
+                                   const FactKey& fact);
+
+/// Reconstructs a derivation tree from the edge store, expanding each fact
+/// through its first recorded derivation. Facts already on the path from the
+/// root (recursive SCCs can hold cyclic support) become leaves, so the tree
+/// is always finite even though the hypergraph is not acyclic.
+DerivationTree BuildDerivationTree(const DerivationEdgeStore& store,
                                    const FactKey& fact);
 
 /// Renders a tree, one node per line, indented; facts printed via `store`.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <functional>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "ast/special_predicates.h"
@@ -17,9 +19,27 @@ using eval::JoinStats;
 using eval::LitKind;
 using eval::Relation;
 using eval::RelationView;
+using eval::DerivationEdgeStore;
 using eval::ValueId;
 
 }  // namespace
+
+ViewUpdateStats ViewUpdateStats::Since(const ViewUpdateStats& before) const {
+  ViewUpdateStats d;
+  d.inserts_applied = inserts_applied - before.inserts_applied;
+  d.deletes_applied = deletes_applied - before.deletes_applied;
+  d.idb_inserted = idb_inserted - before.idb_inserted;
+  d.idb_deleted = idb_deleted - before.idb_deleted;
+  d.support_updates = support_updates - before.support_updates;
+  d.overdeleted = overdeleted - before.overdeleted;
+  d.rederived = rederived - before.rederived;
+  d.delta_passes = delta_passes - before.delta_passes;
+  d.cone_input = cone_input - before.cone_input;
+  d.cone_pruned = cone_pruned - before.cone_pruned;
+  d.edges_added = edges_added - before.edges_added;
+  d.edges_removed = edges_removed - before.edges_removed;
+  return d;
+}
 
 // ---------------------------------------------------------------- building --
 
@@ -230,6 +250,10 @@ Status MaterializedView::Init(const std::vector<ViewPredState>* restore) {
     }
   }
 
+  // Derivation edges are never persisted (checkpoints dump rows, not the
+  // hypergraph), so both Build and Restore run the same full-sweep rebuild.
+  FACTLOG_RETURN_IF_ERROR(RebuildDerivationEdges());
+
   // A restored view carries exact dumped counts; rebuilding would require
   // re-joining and defeat the point of persisting the view.
   if (restore != nullptr) return Status::OK();
@@ -321,6 +345,98 @@ Status MaterializedView::RebuildSupportCounts() {
   return Status::OK();
 }
 
+Status MaterializedView::RebuildDerivationEdges() {
+  bool any_recursive = false;
+  for (const auto& [pred, info] : pred_info_) {
+    if (info.recursive) any_recursive = true;
+  }
+  if (!any_recursive || opts_.max_derivation_edges == 0) return Status::OK();
+  edges_ = std::make_unique<DerivationEdgeStore>(opts_.max_derivation_edges);
+  edges_overflowed_ = false;
+  // Every instantiation of every recursive-head rule over the final state is
+  // exactly one edge of the complete derivation hypergraph (the fixpoint
+  // guarantees all premises and heads are present).
+  for (const auto& [pred, info] : pred_info_) {
+    if (!info.recursive) continue;
+    for (size_t ri : info.rules) {
+      const CompiledRule& rule = rules_[ri];
+      std::vector<RelationView> views;
+      views.reserve(rule.body().size());
+      for (const CompiledAtom& lit : rule.body()) {
+        views.push_back(lit.kind == LitKind::kRelation
+                            ? RelationView{CurrentRel(lit.predicate), nullptr}
+                            : RelationView{});
+      }
+      JoinStats js;
+      const std::string& p = pred;
+      FACTLOG_RETURN_IF_ERROR(EnumerateRule(
+          rule, &db_->store(), views, /*track_premises=*/true, &js,
+          [&](const std::vector<ValueId>& row,
+              const std::vector<eval::FactKey>* premises) {
+            RecordEdge(p, row, ri, premises);
+            return true;
+          }));
+      if (edges_overflowed_) break;
+    }
+    if (edges_overflowed_) break;
+  }
+  // The ranks RecordEdge assigned during the sweep reflect enumeration
+  // order, not derivation height — replace them with the exact minimal
+  // heights so the supporting-derivation invariant holds from the start.
+  if (!edges_overflowed_) edges_->RecomputeRanks();
+  SettleEdgeStore();
+  return Status::OK();
+}
+
+void MaterializedView::RecordEdge(const std::string& pred,
+                                  const std::vector<ValueId>& row,
+                                  size_t rule_index,
+                                  const std::vector<eval::FactKey>* premises) {
+  if (edges_ == nullptr || edges_overflowed_ || premises == nullptr) return;
+  DerivationEdgeStore::FactId head =
+      edges_->InternFact(pred, row.data(), row.size());
+  std::vector<DerivationEdgeStore::FactId> prems;
+  prems.reserve(premises->size());
+  for (const eval::FactKey& pk : *premises) {
+    prems.push_back(edges_->InternFact(pk.predicate, pk.row.data(),
+                                       pk.row.size()));
+  }
+  if (edges_->AddEdge(head, static_cast<int>(rule_index), prems) &&
+      edges_->derivations_of(head).size() == 1) {
+    // First derivation of a newly derived fact: its rank is one above its
+    // premises', keeping every alive fact with at least one derivation whose
+    // premises all rank strictly lower (what deletion counts as support).
+    // Alternate derivations of known facts leave the rank untouched.
+    uint64_t max_rank = 0;
+    for (DerivationEdgeStore::FactId p : prems) {
+      max_rank = std::max<uint64_t>(max_rank, edges_->rank_of(p));
+    }
+    edges_->set_rank(head,
+                     static_cast<uint32_t>(std::min<uint64_t>(
+                         max_rank + 1, 0xffffffffu)));
+  }
+  if (edges_->over_budget()) edges_overflowed_ = true;
+}
+
+void MaterializedView::SettleEdgeStore() {
+  if (edges_ != nullptr && edges_overflowed_) {
+    // The store may be missing edges rejected over budget — an incomplete
+    // hypergraph would under-delete, so it is unusable from here on.
+    edges_.reset();
+    stats_.edge_store_dropped = true;
+  }
+  stats_.edge_store_active = edges_ != nullptr;
+  if (edges_ != nullptr) {
+    stats_.edge_store_facts = edges_->num_facts();
+    stats_.edge_store_edges = edges_->num_edges();
+    stats_.edges_added = edges_->edges_added();
+    stats_.edges_removed = edges_->edges_removed();
+  } else {
+    stats_.edge_store_facts = 0;
+    stats_.edge_store_edges = 0;
+  }
+}
+
 // ----------------------------------------------------------------- queries --
 
 Result<eval::AnswerSet> MaterializedView::Answer(const ast::Atom& query) {
@@ -330,6 +446,52 @@ Result<eval::AnswerSet> MaterializedView::Answer(const ast::Atom& query) {
         "and re-materialize");
   }
   return eval::ExtractAnswers(query, &result_, db_);
+}
+
+Result<std::string> MaterializedView::Explain(const ast::Atom& fact) {
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "materialized view poisoned by an earlier failed propagation; drop "
+        "and re-materialize");
+  }
+  for (const ast::Term& t : fact.args()) {
+    if (!t.IsGround()) {
+      return Status::Invalid("why needs a ground fact, got variable in '" +
+                             fact.ToString() + "'");
+    }
+  }
+  FACTLOG_ASSIGN_OR_RETURN(std::vector<ValueId> row, db_->InternRow(fact));
+  const std::string& pred = fact.predicate();
+  Relation* rel = CurrentRel(pred);
+  auto render = [&](const std::string& suffix) {
+    std::string out = fact.predicate() + "(";
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += db_->store().ToString(row[i]);
+    }
+    out += ")" + suffix + "\n";
+    return out;
+  };
+  if (rel == nullptr || !rel->Contains(row.data())) {
+    return render("   [not in the current state]");
+  }
+  if (edges_ != nullptr) {
+    eval::FactKey key{pred, row};
+    if (edges_->FindFact(pred, row.data(), row.size()) !=
+        DerivationEdgeStore::kNoFact) {
+      return DerivationTreeToString(BuildDerivationTree(*edges_, key),
+                                    db_->store());
+    }
+  }
+  if (!IsIdb(pred)) return render("   [EDB fact]");
+  if (!pred_info_.at(pred).recursive) {
+    return render("   [" + std::to_string(rel->SupportOf(row.data())) +
+                  " derivation(s), counting-maintained]");
+  }
+  // Recursive fact unknown to the store: either edge tracking is off/dropped
+  // or the fact has no recorded derivation (a program fact).
+  return render(edges_ == nullptr ? "   [derivation edges not tracked]"
+                                  : "   [no recorded derivation]");
 }
 
 std::shared_ptr<eval::Relation> MaterializedView::FrozenAnswer() {
@@ -421,7 +583,7 @@ bool MaterializedView::PreparePass(size_t rule_index,
 Status MaterializedView::RunPassCollect(size_t rule_index,
                                         std::vector<RelationView> views,
                                         size_t occ, const Relation* delta,
-                                        const RowSink& apply) {
+                                        bool premises, const RowSink& apply) {
   if (delta == nullptr || delta->empty()) return Status::OK();
   ++stats_.delta_passes;
   const CompiledRule& rule = rules_[rule_index];
@@ -429,16 +591,19 @@ Status MaterializedView::RunPassCollect(size_t rule_index,
     views[occ] = RelationView{const_cast<Relation*>(delta), nullptr};
     JoinStats js;
     return EnumerateRule(
-        rule, &db_->store(), views, /*track_premises=*/false, &js,
-        [&](const std::vector<ValueId>& row, const std::vector<eval::FactKey>*) {
-          apply(row);
+        rule, &db_->store(), views, premises, &js,
+        [&](const std::vector<ValueId>& row,
+            const std::vector<eval::FactKey>* prem) {
+          apply(row, prem);
           return true;
         });
   }
-  // One task per delta shard; workers only collect (multiplicity preserved),
-  // the calling thread applies, so sinks stay free of synchronization.
+  // One task per delta shard; workers only collect (multiplicity preserved,
+  // premises carried by value when the pass tracks them), the calling thread
+  // applies, so sinks stay free of synchronization.
   const size_t shards = delta->shard_count();
   std::vector<std::vector<std::vector<ValueId>>> collected(shards);
+  std::vector<std::vector<std::vector<eval::FactKey>>> collected_prem(shards);
   std::vector<Status> statuses(shards, Status::OK());
   opts_.pool->ParallelFor(shards, [&](size_t s) {
     const Relation& extent = delta->shard(s);
@@ -448,15 +613,20 @@ Status MaterializedView::RunPassCollect(size_t rule_index,
                                /*shared=*/true};
     JoinStats js;
     statuses[s] = EnumerateRule(
-        rule, &db_->store(), wviews, /*track_premises=*/false, &js,
-        [&](const std::vector<ValueId>& row, const std::vector<eval::FactKey>*) {
+        rule, &db_->store(), wviews, premises, &js,
+        [&](const std::vector<ValueId>& row,
+            const std::vector<eval::FactKey>* prem) {
           collected[s].push_back(row);
+          if (prem != nullptr) collected_prem[s].push_back(*prem);
           return true;
         });
   });
   for (const Status& st : statuses) FACTLOG_RETURN_IF_ERROR(st);
-  for (const auto& rows : collected) {
-    for (const std::vector<ValueId>& row : rows) apply(row);
+  for (size_t s = 0; s < shards; ++s) {
+    for (size_t i = 0; i < collected[s].size(); ++i) {
+      apply(collected[s][i],
+            premises ? &collected_prem[s][i] : nullptr);
+    }
   }
   return Status::OK();
 }
@@ -524,8 +694,11 @@ Status MaterializedView::ApplyInsert(const std::string& pred,
   // EDB facts named like an IDB predicate are invisible to evaluation (IDB
   // relations shadow them), so there is nothing to maintain.
   if (delta.empty() || IsIdb(pred)) return Status::OK();
+  const ViewUpdateStats before = stats_;
   Status st = PropagateInsert(pred, delta);
   if (!st.ok()) poisoned_ = true;
+  SettleEdgeStore();
+  stats_.last_update = stats_.Since(before);
   return st;
 }
 
@@ -593,8 +766,9 @@ Status MaterializedView::InsertCounting(
         views.push_back(RelationView{cur, d});
       }
       FACTLOG_RETURN_IF_ERROR(RunPassCollect(
-          ri, std::move(views), j, dj->second,
-          [&](const std::vector<ValueId>& row) {
+          ri, std::move(views), j, dj->second, /*premises=*/false,
+          [&](const std::vector<ValueId>& row,
+              const std::vector<eval::FactKey>*) {
             ++stats_.support_updates;
             if (rel->Contains(row.data())) {
               rel->AddSupport(row.data(), 1);  // count-only: row set unchanged
@@ -657,9 +831,25 @@ Status MaterializedView::InsertRecursive(
                             : nullptr;
           views.push_back(RelationView{c, d});
         }
-        FACTLOG_RETURN_IF_ERROR(RunPassInto(
-            ri, std::move(views), j, dj->second, {result_.Find(p)},
-            cur[p].get(), pred_info_.at(p).shard_locks.get()));
+        if (edges_ != nullptr) {
+          // Edge-recording variant: every instantiation is a new derivation
+          // of its head (novel rows and alternate derivations of known rows
+          // alike), so collect with premises and apply serially — the store
+          // is single-writer.
+          Relation* base = result_.Find(p);
+          Relation* target = cur[p].get();
+          FACTLOG_RETURN_IF_ERROR(RunPassCollect(
+              ri, std::move(views), j, dj->second, /*premises=*/true,
+              [&](const std::vector<ValueId>& row,
+                  const std::vector<eval::FactKey>* prem) {
+                RecordEdge(p, row, ri, prem);
+                if (!base->Contains(row.data())) target->Insert(row);
+              }));
+        } else {
+          FACTLOG_RETURN_IF_ERROR(RunPassInto(
+              ri, std::move(views), j, dj->second, {result_.Find(p)},
+              cur[p].get(), pred_info_.at(p).shard_locks.get()));
+        }
       }
     }
   }
@@ -713,10 +903,28 @@ Status MaterializedView::InsertRecursive(
                               : nullptr;
             views.push_back(RelationView{c, d});
           }
-          FACTLOG_RETURN_IF_ERROR(RunPassInto(
-              ri, std::move(views), j, cur[lit_j.predicate].get(),
-              {result_.Find(p), acc[p].get(), cur[p].get()}, nxt[p].get(),
-              pred_info_.at(p).shard_locks.get()));
+          if (edges_ != nullptr) {
+            Relation* base = result_.Find(p);
+            Relation* a = acc[p].get();
+            Relation* c = cur[p].get();
+            Relation* target = nxt[p].get();
+            FACTLOG_RETURN_IF_ERROR(RunPassCollect(
+                ri, std::move(views), j, cur[lit_j.predicate].get(),
+                /*premises=*/true,
+                [&](const std::vector<ValueId>& row,
+                    const std::vector<eval::FactKey>* prem) {
+                  RecordEdge(p, row, ri, prem);
+                  if (!base->Contains(row.data()) &&
+                      !a->Contains(row.data()) && !c->Contains(row.data())) {
+                    target->Insert(row);
+                  }
+                }));
+          } else {
+            FACTLOG_RETURN_IF_ERROR(RunPassInto(
+                ri, std::move(views), j, cur[lit_j.predicate].get(),
+                {result_.Find(p), acc[p].get(), cur[p].get()}, nxt[p].get(),
+                pred_info_.at(p).shard_locks.get()));
+          }
         }
       }
     }
@@ -752,8 +960,11 @@ Status MaterializedView::ApplyDelete(const std::string& pred,
         "and re-materialize");
   }
   if (delta.empty() || IsIdb(pred)) return Status::OK();
+  const ViewUpdateStats before = stats_;
   Status st = PropagateDelete(pred, delta);
   if (!st.ok()) poisoned_ = true;
+  SettleEdgeStore();
+  stats_.last_update = stats_.Since(before);
   return st;
 }
 
@@ -807,8 +1018,9 @@ Status MaterializedView::DeleteCounting(
         views.push_back(RelationView{cur, d});
       }
       FACTLOG_RETURN_IF_ERROR(RunPassCollect(
-          ri, std::move(views), j, dj->second,
-          [&](const std::vector<ValueId>& row) { ++lost[row]; }));
+          ri, std::move(views), j, dj->second, /*premises=*/false,
+          [&](const std::vector<ValueId>& row,
+              const std::vector<eval::FactKey>*) { ++lost[row]; }));
     }
   }
   if (lost.empty()) return Status::OK();
@@ -829,6 +1041,240 @@ Status MaterializedView::DeleteCounting(
 }
 
 Status MaterializedView::DeleteRecursive(
+    const std::vector<std::string>& scc, DeltaMap* delta,
+    std::vector<std::unique_ptr<Relation>>* owned) {
+  // Decision ladder: slice deletion along recorded derivation edges whenever
+  // the store is live; classic DRed otherwise (tracking disabled, or the
+  // store was dropped over budget).
+  if (edges_ != nullptr && !edges_overflowed_) {
+    return DeleteRecursiveSliced(scc, delta, owned);
+  }
+  return DeleteRecursiveDRed(scc, delta, owned);
+}
+
+Status MaterializedView::DeleteRecursiveSliced(
+    const std::vector<std::string>& scc, DeltaMap* delta,
+    std::vector<std::unique_ptr<Relation>>* owned) {
+  using FactId = DerivationEdgeStore::FactId;
+  using EdgeId = DerivationEdgeStore::EdgeId;
+  DerivationEdgeStore& es = *edges_;
+
+  // Pred-id bitmap of this SCC for cheap head filtering: cone expansion and
+  // edge retirement must stay inside the SCC being processed (edges into
+  // later SCCs are their passes' seeds).
+  std::vector<bool> scc_pred;
+  for (const std::string& p : scc) {
+    int pid = es.PredId(p);
+    if (pid < 0) continue;  // never appeared in any derivation
+    if (scc_pred.size() <= static_cast<size_t>(pid)) {
+      scc_pred.resize(static_cast<size_t>(pid) + 1, false);
+    }
+    scc_pred[static_cast<size_t>(pid)] = true;
+  }
+  auto in_this_scc = [&](FactId f) {
+    uint32_t pid = es.pred_id_of(f);
+    return pid < scc_pred.size() && scc_pred[pid];
+  };
+
+  // 1. Seeds: deleted lower-stratum rows the store has seen as premises
+  // (parallel lookup when the delta is large). A deleted row no derivation
+  // ever used cannot invalidate anything here.
+  std::vector<FactId> seeds;
+  std::unordered_set<FactId> seed_set;
+  for (const auto& [p, d] : *delta) {
+    const size_t n = d->size();
+    std::vector<FactId> found;
+    if (opts_.pool != nullptr && n >= opts_.min_rows_to_partition) {
+      const size_t chunk = (n + 15) / 16;
+      const size_t tasks = (n + chunk - 1) / chunk;
+      std::vector<std::vector<FactId>> outs(tasks);
+      const std::string& pred = p;
+      const Relation* rel = d;
+      opts_.pool->ParallelFor(tasks, [&](size_t t) {
+        const size_t end = std::min(n, (t + 1) * chunk);
+        for (size_t r = t * chunk; r < end; ++r) {
+          FactId f = es.FindFact(pred, rel->row(r), rel->arity());
+          if (f != DerivationEdgeStore::kNoFact) outs[t].push_back(f);
+        }
+      });
+      for (auto& o : outs) found.insert(found.end(), o.begin(), o.end());
+    } else {
+      for (size_t r = 0; r < n; ++r) {
+        FactId f = es.FindFact(p, d->row(r), d->arity());
+        if (f != DerivationEdgeStore::kNoFact) found.push_back(f);
+      }
+    }
+    for (FactId f : found) {
+      if (seed_set.insert(f).second) seeds.push_back(f);
+    }
+  }
+  if (seeds.empty()) return Status::OK();
+
+  // 2. Support cascade. A derivation is *supporting* when all its premises
+  // rank strictly below its head (ranks are minimal derivation heights, so
+  // every alive fact has one — cyclic support never counts). Killing an
+  // edge decrements its head's supporting count; a head reaching zero is
+  // tentatively dead and kills its own uses in turn. Unlike a reachability
+  // cone, the cascade only ever touches facts that actually lost an edge,
+  // so random deletes in dense graphs stay delta-sized. Per round, workers
+  // gather the frontier's use edges in parallel chunks; only the calling
+  // thread mutates the kill/support state.
+  std::unordered_set<EdgeId> killed;
+  std::unordered_map<FactId, uint32_t> sup;  // touched SCC heads -> support
+  std::unordered_set<FactId> tentative;
+  std::vector<FactId> tentative_list;
+  auto is_supporting = [&](EdgeId e, uint32_t head_rank) {
+    for (FactId pr : es.premises_of(e)) {
+      if (es.rank_of(pr) >= head_rank) return false;
+    }
+    return true;
+  };
+  auto apply_kill = [&](EdgeId e, FactId h) {
+    if (!killed.insert(e).second) return;
+    if (tentative.count(h) != 0) return;
+    const uint32_t head_rank = es.rank_of(h);
+    auto it = sup.find(h);
+    if (it == sup.end()) {
+      // First touch: count the head's surviving supporting derivations
+      // (e is already in `killed`, so it never counts).
+      uint32_t cnt = 0;
+      for (EdgeId d : es.derivations_of(h)) {
+        if (killed.count(d) == 0 && is_supporting(d, head_rank)) ++cnt;
+      }
+      it = sup.emplace(h, cnt).first;
+    } else if (it->second > 0 && is_supporting(e, head_rank)) {
+      --it->second;
+    }
+    if (it->second == 0) {
+      tentative.insert(h);
+      tentative_list.push_back(h);
+    }
+  };
+  std::vector<FactId> frontier = seeds;
+  std::vector<std::pair<EdgeId, FactId>> gathered;
+  while (!frontier.empty()) {
+    gathered.clear();
+    const size_t n = frontier.size();
+    if (opts_.pool != nullptr && n >= opts_.min_rows_to_partition) {
+      const size_t chunk = (n + 15) / 16;
+      const size_t tasks = (n + chunk - 1) / chunk;
+      std::vector<std::vector<std::pair<EdgeId, FactId>>> outs(tasks);
+      opts_.pool->ParallelFor(tasks, [&](size_t t) {
+        const size_t end = std::min(n, (t + 1) * chunk);
+        for (size_t i = t * chunk; i < end; ++i) {
+          for (EdgeId e : es.uses_of(frontier[i])) {
+            FactId h = es.head_of(e);
+            if (in_this_scc(h)) outs[t].emplace_back(e, h);
+          }
+        }
+      });
+      for (auto& o : outs) {
+        gathered.insert(gathered.end(), o.begin(), o.end());
+      }
+    } else {
+      for (FactId f : frontier) {
+        for (EdgeId e : es.uses_of(f)) {
+          FactId h = es.head_of(e);
+          if (in_this_scc(h)) gathered.emplace_back(e, h);
+        }
+      }
+    }
+    const size_t already_dead = tentative_list.size();
+    for (const auto& [e, h] : gathered) apply_kill(e, h);
+    frontier.assign(tentative_list.begin() +
+                        static_cast<ptrdiff_t>(already_dead),
+                    tentative_list.end());
+  }
+  stats_.cone_input += sup.size();
+
+  // 3. Rescue: a tentatively dead fact survives if some derivation avoids
+  // every seed and every (still-)dead fact — the least fixpoint over the
+  // tentative set, so mutually-supporting ungrounded cycles stay dead while
+  // facts with an alternate non-supporting derivation (a longer surviving
+  // path, or a premise whose rank drifted upward) are kept in place without
+  // any row churn. Rank drift only ever causes spurious tentative deaths,
+  // never missed ones, and a rescue re-canonicalizes all ranks below.
+  std::unordered_set<FactId> dead(tentative.begin(), tentative.end());
+  uint64_t rescued = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (FactId h : tentative_list) {
+      if (dead.count(h) == 0) continue;
+      for (EdgeId e : es.derivations_of(h)) {
+        bool alive = true;
+        for (FactId pr : es.premises_of(e)) {
+          if (seed_set.count(pr) != 0 || dead.count(pr) != 0) {
+            alive = false;
+            break;
+          }
+        }
+        if (alive) {
+          dead.erase(h);
+          ++rescued;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  stats_.overdeleted += tentative_list.size();
+  stats_.rederived += rescued;
+  stats_.cone_pruned += sup.size() - dead.size();
+
+  // 4. Erase the dead facts and stage the outward deltas.
+  std::map<std::string, std::unique_ptr<Relation>> dead_rows;
+  std::vector<FactId> dead_ids;
+  for (FactId h : tentative_list) {
+    if (dead.count(h) == 0) continue;
+    dead_ids.push_back(h);
+    auto& d = dead_rows[es.pred_of(h)];
+    if (d == nullptr) {
+      Relation* rel = result_.Find(es.pred_of(h));
+      d = std::make_unique<Relation>(rel->arity(), rel->storage_options());
+    }
+    d->Insert(es.row_of(h));
+  }
+  for (auto& [p, d] : dead_rows) {
+    Relation* rel = result_.Find(p);
+    for (size_t r = 0; r < d->size(); ++r) rel->Erase(d->row(r));
+    rel->SyncShards();
+    stats_.idb_deleted += d->size();
+  }
+
+  // 5. Retire invalidated edges: every derivation headed by a dead fact,
+  // and every use of a seed or dead fact whose head is in this SCC. Kills
+  // caused by since-rescued facts are NOT retired — those instantiations
+  // still hold. Uses with heads in later SCCs survive until those SCCs' own
+  // passes (the dead rows join the delta map, so SccAffected guarantees the
+  // pass runs).
+  std::vector<EdgeId> retire;
+  for (FactId f : dead_ids) {
+    for (EdgeId e : es.derivations_of(f)) retire.push_back(e);
+  }
+  auto retire_uses = [&](FactId f) {
+    for (EdgeId e : es.uses_of(f)) {
+      if (in_this_scc(es.head_of(e))) retire.push_back(e);
+    }
+  };
+  for (FactId f : seeds) retire_uses(f);
+  for (FactId f : dead_ids) retire_uses(f);
+  for (EdgeId e : retire) es.RemoveEdge(e);  // no-op on duplicates
+
+  // A rescued fact now rests on a derivation that was not rank-supporting,
+  // so the height invariant may be broken for it and anything above it;
+  // recompute all ranks. Rescues are rare (they need cyclic or drifted
+  // support), so the full O(E log V) sweep does not show up in steady state.
+  if (rescued > 0) es.RecomputeRanks();
+
+  for (auto& [p, d] : dead_rows) {
+    (*delta)[p] = d.get();
+    owned->push_back(std::move(d));
+  }
+  return Status::OK();
+}
+
+Status MaterializedView::DeleteRecursiveDRed(
     const std::vector<std::string>& scc, DeltaMap* delta,
     std::vector<std::unique_ptr<Relation>>* owned) {
   std::set<std::string> in_scc(scc.begin(), scc.end());
@@ -876,8 +1322,9 @@ Status MaterializedView::DeleteRecursive(
         auto dj = delta->find(lit_j.predicate);
         if (dj == delta->end() || dj->second->empty()) continue;
         FACTLOG_RETURN_IF_ERROR(RunPassCollect(
-            ri, old_views(rule, j), j, dj->second,
-            [&](const std::vector<ValueId>& row) {
+            ri, old_views(rule, j), j, dj->second, /*premises=*/false,
+            [&](const std::vector<ValueId>& row,
+                const std::vector<eval::FactKey>*) {
               if (rel->Contains(row.data()) && d_all[p]->Insert(row)) {
                 d_cur[p]->Insert(row);
               }
@@ -911,7 +1358,9 @@ Status MaterializedView::DeleteRecursive(
           if (d_cur[lit_j.predicate]->empty()) continue;
           FACTLOG_RETURN_IF_ERROR(RunPassCollect(
               ri, old_views(rule, j), j, d_cur[lit_j.predicate].get(),
-              [&](const std::vector<ValueId>& row) {
+              /*premises=*/false,
+              [&](const std::vector<ValueId>& row,
+                  const std::vector<eval::FactKey>*) {
                 if (rel->Contains(row.data()) && d_all[p]->Insert(row)) {
                   d_nxt[p]->Insert(row);
                 }

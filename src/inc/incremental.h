@@ -20,12 +20,26 @@
 //     instantiation. A fact dies exactly when its count reaches zero, so
 //     deletions never require re-evaluation.
 //
-//   * Recursive SCCs use *DRed*, since derivation counts of recursive
-//     predicates are unbounded: deletions first over-delete everything
-//     derivable from a deleted fact, then re-derive the over-deleted facts
-//     that still have an alternative derivation (candidate-driven, via rules
-//     with a candidate guard literal prepended); insertions run a seeded
-//     semi-naive fixpoint restricted to the SCC.
+//   * Recursive SCCs maintain a *derivation edge store* (the complete
+//     derivation hypergraph of the SCC's facts, eval::DerivationEdgeStore):
+//     insertions run a seeded semi-naive fixpoint restricted to the SCC and
+//     record one edge per new instantiation. Every fact carries a
+//     well-founded *rank* (minimal derivation height), and a derivation is
+//     *supporting* when all its premises rank strictly below its head —
+//     cyclic support never counts. Deletion is a support cascade: killing an
+//     edge decrements its head's supporting count, a head reaching zero is
+//     tentatively dead and kills its own uses, so the cascade only touches
+//     facts that actually lost a derivation (delta-sized even for random
+//     deletes in dense graphs, where a reachability cone would span nearly
+//     everything). A final least-fixpoint rescue keeps any tentatively dead
+//     fact with a derivation avoiding every seed and dead fact — longer
+//     surviving paths are kept in place without row churn, while
+//     mutually-supporting ungrounded cycles stay dead. The store is rebuilt
+//     (and ranks recomputed exactly) from a full rule sweep at
+//     Build/Restore and kept exact by every insertion pass; if it ever
+//     exceeds its edge budget it is dropped and the view falls back to
+//     classic *DRed* (over-delete everything derivable, then re-derive
+//     candidates with a guard-literal-bounded fixpoint).
 //
 // Deltas propagate over the shard seam: when a pass's driving extent is
 // sharded and large enough, the enumeration fans out across the engine's
@@ -54,6 +68,7 @@
 #include "ast/program.h"
 #include "common/status.h"
 #include "eval/database.h"
+#include "eval/provenance.h"
 #include "eval/rule_eval.h"
 #include "eval/seminaive.h"
 #include "exec/thread_pool.h"
@@ -73,18 +88,47 @@ struct IncrementalOptions {
   /// Driving extents with fewer rows than this run as a single inline task
   /// even when sharded; fanning out a tiny delta costs more than it buys.
   size_t min_rows_to_partition = 64;
+  /// Edge budget for the derivation edge store backing slice deletions in
+  /// recursive SCCs. When the live hypergraph would exceed it, the store is
+  /// dropped permanently and deletion falls back to classic DRed. 0 disables
+  /// edge tracking entirely.
+  uint64_t max_derivation_edges = uint64_t{1} << 22;
 };
 
-/// Cumulative maintenance counters of one view.
-struct ViewStats {
+/// Maintenance counters. Used both cumulatively (ViewStats below) and as the
+/// per-propagation delta of the most recent Apply* call.
+struct ViewUpdateStats {
   uint64_t inserts_applied = 0;  // EDB delta rows propagated as insertions
   uint64_t deletes_applied = 0;  // EDB delta rows propagated as deletions
   uint64_t idb_inserted = 0;     // IDB facts added across all predicates
   uint64_t idb_deleted = 0;      // IDB facts removed (post-rederivation)
   uint64_t support_updates = 0;  // counting: derivation-count adjustments
-  uint64_t overdeleted = 0;      // DRed: facts tentatively deleted
-  uint64_t rederived = 0;        // DRed: tentative deletions rescinded
+  uint64_t overdeleted = 0;      // tentative deletions (slice cascade or DRed)
+  uint64_t rederived = 0;        // tentative deletions rescinded (rescued)
   uint64_t delta_passes = 0;     // (rule, occurrence) delta passes run
+  uint64_t cone_input = 0;       // slice: facts touched by the support cascade
+  uint64_t cone_pruned = 0;      // slice: cone facts kept (surviving support)
+  uint64_t edges_added = 0;      // derivation edges recorded
+  uint64_t edges_removed = 0;    // derivation edges retired
+
+  /// Field-wise difference (this - before), for per-update snapshots.
+  ViewUpdateStats Since(const ViewUpdateStats& before) const;
+};
+
+/// Cumulative maintenance counters of one view, plus the per-propagation
+/// snapshot of the most recent Apply* call and edge-store gauges.
+struct ViewStats : ViewUpdateStats {
+  /// Counter deltas of the most recent ApplyInsert/ApplyDelete propagation
+  /// (zeroed-out no-op calls excluded), so callers can assert cone sizes for
+  /// a single delete without diffing cumulative counters themselves.
+  ViewUpdateStats last_update;
+  /// Live edge-store gauges (sizes, not deltas).
+  uint64_t edge_store_facts = 0;
+  uint64_t edge_store_edges = 0;
+  bool edge_store_active = false;
+  /// True once the edge budget was exceeded and the store was dropped;
+  /// recursive deletions use the DRed fallback from then on.
+  bool edge_store_dropped = false;
 };
 
 /// One maintained predicate's relation, dumped by value: the persistence
@@ -174,6 +218,17 @@ class MaterializedView {
   /// every subsequent Apply*/Answer call fails with kFailedPrecondition.
   bool poisoned() const { return poisoned_; }
 
+  /// True while the derivation edge store is live (recursive SCCs present,
+  /// edge tracking enabled, budget never exceeded) — i.e. recursive
+  /// deletions take the slice path.
+  bool edge_guided() const { return edges_ != nullptr; }
+  /// Renders a derivation tree for `fact` from the edge store: recursive
+  /// facts expand through a recorded derivation, EDB and counting-maintained
+  /// facts are leaves (the latter annotated with their support count).
+  /// Answers "why <fact>" in the CLI. Must be called from the single writer
+  /// (interning the atom's constants may mutate the value store).
+  Result<std::string> Explain(const ast::Atom& fact);
+
  private:
   struct PredInfo {
     size_t scc = 0;
@@ -187,7 +242,10 @@ class MaterializedView {
   };
 
   using DeltaMap = std::map<std::string, const eval::Relation*>;
-  using RowSink = std::function<void(const std::vector<eval::ValueId>&)>;
+  /// Pass sinks see each head row plus, when the pass tracks premises for
+  /// edge recording, the instantiation's body facts in source order.
+  using RowSink = std::function<void(const std::vector<eval::ValueId>&,
+                                     const std::vector<eval::FactKey>*)>;
 
   MaterializedView(const ast::Program& program, eval::Database* db,
                    const IncrementalOptions& opts)
@@ -199,6 +257,18 @@ class MaterializedView {
   Status Init(const std::vector<ViewPredState>* restore = nullptr);
   void ComputeSccs();
   Status RebuildSupportCounts();
+  /// (Re)builds the derivation edge store with one full sweep of every
+  /// recursive-head rule over the final evaluated state — the same mechanism
+  /// for Build and Restore (checkpoints persist rows, not edges).
+  Status RebuildDerivationEdges();
+  /// Interns (pred, row) and its premises and adds one derivation edge.
+  /// No-op when the store is gone; flips the overflow flag on budget breach.
+  void RecordEdge(const std::string& pred, const std::vector<eval::ValueId>& row,
+                  size_t rule_index,
+                  const std::vector<eval::FactKey>* premises);
+  /// Drops an overflowed store (permanently — it may be missing edges) and
+  /// refreshes the edge gauges in stats_.
+  void SettleEdgeStore();
 
   /// The current stored extent of `pred`: maintained IDB relation or EDB
   /// relation from the database (nullptr when the predicate has no facts).
@@ -223,15 +293,28 @@ class MaterializedView {
                          std::vector<std::unique_ptr<eval::Relation>>* owned);
   Status DeleteRecursive(const std::vector<std::string>& scc, DeltaMap* delta,
                          std::vector<std::unique_ptr<eval::Relation>>* owned);
+  /// Slice deletion along derivation edges (requires a live edge store):
+  /// forward cone from the deleted facts, least-fixpoint safety pruning,
+  /// erase of the unsupported remainder, edge retirement.
+  Status DeleteRecursiveSliced(
+      const std::vector<std::string>& scc, DeltaMap* delta,
+      std::vector<std::unique_ptr<eval::Relation>>* owned);
+  /// Classic DRed (over-delete + guarded re-derivation), the fallback when
+  /// the edge store is disabled or was dropped over budget.
+  Status DeleteRecursiveDRed(
+      const std::vector<std::string>& scc, DeltaMap* delta,
+      std::vector<std::unique_ptr<eval::Relation>>* owned);
 
   /// Runs one delta pass of `rules_[rule_index]` with body occurrence `occ`
   /// ranging over `delta` — per shard across the pool when the extent is
   /// sharded and large, inline otherwise. Every emitted head row reaches
   /// `apply` on the calling thread (multiplicity preserved), so sinks may
-  /// mutate unsynchronized state.
+  /// mutate unsynchronized state. With `premises` set, workers also carry
+  /// each instantiation's body facts to the sink (edge recording).
   Status RunPassCollect(size_t rule_index,
                         std::vector<eval::RelationView> views, size_t occ,
-                        const eval::Relation* delta, const RowSink& apply);
+                        const eval::Relation* delta, bool premises,
+                        const RowSink& apply);
 
   /// Set-semantics variant: rows contained in any of `known` are dropped,
   /// survivors land in `target` (sharded like the head's relation). On the
@@ -280,6 +363,13 @@ class MaterializedView {
   std::vector<std::vector<std::string>> sccs_;
 
   eval::EvalResult result_;
+  /// Derivation hypergraph of the recursive SCCs; null when the program has
+  /// none, tracking is disabled, or the budget was exceeded (then
+  /// stats_.edge_store_dropped is set and deletions fall back to DRed).
+  std::unique_ptr<eval::DerivationEdgeStore> edges_;
+  /// Set when a RecordEdge hit the budget mid-pass; SettleEdgeStore drops
+  /// the (now incomplete) store at the end of the propagation.
+  bool edges_overflowed_ = false;
   ViewStats stats_;
   bool poisoned_ = false;
   /// FrozenAnswer cache: the frozen copy and the relation version it froze.

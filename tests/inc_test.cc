@@ -236,7 +236,7 @@ TEST(IncDRedTest, DeleteOnOnlyDerivationPathRemovesDownstream) {
   EXPECT_GT(stats->overdeleted, 0u);
 }
 
-TEST(IncDRedTest, DeleteOneOfTwoPathsRederives) {
+TEST(IncDRedTest, DeleteOneOfTwoPathsPrunesAlternate) {
   api::Engine engine;
   // Diamond: 1 -> {2, 3} -> 4; t(1, 4) has two derivation paths.
   ASSERT_TRUE(engine.LoadFacts("e(1, 2). e(2, 4). e(1, 3). e(3, 4).").ok());
@@ -254,10 +254,15 @@ TEST(IncDRedTest, DeleteOneOfTwoPathsRederives) {
   }
   EXPECT_EQ(ys, (std::set<int64_t>{3, 4}));  // 4 survives via 3
 
+  // The slice path never over-deletes the survivor: the fact with an
+  // alternate derivation is pruned from the cone instead of being deleted
+  // and re-derived.
   auto stats = engine.ViewStatsFor(*handle);
   ASSERT_TRUE(stats.ok());
-  EXPECT_GT(stats->overdeleted, 0u);
-  EXPECT_GT(stats->rederived, 0u);  // t(1, 4) was over-deleted, then rescued
+  EXPECT_TRUE(stats->edge_store_active);
+  EXPECT_GT(stats->cone_input, 0u);
+  EXPECT_GT(stats->cone_pruned, 0u);
+  EXPECT_EQ(stats->rederived, 0u);
 }
 
 TEST(IncDRedTest, InsertReconnectsComponent) {
@@ -271,6 +276,170 @@ TEST(IncDRedTest, InsertReconnectsComponent) {
   auto answers = engine.Query(text);
   ASSERT_TRUE(answers.ok());
   EXPECT_EQ(answers->rows.size(), 4u);  // 2, 3, 4, 5
+}
+
+// ---- Edge-guided slice deletion ---------------------------------------------
+
+// Dense graph: chain 1 -> 2 -> ... -> N plus skip edges i -> i+2, so every
+// node past the second has two incoming edges and most reachability facts
+// have alternate derivations. Random single-edge deletes must (a) stay
+// fact-for-fact equal to the from-scratch oracle and (b) touch a deletion
+// cone strictly smaller than the reachable set — the whole point of slicing
+// along recorded derivation edges instead of over-deleting DRed-style.
+TEST(IncSliceTest, DenseGraphRandomDeletesMatchOracle) {
+  constexpr int64_t kNodes = 14;
+  const size_t combos[][2] = {{1, 1}, {1, 2}, {1, 8}, {2, 1}, {2, 2},
+                              {2, 8}, {8, 1}, {8, 2}, {8, 8}};
+  const char* text =
+      "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, W), t(W, Y). ?- t(1, Y).";
+  for (const auto& combo : combos) {
+    const size_t shards = combo[0];
+    const size_t threads = combo[1];
+    api::EngineOptions options;
+    options.num_shards = shards;
+    options.num_threads = threads;
+    options.inc_min_rows_to_partition = 1;  // force the parallel path
+    api::Engine engine(options);
+    for (int64_t i = 1; i < kNodes; ++i) {
+      ASSERT_TRUE(engine.AddFact(Edge(i, i + 1)).ok());
+      if (i + 2 <= kNodes) {
+        ASSERT_TRUE(engine.AddFact(Edge(i, i + 2)).ok());
+      }
+    }
+
+    ast::Program program = P(text);
+    ast::Atom query = A("t(1, Y)");
+    auto plan = engine.Compile(program, query);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    auto handle = engine.Materialize(program, query);
+    ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+    const MaterializedView* view = engine.view(*handle);
+    ASSERT_NE(view, nullptr);
+    EXPECT_TRUE(view->edge_guided());
+
+    std::minstd_rand rng(7 + static_cast<unsigned>(shards * 8 + threads));
+    uint64_t pruned_total = 0;
+    for (int op = 0; op < 6; ++op) {
+      // Deletes start at node 3 so part of the reachable set always stays
+      // upstream of (and therefore outside) the cone.
+      int64_t a = 3 + static_cast<int64_t>(rng() % (kNodes - 3));
+      int64_t b = a + 1 + static_cast<int64_t>(rng() % 2);
+      if (b > kNodes) b = a + 1;
+      auto before = engine.AnswerFromView(*handle);
+      ASSERT_TRUE(before.ok());
+      const uint64_t reachable_before = before->rows.size();
+      ASSERT_TRUE(engine.RemoveFact(Edge(a, b)).ok());
+      std::string context = "shards=" + std::to_string(shards) +
+                            " threads=" + std::to_string(threads) +
+                            " op=" + std::to_string(op) + " -e(" +
+                            std::to_string(a) + ", " + std::to_string(b) + ")";
+      ExpectMatchesOracle(&engine, (*plan)->program, view, context);
+
+      auto stats = engine.ViewStatsFor(*handle);
+      ASSERT_TRUE(stats.ok());
+      if (stats->last_update.cone_input > 0) {
+        EXPECT_LT(stats->last_update.cone_input, reachable_before) << context;
+      }
+      pruned_total += stats->last_update.cone_pruned;
+    }
+    // The skip edges guarantee alternate derivations, so across the sweep at
+    // least one cone fact must have been pruned as still-supported.
+    EXPECT_GT(pruned_total, 0u)
+        << "shards=" << shards << " threads=" << threads;
+  }
+}
+
+// An unsupported cycle must die even though every fact in it still has a
+// derivation edge (from its cyclic peer): the slice's least-fixpoint only
+// keeps facts that re-ground in surviving base facts.
+TEST(IncSliceTest, UnsupportedCycleDies) {
+  api::Engine engine;
+  // 1 -> 2 and the cycle 2 -> 3 -> 4 -> 2; cutting e(1, 2) leaves the cycle
+  // with mutual but ungrounded support.
+  ASSERT_TRUE(
+      engine.LoadFacts("e(1, 2). e(2, 3). e(3, 4). e(4, 2).").ok());
+  const char* text =
+      "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, W), t(W, Y). ?- t(1, Y).";
+  ast::Program program = P(text);
+  ast::Atom query = A("t(1, Y)");
+  auto plan = engine.Compile(program, query);
+  ASSERT_TRUE(plan.ok());
+  auto handle = engine.Materialize(program, query);
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  const MaterializedView* view = engine.view(*handle);
+
+  ASSERT_TRUE(engine.RemoveFact(Edge(1, 2)).ok());
+  ExpectMatchesOracle(&engine, (*plan)->program, view, "-e(1, 2)");
+  auto answers = engine.AnswerFromView(*handle);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->rows.size(), 0u);  // nothing reachable from 1 anymore
+
+  auto stats = engine.ViewStatsFor(*handle);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->last_update.overdeleted, 3u);  // the whole cycle died
+  EXPECT_EQ(stats->last_update.cone_pruned, 0u);
+}
+
+// When the derivation-edge budget overflows, the store is dropped for good
+// and deletion falls back to classic DRed — results must stay exact.
+TEST(IncSliceTest, BudgetOverflowFallsBackToDRed) {
+  api::EngineOptions options;
+  options.inc_max_derivation_edges = 1;  // overflows during the initial build
+  api::Engine engine(options);
+  ASSERT_TRUE(engine.LoadFacts("e(1, 2). e(2, 4). e(1, 3). e(3, 4).").ok());
+  const char* text =
+      "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, W), t(W, Y). ?- t(1, Y).";
+  ast::Program program = P(text);
+  ast::Atom query = A("t(1, Y)");
+  auto plan = engine.Compile(program, query);
+  ASSERT_TRUE(plan.ok());
+  auto handle = engine.Materialize(program, query);
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  const MaterializedView* view = engine.view(*handle);
+  EXPECT_FALSE(view->edge_guided());
+
+  ASSERT_TRUE(engine.RemoveFact(Edge(1, 2)).ok());
+  ExpectMatchesOracle(&engine, (*plan)->program, view, "-e(1, 2)");
+
+  auto stats = engine.ViewStatsFor(*handle);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_FALSE(stats->edge_store_active);
+  EXPECT_TRUE(stats->edge_store_dropped);
+  EXPECT_GT(stats->rederived, 0u);  // DRed over-deleted t(1, 4), then rescued
+  EXPECT_EQ(stats->cone_input, 0u);
+}
+
+// ---- Per-update stats snapshot ----------------------------------------------
+
+TEST(IncStatsTest, LastUpdateSnapshotsOnlyTheMostRecentDelta) {
+  api::Engine engine;
+  ASSERT_TRUE(engine.LoadFacts("e(1, 2).").ok());
+  const char* text =
+      "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, W), t(W, Y). ?- t(1, Y).";
+  auto handle = engine.Materialize(text);
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+
+  ASSERT_TRUE(engine.AddFact(Edge(2, 3)).ok());
+  auto stats = engine.ViewStatsFor(*handle);
+  ASSERT_TRUE(stats.ok());
+  const uint64_t first_inserted = stats->last_update.idb_inserted;
+  EXPECT_GT(first_inserted, 0u);
+  EXPECT_EQ(stats->idb_inserted, first_inserted);
+
+  ASSERT_TRUE(engine.AddFact(Edge(3, 4)).ok());
+  stats = engine.ViewStatsFor(*handle);
+  ASSERT_TRUE(stats.ok());
+  // Cumulative counters keep growing; the snapshot covers only the last call.
+  EXPECT_GT(stats->idb_inserted, first_inserted);
+  EXPECT_EQ(stats->last_update.idb_inserted,
+            stats->idb_inserted - first_inserted);
+
+  ASSERT_TRUE(engine.RemoveFact(Edge(1, 2)).ok());
+  stats = engine.ViewStatsFor(*handle);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->last_update.idb_inserted, 0u);
+  EXPECT_GT(stats->last_update.idb_deleted, 0u);
+  EXPECT_GT(stats->idb_inserted, 0u);  // cumulative history is untouched
 }
 
 // ---- Engine integration -----------------------------------------------------

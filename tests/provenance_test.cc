@@ -1,0 +1,188 @@
+// Tests for the DerivationEdgeStore: fact interning and dedup, edge dedup,
+// per-occurrence uses lists, orphan freeing and slot reuse on RemoveEdge,
+// the hard edge budget, and derivation-tree reconstruction from the
+// hypergraph (including cyclic support).
+
+#include "eval/provenance.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace factlog::eval {
+namespace {
+
+using FactId = DerivationEdgeStore::FactId;
+using EdgeId = DerivationEdgeStore::EdgeId;
+
+FactId Intern(DerivationEdgeStore* store, const char* pred,
+              std::vector<ValueId> row) {
+  return store->InternFact(pred, row.data(), row.size());
+}
+
+TEST(DerivationEdgeStoreTest, InternDeduplicatesAndFindsFacts) {
+  DerivationEdgeStore store(/*max_edges=*/100);
+  FactId a = Intern(&store, "e", {1, 2});
+  FactId b = Intern(&store, "e", {1, 2});
+  FactId c = Intern(&store, "e", {2, 1});
+  FactId d = Intern(&store, "t", {1, 2});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);  // same row, different predicate
+  EXPECT_EQ(store.num_facts(), 3u);
+
+  std::vector<ValueId> row = {1, 2};
+  EXPECT_EQ(store.FindFact("e", row.data(), row.size()), a);
+  EXPECT_EQ(store.FindFact("t", row.data(), row.size()), d);
+  std::vector<ValueId> missing = {9, 9};
+  EXPECT_EQ(store.FindFact("e", missing.data(), missing.size()),
+            DerivationEdgeStore::kNoFact);
+
+  EXPECT_EQ(store.pred_of(a), "e");
+  EXPECT_EQ(store.row_of(a), row);
+  EXPECT_GE(store.PredId("e"), 0);
+  EXPECT_EQ(store.PredId("never_seen"), -1);
+  EXPECT_EQ(static_cast<int>(store.pred_id_of(a)), store.PredId("e"));
+}
+
+TEST(DerivationEdgeStoreTest, AddEdgeDeduplicatesPerHead) {
+  DerivationEdgeStore store(/*max_edges=*/100);
+  FactId head = Intern(&store, "t", {1, 3});
+  FactId p1 = Intern(&store, "e", {1, 2});
+  FactId p2 = Intern(&store, "t", {2, 3});
+
+  EXPECT_TRUE(store.AddEdge(head, 1, {p1, p2}));
+  EXPECT_FALSE(store.AddEdge(head, 1, {p1, p2}));  // exact duplicate
+  EXPECT_EQ(store.num_edges(), 1u);
+  EXPECT_TRUE(store.AddEdge(head, 2, {p1, p2}));  // same body, other rule
+  EXPECT_TRUE(store.AddEdge(head, 1, {p2, p1}));  // other premise order
+  EXPECT_EQ(store.num_edges(), 3u);
+  EXPECT_EQ(store.derivations_of(head).size(), 3u);
+  EXPECT_EQ(store.edges_added(), 3u);
+
+  EdgeId e = store.derivations_of(head)[0];
+  EXPECT_EQ(store.head_of(e), head);
+  EXPECT_EQ(store.rule_of(e), 1);
+  EXPECT_EQ(store.premises_of(e), (std::vector<FactId>{p1, p2}));
+}
+
+TEST(DerivationEdgeStoreTest, UsesListHasOneEntryPerOccurrence) {
+  DerivationEdgeStore store(/*max_edges=*/100);
+  FactId head = Intern(&store, "p", {5});
+  FactId prem = Intern(&store, "q", {7});
+  ASSERT_TRUE(store.AddEdge(head, 0, {prem, prem}));
+  // Repeated premises get one uses entry each, so occurrence-counted
+  // decrements during slice deletion stay balanced.
+  EXPECT_EQ(store.uses_of(prem).size(), 2u);
+}
+
+TEST(DerivationEdgeStoreTest, RemoveEdgeFreesOrphansAndReusesSlots) {
+  DerivationEdgeStore store(/*max_edges=*/100);
+  FactId head = Intern(&store, "t", {1, 2});
+  FactId prem = Intern(&store, "e", {1, 2});
+  ASSERT_TRUE(store.AddEdge(head, 0, {prem}));
+  EXPECT_EQ(store.num_facts(), 2u);
+
+  EdgeId e = store.derivations_of(head)[0];
+  store.RemoveEdge(e);
+  EXPECT_EQ(store.num_edges(), 0u);
+  EXPECT_EQ(store.edges_removed(), 1u);
+  // Both facts lost their last edge and are freed.
+  EXPECT_EQ(store.num_facts(), 0u);
+  std::vector<ValueId> row = {1, 2};
+  EXPECT_EQ(store.FindFact("t", row.data(), row.size()),
+            DerivationEdgeStore::kNoFact);
+
+  store.RemoveEdge(e);  // already removed: no-op
+  EXPECT_EQ(store.edges_removed(), 1u);
+
+  // Freed slots are recycled, so long-lived stores don't grow monotonically.
+  const size_t capacity = store.fact_capacity();
+  Intern(&store, "t", {9, 9});
+  Intern(&store, "e", {9, 9});
+  EXPECT_EQ(store.fact_capacity(), capacity);
+}
+
+TEST(DerivationEdgeStoreTest, SharedPremiseSurvivesPartialRemoval) {
+  DerivationEdgeStore store(/*max_edges=*/100);
+  FactId h1 = Intern(&store, "t", {1});
+  FactId h2 = Intern(&store, "t", {2});
+  FactId prem = Intern(&store, "e", {0});
+  ASSERT_TRUE(store.AddEdge(h1, 0, {prem}));
+  ASSERT_TRUE(store.AddEdge(h2, 0, {prem}));
+
+  store.RemoveEdge(store.derivations_of(h1)[0]);
+  // prem is still used by h2's edge; only h1 was orphaned.
+  EXPECT_EQ(store.num_facts(), 2u);
+  EXPECT_EQ(store.uses_of(prem).size(), 1u);
+  std::vector<ValueId> row = {0};
+  EXPECT_NE(store.FindFact("e", row.data(), row.size()),
+            DerivationEdgeStore::kNoFact);
+}
+
+TEST(DerivationEdgeStoreTest, EdgeBudgetOverflowSticks) {
+  DerivationEdgeStore store(/*max_edges=*/1);
+  FactId h1 = Intern(&store, "t", {1});
+  FactId h2 = Intern(&store, "t", {2});
+  FactId prem = Intern(&store, "e", {0});
+  EXPECT_TRUE(store.AddEdge(h1, 0, {prem}));
+  EXPECT_FALSE(store.over_budget());
+  EXPECT_FALSE(store.AddEdge(h2, 0, {prem}));  // rejected, budget exhausted
+  EXPECT_TRUE(store.over_budget());
+  EXPECT_EQ(store.num_edges(), 1u);
+  // The flag is sticky even after load drops back under the budget: the
+  // store may already be missing edges and can no longer be trusted.
+  store.RemoveEdge(store.derivations_of(h1)[0]);
+  EXPECT_TRUE(store.over_budget());
+}
+
+TEST(DerivationTreeFromEdgesTest, ChainExpandsToLeaves) {
+  DerivationEdgeStore store(/*max_edges=*/100);
+  FactId e1 = Intern(&store, "e", {1, 2});
+  FactId t1 = Intern(&store, "t", {1, 2});
+  FactId e2 = Intern(&store, "e", {2, 3});
+  FactId t2 = Intern(&store, "t", {1, 3});
+  ASSERT_TRUE(store.AddEdge(t1, 0, {e1}));
+  ASSERT_TRUE(store.AddEdge(t2, 1, {t1, e2}));
+
+  DerivationTree tree =
+      BuildDerivationTree(store, FactKey{"t", {1, 3}});
+  EXPECT_EQ(tree.fact.predicate, "t");
+  EXPECT_EQ(tree.rule_index, 1);
+  ASSERT_EQ(tree.children.size(), 2u);
+  EXPECT_EQ(tree.children[0].fact.predicate, "t");
+  EXPECT_EQ(tree.children[0].rule_index, 0);
+  EXPECT_EQ(tree.children[1].rule_index, -1);  // EDB leaf
+  EXPECT_EQ(tree.Height(), 3u);
+  EXPECT_EQ(tree.NodeCount(), 4u);
+
+  // Unknown facts come back as plain leaves.
+  DerivationTree leaf =
+      BuildDerivationTree(store, FactKey{"t", {9, 9}});
+  EXPECT_EQ(leaf.rule_index, -1);
+  EXPECT_TRUE(leaf.children.empty());
+}
+
+TEST(DerivationTreeFromEdgesTest, CyclicSupportStaysFinite) {
+  DerivationEdgeStore store(/*max_edges=*/100);
+  FactId a = Intern(&store, "p", {1});
+  FactId b = Intern(&store, "p", {2});
+  FactId ground = Intern(&store, "e", {0});
+  // a and b support each other; a additionally grounds out in an EDB fact.
+  ASSERT_TRUE(store.AddEdge(a, 0, {b}));
+  ASSERT_TRUE(store.AddEdge(a, 1, {ground}));
+  ASSERT_TRUE(store.AddEdge(b, 0, {a}));
+
+  // From b the builder must not loop: it reaches a, and expands a through
+  // the derivation that avoids the path back to b.
+  DerivationTree tree = BuildDerivationTree(store, FactKey{"p", {2}});
+  EXPECT_LE(tree.Height(), 3u);
+  ASSERT_EQ(tree.children.size(), 1u);
+  const DerivationTree& a_node = tree.children[0];
+  EXPECT_EQ(a_node.fact, (FactKey{"p", {1}}));
+  ASSERT_EQ(a_node.children.size(), 1u);
+  EXPECT_EQ(a_node.children[0].fact, (FactKey{"e", {0}}));
+}
+
+}  // namespace
+}  // namespace factlog::eval

@@ -220,6 +220,67 @@ TEST(ServeOracleSweep, Shards8Threads8) { RunOracleSweep(8, 8, {0, 2}, {0, 4}); 
 
 // ---- Copy-on-write / snapshot unit tests -----------------------------------
 
+// Serving-mode deletion batches over a dense graph: every RemoveFact runs
+// the edge-guided slice path inside the writer thread, and the drained
+// answers must equal a stop-the-world engine that saw the same deletes.
+TEST(ServeOracleSweep, DenseGraphDeleteBatchesStayConsistent) {
+  constexpr int64_t kNodes = 12;
+  auto make_dense = [](Engine* e) {
+    for (int64_t i = 1; i < kNodes; ++i) {
+      ASSERT_TRUE(e->AddFact(Edge(i, i + 1)).ok());
+      if (i + 2 <= kNodes) {
+        ASSERT_TRUE(e->AddFact(Edge(i, i + 2)).ok());
+      }
+    }
+  };
+  const std::vector<std::pair<int64_t, int64_t>> deletes = {
+      {9, 10}, {5, 6}, {5, 7}, {10, 12}, {3, 4}, {7, 8}};
+
+  auto program = ast::ParseProgram(
+      "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, W), t(W, Y).");
+  auto query = ast::ParseAtom("t(1, Y)");
+  ASSERT_TRUE(program.ok() && query.ok());
+
+  Engine oracle;
+  make_dense(&oracle);
+  std::vector<std::vector<std::string>> expected;
+  for (const auto& [a, b] : deletes) {
+    ASSERT_TRUE(oracle.RemoveFact(Edge(a, b)).ok());
+    auto answers = oracle.Query(*program, *query);
+    ASSERT_TRUE(answers.ok());
+    expected.push_back(Rendered(*answers, oracle.db().store()));
+  }
+
+  EngineOptions options;
+  options.num_threads = 4;
+  options.num_shards = 2;
+  options.inc_min_rows_to_partition = 1;
+  Engine engine(options);
+  make_dense(&engine);
+  ASSERT_TRUE(engine.Materialize(*program, *query).ok());
+  ASSERT_TRUE(engine.StartServing().ok());
+
+  uint64_t session = engine.OpenSession();
+  ASSERT_NE(session, 0u);
+  for (const auto& [a, b] : deletes) {
+    serve::UpdateResponse resp =
+        engine.SubmitUpdate(session, /*insert=*/false, Edge(a, b)).get();
+    ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  }
+  // Read-your-writes through the same session: the view already reflects
+  // every delete in the batch.
+  serve::QueryResponse resp =
+      engine.SubmitQuery(session, *program, *query, Strategy::kAuto).get();
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  EXPECT_EQ(Rendered(resp.answers, engine.db().store()), expected.back());
+  engine.CloseSession(session);
+  ASSERT_TRUE(engine.StopServing().ok());
+
+  auto final_answers = engine.Query(*program, *query);
+  ASSERT_TRUE(final_answers.ok());
+  EXPECT_EQ(Rendered(*final_answers, engine.db().store()), expected.back());
+}
+
 TEST(CowSnapshotTest, FrozenCopyUnaffectedByLiveMutations) {
   eval::Relation rel(2, eval::StorageOptions{4, {}});
   rel.Insert({1, 2});
