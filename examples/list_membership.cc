@@ -104,7 +104,7 @@ int main(int argc, char** argv) {
     auto result = eval::Evaluate(*small_pipe->optimized, &db, opts);
     if (result.ok()) {
       auto fpmem = result->Find("fpmem");
-      if (fpmem != nullptr && fpmem->size() > 0) {
+      if (fpmem != nullptr && !fpmem->empty()) {
         eval::FactKey fact{"fpmem", {fpmem->row(fpmem->size() - 1)[0]}};
         std::cout << "\nderivation tree (n = 5, one answer):\n"
                   << DerivationTreeToString(

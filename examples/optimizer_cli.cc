@@ -4,13 +4,21 @@
 //            [--strategy auto|magic|supplementary-magic|factoring|counting|
 //                        linear-rewrite]
 //            [--stage trace|magic|factored|final]
-//            [--explain]
+//            [--explain] [--lint]
 //            [--facts <facts.dl>]
 //            [--threads <n>] [--shards <n>]
 //            [--batch <queries.txt>] [--incremental] [--serve]
 //            [--db <dir>]
 //
-// The program file must contain a `?- query.` line (optional with --batch).
+// The program file must contain a `?- query.` line (optional with --batch
+// and --lint).
+//
+// --lint runs only the static analyzer (analysis/lint.h) — the same checks
+// that open every compilation — and prints a rustc-style report: diagnostics
+// to stderr, the summary line to stdout. Exit 0 when the program is free of
+// lint errors (warnings allowed), 11 (invalid argument) otherwise. The
+// diagnostic codes (L001 unsafe rule, L003 arity mismatch, L104 cartesian
+// product, ...) are tabulated in README.md.
 // With --facts the final program is evaluated against the given ground facts
 // and the answers are printed; otherwise the requested stage is printed
 // (default: everything). `--stage trace` prints the structured pass trace
@@ -30,6 +38,8 @@
 //                  the view's derivation edge store (EDB and
 //                  counting-maintained facts print as annotated leaves)
 //   ?              print the current answers
+//   lint           re-run the static analyzer against the engine's current
+//                  schema and print the diagnostic report
 //   stats          print maintenance counters — cumulative, edge-store
 //                  gauges, and the per-update `last update` snapshot (cone
 //                  sizes of the most recent delta) — plus storage counters
@@ -90,8 +100,10 @@
 #include <string>
 #include <vector>
 
+#include "analysis/lint.h"
 #include "api/engine.h"
 #include "ast/parser.h"
+#include "common/diagnostic.h"
 #include "core/pipeline.h"
 #include "inc/incremental.h"
 #include "plan/join_plan.h"
@@ -117,11 +129,42 @@ int Usage() {
   std::cerr << "usage: optimizer_cli <program.dl> "
                "[--strategy auto|magic|supplementary-magic|factoring|"
                "counting|linear-rewrite] "
-               "[--stage trace|magic|factored|final] [--explain] "
+               "[--stage trace|magic|factored|final] [--explain] [--lint] "
                "[--facts <facts.dl>] "
                "[--threads <n>] [--shards <n>] [--batch <queries.txt>] "
                "[--incremental] [--serve] [--db <dir>]\n";
   return 2;
+}
+
+// --lint mode: run only the static analyzer and print the rustc-style
+// report — diagnostics to stderr, the summary line to stdout. Exit 0 when
+// the program has no lint errors (warnings allowed), 11 otherwise.
+int RunLint(const factlog::ast::Program& program) {
+  using namespace factlog;
+  const analysis::LintReport report = analysis::LintProgram(program);
+  for (Severity severity : {Severity::kError, Severity::kWarning}) {
+    for (const Diagnostic& d : report.diagnostics) {
+      if (d.severity == severity) std::cerr << d.Render() << "\n";
+    }
+  }
+  std::cout << "lint: " << report.errors() << " error"
+            << (report.errors() == 1 ? "" : "s") << ", " << report.warnings()
+            << " warning" << (report.warnings() == 1 ? "" : "s") << "\n";
+  return report.ok() ? 0 : StatusCodeToExitCode(StatusCode::kInvalidArgument);
+}
+
+// The interactive `lint` command: re-lint against the engine's current
+// schema (the database's relations feed the arity check), '%'-prefixed so
+// the output nests in the REPL transcript.
+void PrintLintReport(factlog::api::Engine* engine,
+                     const factlog::ast::Program& program, std::ostream& out) {
+  using namespace factlog;
+  const analysis::LintReport report = engine->Lint(program);
+  for (const Diagnostic& d : report.diagnostics) {
+    out << "% " << d.ToString() << "\n";
+  }
+  out << "% lint: " << report.errors() << " errors, " << report.warnings()
+      << " warnings over " << report.num_strata << " strata\n";
 }
 
 // Appends the storage counters of a persistent (--db) engine to `out`.
@@ -168,6 +211,10 @@ int RunIncremental(factlog::api::Engine* engine,
     std::string cmd = line.substr(begin, end - begin + 1);
     if (cmd == "?") {
       if (int rc = print_answers(); rc != 0) return rc;
+      continue;
+    }
+    if (cmd == "lint") {
+      PrintLintReport(engine, program, std::cout);
       continue;
     }
     if (cmd == "stats") {
@@ -270,7 +317,7 @@ int RunIncremental(factlog::api::Engine* engine,
     }
     if (cmd.size() < 2 || (cmd[0] != '+' && cmd[0] != '-')) {
       std::cerr << "error: expected '+fact.', '-fact.', 'why <fact>.', '?', "
-                   "'stats', or 'checkpoint', got: " << cmd << "\n";
+                   "'lint', 'stats', or 'checkpoint', got: " << cmd << "\n";
       return StatusCodeToExitCode(StatusCode::kInvalidArgument);
     }
     bool insert = cmd[0] == '+';
@@ -340,6 +387,13 @@ int RunServe(factlog::api::Engine* engine,
       submit_query();
       continue;
     }
+    if (cmd == "lint") {
+      // Lint is pure (no snapshot pin, no mutation), so it answers inline
+      // even in serving mode.
+      std::lock_guard<std::mutex> lock(out_mu);
+      PrintLintReport(engine, program, std::cout);
+      continue;
+    }
     if (cmd == "stats") {
       serve::ServerStats s = engine->serving_stats();
       std::lock_guard<std::mutex> lock(out_mu);
@@ -353,8 +407,8 @@ int RunServe(factlog::api::Engine* engine,
       continue;
     }
     if (cmd.size() < 2 || (cmd[0] != '+' && cmd[0] != '-')) {
-      std::cerr << "error: expected '+fact.', '-fact.', '?', or 'stats', "
-                   "got: " << cmd << "\n";
+      std::cerr << "error: expected '+fact.', '-fact.', '?', 'lint', or "
+                   "'stats', got: " << cmd << "\n";
       rc = StatusCodeToExitCode(StatusCode::kInvalidArgument);
       break;
     }
@@ -483,6 +537,7 @@ int main(int argc, char** argv) {
   bool incremental = false;
   bool serve = false;
   bool explain = false;
+  bool lint_only = false;
   core::Strategy strategy = core::Strategy::kFactoring;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
@@ -490,6 +545,8 @@ int main(int argc, char** argv) {
       stage = argv[++i];
     } else if (arg == "--explain") {
       explain = true;
+    } else if (arg == "--lint") {
+      lint_only = true;
     } else if (arg == "--incremental") {
       incremental = true;
     } else if (arg == "--serve") {
@@ -533,6 +590,8 @@ int main(int argc, char** argv) {
   if (!text.ok()) return Fail(text.status());
   auto program = ast::ParseProgram(*text);
   if (!program.ok()) return Fail(program.status());
+
+  if (lint_only) return RunLint(*program);
 
   if (!batch_path.empty()) {
     if (!db_path.empty()) {

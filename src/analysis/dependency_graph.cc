@@ -1,5 +1,6 @@
 #include "analysis/dependency_graph.h"
 
+#include <algorithm>
 #include <vector>
 
 namespace factlog::analysis {
@@ -35,6 +36,124 @@ std::set<std::string> DependencyGraph::ReachableFrom(
 
 bool DependencyGraph::IsRecursive(const std::string& pred) const {
   return ReachableFrom(pred).count(pred) > 0;
+}
+
+SccCondensation DependencyGraph::Condense() const {
+  // Iterative Tarjan. Nodes are every predicate mentioned anywhere (heads
+  // and body references); components pop dependencies-first, which is
+  // exactly the evaluation order a stratified fixpoint wants.
+  std::vector<std::string> nodes;
+  std::set<std::string> node_set;
+  for (const auto& [p, targets] : edges_) {
+    if (node_set.insert(p).second) nodes.push_back(p);
+    for (const std::string& q : targets) {
+      if (node_set.insert(q).second) nodes.push_back(q);
+    }
+  }
+
+  SccCondensation out;
+  std::map<std::string, int> index;    // discovery order, -1 = unvisited
+  std::map<std::string, int> lowlink;
+  std::set<std::string> on_stack;
+  std::vector<std::string> stack;
+  int next_index = 0;
+
+  struct Frame {
+    std::string node;
+    std::vector<std::string> targets;
+    size_t next_target = 0;
+  };
+
+  static const std::set<std::string> kNoTargets;
+  auto targets_of = [this](const std::string& p) -> const std::set<std::string>& {
+    auto it = edges_.find(p);
+    return it == edges_.end() ? kNoTargets : it->second;
+  };
+
+  for (const std::string& root : nodes) {
+    if (index.count(root) > 0) continue;
+    std::vector<Frame> frames;
+    frames.push_back({root,
+                      {targets_of(root).begin(), targets_of(root).end()},
+                      0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack.insert(root);
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.next_target < f.targets.size()) {
+        const std::string& q = f.targets[f.next_target++];
+        auto it = index.find(q);
+        if (it == index.end()) {
+          index[q] = lowlink[q] = next_index++;
+          stack.push_back(q);
+          on_stack.insert(q);
+          frames.push_back(
+              {q, {targets_of(q).begin(), targets_of(q).end()}, 0});
+        } else if (on_stack.count(q) > 0) {
+          lowlink[f.node] = std::min(lowlink[f.node], it->second);
+        }
+        continue;
+      }
+      // Node finished: pop a component when it is its own root.
+      if (lowlink[f.node] == index[f.node]) {
+        std::vector<std::string> scc;
+        while (true) {
+          std::string q = stack.back();
+          stack.pop_back();
+          on_stack.erase(q);
+          scc.push_back(q);
+          if (q == f.node) break;
+        }
+        std::sort(scc.begin(), scc.end());
+        int id = static_cast<int>(out.sccs.size());
+        for (const std::string& q : scc) out.scc_of[q] = id;
+        out.sccs.push_back(std::move(scc));
+      }
+      std::string finished = f.node;
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink[frames.back().node] =
+            std::min(lowlink[frames.back().node], lowlink[finished]);
+      }
+    }
+  }
+  return out;
+}
+
+StratificationResult DependencyGraph::Stratify(
+    const std::set<std::pair<std::string, std::string>>& negative_edges)
+    const {
+  SccCondensation cond = Condense();
+  StratificationResult out;
+  // Components are emitted dependencies-first, so a single pass assigns
+  // stratum(p) = max over body references q of stratum(q), +1 when the
+  // reference is negative. A negative edge inside one component closes a
+  // cycle through negation: not stratified.
+  std::vector<int> scc_stratum(cond.sccs.size(), 0);
+  for (size_t id = 0; id < cond.sccs.size(); ++id) {
+    int stratum = 0;
+    for (const std::string& p : cond.sccs[id]) {
+      auto it = edges_.find(p);
+      if (it == edges_.end()) continue;
+      for (const std::string& q : it->second) {
+        const bool negative = negative_edges.count({p, q}) > 0;
+        const int target = cond.scc_of.at(q);
+        if (target == static_cast<int>(id)) {
+          if (negative) {
+            out.stratified = false;
+            out.violations.emplace_back(p, q);
+          }
+          continue;
+        }
+        stratum = std::max(stratum, scc_stratum[target] + (negative ? 1 : 0));
+      }
+    }
+    scc_stratum[id] = stratum;
+    for (const std::string& p : cond.sccs[id]) out.stratum[p] = stratum;
+    out.num_strata = std::max(out.num_strata, stratum + 1);
+  }
+  return out;
 }
 
 bool DependencyGraph::IsDirectlyRecursiveOnly(const std::string& pred) const {

@@ -1,4 +1,6 @@
-// Predicate dependency graph: reachability and recursion structure.
+// Predicate dependency graph: reachability, recursion structure, and the
+// SCC condensation + stratum assignment the stratified-negation front end
+// consumes.
 
 #ifndef FACTLOG_ANALYSIS_DEPENDENCY_GRAPH_H_
 #define FACTLOG_ANALYSIS_DEPENDENCY_GRAPH_H_
@@ -6,10 +8,36 @@
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "ast/program.h"
 
 namespace factlog::analysis {
+
+/// The strongly connected components of a DependencyGraph, emitted
+/// dependencies-first (if SCC A references SCC B, B appears before A).
+struct SccCondensation {
+  /// Each component's predicates, sorted within the component.
+  std::vector<std::vector<std::string>> sccs;
+  /// Index into `sccs` for every predicate in the graph.
+  std::map<std::string, int> scc_of;
+};
+
+/// Stratum assignment over the condensation. A negative edge p -> q
+/// ("p's rules read q through negation / aggregation") forces
+/// stratum(p) > stratum(q); the program is stratified iff no negative edge
+/// closes a cycle (lands inside an SCC).
+struct StratificationResult {
+  bool stratified = true;
+  /// Stratum per predicate (0 = lowest; EDB-only predicates sit at 0).
+  /// Meaningful even when not stratified (violating edges are skipped).
+  std::map<std::string, int> stratum;
+  int num_strata = 0;
+  /// Negative edges inside an SCC: the (head, negated body pred) pairs that
+  /// make the program non-stratified.
+  std::vector<std::pair<std::string, std::string>> violations;
+};
 
 /// Directed graph with an edge p -> q whenever q occurs in the body of a
 /// rule whose head is p.
@@ -27,6 +55,19 @@ class DependencyGraph {
   /// True when some rule for `pred` has >= 1 body occurrence of `pred` and
   /// all recursion through `pred` is direct (no mutual recursion).
   bool IsDirectlyRecursiveOnly(const std::string& pred) const;
+
+  /// Tarjan's SCC over every predicate mentioned in the graph (heads and
+  /// body references alike), components emitted dependencies-first.
+  SccCondensation Condense() const;
+
+  /// Stratum assignment over Condense(). `negative_edges` marks the (head,
+  /// body pred) dependencies that must cross a stratum boundary — today
+  /// these are prospective (the AST is positive-only); the stratified
+  /// negation / aggregation front end will derive them from real negated
+  /// literals. An edge in `negative_edges` absent from the graph is ignored.
+  StratificationResult Stratify(
+      const std::set<std::pair<std::string, std::string>>& negative_edges = {})
+      const;
 
   const std::map<std::string, std::set<std::string>>& edges() const {
     return edges_;

@@ -1,11 +1,11 @@
 #include "api/engine.h"
 
-#include <cassert>
 #include <chrono>
 #include <cstdio>
 #include <utility>
 
 #include "ast/parser.h"
+#include "common/dcheck.h"
 #include "core/canonical.h"
 #include "exec/parallel_seminaive.h"
 #include "storage/log_records.h"
@@ -165,13 +165,13 @@ Status Engine::RemoveFactImpl(const ast::Atom& fact) {
 void Engine::AddPair(const std::string& rel, int64_t a, int64_t b) {
   Status st =
       AddFact(ast::Atom(rel, {ast::Term::Int(a), ast::Term::Int(b)}));
-  assert(st.ok() && "AddPair must not race queries");
+  FACTLOG_DCHECK(st.ok() && "AddPair must not race queries");
   (void)st;
 }
 
 void Engine::AddUnit(const std::string& rel, int64_t a) {
   Status st = AddFact(ast::Atom(rel, {ast::Term::Int(a)}));
-  assert(st.ok() && "AddUnit must not race queries");
+  FACTLOG_DCHECK(st.ok() && "AddUnit must not race queries");
   (void)st;
 }
 
@@ -220,11 +220,17 @@ std::string Engine::PlanCacheKey(const ast::Program& program,
 core::PipelineOptions Engine::PipelineOptionsForCompile(
     const eval::Database* hint_db) const {
   core::PipelineOptions opts = options_.pipeline;
+  // Top-down SLD resolution handles Prolog-style rules with unrestricted
+  // head variables, so safety violations only warn under kTopDown.
+  if (options_.execution == ExecutionMode::kTopDown) {
+    opts.lint.unsafe_as_warning = true;
+  }
   // A serving compile seeds the planner from the pinned snapshot: immutable,
   // so no guard is needed and no mutation can race the iteration.
   if (hint_db != nullptr) {
     for (const auto& [name, rel] : hint_db->relations()) {
       opts.planner.extent_hints[name] = rel->size();
+      opts.lint.edb_arities.emplace(name, rel->arity());
     }
     return opts;
   }
@@ -237,8 +243,30 @@ core::PipelineOptions Engine::PipelineOptionsForCompile(
   QueryScope scope(this);
   for (const auto& [name, rel] : db_.relations()) {
     opts.planner.extent_hints[name] = rel->size();
+    opts.lint.edb_arities.emplace(name, rel->arity());
   }
   return opts;
+}
+
+analysis::LintReport Engine::Lint(const ast::Program& program) const {
+  analysis::LintOptions opts = options_.pipeline.lint;
+  if (options_.execution == ExecutionMode::kTopDown) {
+    opts.unsafe_as_warning = true;
+  }
+  // The database schema feeds the arity check (L003) and marks the query
+  // predicate defined (L106). Same read contract as compilation: mutations
+  // must not race.
+  for (const auto& [name, rel] : db_.relations()) {
+    opts.edb_arities.emplace(name, rel->arity());
+  }
+  return analysis::LintProgram(program, opts);
+}
+
+Result<analysis::LintReport> Engine::Lint(
+    const std::string& program_text) const {
+  FACTLOG_ASSIGN_OR_RETURN(ast::Program program,
+                           ast::ParseProgram(program_text));
+  return Lint(program);
 }
 
 Result<std::shared_ptr<const CompiledQuery>> Engine::Compile(
@@ -250,7 +278,10 @@ Result<std::shared_ptr<const CompiledQuery>> Engine::Compile(
         CompiledQuery compiled,
         core::CompileQuery(program, query, strategy,
                            PipelineOptionsForCompile()));
-    if (stats != nullptr) stats->compile_us = MicrosSince(start);
+    if (stats != nullptr) {
+      stats->compile_us = MicrosSince(start);
+      stats->lint_warnings = compiled.diagnostics.size();
+    }
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.compiles;
     return std::make_shared<const CompiledQuery>(std::move(compiled));
@@ -283,7 +314,10 @@ Result<std::shared_ptr<const CompiledQuery>> Engine::CompileWithKey(
       } else {
         ++stats_.cache_hits;
         lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-        if (stats != nullptr) stats->cache_hit = true;
+        if (stats != nullptr) {
+          stats->cache_hit = true;
+          stats->lint_warnings = it->second.plan->diagnostics.size();
+        }
         return it->second.plan;
       }
     }
@@ -301,7 +335,10 @@ Result<std::shared_ptr<const CompiledQuery>> Engine::CompileWithKey(
     std::unique_lock<std::mutex> fl(flight->mu);
     flight->cv.wait(fl, [&] { return flight->done; });
     if (!flight->status.ok()) return flight->status;
-    if (stats != nullptr) stats->cache_hit = true;
+    if (stats != nullptr) {
+      stats->cache_hit = true;
+      stats->lint_warnings = flight->plan->diagnostics.size();
+    }
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.cache_hits;
     return flight->plan;
@@ -314,7 +351,10 @@ Result<std::shared_ptr<const CompiledQuery>> Engine::CompileWithKey(
   std::shared_ptr<const CompiledQuery> plan;
   if (compiled.ok()) {
     plan = std::make_shared<const CompiledQuery>(std::move(compiled).value());
-    if (stats != nullptr) stats->compile_us = MicrosSince(start);
+    if (stats != nullptr) {
+      stats->compile_us = MicrosSince(start);
+      stats->lint_warnings = plan->diagnostics.size();
+    }
   }
   {
     std::lock_guard<std::mutex> lock(mu_);

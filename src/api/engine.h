@@ -65,6 +65,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/lint.h"
 #include "ast/program.h"
 #include "common/status.h"
 #include "core/pipeline.h"
@@ -164,6 +165,10 @@ struct QueryStats {
   bool cache_hit = false;
   /// The answer came from a materialized view (no execution ran).
   bool view_hit = false;
+  /// Lint warnings the mandatory lint pass reported for the source program
+  /// (CompiledQuery::diagnostics; lint *errors* fail compilation instead).
+  /// Filled on cache hits too — the warnings are a property of the plan.
+  uint64_t lint_warnings = 0;
   /// Join-plan summary of the executed plan (filled by Execute from
   /// CompiledQuery::plans): rules carrying a plan, and how many of them the
   /// cost model ordered differently from their source body.
@@ -247,6 +252,18 @@ class Engine {
   /// Parses `text` (ground facts only, e.g. "e(1, 2). e(2, 3).") and adds
   /// every fact to the database (through AddFact, so views stay maintained).
   Status LoadFacts(const std::string& text);
+
+  // ---- Static analysis ----------------------------------------------------
+
+  /// Runs the static linter (analysis/lint.h) over `program` — and its query
+  /// when set — under this engine's configuration: the database schema feeds
+  /// the arity/reachability checks, and kTopDown execution downgrades safety
+  /// violations to warnings (SLD resolves Prolog-style heads fine). Pure:
+  /// nothing is compiled or cached. The same analysis runs as the mandatory
+  /// opening pass of every compilation, where errors reject the program.
+  analysis::LintReport Lint(const ast::Program& program) const;
+  /// Parses `program_text` (query line optional) and lints it.
+  Result<analysis::LintReport> Lint(const std::string& program_text) const;
 
   // ---- Compile ------------------------------------------------------------
 

@@ -204,21 +204,42 @@ class Lexer {
 
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  /// `source` (optional) is the original program text; when present, clause
+  /// errors carry the clause ordinal and a source snippet.
+  explicit Parser(std::vector<Token> tokens, const std::string* source = nullptr)
+      : tokens_(std::move(tokens)), source_(source) {}
 
   Result<Program> ParseProgramAll() {
     Program program;
+    int clause = 0;
     while (!AtEnd()) {
+      ++clause;
+      // Remember where the clause starts so its error report can show the
+      // ordinal and the offending source line, making "parse error at line
+      // 7" actionable in a many-clause file.
+      const Token start = Cur();
+      auto annotate = [&](const Status& st) {
+        std::string where =
+            " (in clause #" + std::to_string(clause);
+        const std::string snippet = SnippetAt(start);
+        if (!snippet.empty()) where += ": " + snippet;
+        where += ")";
+        return Status(st.code(), st.message() + where);
+      };
       if (Check(TokKind::kDirective)) {
-        FACTLOG_RETURN_IF_ERROR(ParseDirective(&program));
+        Status st = ParseDirective(&program);
+        if (!st.ok()) return annotate(st);
       } else if (Check(TokKind::kQuery)) {
         Advance();
-        FACTLOG_ASSIGN_OR_RETURN(Atom q, ParseAtomInner());
-        FACTLOG_RETURN_IF_ERROR(Expect(TokKind::kPeriod, "'.'"));
-        program.set_query(std::move(q));
+        Result<Atom> q = ParseAtomInner();
+        if (!q.ok()) return annotate(q.status());
+        Status st = Expect(TokKind::kPeriod, "'.'");
+        if (!st.ok()) return annotate(st);
+        program.set_query(std::move(q).value());
       } else {
-        FACTLOG_ASSIGN_OR_RETURN(Rule r, ParseRuleInner());
-        program.AddRule(std::move(r));
+        Result<Rule> r = ParseRuleInner();
+        if (!r.ok()) return annotate(r.status());
+        program.AddRule(std::move(r).value());
       }
     }
     return program;
@@ -253,6 +274,28 @@ class Parser {
   Status ErrorHere(const std::string& msg) const {
     return Status::Invalid("parse error at line " + std::to_string(Cur().line) +
                            ", col " + std::to_string(Cur().col) + ": " + msg);
+  }
+
+  /// The source line `tok` sits on (trimmed, truncated); empty without
+  /// source text.
+  std::string SnippetAt(const Token& tok) const {
+    if (source_ == nullptr) return "";
+    size_t offset = 0;
+    for (int line = 1; line < tok.line && offset < source_->size(); ++offset) {
+      if ((*source_)[offset] == '\n') ++line;
+    }
+    size_t end = source_->find('\n', offset);
+    if (end == std::string::npos) end = source_->size();
+    std::string snippet = source_->substr(offset, end - offset);
+    const size_t begin = snippet.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) return "";
+    const size_t last = snippet.find_last_not_of(" \t\r");
+    snippet = snippet.substr(begin, last - begin + 1);
+    if (snippet.size() > 60) {
+      snippet.resize(57);
+      snippet += "...";
+    }
+    return snippet;
   }
 
   Status Expect(TokKind k, const std::string& what) {
@@ -393,6 +436,7 @@ class Parser {
   }
 
   std::vector<Token> tokens_;
+  const std::string* source_ = nullptr;
   size_t pos_ = 0;
   int anon_counter_ = 0;
 };
@@ -402,7 +446,7 @@ class Parser {
 Result<Program> ParseProgram(const std::string& text) {
   Lexer lexer(text);
   FACTLOG_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
-  Parser parser(std::move(tokens));
+  Parser parser(std::move(tokens), &text);
   FACTLOG_ASSIGN_OR_RETURN(Program p, parser.ParseProgramAll());
   // Arities must be consistent; range restriction is checked by the
   // bottom-up engine only (top-down handles Prolog-style rules).

@@ -1,0 +1,35 @@
+// FACTLOG_DCHECK: debug-only invariant checks for hot paths.
+//
+// A single macro replaces the ad-hoc `assert(...)` calls that used to guard
+// hot-path invariants (relation row access, page slot lookups, edge-store
+// slots). In debug builds a failed check prints the expression and location
+// and aborts; in release builds (NDEBUG) the condition is not evaluated at
+// all — the macro compiles to nothing — so checks on per-row paths are free
+// in production.
+//
+// Use FACTLOG_DCHECK for "this cannot happen unless factlog itself is buggy"
+// invariants only. Caller-visible failures must keep returning Status.
+
+#ifndef FACTLOG_COMMON_DCHECK_H_
+#define FACTLOG_COMMON_DCHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#ifndef NDEBUG
+#define FACTLOG_DCHECK(condition)                                        \
+  do {                                                                   \
+    if (!(condition)) {                                                  \
+      std::fprintf(stderr, "FACTLOG_DCHECK failed: %s at %s:%d\n",       \
+                   #condition, __FILE__, __LINE__);                      \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+#else
+#define FACTLOG_DCHECK(condition) \
+  do {                            \
+    (void)sizeof(condition);      \
+  } while (0)
+#endif
+
+#endif  // FACTLOG_COMMON_DCHECK_H_

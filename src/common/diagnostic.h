@@ -1,0 +1,124 @@
+// Structured diagnostics for static program analysis.
+//
+// The lint subsystem (analysis/lint.h) reports problems as `Diagnostic`
+// records instead of free-form Status strings: a stable machine-readable
+// code ("L001"), a severity, the offending rule's index, a rendered snippet,
+// and a fix hint. Stable codes let tests, CI gates, and editor integrations
+// match on the *kind* of problem while the message text stays free to
+// improve; the rendering below follows the rustc report shape
+// (`error[L001]: ... --> rule #2: ...`).
+
+#ifndef FACTLOG_COMMON_DIAGNOSTIC_H_
+#define FACTLOG_COMMON_DIAGNOSTIC_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace factlog {
+
+/// How bad a Diagnostic is. Errors reject compilation; warnings ride along
+/// on the compiled artifact.
+enum class Severity {
+  kWarning = 0,
+  kError,
+};
+
+inline const char* SeverityToString(Severity severity) {
+  return severity == Severity::kError ? "error" : "warning";
+}
+
+/// One finding of a static analysis: a stable code, a severity, where it
+/// points (rule index and a rendered snippet), and how to fix it.
+struct Diagnostic {
+  /// Stable machine-readable code, e.g. "L001". Codes are append-only: a
+  /// published code never changes meaning (see the table in README.md).
+  std::string code;
+  Severity severity = Severity::kWarning;
+  /// One-sentence statement of the defect.
+  std::string message;
+  /// Index into Program::rules() of the offending rule, or -1 for
+  /// program-level findings (query, declarations, cross-rule consistency).
+  int rule_index = -1;
+  /// Rendering of the offending clause / atom / variable for the report.
+  std::string snippet;
+  /// Actionable fix suggestion; may be empty.
+  std::string hint;
+
+  /// "error[L001]: <message>" plus location and hint lines, rustc-style.
+  std::string Render() const {
+    std::string out = SeverityToString(severity);
+    out += "[" + code + "]: " + message;
+    if (!snippet.empty()) {
+      out += "\n  --> ";
+      if (rule_index >= 0) {
+        out += "rule #" + std::to_string(rule_index + 1) + ": ";
+      }
+      out += snippet;
+    }
+    if (!hint.empty()) {
+      out += "\n  = hint: " + hint;
+    }
+    return out;
+  }
+
+  /// Compact one-line form for pass-trace notes: "L101: <message>".
+  std::string ToString() const {
+    std::string out = code + ": " + message;
+    if (rule_index >= 0) out += " (rule #" + std::to_string(rule_index + 1) + ")";
+    return out;
+  }
+};
+
+inline size_t CountErrors(const std::vector<Diagnostic>& diagnostics) {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+inline size_t CountWarnings(const std::vector<Diagnostic>& diagnostics) {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kWarning) ++n;
+  }
+  return n;
+}
+
+inline bool HasErrors(const std::vector<Diagnostic>& diagnostics) {
+  return CountErrors(diagnostics) > 0;
+}
+
+/// Full multi-record report: every diagnostic rendered rustc-style, errors
+/// first, with a trailing summary line.
+inline std::string RenderDiagnostics(
+    const std::vector<Diagnostic>& diagnostics) {
+  std::string out;
+  for (Severity severity : {Severity::kError, Severity::kWarning}) {
+    for (const Diagnostic& d : diagnostics) {
+      if (d.severity != severity) continue;
+      out += d.Render();
+      out += "\n";
+    }
+  }
+  const size_t errors = CountErrors(diagnostics);
+  const size_t warnings = CountWarnings(diagnostics);
+  out += "lint: " + std::to_string(errors) + " error" +
+         (errors == 1 ? "" : "s") + ", " + std::to_string(warnings) +
+         " warning" + (warnings == 1 ? "" : "s") + "\n";
+  return out;
+}
+
+/// kInvalidArgument carrying the rendered report — the status a compilation
+/// rejected by lint errors returns.
+inline Status DiagnosticsToStatus(const std::vector<Diagnostic>& diagnostics) {
+  return Status::Invalid("program failed lint:\n" +
+                         RenderDiagnostics(diagnostics));
+}
+
+}  // namespace factlog
+
+#endif  // FACTLOG_COMMON_DIAGNOSTIC_H_

@@ -7,11 +7,12 @@
 #ifndef FACTLOG_COMMON_STATUS_H_
 #define FACTLOG_COMMON_STATUS_H_
 
-#include <cassert>
 #include <optional>
 #include <string>
 #include <utility>
 #include <variant>
+
+#include "common/dcheck.h"
 
 namespace factlog {
 
@@ -92,7 +93,8 @@ class Result {
   /// Implicit from a non-OK Status. Constructing from an OK status is a
   /// programming error.
   Result(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "Result constructed from OK status without value");
+    FACTLOG_DCHECK(!status_.ok() &&
+                   "Result constructed from OK status without value");
   }
 
   bool ok() const { return value_.has_value(); }
@@ -100,15 +102,15 @@ class Result {
 
   /// Access the contained value. Precondition: ok().
   const T& value() const& {
-    assert(ok());
+    FACTLOG_DCHECK(ok());
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    FACTLOG_DCHECK(ok());
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    FACTLOG_DCHECK(ok());
     return std::move(*value_);
   }
 

@@ -25,6 +25,20 @@ Status AttachJoinPlan(TransformState* state, const PipelineOptions& opts) {
   return Status::OK();
 }
 
+// Every compilation opens with the lint pass: static safety / arity /
+// stratification analysis over the source program. Lint errors reject the
+// compilation right here with kInvalidArgument carrying the rendered
+// diagnostics; warnings accumulate on state->diagnostics. Like the join-plan
+// pass, it runs outside the strategy sequences so PassesForStrategy keeps
+// returning exactly the strategy's own passes.
+Status AttachLint(TransformState* state, const PipelineOptions& opts) {
+  FACTLOG_ASSIGN_OR_RETURN(
+      bool completed,
+      RunPasses(MakeSequence(MakeLintPass(opts.lint)), *state));
+  (void)completed;
+  return Status::OK();
+}
+
 Result<CompiledQuery> FinishCompile(TransformState&& state, Strategy strategy,
                                     const PipelineOptions& opts);
 
@@ -67,6 +81,7 @@ Result<CompiledQuery> FinishCompile(TransformState&& state, Strategy strategy,
   }
   out.source = std::move(state.source);
   out.source_query = std::move(state.source_query);
+  out.diagnostics = std::move(state.diagnostics);
   out.trace = std::move(state.trace);
   return out;
 }
@@ -113,13 +128,17 @@ PassSequence PassesForStrategy(Strategy strategy, const PipelineOptions& opts) {
 Result<CompiledQuery> CompileQuery(const ast::Program& program,
                                    const ast::Atom& query, Strategy strategy,
                                    const PipelineOptions& opts) {
+  TransformState state;
+  state.source = program;
+  state.source_query = query;
+  // Mandatory opening pass: lint errors reject the compilation before any
+  // strategy (including the kAuto fallbacks) runs.
+  FACTLOG_RETURN_IF_ERROR(AttachLint(&state, opts));
+
   if (strategy == Strategy::kAuto) {
     // Try the paper pipeline first; when factoring does not apply (or the
     // program falls outside the §4 templates entirely), fall back to
     // supplementary magic.
-    TransformState state;
-    state.source = program;
-    state.source_query = query;
     Result<bool> ran =
         RunPasses(PassesForStrategy(Strategy::kFactoring, opts), state);
     if (ran.ok() && state.factoring_applied) {
@@ -135,10 +154,15 @@ Result<CompiledQuery> CompileQuery(const ast::Program& program,
     }
     // The factoring pipeline failed outright (e.g. not a unit program, so
     // classification errored); record why and compile supplementary magic
-    // from scratch.
+    // from scratch, carrying the lint verdict (trace entry + warnings) over
+    // so the fallback's artifact still reports it.
     TransformState fallback;
     fallback.source = program;
     fallback.source_query = query;
+    fallback.diagnostics = std::move(state.diagnostics);
+    if (!state.trace.empty() && state.trace.front().pass == "lint") {
+      fallback.trace.push_back(std::move(state.trace.front()));
+    }
     PassTraceEntry note;
     note.pass = "auto-fallback";
     note.notes.push_back("factoring pipeline failed: " +
@@ -149,9 +173,6 @@ Result<CompiledQuery> CompileQuery(const ast::Program& program,
                      Strategy::kSupplementaryMagic, opts);
   }
 
-  TransformState state;
-  state.source = program;
-  state.source_query = query;
   RunPassesOptions run_opts;
   // kFactoring keeps the paper's graceful Magic fallback; every other
   // concrete strategy either applies or fails.
@@ -169,6 +190,7 @@ Result<PipelineResult> OptimizeQuery(const ast::Program& program,
   TransformState state;
   state.source = program;
   state.source_query = query;
+  FACTLOG_RETURN_IF_ERROR(AttachLint(&state, opts));
   FACTLOG_ASSIGN_OR_RETURN(
       bool completed,
       RunPasses(PassesForStrategy(Strategy::kFactoring, opts), state));
@@ -196,6 +218,7 @@ Result<PipelineResult> OptimizeQuery(const ast::Program& program,
   out.factored = std::move(state.factored);
   out.optimized = std::move(state.optimized);
   if (state.plans.has_value()) out.plans = std::move(*state.plans);
+  out.diagnostics = std::move(state.diagnostics);
   out.trace = std::move(state.trace);
   return out;
 }

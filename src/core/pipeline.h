@@ -12,6 +12,11 @@
 //   kCounting:           adorn -> classify -> counting
 //   kLinearRewrite:      adorn -> classify -> linear-rewrite
 //
+// Every compilation additionally opens with the mandatory `lint` pass
+// (static safety / arity / stratification analysis, analysis/lint.h) and
+// closes with the `join-plan` pass; both run outside PassesForStrategy so
+// the sequences above stay exactly the strategy's own passes.
+//
 // `CompileQuery` runs a sequence and packages the outcome as a
 // `CompiledQuery`; `kFactoring` keeps the paper's graceful fallback (the
 // Magic program when the Theorems 4.1-4.3 conditions fail), `kAuto` upgrades
@@ -39,6 +44,11 @@
 namespace factlog::core {
 
 struct PipelineOptions {
+  /// Options for the mandatory lint pass that opens every compilation
+  /// (analysis/lint.h): prospective negative edges, the engine's EDB schema,
+  /// and the top-down safety downgrade. Lint errors reject compilation with
+  /// kInvalidArgument; warnings ride on CompiledQuery::diagnostics.
+  analysis::LintOptions lint;
   /// Retry classification after static-argument reduction (Lemma 5.1/5.2)
   /// when the first attempt is not RLC-stable or not factorable.
   bool try_static_reduction = true;
@@ -90,6 +100,9 @@ struct PipelineResult {
 
   /// Per-rule join plans for final_program() (join-plan pass output).
   plan::ProgramPlan plans;
+
+  /// Lint warnings for the source program (lint errors reject compilation).
+  std::vector<Diagnostic> diagnostics;
 
   /// Structured per-pass decision log (timings, rule counts, notes).
   std::vector<PassTraceEntry> trace;

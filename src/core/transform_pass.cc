@@ -250,6 +250,33 @@ void NoteShapes(TransformState& state) {
 
 // ---- Concrete passes -------------------------------------------------------
 
+class LintPass : public Transform {
+ public:
+  explicit LintPass(analysis::LintOptions opts) : opts_(std::move(opts)) {}
+  const char* name() const override { return "lint"; }
+  Result<PassOutcome> Apply(TransformState& state) override {
+    // Lint the program as the user wrote it, with the query attached so the
+    // reachability checks (L105/L106) see it.
+    ast::Program program = state.source;
+    program.set_query(state.source_query);
+    analysis::LintReport report = analysis::LintProgram(program, opts_);
+    for (const Diagnostic& d : report.diagnostics) state.Note(d.ToString());
+    if (report.num_strata > 1) {
+      state.Note("stratification: " + std::to_string(report.num_strata) +
+                 " strata");
+    }
+    if (!report.ok()) return DiagnosticsToStatus(report.diagnostics);
+    if (report.diagnostics.empty()) return PassOutcome::kSkipped;
+    state.diagnostics.insert(state.diagnostics.end(),
+                             report.diagnostics.begin(),
+                             report.diagnostics.end());
+    return PassOutcome::kApplied;
+  }
+
+ private:
+  analysis::LintOptions opts_;
+};
+
 class AdornPass : public Transform {
  public:
   const char* name() const override { return "adorn"; }
@@ -693,6 +720,10 @@ class JoinPlanPass : public Transform {
 };
 
 }  // namespace
+
+std::unique_ptr<Transform> MakeLintPass(analysis::LintOptions opts) {
+  return std::make_unique<LintPass>(std::move(opts));
+}
 
 std::unique_ptr<Transform> MakeJoinPlanPass(plan::PlanOptions opts) {
   return std::make_unique<JoinPlanPass>(std::move(opts));

@@ -22,7 +22,9 @@
 #include <vector>
 
 #include "analysis/adornment.h"
+#include "analysis/lint.h"
 #include "ast/program.h"
+#include "common/diagnostic.h"
 #include "common/status.h"
 #include "core/factorability.h"
 #include "core/factoring.h"
@@ -116,6 +118,10 @@ struct TransformState {
   /// Metadata for the §5 passes, filled by the factoring pass.
   OptimizationContext opt_ctx;
 
+  /// Lint warnings from the opening lint pass (errors abort the sequence
+  /// instead of landing here). Carried onto CompiledQuery::diagnostics.
+  std::vector<Diagnostic> diagnostics;
+
   /// Structured log, one entry per executed pass (RunPasses appends).
   std::vector<PassTraceEntry> trace;
 
@@ -173,6 +179,12 @@ Result<bool> RunPasses(const PassSequence& passes, TransformState& state,
                        const RunPassesOptions& opts = {});
 
 // ---- Concrete pass factories -----------------------------------------------
+
+/// Static analysis (analysis/lint.h) over the source program + query: the
+/// mandatory opening pass of every compilation. Lint errors fail the pass
+/// with kInvalidArgument carrying the rendered report; warnings accumulate
+/// on TransformState::diagnostics and as trace notes.
+std::unique_ptr<Transform> MakeLintPass(analysis::LintOptions opts = {});
 
 /// Adorns `source` for `source_query` (left-to-right SIP).
 std::unique_ptr<Transform> MakeAdornPass();
@@ -261,6 +273,10 @@ struct CompiledQuery {
   /// live extents to decide when a cached or persisted plan must be
   /// recompiled.
   std::map<std::string, uint64_t> planner_hints;
+  /// Lint warnings the opening lint pass reported for the source program
+  /// (errors reject compilation outright, so a CompiledQuery never carries
+  /// error-severity records).
+  std::vector<Diagnostic> diagnostics;
   /// Structured per-pass trace with timings and rule counts.
   std::vector<PassTraceEntry> trace;
 };

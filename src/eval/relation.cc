@@ -486,7 +486,7 @@ size_t Relation::Absorb(const Relation& other) {
     row_locs_.reserve(num_rows_ + other.num_rows_);
     for (size_t s = 0; s < shards_.size(); ++s) {
       const Relation& src = *other.shards_[s];
-      if (src.size() == 0) continue;
+      if (src.empty()) continue;
       DetachShard(s);  // rows are coming; detach once instead of per row
       shards_[s]->Reserve(shards_[s]->size() + src.size());
       const bool src_paged = src.paged_ != nullptr;

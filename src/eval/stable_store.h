@@ -37,6 +37,7 @@ class StableStore {
   StableStore& operator=(const StableStore&) = delete;
 
   size_t size() const { return size_.load(std::memory_order_acquire); }
+  // NOLINTNEXTLINE(readability-container-size-empty): this IS empty().
   bool empty() const { return size() == 0; }
 
   const T& operator[](size_t i) const {

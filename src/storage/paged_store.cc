@@ -1,7 +1,8 @@
 #include "storage/paged_store.h"
 
-#include <cassert>
 #include <cstring>
+
+#include "common/dcheck.h"
 
 namespace factlog::storage {
 
@@ -10,7 +11,7 @@ PagedRowStore::PagedRowStore(std::shared_ptr<TableSpace> space,
     : space_(std::move(space)),
       row_bytes_(row_bytes),
       rows_per_page_(PageCapacity(row_bytes)) {
-  assert(RowFits(row_bytes));
+  FACTLOG_DCHECK(RowFits(row_bytes));
 }
 
 PagedRowStore::~PagedRowStore() {

@@ -245,9 +245,12 @@ TEST(PipelineTest, TraceRecordsDecisions) {
   EXPECT_NE(all.find("selection-pushing"), std::string::npos);
   EXPECT_NE(all.find("factored"), std::string::npos);
   // The trace is structured: every executed pass contributes an entry with
-  // its name and rule counts.
+  // its name and rule counts. Compilation opens with the mandatory lint
+  // pass; the strategy's own passes follow.
   ASSERT_FALSE(result->trace.empty());
-  EXPECT_EQ(result->trace.front().pass, "adorn");
+  EXPECT_EQ(result->trace.front().pass, "lint");
+  ASSERT_GT(result->trace.size(), 1u);
+  EXPECT_EQ(result->trace[1].pass, "adorn");
   bool saw_factoring_pass = false;
   for (const PassTraceEntry& entry : result->trace) {
     if (entry.pass == "factoring") {
