@@ -1,0 +1,232 @@
+// Adaptive join-planning bench: what mid-fixpoint re-planning buys on a
+// misleading-hint workload, emitting JSON to stdout so the perf trajectory
+// can be tracked across PRs.
+//
+// The workload is a "broom": seeded reachability down a chain of `--chain`
+// edges, with `--junk` extra edges that share no nodes with the chain. The
+// recursive rule's delta is one row per iteration while e holds
+// chain + junk rows — and the join plan is costed as if e held 4 rows (the
+// "plan compiled while the database was tiny" scenario), so the static
+// planner picks e as the driver and scans the whole relation every
+// iteration. The adaptive run (EvalOptions::replan_threshold) notices the
+// extent drift before the first delta pass and switches the driver to the
+// delta.
+//
+// Both runs are compared fact-for-fact ("matches"): re-planning only
+// permutes the enumeration order, never the set of satisfying assignments,
+// so head instantiations are identical by construction and the join-work
+// win shows up in rows_matched — the per-literal match work the bad driver
+// wastes. Both counters are deterministic and hardware-independent, so CI
+// gates on them from a 1-core container.
+//
+// A second experiment drives the engine's re-cost path: a plan cached while
+// the EDB was small is hit again after 26x growth — the drift guard must
+// re-plan it in place (plans_recosted) without a recompile.
+//
+//   usage: bench_adaptive [--chain N] [--junk N]
+//
+//   $ ./bench_adaptive | python3 -m json.tool
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "ast/parser.h"
+#include "eval/seminaive.h"
+#include "plan/join_plan.h"
+
+namespace {
+
+using namespace factlog;
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsBetween(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(b - a)
+      .count();
+}
+
+int Die(const char* what, const Status& st) {
+  std::fprintf(stderr, "%s: %s\n", what, st.ToString().c_str());
+  return 1;
+}
+
+constexpr char kSeededTc[] =
+    "t(X, Y) :- seed(X, Y). t(X, Y) :- e(X, W), t(W, Y).";
+
+std::string BroomFacts(int64_t chain, int64_t junk) {
+  std::string out = "seed(" + std::to_string(chain) + ", " +
+                    std::to_string(chain + 1) + ").\n";
+  for (int64_t i = 0; i < chain; ++i) {
+    out += "e(" + std::to_string(i) + ", " + std::to_string(i + 1) + ").\n";
+  }
+  for (int64_t i = 0; i < junk; ++i) {
+    out += "e(" + std::to_string(1000000 + i) + ", " +
+           std::to_string(2000000 + i) + ").\n";
+  }
+  return out;
+}
+
+bool LoadInto(eval::Database* db, const std::string& facts) {
+  auto program = ast::ParseProgram(facts);
+  if (!program.ok()) return false;
+  for (const ast::Rule& rule : program->rules()) {
+    if (!rule.IsFact() || !db->AddFact(rule.head()).ok()) return false;
+  }
+  return true;
+}
+
+// Order-independent rendering of an answer set (the two runs use separate
+// ValueStores).
+std::set<std::string> Tuples(const eval::AnswerSet& answers,
+                             const eval::ValueStore& store) {
+  std::set<std::string> out;
+  for (const auto& row : answers.rows) {
+    std::string s;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) s += ",";
+      s += store.ToString(row[i]);
+    }
+    out.insert(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t chain = 200;
+  int64_t junk = 20000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--chain") == 0 && i + 1 < argc) {
+      chain = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--junk") == 0 && i + 1 < argc) {
+      junk = std::atoll(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: bench_adaptive [--chain N] [--junk N]\n");
+      return 2;
+    }
+  }
+
+  // ---- Experiment 1: misleading plan, static vs adaptive fixpoint -----------
+  auto program = ast::ParseProgram(kSeededTc);
+  if (!program.ok()) return Die("parse", program.status());
+  auto qprog = ast::ParseProgram("?- t(X, Y).");
+  if (!qprog.ok() || !qprog->query().has_value()) {
+    return Die("parse query", qprog.status());
+  }
+  const ast::Atom query = *qprog->query();
+
+  // The misleading compile-time guess: e costed at 4 rows when it really
+  // holds chain + junk.
+  plan::PlanOptions misleading_opts;
+  misleading_opts.extent_hints["e"] = 4;
+  misleading_opts.extent_hints["seed"] = 1;
+  const plan::ProgramPlan misleading =
+      plan::PlanProgram(*program, misleading_opts);
+
+  const std::string facts = BroomFacts(chain, junk);
+  struct RunResult {
+    eval::EvalStats stats;
+    std::set<std::string> tuples;
+    double seconds = 0;
+  };
+  auto run = [&](double threshold, RunResult* out) -> int {
+    eval::Database db;
+    if (!LoadInto(&db, facts)) {
+      return Die("load", Status::Internal("bad facts"));
+    }
+    eval::EvalOptions opts;
+    opts.program_plan = &misleading;
+    opts.replan_threshold = threshold;
+    auto t0 = Clock::now();
+    auto answers =
+        eval::EvaluateQuery(*program, query, &db, opts, &out->stats);
+    out->seconds = SecondsBetween(t0, Clock::now());
+    if (!answers.ok()) return Die("evaluate", answers.status());
+    out->tuples = Tuples(*answers, db.store());
+    return 0;
+  };
+
+  RunResult stat, adap;
+  if (int rc = run(/*threshold=*/0.0, &stat); rc != 0) return rc;
+  if (int rc = run(/*threshold=*/4.0, &adap); rc != 0) return rc;
+
+  const bool matches = adap.tuples == stat.tuples &&
+                       adap.stats.total_facts == stat.stats.total_facts &&
+                       adap.stats.instantiations == stat.stats.instantiations;
+  const double cut_pct =
+      stat.stats.rows_matched > 0
+          ? 100.0 * (1.0 - static_cast<double>(adap.stats.rows_matched) /
+                               static_cast<double>(stat.stats.rows_matched))
+          : 0.0;
+
+  // ---- Experiment 2: cached-plan drift re-costs in place --------------------
+  uint64_t plans_recosted = 0, recompiles = 0;
+  bool recost_cache_hit = false;
+  {
+    api::Engine engine;
+    if (Status st = engine.LoadFacts("e(1, 2). e(2, 3)."); !st.ok()) {
+      return Die("engine load", st);
+    }
+    const std::string prog = "p(X) :- e(X, Y). ?- p(X).";
+    if (auto a = engine.Query(prog); !a.ok()) return Die("warm", a.status());
+    const uint64_t compiles_before = engine.stats().compiles;
+    std::string growth;
+    for (int i = 100; i < 160; ++i) {
+      growth += "e(" + std::to_string(i) + ", 0).\n";
+    }
+    if (Status st = engine.LoadFacts(growth); !st.ok()) {
+      return Die("grow", st);
+    }
+    auto p2 = ast::ParseProgram(prog);
+    if (!p2.ok() || !p2->query().has_value()) return Die("parse", p2.status());
+    api::QueryStats qs;
+    if (auto a = engine.Query(*p2, *p2->query(), api::Strategy::kAuto, &qs);
+        !a.ok()) {
+      return Die("drifted", a.status());
+    }
+    plans_recosted = engine.stats().plans_recosted;
+    recompiles = engine.stats().compiles - compiles_before;
+    recost_cache_hit = qs.cache_hit;
+  }
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"adaptive\",\n");
+  std::printf("  \"schema_version\": 1,\n");
+  std::printf("  \"workload\": {\"chain\": %lld, \"junk\": %lld, "
+              "\"edges\": %lld, \"answers\": %zu},\n",
+              static_cast<long long>(chain), static_cast<long long>(junk),
+              static_cast<long long>(chain + junk), stat.tuples.size());
+  std::printf("  \"static\": {\"instantiations\": %llu, \"rows_matched\": "
+              "%llu, \"replans\": %llu, \"iterations\": %llu, \"seconds\": "
+              "%.6f},\n",
+              static_cast<unsigned long long>(stat.stats.instantiations),
+              static_cast<unsigned long long>(stat.stats.rows_matched),
+              static_cast<unsigned long long>(stat.stats.replans),
+              static_cast<unsigned long long>(stat.stats.iterations),
+              stat.seconds);
+  std::printf("  \"adaptive\": {\"instantiations\": %llu, \"rows_matched\": "
+              "%llu, \"replans\": %llu, \"iterations\": %llu, \"seconds\": "
+              "%.6f},\n",
+              static_cast<unsigned long long>(adap.stats.instantiations),
+              static_cast<unsigned long long>(adap.stats.rows_matched),
+              static_cast<unsigned long long>(adap.stats.replans),
+              static_cast<unsigned long long>(adap.stats.iterations),
+              adap.seconds);
+  std::printf("  \"matches\": %s,\n", matches ? "true" : "false");
+  std::printf("  \"join_work_cut_pct\": %.2f,\n", cut_pct);
+  std::printf("  \"engine\": {\"plans_recosted\": %llu, \"recompiles\": "
+              "%llu, \"recost_was_cache_hit\": %s}\n",
+              static_cast<unsigned long long>(plans_recosted),
+              static_cast<unsigned long long>(recompiles),
+              recost_cache_hit ? "true" : "false");
+  std::printf("}\n");
+  return matches ? 0 : 1;
+}

@@ -9,6 +9,8 @@
 //            [--threads <n>] [--shards <n>]
 //            [--batch <queries.txt>] [--incremental] [--serve]
 //            [--db <dir>]
+//            [--cost-default-rows <n>] [--cost-bits <n>]
+//            [--cost-delta-rows <n>]
 //
 // The program file must contain a `?- query.` line (optional with --batch
 // and --lint).
@@ -25,7 +27,14 @@
 // (per-pass timings, rule counts, and decisions). `--explain` prints each
 // rule's stored join plan: the evaluation order, the per-literal index
 // columns the engines pre-build, and the driver literal the parallel
-// fixpoint partitions by.
+// fixpoint partitions by. After an evaluation (--facts/--db), --explain
+// additionally re-prints the plan with the measured cardinality next to
+// each literal's estimate (the engine's statistics catalog).
+//
+// --cost-default-rows / --cost-bits / --cost-delta-rows override the join
+// planner's cost-model constants (plan::CostModelParams): the no-hint extent
+// estimate, the selectivity bits credited per bound column, and the assumed
+// delta size of semi-naive IDB literals.
 //
 // --incremental (requires --facts) materializes the query as a live view and
 // reads update commands from stdin, maintaining the answers with delta-sized
@@ -132,7 +141,9 @@ int Usage() {
                "[--stage trace|magic|factored|final] [--explain] [--lint] "
                "[--facts <facts.dl>] "
                "[--threads <n>] [--shards <n>] [--batch <queries.txt>] "
-               "[--incremental] [--serve] [--db <dir>]\n";
+               "[--incremental] [--serve] [--db <dir>] "
+               "[--cost-default-rows <n>] [--cost-bits <n>] "
+               "[--cost-delta-rows <n>]\n";
   return 2;
 }
 
@@ -180,6 +191,17 @@ void PrintStorageStats(factlog::api::Engine* engine, std::ostream& out) {
       << ps.storage.last_committed_epoch << "; " << ps.storage.num_pages
       << " pages (" << ps.storage.free_pages << " free), "
       << ps.storage.checkpoints << " checkpoints\n";
+}
+
+// The interactive `stats` commands' engine-counter line: plan-cache traffic
+// plus the adaptive-planning counters — cached plans re-costed in place
+// after extent drift, and mid-fixpoint driver switches.
+void PrintEngineStats(factlog::api::Engine* engine, std::ostream& out) {
+  const factlog::api::EngineStats es = engine->stats();
+  out << "% engine: " << es.compiles << " compiles, " << es.cache_hits
+      << " cache hits; plans_recosted " << es.plans_recosted
+      << " (stale-guard firings " << es.plans_invalidated << "); replans "
+      << es.replans << "\n";
 }
 
 // --incremental mode: materialize the query as a live view, then maintain it
@@ -247,6 +269,7 @@ int RunIncremental(factlog::api::Engine* engine,
                 << lu.cone_pruned << " pruned / " << lu.overdeleted
                 << " deleted; edges +" << lu.edges_added << " -"
                 << lu.edges_removed << "\n";
+      PrintEngineStats(engine, std::cout);
       if (engine->persistent()) PrintStorageStats(engine, std::cout);
       continue;
     }
@@ -404,6 +427,7 @@ int RunServe(factlog::api::Engine* engine,
                 << s.accepted_updates << " done (" << s.rejected_updates
                 << " rejected); " << s.epochs_installed
                 << " epochs installed; " << s.inflight << " in flight\n";
+      PrintEngineStats(engine, std::cout);
       continue;
     }
     if (cmd.size() < 2 || (cmd[0] != '+' && cmd[0] != '-')) {
@@ -463,8 +487,8 @@ std::string ShardRowsSuffix(const std::vector<uint64_t>& shard_facts) {
 // against the program's rules; all queries execute concurrently.
 int RunBatch(const factlog::ast::Program& program,
              const std::string& batch_path, const std::string& facts_path,
-             factlog::core::Strategy strategy, size_t threads,
-             size_t shards) {
+             factlog::core::Strategy strategy, size_t threads, size_t shards,
+             const factlog::plan::CostModelParams& cost) {
   using namespace factlog;
   auto batch_text = ReadFile(batch_path);
   if (!batch_text.ok()) return Fail(batch_text.status());
@@ -492,6 +516,7 @@ int RunBatch(const factlog::ast::Program& program,
   api::EngineOptions options;
   options.num_threads = threads;
   options.num_shards = shards;
+  options.pipeline.planner.cost = cost;
   api::Engine engine(options);
   if (!facts_path.empty()) {
     auto facts_text = ReadFile(facts_path);
@@ -539,6 +564,20 @@ int main(int argc, char** argv) {
   bool explain = false;
   bool lint_only = false;
   core::Strategy strategy = core::Strategy::kFactoring;
+  plan::CostModelParams cost;
+  // Parses a bounded unsigned flag value; returns false (after printing) on
+  // junk so every numeric flag rejects bad input the same way.
+  auto parse_count = [&](const char* flag, const char* value,
+                         unsigned long max, unsigned long* out) {
+    char* end = nullptr;
+    unsigned long parsed = std::strtoul(value, &end, 10);
+    if (end == value || *end != '\0' || parsed > max) {
+      std::cerr << "invalid " << flag << " value: " << value << "\n";
+      return false;
+    }
+    *out = parsed;
+    return true;
+  };
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--stage" && i + 1 < argc) {
@@ -580,6 +619,24 @@ int main(int argc, char** argv) {
         return Usage();
       }
       strategy = *parsed;
+    } else if (arg == "--cost-default-rows" && i + 1 < argc) {
+      unsigned long v = 0;
+      if (!parse_count("--cost-default-rows", argv[++i], 1ul << 40, &v) ||
+          v == 0) {
+        return Usage();
+      }
+      cost.default_rows = v;
+    } else if (arg == "--cost-bits" && i + 1 < argc) {
+      unsigned long v = 0;
+      if (!parse_count("--cost-bits", argv[++i], 32, &v)) return Usage();
+      cost.bits_per_bound_col = static_cast<unsigned>(v);
+    } else if (arg == "--cost-delta-rows" && i + 1 < argc) {
+      unsigned long v = 0;
+      if (!parse_count("--cost-delta-rows", argv[++i], 1ul << 40, &v) ||
+          v == 0) {
+        return Usage();
+      }
+      cost.delta_rows = v;
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       return Usage();
@@ -599,7 +656,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     return RunBatch(*program, batch_path, facts_path, strategy, threads,
-                    shards);
+                    shards, cost);
   }
   if (!program->query().has_value()) {
     std::cerr << "error: the program has no '?-' query\n";
@@ -620,8 +677,11 @@ int main(int argc, char** argv) {
   }
   core::CompiledQuery compiled;
   std::optional<core::PipelineResult> pipeline;
+  core::PipelineOptions pipeline_options;
+  pipeline_options.planner.cost = cost;
   if (strategy == core::Strategy::kFactoring) {
-    auto full = core::OptimizeQuery(*program, *program->query());
+    auto full =
+        core::OptimizeQuery(*program, *program->query(), pipeline_options);
     if (!full.ok()) return Fail(full.status());
     // Equivalent to CompileQuery(kFactoring) — tests assert they agree —
     // without compiling the pipeline a second time.
@@ -635,7 +695,8 @@ int main(int argc, char** argv) {
     compiled.trace = full->trace;
     pipeline = std::move(full).value();
   } else {
-    auto result = core::CompileQuery(*program, *program->query(), strategy);
+    auto result = core::CompileQuery(*program, *program->query(), strategy,
+                                     pipeline_options);
     if (!result.ok()) return Fail(result.status());
     compiled = std::move(result).value();
   }
@@ -684,6 +745,7 @@ int main(int argc, char** argv) {
     // Serving runs the request queue on the engine's pool.
     engine_options.num_threads = (serve && threads == 0) ? 2 : threads;
     engine_options.num_shards = shards;
+    engine_options.pipeline.planner.cost = cost;
     // --db opens a disk-backed engine, recovering any previous session's
     // checkpoint + WAL; otherwise the engine is in-memory.
     std::unique_ptr<api::Engine> engine_owner;
@@ -721,6 +783,15 @@ int main(int argc, char** argv) {
               << stats.eval.total_facts << " facts derived"
               << ShardRowsSuffix(stats.eval.shard_facts) << ") ---\n"
               << answers->ToString(engine.db().store());
+    if (explain) {
+      // The evaluation just fed the statistics catalog: re-print the plan
+      // with the measured cardinality next to each literal's estimate.
+      std::cout << "% --- join plan, estimated vs observed (replans "
+                << stats.eval.replans << ", plans_recosted "
+                << engine.stats().plans_recosted << ") ---\n"
+                << plan::Explain(compiled.program, compiled.plans,
+                                 &engine.stats_catalog());
+    }
   }
   return 0;
 }

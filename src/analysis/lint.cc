@@ -358,6 +358,40 @@ void CheckRedundantRules(const ast::Program& program,
 
 // ---- L104: cartesian-product joins ----
 
+void CheckCartesianRule(const ast::Rule& rule, size_t rule_index,
+                        const plan::JoinPlan& jp,
+                        std::vector<Diagnostic>* out) {
+  std::set<std::string> bound;
+  bool seen_relation = false;
+  for (const plan::LiteralPlan& lp : jp.order) {
+    const ast::Atom& a = rule.body()[lp.body_index];
+    std::vector<std::string> vars;
+    a.CollectVars(&vars);
+    if (lp.is_relation) {
+      const bool shares =
+          std::any_of(vars.begin(), vars.end(), [&](const std::string& v) {
+            return bound.count(v) > 0;
+          });
+      if (seen_relation && !vars.empty() && !shares) {
+        Diagnostic d;
+        d.code = "L104";
+        d.severity = Severity::kWarning;
+        d.message = "cartesian product: '" + a.ToString() +
+                    "' shares no variable with the literals joined before "
+                    "it in the best plan";
+        d.rule_index = static_cast<int>(rule_index);
+        d.snippet = Truncate(rule.ToString());
+        d.hint =
+            "connect the literal through a shared variable, or split the "
+            "rule";
+        out->push_back(std::move(d));
+      }
+      seen_relation = true;
+    }
+    bound.insert(vars.begin(), vars.end());
+  }
+}
+
 void CheckCartesianJoins(const ast::Program& program,
                          std::vector<Diagnostic>* out) {
   // Reuse the cost-based planner: if even the cheapest plan order joins a
@@ -367,36 +401,7 @@ void CheckCartesianJoins(const ast::Program& program,
   for (size_t i = 0; i < program.rules().size(); ++i) {
     const ast::Rule& rule = program.rules()[i];
     if (rule.body().size() < 2) continue;
-    const plan::JoinPlan jp = plan::PlanRule(rule, plan_opts);
-    std::set<std::string> bound;
-    bool seen_relation = false;
-    for (const plan::LiteralPlan& lp : jp.order) {
-      const ast::Atom& a = rule.body()[lp.body_index];
-      std::vector<std::string> vars;
-      a.CollectVars(&vars);
-      if (lp.is_relation) {
-        const bool shares =
-            std::any_of(vars.begin(), vars.end(), [&](const std::string& v) {
-              return bound.count(v) > 0;
-            });
-        if (seen_relation && !vars.empty() && !shares) {
-          Diagnostic d;
-          d.code = "L104";
-          d.severity = Severity::kWarning;
-          d.message = "cartesian product: '" + a.ToString() +
-                      "' shares no variable with the literals joined before "
-                      "it in the best plan";
-          d.rule_index = static_cast<int>(i);
-          d.snippet = Truncate(rule.ToString());
-          d.hint =
-              "connect the literal through a shared variable, or split the "
-              "rule";
-          out->push_back(std::move(d));
-        }
-        seen_relation = true;
-      }
-      bound.insert(vars.begin(), vars.end());
-    }
+    CheckCartesianRule(rule, i, plan::PlanRule(rule, plan_opts), out);
   }
 }
 
@@ -452,6 +457,18 @@ LintReport LintProgram(const ast::Program& program,
   CheckCartesianJoins(program, &report.diagnostics);
   CheckReachability(program, options, &report.diagnostics);
   return report;
+}
+
+std::vector<Diagnostic> LintCartesianJoins(const ast::Program& program,
+                                           const plan::ProgramPlan& plans) {
+  std::vector<Diagnostic> out;
+  if (!plans.Compatible(program)) return out;
+  for (size_t i = 0; i < program.rules().size(); ++i) {
+    const ast::Rule& rule = program.rules()[i];
+    if (rule.body().size() < 2) continue;
+    CheckCartesianRule(rule, i, plans.rules[i], &out);
+  }
+  return out;
 }
 
 }  // namespace factlog::analysis

@@ -51,6 +51,10 @@
 #include "ast/program.h"
 #include "common/diagnostic.h"
 
+namespace factlog::plan {
+struct ProgramPlan;
+}  // namespace factlog::plan
+
 namespace factlog::analysis {
 
 struct LintOptions {
@@ -88,6 +92,15 @@ struct LintReport {
 /// Diagnostics are ordered by check (L001 first), then by rule index.
 LintReport LintProgram(const ast::Program& program,
                        const LintOptions& options = {});
+
+/// Re-runs the L104 cartesian-join check against an already-computed program
+/// plan instead of re-planning with default options. The engine re-costs
+/// cached plans in place from measured cardinalities; the L104 verdict must
+/// track the plan that actually executes, so it is recomputed against the
+/// re-costed orders. Returns only L104 diagnostics; `plans` must be
+/// structurally compatible with `program` (empty result otherwise).
+std::vector<Diagnostic> LintCartesianJoins(const ast::Program& program,
+                                           const plan::ProgramPlan& plans);
 
 }  // namespace factlog::analysis
 

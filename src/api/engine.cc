@@ -22,16 +22,21 @@ int64_t MicrosSince(std::chrono::steady_clock::time_point start) {
 }
 
 /// Stale-plan threshold: a plan whose costed extents drifted beyond this
-/// factor (either direction) is recompiled rather than trusted. The +1 smooth
-/// keeps empty relations comparable (0 vs 3 rows is not 4x drift worth a
-/// recompile; 0 vs 1000 is).
+/// factor (either direction) is re-costed in place (cached plans) or dropped
+/// (persisted plans on Open) rather than trusted. The +1 smooth keeps empty
+/// relations comparable (0 vs 3 rows is not 4x drift worth acting on; 0 vs
+/// 1000 is).
 constexpr double kStaleDriftFactor = 4.0;
 
 bool ExtentsDrifted(const std::map<std::string, uint64_t>& hints,
                     const eval::Database& db) {
   for (const auto& [pred, hinted] : hints) {
     const eval::Relation* rel = db.Find(pred);
-    const double actual = (rel == nullptr ? 0.0 : rel->size()) + 1.0;
+    // Hints for predicates the database doesn't hold are measured IDB
+    // extents from the statistics catalog — there is no live size to
+    // compare them against, so they can't drift.
+    if (rel == nullptr) continue;
+    const double actual = static_cast<double>(rel->size()) + 1.0;
     const double costed = static_cast<double>(hinted) + 1.0;
     if (actual > costed * kStaleDriftFactor ||
         costed > actual * kStaleDriftFactor) {
@@ -90,6 +95,7 @@ Status Engine::AddFactImpl(const ast::Atom& fact) {
   // database. The first error is reported.
   Status result = Status::OK();
   bool have_views = false;
+  std::vector<plan::ProbeObservation> view_obs;
   {
     std::lock_guard<std::mutex> lock(view_mu_);
     if (!views_.empty()) {
@@ -99,10 +105,13 @@ Status Engine::AddFactImpl(const ast::Atom& fact) {
       for (auto& [key, view] : views_) {
         Status st = view->ApplyInsert(fact.predicate(), delta);
         if (!st.ok() && result.ok()) result = st;
+        std::vector<plan::ProbeObservation> obs = view->DrainObservations();
+        view_obs.insert(view_obs.end(), obs.begin(), obs.end());
       }
     }
   }
   rel.Insert(row);
+  stats_catalog_.ObserveBatch(view_obs);
   if (have_views) {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.view_updates;
@@ -141,6 +150,7 @@ Status Engine::RemoveFactImpl(const ast::Atom& fact) {
   const eval::Relation* rel = db_.Find(fact.predicate());
   Status result = Status::OK();
   bool have_views = false;
+  std::vector<plan::ProbeObservation> view_obs;
   {
     std::lock_guard<std::mutex> lock(view_mu_);
     if (!views_.empty()) {
@@ -152,9 +162,12 @@ Status Engine::RemoveFactImpl(const ast::Atom& fact) {
       for (auto& [key, view] : views_) {
         Status st = view->ApplyDelete(fact.predicate(), delta);
         if (!st.ok() && result.ok()) result = st;
+        std::vector<plan::ProbeObservation> obs = view->DrainObservations();
+        view_obs.insert(view_obs.end(), obs.begin(), obs.end());
       }
     }
   }
+  stats_catalog_.ObserveBatch(view_obs);
   if (have_views) {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.view_updates;
@@ -232,6 +245,7 @@ core::PipelineOptions Engine::PipelineOptionsForCompile(
       opts.planner.extent_hints[name] = rel->size();
       opts.lint.edb_arities.emplace(name, rel->arity());
     }
+    stats_catalog_.SeedPlanOptions(&opts.planner);
     return opts;
   }
   // Seed the join planner with the actual base-relation sizes. Reading the
@@ -245,6 +259,9 @@ core::PipelineOptions Engine::PipelineOptionsForCompile(
     opts.planner.extent_hints[name] = rel->size();
     opts.lint.edb_arities.emplace(name, rel->arity());
   }
+  // Measured feedback: observed delta means and probe selectivities (plus
+  // extents for predicates the live database doesn't know — derived IDB).
+  stats_catalog_.SeedPlanOptions(&opts.planner);
   return opts;
 }
 
@@ -302,24 +319,26 @@ Result<std::shared_ptr<const CompiledQuery>> Engine::CompileWithKey(
     auto it = cache_.find(key);
     if (it != cache_.end()) {
       // Stale-plan guard: the plan was costed against the extents recorded
-      // in planner_hints. If the database has since drifted past the re-cost
-      // threshold, the cached body orders may be badly wrong — evict and
-      // fall through to a fresh compilation against current sizes.
+      // in planner_hints. If the database has since drifted past the
+      // threshold, the cached body orders may be badly wrong — but the
+      // transform pipeline's output (the expensive part: classification,
+      // the NP-hard containments, magic/factoring) is still valid. Re-plan
+      // the join orders in place against current sizes and the statistics
+      // catalog instead of recompiling.
       const eval::Database* cost_db = hint_db != nullptr ? hint_db : &db_;
       if (!it->second.plan->planner_hints.empty() &&
           ExtentsDrifted(it->second.plan->planner_hints, *cost_db)) {
         ++stats_.plans_invalidated;
-        lru_.erase(it->second.lru_pos);
-        cache_.erase(it);
-      } else {
-        ++stats_.cache_hits;
-        lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-        if (stats != nullptr) {
-          stats->cache_hit = true;
-          stats->lint_warnings = it->second.plan->diagnostics.size();
-        }
-        return it->second.plan;
+        RecostCacheEntry(&it->second, *cost_db);
+        ++stats_.plans_recosted;
       }
+      ++stats_.cache_hits;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      if (stats != nullptr) {
+        stats->cache_hit = true;
+        stats->lint_warnings = it->second.plan->diagnostics.size();
+      }
+      return it->second.plan;
     }
     auto [fit, inserted] = inflight_.try_emplace(key);
     if (inserted) {
@@ -382,6 +401,58 @@ Result<std::shared_ptr<const CompiledQuery>> Engine::CompileWithKey(
   return plan;
 }
 
+void Engine::RecostCacheEntry(CacheEntry* entry,
+                              const eval::Database& cost_db) {
+  // Measured plan options: live base-relation sizes first (they always win),
+  // then the catalog's decayed delta means and probe selectivities.
+  plan::PlanOptions popts = options_.pipeline.planner;
+  for (const auto& [name, rel] : cost_db.relations()) {
+    popts.extent_hints[name] = rel->size();
+  }
+  stats_catalog_.SeedPlanOptions(&popts);
+
+  auto recosted = std::make_shared<CompiledQuery>(*entry->plan);
+  recosted->plans = plan::PlanProgram(recosted->program, popts);
+  // Refresh planner_hints exactly as FinishCompile records them (extents in
+  // effect, restricted to predicates the program mentions) — the drift guard
+  // re-arms against the sizes this re-cost saw.
+  recosted->planner_hints.clear();
+  for (const ast::Rule& rule : recosted->program.rules()) {
+    for (const ast::Atom& body : rule.body()) {
+      auto hit = popts.extent_hints.find(body.predicate());
+      if (hit != popts.extent_hints.end()) {
+        recosted->planner_hints[hit->first] = hit->second;
+      }
+    }
+  }
+  // The L104 cartesian-join verdict is a property of the plan that executes:
+  // recompute it against the re-costed orders.
+  std::vector<Diagnostic> diags;
+  for (Diagnostic& d : recosted->diagnostics) {
+    if (d.code != "L104") diags.push_back(std::move(d));
+  }
+  for (Diagnostic& d :
+       analysis::LintCartesianJoins(recosted->program, recosted->plans)) {
+    diags.push_back(std::move(d));
+  }
+  recosted->diagnostics = std::move(diags);
+  entry->plan = std::move(recosted);
+}
+
+void Engine::RecordEvalObservations(const eval::EvalStats& es) {
+  for (const auto& [pred, rows] : es.observed_extents) {
+    stats_catalog_.ObserveExtent(pred, rows);
+  }
+  for (const auto& [pred, mean] : es.observed_delta_mean) {
+    stats_catalog_.ObserveDelta(pred, mean);
+  }
+  stats_catalog_.ObserveBatch(es.probe_observations);
+  if (es.replans > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.replans += es.replans;
+  }
+}
+
 exec::ThreadPool* Engine::EnsurePool() {
   if (options_.num_threads == 0) return nullptr;
   std::lock_guard<std::mutex> lock(mu_);
@@ -411,6 +482,11 @@ Result<eval::AnswerSet> Engine::Execute(const CompiledQuery& plan,
       // Evaluate under the compile-time join plan (`plan` outlives the
       // call). The parallel fixpoint handles semi-naive without provenance;
       // the sequential evaluator stays the oracle for everything else.
+      // Evaluation counters are always collected — the measured
+      // cardinalities feed the statistics catalog even when the caller
+      // didn't ask for stats.
+      eval::EvalStats local_eval;
+      eval::EvalStats* es = stats != nullptr ? &stats->eval : &local_eval;
       bool parallel = options_.num_threads > 0 &&
                       !options_.eval.track_provenance &&
                       options_.eval.strategy == eval::Strategy::kSemiNaive;
@@ -419,16 +495,15 @@ Result<eval::AnswerSet> Engine::Execute(const CompiledQuery& plan,
         popts.eval = options_.eval;
         popts.eval.program_plan = &plan.plans;
         popts.num_shards = options_.num_shards;
-        answers = exec::EvaluateQueryParallel(
-            plan.program, plan.query, &db_, EnsurePool(), popts,
-            stats != nullptr ? &stats->eval : nullptr);
+        answers = exec::EvaluateQueryParallel(plan.program, plan.query, &db_,
+                                              EnsurePool(), popts, es);
       } else {
         eval::EvalOptions eopts = options_.eval;
         eopts.program_plan = &plan.plans;
-        answers = eval::EvaluateQuery(plan.program, plan.query, &db_, eopts,
-                                      stats != nullptr ? &stats->eval
-                                                       : nullptr);
+        answers =
+            eval::EvaluateQuery(plan.program, plan.query, &db_, eopts, es);
       }
+      if (answers.ok()) RecordEvalObservations(*es);
       break;
     }
     case ExecutionMode::kTopDown:
@@ -564,6 +639,7 @@ Result<ViewHandle> Engine::Materialize(const ast::Program& program,
     iopts.eval.program_plan = &plan->plans;
     FACTLOG_ASSIGN_OR_RETURN(
         view, inc::MaterializedView::Build(plan->program, &db_, iopts));
+    stats_catalog_.ObserveBatch(view->DrainObservations());
     if (stats != nullptr) stats->execute_us = MicrosSince(start);
   }
   std::lock_guard<std::mutex> lock(view_mu_);
@@ -936,8 +1012,10 @@ void Engine::ServingRead(const ast::Program& program, const ast::Atom& query,
   eopts.program_plan = &(*plan)->plans;
   eopts.shared_edb = true;          // snapshot relations are shared-immutable
   eopts.track_provenance = false;   // provenance needs private relations
+  eval::EvalStats es;
   Result<eval::AnswerSet> answers = eval::EvaluateQuery(
-      (*plan)->program, (*plan)->query, snap->db.get(), eopts, nullptr);
+      (*plan)->program, (*plan)->query, snap->db.get(), eopts, &es);
+  if (answers.ok()) RecordEvalObservations(es);
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.executions;
@@ -1075,6 +1153,28 @@ Status Engine::RestoreFromCheckpoint() {
       views_.emplace(vd.key, std::move(view));
     }
     ++views_restored_;
+  }
+
+  // Statistics catalog, before the plan warm-recompiles: restored plans are
+  // costed from the measured cardinalities the previous incarnation learned.
+  if (!meta.stats.empty()) {
+    std::map<std::string, plan::PredicateStats> entries;
+    for (const storage::PredicateStatsDump& sd : meta.stats) {
+      plan::PredicateStats ps;
+      ps.extent = sd.extent;
+      ps.extent_runs = sd.extent_runs;
+      ps.delta_mean = sd.delta_mean;
+      ps.delta_runs = sd.delta_runs;
+      for (const storage::ProbeStatDump& pb : sd.probes) {
+        plan::ProbeStats st;
+        st.probes = pb.probes;
+        st.matched = pb.matched;
+        st.runs = pb.runs;
+        ps.probes[pb.pattern] = st;
+      }
+      entries[sd.pred] = std::move(ps);
+    }
+    stats_catalog_.Restore(std::move(entries));
   }
 
   // Cached plans: drop entries whose costed extents drifted past the
@@ -1256,6 +1356,26 @@ Status Engine::Checkpoint() {
       pd.extent_hints = entry.plan->planner_hints;
       meta.plans.push_back(std::move(pd));
     }
+  }
+
+  // Statistics catalog: the decayed measured cardinalities, so a reopened
+  // engine plans from observations instead of re-learning them.
+  for (const auto& [pred, ps] : stats_catalog_.Snapshot()) {
+    storage::PredicateStatsDump sd;
+    sd.pred = pred;
+    sd.extent = ps.extent;
+    sd.extent_runs = ps.extent_runs;
+    sd.delta_mean = ps.delta_mean;
+    sd.delta_runs = ps.delta_runs;
+    for (const auto& [pattern, st] : ps.probes) {
+      storage::ProbeStatDump pb;
+      pb.pattern = pattern;
+      pb.probes = st.probes;
+      pb.matched = st.matched;
+      pb.runs = st.runs;
+      sd.probes.push_back(std::move(pb));
+    }
+    meta.stats.push_back(std::move(sd));
   }
 
   FACTLOG_RETURN_IF_ERROR(storage_->Checkpoint(std::move(meta)));

@@ -76,6 +76,7 @@
 #include "exec/batch.h"
 #include "exec/thread_pool.h"
 #include "inc/incremental.h"
+#include "plan/stats_catalog.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
 #include "storage/storage_manager.h"
@@ -146,8 +147,12 @@ struct EngineStats {
   uint64_t batches = 0;        // ExecuteBatch calls
   uint64_t view_hits = 0;      // queries answered from a materialized view
   uint64_t view_updates = 0;   // AddFact/RemoveFact deltas propagated to views
-  uint64_t plans_invalidated = 0;  // stale-plan guard: cached plans re-costed
-                                   // out after >4x extent drift
+  uint64_t plans_invalidated = 0;  // stale-plan guard firings: a cached plan's
+                                   // costed extents drifted past 4x
+  uint64_t plans_recosted = 0;     // cached plans re-planned in place from
+                                   // measured cardinalities (no recompile)
+  uint64_t replans = 0;            // mid-fixpoint driver switches (summed
+                                   // eval::EvalStats::replans)
 };
 
 /// Counters of a persistent engine (Engine::Open); zero-valued otherwise.
@@ -420,6 +425,12 @@ class Engine {
   size_t plan_cache_size() const;
   void ClearPlanCache();
 
+  /// The runtime statistics catalog: per-(predicate, adornment) cardinalities
+  /// observed by every execution path, decayed across runs. Seeds the cost
+  /// model of each compilation and of in-place plan re-costs; persisted in
+  /// checkpoints. Thread-safe (own internal lock).
+  const plan::StatsCatalog& stats_catalog() const { return stats_catalog_; }
+
   /// The cache key for (program, query, strategy): the requested strategy,
   /// the query's adornment pattern, and the canonicalized program + query.
   /// Exposed for tests.
@@ -506,6 +517,16 @@ class Engine {
   /// Commits the open WAL epoch (one fsync); no-op when nothing was logged,
   /// when the engine is in-memory, or during replay.
   Status CommitStorage();
+  /// Folds one evaluation's measured cardinalities (per-literal probe
+  /// selectivities, per-iteration delta means, fixpoint IDB extents) into
+  /// the statistics catalog and accumulates the replan counter.
+  void RecordEvalObservations(const eval::EvalStats& es);
+  /// Re-plans a drifted cache entry's join orders in place against current
+  /// extents and the statistics catalog — the transform pipeline's output is
+  /// kept, zero recompiles. Refreshes planner_hints (re-arming the drift
+  /// guard) and recomputes the L104 cartesian-join verdict against the
+  /// re-costed plan. Caller holds mu_.
+  void RecostCacheEntry(CacheEntry* entry, const eval::Database& cost_db);
   /// The view matching `key`, or nullptr.
   inc::MaterializedView* FindView(const std::string& key);
   inc::IncrementalOptions MakeIncOptions();
@@ -530,6 +551,10 @@ class Engine {
   uint64_t plans_restored_ = 0;
   uint64_t plans_dropped_stale_ = 0;
   eval::Database db_;
+
+  /// Runtime statistics catalog (internally locked; safe to touch while
+  /// holding mu_ or view_mu_ — it never takes either).
+  plan::StatsCatalog stats_catalog_;
 
   /// Guards stats_, lru_, cache_, inflight_, and pool_ creation.
   mutable std::mutex mu_;

@@ -340,6 +340,7 @@ void EnumerateBuiltinGeq(size_t lit_index, const CompiledAtom& lit,
 void EnumerateRelation(size_t lit_index, const CompiledAtom& lit,
                        JoinContext* ctx) {
   const RelationView& view = (*ctx->views)[lit_index];
+  ++ctx->stats->lit_probes[lit_index];
 
   // Determine which argument positions are ground under the current
   // environment; they form the index key. The buffers are per-literal
@@ -372,6 +373,7 @@ void EnumerateRelation(size_t lit_index, const CompiledAtom& lit,
       }
       if (ok) {
         ++ctx->stats->rows_matched;
+        ++ctx->stats->lit_matched[lit_index];
         if (ctx->track_premises) {
           FactKey& fk = ctx->premise_slots[lit_index];
           fk.predicate = lit.predicate;
@@ -453,6 +455,12 @@ Status EnumerateRule(const CompiledRule& rule, ValueStore* store,
   ctx.stats = stats;
   ctx.sink = &sink;
   ctx.env.assign(rule.num_vars(), kInvalidValue);
+  // Callers accumulate one JoinStats across many Enumerate calls; grow the
+  // per-literal counters to this rule's body without dropping prior counts.
+  if (stats->lit_probes.size() < rule.body().size()) {
+    stats->lit_probes.resize(rule.body().size(), 0);
+    stats->lit_matched.resize(rule.body().size(), 0);
+  }
   if (track_premises) ctx.premise_slots.resize(rule.body().size());
   ctx.head_row.reserve(rule.head().args.size());
   ctx.cols_scratch.resize(rule.body().size());

@@ -147,6 +147,16 @@ using HeadSink = std::function<bool(const std::vector<ValueId>& head_row,
 struct JoinStats {
   uint64_t rows_matched = 0;
   uint64_t instantiations = 0;
+  /// Per-compiled-literal observation counters, indexed by compiled body
+  /// position (plan order when the rule was plan-compiled). Sized lazily by
+  /// EnumerateRule; relation literals only — builtin slots stay zero.
+  /// `lit_probes[k]` counts the times the join reached literal k with some
+  /// binding (one index probe or scan per reach); `lit_matched[k]` counts
+  /// the rows that matched there. matched/probes is the literal's observed
+  /// selectivity under its adornment — the planner feedback signal
+  /// (plan::StatsCatalog).
+  std::vector<uint64_t> lit_probes;
+  std::vector<uint64_t> lit_matched;
 };
 
 /// Enumerates all instantiations of `rule` where body literal i ranges over

@@ -151,6 +151,16 @@ class Engine {
       }
       if (!any_delta) break;
 
+      // Feedback: record this round's frontier sizes, then re-plan any rule
+      // whose estimates have drifted past the threshold before enumerating.
+      for (const auto& [name, st] : preds_) {
+        if (!st.delta->empty()) {
+          delta_sum_[name] += st.delta->size();
+          ++delta_rounds_[name];
+        }
+      }
+      MaybeReplan();
+
       for (size_t i = 0; i < rules_.size(); ++i) {
         const CompiledRule& rule = rules_[i];
         // One pass per IDB occurrence j: literal j ranges over delta,
@@ -200,6 +210,80 @@ class Engine {
       }
     }
     return Status::OK();
+  }
+
+  // The observed extent a body occurrence of `pred` ranges over this round:
+  // the current delta for IDB predicates (their estimates are delta-based),
+  // the live relation size for base predicates.
+  uint64_t CurrentExtent(const std::string& pred) const {
+    if (IsIdb(pred)) return preds_.at(pred).delta->size();
+    const Relation* rel = db_->Find(pred);
+    return rel == nullptr ? 0 : rel->size();
+  }
+
+  // Mid-fixpoint adaptivity: re-plan rules whose literal estimates drifted
+  // past opts_.replan_threshold against what this iteration actually sees,
+  // and recompile just those rules so subsequent passes enumerate in the new
+  // order. Plans only direct enumeration, so the fixpoint's fact set is
+  // unchanged. A re-plan that keeps the order still refreshes est_rows,
+  // which re-arms the drift check instead of tripping it every round.
+  void MaybeReplan() {
+    if (opts_.replan_threshold <= 0 ||
+        opts_.join_order != JoinOrder::kPlanned) {
+      return;
+    }
+    plan::PlanOptions popts;
+    bool popts_ready = false;
+    for (size_t i = 0; i < rules_.size(); ++i) {
+      const plan::JoinPlan& jp = plan_.rules[i];
+      size_t relation_lits = 0;
+      bool drifted = false;
+      for (const plan::LiteralPlan& lp : jp.order) {
+        if (!lp.is_relation) continue;
+        ++relation_lits;
+        const ast::Atom& lit = program_.rules()[i].body()[lp.body_index];
+        if (ExtentDrifted(lp.est_rows, CurrentExtent(lit.predicate()),
+                          opts_.replan_threshold)) {
+          drifted = true;
+        }
+      }
+      if (!drifted || relation_lits < 2) continue;
+      if (!popts_ready) {
+        for (const auto& [name, rel] : db_->relations()) {
+          popts.extent_hints[name] = rel->size();
+        }
+        for (const auto& [name, st] : preds_) {
+          popts.delta_preds.insert(name);
+          popts.delta_hints[name] = static_cast<double>(st.delta->size());
+          popts.extent_hints[name] = st.full->size() + st.delta->size();
+        }
+        popts_ready = true;
+      }
+      plan::JoinPlan fresh = plan::PlanRule(program_.rules()[i], popts);
+      bool same_order = fresh.order.size() == jp.order.size();
+      if (same_order) {
+        for (size_t k = 0; k < fresh.order.size(); ++k) {
+          if (fresh.order[k].body_index != jp.order[k].body_index) {
+            same_order = false;
+            break;
+          }
+        }
+      }
+      if (same_order) {
+        plan_.rules[i] = std::move(fresh);  // refreshed estimates only
+        continue;
+      }
+      // Flush observation counters under the old literal order, then swap in
+      // the re-planned rule.
+      DrainProbeObservations(rules_[i], plan_.rules[i], &rule_stats_[i],
+                             &probe_obs_);
+      Result<CompiledRule> cr = CompiledRule::Compile(
+          program_.rules()[i], &db_->store(), &fresh);
+      if (!cr.ok()) continue;  // keep the old plan; never fail the fixpoint
+      plan_.rules[i] = std::move(fresh);
+      rules_[i] = std::move(*cr);
+      ++result_.mutable_stats()->replans;
+    }
   }
 
   Status RunNaive() {
@@ -254,8 +338,18 @@ class Engine {
   Result<EvalResult> Finish() {
     uint64_t total = 0;
     EvalStats* stats = result_.mutable_stats();
+    for (size_t i = 0; i < rules_.size(); ++i) {
+      DrainProbeObservations(rules_[i], plan_.rules[i], &rule_stats_[i],
+                             &probe_obs_);
+    }
+    stats->probe_observations = std::move(probe_obs_);
+    for (const auto& [name, sum] : delta_sum_) {
+      stats->observed_delta_mean[name] =
+          static_cast<double>(sum) / static_cast<double>(delta_rounds_[name]);
+    }
     for (auto& [name, st] : preds_) {
       total += st.full->size();
+      stats->observed_extents[name] = st.full->size();
       AccumulateShardFacts(*st.full, &stats->shard_facts);
       result_.mutable_idb()->emplace(name, std::move(st.full));
     }
@@ -272,6 +366,10 @@ class Engine {
   plan::ProgramPlan plan_;
   std::vector<CompiledRule> rules_;
   std::vector<JoinStats> rule_stats_;  // index-aligned with rules_
+  // Planner feedback accumulators (drained into EvalStats at Finish).
+  std::map<std::string, uint64_t> delta_sum_;
+  std::map<std::string, uint64_t> delta_rounds_;
+  std::vector<plan::ProbeObservation> probe_obs_;
   EvalResult result_;
   Status status_ = Status::OK();
 };
@@ -311,6 +409,39 @@ void FoldRuleStats(const std::vector<JoinStats>& rule_stats,
     stats->rule_rows_matched[i] = rule_stats[i].rows_matched;
     stats->instantiations += rule_stats[i].instantiations;
     stats->rows_matched += rule_stats[i].rows_matched;
+  }
+}
+
+bool ExtentDrifted(uint64_t est, uint64_t actual, double threshold) {
+  const double a = static_cast<double>(est) + 1.0;
+  const double b = static_cast<double>(actual) + 1.0;
+  const double ratio = a > b ? a / b : b / a;
+  return ratio > threshold;
+}
+
+void DrainProbeObservations(const CompiledRule& rule,
+                            const plan::JoinPlan& rule_plan, JoinStats* stats,
+                            std::vector<plan::ProbeObservation>* out) {
+  const size_t n = std::min(stats->lit_probes.size(), rule.body().size());
+  for (size_t k = 0; k < n; ++k) {
+    if (stats->lit_probes[k] == 0) continue;
+    const CompiledAtom& lit = rule.body()[k];
+    if (lit.kind != LitKind::kRelation) {
+      stats->lit_probes[k] = 0;
+      stats->lit_matched[k] = 0;
+      continue;
+    }
+    plan::ProbeObservation obs;
+    obs.pred = lit.predicate;
+    obs.arity = lit.args.size();
+    // Compiled literal k is the k-th slot in plan order; its planned index
+    // columns are the adornment the join probed with.
+    if (k < rule_plan.order.size()) obs.bound_cols = rule_plan.order[k].index_cols;
+    obs.probes = stats->lit_probes[k];
+    obs.matched = stats->lit_matched[k];
+    out->push_back(std::move(obs));
+    stats->lit_probes[k] = 0;
+    stats->lit_matched[k] = 0;
   }
 }
 

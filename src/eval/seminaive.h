@@ -19,6 +19,7 @@
 #include "eval/provenance.h"
 #include "eval/rule_eval.h"
 #include "plan/join_plan.h"
+#include "plan/stats_catalog.h"
 
 namespace factlog::eval {
 
@@ -62,6 +63,16 @@ struct EvalOptions {
   /// Ignored when null or structurally incompatible with the program; the
   /// engines then plan for themselves.
   const plan::ProgramPlan* program_plan = nullptr;
+  /// Mid-fixpoint adaptivity: before each semi-naive iteration the engines
+  /// compare every planned relation literal's extent estimate against the
+  /// observed extent (current delta size for IDB occurrences, live size for
+  /// base relations, +1 smoothing both directions) and re-plan the rule —
+  /// join order, index columns, partitioning driver — from the measured
+  /// sizes when any ratio exceeds this factor. Re-planning changes only the
+  /// enumeration order; fact sets stay oracle-identical. 0 disables; the
+  /// default matches the engine cache's stale-plan drift guard. Ignored
+  /// under kLeftToRight (the baseline must stay the baseline).
+  double replan_threshold = 4.0;
 };
 
 /// Resolves the plan an evaluation of `program` against `db` should use:
@@ -93,6 +104,15 @@ struct EvalStats {
   /// reports them per rule to make join-plan effects visible.
   std::vector<uint64_t> rule_instantiations;
   std::vector<uint64_t> rule_rows_matched;
+  /// Rules re-planned mid-fixpoint (EvalOptions::replan_threshold).
+  uint64_t replans = 0;
+  /// Planner feedback (plan::StatsCatalog::ObserveBatch / ObserveExtent /
+  /// ObserveDelta consume these): per-literal probe totals keyed by
+  /// predicate + bound columns, IDB extents at fixpoint, and mean
+  /// per-iteration delta sizes.
+  std::vector<plan::ProbeObservation> probe_observations;
+  std::map<std::string, uint64_t> observed_extents;
+  std::map<std::string, double> observed_delta_mean;
 };
 
 /// Sums each shard's row count of `rel` into `shard_facts` (index-aligned by
@@ -106,6 +126,19 @@ void AccumulateShardFacts(const Relation& rel,
 /// to the instantiations / rows_matched totals. Shared by the evaluators'
 /// Finish paths.
 void FoldRuleStats(const std::vector<JoinStats>& rule_stats, EvalStats* stats);
+
+/// The +1-smoothed symmetric ratio test all drift guards share: true when
+/// est and actual disagree by more than `threshold` in either direction.
+bool ExtentDrifted(uint64_t est, uint64_t actual, double threshold);
+
+/// Drains `stats`' per-literal probe counters into `out` as planner
+/// observations — relation literals only, adorned with the plan's index
+/// columns — zeroing the drained counters so the same JoinStats can keep
+/// accumulating under a different (re-planned) literal order afterwards.
+/// Shared by the evaluators' feedback paths.
+void DrainProbeObservations(const CompiledRule& rule,
+                            const plan::JoinPlan& rule_plan, JoinStats* stats,
+                            std::vector<plan::ProbeObservation>* out);
 
 /// Result of a bottom-up evaluation: the IDB relations plus statistics.
 class EvalResult {

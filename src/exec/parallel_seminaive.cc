@@ -231,8 +231,17 @@ class ParallelEngine {
   Status DrainTaskResults(std::vector<TaskResult>* results) {
     for (TaskResult& r : *results) {
       FACTLOG_RETURN_IF_ERROR(r.status);
-      rule_stats_[r.rule].rows_matched += r.stats.rows_matched;
-      rule_stats_[r.rule].instantiations += r.stats.instantiations;
+      JoinStats& js = rule_stats_[r.rule];
+      js.rows_matched += r.stats.rows_matched;
+      js.instantiations += r.stats.instantiations;
+      if (js.lit_probes.size() < r.stats.lit_probes.size()) {
+        js.lit_probes.resize(r.stats.lit_probes.size(), 0);
+        js.lit_matched.resize(r.stats.lit_probes.size(), 0);
+      }
+      for (size_t k = 0; k < r.stats.lit_probes.size(); ++k) {
+        js.lit_probes[k] += r.stats.lit_probes[k];
+        js.lit_matched[k] += r.stats.lit_matched[k];
+      }
     }
     if (budget_tripped_.load(std::memory_order_acquire)) {
       return BudgetExceeded();
@@ -442,6 +451,124 @@ class ParallelEngine {
     MergeBuffer(&head_st, head_st.next.get(), buffer);
   }
 
+  // The observed extent a body occurrence of `pred` ranges over this round:
+  // the current delta for IDB predicates (their estimates are delta-based),
+  // the live relation size for base predicates.
+  uint64_t CurrentExtent(const std::string& pred) const {
+    if (IsIdb(pred)) return preds_.at(pred).delta->size();
+    const Relation* rel = db_->Find(pred);
+    return rel == nullptr ? 0 : rel->size();
+  }
+
+  // Re-routes an IDB relation's rows onto new partition columns (Absorb
+  // re-hashes when layouts differ). Shard count is unchanged, so the
+  // per-shard lock array stays valid; worker buffers copy next's storage
+  // options per task, so shard-to-shard merges stay aligned.
+  void Repartition(PredState* st, const std::vector<int>& cols) {
+    StorageOptions storage = st->next->storage_options();
+    if (storage.partition_cols == cols) return;
+    storage.partition_cols = cols;
+    for (std::unique_ptr<Relation>* rel :
+         {&st->full, &st->delta, &st->next}) {
+      auto fresh = std::make_unique<Relation>((*rel)->arity(), storage);
+      fresh->Absorb(**rel);
+      *rel = std::move(fresh);
+    }
+  }
+
+  // Mid-fixpoint adaptivity (control thread, between parallel regions):
+  // re-plan rules whose literal estimates drifted past the threshold against
+  // the observed extents, recompile just those rules, refresh their probe
+  // columns / driver position, and re-partition IDB extents whose first
+  // recursive occurrence is now probed on different columns. Plans only
+  // direct enumeration and partitioning, so the fact set is unchanged.
+  void MaybeReplan() {
+    if (opts_.eval.replan_threshold <= 0 ||
+        opts_.eval.join_order != eval::JoinOrder::kPlanned) {
+      return;
+    }
+    plan::PlanOptions popts;
+    bool popts_ready = false;
+    bool replanned = false;
+    for (size_t i = 0; i < rules_.size(); ++i) {
+      const plan::JoinPlan& jp = plan_.rules[i];
+      size_t relation_lits = 0;
+      bool drifted = false;
+      for (const plan::LiteralPlan& lp : jp.order) {
+        if (!lp.is_relation) continue;
+        ++relation_lits;
+        const ast::Atom& lit = program_.rules()[i].body()[lp.body_index];
+        if (eval::ExtentDrifted(lp.est_rows, CurrentExtent(lit.predicate()),
+                                opts_.eval.replan_threshold)) {
+          drifted = true;
+        }
+      }
+      if (!drifted || relation_lits < 2) continue;
+      if (!popts_ready) {
+        for (const auto& [name, rel] : db_->relations()) {
+          popts.extent_hints[name] = rel->size();
+        }
+        for (const auto& [name, st] : preds_) {
+          popts.delta_preds.insert(name);
+          popts.delta_hints[name] = static_cast<double>(st.delta->size());
+          popts.extent_hints[name] = st.full->size() + st.delta->size();
+        }
+        popts_ready = true;
+      }
+      plan::JoinPlan fresh = plan::PlanRule(program_.rules()[i], popts);
+      bool same_order = fresh.order.size() == jp.order.size();
+      if (same_order) {
+        for (size_t k = 0; k < fresh.order.size(); ++k) {
+          if (fresh.order[k].body_index != jp.order[k].body_index) {
+            same_order = false;
+            break;
+          }
+        }
+      }
+      if (same_order) {
+        plan_.rules[i] = std::move(fresh);  // refreshed estimates only
+        continue;
+      }
+      // Flush observation counters under the old literal order, then swap in
+      // the re-planned rule and its derived pass-planning state.
+      eval::DrainProbeObservations(rules_[i], plan_.rules[i], &rule_stats_[i],
+                                   &probe_obs_);
+      Result<CompiledRule> cr =
+          CompiledRule::Compile(program_.rules()[i], &db_->store(), &fresh);
+      if (!cr.ok()) continue;  // keep the old plan; never fail the fixpoint
+      plan_.rules[i] = std::move(fresh);
+      rules_[i] = std::move(*cr);
+      std::vector<std::vector<int>> cols;
+      int driver = -1;
+      for (size_t k = 0; k < plan_.rules[i].order.size(); ++k) {
+        const plan::LiteralPlan& lp = plan_.rules[i].order[k];
+        cols.push_back(lp.index_cols);
+        if (driver < 0 && lp.is_relation) driver = static_cast<int>(k);
+      }
+      cols_[i] = std::move(cols);
+      driver_pos_[i] = driver;
+      ++result_.mutable_stats()->replans;
+      replanned = true;
+    }
+    if (!replanned) return;
+    // Shard routing follows the new plans: re-derive each IDB predicate's
+    // partition columns exactly as Prepare did and re-route where changed.
+    for (const std::string& p : idb_preds_) {
+      std::vector<int> want;
+      for (size_t i = 0; i < rules_.size() && want.empty(); ++i) {
+        for (size_t j = 0; j < rules_[i].body().size(); ++j) {
+          const CompiledAtom& lit = rules_[i].body()[j];
+          if (lit.kind == LitKind::kRelation && lit.predicate == p &&
+              !cols_[i][j].empty()) {
+            want = cols_[i][j];
+            break;
+          }
+        }
+      }
+      if (!want.empty()) Repartition(&preds_.at(p), want);
+    }
+  }
+
   Status RunFixpoint() {
     const size_t width = PoolWidth();
     while (true) {
@@ -457,6 +584,18 @@ class ParallelEngine {
         }
       }
       if (!any_delta) break;
+
+      // Feedback: record this round's frontier sizes, then re-plan drifted
+      // rules before pass planning — the pass planner below reads cols_ /
+      // driver_pos_ fresh each iteration, so a new driver takes effect (and
+      // repartitioned extents follow) without any further wiring.
+      for (const auto& [name, st] : preds_) {
+        if (!st.delta->empty()) {
+          delta_sum_[name] += st.delta->size();
+          ++delta_rounds_[name];
+        }
+      }
+      MaybeReplan();
 
       // Plan the passes. Partitioning follows each rule's join plan: when
       // the occurrence is the plan's driver literal the delta shards are the
@@ -584,8 +723,18 @@ class ParallelEngine {
   Result<EvalResult> Finish() {
     uint64_t total = 0;
     eval::EvalStats* stats = result_.mutable_stats();
+    for (size_t i = 0; i < rules_.size(); ++i) {
+      eval::DrainProbeObservations(rules_[i], plan_.rules[i], &rule_stats_[i],
+                                   &probe_obs_);
+    }
+    stats->probe_observations = std::move(probe_obs_);
+    for (const auto& [name, sum] : delta_sum_) {
+      stats->observed_delta_mean[name] =
+          static_cast<double>(sum) / static_cast<double>(delta_rounds_[name]);
+    }
     for (auto& [name, st] : preds_) {
       total += st.full->size();
+      stats->observed_extents[name] = st.full->size();
       eval::AccumulateShardFacts(*st.full, &stats->shard_facts);
       result_.mutable_idb()->emplace(name, std::move(st.full));
     }
@@ -608,6 +757,10 @@ class ParallelEngine {
   std::vector<std::vector<std::vector<int>>> cols_;
   std::vector<int> driver_pos_;
   std::vector<JoinStats> rule_stats_;
+  // Planner feedback accumulators (drained into EvalStats at Finish).
+  std::map<std::string, uint64_t> delta_sum_;
+  std::map<std::string, uint64_t> delta_rounds_;
+  std::vector<plan::ProbeObservation> probe_obs_;
   EvalResult result_;
 
   std::atomic<bool> cancelled_{false};

@@ -113,6 +113,7 @@ Status MaterializedView::Init(const std::vector<ViewPredState>* restore) {
     rules_.push_back(std::move(cr));
     pred_info_[r.head().predicate()].rules.push_back(i);
   }
+  rule_join_stats_.resize(rules_.size());
   ComputeSccs();
 
   if (restore != nullptr) {
@@ -552,6 +553,30 @@ uint64_t MaterializedView::InFlight(
   return n;
 }
 
+void MaterializedView::FoldJoinStats(size_t rule_index,
+                                     const JoinStats& js) {
+  JoinStats& target = rule_join_stats_[rule_index];
+  target.rows_matched += js.rows_matched;
+  target.instantiations += js.instantiations;
+  if (target.lit_probes.size() < js.lit_probes.size()) {
+    target.lit_probes.resize(js.lit_probes.size(), 0);
+    target.lit_matched.resize(js.lit_probes.size(), 0);
+  }
+  for (size_t k = 0; k < js.lit_probes.size(); ++k) {
+    target.lit_probes[k] += js.lit_probes[k];
+    target.lit_matched[k] += js.lit_matched[k];
+  }
+}
+
+std::vector<plan::ProbeObservation> MaterializedView::DrainObservations() {
+  std::vector<plan::ProbeObservation> out;
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    eval::DrainProbeObservations(rules_[i], plan_.rules[i],
+                                 &rule_join_stats_[i], &out);
+  }
+  return out;
+}
+
 // ------------------------------------------------------------- delta passes --
 
 bool MaterializedView::PreparePass(size_t rule_index,
@@ -590,13 +615,15 @@ Status MaterializedView::RunPassCollect(size_t rule_index,
   if (!PreparePass(rule_index, &views, occ, delta)) {
     views[occ] = RelationView{const_cast<Relation*>(delta), nullptr};
     JoinStats js;
-    return EnumerateRule(
+    Status st = EnumerateRule(
         rule, &db_->store(), views, premises, &js,
         [&](const std::vector<ValueId>& row,
             const std::vector<eval::FactKey>* prem) {
           apply(row, prem);
           return true;
         });
+    FoldJoinStats(rule_index, js);
+    return st;
   }
   // One task per delta shard; workers only collect (multiplicity preserved,
   // premises carried by value when the pass tracks them), the calling thread
@@ -605,15 +632,15 @@ Status MaterializedView::RunPassCollect(size_t rule_index,
   std::vector<std::vector<std::vector<ValueId>>> collected(shards);
   std::vector<std::vector<std::vector<eval::FactKey>>> collected_prem(shards);
   std::vector<Status> statuses(shards, Status::OK());
+  std::vector<JoinStats> shard_js(shards);
   opts_.pool->ParallelFor(shards, [&](size_t s) {
     const Relation& extent = delta->shard(s);
     if (extent.empty()) return;
     std::vector<RelationView> wviews = views;
     wviews[occ] = RelationView{const_cast<Relation*>(&extent), nullptr,
                                /*shared=*/true};
-    JoinStats js;
     statuses[s] = EnumerateRule(
-        rule, &db_->store(), wviews, premises, &js,
+        rule, &db_->store(), wviews, premises, &shard_js[s],
         [&](const std::vector<ValueId>& row,
             const std::vector<eval::FactKey>* prem) {
           collected[s].push_back(row);
@@ -621,6 +648,7 @@ Status MaterializedView::RunPassCollect(size_t rule_index,
           return true;
         });
   });
+  for (const JoinStats& js : shard_js) FoldJoinStats(rule_index, js);
   for (const Status& st : statuses) FACTLOG_RETURN_IF_ERROR(st);
   for (size_t s = 0; s < shards; ++s) {
     for (size_t i = 0; i < collected[s].size(); ++i) {
@@ -647,18 +675,21 @@ Status MaterializedView::RunPassInto(
   if (!PreparePass(rule_index, &views, occ, delta)) {
     views[occ] = RelationView{const_cast<Relation*>(delta), nullptr};
     JoinStats js;
-    return EnumerateRule(
+    Status st = EnumerateRule(
         rule, &db_->store(), views, /*track_premises=*/false, &js,
         [&](const std::vector<ValueId>& row, const std::vector<eval::FactKey>*) {
           if (!is_known(row.data())) target->Insert(row);
           return true;
         });
+    FoldJoinStats(rule_index, js);
+    return st;
   }
   // Workers deduplicate against the frozen `known` extents into thread-local
   // buffers sharded like the target, then merge shard-to-shard under the
   // head predicate's per-shard locks — the exec merge seam.
   const size_t shards = delta->shard_count();
   std::vector<Status> statuses(shards, Status::OK());
+  std::vector<JoinStats> shard_js(shards);
   opts_.pool->ParallelFor(shards, [&](size_t s) {
     const Relation& extent = delta->shard(s);
     if (extent.empty()) return;
@@ -666,9 +697,8 @@ Status MaterializedView::RunPassInto(
     wviews[occ] = RelationView{const_cast<Relation*>(&extent), nullptr,
                                /*shared=*/true};
     Relation buffer(target->arity(), target->storage_options());
-    JoinStats js;
     statuses[s] = EnumerateRule(
-        rule, &db_->store(), wviews, /*track_premises=*/false, &js,
+        rule, &db_->store(), wviews, /*track_premises=*/false, &shard_js[s],
         [&](const std::vector<ValueId>& row, const std::vector<eval::FactKey>*) {
           if (!is_known(row.data())) buffer.Insert(row);
           return true;
@@ -677,6 +707,7 @@ Status MaterializedView::RunPassInto(
       exec::MergeBufferLocked(target, buffer, locks);
     }
   });
+  for (const JoinStats& js : shard_js) FoldJoinStats(rule_index, js);
   for (const Status& st : statuses) FACTLOG_RETURN_IF_ERROR(st);
   target->SyncShards();
   return Status::OK();

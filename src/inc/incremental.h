@@ -214,6 +214,11 @@ class MaterializedView {
 
   const ast::Program& program() const { return program_; }
   const ViewStats& stats() const { return stats_; }
+  /// Drains the delta passes' accumulated per-literal probe counters into
+  /// planner observations (plan::StatsCatalog::ObserveBatch feedback). The
+  /// counters reset, so calls between propagations yield disjoint batches.
+  /// Must be called from the single writer, like Apply*.
+  std::vector<plan::ProbeObservation> DrainObservations();
   /// True once a failed propagation left the maintained state inconsistent;
   /// every subsequent Apply*/Answer call fails with kFailedPrecondition.
   bool poisoned() const { return poisoned_; }
@@ -330,6 +335,9 @@ class MaterializedView {
   bool PreparePass(size_t rule_index, std::vector<eval::RelationView>* views,
                    size_t occ, const eval::Relation* delta);
 
+  /// Accumulates one pass's join counters into rule_join_stats_.
+  void FoldJoinStats(size_t rule_index, const eval::JoinStats& js);
+
   ast::Program program_;
   eval::Database* db_;
   IncrementalOptions opts_;
@@ -342,6 +350,9 @@ class MaterializedView {
   /// Per-rule, per-compiled-literal probe columns, read off the plan's
   /// declared index requirements.
   std::vector<std::vector<std::vector<int>>> plan_cols_;
+  /// Per-rule join counters accumulated across delta passes (the per-literal
+  /// vectors feed DrainObservations).
+  std::vector<eval::JoinStats> rule_join_stats_;
   /// Rederivation variant of each recursive-head rule: the body prefixed
   /// with a candidate guard literal over the head's arguments (pinned
   /// first), the rest planned through plan::PlanRule's greedy cost model

@@ -1,17 +1,18 @@
 #include "plan/join_plan.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "ast/special_predicates.h"
+#include "plan/stats_catalog.h"
 
 namespace factlog::plan {
 
 namespace {
 
-// Bits of selectivity credited per ground argument position: each bound
-// column is assumed to cut the extent by 16x. Coarse, but it only has to
-// rank literals, not predict cardinalities.
-constexpr unsigned kBitsPerBoundCol = 4;
+uint64_t RoundRows(double rows) {
+  return std::max<uint64_t>(1, static_cast<uint64_t>(std::llround(rows)));
+}
 
 bool TermGround(const ast::Term& t, const std::set<std::string>& bound) {
   switch (t.kind()) {
@@ -96,25 +97,40 @@ std::vector<int> GroundCols(const ast::Atom& a,
 }
 
 uint64_t BaseEstimate(const std::string& pred, const PlanOptions& opts) {
-  if (opts.delta_preds.count(pred) > 0) return opts.delta_rows;
+  if (opts.delta_preds.count(pred) > 0) {
+    // A measured mean delta size beats the flat default: a fixpoint whose
+    // frontier actually runs thousands of rows wide plans accordingly.
+    auto dit = opts.delta_hints.find(pred);
+    if (dit != opts.delta_hints.end()) return RoundRows(dit->second);
+    return opts.cost.delta_rows;
+  }
   auto it = opts.extent_hints.find(pred);
   if (it != opts.extent_hints.end()) return std::max<uint64_t>(1, it->second);
-  return opts.default_rows;
+  return opts.cost.default_rows;
 }
 
 // Cost of scheduling relation literal `a` next: its extent estimate shrunk
 // by a fixed selectivity per ground argument position; a fully ground
-// literal is a containment check (cost 0).
+// literal is a containment check (cost 0). A measured selectivity for the
+// literal's exact adornment (rows matched per probe with these columns
+// bound) replaces the shift model outright — except for delta occurrences,
+// whose probe statistics are dominated by the much larger full extent and
+// would push the semi-naive frontier out of the driver seat.
 uint64_t LiteralCost(const ast::Atom& a, const std::set<std::string>& bound,
                      const PlanOptions& opts) {
-  size_t ground = 0;
-  for (const ast::Term& t : a.args()) {
-    if (TermGround(t, bound)) ++ground;
-  }
+  std::vector<int> cols = GroundCols(a, bound);
+  const size_t ground = cols.size();
   if (ground == a.arity() && a.arity() > 0) return 0;
+  if (opts.delta_preds.count(a.predicate()) == 0) {
+    auto pit = opts.probe_hints.find(a.predicate());
+    if (pit != opts.probe_hints.end()) {
+      auto hit = pit->second.find(AdornmentPattern(a.arity(), cols));
+      if (hit != pit->second.end()) return RoundRows(hit->second);
+    }
+  }
   uint64_t est = BaseEstimate(a.predicate(), opts);
   unsigned shift = static_cast<unsigned>(
-      std::min<size_t>(ground * kBitsPerBoundCol, 60));
+      std::min<size_t>(ground * opts.cost.bits_per_bound_col, 60));
   return std::max<uint64_t>(1, est >> shift);
 }
 
@@ -281,7 +297,10 @@ ProgramPlan PlanProgram(const ast::Program& program, PlanOptions opts) {
   return plan;
 }
 
-std::string Explain(const ast::Program& program, const ProgramPlan& plan) {
+std::string Explain(const ast::Program& program, const ProgramPlan& plan,
+                    const StatsCatalog* observed) {
+  std::map<std::string, PredicateStats> stats;
+  if (observed != nullptr) stats = observed->Snapshot();
   std::string out;
   const size_t n = std::min(plan.rules.size(), program.rules().size());
   for (size_t i = 0; i < n; ++i) {
@@ -301,6 +320,22 @@ std::string Explain(const ast::Program& program, const ProgramPlan& plan) {
           out += std::to_string(lp.index_cols[c]);
         }
         out += "] est " + std::to_string(lp.est_rows) + " rows";
+        if (observed != nullptr) {
+          // Observed column: the measured rows-per-probe for this literal's
+          // adornment when one exists, else the decayed observed extent.
+          auto sit = stats.find(lit.predicate());
+          std::string obs = "-";
+          if (sit != stats.end()) {
+            auto pit = sit->second.probes.find(
+                AdornmentPattern(lit.arity(), lp.index_cols));
+            if (pit != sit->second.probes.end() && pit->second.runs > 0) {
+              obs = std::to_string(RoundRows(pit->second.MatchedPerProbe()));
+            } else if (sit->second.extent_runs > 0) {
+              obs = std::to_string(RoundRows(sit->second.extent)) + " extent";
+            }
+          }
+          out += ", observed " + obs;
+        }
         if (static_cast<int>(lp.body_index) == jp.driver) out += "  <- driver";
       }
       out += "\n";

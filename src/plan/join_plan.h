@@ -52,19 +52,45 @@
 
 namespace factlog::plan {
 
+class StatsCatalog;
+
+/// The cost model's tunable constants, collected in one documented place
+/// (they used to be scattered literals). These only have to *rank* literals,
+/// not predict cardinalities, so they are deliberately coarse; measured
+/// feedback (`delta_hints` / `probe_hints`, seeded from a StatsCatalog)
+/// overrides them wherever an observation exists.
+struct CostModelParams {
+  /// Extent estimate (rows) for predicates without a hint.
+  uint64_t default_rows = 1024;
+  /// Bits of selectivity credited per ground argument position: each bound
+  /// column is assumed to cut the extent by 2^bits (16x by default).
+  unsigned bits_per_bound_col = 4;
+  /// Extent estimate (rows) for delta-driven predicates — default_rows/64,
+  /// keeping the semi-naive frontier planned toward the front.
+  uint64_t delta_rows = 16;
+};
+
 struct PlanOptions {
   /// Known extent sizes (rows) by predicate — e.g. a snapshot of the base
-  /// relations. Missing predicates fall back to `default_rows`.
+  /// relations. Missing predicates fall back to `cost.default_rows`.
   std::map<std::string, uint64_t> extent_hints;
   /// Predicates whose body occurrences range over fixpoint deltas rather
-  /// than full extents (the semi-naive IDB): estimated at `delta_rows`
-  /// regardless of hints, so delta-driven literals plan toward the front.
-  /// PlanProgram additionally unions in the program's own IDB predicates.
+  /// than full extents (the semi-naive IDB): estimated at `cost.delta_rows`
+  /// (or the measured `delta_hints` value) regardless of extent hints, so
+  /// delta-driven literals plan toward the front. PlanProgram additionally
+  /// unions in the program's own IDB predicates.
   std::set<std::string> delta_preds;
-  /// Extent estimate for predicates without a hint.
-  uint64_t default_rows = 1024;
-  /// Extent estimate for delta-driven predicates.
-  uint64_t delta_rows = 16;
+  /// Observed mean per-iteration delta sizes by predicate (StatsCatalog
+  /// feedback) — preferred over `cost.delta_rows` for delta-driven
+  /// literals.
+  std::map<std::string, double> delta_hints;
+  /// Observed rows matched per probe, keyed by predicate then adornment
+  /// pattern ("bf" = first column bound; see plan::AdornmentPattern).
+  /// An exact-pattern match replaces the per-bound-column shift model for
+  /// non-delta literals.
+  std::map<std::string, std::map<std::string, double>> probe_hints;
+  /// The cost model's constants; callers (optimizer_cli --cost-*) may tune.
+  CostModelParams cost;
   /// Keep the first N body literals exactly in place (and bind their
   /// variables first). The incremental engine pins its candidate guard /
   /// driving occurrence this way.
@@ -122,8 +148,11 @@ struct ProgramPlan {
 ProgramPlan PlanProgram(const ast::Program& program, PlanOptions opts = {});
 
 /// Multi-line human-readable rendering: one block per rule with the source
-/// rule, join order, per-literal index columns, and driver literal.
-std::string Explain(const ast::Program& program, const ProgramPlan& plan);
+/// rule, join order, per-literal index columns, and driver literal. When an
+/// `observed` catalog is supplied, each relation literal also shows the
+/// measured cardinality for its adornment next to the estimate.
+std::string Explain(const ast::Program& program, const ProgramPlan& plan,
+                    const StatsCatalog* observed = nullptr);
 
 }  // namespace factlog::plan
 

@@ -1,0 +1,128 @@
+#include "plan/stats_catalog.h"
+
+#include <algorithm>
+
+namespace factlog::plan {
+
+namespace {
+
+// First observation replaces the zero-initialized value outright; later ones
+// decay toward the new sample. `runs` distinguishes the two.
+double Decay(double old_value, double new_value, uint64_t runs) {
+  if (runs == 0) return new_value;
+  return (1.0 - StatsCatalog::kAlpha) * old_value +
+         StatsCatalog::kAlpha * new_value;
+}
+
+}  // namespace
+
+std::string AdornmentPattern(size_t arity, const std::vector<int>& bound_cols) {
+  std::string pattern(arity, 'f');
+  for (int c : bound_cols) {
+    if (c >= 0 && static_cast<size_t>(c) < arity) pattern[c] = 'b';
+  }
+  return pattern;
+}
+
+void StatsCatalog::ObserveExtent(const std::string& pred, uint64_t rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PredicateStats& ps = entries_[pred];
+  ps.extent = Decay(ps.extent, static_cast<double>(rows), ps.extent_runs);
+  ++ps.extent_runs;
+}
+
+void StatsCatalog::ObserveDelta(const std::string& pred, double mean_rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PredicateStats& ps = entries_[pred];
+  ps.delta_mean = Decay(ps.delta_mean, mean_rows, ps.delta_runs);
+  ++ps.delta_runs;
+}
+
+void StatsCatalog::ObserveProbes(const std::string& pred,
+                                 const std::string& pattern, uint64_t probes,
+                                 uint64_t matched) {
+  if (probes == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ProbeStats& st = entries_[pred].probes[pattern];
+  st.probes = Decay(st.probes, static_cast<double>(probes), st.runs);
+  st.matched = Decay(st.matched, static_cast<double>(matched), st.runs);
+  ++st.runs;
+}
+
+void StatsCatalog::ObserveBatch(const std::vector<ProbeObservation>& batch) {
+  // One batch is one run: merge duplicate (pred, adornment) entries first so
+  // a run that touched the same literal shape from several rules decays the
+  // catalog exactly once.
+  std::map<std::pair<std::string, std::string>, std::pair<uint64_t, uint64_t>>
+      merged;
+  for (const ProbeObservation& obs : batch) {
+    if (obs.probes == 0) continue;
+    auto& slot =
+        merged[{obs.pred, AdornmentPattern(obs.arity, obs.bound_cols)}];
+    slot.first += obs.probes;
+    slot.second += obs.matched;
+  }
+  for (const auto& [key, totals] : merged) {
+    ObserveProbes(key.first, key.second, totals.first, totals.second);
+  }
+}
+
+void StatsCatalog::SeedPlanOptions(PlanOptions* opts) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [pred, ps] : entries_) {
+    if (ps.extent_runs > 0 && opts->extent_hints.count(pred) == 0) {
+      opts->extent_hints[pred] =
+          std::max<uint64_t>(1, static_cast<uint64_t>(ps.extent + 0.5));
+    }
+    if (ps.delta_runs > 0) opts->delta_hints[pred] = ps.delta_mean;
+    for (const auto& [pattern, st] : ps.probes) {
+      if (st.runs > 0 && st.probes > 0) {
+        opts->probe_hints[pred][pattern] = st.MatchedPerProbe();
+      }
+    }
+  }
+}
+
+void StatsCatalog::Merge(const StatsCatalog& other) {
+  std::map<std::string, PredicateStats> theirs = other.Snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [pred, ps] : theirs) {
+    PredicateStats& mine = entries_[pred];
+    if (ps.extent_runs > 0) {
+      mine.extent = Decay(mine.extent, ps.extent, mine.extent_runs);
+      mine.extent_runs += ps.extent_runs;
+    }
+    if (ps.delta_runs > 0) {
+      mine.delta_mean = Decay(mine.delta_mean, ps.delta_mean, mine.delta_runs);
+      mine.delta_runs += ps.delta_runs;
+    }
+    for (const auto& [pattern, st] : ps.probes) {
+      ProbeStats& target = mine.probes[pattern];
+      target.probes = Decay(target.probes, st.probes, target.runs);
+      target.matched = Decay(target.matched, st.matched, target.runs);
+      target.runs += st.runs;
+    }
+  }
+}
+
+std::map<std::string, PredicateStats> StatsCatalog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+void StatsCatalog::Restore(std::map<std::string, PredicateStats> entries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_ = std::move(entries);
+}
+
+size_t StatsCatalog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void StatsCatalog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace factlog::plan

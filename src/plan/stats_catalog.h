@@ -1,0 +1,118 @@
+// Runtime feedback for the join planner: observed cardinalities keyed by
+// (predicate, adornment), decayed exponentially across runs.
+//
+// The cost model in join_plan.h plans from static guesses — exact hints for
+// base relations, defaults for everything else, a flat selectivity per bound
+// column. This catalog closes the loop: every evaluator (sequential,
+// parallel, incremental delta passes) reports what it actually saw —
+//
+//   * full extents per predicate (rows at fixpoint),
+//   * mean per-iteration delta sizes (how big the semi-naive frontier
+//     really runs), and
+//   * per-adornment probe selectivities (rows matched per index probe with
+//     a given set of bound columns),
+//
+// and `SeedPlanOptions` turns the decayed aggregates back into the
+// `PlanOptions` hint maps the planner consumes. Adornments are the classic
+// bound/free strings ("bf" = first column bound), so a predicate probed two
+// different ways keeps two independent selectivity estimates.
+//
+// Decay is exponential with factor kAlpha per observation batch: recent runs
+// dominate, one skewed run cannot poison the catalog forever, and a steady
+// workload converges to its true cardinalities. The catalog is thread-safe
+// (a single internal mutex; observation batches are coarse — once per
+// evaluation, not per probe) and plain-data snapshots make it trivially
+// persistable (storage/meta.cc serializes it into checkpoints).
+//
+// Layering: like join_plan, this depends only on std. eval/, exec/, inc/,
+// api/, and storage/ all sit above it.
+
+#ifndef FACTLOG_PLAN_STATS_CATALOG_H_
+#define FACTLOG_PLAN_STATS_CATALOG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "plan/join_plan.h"
+
+namespace factlog::plan {
+
+/// "bf"-style adornment for `arity` columns with `bound_cols` bound.
+std::string AdornmentPattern(size_t arity, const std::vector<int>& bound_cols);
+
+/// Decayed per-adornment probe statistics.
+struct ProbeStats {
+  double probes = 0;   // decayed mean probe count per run
+  double matched = 0;  // decayed mean rows matched per run
+  uint64_t runs = 0;
+
+  /// Rows matched per probe — the planner's selectivity estimate.
+  double MatchedPerProbe() const {
+    return probes > 0 ? matched / probes : 0.0;
+  }
+};
+
+/// Decayed per-predicate statistics.
+struct PredicateStats {
+  double extent = 0;      // decayed observed full extent (rows)
+  double delta_mean = 0;  // decayed mean per-iteration delta size (rows)
+  uint64_t extent_runs = 0;
+  uint64_t delta_runs = 0;
+  std::map<std::string, ProbeStats> probes;  // keyed by adornment pattern
+};
+
+/// One evaluator's probe report: `probes` index probes against `pred` with
+/// `bound_cols` bound matched `matched` rows in total.
+struct ProbeObservation {
+  std::string pred;
+  size_t arity = 0;
+  std::vector<int> bound_cols;
+  uint64_t probes = 0;
+  uint64_t matched = 0;
+};
+
+class StatsCatalog {
+ public:
+  /// Decay factor per observation batch: v' = (1-kAlpha)*v + kAlpha*new.
+  static constexpr double kAlpha = 0.5;
+
+  /// Records a predicate's observed full extent after an evaluation.
+  void ObserveExtent(const std::string& pred, uint64_t rows);
+  /// Records the mean per-iteration delta size a fixpoint saw for `pred`.
+  void ObserveDelta(const std::string& pred, double mean_rows);
+  /// Records one adornment's probe totals for a run.
+  void ObserveProbes(const std::string& pred, const std::string& pattern,
+                     uint64_t probes, uint64_t matched);
+  /// Convenience: folds a batch of evaluator observations.
+  void ObserveBatch(const std::vector<ProbeObservation>& batch);
+
+  /// Seeds the planner hint maps from the catalog. Live `extent_hints`
+  /// already present in `opts` win (they are exact); the catalog fills
+  /// extents only for unhinted predicates (the IDB, whose sizes no one
+  /// knows at compile time) and always supplies `delta_hints` and
+  /// `probe_hints`.
+  void SeedPlanOptions(PlanOptions* opts) const;
+
+  /// Folds another catalog in, observation by observation.
+  void Merge(const StatsCatalog& other);
+
+  /// Plain-data view for persistence.
+  std::map<std::string, PredicateStats> Snapshot() const;
+  /// Replaces the catalog contents (checkpoint restore).
+  void Restore(std::map<std::string, PredicateStats> entries);
+
+  size_t size() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, PredicateStats> entries_;
+};
+
+}  // namespace factlog::plan
+
+#endif  // FACTLOG_PLAN_STATS_CATALOG_H_

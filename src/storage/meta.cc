@@ -15,7 +15,9 @@ namespace factlog::storage {
 namespace {
 
 constexpr uint32_t kMetaMagic = 0x464C4D54;  // "FLMT"
-constexpr uint32_t kMetaVersion = 1;
+// Version 2 appends the runtime statistics catalog after the free list;
+// version 1 files (no catalog) still read fine.
+constexpr uint32_t kMetaVersion = 2;
 
 Status Errno(const std::string& what) {
   return Status::Internal(what + ": " + std::strerror(errno));
@@ -219,6 +221,51 @@ bool ReadPlans(BinReader* r, std::vector<PlanDescriptor>* plans) {
   return r->ok();
 }
 
+void WriteStats(const std::vector<PredicateStatsDump>& stats, BinWriter* w) {
+  w->U32(static_cast<uint32_t>(stats.size()));
+  for (const PredicateStatsDump& s : stats) {
+    w->Str(s.pred);
+    w->F64(s.extent);
+    w->U64(s.extent_runs);
+    w->F64(s.delta_mean);
+    w->U64(s.delta_runs);
+    w->U32(static_cast<uint32_t>(s.probes.size()));
+    for (const ProbeStatDump& p : s.probes) {
+      w->Str(p.pattern);
+      w->F64(p.probes);
+      w->F64(p.matched);
+      w->U64(p.runs);
+    }
+  }
+}
+
+bool ReadStats(BinReader* r, std::vector<PredicateStatsDump>* stats) {
+  uint32_t n = r->U32();
+  if (!r->ok()) return false;
+  stats->reserve(n);
+  for (uint32_t i = 0; i < n && r->ok(); ++i) {
+    PredicateStatsDump s;
+    s.pred = r->Str();
+    s.extent = r->F64();
+    s.extent_runs = r->U64();
+    s.delta_mean = r->F64();
+    s.delta_runs = r->U64();
+    uint32_t np = r->U32();
+    if (!r->ok()) return false;
+    s.probes.reserve(np);
+    for (uint32_t p = 0; p < np && r->ok(); ++p) {
+      ProbeStatDump ps;
+      ps.pattern = r->Str();
+      ps.probes = r->F64();
+      ps.matched = r->F64();
+      ps.runs = r->U64();
+      s.probes.push_back(std::move(ps));
+    }
+    stats->push_back(std::move(s));
+  }
+  return r->ok();
+}
+
 }  // namespace
 
 Status WriteCheckpointMeta(const std::string& path,
@@ -232,6 +279,7 @@ Status WriteCheckpointMeta(const std::string& path,
   payload.U32(meta.num_pages);
   payload.U32(static_cast<uint32_t>(meta.free_list.size()));
   for (PageId p : meta.free_list) payload.U32(p);
+  WriteStats(meta.stats, &payload);
 
   BinWriter file;
   file.U32(kMetaMagic);
@@ -299,7 +347,8 @@ Result<CheckpointMeta> ReadCheckpointMeta(const std::string& path) {
   if (header.U32() != kMetaMagic) {
     return Status::Internal("meta file '" + path + "': bad magic");
   }
-  if (header.U32() != kMetaVersion) {
+  const uint32_t version = header.U32();
+  if (version < 1 || version > kMetaVersion) {
     return Status::Internal("meta file '" + path + "': unsupported version");
   }
   uint64_t payload_len = header.U64();
@@ -327,6 +376,9 @@ Result<CheckpointMeta> ReadCheckpointMeta(const std::string& path) {
   }
   meta.free_list.reserve(nf);
   for (uint32_t i = 0; i < nf; ++i) meta.free_list.push_back(r.U32());
+  if (version >= 2 && !ReadStats(&r, &meta.stats)) {
+    return Status::Internal("meta file '" + path + "': malformed payload");
+  }
   if (!r.ok() || !r.AtEnd()) {
     return Status::Internal("meta file '" + path + "': malformed payload");
   }

@@ -89,6 +89,27 @@ struct PlanDescriptor {
   std::map<std::string, uint64_t> extent_hints;
 };
 
+/// One observed adornment pattern of a predicate: decayed probe/match
+/// averages from the runtime statistics catalog (plan::StatsCatalog).
+struct ProbeStatDump {
+  std::string pattern;  // e.g. "bf": first column bound
+  double probes = 0.0;
+  double matched = 0.0;
+  uint64_t runs = 0;
+};
+
+/// One predicate's entry in the runtime statistics catalog. Persisting the
+/// catalog lets a reopened engine cost plans from measured cardinalities
+/// immediately instead of re-learning them.
+struct PredicateStatsDump {
+  std::string pred;
+  double extent = 0.0;
+  uint64_t extent_runs = 0;
+  double delta_mean = 0.0;
+  uint64_t delta_runs = 0;
+  std::vector<ProbeStatDump> probes;
+};
+
 struct CheckpointMeta {
   /// Last epoch the checkpoint covers; WAL commits continue from here.
   uint64_t epoch = 0;
@@ -96,6 +117,8 @@ struct CheckpointMeta {
   std::vector<RelationDump> relations;
   std::vector<ViewDumpRec> views;
   std::vector<PlanDescriptor> plans;
+  /// Runtime statistics catalog (version >= 2 meta files; empty before).
+  std::vector<PredicateStatsDump> stats;
   /// Page allocator state at checkpoint time.
   PageId num_pages = 0;
   std::vector<PageId> free_list;

@@ -24,6 +24,11 @@ class BinWriter {
   void U64(uint64_t v) { Fixed(&v, sizeof(v)); }
   void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
   void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void F64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
   void Bytes(const void* data, size_t len) {
     buf_.append(static_cast<const char*>(data), len);
   }
@@ -65,6 +70,12 @@ class BinReader {
   }
   int64_t I64() { return static_cast<int64_t>(U64()); }
   int32_t I32() { return static_cast<int32_t>(U32()); }
+  double F64() {
+    uint64_t bits = U64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
   std::string Str() {
     uint32_t n = U32();
     if (n > len_ - pos_) {  // pos_ <= len_ always holds

@@ -424,12 +424,13 @@ TEST(EnginePersistence, PlansRestoredAndStaleOnesDropped) {
   EXPECT_TRUE(qs.cache_hit);
 }
 
-TEST(EngineStaleGuard, RuntimeDriftEvictsCachedPlan) {
+TEST(EngineStaleGuard, RuntimeDriftRecostsCachedPlanInPlace) {
   api::Engine engine;  // in-memory: the guard is not persistence-only
   ASSERT_TRUE(engine.LoadFacts("e(1, 2). e(2, 3).").ok());
   const std::string prog = "a(X) :- e(X, Y). ?- a(X).";
   ASSERT_TRUE(engine.Query(prog).ok());
   EXPECT_EQ(engine.stats().plans_invalidated, 0u);
+  const uint64_t compiles_before = engine.stats().compiles;
   std::string facts;
   for (int i = 10; i < 60; ++i) {
     facts += "e(" + std::to_string(i) + ", 0).\n";
@@ -438,13 +439,19 @@ TEST(EngineStaleGuard, RuntimeDriftEvictsCachedPlan) {
   api::QueryStats qs;
   ASSERT_TRUE(
       engine.Query(P(prog), A("a(X)"), api::Strategy::kAuto, &qs).ok());
-  EXPECT_FALSE(qs.cache_hit) << "26x extent drift must recompile";
+  // 26x extent drift: the cached plan is re-costed in place — still a cache
+  // hit, the join orders rebuilt from current sizes, zero recompiles.
+  EXPECT_TRUE(qs.cache_hit) << "re-costing must not evict the cached plan";
   EXPECT_EQ(engine.stats().plans_invalidated, 1u);
-  // The fresh plan was costed against current sizes: the next hit sticks.
+  EXPECT_EQ(engine.stats().plans_recosted, 1u);
+  EXPECT_EQ(engine.stats().compiles, compiles_before)
+      << "drift must re-cost, not recompile";
+  // The re-costed plan's hints now match current sizes: the next hit sticks.
   ASSERT_TRUE(
       engine.Query(P(prog), A("a(X)"), api::Strategy::kAuto, &qs).ok());
   EXPECT_TRUE(qs.cache_hit);
   EXPECT_EQ(engine.stats().plans_invalidated, 1u);
+  EXPECT_EQ(engine.stats().plans_recosted, 1u);
 }
 
 // ---- Kill-point sweep -------------------------------------------------------
